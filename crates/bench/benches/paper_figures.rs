@@ -1,0 +1,171 @@
+//! Criterion benches — one group per paper artifact, sized to finish in
+//! minutes. The `figures` binary prints the full paper-style tables; these
+//! benches provide statistically tracked samples for regression testing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use pytond::{Backend, OptLevel, Pytond};
+use pytond_bench::{tpch_instance, workload_instance, System};
+use pytond_ndarray::einsum;
+use pytond_workloads::covariance as cov;
+
+const SF: f64 = 0.005;
+
+fn compile(py: &Pytond, source: &str, backend: Backend, level: OptLevel) -> pytond::Compiled {
+    py.compile_at(source, backend.dialect(), level).unwrap()
+}
+
+/// Figures 3/4: representative TPC-H queries across the six systems,
+/// 1 and 4 threads.
+fn fig3_fig4_tpch(c: &mut Criterion) {
+    let data = pytond_tpch::generate(SF);
+    let py = tpch_instance(&data);
+    let mut group = c.benchmark_group("fig3_fig4_tpch");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for id in [1usize, 3, 6, 9, 13, 18] {
+        let q = pytond_tpch::query(id);
+        group.bench_with_input(BenchmarkId::new("python_1t", q.name), &q, |b, q| {
+            b.iter(|| q.run_baseline(&data).unwrap())
+        });
+        for threads in [1usize, 4] {
+            for system in [System::GrizzlyDuck, System::PytondDuck, System::PytondHyper] {
+                let Some((level, backend)) = system.config(threads) else {
+                    continue;
+                };
+                let compiled = compile(&py, q.source, backend, level);
+                let label = format!("{}_{}t", system.label().replace('/', "_"), threads);
+                group.bench_with_input(BenchmarkId::new(label, q.name), &compiled, |b, cq| {
+                    b.iter(|| py.execute(cq, &backend).unwrap())
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+/// Figures 5/6: the hybrid data-science workloads.
+fn fig5_fig6_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_fig6_workloads");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for w in pytond_workloads::all_workloads(1) {
+        let py = workload_instance(&w);
+        group.bench_function(BenchmarkId::new("python_1t", w.name), |b| {
+            b.iter(|| (w.baseline)(&w.tables).unwrap())
+        });
+        for threads in [1usize, 4] {
+            let backend = Backend::duckdb_sim(threads);
+            let compiled = compile(&py, w.source, backend, OptLevel::O4);
+            group.bench_with_input(
+                BenchmarkId::new(format!("pytond_duckdb_{threads}t"), w.name),
+                &compiled,
+                |b, cq| b.iter(|| py.execute(cq, &backend).unwrap()),
+            );
+        }
+        let backend = Backend::hyper_sim(1);
+        let compiled = compile(&py, w.source, backend, OptLevel::O4);
+        group.bench_with_input(
+            BenchmarkId::new("pytond_hyper_1t", w.name),
+            &compiled,
+            |b, cq| b.iter(|| py.execute(cq, &backend).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// Figures 7/8: thread-scalability samples (speedups derive from the curve).
+fn fig7_fig8_scalability(c: &mut Criterion) {
+    let data = pytond_tpch::generate(SF);
+    let py = tpch_instance(&data);
+    let mut group = c.benchmark_group("fig7_fig8_scalability");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    let q = pytond_tpch::query(6);
+    for threads in 1..=4usize {
+        let backend = Backend::duckdb_sim(threads);
+        let compiled = compile(&py, q.source, backend, OptLevel::O4);
+        group.bench_with_input(
+            BenchmarkId::new("tpch_q6_pytond_duckdb", threads),
+            &compiled,
+            |b, cq| b.iter(|| py.execute(cq, &backend).unwrap()),
+        );
+    }
+    let w = pytond_workloads::all_workloads(1)
+        .into_iter()
+        .find(|w| w.name == "Hybrid Covar (NF)")
+        .unwrap();
+    let wpy = workload_instance(&w);
+    for threads in 1..=4usize {
+        let backend = Backend::duckdb_sim(threads);
+        let compiled = compile(&wpy, w.source, backend, OptLevel::O4);
+        group.bench_with_input(
+            BenchmarkId::new("hybrid_covar_pytond_duckdb", threads),
+            &compiled,
+            |b, cq| b.iter(|| wpy.execute(cq, &backend).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 9: covariance — NumPy vs dense vs sparse at two sparsity points.
+fn fig9_covariance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_covariance");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for (label, sparsity) in [("dense", 1.0f64), ("sparse_0.001", 0.001)] {
+        let m = cov::gen_matrix(20_000, 16, sparsity, 99);
+        group.bench_function(BenchmarkId::new("numpy", label), |b| {
+            b.iter(|| einsum("ij,ik->jk", &[&m, &m]).unwrap())
+        });
+        let mut py = Pytond::new();
+        py.register_table("m", cov::dense_relation(&m), &[&["__id"]]);
+        let backend = Backend::duckdb_sim(1);
+        let dense = compile(&py, cov::covariance_dense_source(), backend, OptLevel::O4);
+        group.bench_function(BenchmarkId::new("pytond_dense", label), |b| {
+            b.iter(|| py.execute(&dense, &backend).unwrap())
+        });
+        let mut pys = Pytond::new();
+        pys.register_table("m", cov::sparse_relation(&m), &[]);
+        let sparse = compile(&pys, cov::covariance_sparse_source(), backend, OptLevel::O4);
+        group.bench_function(BenchmarkId::new("pytond_sparse", label), |b| {
+            b.iter(|| pys.execute(&sparse, &backend).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Figure 10: optimization-level ablation on Q9.
+fn fig10_opt_breakdown(c: &mut Criterion) {
+    let data = pytond_tpch::generate(SF);
+    let py = tpch_instance(&data);
+    let q = pytond_tpch::query(9);
+    let mut group = c.benchmark_group("fig10_opt_breakdown");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    for level in OptLevel::all() {
+        let backend = Backend::duckdb_sim(1);
+        let compiled = compile(&py, q.source, backend, level);
+        group.bench_with_input(
+            BenchmarkId::new("q9_duckdb", level.name()),
+            &compiled,
+            |b, cq| b.iter(|| py.execute(cq, &backend).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig3_fig4_tpch,
+    fig5_fig6_workloads,
+    fig7_fig8_scalability,
+    fig9_covariance,
+    fig10_opt_breakdown
+);
+criterion_main!(figures);

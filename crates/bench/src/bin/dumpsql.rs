@@ -1,0 +1,17 @@
+//! Developer tool: prints the SQL PyTond generates for one TPC-H query
+//! (`cargo run -p pytond-bench --bin dumpsql -- <n>`).
+
+use pytond::{Dialect, Pytond};
+use pytond_tpch::{generate, query};
+
+fn main() {
+    let data = generate(0.001);
+    let mut py = Pytond::new();
+    for (name, rel, unique) in data.tables() {
+        let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
+        py.register_table(name, rel.clone(), &keys);
+    }
+    let id: usize = std::env::args().nth(1).unwrap().parse().unwrap();
+    let c = py.compile(query(id).source, Dialect::DuckDb).unwrap();
+    println!("{}", c.sql);
+}

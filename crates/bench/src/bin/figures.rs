@@ -1,0 +1,381 @@
+//! Regenerates every figure of the paper's evaluation (Section V) as printed
+//! tables: run times per workload and system, scalability speedups, the
+//! covariance sweeps, and the optimization break-down.
+//!
+//! ```text
+//! cargo run --release -p pytond-bench --bin figures            # all figures
+//! cargo run --release -p pytond-bench --bin figures -- fig3    # one figure
+//! cargo run --release -p pytond-bench --bin figures -- fig3 sf=0.01 reps=3
+//! ```
+
+use pytond::{Backend, OptLevel, Pytond};
+use pytond_bench::*;
+use pytond_common::Result;
+use pytond_ndarray::{einsum, Coo};
+use pytond_workloads::covariance as cov;
+
+struct Opts {
+    sf: f64,
+    scale: usize,
+    warmups: usize,
+    rounds: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figs: Vec<String> = Vec::new();
+    let mut opts = Opts {
+        sf: 0.01,
+        scale: 1,
+        warmups: 1,
+        rounds: 3,
+    };
+    for a in &args {
+        if let Some(v) = a.strip_prefix("sf=") {
+            opts.sf = v.parse().expect("sf=<float>");
+        } else if let Some(v) = a.strip_prefix("scale=") {
+            opts.scale = v.parse().expect("scale=<int>");
+        } else if let Some(v) = a.strip_prefix("reps=") {
+            opts.rounds = v.parse().expect("reps=<int>");
+        } else {
+            figs.push(a.clone());
+        }
+    }
+    if figs.is_empty() {
+        figs = (3..=10).map(|i| format!("fig{i}")).collect();
+    }
+    for f in &figs {
+        match f.as_str() {
+            "fig3" => fig_tpch(&opts, 1),
+            "fig4" => fig_tpch(&opts, 4),
+            "fig5" => fig_workloads(&opts, 1),
+            "fig6" => fig_workloads(&opts, 4),
+            "fig7" => fig_scalability_tpch(&opts),
+            "fig8" => fig_scalability_hybrid(&opts),
+            "fig9" => fig_covariance(&opts),
+            "fig10" => fig_opt_breakdown(&opts),
+            other => eprintln!("unknown figure '{other}' (expected fig3..fig10)"),
+        }
+    }
+}
+
+/// Figures 3/4: all TPC-H queries across the six systems.
+fn fig_tpch(opts: &Opts, threads: usize) {
+    println!(
+        "\n=== Figure {} — TPC-H run time (ms), {} thread(s), SF={} ===",
+        if threads == 1 { 3 } else { 4 },
+        threads,
+        opts.sf
+    );
+    let data = pytond_tpch::generate(opts.sf);
+    let py = tpch_instance(&data);
+    print!("{:>4}", "Q");
+    for s in System::all() {
+        print!("  {:>14}", s.label());
+    }
+    println!();
+    let mut speedups_duck = Vec::new();
+    let mut speedups_hyper = Vec::new();
+    for q in pytond_tpch::all_queries() {
+        print!("{:>4}", q.name);
+        let mut python_ms = None;
+        for s in System::all() {
+            let ms = measure_system(
+                s,
+                threads,
+                &py,
+                q.source,
+                &|| q.run_baseline(&data),
+                opts.warmups,
+                opts.rounds,
+            );
+            if s == System::Python {
+                python_ms = ms;
+            }
+            match (s, python_ms, ms) {
+                (System::PytondDuck, Some(p), Some(m)) if m > 0.0 => speedups_duck.push(p / m),
+                (System::PytondHyper, Some(p), Some(m)) if m > 0.0 => speedups_hyper.push(p / m),
+                _ => {}
+            }
+            print!("  {:>14}", fmt_ms(ms));
+        }
+        println!();
+    }
+    println!(
+        "geo-mean speedup vs Python: PyTond/DuckDB {:.1}x, PyTond/Hyper {:.1}x  \
+         (paper at SF1: 3.6x / 15x on 1T; 8x / 40x on 4T)",
+        geomean(&speedups_duck),
+        geomean(&speedups_hyper)
+    );
+}
+
+/// Figures 5/6: the eight data-science workloads.
+fn fig_workloads(opts: &Opts, threads: usize) {
+    println!(
+        "\n=== Figure {} — data-science workloads run time (ms), {} thread(s), scale={} ===",
+        if threads == 1 { 5 } else { 6 },
+        threads,
+        opts.scale
+    );
+    print!("{:>18}", "workload");
+    for s in System::all() {
+        print!("  {:>16}", s.label());
+    }
+    println!();
+    for w in pytond_workloads::all_workloads(opts.scale) {
+        let py = workload_instance(&w);
+        print!("{:>18}", w.name);
+        let mut python_ms = None;
+        for s in System::all() {
+            let ms = measure_system(
+                s,
+                threads,
+                &py,
+                w.source,
+                &|| (w.baseline)(&w.tables),
+                opts.warmups,
+                opts.rounds,
+            );
+            if s == System::Python {
+                python_ms = ms;
+            }
+            // The paper annotates bars with speedup over Python.
+            match (python_ms, ms) {
+                (Some(p), Some(m)) if s != System::Python && m > 0.0 => {
+                    print!("  {:>9} {:5.2}x", format!("{m:.2}"), p / m)
+                }
+                _ => print!("  {:>16}", fmt_ms(ms)),
+            }
+        }
+        println!();
+    }
+}
+
+/// Figure 7: TPC-H scalability (speedup over each system's own 1-thread run).
+fn fig_scalability_tpch(opts: &Opts) {
+    println!(
+        "\n=== Figure 7 — TPC-H scalability (speedup vs own 1T), SF={} ===",
+        opts.sf
+    );
+    let data = pytond_tpch::generate(opts.sf);
+    let py = tpch_instance(&data);
+    for id in [4usize, 6, 13, 22] {
+        let q = pytond_tpch::query(id);
+        println!("{}:", q.name);
+        println!(
+            "{:>16}  {:>6}  {:>6}  {:>6}  {:>6}",
+            "system", "1T", "2T", "3T", "4T"
+        );
+        for s in System::all() {
+            let base = measure_system(
+                s,
+                1,
+                &py,
+                q.source,
+                &|| q.run_baseline(&data),
+                opts.warmups,
+                opts.rounds,
+            );
+            print!("{:>16}", s.label());
+            for t in 1..=4usize {
+                let ms = measure_system(
+                    s,
+                    t,
+                    &py,
+                    q.source,
+                    &|| q.run_baseline(&data),
+                    opts.warmups,
+                    opts.rounds,
+                );
+                match (base, ms) {
+                    (Some(b), Some(m)) if m > 0.0 => print!("  {:>5.2}x", b / m),
+                    _ => print!("  {:>6}", "n/a"),
+                }
+            }
+            println!();
+        }
+    }
+}
+
+/// Figure 8: hybrid-workload scalability.
+fn fig_scalability_hybrid(opts: &Opts) {
+    println!(
+        "\n=== Figure 8 — hybrid workload scalability (speedup vs own 1T), scale={} ===",
+        opts.scale
+    );
+    for w in pytond_workloads::all_workloads(opts.scale) {
+        let py = workload_instance(&w);
+        println!("{}:", w.name);
+        println!(
+            "{:>16}  {:>6}  {:>6}  {:>6}  {:>6}",
+            "system", "1T", "2T", "3T", "4T"
+        );
+        for s in System::all() {
+            let base = measure_system(
+                s,
+                1,
+                &py,
+                w.source,
+                &|| (w.baseline)(&w.tables),
+                opts.warmups,
+                opts.rounds,
+            );
+            print!("{:>16}", s.label());
+            for t in 1..=4usize {
+                let ms = measure_system(
+                    s,
+                    t,
+                    &py,
+                    w.source,
+                    &|| (w.baseline)(&w.tables),
+                    opts.warmups,
+                    opts.rounds,
+                );
+                match (base, ms) {
+                    (Some(b), Some(m)) if m > 0.0 => print!("  {:>5.2}x", b / m),
+                    _ => print!("  {:>6}", "n/a"),
+                }
+            }
+            println!();
+        }
+    }
+}
+
+/// Figure 9: covariance micro-benchmark sweeps.
+fn fig_covariance(opts: &Opts) {
+    println!("\n=== Figure 9 — covariance matrix computation (ms) ===");
+    let fixed_rows = 100_000usize;
+    let fixed_cols = 16usize;
+    fn header() {
+        println!(
+            "{:>12}  {:>12}  {:>18}  {:>18}  {:>18}",
+            "point", "NumPy", "PyTond/Duck dense", "PyTond/Duck sparse", "PyTond/Hyper dense"
+        );
+    }
+    for threads in [1usize, 4] {
+        println!("\n-- {threads} thread(s) --");
+        println!("sweep: sparsity (rows={fixed_rows}, cols={fixed_cols})");
+        header();
+        for sparsity in [0.0001, 0.001, 0.01, 0.1, 1.0] {
+            let label = format!("s={sparsity}");
+            covariance_row(&label, fixed_rows, fixed_cols, sparsity, threads, opts);
+        }
+        println!("sweep: rows (cols={fixed_cols}, sparsity=1)");
+        header();
+        for rows in [10_000usize, 50_000, 100_000, 200_000] {
+            let label = format!("n={rows}");
+            covariance_row(&label, rows, fixed_cols, 1.0, threads, opts);
+        }
+        println!("sweep: columns (rows={fixed_rows}, sparsity=1)");
+        header();
+        for cols in [8usize, 16, 32] {
+            let label = format!("m={cols}");
+            covariance_row(&label, fixed_rows, cols, 1.0, threads, opts);
+        }
+    }
+}
+
+fn covariance_row(
+    label: &str,
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    threads: usize,
+    opts: &Opts,
+) {
+    let m = cov::gen_matrix(rows, cols, sparsity, 99);
+    // NumPy baseline: dense einsum; highly sparse inputs use the COO kernel
+    // (as scipy.sparse would).
+    let numpy = if sparsity < 0.05 {
+        let coo = Coo::from_dense(&m).expect("matrix");
+        time_ms(opts.warmups, opts.rounds, || {
+            coo.covariance();
+            Ok::<_, pytond_common::Error>(())
+        })
+    } else {
+        time_ms(opts.warmups, opts.rounds, || {
+            einsum("ij,ik->jk", &[&m, &m]).map(|_| ())
+        })
+    };
+    let mut py_dense = Pytond::new();
+    py_dense.register_table("m", cov::dense_relation(&m), &[&["__id"]]);
+    let duck_dense = compiled_time(
+        &py_dense,
+        cov::covariance_dense_source(),
+        Backend::duckdb_sim(threads),
+        opts,
+    );
+    let hyper_dense = compiled_time(
+        &py_dense,
+        cov::covariance_dense_source(),
+        Backend::hyper_sim(threads),
+        opts,
+    );
+    let mut py_sparse = Pytond::new();
+    py_sparse.register_table("m", cov::sparse_relation(&m), &[]);
+    let duck_sparse = compiled_time(
+        &py_sparse,
+        cov::covariance_sparse_source(),
+        Backend::duckdb_sim(threads),
+        opts,
+    );
+    println!(
+        "{:>12}  {:>12}  {:>18}  {:>18}  {:>18}",
+        label,
+        fmt_ms(numpy),
+        fmt_ms(duck_dense),
+        fmt_ms(duck_sparse),
+        fmt_ms(hyper_dense)
+    );
+}
+
+fn compiled_time(py: &Pytond, source: &str, backend: Backend, opts: &Opts) -> Option<f64> {
+    let compiled = py
+        .compile_at(source, backend.dialect(), OptLevel::O4)
+        .ok()?;
+    time_ms(opts.warmups, opts.rounds, || {
+        py.execute(&compiled, &backend).map(|_| ())
+    })
+}
+
+/// Figure 10: cumulative optimization break-down (O0..O4 × Duck/Hyper).
+fn fig_opt_breakdown(opts: &Opts) {
+    println!(
+        "\n=== Figure 10 — optimization break-down (ms), SF={}, scale={} ===",
+        opts.sf, opts.scale
+    );
+    let data = pytond_tpch::generate(opts.sf);
+    let tpch = tpch_instance(&data);
+
+    let run_levels = |py: &Pytond, source: &str, label: &str| {
+        for backend in [Backend::duckdb_sim(1), Backend::hyper_sim(1)] {
+            print!("{label:>18} {:>12}", backend.name());
+            for level in OptLevel::all() {
+                let ms = py
+                    .compile_at(source, backend.dialect(), level)
+                    .ok()
+                    .and_then(|c| {
+                        time_ms(opts.warmups, opts.rounds, || {
+                            py.execute(&c, &backend).map(|_| ())
+                        })
+                    });
+                print!("  {}={}", level.name(), fmt_ms(ms).trim_start());
+            }
+            println!();
+        }
+    };
+
+    run_levels(&tpch, pytond_tpch::query(9).source, "Q9");
+    run_levels(&tpch, pytond_tpch::query(15).source, "Q15");
+    for w in pytond_workloads::all_workloads(opts.scale) {
+        if w.name == "Crime Index" || w.name == "Hybrid Covar (F)" {
+            let py = workload_instance(&w);
+            run_levels(&py, w.source, w.name);
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn unused_result_guard() -> Result<()> {
+    Ok(())
+}

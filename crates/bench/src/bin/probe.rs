@@ -1,0 +1,31 @@
+//! Developer tool: runs every TPC-H query end to end (compiled path and
+//! interpreted baseline) and prints per-query timings — the quickest way to
+//! localize a translation or engine regression.
+
+use pytond::{Backend, Pytond};
+use pytond_tpch::{all_queries, generate};
+
+fn main() {
+    let data = generate(0.001);
+    let mut py = Pytond::new();
+    for (name, rel, unique) in data.tables() {
+        let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
+        py.register_table(name, rel.clone(), &keys);
+    }
+    let backend = Backend::duckdb_sim(1);
+    let filter: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    for q in all_queries() {
+        if !filter.is_empty() && !filter.contains(&q.id) { continue; }
+        eprint!("{} ... ", q.name);
+        let t = std::time::Instant::now();
+        match py.run(q.source, &backend) {
+            Ok(rel) => eprintln!("ok {} rows in {:?}", rel.num_rows(), t.elapsed()),
+            Err(e) => eprintln!("ERR {e}"),
+        }
+        let t2 = std::time::Instant::now();
+        match q.run_baseline(&data) {
+            Ok(rel) => eprintln!("   baseline ok {} rows in {:?}", rel.num_rows(), t2.elapsed()),
+            Err(e) => eprintln!("   baseline ERR {e}"),
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! Typed columnar storage with optional validity (null) masks.
+//!
+//! A [`Column`] is the unit of data everywhere in the reproduction: tables in
+//! the SQL engine, series in the DataFrame baseline, and result sets. Storage
+//! is a plain `Vec` per type plus an optional `Vec<bool>` validity mask
+//! (`None` = all rows valid), which keeps the common null-free path
+//! branch-light.
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+use std::fmt;
+
+/// Static column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Str,
+    /// Days since 1970-01-01.
+    Date,
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::Int => "int",
+            DType::Float => "float",
+            DType::Bool => "bool",
+            DType::Str => "str",
+            DType::Date => "date",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl DType {
+    /// `true` for types that participate in arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DType::Int | DType::Float)
+    }
+}
+
+/// A typed column of values with an optional validity mask.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Integers. Second field: validity, `None` = all valid.
+    Int(Vec<i64>, Option<Vec<bool>>),
+    /// Floats.
+    Float(Vec<f64>, Option<Vec<bool>>),
+    /// Booleans.
+    Bool(Vec<bool>, Option<Vec<bool>>),
+    /// Strings.
+    Str(Vec<String>, Option<Vec<bool>>),
+    /// Dates (days since epoch).
+    Date(Vec<i32>, Option<Vec<bool>>),
+}
+
+macro_rules! per_variant {
+    ($self:expr, $data:ident, $valid:ident => $body:expr) => {
+        match $self {
+            Column::Int($data, $valid) => $body,
+            Column::Float($data, $valid) => $body,
+            Column::Bool($data, $valid) => $body,
+            Column::Str($data, $valid) => $body,
+            Column::Date($data, $valid) => $body,
+        }
+    };
+}
+
+impl Column {
+    /// Creates an empty column of type `dtype`.
+    pub fn new(dtype: DType) -> Column {
+        Column::with_capacity(dtype, 0)
+    }
+
+    /// Creates an empty column of type `dtype` with reserved capacity.
+    pub fn with_capacity(dtype: DType, cap: usize) -> Column {
+        match dtype {
+            DType::Int => Column::Int(Vec::with_capacity(cap), None),
+            DType::Float => Column::Float(Vec::with_capacity(cap), None),
+            DType::Bool => Column::Bool(Vec::with_capacity(cap), None),
+            DType::Str => Column::Str(Vec::with_capacity(cap), None),
+            DType::Date => Column::Date(Vec::with_capacity(cap), None),
+        }
+    }
+
+    /// Builds a column from scalar values; the dtype is taken from the first
+    /// non-null value (default `Float` when all values are null).
+    pub fn from_values(values: &[Value]) -> Result<Column> {
+        let dtype = values
+            .iter()
+            .find_map(|v| v.dtype())
+            .unwrap_or(DType::Float);
+        let mut col = Column::with_capacity(dtype, values.len());
+        for v in values {
+            col.push(v.clone())?;
+        }
+        Ok(col)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        per_variant!(self, data, _valid => data.len())
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's static type.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Column::Int(..) => DType::Int,
+            Column::Float(..) => DType::Float,
+            Column::Bool(..) => DType::Bool,
+            Column::Str(..) => DType::Str,
+            Column::Date(..) => DType::Date,
+        }
+    }
+
+    /// `true` when row `i` holds a valid (non-null) value.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        per_variant!(self, _data, valid => valid.as_ref().map_or(true, |v| v[i]))
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        per_variant!(self, _data, valid => valid
+            .as_ref()
+            .map_or(0, |v| v.iter().filter(|&&b| !b).count()))
+    }
+
+    /// Reads row `i` as a scalar [`Value`].
+    pub fn get(&self, i: usize) -> Value {
+        if !self.is_valid(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int(d, _) => Value::Int(d[i]),
+            Column::Float(d, _) => Value::Float(d[i]),
+            Column::Bool(d, _) => Value::Bool(d[i]),
+            Column::Str(d, _) => Value::Str(d[i].clone()),
+            Column::Date(d, _) => Value::Date(d[i]),
+        }
+    }
+
+    /// Appends a scalar. `Null` appends a placeholder and marks the row
+    /// invalid. Ints widen to float columns; strings parse into date columns.
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        if v.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        match (&mut *self, v) {
+            (Column::Int(d, val), Value::Int(x)) => push_valid(d, val, x),
+            (Column::Float(d, val), Value::Float(x)) => push_valid(d, val, x),
+            (Column::Float(d, val), Value::Int(x)) => push_valid(d, val, x as f64),
+            (Column::Bool(d, val), Value::Bool(x)) => push_valid(d, val, x),
+            (Column::Str(d, val), Value::Str(x)) => push_valid(d, val, x),
+            (Column::Date(d, val), Value::Date(x)) => push_valid(d, val, x),
+            (Column::Date(d, val), Value::Str(x)) => {
+                let parsed = crate::date::parse(&x)
+                    .ok_or_else(|| Error::Data(format!("cannot parse '{x}' as date")))?;
+                push_valid(d, val, parsed)
+            }
+            (col, v) => Err(Error::Data(format!(
+                "type mismatch: cannot push {:?} into {} column",
+                v,
+                col.dtype()
+            ))),
+        }
+    }
+
+    /// Appends a null row.
+    pub fn push_null(&mut self) {
+        per_variant!(self, data, valid => {
+            let n = data.len();
+            data.push(Default::default());
+            match valid {
+                Some(v) => v.push(false),
+                None => {
+                    let mut v = vec![true; n];
+                    v.push(false);
+                    *valid = Some(v);
+                }
+            }
+        })
+    }
+
+    /// Returns a new column with the rows at `indices`, in order.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        fn g<T: Clone + Default>(
+            data: &[T],
+            valid: &Option<Vec<bool>>,
+            idx: &[usize],
+        ) -> (Vec<T>, Option<Vec<bool>>) {
+            let out: Vec<T> = idx.iter().map(|&i| data[i].clone()).collect();
+            let v = valid
+                .as_ref()
+                .map(|v| idx.iter().map(|&i| v[i]).collect());
+            (out, v)
+        }
+        match self {
+            Column::Int(d, v) => {
+                let (d, v) = g(d, v, indices);
+                Column::Int(d, v)
+            }
+            Column::Float(d, v) => {
+                let (d, v) = g(d, v, indices);
+                Column::Float(d, v)
+            }
+            Column::Bool(d, v) => {
+                let (d, v) = g(d, v, indices);
+                Column::Bool(d, v)
+            }
+            Column::Str(d, v) => {
+                let (d, v) = g(d, v, indices);
+                Column::Str(d, v)
+            }
+            Column::Date(d, v) => {
+                let (d, v) = g(d, v, indices);
+                Column::Date(d, v)
+            }
+        }
+    }
+
+    /// Like [`Column::gather`], but `None` indices produce null rows — used by
+    /// outer joins for non-matching sides.
+    pub fn gather_opt(&self, indices: &[Option<usize>]) -> Column {
+        let mut out = Column::with_capacity(self.dtype(), indices.len());
+        for ix in indices {
+            match ix {
+                Some(i) => {
+                    // push cannot fail: the value comes from this column.
+                    out.push(self.get(*i)).expect("same dtype");
+                }
+                None => out.push_null(),
+            }
+        }
+        out
+    }
+
+    /// Keeps the rows where `mask` is `true`.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        debug_assert_eq!(mask.len(), self.len());
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        self.gather(&indices)
+    }
+
+    /// Returns rows `[start, end)` as a new column.
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        let indices: Vec<usize> = (start..end.min(self.len())).collect();
+        self.gather(&indices)
+    }
+
+    /// Appends all rows of `other`; types must match.
+    pub fn append(&mut self, other: &Column) -> Result<()> {
+        if self.dtype() != other.dtype() {
+            return Err(Error::Data(format!(
+                "cannot append {} column to {} column",
+                other.dtype(),
+                self.dtype()
+            )));
+        }
+        for i in 0..other.len() {
+            self.push(other.get(i))?;
+        }
+        Ok(())
+    }
+
+    /// Casts to `target`, converting row by row (int↔float, anything→str,
+    /// str→date, int→bool non-zero).
+    pub fn cast(&self, target: DType) -> Result<Column> {
+        if self.dtype() == target {
+            return Ok(self.clone());
+        }
+        let mut out = Column::with_capacity(target, self.len());
+        for i in 0..self.len() {
+            let v = self.get(i);
+            let conv = match (&v, target) {
+                (Value::Null, _) => Value::Null,
+                (Value::Int(x), DType::Float) => Value::Float(*x as f64),
+                (Value::Float(x), DType::Int) => Value::Int(*x as i64),
+                (Value::Bool(b), DType::Int) => Value::Int(i64::from(*b)),
+                (Value::Int(x), DType::Bool) => Value::Bool(*x != 0),
+                (Value::Str(s), DType::Date) => Value::Date(
+                    crate::date::parse(s)
+                        .ok_or_else(|| Error::Data(format!("cannot cast '{s}' to date")))?,
+                ),
+                (Value::Date(d), DType::Int) => Value::Int(i64::from(*d)),
+                (Value::Int(x), DType::Date) => Value::Date(*x as i32),
+                (v, DType::Str) => Value::Str(v.to_string()),
+                (v, t) => {
+                    return Err(Error::Data(format!("cannot cast {v:?} to {t}")));
+                }
+            };
+            out.push(conv)?;
+        }
+        Ok(out)
+    }
+
+    /// Iterates scalar values (clones strings; fine for tests/small paths).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Direct access to integer data (panics on wrong type) — fast paths.
+    pub fn as_int(&self) -> &[i64] {
+        match self {
+            Column::Int(d, _) => d,
+            _ => panic!("not an int column"),
+        }
+    }
+
+    /// Direct access to float data (panics on wrong type).
+    pub fn as_float(&self) -> &[f64] {
+        match self {
+            Column::Float(d, _) => d,
+            _ => panic!("not a float column"),
+        }
+    }
+
+    /// Direct access to bool data (panics on wrong type).
+    pub fn as_bool(&self) -> &[bool] {
+        match self {
+            Column::Bool(d, _) => d,
+            _ => panic!("not a bool column"),
+        }
+    }
+
+    /// Direct access to string data (panics on wrong type).
+    pub fn as_str_col(&self) -> &[String] {
+        match self {
+            Column::Str(d, _) => d,
+            _ => panic!("not a str column"),
+        }
+    }
+
+    /// Direct access to date data (panics on wrong type).
+    pub fn as_date(&self) -> &[i32] {
+        match self {
+            Column::Date(d, _) => d,
+            _ => panic!("not a date column"),
+        }
+    }
+
+    /// The validity mask if any row is null.
+    pub fn validity(&self) -> Option<&[bool]> {
+        per_variant!(self, _data, valid => valid.as_deref())
+    }
+
+    /// Convenience constructor from `i64` data.
+    pub fn from_i64(data: Vec<i64>) -> Column {
+        Column::Int(data, None)
+    }
+
+    /// Convenience constructor from `f64` data.
+    pub fn from_f64(data: Vec<f64>) -> Column {
+        Column::Float(data, None)
+    }
+
+    /// Convenience constructor from bool data.
+    pub fn from_bool(data: Vec<bool>) -> Column {
+        Column::Bool(data, None)
+    }
+
+    /// Convenience constructor from string data.
+    pub fn from_str_vec(data: Vec<String>) -> Column {
+        Column::Str(data, None)
+    }
+
+    /// Convenience constructor from `&str` slices.
+    pub fn from_strs(data: &[&str]) -> Column {
+        Column::Str(data.iter().map(|s| s.to_string()).collect(), None)
+    }
+
+    /// Convenience constructor from day numbers.
+    pub fn from_dates(data: Vec<i32>) -> Column {
+        Column::Date(data, None)
+    }
+}
+
+#[inline]
+fn push_valid<T>(data: &mut Vec<T>, valid: &mut Option<Vec<bool>>, x: T) -> Result<()> {
+    data.push(x);
+    if let Some(v) = valid {
+        v.push(true);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let mut c = Column::new(DType::Int);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Null).unwrap();
+        c.push(Value::Int(3)).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert_eq!(c.get(2), Value::Int(3));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut c = Column::new(DType::Float);
+        c.push(Value::Int(2)).unwrap();
+        c.push(Value::Float(0.5)).unwrap();
+        assert_eq!(c.get(0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let mut c = Column::new(DType::Int);
+        assert!(c.push(Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn gather_and_filter() {
+        let c = Column::from_i64(vec![10, 20, 30, 40]);
+        let g = c.gather(&[3, 0]);
+        assert_eq!(g.get(0), Value::Int(40));
+        assert_eq!(g.get(1), Value::Int(10));
+        let f = c.filter(&[true, false, true, false]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get(1), Value::Int(30));
+    }
+
+    #[test]
+    fn gather_preserves_validity() {
+        let mut c = Column::new(DType::Float);
+        c.push(Value::Float(1.0)).unwrap();
+        c.push_null();
+        c.push(Value::Float(3.0)).unwrap();
+        let g = c.gather(&[1, 2]);
+        assert_eq!(g.get(0), Value::Null);
+        assert_eq!(g.get(1), Value::Float(3.0));
+    }
+
+    #[test]
+    fn gather_opt_produces_nulls() {
+        let c = Column::from_strs(&["a", "b"]);
+        let g = c.gather_opt(&[Some(1), None, Some(0)]);
+        assert_eq!(g.get(0), Value::Str("b".into()));
+        assert_eq!(g.get(1), Value::Null);
+        assert_eq!(g.get(2), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn cast_paths() {
+        let c = Column::from_i64(vec![1, 2]);
+        assert_eq!(c.cast(DType::Float).unwrap().as_float(), &[1.0, 2.0]);
+        let s = Column::from_strs(&["1994-01-01"]);
+        let d = s.cast(DType::Date).unwrap();
+        assert_eq!(d.get(0), Value::Date(crate::date::parse("1994-01-01").unwrap()));
+        assert_eq!(c.cast(DType::Str).unwrap().get(0), Value::Str("1".into()));
+    }
+
+    #[test]
+    fn append_checks_types() {
+        let mut a = Column::from_i64(vec![1]);
+        let b = Column::from_i64(vec![2]);
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.append(&Column::from_f64(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn from_values_infers_dtype() {
+        let c = Column::from_values(&[Value::Null, Value::Str("x".into())]).unwrap();
+        assert_eq!(c.dtype(), DType::Str);
+        assert_eq!(c.get(0), Value::Null);
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let c = Column::from_i64(vec![1, 2, 3]);
+        let s = c.slice(1, 10);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), Value::Int(2));
+    }
+}

@@ -1,0 +1,191 @@
+//! Proleptic-Gregorian calendar arithmetic on `i32` day numbers.
+//!
+//! Dates are stored engine-wide as the number of days since the Unix epoch
+//! (1970-01-01 = day 0). This module provides the conversions the TPC-H
+//! workloads and the SQL `EXTRACT`/date-literal machinery need, with no
+//! external dependency.
+
+/// Returns `true` when `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in `month` (1-12) of `year`.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Converts a civil date to days since 1970-01-01.
+///
+/// Uses Howard Hinnant's `days_from_civil` algorithm, valid over the whole
+/// `i32` year range we care about.
+pub fn from_ymd(year: i32, month: u32, day: u32) -> i32 {
+    debug_assert!((1..=12).contains(&month), "invalid month {month}");
+    debug_assert!(day >= 1 && day <= days_in_month(year, month), "invalid day {day}");
+    let y = i64::from(year) - i64::from(month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (i64::from(month) + 9) % 12; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + i64::from(day) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146_097 + doe - 719_468) as i32
+}
+
+/// Converts days since 1970-01-01 back to a `(year, month, day)` triple.
+pub fn to_ymd(days: i32) -> (i32, u32, u32) {
+    let z = i64::from(days) + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+/// Parses a `YYYY-MM-DD` string into a day number.
+pub fn parse(s: &str) -> Option<i32> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let year: i32 = s[0..4].parse().ok()?;
+    let month: u32 = s[5..7].parse().ok()?;
+    let day: u32 = s[8..10].parse().ok()?;
+    if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
+        return None;
+    }
+    Some(from_ymd(year, month, day))
+}
+
+/// Formats a day number as `YYYY-MM-DD`.
+pub fn format(days: i32) -> String {
+    let (y, m, d) = to_ymd(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Extracts the year component.
+pub fn year(days: i32) -> i32 {
+    to_ymd(days).0
+}
+
+/// Extracts the month component (1-12).
+pub fn month(days: i32) -> u32 {
+    to_ymd(days).1
+}
+
+/// Extracts the day-of-month component (1-31).
+pub fn day(days: i32) -> u32 {
+    to_ymd(days).2
+}
+
+/// Adds a number of calendar months, clamping the day-of-month
+/// (e.g. Jan 31 + 1 month = Feb 28/29) — the SQL `INTERVAL 'n' MONTH` rule.
+pub fn add_months(days: i32, months: i32) -> i32 {
+    let (y, m, d) = to_ymd(days);
+    let total = i64::from(y) * 12 + i64::from(m) - 1 + i64::from(months);
+    let ny = (total.div_euclid(12)) as i32;
+    let nm = (total.rem_euclid(12)) as u32 + 1;
+    let nd = d.min(days_in_month(ny, nm));
+    from_ymd(ny, nm, nd)
+}
+
+/// Adds a number of calendar years with the same day-clamping rule.
+pub fn add_years(days: i32, years: i32) -> i32 {
+    add_months(days, years * 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(from_ymd(1970, 1, 1), 0);
+        assert_eq!(to_ymd(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn round_trip_over_a_wide_range() {
+        // Every 13th day over ~120 years keeps the test fast while crossing
+        // every month/leap boundary many times.
+        let start = from_ymd(1930, 1, 1);
+        let end = from_ymd(2050, 12, 31);
+        let mut d = start;
+        while d <= end {
+            let (y, m, dd) = to_ymd(d);
+            assert_eq!(from_ymd(y, m, dd), d);
+            d += 13;
+        }
+    }
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        for s in ["1992-01-01", "1998-12-01", "2000-02-29", "1995-03-15"] {
+            let d = parse(s).unwrap();
+            assert_eq!(format(d), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert_eq!(parse("1992/01/01"), None);
+        assert_eq!(parse("1992-13-01"), None);
+        assert_eq!(parse("1992-02-30"), None);
+        assert_eq!(parse("92-02-03"), None);
+        assert_eq!(parse("1900-02-29"), None); // 1900 is not a leap year
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1997));
+    }
+
+    #[test]
+    fn known_tpch_dates_are_ordered() {
+        let d1 = parse("1994-01-01").unwrap();
+        let d2 = parse("1995-01-01").unwrap();
+        assert_eq!(d2 - d1, 365);
+    }
+
+    #[test]
+    fn add_months_clamps_day() {
+        let jan31 = from_ymd(1999, 1, 31);
+        assert_eq!(to_ymd(add_months(jan31, 1)), (1999, 2, 28));
+        assert_eq!(to_ymd(add_months(jan31, 13)), (2000, 2, 29));
+        let mar15 = from_ymd(1995, 3, 15);
+        assert_eq!(to_ymd(add_months(mar15, 3)), (1995, 6, 15));
+        assert_eq!(to_ymd(add_months(mar15, -3)), (1994, 12, 15));
+    }
+
+    #[test]
+    fn add_years_matches_twelve_months() {
+        let d = from_ymd(1994, 1, 1);
+        assert_eq!(add_years(d, 1), add_months(d, 12));
+        assert_eq!(to_ymd(add_years(d, 1)), (1995, 1, 1));
+    }
+
+    #[test]
+    fn extract_components() {
+        let d = parse("1998-09-02").unwrap();
+        assert_eq!(year(d), 1998);
+        assert_eq!(month(d), 9);
+        assert_eq!(day(d), 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Unified error type shared by all PyTond crates.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The single error type of the PyTond pipeline.
+///
+/// Each variant names the pipeline stage that produced it so end-to-end
+/// failures stay diagnosable after crossing crate boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Python-subset lexer/parser failure (`pytond-pyparse`).
+    Parse(String),
+    /// AST-to-TondIR translation failure (`pytond-translate`).
+    Translate(String),
+    /// Type-inference failure during translation.
+    Type(String),
+    /// IR optimization pass failure (`pytond-optimizer`).
+    Optimize(String),
+    /// SQL code-generation failure (`pytond-sqlgen`).
+    CodeGen(String),
+    /// SQL front-end failure inside the engine substrate (`pytond-sqldb`).
+    Sql(String),
+    /// Plan-time failure inside the engine substrate.
+    Plan(String),
+    /// Run-time failure inside the engine substrate.
+    Exec(String),
+    /// Unknown table/column or catalog inconsistency.
+    Catalog(String),
+    /// DataFrame/tensor baseline failure (`pytond-frame`, `pytond-ndarray`).
+    Data(String),
+    /// A feature deliberately unsupported by the selected backend profile
+    /// (e.g. window functions on the LingoDB-like profile).
+    Unsupported(String),
+}
+
+impl Error {
+    /// The stage label used in the rendered message.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Translate(_) => "translate",
+            Error::Type(_) => "type",
+            Error::Optimize(_) => "optimize",
+            Error::CodeGen(_) => "codegen",
+            Error::Sql(_) => "sql",
+            Error::Plan(_) => "plan",
+            Error::Exec(_) => "exec",
+            Error::Catalog(_) => "catalog",
+            Error::Data(_) => "data",
+            Error::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// The human-readable message without the stage prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Parse(m)
+            | Error::Translate(m)
+            | Error::Type(m)
+            | Error::Optimize(m)
+            | Error::CodeGen(m)
+            | Error::Sql(m)
+            | Error::Plan(m)
+            | Error::Exec(m)
+            | Error::Catalog(m)
+            | Error::Data(m)
+            | Error::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.stage(), self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_stage_and_message() {
+        let e = Error::Sql("unexpected token".into());
+        assert_eq!(e.to_string(), "sql error: unexpected token");
+        assert_eq!(e.stage(), "sql");
+        assert_eq!(e.message(), "unexpected token");
+    }
+
+    #[test]
+    fn all_variants_have_distinct_stages() {
+        let variants = [
+            Error::Parse(String::new()),
+            Error::Translate(String::new()),
+            Error::Type(String::new()),
+            Error::Optimize(String::new()),
+            Error::CodeGen(String::new()),
+            Error::Sql(String::new()),
+            Error::Plan(String::new()),
+            Error::Exec(String::new()),
+            Error::Catalog(String::new()),
+            Error::Data(String::new()),
+            Error::Unsupported(String::new()),
+        ];
+        let mut stages: Vec<&str> = variants.iter().map(|v| v.stage()).collect();
+        stages.sort_unstable();
+        stages.dedup();
+        assert_eq!(stages.len(), variants.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! Fast non-cryptographic hashing for join/group keys.
+//!
+//! The engine's hash joins and aggregations are dominated by hashing short
+//! integer/string keys, where the std `SipHash` is needlessly slow. This is
+//! the well-known `FxHash` multiply-xor scheme (as used by rustc), implemented
+//! locally to keep the dependency set minimal.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (FxHash). Not DoS-resistant; keys are internal.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Encodes one scalar into `buf` as a self-delimiting byte string so composite
+/// keys can be compared byte-wise. Integers that compare equal to floats do
+/// **not** encode equal — callers normalize numeric key columns first.
+pub fn encode_value(buf: &mut Vec<u8>, v: &crate::value::Value) {
+    use crate::value::Value;
+    match v {
+        Value::Null => buf.push(0),
+        Value::Int(i) => {
+            buf.push(1);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(2);
+            // Normalize -0.0 and NaN payloads so equal floats encode equal.
+            let canonical = if *f == 0.0 {
+                0.0f64
+            } else if f.is_nan() {
+                f64::NAN
+            } else {
+                *f
+            };
+            buf.extend_from_slice(&canonical.to_bits().to_le_bytes());
+        }
+        Value::Bool(b) => buf.extend_from_slice(&[3, u8::from(*b)]),
+        Value::Str(s) => {
+            buf.push(4);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            buf.push(5);
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        FxBuildHasher::default().hash_one(t)
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+    }
+
+    #[test]
+    fn encode_distinguishes_types() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        encode_value(&mut a, &Value::Int(1));
+        encode_value(&mut b, &Value::Bool(true));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn encode_composite_keys_are_unambiguous() {
+        // ("ab", "c") must differ from ("a", "bc") thanks to length prefixes.
+        let mut k1 = Vec::new();
+        encode_value(&mut k1, &Value::Str("ab".into()));
+        encode_value(&mut k1, &Value::Str("c".into()));
+        let mut k2 = Vec::new();
+        encode_value(&mut k2, &Value::Str("a".into()));
+        encode_value(&mut k2, &Value::Str("bc".into()));
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn encode_normalizes_negative_zero() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        encode_value(&mut a, &Value::Float(0.0));
+        encode_value(&mut b, &Value::Float(-0.0));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,20 @@
+//! Shared foundation types for the PyTond reproduction.
+//!
+//! Every layer of the pipeline — the Pandas-like baseline (`pytond-frame`), the
+//! NumPy-like tensors (`pytond-ndarray`), the SQL engine substrate
+//! (`pytond-sqldb`) and the compiler crates — exchanges data through the types
+//! defined here: scalar [`Value`]s, typed columnar [`Column`]s, named-column
+//! [`Relation`]s, calendar [`date`] arithmetic and a fast non-cryptographic
+//! [`hash`] used for join/group keys.
+
+pub mod column;
+pub mod date;
+pub mod error;
+pub mod hash;
+pub mod relation;
+pub mod value;
+
+pub use column::{Column, DType};
+pub use error::{Error, Result};
+pub use relation::Relation;
+pub use value::Value;

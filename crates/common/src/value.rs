@@ -1,0 +1,226 @@
+//! Scalar values exchanged between the DataFrame baseline, the SQL engine and
+//! the test harness.
+
+use crate::column::DType;
+use crate::date;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically-typed scalar.
+///
+/// `Null` is the SQL NULL / Pandas `NaN`-as-missing. Comparison helpers follow
+/// SQL semantics where noted; [`Value::total_cmp`] provides the deterministic
+/// total order used for sorting (NULLs first, then by value; mirrors the
+/// engine's `ORDER BY` with `NULLS FIRST`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+    /// Calendar date, days since 1970-01-01.
+    Date(i32),
+}
+
+impl Value {
+    /// The static type of this value, `None` for `Null`.
+    pub fn dtype(&self) -> Option<DType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DType::Int),
+            Value::Float(_) => Some(DType::Float),
+            Value::Bool(_) => Some(DType::Bool),
+            Value::Str(_) => Some(DType::Str),
+            Value::Date(_) => Some(DType::Date),
+        }
+    }
+
+    /// `true` when the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view used by arithmetic: ints and dates widen to f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Date(d) => Some(f64::from(*d)),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view; floats are not silently truncated.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Date(d) => Some(i64::from(*d)),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison: `None` when either side is NULL or the
+    /// types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            (Date(a), Str(b)) => date::parse(b).map(|d| a.cmp(&d)),
+            (Str(a), Date(b)) => date::parse(a).map(|d| d.cmp(b)),
+            (Int(a), Date(b)) => Some(a.cmp(&i64::from(*b))),
+            (Date(a), Int(b)) => Some(i64::from(*a).cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Deterministic total order: NULL first, then numeric/bool/str/date by
+    /// value; mixed numeric types compare by f64. Used for result
+    /// canonicalization in tests and for ORDER BY.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Float(a), Float(b)) => a.total_cmp(b),
+            _ => self.sql_cmp(other).unwrap_or_else(|| {
+                // Fall back to ordering by type tag for heterogeneous columns.
+                self.type_rank().cmp(&other.type_rank())
+            }),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Date(_) => 4,
+            Value::Str(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{}", date::format(*d)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_cmp_null_propagates() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_mixed_numeric() {
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn sql_cmp_date_vs_string_literal() {
+        let d = Value::Date(date::parse("1994-06-01").unwrap());
+        assert_eq!(d.sql_cmp(&Value::Str("1994-01-01".into())), Some(Ordering::Greater));
+        assert_eq!(d.sql_cmp(&Value::Str("1995-01-01".into())), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn total_cmp_orders_null_first() {
+        let mut vals = vec![Value::Int(3), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(vals, vec![Value::Null, Value::Int(1), Value::Int(3)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Date(0).to_string(), "1970-01-01");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Bool(true).as_i64(), Some(1));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Float(1.0).as_i64(), None);
+    }
+}

@@ -1,0 +1,313 @@
+//! PyTond: compile Pandas/NumPy Python source to optimized SQL and execute
+//! it in-database.
+//!
+//! This crate wires the whole pipeline of the paper's Figure 1 together:
+//!
+//! ```text
+//! @pytond source ──pyparse──► AST ──translate──► TondIR ──optimizer──► TondIR
+//!                                                              │
+//!                                             sqlgen ◄─────────┘
+//!                                                │
+//!                                  SQL text ──sqldb──► Relation
+//! ```
+//!
+//! # Quick start
+//!
+//! ```
+//! use pytond::{Pytond, Backend};
+//! use pytond_common::{Column, Relation};
+//!
+//! let mut py = Pytond::new();
+//! py.register_table(
+//!     "sales",
+//!     Relation::new(vec![
+//!         ("region".into(), Column::from_strs(&["eu", "us", "eu"])),
+//!         ("amount".into(), Column::from_f64(vec![10.0, 20.0, 5.0])),
+//!     ])
+//!     .unwrap(),
+//!     &[],
+//! );
+//! let out = py
+//!     .run(
+//!         r#"
+//! @pytond
+//! def total_by_region(sales):
+//!     big = sales[sales.amount > 6.0]
+//!     return big.groupby(['region']).agg(total=('amount', 'sum'))
+//! "#,
+//!         &Backend::duckdb_sim(1),
+//!     )
+//!     .unwrap();
+//! assert_eq!(out.num_rows(), 2);
+//! ```
+
+pub use pytond_optimizer::OptLevel;
+pub use pytond_sqldb::{Database, EngineConfig, Profile};
+pub use pytond_sqlgen::Dialect;
+
+use pytond_common::{Relation, Result};
+use pytond_tondir::{Catalog, Program, TableSchema};
+
+/// A named backend: engine profile + thread count (the paper's
+/// DuckDB/Hyper/LingoDB × 1–4 threads matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backend {
+    /// Engine profile.
+    pub profile: Profile,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Backend {
+    /// DuckDB-like vectorized profile.
+    pub fn duckdb_sim(threads: usize) -> Backend {
+        Backend {
+            profile: Profile::Vectorized,
+            threads,
+        }
+    }
+
+    /// Hyper-like fused profile.
+    pub fn hyper_sim(threads: usize) -> Backend {
+        Backend {
+            profile: Profile::Fused,
+            threads,
+        }
+    }
+
+    /// LingoDB-like restricted profile.
+    pub fn lingodb_sim(threads: usize) -> Backend {
+        Backend {
+            profile: Profile::Lingo,
+            threads,
+        }
+    }
+
+    /// The SQL dialect this backend's paper counterpart expects.
+    pub fn dialect(&self) -> Dialect {
+        match self.profile {
+            Profile::Vectorized => Dialect::DuckDb,
+            Profile::Fused => Dialect::Hyper,
+            Profile::Lingo => Dialect::LingoDb,
+        }
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> EngineConfig {
+        EngineConfig::new(self.profile, self.threads)
+    }
+
+    /// Display name (e.g. `duckdb-sim/4t`).
+    pub fn name(&self) -> String {
+        format!("{}/{}t", self.profile.name(), self.threads)
+    }
+}
+
+/// The result of compiling a `@pytond` function.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// TondIR straight out of translation (the "Grizzly-simulated" program).
+    pub raw_ir: Program,
+    /// TondIR after optimization.
+    pub optimized_ir: Program,
+    /// Generated SQL text.
+    pub sql: String,
+    /// The optimization level used.
+    pub level: OptLevel,
+    /// The dialect used.
+    pub dialect: Dialect,
+}
+
+impl Compiled {
+    /// Pretty-prints the optimized IR (paper notation).
+    pub fn ir_text(&self) -> String {
+        pytond_tondir::printer::print_program(&self.optimized_ir)
+    }
+}
+
+/// The PyTond compiler + embedded database.
+#[derive(Debug, Default)]
+pub struct Pytond {
+    db: Database,
+    catalog: Catalog,
+}
+
+impl Pytond {
+    /// An empty instance.
+    pub fn new() -> Pytond {
+        Pytond::default()
+    }
+
+    /// Registers a table, inferring its schema; `unique` lists single- or
+    /// multi-column unique keys (the catalog constraints of Section III-A).
+    pub fn register_table(&mut self, name: &str, rel: Relation, unique: &[&[&str]]) {
+        let mut schema = TableSchema::new(name, rel.schema());
+        for key in unique {
+            schema = schema.with_unique(key);
+        }
+        schema = schema.with_rows(rel.num_rows() as u64);
+        self.catalog.add(schema);
+        self.db.register(name, rel);
+    }
+
+    /// The catalog (schemas + constraints).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The embedded database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Compiles the first `@pytond` function at the default level (O4).
+    pub fn compile(&self, source: &str, dialect: Dialect) -> Result<Compiled> {
+        self.compile_at(source, dialect, OptLevel::O4)
+    }
+
+    /// Compiles at an explicit optimization level (Figure 10's ablation).
+    pub fn compile_at(
+        &self,
+        source: &str,
+        dialect: Dialect,
+        level: OptLevel,
+    ) -> Result<Compiled> {
+        let raw_ir = pytond_translate::translate_source(source, &self.catalog)?;
+        pytond_tondir::analysis::validate(&raw_ir, &self.catalog)?;
+        let optimized_ir = pytond_optimizer::optimize(raw_ir.clone(), &self.catalog, level);
+        pytond_tondir::analysis::validate(&optimized_ir, &self.catalog)?;
+        let sql = pytond_sqlgen::generate_sql(&optimized_ir, &self.catalog, dialect)?;
+        Ok(Compiled {
+            raw_ir,
+            optimized_ir,
+            sql,
+            level,
+            dialect,
+        })
+    }
+
+    /// Executes previously compiled SQL.
+    pub fn execute(&self, compiled: &Compiled, backend: &Backend) -> Result<Relation> {
+        self.db.execute_sql(&compiled.sql, &backend.config())
+    }
+
+    /// Compile + execute in one call.
+    pub fn run(&self, source: &str, backend: &Backend) -> Result<Relation> {
+        let compiled = self.compile(source, backend.dialect())?;
+        self.execute(&compiled, backend)
+    }
+
+    /// Compile at a level + execute (optimization ablations).
+    pub fn run_at(
+        &self,
+        source: &str,
+        backend: &Backend,
+        level: OptLevel,
+    ) -> Result<Relation> {
+        let compiled = self.compile_at(source, backend.dialect(), level)?;
+        self.execute(&compiled, backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytond_common::{Column, Value};
+
+    fn instance() -> Pytond {
+        let mut py = Pytond::new();
+        py.register_table(
+            "t",
+            Relation::new(vec![
+                ("k".into(), Column::from_strs(&["a", "b", "a", "c"])),
+                ("v".into(), Column::from_i64(vec![1, 2, 3, 4])),
+                ("w".into(), Column::from_f64(vec![0.5, 1.5, 2.5, 3.5])),
+            ])
+            .unwrap(),
+            &[],
+        );
+        py
+    }
+
+    #[test]
+    fn filter_project_end_to_end() {
+        let py = instance();
+        let out = py
+            .run(
+                "@pytond\ndef q(t):\n    big = t[t.v >= 2]\n    return big[['k', 'v']]\n",
+                &Backend::duckdb_sim(1),
+            )
+            .unwrap();
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.names(), vec!["k", "v"]);
+    }
+
+    #[test]
+    fn groupby_end_to_end_all_backends() {
+        let py = instance();
+        let src = "@pytond\ndef q(t):\n    g = t.groupby(['k']).agg(total=('v', 'sum'), n=('v', 'count'))\n    return g.sort_values(by=['total'], ascending=False)\n";
+        let reference = py.run(src, &Backend::duckdb_sim(1)).unwrap();
+        assert_eq!(reference.num_rows(), 3);
+        assert_eq!(reference.get(0, "total"), Some(Value::Int(4)));
+        for backend in [
+            Backend::hyper_sim(1),
+            Backend::lingodb_sim(1),
+            Backend::duckdb_sim(4),
+            Backend::hyper_sim(4),
+        ] {
+            let out = py.run(src, &backend).unwrap();
+            assert!(
+                reference.approx_eq(&out, 1e-9),
+                "{} diverged: {:?}",
+                backend.name(),
+                reference.diff(&out, 1e-9)
+            );
+        }
+    }
+
+    #[test]
+    fn optimization_levels_agree_semantically() {
+        let py = instance();
+        let src = "@pytond\ndef q(t):\n    big = t[t.v > 1]\n    p = big[['k', 'w']]\n    g = p.groupby(['k']).agg(s=('w', 'sum'))\n    return g.sort_values(by=['k'])\n";
+        let baseline = py
+            .run_at(src, &Backend::duckdb_sim(1), OptLevel::O0)
+            .unwrap();
+        for level in OptLevel::all() {
+            let out = py.run_at(src, &Backend::duckdb_sim(1), level).unwrap();
+            assert!(
+                baseline.approx_eq(&out, 1e-9),
+                "{} diverged: {:?}",
+                level.name(),
+                baseline.diff(&out, 1e-9)
+            );
+        }
+    }
+
+    #[test]
+    fn o4_produces_fewer_ctes_than_o0() {
+        let py = instance();
+        let src = "@pytond\ndef q(t):\n    a = t[t.v > 0]\n    b = a[['k', 'v']]\n    c = b[b.v < 100]\n    return c\n";
+        let o0 = py
+            .compile_at(src, Dialect::DuckDb, OptLevel::O0)
+            .unwrap();
+        let o4 = py
+            .compile_at(src, Dialect::DuckDb, OptLevel::O4)
+            .unwrap();
+        assert!(
+            o4.optimized_ir.rules.len() < o0.optimized_ir.rules.len(),
+            "O0={} O4={}",
+            o0.optimized_ir.rules.len(),
+            o4.optimized_ir.rules.len()
+        );
+    }
+
+    #[test]
+    fn compiled_sql_is_inspectable() {
+        let py = instance();
+        let c = py
+            .compile("@pytond\ndef q(t):\n    return t[t.v > 2]\n", Dialect::DuckDb)
+            .unwrap();
+        assert!(c.sql.starts_with("WITH"), "{}", c.sql);
+        assert!(c.ir_text().contains(":-"), "{}", c.ir_text());
+    }
+}

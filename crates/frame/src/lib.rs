@@ -1,0 +1,21 @@
+//! A Pandas-like DataFrame library — the "Python" baseline of the paper's
+//! evaluation.
+//!
+//! Faithful to the performance profile the paper attributes to Pandas:
+//! every operation **eagerly materializes** its result (no fusion), boolean
+//! filtering copies, joins and group-bys build full intermediate tables, and
+//! nothing is parallel ("Pandas library does not support parallelization",
+//! Section V-C). The API mirrors Table II of the paper: column selection,
+//! row filtering, `head`, `unique`, `sort_values`, `apply`, `aggregate`,
+//! `groupby`, `merge`, `isin`, and `pivot_table`.
+
+pub mod dataframe;
+pub mod groupby;
+pub mod join;
+pub mod pivot;
+pub mod series;
+
+pub use dataframe::DataFrame;
+pub use groupby::AggOp;
+pub use join::JoinHow;
+pub use series::Series;

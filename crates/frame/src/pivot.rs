@@ -1,0 +1,140 @@
+//! `df.pivot_table(index, columns, values, aggfunc)` — Section II-A of the
+//! paper, including the zero-fill for empty cells shown in its example.
+
+use crate::dataframe::DataFrame;
+use crate::groupby::AggOp;
+use crate::series::Series;
+use pytond_common::{Column, Error, Result, Value};
+
+/// Builds a pivot table: one row per distinct `index` value, one column per
+/// distinct `columns` value (in first-appearance order, then sorted for
+/// determinism), cells aggregated with `func`, empty cells filled with 0 for
+/// `Sum`/`Count` and null otherwise (matching `fill_value=0` in the paper's
+/// example).
+pub fn pivot_table(
+    df: &DataFrame,
+    index: &str,
+    columns: &str,
+    values: &str,
+    func: AggOp,
+) -> Result<DataFrame> {
+    let idx_col = df.col(index)?;
+    let col_col = df.col(columns)?;
+    let val_col = df.col(values)?;
+    let _ = val_col;
+
+    // Distinct column labels, sorted for a deterministic schema.
+    let mut labels: Vec<Value> = Vec::new();
+    for i in 0..col_col.len() {
+        let v = col_col.get(i);
+        if !labels.contains(&v) {
+            labels.push(v);
+        }
+    }
+    labels.sort_by(|a, b| a.total_cmp(b));
+
+    // Distinct index values, sorted (Pandas sorts the index).
+    let mut keys: Vec<Value> = Vec::new();
+    for i in 0..idx_col.len() {
+        let v = idx_col.get(i);
+        if !keys.contains(&v) {
+            keys.push(v);
+        }
+    }
+    keys.sort_by(|a, b| a.total_cmp(b));
+
+    // Accumulate cell members.
+    let mut cells: Vec<Vec<Vec<usize>>> = vec![vec![Vec::new(); labels.len()]; keys.len()];
+    for i in 0..df.num_rows() {
+        let k = idx_col.get(i);
+        let l = col_col.get(i);
+        let ki = keys.iter().position(|x| *x == k).expect("key present");
+        let li = labels.iter().position(|x| *x == l).expect("label present");
+        cells[ki][li].push(i);
+    }
+
+    let mut out = DataFrame::new();
+    out.insert(Series::new(index, Column::from_values(&keys)?))?;
+    let fill = match func {
+        AggOp::Sum | AggOp::Count | AggOp::NUnique => Value::Int(0),
+        _ => Value::Null,
+    };
+    let src = df.col(values)?;
+    for (li, label) in labels.iter().enumerate() {
+        let name = match label {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        };
+        let mut vals = Vec::with_capacity(keys.len());
+        for row in cells.iter() {
+            let members = &row[li];
+            if members.is_empty() {
+                vals.push(fill.clone());
+            } else {
+                let sub = Series::new("", src.col.gather(members));
+                vals.push(func.apply_series(&sub));
+            }
+        }
+        out.insert(Series::new(name, Column::from_values(&vals)?))
+            .map_err(|e| Error::Data(format!("pivot column clash: {}", e.message())))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact example from Section II-A of the paper.
+    #[test]
+    fn paper_example() {
+        let df = DataFrame::from_cols(vec![
+            ("a", Column::from_strs(&["x", "y", "y", "z", "y", "x", "z"])),
+            (
+                "b",
+                Column::from_strs(&["v1", "v3", "v1", "v2", "v3", "v2", "v2"]),
+            ),
+            ("c", Column::from_i64(vec![10, 30, 60, 20, 40, 60, 50])),
+        ])
+        .unwrap();
+        let p = pivot_table(&df, "a", "b", "c", AggOp::Sum).unwrap();
+        assert_eq!(p.columns(), vec!["a", "v1", "v2", "v3"]);
+        assert_eq!(p.col("a").unwrap().col.as_str_col(), &["x".to_string(), "y".into(), "z".into()]);
+        let get = |r: usize, c: &str| p.col(c).unwrap().get(r);
+        // x: v1=10 v2=60 v3=0 ; y: v1=60 v2=0 v3=70 ; z: v1=0 v2=70 v3=0
+        assert_eq!(get(0, "v1"), Value::Int(10));
+        assert_eq!(get(0, "v2"), Value::Int(60));
+        assert_eq!(get(0, "v3"), Value::Int(0));
+        assert_eq!(get(1, "v1"), Value::Int(60));
+        assert_eq!(get(1, "v2"), Value::Int(0));
+        assert_eq!(get(1, "v3"), Value::Int(70));
+        assert_eq!(get(2, "v1"), Value::Int(0));
+        assert_eq!(get(2, "v2"), Value::Int(70));
+        assert_eq!(get(2, "v3"), Value::Int(0));
+    }
+
+    #[test]
+    fn mean_fills_with_null() {
+        let df = DataFrame::from_cols(vec![
+            ("a", Column::from_strs(&["x", "y"])),
+            ("b", Column::from_strs(&["p", "q"])),
+            ("c", Column::from_i64(vec![4, 6])),
+        ])
+        .unwrap();
+        let p = pivot_table(&df, "a", "b", "c", AggOp::Mean).unwrap();
+        assert_eq!(p.col("q").unwrap().get(0), Value::Null);
+        assert_eq!(p.col("q").unwrap().get(1), Value::Float(6.0));
+    }
+
+    #[test]
+    fn numeric_labels_become_column_names() {
+        let df = DataFrame::from_cols(vec![
+            ("a", Column::from_i64(vec![1, 1])),
+            ("b", Column::from_i64(vec![7, 8])),
+            ("c", Column::from_i64(vec![5, 6])),
+        ])
+        .unwrap();
+        let p = pivot_table(&df, "a", "b", "c", AggOp::Sum).unwrap();
+        assert_eq!(p.columns(), vec!["a", "7", "8"]);
+    }
+}

@@ -1,0 +1,553 @@
+//! Einstein-summation over dense tensors.
+//!
+//! Supports any number of operands. N-ary expressions are reduced to a chain
+//! of pairwise contractions chosen greedily by intermediate size — the same
+//! strategy class as `opt_einsum`'s default path optimizer, which the paper
+//! uses to pre-process non-binary einsums (Section III-D). Binary
+//! contractions with pure batch/contract/left/right index structure take a
+//! fast batched-matmul path; everything else (diagonals, repeated indices)
+//! falls back to a general index-space walk.
+
+use crate::ndarray::NdArray;
+use pytond_common::{Error, Result};
+use std::collections::BTreeMap;
+
+/// A parsed einsum specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// Index letters of each input operand.
+    pub inputs: Vec<Vec<char>>,
+    /// Index letters of the output.
+    pub output: Vec<char>,
+}
+
+impl Spec {
+    /// Parses `"ij,jk->ik"`. Without `->`, the output follows NumPy's
+    /// implicit rule: letters appearing exactly once, alphabetically.
+    pub fn parse(spec: &str) -> Result<Spec> {
+        let spec: String = spec.chars().filter(|c| !c.is_whitespace()).collect();
+        let (ins, out) = match spec.split_once("->") {
+            Some((i, o)) => (i, Some(o)),
+            None => (spec.as_str(), None),
+        };
+        let inputs: Vec<Vec<char>> = ins.split(',').map(|s| s.chars().collect()).collect();
+        for inp in &inputs {
+            for &c in inp {
+                if !c.is_ascii_lowercase() {
+                    return Err(Error::Data(format!("invalid einsum index '{c}'")));
+                }
+            }
+        }
+        let output = match out {
+            Some(o) => o.chars().collect(),
+            None => {
+                let mut counts: BTreeMap<char, usize> = BTreeMap::new();
+                for inp in &inputs {
+                    for &c in inp {
+                        *counts.entry(c).or_insert(0) += 1;
+                    }
+                }
+                counts
+                    .into_iter()
+                    .filter_map(|(c, n)| (n == 1).then_some(c))
+                    .collect()
+            }
+        };
+        for &c in &output {
+            if !inputs.iter().any(|i| i.contains(&c)) {
+                return Err(Error::Data(format!(
+                    "output index '{c}' does not appear in any input"
+                )));
+            }
+        }
+        Ok(Spec { inputs, output })
+    }
+
+    /// Canonical string form.
+    pub fn to_string(&self) -> String {
+        let ins: Vec<String> = self.inputs.iter().map(|i| i.iter().collect()).collect();
+        format!("{}->{}", ins.join(","), self.output.iter().collect::<String>())
+    }
+}
+
+/// Evaluates an einsum over the given operands.
+pub fn einsum(spec: &str, operands: &[&NdArray]) -> Result<NdArray> {
+    let spec = Spec::parse(spec)?;
+    if spec.inputs.len() != operands.len() {
+        return Err(Error::Data(format!(
+            "spec has {} inputs, got {} operands",
+            spec.inputs.len(),
+            operands.len()
+        )));
+    }
+    let mut dims: BTreeMap<char, usize> = BTreeMap::new();
+    for (labels, op) in spec.inputs.iter().zip(operands) {
+        if labels.len() != op.ndim() {
+            return Err(Error::Data(format!(
+                "operand of order {} labelled with {} indices",
+                op.ndim(),
+                labels.len()
+            )));
+        }
+        for (&c, &d) in labels.iter().zip(op.shape()) {
+            match dims.get(&c) {
+                Some(&prev) if prev != d => {
+                    return Err(Error::Data(format!(
+                        "dimension mismatch for index '{c}': {prev} vs {d}"
+                    )));
+                }
+                _ => {
+                    dims.insert(c, d);
+                }
+            }
+        }
+    }
+    match operands.len() {
+        0 => Err(Error::Data("einsum needs at least one operand".into())),
+        1 => unary(&spec.inputs[0], &spec.output, operands[0], &dims),
+        2 => binary(
+            &spec.inputs[0],
+            &spec.inputs[1],
+            &spec.output,
+            operands[0],
+            operands[1],
+            &dims,
+        ),
+        _ => nary(spec, operands, &dims),
+    }
+}
+
+/// Greedy pairwise contraction for ≥3 operands (our `opt_einsum`).
+fn nary(spec: Spec, operands: &[&NdArray], dims: &BTreeMap<char, usize>) -> Result<NdArray> {
+    let mut labels: Vec<Vec<char>> = spec.inputs.clone();
+    let mut arrays: Vec<NdArray> = operands.iter().map(|&a| a.clone()).collect();
+    while arrays.len() > 2 {
+        // Pick the pair whose contraction output is smallest.
+        let mut best: Option<(usize, usize, Vec<char>, usize)> = None;
+        for i in 0..arrays.len() {
+            for j in (i + 1)..arrays.len() {
+                let out = pair_output(&labels, i, j, &spec.output);
+                let size: usize = out.iter().map(|c| dims[c]).product();
+                if best.as_ref().map_or(true, |(.., s)| size < *s) {
+                    best = Some((i, j, out, size));
+                }
+            }
+        }
+        let (i, j, out, _) = best.expect("≥3 arrays implies a pair");
+        let contracted = binary(&labels[i], &labels[j], &out, &arrays[i], &arrays[j], dims)?;
+        // Remove j first (j > i) to keep indices stable.
+        arrays.remove(j);
+        labels.remove(j);
+        arrays.remove(i);
+        labels.remove(i);
+        arrays.push(contracted);
+        labels.push(out);
+    }
+    binary(
+        &labels[0],
+        &labels[1],
+        &spec.output,
+        &arrays[0],
+        &arrays[1],
+        dims,
+    )
+}
+
+/// Output labels of contracting operands `i` and `j`: every index of the pair
+/// that is still needed by another operand or the final output.
+fn pair_output(labels: &[Vec<char>], i: usize, j: usize, final_out: &[char]) -> Vec<char> {
+    let mut out = Vec::new();
+    for (k, l) in labels.iter().enumerate() {
+        if k == i || k == j {
+            continue;
+        }
+        for &c in l {
+            if (labels[i].contains(&c) || labels[j].contains(&c)) && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+    for &c in final_out {
+        if (labels[i].contains(&c) || labels[j].contains(&c)) && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Unary einsum: permutation / partial reduction / diagonal extraction.
+fn unary(
+    labels: &[char],
+    output: &[char],
+    op: &NdArray,
+    dims: &BTreeMap<char, usize>,
+) -> Result<NdArray> {
+    let out_shape: Vec<usize> = output.iter().map(|c| dims[c]).collect();
+    let mut out = NdArray::zeros(out_shape);
+    // Iterate the full input index space; accumulate into the output cell.
+    let letters: Vec<char> = {
+        let mut l: Vec<char> = Vec::new();
+        for &c in labels {
+            if !l.contains(&c) {
+                l.push(c);
+            }
+        }
+        l
+    };
+    let sizes: Vec<usize> = letters.iter().map(|c| dims[c]).collect();
+    let mut idx = vec![0usize; letters.len()];
+    let pos_of = |c: char, assignment: &[usize]| -> usize {
+        assignment[letters.iter().position(|&l| l == c).unwrap()]
+    };
+    loop {
+        let in_idx: Vec<usize> = labels.iter().map(|&c| pos_of(c, &idx)).collect();
+        let out_idx: Vec<usize> = output.iter().map(|&c| pos_of(c, &idx)).collect();
+        let off = out.offset(&out_idx);
+        out.data_mut()[off] += op.get(&in_idx);
+        if !advance(&mut idx, &sizes) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Binary einsum with a batched-matmul fast path.
+fn binary(
+    a_labels: &[char],
+    b_labels: &[char],
+    output: &[char],
+    a: &NdArray,
+    b: &NdArray,
+    dims: &BTreeMap<char, usize>,
+) -> Result<NdArray> {
+    let distinct = |l: &[char]| {
+        let mut seen = Vec::new();
+        for &c in l {
+            if seen.contains(&c) {
+                return false;
+            }
+            seen.push(c);
+        }
+        true
+    };
+    let out_distinct = distinct(output);
+    if distinct(a_labels) && distinct(b_labels) && out_distinct {
+        return binary_bmm(a_labels, b_labels, output, a, b, dims);
+    }
+    // General fallback (diagonals / repeated output indices).
+    binary_general(a_labels, b_labels, output, a, b, dims)
+}
+
+/// Classifies indices into batch (in both inputs and output), contracted
+/// (both inputs, not output), left-only, right-only; then runs one matmul per
+/// batch slice after permuting both operands.
+fn binary_bmm(
+    a_labels: &[char],
+    b_labels: &[char],
+    output: &[char],
+    a: &NdArray,
+    b: &NdArray,
+    dims: &BTreeMap<char, usize>,
+) -> Result<NdArray> {
+    let mut batch = Vec::new();
+    let mut contract = Vec::new();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (&c, _) in dims.iter() {
+        let in_a = a_labels.contains(&c);
+        let in_b = b_labels.contains(&c);
+        let in_o = output.contains(&c);
+        match (in_a, in_b, in_o) {
+            (true, true, true) => batch.push(c),
+            (true, true, false) => contract.push(c),
+            (true, false, true) => left.push(c),
+            (false, true, true) => right.push(c),
+            (true, false, false) | (false, true, false) => contract.push(c), // summed out one side
+            _ => {}
+        }
+    }
+    // Summed-out-one-side indices ('ij,k->i' style) need pre-reduction; route
+    // those through the general path for simplicity.
+    for &c in &contract {
+        if !(a_labels.contains(&c) && b_labels.contains(&c)) {
+            return binary_general(a_labels, b_labels, output, a, b, dims);
+        }
+    }
+
+    let size = |set: &[char]| -> usize { set.iter().map(|c| dims[c]).product() };
+    let (nb, nm, nn, nk) = (size(&batch), size(&left), size(&right), size(&contract));
+
+    // Permute A to [batch, left, contract] and B to [batch, contract, right].
+    let a_perm = permuted(a, a_labels, &[&batch[..], &left[..], &contract[..]].concat(), dims)?;
+    let b_perm = permuted(b, b_labels, &[&batch[..], &contract[..], &right[..]].concat(), dims)?;
+
+    let mut out = vec![0.0; nb * nm * nn];
+    for bi in 0..nb {
+        let abase = bi * nm * nk;
+        let bbase = bi * nk * nn;
+        let obase = bi * nm * nn;
+        for i in 0..nm {
+            let arow = &a_perm[abase + i * nk..abase + (i + 1) * nk];
+            let orow = &mut out[obase + i * nn..obase + (i + 1) * nn];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b_perm[bbase + kk * nn..bbase + (kk + 1) * nn];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    // Reassemble from [batch, left, right] order into the requested output order.
+    let natural: Vec<char> = batch.iter().chain(&left).chain(&right).copied().collect();
+    let natural_shape: Vec<usize> = natural.iter().map(|c| dims[c]).collect();
+    let tmp = NdArray::from_vec(natural_shape, out)?;
+    if natural == output {
+        return Ok(tmp);
+    }
+    let final_data = permuted(&tmp, &natural, output, dims)?;
+    NdArray::from_vec(output.iter().map(|c| dims[c]).collect(), final_data)
+}
+
+/// Returns `op`'s data re-laid-out so its axes follow `target` label order.
+fn permuted(
+    op: &NdArray,
+    labels: &[char],
+    target: &[char],
+    dims: &BTreeMap<char, usize>,
+) -> Result<Vec<f64>> {
+    if labels == target {
+        return Ok(op.data().to_vec());
+    }
+    let tshape: Vec<usize> = target.iter().map(|c| dims[c]).collect();
+    let mut out = vec![0.0; tshape.iter().product()];
+    let sizes: Vec<usize> = labels.iter().map(|c| dims[c]).collect();
+    let mut idx = vec![0usize; labels.len()];
+    loop {
+        let src = op.offset(&idx);
+        let mut dst = 0usize;
+        for (ti, &tc) in target.iter().enumerate() {
+            let pos = labels.iter().position(|&l| l == tc).ok_or_else(|| {
+                Error::Data(format!("permutation target index '{tc}' missing"))
+            })?;
+            dst = dst * tshape[ti] + idx[pos];
+        }
+        out[dst] = op.data()[src];
+        if !advance(&mut idx, &sizes) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// General binary fallback: walks the combined index space.
+fn binary_general(
+    a_labels: &[char],
+    b_labels: &[char],
+    output: &[char],
+    a: &NdArray,
+    b: &NdArray,
+    dims: &BTreeMap<char, usize>,
+) -> Result<NdArray> {
+    let mut letters: Vec<char> = Vec::new();
+    for &c in a_labels.iter().chain(b_labels) {
+        if !letters.contains(&c) {
+            letters.push(c);
+        }
+    }
+    let sizes: Vec<usize> = letters.iter().map(|c| dims[c]).collect();
+    let out_shape: Vec<usize> = output.iter().map(|c| dims[c]).collect();
+    let mut out = NdArray::zeros(out_shape);
+    let mut idx = vec![0usize; letters.len()];
+    let pos_of = |c: char, assignment: &[usize]| -> usize {
+        assignment[letters.iter().position(|&l| l == c).unwrap()]
+    };
+    loop {
+        let a_idx: Vec<usize> = a_labels.iter().map(|&c| pos_of(c, &idx)).collect();
+        let b_idx: Vec<usize> = b_labels.iter().map(|&c| pos_of(c, &idx)).collect();
+        let o_idx: Vec<usize> = output.iter().map(|&c| pos_of(c, &idx)).collect();
+        let off = out.offset(&o_idx);
+        out.data_mut()[off] += a.get(&a_idx) * b.get(&b_idx);
+        if !advance(&mut idx, &sizes) {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Odometer increment; `false` when the space is exhausted.
+fn advance(idx: &mut [usize], sizes: &[usize]) -> bool {
+    if sizes.iter().any(|&s| s == 0) {
+        return false;
+    }
+    for i in (0..idx.len()).rev() {
+        idx[i] += 1;
+        if idx[i] < sizes[i] {
+            return true;
+        }
+        idx[i] = 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> NdArray {
+        NdArray::matrix(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    fn close(a: &NdArray, b: &NdArray) {
+        assert_eq!(a.shape(), b.shape(), "{a:?} vs {b:?}");
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn spec_parsing_explicit_and_implicit() {
+        let s = Spec::parse("ij,jk->ik").unwrap();
+        assert_eq!(s.output, vec!['i', 'k']);
+        // implicit: 'ij,jk' → i and k appear once → "ik"
+        let s = Spec::parse("ij,jk").unwrap();
+        assert_eq!(s.output, vec!['i', 'k']);
+        // implicit trace: 'ii' → no single-occurrence letters → scalar
+        let s = Spec::parse("ii").unwrap();
+        assert!(s.output.is_empty());
+        assert!(Spec::parse("ij->ijz").is_err());
+        assert!(Spec::parse("iJ->i").is_err());
+    }
+
+    /// Table III of the paper: each dedicated NumPy API must equal its einsum.
+    #[test]
+    fn table3_colsum() {
+        close(
+            &einsum("ij->j", &[&m23()]).unwrap(),
+            &m23().sum_axis(0).unwrap(),
+        );
+    }
+
+    #[test]
+    fn table3_rowsum() {
+        close(
+            &einsum("ij->i", &[&m23()]).unwrap(),
+            &m23().sum_axis(1).unwrap(),
+        );
+    }
+
+    #[test]
+    fn table3_full_sum() {
+        let r = einsum("ij->", &[&m23()]).unwrap();
+        assert_eq!(r.data(), &[21.0]);
+    }
+
+    #[test]
+    fn table3_inner() {
+        let v1 = NdArray::vector(&[1.0, 2.0, 3.0]);
+        let v2 = NdArray::vector(&[4.0, 5.0, 6.0]);
+        let r = einsum("i,i->", &[&v1, &v2]).unwrap();
+        assert_eq!(r.data(), &[32.0]);
+    }
+
+    #[test]
+    fn table3_outer() {
+        let v1 = NdArray::vector(&[1.0, 2.0]);
+        let v2 = NdArray::vector(&[3.0, 4.0, 5.0]);
+        close(
+            &einsum("i,j->ij", &[&v1, &v2]).unwrap(),
+            &v1.outer(&v2).unwrap(),
+        );
+    }
+
+    #[test]
+    fn table3_transpose() {
+        close(
+            &einsum("ij->ji", &[&m23()]).unwrap(),
+            &m23().transpose().unwrap(),
+        );
+    }
+
+    #[test]
+    fn table3_matmul() {
+        let a = m23();
+        let b = a.transpose().unwrap();
+        close(
+            &einsum("ij,jk->ik", &[&a, &b]).unwrap(),
+            &a.matmul(&b).unwrap(),
+        );
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let m = NdArray::matrix(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let d = einsum("ii->i", &[&m]).unwrap();
+        assert_eq!(d.data(), &[1.0, 4.0]);
+        let trace = einsum("ii->", &[&m]).unwrap();
+        assert_eq!(trace.data(), &[5.0]);
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let a = m23();
+        close(&einsum("ij,ij->ij", &[&a, &a]).unwrap(), &a.mul(&a).unwrap());
+    }
+
+    #[test]
+    fn covariance_kernel_es8() {
+        // 'ij,ik->jk' — the paper's covariance computation (Figure 2).
+        let a = m23();
+        let cov = einsum("ij,ik->jk", &[&a, &a]).unwrap();
+        let expect = a.transpose().unwrap().matmul(&a).unwrap();
+        close(&cov, &expect);
+    }
+
+    #[test]
+    fn matvec_kernel() {
+        let a = m23();
+        let v = NdArray::vector(&[1.0, 0.5, 2.0]);
+        let r = einsum("ij,j->i", &[&a, &v]).unwrap();
+        assert_eq!(r.data(), &[8.0, 18.5]);
+    }
+
+    #[test]
+    fn three_operand_chain_matches_sequential() {
+        let a = m23(); // 2x3
+        let b = a.transpose().unwrap(); // 3x2
+        let c = NdArray::matrix(&[&[1.0, 0.0], &[0.0, 2.0]]).unwrap(); // 2x2
+        let chained = einsum("ij,jk,kl->il", &[&a, &b, &c]).unwrap();
+        let seq = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        close(&chained, &seq);
+    }
+
+    #[test]
+    fn paper_example_ab_cc_ba() {
+        // Section III-D walk-through: 'ab,cc->ba' = transpose(a) * trace(c).
+        let a = m23();
+        let c = NdArray::matrix(&[&[2.0, 9.0], &[9.0, 3.0]]).unwrap();
+        let r = einsum("ab,cc->ba", &[&a, &c]).unwrap();
+        let expect = a.transpose().unwrap().scale(5.0);
+        close(&r, &expect);
+    }
+
+    #[test]
+    fn scalar_times_matrix() {
+        let s = NdArray::from_vec(vec![], vec![3.0]).unwrap();
+        let m = m23();
+        let r = einsum(",ij->ij", &[&s, &m]).unwrap();
+        close(&r, &m.scale(3.0));
+    }
+
+    #[test]
+    fn operand_count_mismatch_is_error() {
+        assert!(einsum("ij,jk->ik", &[&m23()]).is_err());
+    }
+
+    #[test]
+    fn dim_mismatch_is_error() {
+        let a = m23();
+        assert!(einsum("ij,jk->ik", &[&a, &a]).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! NumPy-like dense tensors with a general `einsum` — the linear-algebra
+//! baseline of the paper's evaluation ("Background on NumPy", Section II-A).
+//!
+//! Provides:
+//!
+//! * [`NdArray`] — row-major dense `f64` tensors of arbitrary order with the
+//!   APIs the paper's workloads call (`sum`, `transpose`, `matmul`, `inner`,
+//!   `outer`, `compress`, `nonzero`, `round`, `all`, fancy indexing);
+//! * [`einsum::einsum`] — Einstein-notation contraction over any number of
+//!   operands, with a fast batched-matmul path for the binary contractions
+//!   that dominate the benchmarks and a greedy pairwise path optimizer that
+//!   plays the role of `opt_einsum` (paper, Section III-D);
+//! * [`coo::Coo`] — the COO sparse layout used as the comparison point for
+//!   PyTond's dense-vs-sparse experiments (Figure 9).
+
+pub mod coo;
+pub mod einsum;
+pub mod ndarray;
+
+pub use coo::Coo;
+pub use einsum::einsum;
+pub use ndarray::NdArray;

@@ -1,0 +1,487 @@
+//! Row-major dense `f64` tensors of arbitrary order.
+
+use pytond_common::{Error, Result};
+
+/// A dense tensor. `data.len() == shape.iter().product()`; strides are
+/// implicit row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdArray {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl NdArray {
+    /// Builds from a shape and matching data buffer.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f64>) -> Result<NdArray> {
+        let expect: usize = shape.iter().product();
+        if data.len() != expect {
+            return Err(Error::Data(format!(
+                "shape {shape:?} expects {expect} elements, got {}",
+                data.len()
+            )));
+        }
+        Ok(NdArray { shape, data })
+    }
+
+    /// An all-zeros tensor.
+    pub fn zeros(shape: Vec<usize>) -> NdArray {
+        let n = shape.iter().product();
+        NdArray {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// 1-D tensor from a slice.
+    pub fn vector(data: &[f64]) -> NdArray {
+        NdArray {
+            shape: vec![data.len()],
+            data: data.to_vec(),
+        }
+    }
+
+    /// 2-D tensor from nested rows.
+    pub fn matrix(rows: &[&[f64]]) -> Result<NdArray> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(Error::Data("ragged matrix rows".into()));
+            }
+            data.extend_from_slice(row);
+        }
+        NdArray::from_vec(vec![r, c], data)
+    }
+
+    /// Tensor order (number of dimensions).
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data in row-major order.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Flat offset of a multi-index.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.shape.len());
+        let mut off = 0;
+        for (i, &x) in idx.iter().enumerate() {
+            debug_assert!(x < self.shape[i]);
+            off = off * self.shape[i] + x;
+        }
+        off
+    }
+
+    /// Element at a multi-index.
+    pub fn get(&self, idx: &[usize]) -> f64 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Sets an element.
+    pub fn set(&mut self, idx: &[usize], v: f64) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Reinterprets the buffer under a new shape of equal size.
+    pub fn reshape(&self, shape: Vec<usize>) -> Result<NdArray> {
+        NdArray::from_vec(shape, self.data.clone())
+    }
+
+    // ---------------- reductions ----------------
+
+    /// Sum of all elements (`m.sum()` / einsum `'ij->'`).
+    pub fn sum_all(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Sum over `axis` of a matrix: `axis=0` → column sums (`'ij->j'`),
+    /// `axis=1` → row sums (`'ij->i'`).
+    pub fn sum_axis(&self, axis: usize) -> Result<NdArray> {
+        if self.ndim() != 2 {
+            return Err(Error::Data("sum_axis requires a matrix".into()));
+        }
+        let (r, c) = (self.shape[0], self.shape[1]);
+        match axis {
+            0 => {
+                let mut out = vec![0.0; c];
+                for i in 0..r {
+                    let row = &self.data[i * c..(i + 1) * c];
+                    for (o, &x) in out.iter_mut().zip(row) {
+                        *o += x;
+                    }
+                }
+                NdArray::from_vec(vec![c], out)
+            }
+            1 => {
+                let mut out = vec![0.0; r];
+                for i in 0..r {
+                    out[i] = self.data[i * c..(i + 1) * c].iter().sum();
+                }
+                NdArray::from_vec(vec![r], out)
+            }
+            _ => Err(Error::Data(format!("invalid axis {axis}"))),
+        }
+    }
+
+    /// Arithmetic mean of all elements.
+    pub fn mean_all(&self) -> f64 {
+        if self.data.is_empty() {
+            f64::NAN
+        } else {
+            self.sum_all() / self.data.len() as f64
+        }
+    }
+
+    /// `true` when every element is non-zero (`v.all()`).
+    pub fn all(&self) -> bool {
+        self.data.iter().all(|&x| x != 0.0)
+    }
+
+    /// Indices of non-zero elements of a vector (`v.nonzero()`).
+    pub fn nonzero(&self) -> Vec<usize> {
+        self.data
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| (x != 0.0).then_some(i))
+            .collect()
+    }
+
+    // ---------------- shaping ----------------
+
+    /// Matrix transpose (`'ij->ji'`).
+    pub fn transpose(&self) -> Result<NdArray> {
+        if self.ndim() != 2 {
+            return Err(Error::Data("transpose requires a matrix".into()));
+        }
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        NdArray::from_vec(vec![c, r], out)
+    }
+
+    /// Keeps the rows (`axis=0`) or columns (`axis=1`) selected by `mask`
+    /// (NumPy `compress`).
+    pub fn compress(&self, mask: &[bool], axis: usize) -> Result<NdArray> {
+        if self.ndim() != 2 {
+            return Err(Error::Data("compress requires a matrix".into()));
+        }
+        let (r, c) = (self.shape[0], self.shape[1]);
+        match axis {
+            0 => {
+                if mask.len() != r {
+                    return Err(Error::Data("mask length mismatch".into()));
+                }
+                let keep: Vec<usize> = mask
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &m)| m.then_some(i))
+                    .collect();
+                let mut out = Vec::with_capacity(keep.len() * c);
+                for &i in &keep {
+                    out.extend_from_slice(&self.data[i * c..(i + 1) * c]);
+                }
+                NdArray::from_vec(vec![keep.len(), c], out)
+            }
+            1 => {
+                if mask.len() != c {
+                    return Err(Error::Data("mask length mismatch".into()));
+                }
+                let keep: Vec<usize> = mask
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(j, &m)| m.then_some(j))
+                    .collect();
+                let mut out = Vec::with_capacity(keep.len() * r);
+                for i in 0..r {
+                    for &j in &keep {
+                        out.push(self.data[i * c + j]);
+                    }
+                }
+                NdArray::from_vec(vec![r, keep.len()], out)
+            }
+            _ => Err(Error::Data(format!("invalid axis {axis}"))),
+        }
+    }
+
+    /// Row gather (`m[indices]`, NumPy fancy indexing).
+    pub fn take_rows(&self, indices: &[usize]) -> Result<NdArray> {
+        if self.ndim() == 1 {
+            let out: Vec<f64> = indices.iter().map(|&i| self.data[i]).collect();
+            return NdArray::from_vec(vec![indices.len()], out);
+        }
+        if self.ndim() != 2 {
+            return Err(Error::Data("take_rows requires order ≤ 2".into()));
+        }
+        let c = self.shape[1];
+        let mut out = Vec::with_capacity(indices.len() * c);
+        for &i in indices {
+            out.extend_from_slice(&self.data[i * c..(i + 1) * c]);
+        }
+        NdArray::from_vec(vec![indices.len(), c], out)
+    }
+
+    /// One column of a matrix as a vector (`m[:, j]`).
+    pub fn column(&self, j: usize) -> Result<NdArray> {
+        if self.ndim() != 2 {
+            return Err(Error::Data("column requires a matrix".into()));
+        }
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let out: Vec<f64> = (0..r).map(|i| self.data[i * c + j]).collect();
+        NdArray::from_vec(vec![r], out)
+    }
+
+    // ---------------- element-wise ----------------
+
+    /// Applies `f` element-wise.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> NdArray {
+        NdArray {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Rounds to `digits` decimals (`v.round()` with 0 digits by default).
+    pub fn round(&self, digits: i32) -> NdArray {
+        let scale = 10f64.powi(digits);
+        self.map(|x| (x * scale).round() / scale)
+    }
+
+    fn zip(&self, other: &NdArray, f: impl Fn(f64, f64) -> f64) -> Result<NdArray> {
+        if self.shape != other.shape {
+            return Err(Error::Data(format!(
+                "shape mismatch {:?} vs {:?}",
+                self.shape, other.shape
+            )));
+        }
+        Ok(NdArray {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &NdArray) -> Result<NdArray> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &NdArray) -> Result<NdArray> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &NdArray) -> Result<NdArray> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Element-wise division.
+    pub fn div(&self, other: &NdArray) -> Result<NdArray> {
+        self.zip(other, |a, b| a / b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f64) -> NdArray {
+        self.map(|x| x * s)
+    }
+
+    // ---------------- linear algebra ----------------
+
+    /// Matrix multiplication (`'ij,jk->ik'`), cache-friendly i-k-j order.
+    pub fn matmul(&self, other: &NdArray) -> Result<NdArray> {
+        if self.ndim() != 2 || other.ndim() != 2 || self.shape[1] != other.shape[0] {
+            return Err(Error::Data(format!(
+                "matmul shape mismatch {:?} x {:?}",
+                self.shape, other.shape
+            )));
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let n = other.shape[1];
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in arow.iter().enumerate() {
+                let brow = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        NdArray::from_vec(vec![m, n], out)
+    }
+
+    /// Vector inner product (`'i,i->'`).
+    pub fn inner(&self, other: &NdArray) -> Result<f64> {
+        if self.ndim() != 1 || other.ndim() != 1 || self.len() != other.len() {
+            return Err(Error::Data("inner requires equal-length vectors".into()));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Vector outer product (`'i,j->ij'`).
+    pub fn outer(&self, other: &NdArray) -> Result<NdArray> {
+        if self.ndim() != 1 || other.ndim() != 1 {
+            return Err(Error::Data("outer requires vectors".into()));
+        }
+        let (m, n) = (self.len(), other.len());
+        let mut out = Vec::with_capacity(m * n);
+        for &a in &self.data {
+            for &b in &other.data {
+                out.push(a * b);
+            }
+        }
+        NdArray::from_vec(vec![m, n], out)
+    }
+
+    /// Main diagonal of a square matrix (`'ii->i'`).
+    pub fn diagonal(&self) -> Result<NdArray> {
+        if self.ndim() != 2 || self.shape[0] != self.shape[1] {
+            return Err(Error::Data("diagonal requires a square matrix".into()));
+        }
+        let n = self.shape[0];
+        let out: Vec<f64> = (0..n).map(|i| self.data[i * n + i]).collect();
+        NdArray::from_vec(vec![n], out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> NdArray {
+        NdArray::matrix(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_size() {
+        assert!(NdArray::from_vec(vec![2, 2], vec![1.0]).is_err());
+        assert_eq!(m23().shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn indexing() {
+        let m = m23();
+        assert_eq!(m.get(&[0, 2]), 3.0);
+        assert_eq!(m.get(&[1, 0]), 4.0);
+    }
+
+    #[test]
+    fn sums() {
+        let m = m23();
+        assert_eq!(m.sum_all(), 21.0);
+        assert_eq!(m.sum_axis(0).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(m.sum_axis(1).unwrap().data(), &[6.0, 15.0]);
+        assert_eq!(m.mean_all(), 3.5);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = m23();
+        let t = m.transpose().unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.get(&[2, 1]), 6.0);
+        assert_eq!(t.transpose().unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = m23();
+        let b = a.transpose().unwrap();
+        let p = a.matmul(&b).unwrap();
+        // [[14, 32], [32, 77]]
+        assert_eq!(p.data(), &[14.0, 32.0, 32.0, 77.0]);
+        assert!(a.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn inner_outer() {
+        let v = NdArray::vector(&[1.0, 2.0]);
+        let w = NdArray::vector(&[3.0, 4.0]);
+        assert_eq!(v.inner(&w).unwrap(), 11.0);
+        let o = v.outer(&w).unwrap();
+        assert_eq!(o.data(), &[3.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn compress_both_axes() {
+        let m = m23();
+        let rows = m.compress(&[false, true], 0).unwrap();
+        assert_eq!(rows.data(), &[4.0, 5.0, 6.0]);
+        let cols = m.compress(&[true, false, true], 1).unwrap();
+        assert_eq!(cols.shape(), &[2, 2]);
+        assert_eq!(cols.data(), &[1.0, 3.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn nonzero_and_all() {
+        let v = NdArray::vector(&[0.0, 1.5, 0.0, 2.0]);
+        assert_eq!(v.nonzero(), vec![1, 3]);
+        assert!(!v.all());
+        assert!(NdArray::vector(&[1.0, 2.0]).all());
+    }
+
+    #[test]
+    fn fancy_indexing_and_columns() {
+        let m = m23();
+        let r = m.take_rows(&[1, 0, 1]).unwrap();
+        assert_eq!(r.shape(), &[3, 3]);
+        assert_eq!(r.get(&[0, 0]), 4.0);
+        assert_eq!(m.column(1).unwrap().data(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn elementwise_and_round() {
+        let a = NdArray::vector(&[1.24, 2.46]);
+        assert_eq!(a.round(1).data(), &[1.2, 2.5]);
+        let b = NdArray::vector(&[1.0, 2.0]);
+        assert_eq!(a.add(&b).unwrap().len(), 2);
+        assert!(a.add(&m23()).is_err());
+        assert_eq!(b.scale(3.0).data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn diagonal_of_square() {
+        let m = NdArray::matrix(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.diagonal().unwrap().data(), &[1.0, 4.0]);
+        assert!(m23().diagonal().is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! Local and global dead-code elimination (paper, Section IV).
+
+use pytond_common::hash::{FxHashMap, FxHashSet};
+use pytond_tondir::analysis;
+use pytond_tondir::{Atom, Catalog, Program, Rule};
+
+/// Local DCE: drops assignments whose variable is never used within the rule
+/// (the paper's `R1(y) :- R(a,b), (x=a), (y=a*b).` example).
+pub fn local_dce(mut program: Program) -> Program {
+    for rule in &mut program.rules {
+        loop {
+            let used = analysis::used_vars(rule);
+            // Variables used by *other* assignments also count.
+            let before = rule.body.atoms.len();
+            rule.body.atoms.retain(|a| match a {
+                Atom::Assign { var, .. } => used.contains(var),
+                _ => true,
+            });
+            if rule.body.atoms.len() == before {
+                break;
+            }
+        }
+    }
+    program
+}
+
+/// Global DCE: removes head columns no consumer reads, shrinking the
+/// producing rule and every access to it (the paper's attribute-pruning
+/// example). Iterates to a fixpoint.
+pub fn global_dce(mut program: Program, catalog: &Catalog) -> Program {
+    loop {
+        let Some(needed) = needed_positions(&program, catalog) else {
+            return program;
+        };
+        let mut changed = false;
+        // Shrink producing heads.
+        for rule in &mut program.rules {
+            let Some(keep) = needed.get(&rule.head.rel) else {
+                continue;
+            };
+            if keep.len() == rule.head.cols.len() {
+                continue;
+            }
+            let cols = std::mem::take(&mut rule.head.cols);
+            rule.head.cols = cols
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, c)| keep.contains(&i).then_some(c))
+                .collect();
+            changed = true;
+        }
+        if !changed {
+            return program;
+        }
+        // Shrink every access to the shrunk relations.
+        for rule in &mut program.rules {
+            shrink_accesses(&mut rule.body.atoms, &needed);
+        }
+        program = local_dce(program);
+    }
+}
+
+fn shrink_accesses(atoms: &mut [Atom], needed: &FxHashMap<String, Vec<usize>>) {
+    for atom in atoms.iter_mut() {
+        match atom {
+            Atom::Rel { rel, vars, .. } => {
+                if let Some(keep) = needed.get(rel) {
+                    if keep.len() != vars.len() {
+                        let old = std::mem::take(vars);
+                        *vars = old
+                            .into_iter()
+                            .enumerate()
+                            .filter_map(|(i, v)| keep.contains(&i).then_some(v))
+                            .collect();
+                    }
+                }
+            }
+            Atom::Exists { body, .. } => shrink_accesses(&mut body.atoms, needed),
+            _ => {}
+        }
+    }
+}
+
+/// Computes, per derived relation, the head-column positions any consumer
+/// still needs. Returns `None` when nothing can be pruned. Base tables are
+/// never pruned (their schema is fixed in the database).
+fn needed_positions(
+    program: &Program,
+    catalog: &Catalog,
+) -> Option<FxHashMap<String, Vec<usize>>> {
+    let mut needed: FxHashMap<String, FxHashSet<usize>> = FxHashMap::default();
+    let out_rel = program.output_relation()?.to_string();
+    // The program output keeps every column.
+    if let Some(def) = program.defining_rule(&out_rel) {
+        needed
+            .entry(out_rel.clone())
+            .or_default()
+            .extend(0..def.head.cols.len());
+    }
+    for rule in &program.rules {
+        mark_body(&rule.body.atoms, rule, &mut needed);
+    }
+    // Convert to sorted position lists for derived relations only.
+    let mut out: FxHashMap<String, Vec<usize>> = FxHashMap::default();
+    let mut any_shrinks = false;
+    for rule in &program.rules {
+        if catalog.table(&rule.head.rel).is_some() {
+            continue; // never prune base tables
+        }
+        let all: FxHashSet<usize> = (0..rule.head.cols.len()).collect();
+        let keep = needed
+            .get(&rule.head.rel)
+            .cloned()
+            .unwrap_or_default()
+            .intersection(&all)
+            .copied()
+            .collect::<FxHashSet<usize>>();
+        let mut keep: Vec<usize> = keep.into_iter().collect();
+        keep.sort_unstable();
+        // Keep at least one column (zero-column relations are not expressible).
+        if keep.is_empty() && !rule.head.cols.is_empty() {
+            keep.push(0);
+        }
+        if keep.len() < rule.head.cols.len() {
+            any_shrinks = true;
+        }
+        out.insert(rule.head.rel.clone(), keep);
+    }
+    any_shrinks.then_some(out)
+}
+
+fn mark_body(
+    atoms: &[Atom],
+    rule: &Rule,
+    needed: &mut FxHashMap<String, FxHashSet<usize>>,
+) {
+    // A bound variable is "live" when it appears in the rule's used set or in
+    // more than one access position (join variable).
+    let used = analysis::used_vars(rule);
+    let mut occurrence: FxHashMap<&str, usize> = FxHashMap::default();
+    fn count<'a>(atoms: &'a [Atom], occurrence: &mut FxHashMap<&'a str, usize>) {
+        for atom in atoms {
+            match atom {
+                Atom::Rel { vars, .. } | Atom::ConstRel { vars, .. } => {
+                    for v in vars {
+                        *occurrence.entry(v.as_str()).or_insert(0) += 1;
+                    }
+                }
+                Atom::Exists { body, keys, .. } => {
+                    count(&body.atoms, occurrence);
+                    for (_, inner) in keys {
+                        *occurrence.entry(inner.as_str()).or_insert(0) += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    count(&rule.body.atoms, &mut occurrence);
+
+    fn mark(
+        atoms: &[Atom],
+        used: &FxHashSet<String>,
+        occurrence: &FxHashMap<&str, usize>,
+        needed: &mut FxHashMap<String, FxHashSet<usize>>,
+    ) {
+        for atom in atoms {
+            match atom {
+                Atom::Rel { rel, vars, .. } => {
+                    for (i, v) in vars.iter().enumerate() {
+                        let live = used.contains(v)
+                            || occurrence.get(v.as_str()).copied().unwrap_or(0) > 1;
+                        if live {
+                            needed.entry(rel.clone()).or_default().insert(i);
+                        }
+                    }
+                }
+                Atom::Exists { body, .. } => mark(&body.atoms, used, occurrence, needed),
+                _ => {}
+            }
+        }
+    }
+    mark(atoms, &used, &occurrence, needed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytond_common::DType;
+    use pytond_tondir::builder::*;
+    use pytond_tondir::{AggFunc, ScalarOp, TableSchema, Term};
+
+    fn catalog() -> Catalog {
+        Catalog::new().with(TableSchema::new(
+            "r",
+            vec![
+                ("a".into(), DType::Int),
+                ("b".into(), DType::Int),
+                ("c".into(), DType::Int),
+                ("d".into(), DType::Int),
+            ],
+        ))
+    }
+
+    /// Paper example: `R1(y) :- R(a, b), (x=a), (y=a*b).` drops `(x=a)`.
+    #[test]
+    fn local_dce_removes_unused_assignment() {
+        let p = Program {
+            rules: vec![rule(
+                head("r1", &["y"]),
+                vec![
+                    rel("r", "r", &["a", "b", "c", "d"]),
+                    assign("x", Term::var("a")),
+                    assign(
+                        "y",
+                        Term::bin(ScalarOp::Mul, Term::var("a"), Term::var("b")),
+                    ),
+                ],
+            )],
+        };
+        let out = local_dce(p);
+        assert_eq!(out.rules[0].body.atoms.len(), 2);
+    }
+
+    #[test]
+    fn local_dce_cascades() {
+        // y uses x; z uses y; only z is dead → all three removable only if
+        // none feeds the head. Here head uses none.
+        let p = Program {
+            rules: vec![rule(
+                head("r1", &["a"]),
+                vec![
+                    rel("r", "r", &["a", "b", "c", "d"]),
+                    assign("x", Term::var("b")),
+                    assign("y", Term::var("x")),
+                ],
+            )],
+        };
+        let out = local_dce(p);
+        assert_eq!(out.rules[0].body.atoms.len(), 1);
+    }
+
+    /// Paper example: columns c, d of R1 unused downstream get pruned.
+    #[test]
+    fn global_dce_prunes_unused_columns() {
+        let mut r2 = rule(
+            head("r2", &["a", "s"]),
+            vec![
+                rel("r1", "r1", &["a", "b", "c", "d"]),
+                assign("s", Term::agg(AggFunc::Sum, Term::var("b"))),
+            ],
+        );
+        r2.head.group = Some(vec!["a".into()]);
+        let p = Program {
+            rules: vec![
+                rule(
+                    head("r1", &["a", "b", "c", "d"]),
+                    vec![
+                        rel("r", "r", &["a", "b", "c", "d"]),
+                        cmp(ScalarOp::Lt, Term::var("a"), Term::int(10)),
+                        cmp(ScalarOp::Eq, Term::var("c"), Term::var("d")),
+                    ],
+                ),
+                r2,
+            ],
+        };
+        let out = global_dce(p, &catalog());
+        // r1 keeps only a and b.
+        assert_eq!(out.rules[0].head.col_names(), vec!["a", "b"]);
+        // and the consumer's access shrank to two variables.
+        match &out.rules[1].body.atoms[0] {
+            Atom::Rel { vars, .. } => assert_eq!(vars.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_dce_keeps_join_variables() {
+        let p = Program {
+            rules: vec![
+                rule(
+                    head("v1", &["a", "b"]),
+                    vec![rel("r", "r", &["a", "b", "c", "d"])],
+                ),
+                rule(
+                    head("out", &["b"]),
+                    vec![
+                        rel("v1", "t1", &["k", "b"]),
+                        rel("r", "t2", &["k", "b2", "c2", "d2"]),
+                    ],
+                ),
+            ],
+        };
+        let out = global_dce(p, &catalog());
+        // v1.a stays: it is the join key in `out`.
+        assert_eq!(out.rules[0].head.col_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn base_tables_never_pruned() {
+        let p = Program {
+            rules: vec![rule(
+                head("v1", &["a"]),
+                vec![rel("r", "r", &["a", "b", "c", "d"])],
+            )],
+        };
+        let out = global_dce(p, &catalog());
+        match &out.rules[0].body.atoms[0] {
+            Atom::Rel { vars, .. } => assert_eq!(vars.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_relation_keeps_all_columns() {
+        let p = Program {
+            rules: vec![rule(
+                head("out", &["a", "b", "c", "d"]),
+                vec![rel("r", "r", &["a", "b", "c", "d"])],
+            )],
+        };
+        let out = global_dce(p, &catalog());
+        assert_eq!(out.rules[0].head.cols.len(), 4);
+    }
+}

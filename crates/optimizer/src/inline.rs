@@ -1,0 +1,392 @@
+//! Rule inlining (paper, Section IV): fuse chains of rules up to the flow
+//! breakers of Table VII.
+
+use pytond_common::hash::FxHashMap;
+use pytond_tondir::analysis;
+use pytond_tondir::{Atom, Body, Program, Rule, Term};
+
+/// `true` when the rule must stay a separate CTE (Table VII).
+pub fn is_flow_breaker(rule: &Rule, is_sink: bool) -> bool {
+    if is_sink {
+        return true; // Sink Rule
+    }
+    if rule.head.group.is_some() {
+        return true; // Group By
+    }
+    if rule.head.distinct {
+        return true; // Distinct
+    }
+    if rule.head.sort.is_some() || rule.head.limit.is_some() {
+        return true; // Sort/Limit
+    }
+    for atom in &rule.body.atoms {
+        match atom {
+            Atom::OuterJoin { .. } => return true, // Outer Join
+            Atom::Assign { term, .. } => {
+                if term.contains_agg() {
+                    return true; // Aggregate
+                }
+                // UID generation depends on row order; keep it materialized.
+                let mut has_uid = false;
+                term.visit(&mut |t| {
+                    if matches!(t, Term::Ext { func, .. } if func == "uid") {
+                        has_uid = true;
+                    }
+                });
+                if has_uid {
+                    return true;
+                }
+            }
+            Atom::Pred(term) => {
+                if term.contains_agg() {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Inlines every non-flow-breaker rule that is referenced exactly once, into
+/// its single consumer. Runs to a fixpoint.
+pub fn inline_rules(mut program: Program) -> Program {
+    let mut splice_id = 0usize;
+    loop {
+        let counts = analysis::reference_counts(&program);
+        let sink = program.output_relation().map(|s| s.to_string());
+        let candidate = program.rules.iter().enumerate().find(|(_, r)| {
+            let is_sink = sink.as_deref() == Some(r.head.rel.as_str());
+            !is_flow_breaker(r, is_sink)
+                && counts.get(&r.head.rel).copied().unwrap_or(0) == 1
+                && consumer_is_plain_access(&program, &r.head.rel)
+        });
+        let Some((idx, _)) = candidate else {
+            return program;
+        };
+        let producer = program.rules.remove(idx);
+        splice_id += 1;
+        // Find the single consumer and splice the producer's body in.
+        for rule in &mut program.rules {
+            if splice(rule, &producer, splice_id) {
+                break;
+            }
+        }
+    }
+}
+
+/// The consumer must reference the relation through a plain body `Rel` atom
+/// (not inside `exists`, which would need nested-subquery inlining).
+fn consumer_is_plain_access(program: &Program, rel: &str) -> bool {
+    for rule in &program.rules {
+        // The consumed access must not be an outer-join operand: splicing
+        // would dangle the marker's alias reference.
+        let mut outer_aliases: Vec<&str> = Vec::new();
+        for atom in &rule.body.atoms {
+            if let Atom::OuterJoin { left, right, .. } = atom {
+                outer_aliases.push(left);
+                outer_aliases.push(right);
+            }
+        }
+        for atom in &rule.body.atoms {
+            match atom {
+                Atom::Rel { rel: r, alias, .. } if r == rel => {
+                    return !outer_aliases.contains(&alias.as_str());
+                }
+                Atom::Exists { body, .. } => {
+                    if body
+                        .atoms
+                        .iter()
+                        .any(|a| matches!(a, Atom::Rel { rel: r, .. } if r == rel))
+                    {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Replaces the consumer's access to `producer.head.rel` with the producer's
+/// body, renaming variables to avoid capture. Returns `true` on success.
+fn splice(consumer: &mut Rule, producer: &Rule, splice_id: usize) -> bool {
+    let pos = consumer.body.atoms.iter().position(
+        |a| matches!(a, Atom::Rel { rel, .. } if *rel == producer.head.rel),
+    );
+    let Some(pos) = pos else {
+        return false;
+    };
+    let Atom::Rel { vars, .. } = consumer.body.atoms[pos].clone() else {
+        unreachable!("position found above");
+    };
+    // Mapping: producer head var (position i) → consumer var vars[i];
+    // all other producer vars → fresh names.
+    let mut mapping: FxHashMap<String, String> = FxHashMap::default();
+    for ((_, hv), cv) in producer.head.cols.iter().zip(&vars) {
+        mapping.insert(hv.clone(), cv.clone());
+    }
+    let taken: std::collections::HashSet<String> = analysis::defined_vars(&consumer.body)
+        .into_iter()
+        .collect();
+    let mut fresh_counter = 0usize;
+    let mut fresh = |base: &str, taken: &std::collections::HashSet<String>| -> String {
+        loop {
+            fresh_counter += 1;
+            let name = format!("{base}__i{fresh_counter}");
+            if !taken.contains(&name) {
+                return name;
+            }
+        }
+    };
+    let mut map_var = |v: &str,
+                       mapping: &mut FxHashMap<String, String>|
+     -> String {
+        if let Some(m) = mapping.get(v) {
+            return m.clone();
+        }
+        let nv = fresh(v, &taken);
+        mapping.insert(v.to_string(), nv.clone());
+        nv
+    };
+    // Clone + rename the producer body; aliases get a per-splice suffix so
+    // repeated accesses to the same base relation stay distinguishable.
+    let mut new_atoms = Vec::with_capacity(producer.body.atoms.len());
+    for atom in &producer.body.atoms {
+        new_atoms.push(rename_atom_clone(
+            atom,
+            &mut |v| map_var(v, &mut mapping),
+            splice_id,
+        ));
+    }
+    // Splice.
+    consumer.body.atoms.splice(pos..=pos, new_atoms);
+    true
+}
+
+fn rename_atom_clone(
+    atom: &Atom,
+    rename: &mut impl FnMut(&str) -> String,
+    splice_id: usize,
+) -> Atom {
+    match atom {
+        Atom::Rel { rel, alias, vars } => Atom::Rel {
+            rel: rel.clone(),
+            alias: format!("{alias}_s{splice_id}"),
+            vars: vars.iter().map(|v| rename(v)).collect(),
+        },
+        Atom::ConstRel { vars, rows } => Atom::ConstRel {
+            vars: vars.iter().map(|v| rename(v)).collect(),
+            rows: rows.clone(),
+        },
+        Atom::Pred(t) => {
+            let mut t = t.clone();
+            t.rename_vars(&mut |v| Some(rename(v)));
+            Atom::Pred(t)
+        }
+        Atom::Assign { var, term } => {
+            let mut term = term.clone();
+            term.rename_vars(&mut |v| Some(rename(v)));
+            Atom::Assign {
+                var: rename(var),
+                term,
+            }
+        }
+        Atom::Exists {
+            body,
+            keys,
+            negated,
+        } => Atom::Exists {
+            body: Body::new(
+                body.atoms
+                    .iter()
+                    .map(|a| rename_atom_clone(a, rename, splice_id))
+                    .collect(),
+            ),
+            keys: keys
+                .iter()
+                .map(|(o, i)| (rename(o), rename(i)))
+                .collect(),
+            negated: *negated,
+        },
+        Atom::OuterJoin {
+            kind,
+            left,
+            right,
+            on,
+        } => Atom::OuterJoin {
+            kind: *kind,
+            left: format!("{left}_s{splice_id}"),
+            right: format!("{right}_s{splice_id}"),
+            on: on.iter().map(|(l, r)| (rename(l), rename(r))).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytond_tondir::builder::*;
+    use pytond_tondir::{AggFunc, ScalarOp};
+
+    /// The paper's 5-rule inlining example collapses to one rule.
+    #[test]
+    fn paper_example_inlines_to_one_rule() {
+        // R2(b, c, d) :- R1(a, b, c, d), (a > 1000).
+        // R3(b, d) :- R2(b, c, d), (c != "A").
+        // R5(e, g) :- R4(e, f, g), (f > 100).
+        // R6(b, g) :- R3(b, x), R5(x, g).
+        // R7(b, m) group(b) :- R6(b, g), (m = max(g)).
+        let mut r7 = rule(
+            head("r7", &["b", "m"]),
+            vec![
+                rel("r6", "r6", &["b", "g"]),
+                assign("m", Term::agg(AggFunc::Max, Term::var("g"))),
+            ],
+        );
+        r7.head.group = Some(vec!["b".into()]);
+        let p = Program {
+            rules: vec![
+                rule(
+                    head("r2", &["b", "c", "d"]),
+                    vec![
+                        rel("r1", "r1", &["a", "b", "c", "d"]),
+                        cmp(ScalarOp::Gt, Term::var("a"), Term::int(1000)),
+                    ],
+                ),
+                rule(
+                    head("r3", &["b", "d"]),
+                    vec![
+                        rel("r2", "r2", &["b", "c", "d"]),
+                        cmp(ScalarOp::Ne, Term::var("c"), Term::str("A")),
+                    ],
+                ),
+                rule(
+                    head("r5", &["e", "g"]),
+                    vec![
+                        rel("r4", "r4", &["e", "f", "g"]),
+                        cmp(ScalarOp::Gt, Term::var("f"), Term::int(100)),
+                    ],
+                ),
+                rule(
+                    head("r6", &["b", "g"]),
+                    vec![rel("r3", "r3", &["b", "x"]), rel("r5", "r5", &["x", "g"])],
+                ),
+                r7,
+            ],
+        };
+        let out = inline_rules(p);
+        assert_eq!(out.rules.len(), 1, "{out:#?}");
+        let body = &out.rules[0].body.atoms;
+        // Both base relations and all three filters survive in one body.
+        let rels: Vec<&str> = body
+            .iter()
+            .filter_map(|a| match a {
+                Atom::Rel { rel, .. } => Some(rel.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(rels.contains(&"r1") && rels.contains(&"r4"));
+        let preds = body.iter().filter(|a| matches!(a, Atom::Pred(_))).count();
+        assert_eq!(preds, 3);
+    }
+
+    #[test]
+    fn flow_breakers_stop_inlining() {
+        let mut agg = rule(
+            head("g", &["k", "s"]),
+            vec![
+                rel("r1", "r1", &["k", "v"]),
+                assign("s", Term::agg(AggFunc::Sum, Term::var("v"))),
+            ],
+        );
+        agg.head.group = Some(vec!["k".into()]);
+        let p = Program {
+            rules: vec![
+                agg,
+                rule(
+                    head("out", &["k"]),
+                    vec![
+                        rel("g", "g", &["k", "s"]),
+                        cmp(ScalarOp::Gt, Term::var("s"), Term::int(0)),
+                    ],
+                ),
+            ],
+        };
+        let out = inline_rules(p);
+        assert_eq!(out.rules.len(), 2);
+    }
+
+    #[test]
+    fn multiply_referenced_rules_stay() {
+        let p = Program {
+            rules: vec![
+                rule(head("v1", &["a"]), vec![rel("r", "r", &["a"])]),
+                rule(
+                    head("out", &["x"]),
+                    vec![
+                        rel("v1", "t1", &["x"]),
+                        rel("v1", "t2", &["x"]),
+                    ],
+                ),
+            ],
+        };
+        let out = inline_rules(p);
+        assert_eq!(out.rules.len(), 2);
+    }
+
+    #[test]
+    fn variable_capture_avoided() {
+        // Producer uses internal var "tmp"; consumer also defines "tmp".
+        let p = Program {
+            rules: vec![
+                rule(
+                    head("v1", &["y"]),
+                    vec![
+                        rel("r", "r", &["a"]),
+                        assign("tmp", Term::bin(ScalarOp::Add, Term::var("a"), Term::int(1))),
+                        assign("y", Term::var("tmp")),
+                    ],
+                ),
+                rule(
+                    head("out", &["z"]),
+                    vec![
+                        rel("v1", "v1", &["w"]),
+                        rel("s", "s", &["tmp"]),
+                        assign("z", Term::bin(ScalarOp::Add, Term::var("w"), Term::var("tmp"))),
+                    ],
+                ),
+            ],
+        };
+        let out = inline_rules(p);
+        assert_eq!(out.rules.len(), 1);
+        // The spliced body must not bind the consumer's "tmp" again.
+        let mut assign_targets = Vec::new();
+        for a in &out.rules[0].body.atoms {
+            if let Atom::Assign { var, .. } = a {
+                assign_targets.push(var.clone());
+            }
+        }
+        let tmp_count = assign_targets.iter().filter(|v| *v == "tmp").count();
+        assert_eq!(tmp_count, 0, "{assign_targets:?}");
+    }
+
+    #[test]
+    fn uid_rules_are_breakers() {
+        let r = rule(
+            head("v1", &["id", "a"]),
+            vec![
+                rel("r", "r", &["a"]),
+                assign(
+                    "id",
+                    Term::Ext {
+                        func: "uid".into(),
+                        args: vec![],
+                    },
+                ),
+            ],
+        );
+        assert!(is_flow_breaker(&r, false));
+    }
+}

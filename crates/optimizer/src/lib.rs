@@ -1,0 +1,152 @@
+//! TondIR optimization (paper, Section IV).
+//!
+//! Five rewrites, stacked cumulatively into the levels the evaluation
+//! ablates in Figure 10:
+//!
+//! | Level | Adds |
+//! |---|---|
+//! | `O0` | nothing (the "Grizzly-simulated" baseline) |
+//! | `O1` | local + global dead-code elimination |
+//! | `O2` | group-aggregate elimination (unique-key groups) |
+//! | `O3` | self-join elimination (unique-key self joins) |
+//! | `O4` | rule inlining up to flow breakers (Table VII) |
+
+pub mod dce;
+pub mod groupelim;
+pub mod inline;
+pub mod selfjoin;
+pub mod uniqueness;
+
+use pytond_tondir::{Catalog, Program};
+
+/// Cumulative optimization levels (Figure 10's O1–O4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum OptLevel {
+    /// No IR optimization (Grizzly-simulated).
+    O0,
+    /// Local + global dead-code elimination.
+    O1,
+    /// `O1` + group-aggregate elimination.
+    O2,
+    /// `O2` + self-join elimination.
+    O3,
+    /// `O3` + rule inlining (the default).
+    #[default]
+    O4,
+}
+
+impl OptLevel {
+    /// All levels in ascending order.
+    pub fn all() -> [OptLevel; 5] {
+        [
+            OptLevel::O0,
+            OptLevel::O1,
+            OptLevel::O2,
+            OptLevel::O3,
+            OptLevel::O4,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "O0",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O2",
+            OptLevel::O3 => "O3",
+            OptLevel::O4 => "O4",
+        }
+    }
+}
+
+/// Optimizes a program at the given level. The catalog supplies the
+/// uniqueness facts for O2/O3 (paper: annotations + database catalog).
+pub fn optimize(mut program: Program, catalog: &Catalog, level: OptLevel) -> Program {
+    if level >= OptLevel::O1 {
+        program = dce::local_dce(program);
+        program = dce::global_dce(program, catalog);
+    }
+    if level >= OptLevel::O2 {
+        program = groupelim::eliminate_group_aggregates(program, catalog);
+        program = dce::local_dce(program);
+    }
+    if level >= OptLevel::O3 {
+        program = selfjoin::eliminate_self_joins(program, catalog);
+        program = dce::local_dce(program);
+        program = dce::global_dce(program, catalog);
+    }
+    if level >= OptLevel::O4 {
+        program = inline::inline_rules(program);
+        program = dce::local_dce(program);
+        program = dce::global_dce(program, catalog);
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytond_common::DType;
+    use pytond_tondir::builder::*;
+    use pytond_tondir::{AggFunc, ScalarOp, TableSchema, Term};
+
+    fn catalog() -> Catalog {
+        Catalog::new().with(
+            TableSchema::new(
+                "r",
+                vec![
+                    ("id".into(), DType::Int),
+                    ("a".into(), DType::Int),
+                    ("b".into(), DType::Float),
+                ],
+            )
+            .with_unique(&["id"]),
+        )
+    }
+
+    /// End-to-end: all four optimizations compose on a small pipeline.
+    #[test]
+    fn levels_are_cumulative_and_shrink_programs() {
+        // v1: filter; v2: project; v3: group on unique id (eliminable);
+        // final: plain projection.
+        let p = Program {
+            rules: vec![
+                rule(
+                    head("v1", &["id", "a", "b"]),
+                    vec![
+                        rel("r", "r", &["id", "a", "b"]),
+                        cmp(ScalarOp::Gt, Term::var("a"), Term::int(0)),
+                        assign("dead", Term::var("b")), // local DCE target
+                    ],
+                ),
+                rule(
+                    head("v2", &["id", "b"]),
+                    vec![rel("v1", "v1", &["id", "a", "b"])],
+                ),
+                {
+                    let mut r3 = rule(
+                        head("v3", &["id", "s"]),
+                        vec![
+                            rel("v2", "v2", &["id", "b"]),
+                            assign("s", Term::agg(AggFunc::Sum, Term::var("b"))),
+                        ],
+                    );
+                    r3.head.group = Some(vec!["id".into()]);
+                    r3
+                },
+                rule(head("out", &["s"]), vec![rel("v3", "v3", &["id", "s"])]),
+            ],
+        };
+        let o0 = optimize(p.clone(), &catalog(), OptLevel::O0);
+        assert_eq!(o0.rules.len(), 4);
+        let o1 = optimize(p.clone(), &catalog(), OptLevel::O1);
+        // dead assign removed
+        assert!(o1.rules[0].body.atoms.len() < p.rules[0].body.atoms.len());
+        let o2 = optimize(p.clone(), &catalog(), OptLevel::O2);
+        // grouping on the unique id disappears
+        assert!(o2.rules.iter().all(|r| r.head.group.is_none()));
+        let o4 = optimize(p, &catalog(), OptLevel::O4);
+        // chain collapses into a single rule
+        assert_eq!(o4.rules.len(), 1, "{o4:#?}");
+    }
+}

@@ -1,0 +1,278 @@
+//! Self-join elimination (paper, Section IV): two accesses to the same
+//! relation joined on a unique key collapse into one.
+
+use crate::uniqueness::infer_with_schemas;
+use pytond_common::hash::FxHashMap;
+use pytond_tondir::{Atom, Catalog, Program, Term};
+
+/// Merges redundant self-joins. Two `Rel` atoms over the same relation that
+/// share a variable bound at a unique-key position reference the *same row*;
+/// the second access's variables are substituted by the first's.
+pub fn eliminate_self_joins(mut program: Program, catalog: &Catalog) -> Program {
+    let unique = infer_with_schemas(&program, catalog);
+    for rule in &mut program.rules {
+        loop {
+            let Some((first, second, renames)) = find_mergeable(rule, &unique) else {
+                break;
+            };
+            let _ = first;
+            // Rename the second access's variables throughout the rule, then
+            // delete the access.
+            rule.body.atoms.remove(second);
+            let rename = |v: &str| renames.get(v).cloned();
+            for atom in &mut rule.body.atoms {
+                rename_atom(atom, &rename);
+            }
+            for (_, v) in &mut rule.head.cols {
+                if let Some(nv) = renames.get(v.as_str()) {
+                    *v = nv.clone();
+                }
+            }
+            if let Some(g) = &mut rule.head.group {
+                for v in g {
+                    if let Some(nv) = renames.get(v.as_str()) {
+                        *v = nv.clone();
+                    }
+                }
+            }
+            if let Some(s) = &mut rule.head.sort {
+                for (v, _) in s {
+                    if let Some(nv) = renames.get(v.as_str()) {
+                        *v = nv.clone();
+                    }
+                }
+            }
+        }
+    }
+    program
+}
+
+fn rename_atom(atom: &mut Atom, rename: &impl Fn(&str) -> Option<String>) {
+    match atom {
+        Atom::Rel { vars, .. } | Atom::ConstRel { vars, .. } => {
+            for v in vars {
+                if let Some(nv) = rename(v) {
+                    *v = nv;
+                }
+            }
+        }
+        Atom::Pred(t) => t.rename_vars(&mut |v| rename(v)),
+        Atom::Assign { term, .. } => term.rename_vars(&mut |v| rename(v)),
+        Atom::Exists { keys, .. } => {
+            for (outer, _) in keys {
+                if let Some(nv) = rename(outer) {
+                    *outer = nv;
+                }
+            }
+        }
+        Atom::OuterJoin { on, .. } => {
+            for (l, r) in on {
+                if let Some(nv) = rename(l) {
+                    *l = nv;
+                }
+                if let Some(nv) = rename(r) {
+                    *r = nv;
+                }
+            }
+        }
+    }
+}
+
+/// Finds a pair of same-relation accesses joined on a unique position.
+/// Returns (first index, second index, second-vars → first-vars mapping).
+fn find_mergeable(
+    rule: &pytond_tondir::Rule,
+    unique: &crate::uniqueness::SchemaUnique,
+) -> Option<(usize, usize, FxHashMap<String, String>)> {
+    // Outer-joined aliases must not be merged.
+    let mut outer_aliases: Vec<&str> = Vec::new();
+    for atom in &rule.body.atoms {
+        if let Atom::OuterJoin { left, right, .. } = atom {
+            outer_aliases.push(left);
+            outer_aliases.push(right);
+        }
+    }
+    let accesses: Vec<(usize, &String, &String, &Vec<String>)> = rule
+        .body
+        .atoms
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| match a {
+            Atom::Rel { rel, alias, vars } => Some((i, rel, alias, vars)),
+            _ => None,
+        })
+        .collect();
+    // Equality predicates contribute additional join pairs: x = y.
+    let mut eqs: Vec<(String, String)> = Vec::new();
+    for atom in &rule.body.atoms {
+        if let Atom::Pred(Term::Bin {
+            op: pytond_tondir::ScalarOp::Eq,
+            lhs,
+            rhs,
+        }) = atom
+        {
+            if let (Term::Var(a), Term::Var(b)) = (lhs.as_ref(), rhs.as_ref()) {
+                eqs.push((a.clone(), b.clone()));
+            }
+        }
+    }
+    let joined = |a: &str, b: &str| -> bool {
+        a == b
+            || eqs
+                .iter()
+                .any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+    };
+    for (ai, (i1, rel1, alias1, vars1)) in accesses.iter().enumerate() {
+        for (i2, rel2, alias2, vars2) in accesses.iter().skip(ai + 1) {
+            if rel1 != rel2 || vars1.len() != vars2.len() {
+                continue;
+            }
+            if outer_aliases.contains(&alias1.as_str())
+                || outer_aliases.contains(&alias2.as_str())
+            {
+                continue;
+            }
+            // A shared (or equated) variable at the same unique position?
+            let mergeable = vars1.iter().zip(vars2.iter()).enumerate().any(|(p, (a, b))| {
+                joined(a, b) && unique.position_is_unique(rel1, p)
+            });
+            if mergeable {
+                let mut renames = FxHashMap::default();
+                for (a, b) in vars1.iter().zip(vars2.iter()) {
+                    if a != b {
+                        renames.insert(b.clone(), a.clone());
+                    }
+                }
+                return Some((*i1, *i2, renames));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytond_common::DType;
+    use pytond_tondir::builder::*;
+    use pytond_tondir::{ScalarOp, TableSchema};
+
+    fn catalog() -> Catalog {
+        Catalog::new().with(
+            TableSchema::new(
+                "r",
+                vec![
+                    ("a".into(), DType::Int),
+                    ("b".into(), DType::Int),
+                    ("c".into(), DType::Int),
+                    ("d".into(), DType::Int),
+                ],
+            )
+            .with_unique(&["a"]),
+        )
+    }
+
+    /// The paper's example: `R1(z) :- R(a,b1,c1,d1), R(a,b2,c2,d2), (z=b1*c2)`
+    /// collapses to one access.
+    #[test]
+    fn merges_unique_key_self_join() {
+        let p = Program {
+            rules: vec![rule(
+                head("r1", &["z"]),
+                vec![
+                    rel("r", "t1", &["a", "b1", "c1", "d1"]),
+                    rel("r", "t2", &["a", "b2", "c2", "d2"]),
+                    assign(
+                        "z",
+                        Term::bin(ScalarOp::Mul, Term::var("b1"), Term::var("c2")),
+                    ),
+                ],
+            )],
+        };
+        let out = eliminate_self_joins(p, &catalog());
+        let accesses = out.rules[0]
+            .body
+            .atoms
+            .iter()
+            .filter(|a| matches!(a, Atom::Rel { .. }))
+            .count();
+        assert_eq!(accesses, 1);
+        // z now reads b1 * c1.
+        match &out.rules[0].body.atoms[1] {
+            Atom::Assign { term, .. } => {
+                assert_eq!(
+                    *term,
+                    Term::bin(ScalarOp::Mul, Term::var("b1"), Term::var("c1"))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_predicate_joins_count() {
+        let p = Program {
+            rules: vec![rule(
+                head("r1", &["b1"]),
+                vec![
+                    rel("r", "t1", &["a1", "b1", "c1", "d1"]),
+                    rel("r", "t2", &["a2", "b2", "c2", "d2"]),
+                    cmp(ScalarOp::Eq, Term::var("a1"), Term::var("a2")),
+                ],
+            )],
+        };
+        let out = eliminate_self_joins(p, &catalog());
+        let accesses = out.rules[0]
+            .body
+            .atoms
+            .iter()
+            .filter(|a| matches!(a, Atom::Rel { .. }))
+            .count();
+        assert_eq!(accesses, 1);
+    }
+
+    #[test]
+    fn non_unique_join_keeps_both() {
+        let p = Program {
+            rules: vec![rule(
+                head("r1", &["c1"]),
+                vec![
+                    rel("r", "t1", &["a1", "b", "c1", "d1"]),
+                    rel("r", "t2", &["a2", "b", "c2", "d2"]), // join on b (not unique)
+                ],
+            )],
+        };
+        let out = eliminate_self_joins(p, &catalog());
+        let accesses = out.rules[0]
+            .body
+            .atoms
+            .iter()
+            .filter(|a| matches!(a, Atom::Rel { .. }))
+            .count();
+        assert_eq!(accesses, 2);
+    }
+
+    #[test]
+    fn different_relations_untouched() {
+        let cat = catalog().with(
+            TableSchema::new("s", vec![("a".into(), DType::Int)]).with_unique(&["a"]),
+        );
+        let p = Program {
+            rules: vec![rule(
+                head("r1", &["a"]),
+                vec![
+                    rel("r", "t1", &["a", "b", "c", "d"]),
+                    rel("s", "t2", &["a"]),
+                ],
+            )],
+        };
+        let out = eliminate_self_joins(p, &cat);
+        let accesses = out.rules[0]
+            .body
+            .atoms
+            .iter()
+            .filter(|a| matches!(a, Atom::Rel { .. }))
+            .count();
+        assert_eq!(accesses, 2);
+    }
+}

@@ -1,0 +1,374 @@
+//! Abstract syntax tree of the supported Python subset.
+//!
+//! Node shapes intentionally mirror CPython's `ast` module (`Attribute`,
+//! `Subscript`, `Call` with `args`/`keywords`, ...) so the translation rules
+//! in `pytond-translate` read like the paper's.
+
+use std::fmt;
+
+/// A parsed source file: a sequence of top-level statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Top-level statements (function definitions and straight-line code).
+    pub stmts: Vec<Stmt>,
+}
+
+impl Module {
+    /// Finds a function definition by name.
+    pub fn function(&self, name: &str) -> Option<&FuncDef> {
+        self.stmts.iter().find_map(|s| match s {
+            Stmt::FuncDef(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// All function definitions carrying a decorator called `deco`.
+    pub fn decorated_functions(&self, deco: &str) -> Vec<&FuncDef> {
+        self.stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::FuncDef(f) if f.decorators.iter().any(|d| d.name == deco) => Some(f),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `def name(params): body` with optional decorators.
+    FuncDef(FuncDef),
+    /// `target = value` (target is a name, attribute, or subscript).
+    Assign {
+        /// Assignment target.
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `target op= value`.
+    AugAssign {
+        /// Assignment target.
+        target: Expr,
+        /// The augmenting operator (`+=` → `Add`, ...).
+        op: BinOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// A bare expression statement.
+    Expr(Expr),
+    /// `return [value]`.
+    Return(Option<Expr>),
+    /// `pass`.
+    Pass,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Positional parameter names.
+    pub params: Vec<String>,
+    /// Decorators, outermost first.
+    pub decorators: Vec<Decorator>,
+    /// Straight-line body.
+    pub body: Vec<Stmt>,
+}
+
+/// A decorator application: `@name` or `@name(args, kw=...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decorator {
+    /// Decorator name (dotted names are joined with `.`).
+    pub name: String,
+    /// Positional arguments.
+    pub args: Vec<Expr>,
+    /// Keyword arguments.
+    pub kwargs: Vec<(String, Expr)>,
+}
+
+impl Decorator {
+    /// Looks up a keyword argument by name.
+    pub fn kwarg(&self, name: &str) -> Option<&Expr> {
+        self.kwargs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Identifier.
+    Name(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `True` / `False`.
+    Bool(bool),
+    /// `None`.
+    NoneLit,
+    /// `value.attr`.
+    Attribute {
+        /// The object.
+        value: Box<Expr>,
+        /// The attribute name.
+        attr: String,
+    },
+    /// `value[index]`.
+    Subscript {
+        /// The subscripted object.
+        value: Box<Expr>,
+        /// The index expression (may be a [`Expr::Slice`] or tuple).
+        index: Box<Expr>,
+    },
+    /// `lower:upper:step` inside a subscript.
+    Slice {
+        /// Lower bound.
+        lower: Option<Box<Expr>>,
+        /// Upper bound.
+        upper: Option<Box<Expr>>,
+        /// Step.
+        step: Option<Box<Expr>>,
+    },
+    /// `func(args, kw=...)`.
+    Call {
+        /// Callee expression.
+        func: Box<Expr>,
+        /// Positional arguments.
+        args: Vec<Expr>,
+        /// Keyword arguments.
+        kwargs: Vec<(String, Expr)>,
+    },
+    /// `[a, b, ...]`.
+    List(Vec<Expr>),
+    /// `(a, b, ...)`.
+    Tuple(Vec<Expr>),
+    /// `{k: v, ...}`.
+    Dict(Vec<(Expr, Expr)>),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation (arithmetic, bitwise-mask, or `and`/`or`).
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A single comparison (chains are desugared to `and` of pairs).
+    Compare {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `body if test else orelse`.
+    IfExp {
+        /// Condition.
+        test: Box<Expr>,
+        /// Value when true.
+        body: Box<Expr>,
+        /// Value when false.
+        orelse: Box<Expr>,
+    },
+    /// `lambda params: body`.
+    Lambda {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body expression.
+        body: Box<Expr>,
+    },
+    /// `*value` in a call argument list (e.g. `f(*args)`).
+    Starred(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience: the string when this is a string literal.
+    pub fn as_str_lit(&self) -> Option<&str> {
+        match self {
+            Expr::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the identifier when this is a plain name.
+    pub fn as_name(&self) -> Option<&str> {
+        match self {
+            Expr::Name(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Flattens a dotted attribute chain to `a.b.c` when the base is a name.
+    pub fn dotted_name(&self) -> Option<String> {
+        match self {
+            Expr::Name(n) => Some(n.clone()),
+            Expr::Attribute { value, attr } => {
+                value.dotted_name().map(|base| format!("{base}.{attr}"))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators, including the boolean-mask bitwise family and the
+/// short-circuit keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `//`
+    FloorDiv,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+    /// `&` (element-wise AND on masks)
+    BitAnd,
+    /// `|` (element-wise OR on masks)
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `-`
+    Neg,
+    /// `+`
+    Pos,
+    /// `not`
+    Not,
+    /// `~` (element-wise NOT on masks)
+    Invert,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in`
+    In,
+    /// `not in`
+    NotIn,
+    /// `is`
+    Is,
+    /// `is not`
+    IsNot,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+            BinOp::Pow => "**",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::In => "in",
+            CmpOp::NotIn => "not in",
+            CmpOp::Is => "is",
+            CmpOp::IsNot => "is not",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_name_flattening() {
+        let e = Expr::Attribute {
+            value: Box::new(Expr::Attribute {
+                value: Box::new(Expr::Name("np".into())),
+                attr: "linalg".into(),
+            }),
+            attr: "norm".into(),
+        };
+        assert_eq!(e.dotted_name().unwrap(), "np.linalg.norm");
+        let call = Expr::Call {
+            func: Box::new(e),
+            args: vec![],
+            kwargs: vec![],
+        };
+        assert_eq!(call.dotted_name(), None);
+    }
+
+    #[test]
+    fn module_function_lookup() {
+        let m = Module {
+            stmts: vec![Stmt::FuncDef(FuncDef {
+                name: "q".into(),
+                params: vec![],
+                decorators: vec![Decorator {
+                    name: "pytond".into(),
+                    args: vec![],
+                    kwargs: vec![("layout".into(), Expr::Str("dense".into()))],
+                }],
+                body: vec![Stmt::Pass],
+            })],
+        };
+        assert!(m.function("q").is_some());
+        assert_eq!(m.decorated_functions("pytond").len(), 1);
+        let d = &m.function("q").unwrap().decorators[0];
+        assert_eq!(d.kwarg("layout").unwrap().as_str_lit(), Some("dense"));
+    }
+}

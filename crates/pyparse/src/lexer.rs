@@ -1,0 +1,548 @@
+//! CPython-style tokenizer for the supported subset.
+//!
+//! Produces a token stream with explicit `Newline`, `Indent` and `Dedent`
+//! tokens. Inside `()`/`[]`/`{}` newlines are ignored (implicit line
+//! joining), as are backslash-continued lines. `#` comments run to end of
+//! line. String literals support single/double quotes and `''' / \"\"\"`
+//! triple-quoted forms with the common escape sequences.
+
+use pytond_common::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Name(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped content).
+    Str(String),
+    /// Any operator or delimiter, stored canonically (`"=="`, `"("`, ...).
+    Op(&'static str),
+    /// Logical end of line.
+    Newline,
+    /// Indentation increased.
+    Indent,
+    /// Indentation decreased (one token per level closed).
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// A token plus its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// All multi-character operators, longest first so maximal munch works.
+const OPERATORS: &[&str] = &[
+    "**=", "//=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "->", "**", "//", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "@=", "(", ")", "[", "]", "{", "}", ",",
+    ":", ".", ";", "@", "=", "+", "-", "*", "/", "%", "&", "|", "^", "~", "<", ">",
+];
+
+/// Tokenizes `src`, returning the token stream ending in `Eof`.
+pub fn tokenize(src: &str) -> Result<Vec<SpannedTok>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    paren_depth: usize,
+    indents: Vec<usize>,
+    toks: Vec<SpannedTok>,
+    at_line_start: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            paren_depth: 0,
+            indents: vec![0],
+            toks: Vec::new(),
+            at_line_start: true,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.toks.push(SpannedTok {
+            tok,
+            line: self.line,
+        });
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse(format!("line {}: {}", self.line, msg.into()))
+    }
+
+    fn run(mut self) -> Result<Vec<SpannedTok>> {
+        loop {
+            if self.at_line_start && self.paren_depth == 0 {
+                if !self.handle_indentation()? {
+                    break; // EOF reached while scanning indentation
+                }
+                self.at_line_start = false;
+            }
+            let Some(c) = self.peek() else { break };
+            match c {
+                b' ' | b'\t' | b'\r' => {
+                    self.bump();
+                }
+                b'#' => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'\\' if self.peek2() == Some(b'\n') => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\n' => {
+                    self.bump();
+                    if self.paren_depth == 0 {
+                        // Collapse blank lines: only emit Newline after real tokens.
+                        if matches!(
+                            self.toks.last().map(|t| &t.tok),
+                            Some(Tok::Newline) | Some(Tok::Indent) | Some(Tok::Dedent) | None
+                        ) {
+                            // skip
+                        } else {
+                            self.push(Tok::Newline);
+                        }
+                        self.at_line_start = true;
+                    }
+                }
+                b'\'' | b'"' => self.lex_string()?,
+                b'0'..=b'9' => self.lex_number()?,
+                b'.' if matches!(self.peek2(), Some(b'0'..=b'9')) => self.lex_number()?,
+                c if c.is_ascii_alphabetic() || c == b'_' => self.lex_name(),
+                _ => self.lex_operator()?,
+            }
+        }
+        // Close the final line and any open indentation.
+        if !matches!(
+            self.toks.last().map(|t| &t.tok),
+            Some(Tok::Newline) | Some(Tok::Dedent) | None
+        ) {
+            self.push(Tok::Newline);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push(Tok::Dedent);
+        }
+        self.push(Tok::Eof);
+        Ok(self.toks)
+    }
+
+    /// Measures leading whitespace, emitting Indent/Dedent. Returns false at EOF.
+    fn handle_indentation(&mut self) -> Result<bool> {
+        loop {
+            let start = self.pos;
+            let mut width = 0usize;
+            while let Some(c) = self.peek() {
+                match c {
+                    b' ' => {
+                        width += 1;
+                        self.bump();
+                    }
+                    b'\t' => {
+                        width += 8 - width % 8;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                None => return Ok(false),
+                Some(b'\n') => {
+                    self.bump(); // blank line: ignore
+                    continue;
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                Some(_) => {
+                    let _ = start;
+                    let current = *self.indents.last().unwrap();
+                    if width > current {
+                        self.indents.push(width);
+                        self.push(Tok::Indent);
+                    } else if width < current {
+                        while *self.indents.last().unwrap() > width {
+                            self.indents.pop();
+                            self.push(Tok::Dedent);
+                        }
+                        if *self.indents.last().unwrap() != width {
+                            return Err(self.err("inconsistent dedent"));
+                        }
+                    }
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    fn lex_name(&mut self) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii ident")
+            .to_string();
+        self.push(Tok::Name(s));
+    }
+
+    fn lex_number(&mut self) -> Result<()> {
+        let start = self.pos;
+        let mut is_float = false;
+        // Hex/octal/binary integer prefixes.
+        if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.bump();
+            let base_char = self.bump().unwrap();
+            let base = match base_char {
+                b'x' | b'X' => 16,
+                b'o' | b'O' => 8,
+                _ => 2,
+            };
+            let digs = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text: String = std::str::from_utf8(&self.src[digs..self.pos])
+                .unwrap()
+                .chars()
+                .filter(|&c| c != '_')
+                .collect();
+            let v = i64::from_str_radix(&text, base)
+                .map_err(|_| self.err(format!("bad integer literal '{text}'")))?;
+            self.push(Tok::Int(v));
+            return Ok(());
+        }
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' | b'_' => {
+                    self.bump();
+                }
+                b'.' if !is_float && matches!(self.peek2(), Some(b'0'..=b'9') | None)
+                    || c == b'.' && !is_float && !matches!(self.peek2(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.')) =>
+                {
+                    is_float = true;
+                    self.bump();
+                }
+                b'e' | b'E' => {
+                    // exponent only if followed by digit or sign+digit
+                    let next = self.peek2();
+                    let after_sign = self.src.get(self.pos + 2).copied();
+                    let valid = matches!(next, Some(b'0'..=b'9'))
+                        || (matches!(next, Some(b'+' | b'-'))
+                            && matches!(after_sign, Some(b'0'..=b'9')));
+                    if valid {
+                        is_float = true;
+                        self.bump(); // e
+                        if matches!(self.peek(), Some(b'+' | b'-')) {
+                            self.bump();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap()
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad float literal '{text}'")))?;
+            self.push(Tok::Float(v));
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad integer literal '{text}'")))?;
+            self.push(Tok::Int(v));
+        }
+        Ok(())
+    }
+
+    fn lex_string(&mut self) -> Result<()> {
+        let quote = self.bump().unwrap();
+        let triple = self.peek() == Some(quote) && self.peek2() == Some(quote);
+        if triple {
+            self.bump();
+            self.bump();
+        }
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.bump() else {
+                return Err(self.err("unterminated string literal"));
+            };
+            if c == b'\\' {
+                let Some(esc) = self.bump() else {
+                    return Err(self.err("unterminated escape"));
+                };
+                match esc {
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'\\' => out.push('\\'),
+                    b'\'' => out.push('\''),
+                    b'"' => out.push('"'),
+                    b'0' => out.push('\0'),
+                    b'\n' => {} // line continuation inside string
+                    other => {
+                        out.push('\\');
+                        out.push(other as char);
+                    }
+                }
+            } else if c == quote {
+                if triple {
+                    if self.peek() == Some(quote) && self.peek2() == Some(quote) {
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    out.push(quote as char);
+                } else {
+                    break;
+                }
+            } else if c == b'\n' && !triple {
+                return Err(self.err("newline in string literal"));
+            } else {
+                // Collect full UTF-8 sequences byte-wise.
+                out.push(c as char);
+            }
+        }
+        self.push(Tok::Str(out));
+        Ok(())
+    }
+
+    fn lex_operator(&mut self) -> Result<()> {
+        let rest = &self.src[self.pos..];
+        for op in OPERATORS {
+            if rest.starts_with(op.as_bytes()) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                match *op {
+                    "(" | "[" | "{" => self.paren_depth += 1,
+                    ")" | "]" | "}" => {
+                        self.paren_depth = self.paren_depth.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+                self.push(Tok::Op(op));
+                return Ok(());
+            }
+        }
+        Err(self.err(format!(
+            "unexpected character '{}'",
+            self.peek().map(|c| c as char).unwrap_or('?')
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            toks("x = 1\n"),
+            vec![
+                Tok::Name("x".into()),
+                Tok::Op("="),
+                Tok::Int(1),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("1 2.5 1e3 0x10 1_000 .5"),
+            vec![
+                Tok::Int(1),
+                Tok::Float(2.5),
+                Tok::Float(1000.0),
+                Tok::Int(16),
+                Tok::Int(1000),
+                Tok::Float(0.5),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn method_call_on_int_like_attr_not_float() {
+        // `df.head` after a number-ish context: "x.sum()" must not lex `.sum` as float.
+        assert_eq!(
+            toks("x.sum()"),
+            vec![
+                Tok::Name("x".into()),
+                Tok::Op("."),
+                Tok::Name("sum".into()),
+                Tok::Op("("),
+                Tok::Op(")"),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_quotes() {
+        assert_eq!(
+            toks(r#"'a\'b' "c\nd""#),
+            vec![
+                Tok::Str("a'b".into()),
+                Tok::Str("c\nd".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn triple_quoted_string_spans_lines() {
+        assert_eq!(
+            toks("s = '''a\nb'''\n"),
+            vec![
+                Tok::Name("s".into()),
+                Tok::Op("="),
+                Tok::Str("a\nb".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn implicit_line_joining_in_brackets() {
+        let t = toks("f(a,\n  b)\n");
+        assert!(!t
+            .iter()
+            .take(t.len() - 2)
+            .any(|t| matches!(t, Tok::Newline | Tok::Indent)));
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let t = toks("def f():\n    x = 1\n    y = 2\nz = 3\n");
+        let indents = t.iter().filter(|t| matches!(t, Tok::Indent)).count();
+        let dedents = t.iter().filter(|t| matches!(t, Tok::Dedent)).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let t = toks("# header\n\nx = 1  # trailing\n\n\ny = 2\n");
+        let names: Vec<_> = t
+            .iter()
+            .filter_map(|t| match t {
+                Tok::Name(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["x", "y"]);
+        let newlines = t.iter().filter(|t| matches!(t, Tok::Newline)).count();
+        assert_eq!(newlines, 2);
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        assert_eq!(
+            toks("a ** b // c == d"),
+            vec![
+                Tok::Name("a".into()),
+                Tok::Op("**"),
+                Tok::Name("b".into()),
+                Tok::Op("//"),
+                Tok::Name("c".into()),
+                Tok::Op("=="),
+                Tok::Name("d".into()),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn dedent_multiple_levels() {
+        let t = toks("def f():\n  if_x = 1\n  def g():\n    y = 2\nz = 1\n");
+        let dedents = t.iter().filter(|t| matches!(t, Tok::Dedent)).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn backslash_continuation() {
+        let t = toks("x = 1 + \\\n    2\n");
+        let newlines = t.iter().filter(|t| matches!(t, Tok::Newline)).count();
+        assert_eq!(newlines, 1);
+    }
+}

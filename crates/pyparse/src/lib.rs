@@ -1,0 +1,25 @@
+//! Python-subset front-end for PyTond.
+//!
+//! PyTond consumes the abstract syntax tree of functions decorated with
+//! `@pytond` (paper, Section III-B). In the original system that AST comes
+//! from CPython's `ast` module; here we implement a self-contained lexer and
+//! recursive-descent parser for the Python subset that Pandas/NumPy
+//! data-science pipelines use:
+//!
+//! * module-level (optionally decorated) function definitions,
+//! * straight-line bodies of assignments / expression statements / `return`,
+//! * the full Python expression grammar down to lambdas, conditional
+//!   expressions, boolean-mask operators (`&`, `|`, `~`), comparisons
+//!   (including `in`/`not in` and chained comparisons), subscripts, slices,
+//!   attribute access, calls with keyword arguments, and the literal forms
+//!   (numbers, strings, lists, tuples, dicts, `True`/`False`/`None`).
+//!
+//! Indentation, comments and implicit line-joining inside brackets follow the
+//! CPython tokenizer rules.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{BinOp, CmpOp, Decorator, Expr, FuncDef, Module, Stmt, UnaryOp};
+pub use parser::parse_module;

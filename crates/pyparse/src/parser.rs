@@ -1,0 +1,980 @@
+//! Recursive-descent parser with CPython operator precedence.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, SpannedTok, Tok};
+use pytond_common::{Error, Result};
+
+/// Parses a complete source file into a [`Module`].
+pub fn parse_module(src: &str) -> Result<Module> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    loop {
+        p.skip_newlines();
+        if p.check(&Tok::Eof) {
+            break;
+        }
+        stmts.push(p.statement()?);
+    }
+    Ok(Module { stmts })
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_ahead(&self, n: usize) -> &Tok {
+        &self.toks[(self.pos + n).min(self.toks.len() - 1)].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    fn check_op(&self, op: &str) -> bool {
+        matches!(self.peek(), Tok::Op(o) if *o == op)
+    }
+
+    fn check_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Name(n) if n == kw)
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if self.check_op(op) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.check_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_op(&mut self, op: &str) -> Result<()> {
+        if self.eat_op(op) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{op}', found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_name(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Name(n) => Ok(n),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse(format!("line {}: {}", self.line(), msg.into()))
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Tok::Newline) {
+            self.bump();
+        }
+    }
+
+    fn end_statement(&mut self) -> Result<()> {
+        if self.eat_op(";") {
+            return Ok(());
+        }
+        match self.peek() {
+            Tok::Newline => {
+                self.bump();
+                Ok(())
+            }
+            Tok::Eof | Tok::Dedent => Ok(()),
+            other => Err(self.err(format!("expected end of statement, found {other:?}"))),
+        }
+    }
+
+    // ---------------- statements ----------------
+
+    fn statement(&mut self) -> Result<Stmt> {
+        if self.check_op("@") || self.check_kw("def") {
+            return Ok(Stmt::FuncDef(self.funcdef()?));
+        }
+        if self.eat_kw("return") {
+            if matches!(self.peek(), Tok::Newline | Tok::Eof | Tok::Dedent) {
+                self.end_statement()?;
+                return Ok(Stmt::Return(None));
+            }
+            let v = self.expression()?;
+            self.end_statement()?;
+            return Ok(Stmt::Return(Some(v)));
+        }
+        if self.eat_kw("pass") {
+            self.end_statement()?;
+            return Ok(Stmt::Pass);
+        }
+        if self.eat_kw("import") || self.eat_kw("from") {
+            // imports are irrelevant to translation; consume the line
+            while !matches!(self.peek(), Tok::Newline | Tok::Eof) {
+                self.bump();
+            }
+            self.end_statement()?;
+            return Ok(Stmt::Pass);
+        }
+        let first = self.expression()?;
+        const AUG: &[(&str, BinOp)] = &[
+            ("+=", BinOp::Add),
+            ("-=", BinOp::Sub),
+            ("*=", BinOp::Mul),
+            ("/=", BinOp::Div),
+            ("//=", BinOp::FloorDiv),
+            ("%=", BinOp::Mod),
+            ("**=", BinOp::Pow),
+            ("&=", BinOp::BitAnd),
+            ("|=", BinOp::BitOr),
+            ("^=", BinOp::BitXor),
+        ];
+        for (op, bop) in AUG {
+            if self.check_op(op) {
+                self.bump();
+                let value = self.expression()?;
+                self.end_statement()?;
+                return Ok(Stmt::AugAssign {
+                    target: first,
+                    op: *bop,
+                    value,
+                });
+            }
+        }
+        if self.eat_op("=") {
+            let mut value = self.expression()?;
+            // Chained assignment a = b = expr: right-associate; we only keep
+            // the first target (sufficient for straight-line DS code).
+            while self.eat_op("=") {
+                value = self.expression()?;
+            }
+            self.end_statement()?;
+            return Ok(Stmt::Assign {
+                target: first,
+                value,
+            });
+        }
+        self.end_statement()?;
+        Ok(Stmt::Expr(first))
+    }
+
+    fn funcdef(&mut self) -> Result<FuncDef> {
+        let mut decorators = Vec::new();
+        while self.eat_op("@") {
+            let mut name = self.expect_name()?;
+            while self.eat_op(".") {
+                name.push('.');
+                name.push_str(&self.expect_name()?);
+            }
+            let (args, kwargs) = if self.check_op("(") {
+                self.call_args()?
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            decorators.push(Decorator { name, args, kwargs });
+            self.skip_newlines();
+        }
+        if !self.eat_kw("def") {
+            return Err(self.err("expected 'def' after decorators"));
+        }
+        let name = self.expect_name()?;
+        self.expect_op("(")?;
+        let mut params = Vec::new();
+        while !self.check_op(")") {
+            params.push(self.expect_name()?);
+            // ignore default values / annotations
+            if self.eat_op(":") {
+                self.expression()?;
+            }
+            if self.eat_op("=") {
+                self.expression()?;
+            }
+            if !self.eat_op(",") {
+                break;
+            }
+        }
+        self.expect_op(")")?;
+        if self.eat_op("->") {
+            self.expression()?;
+        }
+        self.expect_op(":")?;
+        self.end_statement()?;
+        self.skip_newlines();
+        if !matches!(self.peek(), Tok::Indent) {
+            return Err(self.err("expected indented function body"));
+        }
+        self.bump();
+        let mut body = Vec::new();
+        loop {
+            self.skip_newlines();
+            if matches!(self.peek(), Tok::Dedent) {
+                self.bump();
+                break;
+            }
+            if matches!(self.peek(), Tok::Eof) {
+                break;
+            }
+            body.push(self.statement()?);
+        }
+        Ok(FuncDef {
+            name,
+            params,
+            decorators,
+            body,
+        })
+    }
+
+    // ---------------- expressions ----------------
+
+    /// Entry: lambda | ternary.
+    fn expression(&mut self) -> Result<Expr> {
+        if self.check_kw("lambda") {
+            return self.lambda();
+        }
+        self.ternary()
+    }
+
+    fn lambda(&mut self) -> Result<Expr> {
+        self.bump(); // lambda
+        let mut params = Vec::new();
+        while !self.check_op(":") {
+            params.push(self.expect_name()?);
+            if !self.eat_op(",") {
+                break;
+            }
+        }
+        self.expect_op(":")?;
+        let body = self.expression()?;
+        Ok(Expr::Lambda {
+            params,
+            body: Box::new(body),
+        })
+    }
+
+    fn ternary(&mut self) -> Result<Expr> {
+        let body = self.or_expr()?;
+        if self.eat_kw("if") {
+            let test = self.or_expr()?;
+            if !self.eat_kw("else") {
+                return Err(self.err("expected 'else' in conditional expression"));
+            }
+            let orelse = self.expression()?;
+            return Ok(Expr::IfExp {
+                test: Box::new(test),
+                body: Box::new(body),
+                orelse: Box::new(orelse),
+            });
+        }
+        Ok(body)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let operand = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let first = self.bitor()?;
+        let mut comparisons: Vec<(CmpOp, Expr)> = Vec::new();
+        let mut prev = first.clone();
+        loop {
+            let op = if self.eat_op("==") {
+                CmpOp::Eq
+            } else if self.eat_op("!=") {
+                CmpOp::Ne
+            } else if self.eat_op("<=") {
+                CmpOp::Le
+            } else if self.eat_op(">=") {
+                CmpOp::Ge
+            } else if self.eat_op("<") {
+                CmpOp::Lt
+            } else if self.eat_op(">") {
+                CmpOp::Gt
+            } else if self.check_kw("in") {
+                self.bump();
+                CmpOp::In
+            } else if self.check_kw("not") && matches!(self.peek_ahead(1), Tok::Name(n) if n == "in")
+            {
+                self.bump();
+                self.bump();
+                CmpOp::NotIn
+            } else if self.check_kw("is") {
+                self.bump();
+                if self.eat_kw("not") {
+                    CmpOp::IsNot
+                } else {
+                    CmpOp::Is
+                }
+            } else {
+                break;
+            };
+            let right = self.bitor()?;
+            comparisons.push((op, right.clone()));
+            prev = right;
+        }
+        let _ = prev;
+        match comparisons.len() {
+            0 => Ok(first),
+            1 => {
+                let (op, right) = comparisons.into_iter().next().unwrap();
+                Ok(Expr::Compare {
+                    op,
+                    left: Box::new(first),
+                    right: Box::new(right),
+                })
+            }
+            _ => {
+                // a < b < c  →  (a < b) and (b < c)
+                let mut left_operand = first;
+                let mut result: Option<Expr> = None;
+                for (op, right) in comparisons {
+                    let cmp = Expr::Compare {
+                        op,
+                        left: Box::new(left_operand.clone()),
+                        right: Box::new(right.clone()),
+                    };
+                    result = Some(match result {
+                        None => cmp,
+                        Some(acc) => Expr::Binary {
+                            op: BinOp::And,
+                            left: Box::new(acc),
+                            right: Box::new(cmp),
+                        },
+                    });
+                    left_operand = right;
+                }
+                Ok(result.unwrap())
+            }
+        }
+    }
+
+    fn bitor(&mut self) -> Result<Expr> {
+        let mut left = self.bitxor()?;
+        while self.check_op("|") {
+            self.bump();
+            let right = self.bitxor()?;
+            left = Expr::Binary {
+                op: BinOp::BitOr,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr> {
+        let mut left = self.bitand()?;
+        while self.check_op("^") {
+            self.bump();
+            let right = self.bitand()?;
+            left = Expr::Binary {
+                op: BinOp::BitXor,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn bitand(&mut self) -> Result<Expr> {
+        let mut left = self.additive()?;
+        while self.check_op("&") {
+            self.bump();
+            let right = self.additive()?;
+            left = Expr::Binary {
+                op: BinOp::BitAnd,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = if self.check_op("+") {
+                BinOp::Add
+            } else if self.check_op("-") {
+                BinOp::Sub
+            } else {
+                break;
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = if self.check_op("*") {
+                BinOp::Mul
+            } else if self.check_op("/") {
+                BinOp::Div
+            } else if self.check_op("//") {
+                BinOp::FloorDiv
+            } else if self.check_op("%") {
+                BinOp::Mod
+            } else {
+                break;
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        let op = if self.check_op("-") {
+            Some(UnaryOp::Neg)
+        } else if self.check_op("+") {
+            Some(UnaryOp::Pos)
+        } else if self.check_op("~") {
+            Some(UnaryOp::Invert)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            // Constant-fold negative literals for nicer downstream matching.
+            if op == UnaryOp::Neg {
+                match &operand {
+                    Expr::Int(i) => return Ok(Expr::Int(-i)),
+                    Expr::Float(f) => return Ok(Expr::Float(-f)),
+                    _ => {}
+                }
+            }
+            return Ok(Expr::Unary {
+                op,
+                operand: Box::new(operand),
+            });
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr> {
+        let base = self.postfix()?;
+        if self.eat_op("**") {
+            let exp = self.unary()?; // right-assoc, allows -x in exponent
+            return Ok(Expr::Binary {
+                op: BinOp::Pow,
+                left: Box::new(base),
+                right: Box::new(exp),
+            });
+        }
+        Ok(base)
+    }
+
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.atom()?;
+        loop {
+            if self.check_op("(") {
+                let (args, kwargs) = self.call_args()?;
+                e = Expr::Call {
+                    func: Box::new(e),
+                    args,
+                    kwargs,
+                };
+            } else if self.eat_op(".") {
+                let attr = self.expect_name()?;
+                e = Expr::Attribute {
+                    value: Box::new(e),
+                    attr,
+                };
+            } else if self.eat_op("[") {
+                let index = self.subscript_index()?;
+                self.expect_op("]")?;
+                e = Expr::Subscript {
+                    value: Box::new(e),
+                    index: Box::new(index),
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    /// Parses the inside of `[...]`: slices, tuples of slices, expressions.
+    fn subscript_index(&mut self) -> Result<Expr> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.slice_item()?);
+            if !self.eat_op(",") {
+                break;
+            }
+            if self.check_op("]") {
+                break;
+            }
+        }
+        Ok(if items.len() == 1 {
+            items.into_iter().next().unwrap()
+        } else {
+            Expr::Tuple(items)
+        })
+    }
+
+    fn slice_item(&mut self) -> Result<Expr> {
+        let lower = if self.check_op(":") {
+            None
+        } else {
+            Some(Box::new(self.expression()?))
+        };
+        if !self.eat_op(":") {
+            return Ok(*lower.expect("non-slice item has expression"));
+        }
+        let upper = if self.check_op(":") || self.check_op("]") || self.check_op(",") {
+            None
+        } else {
+            Some(Box::new(self.expression()?))
+        };
+        let step = if self.eat_op(":") {
+            if self.check_op("]") || self.check_op(",") {
+                None
+            } else {
+                Some(Box::new(self.expression()?))
+            }
+        } else {
+            None
+        };
+        Ok(Expr::Slice { lower, upper, step })
+    }
+
+    fn call_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>)> {
+        self.expect_op("(")?;
+        let mut args = Vec::new();
+        let mut kwargs = Vec::new();
+        while !self.check_op(")") {
+            if self.eat_op("*") {
+                let inner = self.expression()?;
+                args.push(Expr::Starred(Box::new(inner)));
+            } else if matches!(self.peek(), Tok::Name(_))
+                && matches!(self.peek_ahead(1), Tok::Op("="))
+            {
+                let name = self.expect_name()?;
+                self.expect_op("=")?;
+                let value = self.expression()?;
+                kwargs.push((name, value));
+            } else {
+                args.push(self.expression()?);
+            }
+            if !self.eat_op(",") {
+                break;
+            }
+        }
+        self.expect_op(")")?;
+        Ok((args, kwargs))
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Tok::Int(i) => Ok(Expr::Int(i)),
+            Tok::Float(f) => Ok(Expr::Float(f)),
+            Tok::Str(s) => {
+                // adjacent string literal concatenation
+                let mut out = s;
+                while let Tok::Str(next) = self.peek() {
+                    out.push_str(next);
+                    self.bump();
+                }
+                Ok(Expr::Str(out))
+            }
+            Tok::Name(n) => match n.as_str() {
+                "True" => Ok(Expr::Bool(true)),
+                "False" => Ok(Expr::Bool(false)),
+                "None" => Ok(Expr::NoneLit),
+                "lambda" => {
+                    // lambda appearing as an argument: back up and reparse
+                    self.pos -= 1;
+                    self.lambda()
+                }
+                _ => Ok(Expr::Name(n)),
+            },
+            Tok::Op("(") => {
+                if self.eat_op(")") {
+                    return Ok(Expr::Tuple(Vec::new()));
+                }
+                let first = self.expression()?;
+                if self.eat_op(",") {
+                    let mut items = vec![first];
+                    while !self.check_op(")") {
+                        items.push(self.expression()?);
+                        if !self.eat_op(",") {
+                            break;
+                        }
+                    }
+                    self.expect_op(")")?;
+                    return Ok(Expr::Tuple(items));
+                }
+                self.expect_op(")")?;
+                Ok(first)
+            }
+            Tok::Op("[") => {
+                let mut items = Vec::new();
+                while !self.check_op("]") {
+                    items.push(self.expression()?);
+                    if !self.eat_op(",") {
+                        break;
+                    }
+                }
+                self.expect_op("]")?;
+                Ok(Expr::List(items))
+            }
+            Tok::Op("{") => {
+                let mut items = Vec::new();
+                while !self.check_op("}") {
+                    let k = self.expression()?;
+                    self.expect_op(":")?;
+                    let v = self.expression()?;
+                    items.push((k, v));
+                    if !self.eat_op(",") {
+                        break;
+                    }
+                }
+                self.expect_op("}")?;
+                Ok(Expr::Dict(items))
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        let m = parse_module(src).unwrap();
+        match m.stmts.into_iter().next().unwrap() {
+            Stmt::Expr(e) => e,
+            Stmt::Assign { value, .. } => value,
+            other => panic!("expected expression, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mask_ops_bind_tighter_than_comparison() {
+        // CPython precedence: `&` binds tighter than `>`, which is exactly
+        // why pandas masks need parentheses. `a & b > 1` = `(a & b) > 1`.
+        let e = expr("a & b > 1");
+        match e {
+            Expr::Compare {
+                op: CmpOp::Gt,
+                left,
+                ..
+            } => {
+                assert!(matches!(
+                    *left,
+                    Expr::Binary {
+                        op: BinOp::BitAnd,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = expr("1 + 2 * 3");
+        match e {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => assert!(matches!(
+                *right,
+                Expr::Binary {
+                    op: BinOp::Mul,
+                    ..
+                }
+            )),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let e = expr("2 ** 3 ** 2");
+        match e {
+            Expr::Binary {
+                op: BinOp::Pow,
+                right,
+                ..
+            } => assert!(matches!(
+                *right,
+                Expr::Binary {
+                    op: BinOp::Pow,
+                    ..
+                }
+            )),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_comparison_desugars_to_and() {
+        let e = expr("1 < x < 10");
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::And,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn method_chain_with_kwargs() {
+        let e = expr("df.sort_values(by=['a', 'b'], ascending=False).head(5)");
+        match e {
+            Expr::Call { func, args, .. } => {
+                assert_eq!(args, vec![Expr::Int(5)]);
+                match *func {
+                    Expr::Attribute { attr, value } => {
+                        assert_eq!(attr, "head");
+                        match *value {
+                            Expr::Call { kwargs, .. } => {
+                                assert_eq!(kwargs.len(), 2);
+                                assert_eq!(kwargs[0].0, "by");
+                                assert_eq!(kwargs[1].1, Expr::Bool(false));
+                            }
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_mask_expression() {
+        let e = expr("df[(df.a > 1) & ~(df.b == 'x')]");
+        match e {
+            Expr::Subscript { index, .. } => match *index {
+                Expr::Binary {
+                    op: BinOp::BitAnd,
+                    right,
+                    ..
+                } => assert!(matches!(
+                    *right,
+                    Expr::Unary {
+                        op: UnaryOp::Invert,
+                        ..
+                    }
+                )),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slices() {
+        let e = expr("a[1:10:2]");
+        match e {
+            Expr::Subscript { index, .. } => match *index {
+                Expr::Slice { lower, upper, step } => {
+                    assert_eq!(*lower.unwrap(), Expr::Int(1));
+                    assert_eq!(*upper.unwrap(), Expr::Int(10));
+                    assert_eq!(*step.unwrap(), Expr::Int(2));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        let open = expr("a[:, 0]");
+        match open {
+            Expr::Subscript { index, .. } => assert!(matches!(*index, Expr::Tuple(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decorated_function() {
+        let src = r#"
+@pytond(layout='dense', unique=['id'])
+def q(df):
+    v = df[df.a > 10]
+    return v
+"#;
+        let m = parse_module(src).unwrap();
+        let f = m.function("q").unwrap();
+        assert_eq!(f.params, vec!["df"]);
+        assert_eq!(f.decorators.len(), 1);
+        assert_eq!(
+            f.decorators[0].kwarg("layout").unwrap().as_str_lit(),
+            Some("dense")
+        );
+        assert_eq!(f.body.len(), 2);
+        assert!(matches!(f.body[1], Stmt::Return(Some(_))));
+    }
+
+    #[test]
+    fn lambda_expressions() {
+        let e = expr("df.apply(lambda x: x + 1)");
+        match e {
+            Expr::Call { args, .. } => match &args[0] {
+                Expr::Lambda { params, body } => {
+                    assert_eq!(params, &vec!["x".to_string()]);
+                    assert!(matches!(**body, Expr::Binary { .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_expression() {
+        let e = expr("1 if x > 0 else 2");
+        assert!(matches!(e, Expr::IfExp { .. }));
+    }
+
+    #[test]
+    fn dict_and_list_literals() {
+        let e = expr("{'a': 'sum', 'b': 'mean'}");
+        match e {
+            Expr::Dict(items) => assert_eq!(items.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        let e = expr("[1, 2, 3]");
+        assert_eq!(e, Expr::List(vec![Expr::Int(1), Expr::Int(2), Expr::Int(3)]));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        assert_eq!(expr("-3"), Expr::Int(-3));
+        assert_eq!(expr("-2.5"), Expr::Float(-2.5));
+    }
+
+    #[test]
+    fn multiline_call_with_comments() {
+        let src = r#"
+res = df.merge(  # join
+    other,
+    left_on='a',
+    right_on='b',
+)
+"#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.stmts.len(), 1);
+    }
+
+    #[test]
+    fn subscript_assignment_statement() {
+        let m = parse_module("df['c'] = df['a'] + df['b']\n").unwrap();
+        match &m.stmts[0] {
+            Stmt::Assign { target, .. } => assert!(matches!(target, Expr::Subscript { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn imports_become_pass() {
+        let m = parse_module("import numpy as np\nfrom pandas import DataFrame\nx = 1\n").unwrap();
+        assert_eq!(m.stmts.len(), 3);
+        assert!(matches!(m.stmts[0], Stmt::Pass));
+        assert!(matches!(m.stmts[1], Stmt::Pass));
+    }
+
+    #[test]
+    fn starred_args() {
+        let e = expr("f(*cols)");
+        match e {
+            Expr::Call { args, .. } => assert!(matches!(args[0], Expr::Starred(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tuple_subscript_fancy_indexing() {
+        let e = expr("m[rows, 1]");
+        match e {
+            Expr::Subscript { index, .. } => match *index {
+                Expr::Tuple(items) => assert_eq!(items.len(), 2),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse_module("x = 1\ny = ][\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,999 @@
+//! Binder: SQL AST → logical plan.
+//!
+//! Responsibilities:
+//!
+//! * name resolution against base tables, CTEs and FROM aliases;
+//! * building the join tree — explicit `JOIN ... ON` syntax directly,
+//!   comma-list FROM items greedily connected through WHERE equi-predicates
+//!   (cross join only when no connecting predicate exists);
+//! * `IN (subquery)` / `EXISTS` conjuncts → semi/anti joins;
+//! * uncorrelated scalar subqueries → cross-joined 1-row inputs;
+//! * the two-phase aggregate rewrite (aggregate node, then a post-projection
+//!   evaluating the select items over group keys and aggregate results);
+//! * `row_number() OVER` → window node;
+//! * ORDER BY over output aliases (hidden sort columns appended when a key is
+//!   not part of the projection).
+
+use crate::ast::*;
+use crate::db::Database;
+use crate::expr::{BExpr, LikePattern, SFunc};
+use crate::plan::{BAgg, BoundQuery, JKind, LogicalPlan};
+use crate::table::{Field, Schema};
+use pytond_common::{DType, Error, Result, Value};
+
+/// Binds a parsed query against the database catalog.
+pub fn bind_query(db: &Database, q: &Query) -> Result<BoundQuery> {
+    let mut binder = Binder {
+        db,
+        ctes: Vec::new(),
+    };
+    for cte in &q.ctes {
+        let mut plan = binder.bind_select(&cte.select)?;
+        if let Some(cols) = &cte.columns {
+            if cols.len() != plan.schema().len() {
+                return Err(Error::Plan(format!(
+                    "CTE '{}' declares {} columns but produces {}",
+                    cte.name,
+                    cols.len(),
+                    plan.schema().len()
+                )));
+            }
+            plan = rename_output(plan, cols);
+        }
+        binder.ctes.push((cte.name.clone(), plan));
+    }
+    let root = binder.bind_select(&q.body)?;
+    Ok(BoundQuery {
+        ctes: binder.ctes,
+        root,
+    })
+}
+
+/// Wraps a plan so its output field names become `names` (unqualified).
+fn rename_output(plan: LogicalPlan, names: &[String]) -> LogicalPlan {
+    let schema = Schema::new(
+        names
+            .iter()
+            .zip(&plan.schema().fields)
+            .map(|(n, f)| Field::new(n.clone(), f.dtype))
+            .collect(),
+    );
+    let exprs = (0..names.len()).map(BExpr::Col).collect();
+    LogicalPlan::Project {
+        input: Box::new(plan),
+        exprs,
+        schema,
+    }
+}
+
+struct Binder<'a> {
+    db: &'a Database,
+    ctes: Vec<(String, LogicalPlan)>,
+}
+
+/// Aggregate-binding context used while rewriting select items over the
+/// aggregate node's output.
+struct AggCtx {
+    /// Bound group-key expressions (over the pre-aggregate schema).
+    group_keys: Vec<BExpr>,
+    /// Their source SQL form, for structural matching.
+    group_sql: Vec<SqlExpr>,
+    /// Collected aggregate specs (deduplicated).
+    aggs: Vec<BAgg>,
+}
+
+impl<'a> Binder<'a> {
+    fn relation_schema(&self, name: &str) -> Result<Schema> {
+        for (cte, plan) in self.ctes.iter().rev() {
+            if cte.eq_ignore_ascii_case(name) {
+                return Ok(plan.schema().clone());
+            }
+        }
+        self.db
+            .table(name)
+            .map(|t| t.schema.clone())
+            .ok_or_else(|| Error::Plan(format!("unknown table '{name}'")))
+    }
+
+    fn bind_select(&self, s: &Select) -> Result<LogicalPlan> {
+        if let Some(rows) = &s.values {
+            return self.bind_values(rows);
+        }
+        // ---- FROM ----
+        let (mut plan, consumed_where) = self.bind_from(s)?;
+
+        // ---- WHERE residue (subquery predicates + unconsumed conjuncts) ----
+        for conj in consumed_where.remaining {
+            plan = self.apply_predicate(plan, &conj)?;
+        }
+
+        // ---- aggregate detection ----
+        let has_agg = !s.group_by.is_empty()
+            || s.items.iter().any(|i| match i {
+                SelectItem::Expr { expr, .. } => expr.contains_agg(),
+                _ => false,
+            })
+            || s.having.as_ref().map_or(false, |h| h.contains_agg())
+            || s.order_by.iter().any(|(e, _)| e.contains_agg());
+
+        let (mut plan, mut items): (LogicalPlan, Vec<(BExpr, String)>) = if has_agg {
+            self.bind_aggregate_select(plan, s)?
+        } else {
+            let schema = plan.schema().clone();
+            let mut items = Vec::new();
+            for item in &s.items {
+                match item {
+                    SelectItem::Wildcard => {
+                        for (i, f) in schema.fields.iter().enumerate() {
+                            items.push((BExpr::Col(i), f.name.clone()));
+                        }
+                    }
+                    SelectItem::QualifiedWildcard(q) => {
+                        for (i, f) in schema.fields.iter().enumerate() {
+                            if f.qualifier
+                                .as_deref()
+                                .map_or(false, |fq| fq.eq_ignore_ascii_case(q))
+                            {
+                                items.push((BExpr::Col(i), f.name.clone()));
+                            }
+                        }
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        let (bexpr, plan2) = self.bind_with_windows(expr, plan)?;
+                        plan = plan2;
+                        let name = alias.clone().unwrap_or_else(|| default_name(expr));
+                        items.push((bexpr, name));
+                    }
+                }
+            }
+            (plan, items)
+        };
+
+        // ---- HAVING (non-agg path; agg path handles it internally) ----
+        if !has_agg {
+            if let Some(h) = &s.having {
+                let pred = self.bind_expr(h, plan.schema(), None)?;
+                plan = LogicalPlan::Filter {
+                    input: Box::new(plan),
+                    pred,
+                };
+            }
+        }
+
+        // ---- ORDER BY: resolve over output items, append hidden keys ----
+        let mut sort_keys: Vec<(usize, bool)> = Vec::new();
+        let n_visible = items.len();
+        for (key, asc) in &s.order_by {
+            let bound = match self.resolve_order_key(key, s, &items, plan.schema(), has_agg)? {
+                OrderKey::Existing(i) => i,
+                OrderKey::Hidden(bexpr) => {
+                    items.push((bexpr, format!("__sort{}", items.len())));
+                    items.len() - 1
+                }
+            };
+            sort_keys.push((bound, *asc));
+        }
+
+        // ---- projection (with hidden sort columns) ----
+        let in_types: Vec<DType> = plan.schema().fields.iter().map(|f| f.dtype).collect();
+        let schema = Schema::new(
+            items
+                .iter()
+                .map(|(e, n)| Field::new(n.clone(), e.dtype(&in_types)))
+                .collect(),
+        );
+        let mut out = LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs: items.iter().map(|(e, _)| e.clone()).collect(),
+            schema,
+        };
+
+        if s.distinct {
+            out = LogicalPlan::Distinct {
+                input: Box::new(out),
+            };
+        }
+        if !sort_keys.is_empty() {
+            out = LogicalPlan::Sort {
+                input: Box::new(out),
+                keys: sort_keys
+                    .iter()
+                    .map(|(i, asc)| (BExpr::Col(*i), *asc))
+                    .collect(),
+            };
+        }
+        if let Some(n) = s.limit {
+            out = LogicalPlan::Limit {
+                input: Box::new(out),
+                n,
+            };
+        }
+        // Drop hidden sort columns.
+        if items.len() > n_visible {
+            let schema = Schema::new(out.schema().fields[..n_visible].to_vec());
+            out = LogicalPlan::Project {
+                input: Box::new(out),
+                exprs: (0..n_visible).map(BExpr::Col).collect(),
+                schema,
+            };
+        }
+        Ok(out)
+    }
+
+    fn bind_values(&self, rows: &[Vec<SqlExpr>]) -> Result<LogicalPlan> {
+        let mut out_rows = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut vals = Vec::with_capacity(row.len());
+            for e in row {
+                vals.push(literal_value(e)?);
+            }
+            out_rows.push(vals);
+        }
+        let ncols = out_rows.first().map_or(0, |r| r.len());
+        let fields: Vec<Field> = (0..ncols)
+            .map(|i| {
+                let dtype = out_rows
+                    .iter()
+                    .find_map(|r| r[i].dtype())
+                    .unwrap_or(DType::Int);
+                Field::new(format!("col{i}"), dtype)
+            })
+            .collect();
+        Ok(LogicalPlan::Values {
+            schema: Schema::new(fields),
+            rows: out_rows,
+        })
+    }
+
+    // ---------------- FROM handling ----------------
+
+    fn bind_from(&self, s: &Select) -> Result<(LogicalPlan, WhereResidue)> {
+        let conjuncts = s
+            .where_clause
+            .as_ref()
+            .map(split_conjuncts)
+            .unwrap_or_default();
+        if s.from.is_empty() {
+            // SELECT <exprs> with no FROM: single-row dummy input.
+            let plan = LogicalPlan::Values {
+                schema: Schema::new(vec![Field::new("__dummy", DType::Int)]),
+                rows: vec![vec![Value::Int(0)]],
+            };
+            return Ok((
+                plan,
+                WhereResidue {
+                    remaining: conjuncts,
+                },
+            ));
+        }
+        // Bind each top-level FROM item.
+        let mut parts: Vec<LogicalPlan> = Vec::new();
+        for tr in &s.from {
+            parts.push(self.bind_table_ref(tr)?);
+        }
+        // Greedy connection of comma-separated parts via equi-predicates.
+        let mut used = vec![false; conjuncts.len()];
+        let mut current = parts.remove(0);
+        while !parts.is_empty() {
+            let cur_schema = current.schema().clone();
+            let mut pick: Option<usize> = None;
+            'outer: for (pi, part) in parts.iter().enumerate() {
+                for conj in &conjuncts {
+                    if equi_pair(conj, &cur_schema, part.schema()).is_some() {
+                        pick = Some(pi);
+                        break 'outer;
+                    }
+                }
+            }
+            let idx = pick.unwrap_or(0);
+            let part = parts.remove(idx);
+            // Collect all applicable equi-keys between current and part.
+            let mut lkeys = Vec::new();
+            let mut rkeys = Vec::new();
+            for (ci, conj) in conjuncts.iter().enumerate() {
+                if used[ci] {
+                    continue;
+                }
+                if let Some((le, re)) = equi_pair(conj, current.schema(), part.schema()) {
+                    lkeys.push(le);
+                    rkeys.push(re);
+                    used[ci] = true;
+                }
+            }
+            let kind = if lkeys.is_empty() {
+                JKind::Cross
+            } else {
+                JKind::Inner
+            };
+            let schema = current.schema().concat(part.schema());
+            current = LogicalPlan::Join {
+                left: Box::new(current),
+                right: Box::new(part),
+                kind,
+                left_keys: lkeys,
+                right_keys: rkeys,
+                residual: None,
+                schema,
+            };
+        }
+        let remaining: Vec<SqlExpr> = conjuncts
+            .into_iter()
+            .zip(used)
+            .filter_map(|(c, u)| (!u).then_some(c))
+            .collect();
+        Ok((current, WhereResidue { remaining }))
+    }
+
+    fn bind_table_ref(&self, tr: &TableRef) -> Result<LogicalPlan> {
+        match tr {
+            TableRef::Table { name, alias } => {
+                let schema = self.relation_schema(name)?;
+                let alias = alias.clone().unwrap_or_else(|| name.clone());
+                Ok(LogicalPlan::Scan {
+                    table: name.clone(),
+                    schema: schema.requalify(&alias),
+                    projection: None,
+                })
+            }
+            TableRef::Subquery { query, alias } => {
+                let plan = self.bind_select(query)?;
+                let schema = plan.schema().requalify(alias);
+                Ok(match plan {
+                    // Re-qualification only changes the schema.
+                    LogicalPlan::Project {
+                        input,
+                        exprs,
+                        schema: _,
+                    } => LogicalPlan::Project {
+                        input,
+                        exprs,
+                        schema,
+                    },
+                    other => LogicalPlan::Project {
+                        exprs: (0..schema.len()).map(BExpr::Col).collect(),
+                        input: Box::new(other),
+                        schema,
+                    },
+                })
+            }
+            TableRef::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let l = self.bind_table_ref(left)?;
+                let r = self.bind_table_ref(right)?;
+                let schema = l.schema().concat(r.schema());
+                let jkind = match kind {
+                    JoinKind::Inner => JKind::Inner,
+                    JoinKind::Left => JKind::Left,
+                    JoinKind::Right => JKind::Right,
+                    JoinKind::Full => JKind::Full,
+                    JoinKind::Cross => JKind::Cross,
+                };
+                let mut lkeys = Vec::new();
+                let mut rkeys = Vec::new();
+                let mut residual: Option<BExpr> = None;
+                if let Some(on) = on {
+                    for conj in split_conjuncts(on) {
+                        if let Some((le, re)) = equi_pair(&conj, l.schema(), r.schema()) {
+                            lkeys.push(le);
+                            rkeys.push(re);
+                        } else {
+                            let bound = self.bind_expr(&conj, &schema, None)?;
+                            residual = Some(match residual {
+                                None => bound,
+                                Some(prev) => BExpr::Bin {
+                                    op: BinOp::And,
+                                    l: Box::new(prev),
+                                    r: Box::new(bound),
+                                },
+                            });
+                        }
+                    }
+                }
+                Ok(LogicalPlan::Join {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    kind: jkind,
+                    left_keys: lkeys,
+                    right_keys: rkeys,
+                    residual,
+                    schema,
+                })
+            }
+        }
+    }
+
+    /// Applies one WHERE conjunct: plain predicates filter; subquery
+    /// predicates become semi/anti joins; scalar subqueries cross-join.
+    fn apply_predicate(&self, plan: LogicalPlan, conj: &SqlExpr) -> Result<LogicalPlan> {
+        match conj {
+            SqlExpr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let sub = self.bind_select(query)?;
+                if sub.schema().len() != 1 {
+                    return Err(Error::Plan(
+                        "IN subquery must produce exactly one column".into(),
+                    ));
+                }
+                let key = self.bind_expr(expr, plan.schema(), None)?;
+                let schema = plan.schema().clone();
+                Ok(LogicalPlan::Join {
+                    left: Box::new(plan),
+                    right: Box::new(sub),
+                    kind: if *negated { JKind::Anti } else { JKind::Semi },
+                    left_keys: vec![key],
+                    right_keys: vec![BExpr::Col(0)],
+                    residual: None,
+                    schema,
+                })
+            }
+            SqlExpr::Exists { query, negated } => {
+                // Uncorrelated EXISTS: all-or-nothing semi join without keys.
+                let sub = self.bind_select(query)?;
+                let schema = plan.schema().clone();
+                Ok(LogicalPlan::Join {
+                    left: Box::new(plan),
+                    right: Box::new(sub),
+                    kind: if *negated { JKind::Anti } else { JKind::Semi },
+                    left_keys: Vec::new(),
+                    right_keys: Vec::new(),
+                    residual: None,
+                    schema,
+                })
+            }
+            other => {
+                // Scalar subqueries inside the predicate: cross join each as a
+                // one-row input, then rewrite the expression.
+                let mut plan = plan;
+                let mut expr = other.clone();
+                while let Some(sub) = find_scalar_subquery(&expr) {
+                    let mut sub_plan = self.bind_select(&sub)?;
+                    if sub_plan.schema().len() != 1 {
+                        return Err(Error::Plan(
+                            "scalar subquery must produce one column".into(),
+                        ));
+                    }
+                    let col_index = plan.schema().len();
+                    // Name the appended column so the rewritten predicate can
+                    // resolve it unambiguously.
+                    sub_plan = rename_output(sub_plan, &[scalar_col_name(col_index)]);
+                    let schema = plan.schema().concat(sub_plan.schema());
+                    plan = LogicalPlan::Join {
+                        left: Box::new(plan),
+                        right: Box::new(sub_plan),
+                        kind: JKind::Cross,
+                        left_keys: Vec::new(),
+                        right_keys: Vec::new(),
+                        residual: None,
+                        schema,
+                    };
+                    expr = replace_scalar_subquery(expr, col_index);
+                }
+                let pred = self.bind_expr(&expr, plan.schema(), None)?;
+                Ok(LogicalPlan::Filter {
+                    input: Box::new(plan),
+                    pred,
+                })
+            }
+        }
+    }
+
+    // ---------------- aggregation ----------------
+
+    fn bind_aggregate_select(
+        &self,
+        input: LogicalPlan,
+        s: &Select,
+    ) -> Result<(LogicalPlan, Vec<(BExpr, String)>)> {
+        let in_schema = input.schema().clone();
+        let mut ctx = AggCtx {
+            group_keys: Vec::new(),
+            group_sql: Vec::new(),
+            aggs: Vec::new(),
+        };
+        for g in &s.group_by {
+            let bound = self.bind_expr(g, &in_schema, None)?;
+            ctx.group_keys.push(bound);
+            ctx.group_sql.push(g.clone());
+        }
+        // Bind the items over the (virtual) aggregate output.
+        let mut items = Vec::new();
+        for item in &s.items {
+            match item {
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                    return Err(Error::Plan(
+                        "SELECT * is not valid with GROUP BY".into(),
+                    ));
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let bexpr = self.bind_expr(expr, &in_schema, Some(&mut ctx))?;
+                    let name = alias.clone().unwrap_or_else(|| default_name(expr));
+                    items.push((bexpr, name));
+                }
+            }
+        }
+        let having = s
+            .having
+            .as_ref()
+            .map(|h| self.bind_expr(h, &in_schema, Some(&mut ctx)))
+            .transpose()?;
+
+        // Order keys that aren't resolvable over the projection also need the
+        // agg rewrite; bind them now so their aggregates get registered.
+        let mut bound_order: Vec<Option<BExpr>> = Vec::new();
+        for (key, _) in &s.order_by {
+            if order_key_as_output(key, &items).is_some() {
+                bound_order.push(None);
+            } else {
+                bound_order.push(Some(self.bind_expr(key, &in_schema, Some(&mut ctx))?));
+            }
+        }
+        let _ = bound_order; // re-resolved by the caller via resolve_order_key
+
+        // Build the aggregate node schema: group keys then aggregates.
+        let in_types: Vec<DType> = in_schema.fields.iter().map(|f| f.dtype).collect();
+        let mut fields = Vec::new();
+        for (i, g) in ctx.group_keys.iter().enumerate() {
+            let name = match &s.group_by[i] {
+                SqlExpr::Column { name, .. } => name.clone(),
+                _ => format!("__grp{i}"),
+            };
+            fields.push(Field::new(name, g.dtype(&in_types)));
+        }
+        for (i, a) in ctx.aggs.iter().enumerate() {
+            let dtype = agg_output_type(a, &in_types);
+            fields.push(Field::new(format!("__agg{i}"), dtype));
+        }
+        let mut plan = LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group: ctx.group_keys.clone(),
+            aggs: ctx.aggs.clone(),
+            schema: Schema::new(fields),
+        };
+        if let Some(h) = having {
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                pred: h,
+            };
+        }
+        Ok((plan, items))
+    }
+
+    /// Window-function handling for non-aggregate selects: each
+    /// `row_number()` in an item appends a Window node and the expression
+    /// becomes a reference to the appended column.
+    fn bind_with_windows(
+        &self,
+        expr: &SqlExpr,
+        plan: LogicalPlan,
+    ) -> Result<(BExpr, LogicalPlan)> {
+        if let SqlExpr::RowNumber { order_by } = expr {
+            let keys = order_by
+                .iter()
+                .map(|(e, asc)| Ok((self.bind_expr(e, plan.schema(), None)?, *asc)))
+                .collect::<Result<Vec<_>>>()?;
+            let idx = plan.schema().len();
+            let mut fields = plan.schema().fields.clone();
+            fields.push(Field::new(format!("__rownum{idx}"), DType::Int));
+            let plan = LogicalPlan::Window {
+                input: Box::new(plan),
+                order: keys,
+                schema: Schema::new(fields),
+            };
+            return Ok((BExpr::Col(idx), plan));
+        }
+        if expr.contains_window() {
+            return Err(Error::Plan(
+                "window functions are only supported as top-level select items".into(),
+            ));
+        }
+        let bound = self.bind_expr(expr, plan.schema(), None)?;
+        Ok((bound, plan))
+    }
+
+    fn resolve_order_key(
+        &self,
+        key: &SqlExpr,
+        s: &Select,
+        items: &[(BExpr, String)],
+        pre_schema: &Schema,
+        has_agg: bool,
+    ) -> Result<OrderKey> {
+        if let Some(i) = order_key_as_output(key, items) {
+            return Ok(OrderKey::Existing(i));
+        }
+        // Structural match against the original select-item expressions
+        // (covers `ORDER BY SUM(x)` when `SUM(x)` is also projected).
+        for (i, item) in s.items.iter().enumerate() {
+            if let SelectItem::Expr { expr, .. } = item {
+                if expr == key {
+                    return Ok(OrderKey::Existing(i));
+                }
+            }
+        }
+        if has_agg {
+            return Err(Error::Plan(format!(
+                "ORDER BY key {key:?} must reference an output column in aggregate queries"
+            )));
+        }
+        let bound = self.bind_expr(key, pre_schema, None)?;
+        // Structural match against projected expressions.
+        if let Some(i) = items.iter().position(|(e, _)| *e == bound) {
+            return Ok(OrderKey::Existing(i));
+        }
+        Ok(OrderKey::Hidden(bound))
+    }
+
+    // ---------------- expression binding ----------------
+
+    fn bind_expr(
+        &self,
+        e: &SqlExpr,
+        schema: &Schema,
+        mut agg: Option<&mut AggCtx>,
+    ) -> Result<BExpr> {
+        // In aggregate context, check group-key structural match first.
+        if let Some(ctx) = agg.as_deref_mut() {
+            if let Some(i) = ctx.group_sql.iter().position(|g| g == e) {
+                return Ok(BExpr::Col(i));
+            }
+            if let SqlExpr::Agg {
+                func,
+                arg,
+                distinct,
+            } = e
+            {
+                let bound_arg = arg
+                    .as_ref()
+                    .map(|a| self.bind_expr(a, schema, None))
+                    .transpose()?;
+                let spec = BAgg {
+                    func: *func,
+                    arg: bound_arg,
+                    distinct: *distinct,
+                };
+                let idx = match ctx.aggs.iter().position(|a| *a == spec) {
+                    Some(i) => i,
+                    None => {
+                        ctx.aggs.push(spec);
+                        ctx.aggs.len() - 1
+                    }
+                };
+                return Ok(BExpr::Col(ctx.group_keys.len() + idx));
+            }
+            // Plain column in aggregate context: allowed only if it matches a
+            // group key by resolution.
+            if let SqlExpr::Column { qualifier, name } = e {
+                let i = schema.resolve(qualifier.as_deref(), name)?;
+                if let Some(g) = ctx.group_keys.iter().position(|k| *k == BExpr::Col(i)) {
+                    return Ok(BExpr::Col(g));
+                }
+                return Err(Error::Plan(format!(
+                    "column '{name}' must appear in GROUP BY or inside an aggregate"
+                )));
+            }
+        }
+        match e {
+            SqlExpr::Column { qualifier, name } => {
+                let i = schema.resolve(qualifier.as_deref(), name)?;
+                Ok(BExpr::Col(i))
+            }
+            SqlExpr::Int(i) => Ok(BExpr::Lit(Value::Int(*i))),
+            SqlExpr::Float(f) => Ok(BExpr::Lit(Value::Float(*f))),
+            SqlExpr::Str(s) => Ok(BExpr::Lit(Value::Str(s.clone()))),
+            SqlExpr::Bool(b) => Ok(BExpr::Lit(Value::Bool(*b))),
+            SqlExpr::Null => Ok(BExpr::Lit(Value::Null)),
+            SqlExpr::DateLit(d) => Ok(BExpr::Lit(Value::Date(*d))),
+            SqlExpr::Bin { op, left, right } => {
+                // Fold `expr ± INTERVAL_*` into date functions.
+                if let SqlExpr::Func { name, args } = right.as_ref() {
+                    if let Some(unit) = name.strip_prefix("INTERVAL_") {
+                        let n = match args.first() {
+                            Some(SqlExpr::Int(n)) => *n,
+                            _ => return Err(Error::Plan("bad INTERVAL argument".into())),
+                        };
+                        let n = if *op == BinOp::Sub { -n } else { n };
+                        let f = match unit {
+                            "MONTH" | "MONTHS" => SFunc::AddMonths,
+                            "YEAR" | "YEARS" => SFunc::AddYears,
+                            "DAY" | "DAYS" => SFunc::AddDays,
+                            other => {
+                                return Err(Error::Plan(format!(
+                                    "unsupported INTERVAL unit '{other}'"
+                                )))
+                            }
+                        };
+                        let base = self.bind_expr(left, schema, agg)?;
+                        return Ok(BExpr::Func {
+                            f,
+                            args: vec![base, BExpr::Lit(Value::Int(n))],
+                        });
+                    }
+                }
+                let l = self.bind_expr(left, schema, agg.as_deref_mut())?;
+                let r = self.bind_expr(right, schema, agg)?;
+                Ok(BExpr::Bin {
+                    op: *op,
+                    l: Box::new(l),
+                    r: Box::new(r),
+                })
+            }
+            SqlExpr::Neg(inner) => Ok(BExpr::Neg(Box::new(self.bind_expr(inner, schema, agg)?))),
+            SqlExpr::Not(inner) => Ok(BExpr::Not(Box::new(self.bind_expr(inner, schema, agg)?))),
+            SqlExpr::IsNull { expr, negated } => Ok(BExpr::IsNull {
+                e: Box::new(self.bind_expr(expr, schema, agg)?),
+                negated: *negated,
+            }),
+            SqlExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Ok(BExpr::Like {
+                e: Box::new(self.bind_expr(expr, schema, agg)?),
+                pattern: LikePattern::compile(pattern),
+                negated: *negated,
+            }),
+            SqlExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let e = self.bind_expr(expr, schema, agg)?;
+                let vals = list
+                    .iter()
+                    .map(literal_value)
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(BExpr::InList {
+                    e: Box::new(e),
+                    list: vals,
+                    negated: *negated,
+                })
+            }
+            SqlExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let e = self.bind_expr(expr, schema, agg.as_deref_mut())?;
+                let lo = self.bind_expr(low, schema, agg.as_deref_mut())?;
+                let hi = self.bind_expr(high, schema, agg)?;
+                let ge = BExpr::Bin {
+                    op: BinOp::Ge,
+                    l: Box::new(e.clone()),
+                    r: Box::new(lo),
+                };
+                let le = BExpr::Bin {
+                    op: BinOp::Le,
+                    l: Box::new(e),
+                    r: Box::new(hi),
+                };
+                let both = BExpr::Bin {
+                    op: BinOp::And,
+                    l: Box::new(ge),
+                    r: Box::new(le),
+                };
+                Ok(if *negated {
+                    BExpr::Not(Box::new(both))
+                } else {
+                    both
+                })
+            }
+            SqlExpr::Case { arms, else_value } => {
+                let mut bound_arms = Vec::with_capacity(arms.len());
+                for (c, v) in arms {
+                    let bc = self.bind_expr(c, schema, agg.as_deref_mut())?;
+                    let bv = self.bind_expr(v, schema, agg.as_deref_mut())?;
+                    bound_arms.push((bc, bv));
+                }
+                let be = else_value
+                    .as_ref()
+                    .map(|e| self.bind_expr(e, schema, agg))
+                    .transpose()?
+                    .map(Box::new);
+                Ok(BExpr::Case {
+                    arms: bound_arms,
+                    else_value: be,
+                })
+            }
+            SqlExpr::Func { name, args } => {
+                let f = SFunc::parse(name).ok_or_else(|| {
+                    Error::Plan(format!("unknown function '{name}'"))
+                })?;
+                let mut bound = Vec::with_capacity(args.len());
+                for a in args {
+                    bound.push(self.bind_expr(a, schema, agg.as_deref_mut())?);
+                }
+                Ok(BExpr::Func { f, args: bound })
+            }
+            SqlExpr::Cast { expr, ty } => {
+                let to = match ty.as_str() {
+                    "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => DType::Int,
+                    "FLOAT" | "DOUBLE" | "REAL" | "DECIMAL" | "NUMERIC" => DType::Float,
+                    "VARCHAR" | "TEXT" | "CHAR" | "STRING" => DType::Str,
+                    "DATE" => DType::Date,
+                    "BOOL" | "BOOLEAN" => DType::Bool,
+                    other => return Err(Error::Plan(format!("unsupported cast to {other}"))),
+                };
+                Ok(BExpr::Cast {
+                    e: Box::new(self.bind_expr(expr, schema, agg)?),
+                    to,
+                })
+            }
+            SqlExpr::Agg { .. } => Err(Error::Plan(
+                "aggregate used outside GROUP BY context".into(),
+            )),
+            SqlExpr::RowNumber { .. } => Err(Error::Plan(
+                "window function not allowed in this position".into(),
+            )),
+            SqlExpr::InSubquery { .. } | SqlExpr::Exists { .. } | SqlExpr::ScalarSubquery(_) => {
+                Err(Error::Plan(
+                    "subquery predicates are only supported as top-level WHERE conjuncts".into(),
+                ))
+            }
+        }
+    }
+}
+
+enum OrderKey {
+    Existing(usize),
+    Hidden(BExpr),
+}
+
+struct WhereResidue {
+    remaining: Vec<SqlExpr>,
+}
+
+/// Splits an expression on top-level ANDs.
+fn split_conjuncts(e: &SqlExpr) -> Vec<SqlExpr> {
+    match e {
+        SqlExpr::Bin {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            let mut out = split_conjuncts(left);
+            out.extend(split_conjuncts(right));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// If `conj` is `a = b` with `a` resolvable only in `left` and `b` only in
+/// `right` (or vice versa), returns the bound equi-key pair.
+fn equi_pair(conj: &SqlExpr, left: &Schema, right: &Schema) -> Option<(BExpr, BExpr)> {
+    let SqlExpr::Bin {
+        op: BinOp::Eq,
+        left: a,
+        right: b,
+    } = conj
+    else {
+        return None;
+    };
+    let bind_side = |e: &SqlExpr, s: &Schema| -> Option<BExpr> {
+        match e {
+            SqlExpr::Column { qualifier, name } => {
+                s.resolve(qualifier.as_deref(), name).ok().map(BExpr::Col)
+            }
+            _ => None,
+        }
+    };
+    match (bind_side(a, left), bind_side(b, right)) {
+        (Some(l), Some(r)) => return Some((l, r)),
+        _ => {}
+    }
+    match (bind_side(b, left), bind_side(a, right)) {
+        (Some(l), Some(r)) => Some((l, r)),
+        _ => None,
+    }
+}
+
+fn order_key_as_output(key: &SqlExpr, items: &[(BExpr, String)]) -> Option<usize> {
+    if let SqlExpr::Column {
+        qualifier: None,
+        name,
+    } = key
+    {
+        return items
+            .iter()
+            .position(|(_, n)| n.eq_ignore_ascii_case(name));
+    }
+    None
+}
+
+fn default_name(e: &SqlExpr) -> String {
+    match e {
+        SqlExpr::Column { name, .. } => name.clone(),
+        SqlExpr::Agg { func, .. } => format!("{func:?}").to_lowercase(),
+        _ => "expr".to_string(),
+    }
+}
+
+fn literal_value(e: &SqlExpr) -> Result<Value> {
+    Ok(match e {
+        SqlExpr::Int(i) => Value::Int(*i),
+        SqlExpr::Float(f) => Value::Float(*f),
+        SqlExpr::Str(s) => Value::Str(s.clone()),
+        SqlExpr::Bool(b) => Value::Bool(*b),
+        SqlExpr::Null => Value::Null,
+        SqlExpr::DateLit(d) => Value::Date(*d),
+        other => {
+            return Err(Error::Plan(format!(
+                "expected a literal, found {other:?}"
+            )))
+        }
+    })
+}
+
+fn find_scalar_subquery(e: &SqlExpr) -> Option<Select> {
+    let mut found = None;
+    e.any(&mut |x| {
+        if let SqlExpr::ScalarSubquery(q) = x {
+            if found.is_none() {
+                found = Some((**q).clone());
+            }
+            true
+        } else {
+            false
+        }
+    });
+    found
+}
+
+/// Replaces the first scalar subquery with a column reference.
+fn replace_scalar_subquery(e: SqlExpr, col: usize) -> SqlExpr {
+    fn rec(e: SqlExpr, col: usize, done: &mut bool) -> SqlExpr {
+        if *done {
+            return e;
+        }
+        match e {
+            SqlExpr::ScalarSubquery(_) => {
+                *done = true;
+                SqlExpr::Column {
+                    qualifier: None,
+                    name: format!("__scalar_col_{col}"),
+                }
+            }
+            SqlExpr::Bin { op, left, right } => {
+                let l = rec(*left, col, done);
+                let r = rec(*right, col, done);
+                SqlExpr::Bin {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }
+            SqlExpr::Not(inner) => SqlExpr::Not(Box::new(rec(*inner, col, done))),
+            SqlExpr::Neg(inner) => SqlExpr::Neg(Box::new(rec(*inner, col, done))),
+            other => other,
+        }
+    }
+    let mut done = false;
+    let out = rec(e, col, &mut done);
+    out
+}
+
+/// Scalar-subquery cross joins name their appended column specially so the
+/// rewritten predicate can find it regardless of schema ambiguity.
+pub(crate) fn scalar_col_name(col: usize) -> String {
+    format!("__scalar_col_{col}")
+}
+
+fn agg_output_type(a: &BAgg, in_types: &[DType]) -> DType {
+    match a.func {
+        AggName::Count => DType::Int,
+        AggName::Avg => DType::Float,
+        AggName::Sum | AggName::Min | AggName::Max => a
+            .arg
+            .as_ref()
+            .map(|e| e.dtype(in_types))
+            .unwrap_or(DType::Float),
+    }
+}

@@ -1,0 +1,442 @@
+//! The database façade: table registry + `execute_sql`.
+
+use crate::ast::{Query, Select, SelectItem, SqlExpr, TableRef};
+use crate::bind::bind_query;
+use crate::exec::{execute, ExecOptions};
+use crate::optimize::optimize;
+use crate::parser::parse_sql;
+use crate::table::StoredTable;
+use pytond_common::hash::FxHashMap;
+use pytond_common::{Error, Relation, Result};
+
+/// Execution profile emulating the paper's three backends (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// DuckDB-like: vectorized operator-at-a-time with materialized
+    /// intermediates.
+    #[default]
+    Vectorized,
+    /// Hyper-like: fused pipelines with late materialization.
+    Fused,
+    /// LingoDB-like: the fused engine minus the research prototype's gaps
+    /// (no window functions; no aggregates over disjunctive CASE conditions).
+    Lingo,
+}
+
+impl Profile {
+    /// Short display name used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Vectorized => "duckdb-sim",
+            Profile::Fused => "hyper-sim",
+            Profile::Lingo => "lingodb-sim",
+        }
+    }
+}
+
+/// Engine configuration: profile + thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Execution profile.
+    pub profile: Profile,
+    /// Worker threads.
+    pub threads: usize,
+    /// Rows per morsel (default 16 Ki).
+    pub morsel: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            profile: Profile::Vectorized,
+            threads: 1,
+            morsel: 16 * 1024,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Convenience constructor.
+    pub fn new(profile: Profile, threads: usize) -> EngineConfig {
+        EngineConfig {
+            profile,
+            threads,
+            morsel: 16 * 1024,
+        }
+    }
+}
+
+/// An in-memory database: named tables + SQL execution.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: FxHashMap<String, StoredTable>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Registers (or replaces) a table.
+    pub fn register(&mut self, name: &str, rel: Relation) {
+        self.tables
+            .insert(name.to_lowercase(), StoredTable::from_relation(&rel));
+    }
+
+    /// Looks a table up (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&StoredTable> {
+        self.tables.get(&name.to_lowercase())
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Parses, binds, optimizes and executes one SQL statement.
+    pub fn execute_sql(&self, sql: &str, config: &EngineConfig) -> Result<Relation> {
+        let query = parse_sql(sql)?;
+        if config.profile == Profile::Lingo {
+            lingo_check(&query)?;
+        }
+        let mut bound = bind_query(self, &query)?;
+        bound.ctes = bound
+            .ctes
+            .into_iter()
+            .map(|(n, p)| (n, optimize(p)))
+            .collect();
+        bound.root = optimize(bound.root);
+        let opts = ExecOptions {
+            threads: config.threads,
+            fused: matches!(config.profile, Profile::Fused | Profile::Lingo),
+            morsel: config.morsel,
+        };
+        let (batch, schema) = execute(self, &bound, opts)?;
+        Ok(batch.to_relation(&schema))
+    }
+
+    /// Like [`Database::execute_sql`] but returns the optimized plan's
+    /// EXPLAIN rendering instead of running it.
+    pub fn explain_sql(&self, sql: &str) -> Result<String> {
+        let query = parse_sql(sql)?;
+        let bound = bind_query(self, &query)?;
+        let mut out = String::new();
+        for (name, plan) in &bound.ctes {
+            out.push_str(&format!("CTE {name}:\n"));
+            out.push_str(&optimize(plan.clone()).explain());
+        }
+        out.push_str("ROOT:\n");
+        out.push_str(&optimize(bound.root).explain());
+        Ok(out)
+    }
+}
+
+/// The documented LingoDB-profile restrictions (see crate docs): reject
+/// window functions and aggregates over disjunctive CASE conditions.
+fn lingo_check(q: &Query) -> Result<()> {
+    for cte in &q.ctes {
+        lingo_check_select(&cte.select)?;
+    }
+    lingo_check_select(&q.body)
+}
+
+fn lingo_check_select(s: &Select) -> Result<()> {
+    let check_expr = |e: &SqlExpr| -> Result<()> {
+        if e.contains_window() {
+            return Err(Error::Unsupported(
+                "lingodb-sim profile does not support window functions".into(),
+            ));
+        }
+        let mut bad = false;
+        e.any(&mut |x| {
+            if let SqlExpr::Agg { arg: Some(a), .. } = x {
+                a.any(&mut |inner| {
+                    if let SqlExpr::Case { arms, .. } = inner {
+                        for (cond, _) in arms {
+                            if cond.any(&mut |c| {
+                                matches!(
+                                    c,
+                                    SqlExpr::Bin {
+                                        op: crate::ast::BinOp::Or,
+                                        ..
+                                    }
+                                )
+                            }) {
+                                bad = true;
+                            }
+                        }
+                    }
+                    false
+                });
+            }
+            false
+        });
+        if bad {
+            return Err(Error::Unsupported(
+                "lingodb-sim profile cannot process aggregates over disjunctive CASE \
+                 conditions (the shape of PyTond's Q12 SQL)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    };
+    for item in &s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            check_expr(expr)?;
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        check_expr(w)?;
+    }
+    if let Some(h) = &s.having {
+        check_expr(h)?;
+    }
+    for (e, _) in &s.order_by {
+        check_expr(e)?;
+    }
+    for tr in &s.from {
+        lingo_check_tableref(tr)?;
+    }
+    Ok(())
+}
+
+fn lingo_check_tableref(tr: &TableRef) -> Result<()> {
+    match tr {
+        TableRef::Subquery { query, .. } => lingo_check_select(query),
+        TableRef::Join { left, right, .. } => {
+            lingo_check_tableref(left)?;
+            lingo_check_tableref(right)
+        }
+        TableRef::Table { .. } => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytond_common::{Column, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register(
+            "t",
+            Relation::new(vec![
+                ("a".into(), Column::from_i64(vec![1, 2, 3, 4])),
+                ("b".into(), Column::from_f64(vec![10.0, 20.0, 30.0, 40.0])),
+                ("s".into(), Column::from_strs(&["x", "y", "x", "z"])),
+            ])
+            .unwrap(),
+        );
+        db.register(
+            "u",
+            Relation::new(vec![
+                ("a".into(), Column::from_i64(vec![2, 3, 5])),
+                ("w".into(), Column::from_i64(vec![200, 300, 500])),
+            ])
+            .unwrap(),
+        );
+        db
+    }
+
+    fn run(sql: &str) -> Relation {
+        db().execute_sql(sql, &EngineConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn select_filter_project() {
+        let r = run("SELECT a, b * 2 AS b2 FROM t WHERE a >= 2");
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.column("b2").unwrap().as_float(), &[40.0, 60.0, 80.0]);
+    }
+
+    #[test]
+    fn join_inner() {
+        let r = run("SELECT t.a, u.w FROM t, u WHERE t.a = u.a");
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.column("w").unwrap().as_int(), &[200, 300]);
+    }
+
+    #[test]
+    fn join_left_outer() {
+        let r = run("SELECT t.a, u.w FROM t LEFT JOIN u ON t.a = u.a ORDER BY a");
+        assert_eq!(r.num_rows(), 4);
+        assert_eq!(r.column("w").unwrap().get(0), Value::Null);
+        assert_eq!(r.column("w").unwrap().get(1), Value::Int(200));
+    }
+
+    #[test]
+    fn group_by_with_having_and_order() {
+        let r = run(
+            "SELECT s, SUM(b) AS total, COUNT(*) AS n FROM t GROUP BY s \
+             HAVING COUNT(*) >= 1 ORDER BY total DESC",
+        );
+        assert_eq!(r.num_rows(), 3);
+        assert_eq!(r.column("s").unwrap().get(0), Value::Str("x".into()));
+        assert_eq!(r.column("total").unwrap().get(0), Value::Float(40.0));
+    }
+
+    #[test]
+    fn scalar_aggregate_without_group() {
+        let r = run("SELECT SUM(a) AS s, AVG(b) AS m, COUNT(*) AS n FROM t");
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(r.column("s").unwrap().get(0), Value::Int(10));
+        assert_eq!(r.column("m").unwrap().get(0), Value::Float(25.0));
+        assert_eq!(r.column("n").unwrap().get(0), Value::Int(4));
+    }
+
+    #[test]
+    fn with_chain_and_reuse() {
+        let r = run(
+            "WITH big AS (SELECT a, b FROM t WHERE b > 15), \
+             top AS (SELECT a FROM big WHERE a < 4) \
+             SELECT big.a, big.b FROM big, top WHERE big.a = top.a ORDER BY a",
+        );
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.column("a").unwrap().as_int(), &[2, 3]);
+    }
+
+    #[test]
+    fn in_subquery_semi_join() {
+        let r = run("SELECT a FROM t WHERE a IN (SELECT a FROM u) ORDER BY a");
+        assert_eq!(r.column("a").unwrap().as_int(), &[2, 3]);
+        let r = run("SELECT a FROM t WHERE a NOT IN (SELECT a FROM u) ORDER BY a");
+        assert_eq!(r.column("a").unwrap().as_int(), &[1, 4]);
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let r = run("SELECT DISTINCT s FROM t ORDER BY s LIMIT 2");
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.column("s").unwrap().as_str_col(), &["x".to_string(), "y".into()]);
+    }
+
+    #[test]
+    fn row_number_window() {
+        let r = run("SELECT a, row_number() OVER (ORDER BY b DESC) AS rn FROM t ORDER BY a");
+        assert_eq!(r.column("rn").unwrap().as_int(), &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn values_cte() {
+        let r = run("WITH v(c0) AS (VALUES (0), (1)) SELECT c0 FROM v ORDER BY c0");
+        assert_eq!(r.column("c0").unwrap().as_int(), &[0, 1]);
+    }
+
+    #[test]
+    fn case_when_aggregation() {
+        let r = run(
+            "SELECT SUM(CASE WHEN s = 'x' THEN b ELSE 0 END) AS x_total FROM t",
+        );
+        assert_eq!(r.column("x_total").unwrap().get(0), Value::Float(40.0));
+    }
+
+    #[test]
+    fn scalar_subquery_in_where() {
+        let r = run("SELECT a FROM t WHERE b > (SELECT AVG(b) FROM t) ORDER BY a");
+        assert_eq!(r.column("a").unwrap().as_int(), &[3, 4]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let r = run("SELECT COUNT(DISTINCT s) AS n FROM t");
+        assert_eq!(r.column("n").unwrap().get(0), Value::Int(3));
+    }
+
+    #[test]
+    fn like_filtering() {
+        let r = run("SELECT a FROM t WHERE s LIKE 'x%'");
+        assert_eq!(r.num_rows(), 2);
+    }
+
+    #[test]
+    fn profiles_agree() {
+        let sql = "SELECT s, SUM(a) AS n FROM t WHERE b >= 20 GROUP BY s ORDER BY s";
+        let base = db()
+            .execute_sql(sql, &EngineConfig::new(Profile::Vectorized, 1))
+            .unwrap();
+        for profile in [Profile::Fused, Profile::Lingo] {
+            for threads in [1, 4] {
+                let r = db()
+                    .execute_sql(sql, &EngineConfig::new(profile, threads))
+                    .unwrap();
+                assert!(base.approx_eq(&r, 1e-9), "{profile:?}/{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn lingo_rejects_window_functions() {
+        let err = db()
+            .execute_sql(
+                "SELECT row_number() OVER (ORDER BY a) AS id FROM t",
+                &EngineConfig::new(Profile::Lingo, 1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn lingo_rejects_disjunctive_case_aggregates() {
+        let err = db()
+            .execute_sql(
+                "SELECT SUM(CASE WHEN s = 'x' OR s = 'y' THEN 1 ELSE 0 END) AS n FROM t",
+                &EngineConfig::new(Profile::Lingo, 1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)), "{err}");
+        // The vectorized profile runs the same query fine.
+        let ok = db()
+            .execute_sql(
+                "SELECT SUM(CASE WHEN s = 'x' OR s = 'y' THEN 1 ELSE 0 END) AS n FROM t",
+                &EngineConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(ok.column("n").unwrap().get(0), Value::Int(3));
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let text = db().explain_sql("SELECT a FROM t WHERE a > 1").unwrap();
+        assert!(text.contains("Scan t"), "{text}");
+    }
+
+    #[test]
+    fn full_outer_join() {
+        let r = run(
+            "SELECT t.a, u.w FROM t FULL OUTER JOIN u ON t.a = u.a ORDER BY t.a NULLS FIRST",
+        );
+        assert_eq!(r.num_rows(), 5);
+        // Row with u.a = 5 has null t.a.
+        assert_eq!(r.column("a").unwrap().get(0), Value::Null);
+        assert_eq!(r.column("w").unwrap().get(0), Value::Int(500));
+    }
+
+    #[test]
+    fn exists_uncorrelated() {
+        let r = run("SELECT a FROM t WHERE EXISTS (SELECT a FROM u WHERE a > 100)");
+        assert_eq!(r.num_rows(), 0);
+        let r = run("SELECT a FROM t WHERE EXISTS (SELECT a FROM u WHERE a > 2)");
+        assert_eq!(r.num_rows(), 4);
+    }
+
+    #[test]
+    fn between_and_in_list() {
+        let r = run("SELECT a FROM t WHERE a BETWEEN 2 AND 3 AND a IN (1, 3, 4)");
+        assert_eq!(r.column("a").unwrap().as_int(), &[3]);
+    }
+
+    #[test]
+    fn order_by_multiple_keys_with_desc() {
+        let r = run("SELECT s, a FROM t ORDER BY s ASC, a DESC");
+        assert_eq!(r.column("a").unwrap().as_int(), &[3, 1, 2, 4]);
+    }
+
+    #[test]
+    fn arithmetic_in_group_keys() {
+        let r = run("SELECT a % 2 AS parity, COUNT(*) AS n FROM t GROUP BY a % 2 ORDER BY parity");
+        assert_eq!(r.column("n").unwrap().as_int(), &[2, 2]);
+    }
+}

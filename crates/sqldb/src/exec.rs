@@ -1,0 +1,823 @@
+//! Physical execution: morsel-parallel operators over materialized batches.
+//!
+//! The executor walks the logical plan operator-at-a-time. Parallelism is
+//! morsel-driven: filters, projections, join probes and partial aggregations
+//! split their input row range across `threads` workers via
+//! `std::thread::scope`, then merge deterministically (range order for row
+//! streams, first-occurrence order for groups — matching the Pandas
+//! baseline's group order, which keeps differential tests exact).
+//!
+//! Profile differences:
+//!
+//! * **vectorized** — every operator materializes its full output before the
+//!   next starts (DuckDB-style operator-at-a-time with intermediate vectors);
+//! * **fused** — `Project`/`Aggregate` directly consume the selection vector
+//!   of a child `Filter` (late materialization), skipping the intermediate
+//!   copy of every column — the observable effect of Hyper-style pipeline
+//!   compilation at this engine's abstraction level.
+
+use crate::ast::AggName;
+use crate::db::Database;
+use crate::expr::BExpr;
+use crate::plan::{BAgg, BoundQuery, JKind, LogicalPlan};
+use crate::table::{Batch, Schema, StoredTable};
+use pytond_common::hash::{encode_value, FxHashMap, FxHashSet};
+use pytond_common::{Column, DType, Error, Result, Value};
+use std::sync::Arc;
+
+/// Runtime options (derived from [`crate::db::EngineConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Worker threads for morsel-parallel operators.
+    pub threads: usize,
+    /// Fused (late-materialization) execution.
+    pub fused: bool,
+    /// Rows per morsel.
+    pub morsel: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 1,
+            fused: false,
+            morsel: 16 * 1024,
+        }
+    }
+}
+
+/// Executes a bound query, materializing CTEs in order.
+pub fn execute(db: &Database, q: &BoundQuery, opts: ExecOptions) -> Result<(Batch, Schema)> {
+    let mut exec = Executor {
+        db,
+        temps: FxHashMap::default(),
+        opts,
+    };
+    for (name, plan) in &q.ctes {
+        let batch = exec.exec(plan)?;
+        let schema = plan.schema().clone();
+        exec.temps.insert(
+            name.to_lowercase(),
+            StoredTable {
+                schema: Schema::new(
+                    schema
+                        .fields
+                        .iter()
+                        .map(|f| crate::table::Field::new(f.name.clone(), f.dtype))
+                        .collect(),
+                ),
+                batch,
+            },
+        );
+    }
+    let batch = exec.exec(&q.root)?;
+    Ok((batch, q.root.schema().clone()))
+}
+
+struct Executor<'a> {
+    db: &'a Database,
+    temps: FxHashMap<String, StoredTable>,
+    opts: ExecOptions,
+}
+
+impl<'a> Executor<'a> {
+    fn exec(&self, plan: &LogicalPlan) -> Result<Batch> {
+        match plan {
+            LogicalPlan::Scan {
+                table, projection, ..
+            } => {
+                let stored = self
+                    .temps
+                    .get(&table.to_lowercase())
+                    .or_else(|| self.db.table(table))
+                    .ok_or_else(|| Error::Exec(format!("unknown table '{table}'")))?;
+                let batch = match projection {
+                    None => stored.batch.clone(),
+                    Some(cols) => Batch {
+                        cols: cols
+                            .iter()
+                            .map(|&i| stored.batch.cols[i].clone())
+                            .collect(),
+                    },
+                };
+                Ok(batch)
+            }
+            LogicalPlan::Values { schema, rows } => {
+                let mut cols: Vec<Column> = schema
+                    .fields
+                    .iter()
+                    .map(|f| Column::with_capacity(f.dtype, rows.len()))
+                    .collect();
+                for row in rows {
+                    for (c, v) in cols.iter_mut().zip(row) {
+                        c.push(v.clone())?;
+                    }
+                }
+                Ok(Batch::from_columns(cols))
+            }
+            LogicalPlan::Filter { input, pred } => {
+                let batch = self.exec(input)?;
+                let sel = self.filter_sel(&batch, pred)?;
+                Ok(batch.gather(&sel))
+            }
+            LogicalPlan::Project { exprs, input, .. } => {
+                let (batch, sel) = self.exec_with_sel(input)?;
+                self.project(&batch, exprs, sel.as_deref())
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+                ..
+            } => {
+                let lb = self.exec(left)?;
+                let rb = self.exec(right)?;
+                self.join(&lb, &rb, *kind, left_keys, right_keys, residual.as_ref())
+            }
+            LogicalPlan::Aggregate {
+                input, group, aggs, ..
+            } => {
+                let (batch, sel) = self.exec_with_sel(input)?;
+                self.aggregate(&batch, sel.as_deref(), group, aggs)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let batch = self.exec(input)?;
+                self.sort(&batch, keys)
+            }
+            LogicalPlan::Limit { input, n } => {
+                let batch = self.exec(input)?;
+                let keep: Vec<usize> = (0..batch.num_rows().min(*n as usize)).collect();
+                Ok(batch.gather(&keep))
+            }
+            LogicalPlan::Window { input, order, .. } => {
+                let batch = self.exec(input)?;
+                self.window(&batch, order)
+            }
+            LogicalPlan::Distinct { input } => {
+                let batch = self.exec(input)?;
+                let n = batch.num_rows();
+                let mut seen: FxHashSet<Vec<u8>> = FxHashSet::default();
+                let mut keep = Vec::new();
+                let mut buf = Vec::new();
+                for i in 0..n {
+                    buf.clear();
+                    for c in &batch.cols {
+                        encode_value(&mut buf, &c.get(i));
+                    }
+                    if seen.insert(buf.clone()) {
+                        keep.push(i);
+                    }
+                }
+                Ok(batch.gather(&keep))
+            }
+        }
+    }
+
+    /// Fused-profile hook: when the child is a Filter, return the *unfiltered*
+    /// child batch plus the selection vector so the parent evaluates lazily.
+    fn exec_with_sel(&self, input: &LogicalPlan) -> Result<(Batch, Option<Vec<usize>>)> {
+        if self.opts.fused {
+            if let LogicalPlan::Filter { input: inner, pred } = input {
+                let batch = self.exec(inner)?;
+                let sel = self.filter_sel(&batch, pred)?;
+                return Ok((batch, Some(sel)));
+            }
+        }
+        Ok((self.exec(input)?, None))
+    }
+
+    /// Evaluates a predicate, returning the surviving row indices.
+    fn filter_sel(&self, batch: &Batch, pred: &BExpr) -> Result<Vec<usize>> {
+        let n = batch.num_rows();
+        let chunks = par_ranges(n, self.opts, |start, end| {
+            let sel: Vec<usize> = (start..end).collect();
+            let mask = pred.eval_mask(batch, Some(&sel))?;
+            Ok(sel
+                .into_iter()
+                .zip(mask)
+                .filter_map(|(i, keep)| keep.then_some(i))
+                .collect::<Vec<usize>>())
+        })?;
+        Ok(chunks.concat())
+    }
+
+    fn project(&self, batch: &Batch, exprs: &[BExpr], sel: Option<&[usize]>) -> Result<Batch> {
+        let n = sel.map_or(batch.num_rows(), |s| s.len());
+        let mut out_cols: Vec<Column> = Vec::with_capacity(exprs.len());
+        for e in exprs {
+            let chunks = par_ranges(n, self.opts, |start, end| {
+                let local_sel: Vec<usize> = match sel {
+                    Some(s) => s[start..end].to_vec(),
+                    None => (start..end).collect(),
+                };
+                e.eval(batch, Some(&local_sel))
+            })?;
+            let mut it = chunks.into_iter();
+            let mut col = it.next().unwrap_or_else(|| Column::new(DType::Int));
+            for c in it {
+                col.append(&c)?;
+            }
+            out_cols.push(col);
+        }
+        Ok(Batch::from_columns(out_cols))
+    }
+
+    // ---------------- join ----------------
+
+    fn join(
+        &self,
+        left: &Batch,
+        right: &Batch,
+        kind: JKind,
+        left_keys: &[BExpr],
+        right_keys: &[BExpr],
+        residual: Option<&BExpr>,
+    ) -> Result<Batch> {
+        // Keyless joins.
+        if left_keys.is_empty() {
+            return self.keyless_join(left, right, kind, residual);
+        }
+        // Build: hash the right side.
+        let rkey_cols: Vec<Column> = right_keys
+            .iter()
+            .map(|e| e.eval(right, None))
+            .collect::<Result<_>>()?;
+        let mut table: FxHashMap<Vec<u8>, Vec<u32>> = FxHashMap::default();
+        {
+            let mut buf = Vec::new();
+            for i in 0..right.num_rows() {
+                buf.clear();
+                let mut null_key = false;
+                for k in &rkey_cols {
+                    let v = normalize_key(k.get(i));
+                    if v.is_null() {
+                        null_key = true;
+                        break;
+                    }
+                    encode_value(&mut buf, &v);
+                }
+                if !null_key {
+                    table.entry(buf.clone()).or_default().push(i as u32);
+                }
+            }
+        }
+        // Probe: left side, in parallel ranges.
+        let lkey_cols: Vec<Column> = left_keys
+            .iter()
+            .map(|e| e.eval(left, None))
+            .collect::<Result<_>>()?;
+        let keep_unmatched_left = matches!(kind, JKind::Left | JKind::Full);
+        let probe_chunks = par_ranges(left.num_rows(), self.opts, |start, end| {
+            let mut li: Vec<Option<usize>> = Vec::new();
+            let mut ri: Vec<Option<usize>> = Vec::new();
+            let mut matched_right: Vec<u32> = Vec::new();
+            let mut buf = Vec::new();
+            for i in start..end {
+                buf.clear();
+                let mut null_key = false;
+                for k in &lkey_cols {
+                    let v = normalize_key(k.get(i));
+                    if v.is_null() {
+                        null_key = true;
+                        break;
+                    }
+                    encode_value(&mut buf, &v);
+                }
+                let matches = if null_key {
+                    None
+                } else {
+                    table.get(buf.as_slice())
+                };
+                match (matches, kind) {
+                    (Some(rows), JKind::Semi) => {
+                        if !rows.is_empty() {
+                            li.push(Some(i));
+                            ri.push(None);
+                        }
+                    }
+                    (Some(rows), JKind::Anti) => {
+                        if rows.is_empty() {
+                            li.push(Some(i));
+                            ri.push(None);
+                        }
+                    }
+                    (None, JKind::Anti) => {
+                        li.push(Some(i));
+                        ri.push(None);
+                    }
+                    (None, JKind::Semi) => {}
+                    (Some(rows), _) => {
+                        for &r in rows {
+                            li.push(Some(i));
+                            ri.push(Some(r as usize));
+                            matched_right.push(r);
+                        }
+                    }
+                    (None, _) => {
+                        if keep_unmatched_left {
+                            li.push(Some(i));
+                            ri.push(None);
+                        }
+                    }
+                }
+            }
+            Ok((li, ri, matched_right))
+        })?;
+        let mut left_idx: Vec<Option<usize>> = Vec::new();
+        let mut right_idx: Vec<Option<usize>> = Vec::new();
+        let mut right_matched = vec![false; right.num_rows()];
+        for (li, ri, mr) in probe_chunks {
+            left_idx.extend(li);
+            right_idx.extend(ri);
+            for r in mr {
+                right_matched[r as usize] = true;
+            }
+        }
+        if matches!(kind, JKind::Right | JKind::Full) {
+            for (r, m) in right_matched.iter().enumerate() {
+                if !m {
+                    left_idx.push(None);
+                    right_idx.push(Some(r));
+                }
+            }
+        }
+        let mut out = match kind {
+            JKind::Semi | JKind::Anti => {
+                let li: Vec<usize> = left_idx.iter().map(|x| x.unwrap()).collect();
+                left.gather(&li)
+            }
+            _ => {
+                let mut cols = left.gather_opt(&left_idx).cols;
+                cols.extend(right.gather_opt(&right_idx).cols);
+                Batch { cols }
+            }
+        };
+        if let Some(res) = residual {
+            let sel = self.filter_sel(&out, res)?;
+            out = out.gather(&sel);
+        }
+        Ok(out)
+    }
+
+    fn keyless_join(
+        &self,
+        left: &Batch,
+        right: &Batch,
+        kind: JKind,
+        residual: Option<&BExpr>,
+    ) -> Result<Batch> {
+        match kind {
+            JKind::Semi | JKind::Anti => {
+                // Uncorrelated EXISTS: keep all or nothing.
+                let keep = (right.num_rows() > 0) == matches!(kind, JKind::Semi);
+                if keep {
+                    Ok(left.clone())
+                } else {
+                    Ok(left.gather(&[]))
+                }
+            }
+            _ => {
+                let (ln, rn) = (left.num_rows(), right.num_rows());
+                let mut li = Vec::with_capacity(ln * rn);
+                let mut ri = Vec::with_capacity(ln * rn);
+                for i in 0..ln {
+                    for j in 0..rn {
+                        li.push(i);
+                        ri.push(j);
+                    }
+                }
+                let mut cols = left.gather(&li).cols;
+                cols.extend(right.gather(&ri).cols);
+                let mut out = Batch { cols };
+                if let Some(res) = residual {
+                    let sel = self.filter_sel(&out, res)?;
+                    out = out.gather(&sel);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    // ---------------- aggregate ----------------
+
+    fn aggregate(
+        &self,
+        batch: &Batch,
+        sel: Option<&[usize]>,
+        group: &[BExpr],
+        aggs: &[BAgg],
+    ) -> Result<Batch> {
+        let n = sel.map_or(batch.num_rows(), |s| s.len());
+        // Evaluate group keys and aggregate arguments once, over the selection.
+        let key_cols: Vec<Column> = group
+            .iter()
+            .map(|e| self.eval_parallel(batch, e, sel, n))
+            .collect::<Result<_>>()?;
+        let arg_cols: Vec<Option<Column>> = aggs
+            .iter()
+            .map(|a| {
+                a.arg
+                    .as_ref()
+                    .map(|e| self.eval_parallel(batch, e, sel, n))
+                    .transpose()
+            })
+            .collect::<Result<_>>()?;
+
+        let arg_is_int: Vec<bool> = arg_cols
+            .iter()
+            .map(|c| c.as_ref().map_or(true, |c| c.dtype() == DType::Int))
+            .collect();
+        // Parallel partial aggregation.
+        let arg_is_int_ref = &arg_is_int;
+        let partials = par_ranges(n, self.opts, |start, end| {
+            let mut map: FxHashMap<Vec<u8>, usize> = FxHashMap::default();
+            let mut states: Vec<GroupState> = Vec::new();
+            let mut buf = Vec::new();
+            for i in start..end {
+                buf.clear();
+                for k in &key_cols {
+                    encode_value(&mut buf, &normalize_key(k.get(i)));
+                }
+                let g = match map.get(buf.as_slice()) {
+                    Some(&g) => g,
+                    None => {
+                        map.insert(buf.clone(), states.len());
+                        states.push(GroupState::new(i, aggs, arg_is_int_ref));
+                        states.len() - 1
+                    }
+                };
+                states[g].update(i, aggs, &arg_cols)?;
+            }
+            Ok((map, states))
+        })?;
+        // Merge partials, ordering groups by global first occurrence.
+        let mut global: FxHashMap<Vec<u8>, usize> = FxHashMap::default();
+        let mut states: Vec<GroupState> = Vec::new();
+        for (map, part_states) in partials {
+            for (key, gi) in map {
+                match global.get(&key) {
+                    Some(&g) => states[g].merge(&part_states[gi], aggs),
+                    None => {
+                        global.insert(key, states.len());
+                        states.push(part_states[gi].clone());
+                    }
+                }
+            }
+        }
+        states.sort_by_key(|s| s.first_row);
+
+        // Scalar aggregation over empty input still yields one row.
+        if group.is_empty() && states.is_empty() {
+            states.push(GroupState::new(0, aggs, &arg_is_int));
+        }
+
+        // Assemble output: group keys then aggregates.
+        let mut out_cols = Vec::with_capacity(group.len() + aggs.len());
+        for k in &key_cols {
+            let firsts: Vec<usize> = states.iter().map(|s| s.first_row).collect();
+            out_cols.push(k.gather(&firsts));
+        }
+        for (ai, agg) in aggs.iter().enumerate() {
+            let vals: Vec<Value> = states.iter().map(|s| s.finalize(ai, agg)).collect();
+            out_cols.push(Column::from_values(&vals)?);
+        }
+        Ok(Batch::from_columns(out_cols))
+    }
+
+    fn eval_parallel(
+        &self,
+        batch: &Batch,
+        e: &BExpr,
+        sel: Option<&[usize]>,
+        n: usize,
+    ) -> Result<Column> {
+        let chunks = par_ranges(n, self.opts, |start, end| {
+            let local: Vec<usize> = match sel {
+                Some(s) => s[start..end].to_vec(),
+                None => (start..end).collect(),
+            };
+            e.eval(batch, Some(&local))
+        })?;
+        let mut it = chunks.into_iter();
+        let mut col = it.next().unwrap_or_else(|| Column::new(DType::Int));
+        for c in it {
+            col.append(&c)?;
+        }
+        Ok(col)
+    }
+
+    // ---------------- sort / window ----------------
+
+    fn sort(&self, batch: &Batch, keys: &[(BExpr, bool)]) -> Result<Batch> {
+        let n = batch.num_rows();
+        let key_cols: Vec<(Column, bool)> = keys
+            .iter()
+            .map(|(e, asc)| Ok((e.eval(batch, None)?, *asc)))
+            .collect::<Result<_>>()?;
+        let indices = self.sorted_indices(n, &key_cols);
+        Ok(batch.gather(&indices))
+    }
+
+    fn sorted_indices(&self, n: usize, key_cols: &[(Column, bool)]) -> Vec<usize> {
+        let cmp = |&a: &usize, &b: &usize| {
+            for (col, asc) in key_cols {
+                let ord = col.get(a).total_cmp(&col.get(b));
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(&b) // stable tie-break on original position
+        };
+        let mut idx: Vec<usize> = (0..n).collect();
+        if self.opts.threads > 1 && n > 4 * self.opts.morsel {
+            // Parallel chunk sort + k-way merge.
+            let chunk = n.div_ceil(self.opts.threads);
+            let mut chunks: Vec<Vec<usize>> = idx
+                .chunks(chunk)
+                .map(|c| c.to_vec())
+                .collect();
+            std::thread::scope(|s| {
+                let mut handles = Vec::new();
+                for c in &mut chunks {
+                    handles.push(s.spawn(|| c.sort_by(cmp)));
+                }
+            });
+            // k-way merge
+            let mut heads = vec![0usize; chunks.len()];
+            let mut out = Vec::with_capacity(n);
+            loop {
+                let mut best: Option<(usize, usize)> = None; // (chunk, idx value)
+                for (ci, c) in chunks.iter().enumerate() {
+                    if heads[ci] < c.len() {
+                        let cand = c[heads[ci]];
+                        best = match best {
+                            None => Some((ci, cand)),
+                            Some((bci, bv)) => {
+                                if cmp(&cand, &bv) == std::cmp::Ordering::Less {
+                                    Some((ci, cand))
+                                } else {
+                                    Some((bci, bv))
+                                }
+                            }
+                        };
+                    }
+                }
+                match best {
+                    Some((ci, v)) => {
+                        out.push(v);
+                        heads[ci] += 1;
+                    }
+                    None => break,
+                }
+            }
+            out
+        } else {
+            idx.sort_by(cmp);
+            idx
+        }
+    }
+
+    fn window(&self, batch: &Batch, order: &[(BExpr, bool)]) -> Result<Batch> {
+        let n = batch.num_rows();
+        let ranks: Vec<i64> = if order.is_empty() {
+            (1..=n as i64).collect()
+        } else {
+            let key_cols: Vec<(Column, bool)> = order
+                .iter()
+                .map(|(e, asc)| Ok((e.eval(batch, None)?, *asc)))
+                .collect::<Result<_>>()?;
+            let sorted = self.sorted_indices(n, &key_cols);
+            let mut ranks = vec![0i64; n];
+            for (pos, &row) in sorted.iter().enumerate() {
+                ranks[row] = pos as i64 + 1;
+            }
+            ranks
+        };
+        let mut cols = batch.cols.clone();
+        cols.push(Arc::new(Column::from_i64(ranks)));
+        Ok(Batch { cols })
+    }
+}
+
+/// Join/group keys normalize Int to Float encoding only when needed; here we
+/// widen ints to floats so `1 = 1.0` matches across differently-typed sides.
+fn normalize_key(v: Value) -> Value {
+    match v {
+        Value::Int(i) => Value::Float(i as f64),
+        Value::Date(d) => Value::Float(f64::from(d)),
+        Value::Bool(b) => Value::Float(f64::from(u8::from(b))),
+        other => other,
+    }
+}
+
+/// Splits `[0, n)` into per-thread ranges and runs `f` on each concurrently.
+/// Results are returned in range order (deterministic).
+fn par_ranges<T: Send>(
+    n: usize,
+    opts: ExecOptions,
+    f: impl Fn(usize, usize) -> Result<T> + Sync + Send,
+) -> Result<Vec<T>> {
+    let threads = opts.threads.max(1);
+    if threads == 1 || n <= opts.morsel {
+        return Ok(vec![f(0, n)?]);
+    }
+    let chunk = n.div_ceil(threads).max(1);
+    let ranges: Vec<(usize, usize)> = (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+        .filter(|(s, e)| s < e)
+        .collect();
+    let fref = &f;
+    let results: Vec<Result<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(s, e)| scope.spawn(move || fref(s, e)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+// ---------------- aggregate state ----------------
+
+/// Per-group accumulator states.
+#[derive(Debug, Clone)]
+struct GroupState {
+    first_row: usize,
+    accs: Vec<Acc>,
+}
+
+#[derive(Debug, Clone)]
+enum Acc {
+    SumI(i64, bool),          // value, saw-any
+    SumF(f64, bool),
+    Count(i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg(f64, i64),
+    Distinct(FxHashSet<Vec<u8>>),
+}
+
+impl GroupState {
+    fn new(first_row: usize, aggs: &[BAgg], arg_is_int: &[bool]) -> GroupState {
+        let accs = aggs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| match (a.func, a.distinct) {
+                (_, true) => Acc::Distinct(FxHashSet::default()),
+                (AggName::Count, _) => Acc::Count(0),
+                (AggName::Avg, _) => Acc::Avg(0.0, 0),
+                (AggName::Min, _) => Acc::Min(None),
+                (AggName::Max, _) => Acc::Max(None),
+                (AggName::Sum, _) => {
+                    if arg_is_int.get(i).copied().unwrap_or(false) && a.arg.is_some() {
+                        Acc::SumI(0, false)
+                    } else {
+                        Acc::SumF(0.0, false)
+                    }
+                }
+            })
+            .collect();
+        GroupState { first_row, accs }
+    }
+
+    fn update(&mut self, row: usize, aggs: &[BAgg], args: &[Option<Column>]) -> Result<()> {
+        for (ai, agg) in aggs.iter().enumerate() {
+            let v = match &args[ai] {
+                Some(col) => col.get(row),
+                None => Value::Int(1), // COUNT(*)
+            };
+            match &mut self.accs[ai] {
+                Acc::Count(c) => {
+                    if agg.arg.is_none() || !v.is_null() {
+                        *c += 1;
+                    }
+                }
+                Acc::SumF(s, any) => {
+                    if let Some(x) = v.as_f64() {
+                        *s += x;
+                        *any = true;
+                    }
+                }
+                Acc::SumI(s, any) => {
+                    if let Some(x) = v.as_i64() {
+                        *s += x;
+                        *any = true;
+                    }
+                }
+                Acc::Avg(s, c) => {
+                    if let Some(x) = v.as_f64() {
+                        *s += x;
+                        *c += 1;
+                    }
+                }
+                Acc::Min(m) => {
+                    if !v.is_null()
+                        && m.as_ref()
+                            .map_or(true, |cur| v.sql_cmp(cur) == Some(std::cmp::Ordering::Less))
+                    {
+                        *m = Some(v);
+                    }
+                }
+                Acc::Max(m) => {
+                    if !v.is_null()
+                        && m.as_ref().map_or(true, |cur| {
+                            v.sql_cmp(cur) == Some(std::cmp::Ordering::Greater)
+                        })
+                    {
+                        *m = Some(v);
+                    }
+                }
+                Acc::Distinct(set) => {
+                    if !v.is_null() {
+                        let mut buf = Vec::new();
+                        encode_value(&mut buf, &normalize_key(v));
+                        set.insert(buf);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self, other: &GroupState, _aggs: &[BAgg]) {
+        self.first_row = self.first_row.min(other.first_row);
+        for (a, b) in self.accs.iter_mut().zip(&other.accs) {
+            match (a, b) {
+                (Acc::Count(x), Acc::Count(y)) => *x += y,
+                (Acc::SumF(x, anyx), Acc::SumF(y, anyy)) => {
+                    *x += y;
+                    *anyx |= *anyy;
+                }
+                (Acc::SumI(x, anyx), Acc::SumI(y, anyy)) => {
+                    *x += y;
+                    *anyx |= *anyy;
+                }
+                (Acc::Avg(xs, xc), Acc::Avg(ys, yc)) => {
+                    *xs += ys;
+                    *xc += yc;
+                }
+                (Acc::Min(x), Acc::Min(y)) => {
+                    if let Some(yv) = y {
+                        if x.as_ref().map_or(true, |xv| {
+                            yv.sql_cmp(xv) == Some(std::cmp::Ordering::Less)
+                        }) {
+                            *x = Some(yv.clone());
+                        }
+                    }
+                }
+                (Acc::Max(x), Acc::Max(y)) => {
+                    if let Some(yv) = y {
+                        if x.as_ref().map_or(true, |xv| {
+                            yv.sql_cmp(xv) == Some(std::cmp::Ordering::Greater)
+                        }) {
+                            *x = Some(yv.clone());
+                        }
+                    }
+                }
+                (Acc::Distinct(x), Acc::Distinct(y)) => {
+                    x.extend(y.iter().cloned());
+                }
+                _ => unreachable!("accumulator kinds align"),
+            }
+        }
+    }
+
+    fn finalize(&self, ai: usize, agg: &BAgg) -> Value {
+        match &self.accs[ai] {
+            Acc::Count(c) => Value::Int(*c),
+            Acc::SumF(s, any) => {
+                if *any {
+                    Value::Float(*s)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::SumI(s, any) => {
+                if *any {
+                    Value::Int(*s)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Avg(s, c) => {
+                if *c > 0 {
+                    Value::Float(s / *c as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Min(m) | Acc::Max(m) => m.clone().unwrap_or(Value::Null),
+            Acc::Distinct(set) => match agg.func {
+                AggName::Count => Value::Int(set.len() as i64),
+                _ => Value::Null,
+            },
+        }
+    }
+}

@@ -1,0 +1,1040 @@
+//! Bound (index-resolved) expressions and their vectorized evaluation.
+//!
+//! Evaluation produces a whole output [`Column`] per call, optionally
+//! restricted to a selection vector — the late-materialization hook the fused
+//! profile uses to skip intermediate copies.
+//!
+//! Null semantics: arithmetic propagates NULL through validity masks;
+//! comparisons collapse NULL to `false` (predicate semantics — identical to
+//! the Pandas baseline, where NaN comparisons yield `False`, which keeps the
+//! two differential-testing paths consistent).
+
+use crate::ast::BinOp;
+use pytond_common::{date, Column, DType, Error, Result, Value};
+
+/// A scalar function recognized by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SFunc {
+    /// Absolute value.
+    Abs,
+    /// `ROUND(x, digits)`.
+    Round,
+    /// Year of a date.
+    Year,
+    /// Month of a date.
+    Month,
+    /// Day-of-month of a date.
+    Day,
+    /// `SUBSTRING(s, start1, len)`.
+    Substring,
+    /// String length.
+    Length,
+    /// Upper-case.
+    Upper,
+    /// Lower-case.
+    Lower,
+    /// First non-null argument.
+    Coalesce,
+    /// `ADD_MONTHS(d, n)` (INTERVAL folding).
+    AddMonths,
+    /// `ADD_YEARS(d, n)`.
+    AddYears,
+    /// `ADD_DAYS(d, n)`.
+    AddDays,
+    /// Floor.
+    Floor,
+    /// Ceiling.
+    Ceil,
+    /// Square root.
+    Sqrt,
+    /// Power.
+    Power,
+    /// `STRPOS(s, sub)` (1-based, 0 when absent).
+    StrPos,
+}
+
+impl SFunc {
+    /// Parses the upper-cased SQL name.
+    pub fn parse(name: &str) -> Option<SFunc> {
+        Some(match name {
+            "ABS" => SFunc::Abs,
+            "ROUND" => SFunc::Round,
+            "YEAR" => SFunc::Year,
+            "MONTH" => SFunc::Month,
+            "DAY" => SFunc::Day,
+            "SUBSTRING" | "SUBSTR" => SFunc::Substring,
+            "LENGTH" | "LEN" | "CHAR_LENGTH" => SFunc::Length,
+            "UPPER" => SFunc::Upper,
+            "LOWER" => SFunc::Lower,
+            "COALESCE" => SFunc::Coalesce,
+            "ADD_MONTHS" => SFunc::AddMonths,
+            "ADD_YEARS" => SFunc::AddYears,
+            "ADD_DAYS" => SFunc::AddDays,
+            "FLOOR" => SFunc::Floor,
+            "CEIL" | "CEILING" => SFunc::Ceil,
+            "SQRT" => SFunc::Sqrt,
+            "POWER" | "POW" => SFunc::Power,
+            "STRPOS" | "POSITION" | "INSTR" => SFunc::StrPos,
+            _ => return None,
+        })
+    }
+}
+
+/// A compiled LIKE pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LikePattern {
+    segments: Vec<LikeSeg>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum LikeSeg {
+    /// Literal text.
+    Lit(String),
+    /// `%` — any run of characters.
+    Any,
+    /// `_` — exactly one character.
+    One,
+}
+
+impl LikePattern {
+    /// Compiles a SQL LIKE pattern.
+    pub fn compile(pat: &str) -> LikePattern {
+        let mut segments = Vec::new();
+        let mut lit = String::new();
+        for c in pat.chars() {
+            match c {
+                '%' => {
+                    if !lit.is_empty() {
+                        segments.push(LikeSeg::Lit(std::mem::take(&mut lit)));
+                    }
+                    if segments.last() != Some(&LikeSeg::Any) {
+                        segments.push(LikeSeg::Any);
+                    }
+                }
+                '_' => {
+                    if !lit.is_empty() {
+                        segments.push(LikeSeg::Lit(std::mem::take(&mut lit)));
+                    }
+                    segments.push(LikeSeg::One);
+                }
+                c => lit.push(c),
+            }
+        }
+        if !lit.is_empty() {
+            segments.push(LikeSeg::Lit(lit));
+        }
+        LikePattern { segments }
+    }
+
+    /// Tests a string against the pattern.
+    pub fn matches(&self, s: &str) -> bool {
+        fn rec(segs: &[LikeSeg], s: &str) -> bool {
+            match segs.first() {
+                None => s.is_empty(),
+                Some(LikeSeg::Lit(l)) => s.strip_prefix(l.as_str()).map_or(false, |rest| rec(&segs[1..], rest)),
+                Some(LikeSeg::One) => {
+                    let mut chars = s.chars();
+                    chars.next().is_some() && rec(&segs[1..], chars.as_str())
+                }
+                Some(LikeSeg::Any) => {
+                    if segs.len() == 1 {
+                        return true;
+                    }
+                    let mut rest = s;
+                    loop {
+                        if rec(&segs[1..], rest) {
+                            return true;
+                        }
+                        let mut chars = rest.chars();
+                        if chars.next().is_none() {
+                            return false;
+                        }
+                        rest = chars.as_str();
+                    }
+                }
+            }
+        }
+        rec(&self.segments, s)
+    }
+}
+
+/// A bound expression: column references are input-batch indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BExpr {
+    /// Input column by position.
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        l: Box<BExpr>,
+        /// Right operand.
+        r: Box<BExpr>,
+    },
+    /// Logical NOT.
+    Not(Box<BExpr>),
+    /// Arithmetic negation.
+    Neg(Box<BExpr>),
+    /// NULL test.
+    IsNull {
+        /// Tested expression.
+        e: Box<BExpr>,
+        /// `true` for IS NOT NULL.
+        negated: bool,
+    },
+    /// LIKE with a pre-compiled pattern.
+    Like {
+        /// Tested expression.
+        e: Box<BExpr>,
+        /// Compiled pattern.
+        pattern: LikePattern,
+        /// `true` for NOT LIKE.
+        negated: bool,
+    },
+    /// IN over a literal list.
+    InList {
+        /// Tested expression.
+        e: Box<BExpr>,
+        /// Candidates.
+        list: Vec<Value>,
+        /// `true` for NOT IN.
+        negated: bool,
+    },
+    /// CASE.
+    Case {
+        /// `(condition, value)` arms.
+        arms: Vec<(BExpr, BExpr)>,
+        /// ELSE value.
+        else_value: Option<Box<BExpr>>,
+    },
+    /// Scalar function.
+    Func {
+        /// Function.
+        f: SFunc,
+        /// Arguments.
+        args: Vec<BExpr>,
+    },
+    /// Type cast.
+    Cast {
+        /// Source.
+        e: Box<BExpr>,
+        /// Target type.
+        to: DType,
+    },
+}
+
+impl BExpr {
+    /// Collects the input column indices the expression touches.
+    pub fn columns_used(&self, out: &mut Vec<usize>) {
+        match self {
+            BExpr::Col(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            BExpr::Lit(_) => {}
+            BExpr::Bin { l, r, .. } => {
+                l.columns_used(out);
+                r.columns_used(out);
+            }
+            BExpr::Not(e) | BExpr::Neg(e) => e.columns_used(out),
+            BExpr::IsNull { e, .. } | BExpr::Like { e, .. } | BExpr::InList { e, .. } => {
+                e.columns_used(out)
+            }
+            BExpr::Case { arms, else_value } => {
+                for (c, v) in arms {
+                    c.columns_used(out);
+                    v.columns_used(out);
+                }
+                if let Some(e) = else_value {
+                    e.columns_used(out);
+                }
+            }
+            BExpr::Func { args, .. } => args.iter().for_each(|a| a.columns_used(out)),
+            BExpr::Cast { e, .. } => e.columns_used(out),
+        }
+    }
+
+    /// Rewrites column indices through `map` (for pushdown across projections).
+    pub fn remap_columns(&mut self, map: &impl Fn(usize) -> usize) {
+        match self {
+            BExpr::Col(i) => *i = map(*i),
+            BExpr::Lit(_) => {}
+            BExpr::Bin { l, r, .. } => {
+                l.remap_columns(map);
+                r.remap_columns(map);
+            }
+            BExpr::Not(e) | BExpr::Neg(e) => e.remap_columns(map),
+            BExpr::IsNull { e, .. } | BExpr::Like { e, .. } | BExpr::InList { e, .. } => {
+                e.remap_columns(map)
+            }
+            BExpr::Case { arms, else_value } => {
+                for (c, v) in arms {
+                    c.remap_columns(map);
+                    v.remap_columns(map);
+                }
+                if let Some(e) = else_value {
+                    e.remap_columns(map);
+                }
+            }
+            BExpr::Func { args, .. } => args.iter_mut().for_each(|a| a.remap_columns(map)),
+            BExpr::Cast { e, .. } => e.remap_columns(map),
+        }
+    }
+
+    /// Static result type given input column types.
+    pub fn dtype(&self, input: &[DType]) -> DType {
+        match self {
+            BExpr::Col(i) => input.get(*i).copied().unwrap_or(DType::Float),
+            BExpr::Lit(v) => v.dtype().unwrap_or(DType::Float),
+            BExpr::Bin { op, l, r } => match op {
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                | BinOp::And | BinOp::Or => DType::Bool,
+                BinOp::Concat => DType::Str,
+                BinOp::Div => DType::Float,
+                _ => {
+                    let lt = l.dtype(input);
+                    let rt = r.dtype(input);
+                    match (lt, rt) {
+                        (DType::Int, DType::Int) => DType::Int,
+                        (DType::Date, DType::Int) | (DType::Int, DType::Date) => DType::Date,
+                        (DType::Date, DType::Date) => DType::Int,
+                        _ => DType::Float,
+                    }
+                }
+            },
+            BExpr::Not(_) | BExpr::IsNull { .. } | BExpr::Like { .. } | BExpr::InList { .. } => {
+                DType::Bool
+            }
+            BExpr::Neg(e) => e.dtype(input),
+            BExpr::Case { arms, else_value } => {
+                // Prefer a non-null-literal arm's type.
+                for (_, v) in arms {
+                    if !matches!(v, BExpr::Lit(Value::Null)) {
+                        return v.dtype(input);
+                    }
+                }
+                else_value
+                    .as_ref()
+                    .map(|e| e.dtype(input))
+                    .unwrap_or(DType::Float)
+            }
+            BExpr::Func { f, args } => match f {
+                SFunc::Year | SFunc::Month | SFunc::Day | SFunc::Length | SFunc::StrPos => {
+                    DType::Int
+                }
+                SFunc::Substring | SFunc::Upper | SFunc::Lower => DType::Str,
+                SFunc::AddMonths | SFunc::AddYears | SFunc::AddDays => DType::Date,
+                SFunc::Coalesce => args
+                    .first()
+                    .map(|a| a.dtype(input))
+                    .unwrap_or(DType::Float),
+                SFunc::Abs | SFunc::Round | SFunc::Floor | SFunc::Ceil | SFunc::Sqrt
+                | SFunc::Power => match args.first().map(|a| a.dtype(input)) {
+                    Some(DType::Int) if matches!(f, SFunc::Abs) => DType::Int,
+                    _ => DType::Float,
+                },
+            },
+            BExpr::Cast { to, .. } => *to,
+        }
+    }
+
+    /// Evaluates over `batch`, optionally restricted to `sel` row indices.
+    /// The output column has `sel.len()` rows when `sel` is given.
+    pub fn eval(&self, batch: &crate::table::Batch, sel: Option<&[usize]>) -> Result<Column> {
+        let n = sel.map_or(batch.num_rows(), |s| s.len());
+        match self {
+            BExpr::Col(i) => {
+                let col = batch
+                    .cols
+                    .get(*i)
+                    .ok_or_else(|| Error::Exec(format!("column index {i} out of range")))?;
+                Ok(match sel {
+                    Some(s) => col.gather(s),
+                    None => (**col).clone(),
+                })
+            }
+            BExpr::Lit(v) => {
+                let mut c = Column::with_capacity(v.dtype().unwrap_or(DType::Float), n);
+                for _ in 0..n {
+                    c.push(v.clone())?;
+                }
+                Ok(c)
+            }
+            BExpr::Bin { op, l, r } => {
+                let lc = l.eval(batch, sel)?;
+                let rc = r.eval(batch, sel)?;
+                eval_bin(*op, &lc, &rc)
+            }
+            BExpr::Not(e) => {
+                let c = e.eval(batch, sel)?;
+                match c {
+                    Column::Bool(d, _) => Ok(Column::from_bool(d.iter().map(|b| !b).collect())),
+                    _ => Err(Error::Exec("NOT requires a boolean".into())),
+                }
+            }
+            BExpr::Neg(e) => {
+                let c = e.eval(batch, sel)?;
+                match c {
+                    Column::Int(d, v) => Ok(Column::Int(d.iter().map(|x| -x).collect(), v)),
+                    Column::Float(d, v) => Ok(Column::Float(d.iter().map(|x| -x).collect(), v)),
+                    _ => Err(Error::Exec("negation requires a numeric".into())),
+                }
+            }
+            BExpr::IsNull { e, negated } => {
+                let c = e.eval(batch, sel)?;
+                let out: Vec<bool> = (0..c.len())
+                    .map(|i| c.is_valid(i) == *negated)
+                    .collect();
+                Ok(Column::from_bool(out))
+            }
+            BExpr::Like {
+                e,
+                pattern,
+                negated,
+            } => {
+                let c = e.eval(batch, sel)?;
+                match &c {
+                    Column::Str(d, valid) => {
+                        let out: Vec<bool> = d
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| {
+                                valid.as_ref().map_or(true, |v| v[i])
+                                    && pattern.matches(s) != *negated
+                            })
+                            .collect();
+                        Ok(Column::from_bool(out))
+                    }
+                    _ => Err(Error::Exec("LIKE requires strings".into())),
+                }
+            }
+            BExpr::InList { e, list, negated } => {
+                let c = e.eval(batch, sel)?;
+                let out: Vec<bool> = (0..c.len())
+                    .map(|i| {
+                        let v = c.get(i);
+                        if v.is_null() {
+                            return false;
+                        }
+                        let found = list
+                            .iter()
+                            .any(|cand| v.sql_cmp(cand) == Some(std::cmp::Ordering::Equal));
+                        found != *negated
+                    })
+                    .collect();
+                Ok(Column::from_bool(out))
+            }
+            BExpr::Case { arms, else_value } => {
+                let conds: Vec<Column> = arms
+                    .iter()
+                    .map(|(c, _)| c.eval(batch, sel))
+                    .collect::<Result<_>>()?;
+                let vals: Vec<Column> = arms
+                    .iter()
+                    .map(|(_, v)| v.eval(batch, sel))
+                    .collect::<Result<_>>()?;
+                let els = else_value
+                    .as_ref()
+                    .map(|e| e.eval(batch, sel))
+                    .transpose()?;
+                // Output type from the first non-null-typed column.
+                let dtype = vals
+                    .iter()
+                    .chain(els.iter())
+                    .map(|c| c.dtype())
+                    .find(|d| *d != DType::Float || true)
+                    .unwrap_or(DType::Float);
+                let mut out = Column::with_capacity(dtype, n);
+                'rows: for i in 0..n {
+                    for (c, v) in conds.iter().zip(&vals) {
+                        if matches!(c.get(i), Value::Bool(true)) {
+                            out.push(coerce(v.get(i), dtype)?)?;
+                            continue 'rows;
+                        }
+                    }
+                    match &els {
+                        Some(e) => out.push(coerce(e.get(i), dtype)?)?,
+                        None => out.push_null(),
+                    }
+                }
+                Ok(out)
+            }
+            BExpr::Func { f, args } => {
+                let cols: Vec<Column> = args
+                    .iter()
+                    .map(|a| a.eval(batch, sel))
+                    .collect::<Result<_>>()?;
+                eval_func(*f, &cols, n)
+            }
+            BExpr::Cast { e, to } => {
+                let c = e.eval(batch, sel)?;
+                c.cast(*to)
+            }
+        }
+    }
+
+    /// Evaluates a predicate to a plain `Vec<bool>`.
+    pub fn eval_mask(
+        &self,
+        batch: &crate::table::Batch,
+        sel: Option<&[usize]>,
+    ) -> Result<Vec<bool>> {
+        match self.eval(batch, sel)? {
+            Column::Bool(d, _) => Ok(d),
+            other => Err(Error::Exec(format!(
+                "predicate evaluated to {} not bool",
+                other.dtype()
+            ))),
+        }
+    }
+}
+
+fn coerce(v: Value, to: DType) -> Result<Value> {
+    Ok(match (&v, to) {
+        (Value::Int(i), DType::Float) => Value::Float(*i as f64),
+        (Value::Float(f), DType::Int) => Value::Int(*f as i64),
+        _ => v,
+    })
+}
+
+/// Vectorized binary kernels with typed fast paths.
+pub fn eval_bin(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
+    use BinOp::*;
+    let n = l.len();
+    if r.len() != n {
+        return Err(Error::Exec("binary operand length mismatch".into()));
+    }
+    match op {
+        And | Or => match (l, r) {
+            (Column::Bool(a, _), Column::Bool(b, _)) => {
+                let out = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| if op == And { x && y } else { x || y })
+                    .collect();
+                Ok(Column::from_bool(out))
+            }
+            _ => Err(Error::Exec("AND/OR require booleans".into())),
+        },
+        Eq | Ne | Lt | Le | Gt | Ge => eval_cmp(op, l, r),
+        Concat => {
+            let mut out = Column::with_capacity(DType::Str, n);
+            for i in 0..n {
+                match (l.get(i), r.get(i)) {
+                    (Value::Str(a), Value::Str(b)) => out.push(Value::Str(a + &b))?,
+                    (Value::Null, _) | (_, Value::Null) => out.push_null(),
+                    (a, b) => out.push(Value::Str(format!("{a}{b}")))?,
+                }
+            }
+            Ok(out)
+        }
+        Add | Sub | Mul | Div | Mod => eval_arith(op, l, r),
+    }
+}
+
+fn eval_arith(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
+    use BinOp::*;
+    // Int ∘ Int stays Int for +,-,*,%.
+    if let (Column::Int(a, av), Column::Int(b, bv)) = (l, r) {
+        if matches!(op, Add | Sub | Mul | Mod) {
+            let data: Vec<i64> = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    Mul => x.wrapping_mul(y),
+                    _ => {
+                        if y == 0 {
+                            0
+                        } else {
+                            x % y
+                        }
+                    }
+                })
+                .collect();
+            return Ok(Column::Int(data, merge_validity(av, bv)));
+        }
+    }
+    // Date ± Int days.
+    if let (Column::Date(a, av), Column::Int(b, bv)) = (l, r) {
+        if matches!(op, Add | Sub) {
+            let data: Vec<i32> = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| {
+                    if op == Add {
+                        x + y as i32
+                    } else {
+                        x - y as i32
+                    }
+                })
+                .collect();
+            return Ok(Column::Date(data, merge_validity(av, bv)));
+        }
+    }
+    // Date - Date → days.
+    if let (Column::Date(a, av), Column::Date(b, bv)) = (l, r) {
+        if op == Sub {
+            let data: Vec<i64> = a.iter().zip(b).map(|(&x, &y)| i64::from(x - y)).collect();
+            return Ok(Column::Int(data, merge_validity(av, bv)));
+        }
+    }
+    // Generic float path.
+    let af = to_f64_vec(l)?;
+    let bf = to_f64_vec(r)?;
+    let data: Vec<f64> = af
+        .iter()
+        .zip(&bf)
+        .map(|(&x, &y)| match op {
+            Add => x + y,
+            Sub => x - y,
+            Mul => x * y,
+            Div => x / y,
+            _ => x % y,
+        })
+        .collect();
+    Ok(Column::Float(
+        data,
+        merge_validity(&validity_of(l), &validity_of(r)),
+    ))
+}
+
+fn eval_cmp(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
+    use BinOp::*;
+    let n = l.len();
+    let want = |o: std::cmp::Ordering| -> bool {
+        match op {
+            Eq => o == std::cmp::Ordering::Equal,
+            Ne => o != std::cmp::Ordering::Equal,
+            Lt => o == std::cmp::Ordering::Less,
+            Le => o != std::cmp::Ordering::Greater,
+            Gt => o == std::cmp::Ordering::Greater,
+            Ge => o != std::cmp::Ordering::Less,
+            _ => unreachable!(),
+        }
+    };
+    // Fast typed paths for fully-valid numeric columns.
+    match (l, r) {
+        (Column::Int(a, None), Column::Int(b, None)) => {
+            return Ok(Column::from_bool(
+                a.iter().zip(b).map(|(x, y)| want(x.cmp(y))).collect(),
+            ));
+        }
+        (Column::Float(a, None), Column::Float(b, None)) => {
+            return Ok(Column::from_bool(
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| x.partial_cmp(y).map(&want).unwrap_or(false))
+                    .collect(),
+            ));
+        }
+        (Column::Date(a, None), Column::Date(b, None)) => {
+            return Ok(Column::from_bool(
+                a.iter().zip(b).map(|(x, y)| want(x.cmp(y))).collect(),
+            ));
+        }
+        (Column::Str(a, None), Column::Str(b, None)) => {
+            return Ok(Column::from_bool(
+                a.iter().zip(b).map(|(x, y)| want(x.cmp(y))).collect(),
+            ));
+        }
+        _ => {}
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(l.get(i).sql_cmp(&r.get(i)).map(&want).unwrap_or(false));
+    }
+    Ok(Column::from_bool(out))
+}
+
+fn eval_func(f: SFunc, cols: &[Column], n: usize) -> Result<Column> {
+    let arg = |i: usize| -> Result<&Column> {
+        cols.get(i)
+            .ok_or_else(|| Error::Exec(format!("function missing argument {i}")))
+    };
+    match f {
+        SFunc::Abs => match arg(0)? {
+            Column::Int(d, v) => Ok(Column::Int(d.iter().map(|x| x.abs()).collect(), v.clone())),
+            c => {
+                let d = to_f64_vec(c)?;
+                Ok(Column::Float(
+                    d.iter().map(|x| x.abs()).collect(),
+                    validity_of(c),
+                ))
+            }
+        },
+        SFunc::Round => {
+            let digits = match cols.get(1) {
+                Some(c) if c.len() > 0 => c.get(0).as_i64().unwrap_or(0),
+                _ => 0,
+            } as i32;
+            let scale = 10f64.powi(digits);
+            let d = to_f64_vec(arg(0)?)?;
+            Ok(Column::Float(
+                d.iter().map(|x| (x * scale).round() / scale).collect(),
+                validity_of(arg(0)?),
+            ))
+        }
+        SFunc::Floor | SFunc::Ceil | SFunc::Sqrt => {
+            let d = to_f64_vec(arg(0)?)?;
+            let out = d
+                .iter()
+                .map(|&x| match f {
+                    SFunc::Floor => x.floor(),
+                    SFunc::Ceil => x.ceil(),
+                    _ => x.sqrt(),
+                })
+                .collect();
+            Ok(Column::Float(out, validity_of(arg(0)?)))
+        }
+        SFunc::Power => {
+            let a = to_f64_vec(arg(0)?)?;
+            let b = to_f64_vec(arg(1)?)?;
+            Ok(Column::Float(
+                a.iter().zip(&b).map(|(&x, &y)| x.powf(y)).collect(),
+                merge_validity(&validity_of(arg(0)?), &validity_of(arg(1)?)),
+            ))
+        }
+        SFunc::Year | SFunc::Month | SFunc::Day => match arg(0)? {
+            Column::Date(d, v) => {
+                let out: Vec<i64> = d
+                    .iter()
+                    .map(|&x| match f {
+                        SFunc::Year => i64::from(date::year(x)),
+                        SFunc::Month => i64::from(date::month(x)),
+                        _ => i64::from(date::day(x)),
+                    })
+                    .collect();
+                Ok(Column::Int(out, v.clone()))
+            }
+            _ => Err(Error::Exec("date function requires a date column".into())),
+        },
+        SFunc::AddMonths | SFunc::AddYears | SFunc::AddDays => {
+            let base = match arg(0)? {
+                Column::Date(d, v) => (d, v.clone()),
+                _ => return Err(Error::Exec("date arithmetic requires a date".into())),
+            };
+            let k = arg(1)?;
+            let out: Vec<i32> = base
+                .0
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    let n = k.get(i.min(k.len().saturating_sub(1))).as_i64().unwrap_or(0) as i32;
+                    match f {
+                        SFunc::AddMonths => date::add_months(x, n),
+                        SFunc::AddYears => date::add_years(x, n),
+                        _ => x + n,
+                    }
+                })
+                .collect();
+            Ok(Column::Date(out, base.1))
+        }
+        SFunc::Substring => {
+            let s = arg(0)?;
+            let start = arg(1)?;
+            let len = cols.get(2);
+            let mut out = Column::with_capacity(DType::Str, n);
+            for i in 0..n {
+                match s.get(i) {
+                    Value::Str(text) => {
+                        let st = (start.get(i).as_i64().unwrap_or(1).max(1) - 1) as usize;
+                        let l = len
+                            .map(|c| c.get(i).as_i64().unwrap_or(i64::MAX).max(0) as usize)
+                            .unwrap_or(usize::MAX);
+                        let sub: String = text.chars().skip(st).take(l).collect();
+                        out.push(Value::Str(sub))?;
+                    }
+                    _ => out.push_null(),
+                }
+            }
+            Ok(out)
+        }
+        SFunc::Length => match arg(0)? {
+            Column::Str(d, v) => Ok(Column::Int(
+                d.iter().map(|s| s.chars().count() as i64).collect(),
+                v.clone(),
+            )),
+            _ => Err(Error::Exec("LENGTH requires strings".into())),
+        },
+        SFunc::Upper | SFunc::Lower => match arg(0)? {
+            Column::Str(d, v) => Ok(Column::Str(
+                d.iter()
+                    .map(|s| {
+                        if f == SFunc::Upper {
+                            s.to_uppercase()
+                        } else {
+                            s.to_lowercase()
+                        }
+                    })
+                    .collect(),
+                v.clone(),
+            )),
+            _ => Err(Error::Exec("UPPER/LOWER require strings".into())),
+        },
+        SFunc::StrPos => {
+            let s = arg(0)?;
+            let sub = arg(1)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                match (s.get(i), sub.get(i)) {
+                    (Value::Str(a), Value::Str(b)) => {
+                        out.push(a.find(&b).map(|p| p as i64 + 1).unwrap_or(0));
+                    }
+                    _ => out.push(0),
+                }
+            }
+            Ok(Column::from_i64(out))
+        }
+        SFunc::Coalesce => {
+            let dtype = cols
+                .iter()
+                .map(|c| c.dtype())
+                .next()
+                .unwrap_or(DType::Float);
+            let mut out = Column::with_capacity(dtype, n);
+            'rows: for i in 0..n {
+                for c in cols {
+                    let v = c.get(i);
+                    if !v.is_null() {
+                        out.push(coerce(v, dtype)?)?;
+                        continue 'rows;
+                    }
+                }
+                out.push_null();
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn to_f64_vec(c: &Column) -> Result<Vec<f64>> {
+    Ok(match c {
+        Column::Int(d, _) => d.iter().map(|&x| x as f64).collect(),
+        Column::Float(d, _) => d.clone(),
+        Column::Date(d, _) => d.iter().map(|&x| f64::from(x)).collect(),
+        Column::Bool(d, _) => d.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+        Column::Str(..) => {
+            return Err(Error::Exec("cannot use strings in arithmetic".into()));
+        }
+    })
+}
+
+fn validity_of(c: &Column) -> Option<Vec<bool>> {
+    c.validity().map(|v| v.to_vec())
+}
+
+fn merge_validity(a: &Option<Vec<bool>>, b: &Option<Vec<bool>>) -> Option<Vec<bool>> {
+    match (a, b) {
+        (None, None) => None,
+        (Some(v), None) | (None, Some(v)) => Some(v.clone()),
+        (Some(x), Some(y)) => Some(x.iter().zip(y).map(|(&a, &b)| a && b).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Batch;
+
+    fn batch() -> Batch {
+        Batch::from_columns(vec![
+            Column::from_i64(vec![1, 2, 3, 4]),
+            Column::from_f64(vec![10.0, 20.0, 30.0, 40.0]),
+            Column::from_strs(&["apple", "banana", "cherry", "date"]),
+            Column::from_dates(vec![0, 100, 200, 300]),
+        ])
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let b = batch();
+        let c = BExpr::Col(0).eval(&b, None).unwrap();
+        assert_eq!(c.as_int(), &[1, 2, 3, 4]);
+        let l = BExpr::Lit(Value::Int(7)).eval(&b, None).unwrap();
+        assert_eq!(l.as_int(), &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn selection_vector_restricts_rows() {
+        let b = batch();
+        let c = BExpr::Col(2).eval(&b, Some(&[3, 0])).unwrap();
+        assert_eq!(c.as_str_col(), &["date".to_string(), "apple".into()]);
+    }
+
+    #[test]
+    fn arithmetic_type_rules() {
+        let b = batch();
+        let add = BExpr::Bin {
+            op: BinOp::Add,
+            l: Box::new(BExpr::Col(0)),
+            r: Box::new(BExpr::Lit(Value::Int(10))),
+        };
+        assert_eq!(add.eval(&b, None).unwrap().as_int(), &[11, 12, 13, 14]);
+        let div = BExpr::Bin {
+            op: BinOp::Div,
+            l: Box::new(BExpr::Col(0)),
+            r: Box::new(BExpr::Lit(Value::Int(2))),
+        };
+        assert_eq!(div.eval(&b, None).unwrap().as_float(), &[0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let b = batch();
+        let plus = BExpr::Bin {
+            op: BinOp::Add,
+            l: Box::new(BExpr::Col(3)),
+            r: Box::new(BExpr::Lit(Value::Int(5))),
+        };
+        assert_eq!(plus.eval(&b, None).unwrap().as_date(), &[5, 105, 205, 305]);
+    }
+
+    #[test]
+    fn comparisons_and_masks() {
+        let b = batch();
+        let gt = BExpr::Bin {
+            op: BinOp::Gt,
+            l: Box::new(BExpr::Col(1)),
+            r: Box::new(BExpr::Lit(Value::Float(25.0))),
+        };
+        assert_eq!(gt.eval_mask(&b, None).unwrap(), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn like_patterns() {
+        let p = LikePattern::compile("%an%");
+        assert!(p.matches("banana"));
+        assert!(!p.matches("apple"));
+        let p2 = LikePattern::compile("a__le");
+        assert!(p2.matches("apple"));
+        assert!(!p2.matches("ample2"));
+        let p3 = LikePattern::compile("ch%");
+        assert!(p3.matches("cherry"));
+        let p4 = LikePattern::compile("%ROSE%");
+        assert!(p4.matches("dark ROSE metal"));
+        assert!(!p4.matches("rose"));
+    }
+
+    #[test]
+    fn in_list_and_case() {
+        let b = batch();
+        let inl = BExpr::InList {
+            e: Box::new(BExpr::Col(0)),
+            list: vec![Value::Int(2), Value::Int(4)],
+            negated: false,
+        };
+        assert_eq!(
+            inl.eval_mask(&b, None).unwrap(),
+            vec![false, true, false, true]
+        );
+        let case = BExpr::Case {
+            arms: vec![(inl, BExpr::Lit(Value::Int(1)))],
+            else_value: Some(Box::new(BExpr::Lit(Value::Int(0)))),
+        };
+        assert_eq!(case.eval(&b, None).unwrap().as_int(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn functions() {
+        let b = batch();
+        let year = BExpr::Func {
+            f: SFunc::Year,
+            args: vec![BExpr::Col(3)],
+        };
+        assert_eq!(year.eval(&b, None).unwrap().as_int()[0], 1970);
+        let sub = BExpr::Func {
+            f: SFunc::Substring,
+            args: vec![
+                BExpr::Col(2),
+                BExpr::Lit(Value::Int(1)),
+                BExpr::Lit(Value::Int(3)),
+            ],
+        };
+        assert_eq!(sub.eval(&b, None).unwrap().as_str_col()[1], "ban");
+        let len = BExpr::Func {
+            f: SFunc::Length,
+            args: vec![BExpr::Col(2)],
+        };
+        assert_eq!(len.eval(&b, None).unwrap().as_int(), &[5, 6, 6, 4]);
+    }
+
+    #[test]
+    fn null_propagation_in_arithmetic() {
+        let mut c = Column::new(DType::Int);
+        c.push(Value::Int(1)).unwrap();
+        c.push_null();
+        let b = Batch::from_columns(vec![c]);
+        let add = BExpr::Bin {
+            op: BinOp::Add,
+            l: Box::new(BExpr::Col(0)),
+            r: Box::new(BExpr::Lit(Value::Int(1))),
+        };
+        let out = add.eval(&b, None).unwrap();
+        assert_eq!(out.get(0), Value::Int(2));
+        assert_eq!(out.get(1), Value::Null);
+    }
+
+    #[test]
+    fn is_null_and_coalesce() {
+        let mut c = Column::new(DType::Float);
+        c.push(Value::Float(1.0)).unwrap();
+        c.push_null();
+        let b = Batch::from_columns(vec![c]);
+        let isnull = BExpr::IsNull {
+            e: Box::new(BExpr::Col(0)),
+            negated: false,
+        };
+        assert_eq!(isnull.eval_mask(&b, None).unwrap(), vec![false, true]);
+        let coal = BExpr::Func {
+            f: SFunc::Coalesce,
+            args: vec![BExpr::Col(0), BExpr::Lit(Value::Float(9.0))],
+        };
+        assert_eq!(coal.eval(&b, None).unwrap().as_float(), &[1.0, 9.0]);
+    }
+
+    #[test]
+    fn columns_used_and_remap() {
+        let e = BExpr::Bin {
+            op: BinOp::Add,
+            l: Box::new(BExpr::Col(2)),
+            r: Box::new(BExpr::Col(0)),
+        };
+        let mut used = Vec::new();
+        e.columns_used(&mut used);
+        assert_eq!(used, vec![2, 0]);
+        let mut e2 = e.clone();
+        e2.remap_columns(&|i| i + 10);
+        let mut used2 = Vec::new();
+        e2.columns_used(&mut used2);
+        assert_eq!(used2, vec![12, 10]);
+    }
+
+    #[test]
+    fn dtype_inference() {
+        let types = vec![DType::Int, DType::Float, DType::Str, DType::Date];
+        let add_ii = BExpr::Bin {
+            op: BinOp::Add,
+            l: Box::new(BExpr::Col(0)),
+            r: Box::new(BExpr::Col(0)),
+        };
+        assert_eq!(add_ii.dtype(&types), DType::Int);
+        let div = BExpr::Bin {
+            op: BinOp::Div,
+            l: Box::new(BExpr::Col(0)),
+            r: Box::new(BExpr::Col(0)),
+        };
+        assert_eq!(div.dtype(&types), DType::Float);
+        let cmp = BExpr::Bin {
+            op: BinOp::Lt,
+            l: Box::new(BExpr::Col(0)),
+            r: Box::new(BExpr::Col(1)),
+        };
+        assert_eq!(cmp.dtype(&types), DType::Bool);
+    }
+}

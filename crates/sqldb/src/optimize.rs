@@ -1,0 +1,753 @@
+//! Logical-plan rewrites: filter pushdown, cross→inner join promotion, and
+//! projection (scan-column) pruning.
+
+use crate::ast::BinOp;
+use crate::expr::BExpr;
+use crate::plan::{JKind, LogicalPlan};
+use crate::table::Schema;
+
+/// Runs all rewrite passes.
+pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    let plan = push_filters(plan);
+    let all: Vec<usize> = (0..plan.schema().len()).collect();
+    let (plan, _map) = prune(plan, &all);
+    plan
+}
+
+// ---------------- filter pushdown ----------------
+
+fn split_and(e: BExpr, out: &mut Vec<BExpr>) {
+    match e {
+        BExpr::Bin {
+            op: BinOp::And,
+            l,
+            r,
+        } => {
+            split_and(*l, out);
+            split_and(*r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn conjoin(mut conjs: Vec<BExpr>) -> Option<BExpr> {
+    let mut acc = conjs.pop()?;
+    while let Some(c) = conjs.pop() {
+        acc = BExpr::Bin {
+            op: BinOp::And,
+            l: Box::new(c),
+            r: Box::new(acc),
+        };
+    }
+    Some(acc)
+}
+
+fn cols_of(e: &BExpr) -> Vec<usize> {
+    let mut v = Vec::new();
+    e.columns_used(&mut v);
+    v
+}
+
+/// Pushes filter conjuncts toward the scans.
+pub fn push_filters(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, pred } => {
+            let mut conjs = Vec::new();
+            split_and(pred, &mut conjs);
+            push_conjuncts(*input, conjs)
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(push_filters(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(push_filters(*input)),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_filters(*input)),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(push_filters(*input)),
+            n,
+        },
+        LogicalPlan::Window {
+            input,
+            order,
+            schema,
+        } => LogicalPlan::Window {
+            input: Box::new(push_filters(*input)),
+            order,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(push_filters(*input)),
+        },
+        leaf => leaf,
+    }
+}
+
+/// Pushes a set of conjuncts into `plan`, keeping the un-pushable ones in a
+/// Filter directly above it.
+fn push_conjuncts(plan: LogicalPlan, conjs: Vec<BExpr>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, pred } => {
+            let mut all = conjs;
+            split_and(pred, &mut all);
+            push_conjuncts(*input, all)
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            // Substitute projection expressions into each conjunct and push.
+            let mut pushed = Vec::new();
+            for mut c in conjs {
+                substitute_cols(&mut c, &exprs);
+                pushed.push(c);
+            }
+            LogicalPlan::Project {
+                input: Box::new(push_conjuncts(*input, pushed)),
+                exprs,
+                schema,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            mut left_keys,
+            mut right_keys,
+            residual,
+            schema,
+        } => {
+            let lw = left.schema().len();
+            let mut left_conjs = Vec::new();
+            let mut right_conjs = Vec::new();
+            let mut keep = Vec::new();
+            let left_pushable = matches!(
+                kind,
+                JKind::Inner | JKind::Cross | JKind::Semi | JKind::Anti | JKind::Left
+            );
+            let right_pushable = matches!(kind, JKind::Inner | JKind::Cross);
+            for c in conjs {
+                let cols = cols_of(&c);
+                let all_left = cols.iter().all(|&i| i < lw);
+                let all_right = cols.iter().all(|&i| i >= lw);
+                if all_left && left_pushable && !cols.is_empty() {
+                    left_conjs.push(c);
+                } else if all_right && right_pushable && !cols.is_empty() {
+                    let mut c = c;
+                    c.remap_columns(&|i| i - lw);
+                    right_conjs.push(c);
+                } else if matches!(kind, JKind::Inner | JKind::Cross) {
+                    // Equi-predicate across sides → promote to join key.
+                    if let BExpr::Bin {
+                        op: BinOp::Eq,
+                        l,
+                        r,
+                    } = &c
+                    {
+                        let lc = cols_of(l);
+                        let rc = cols_of(r);
+                        let l_is_left = !lc.is_empty() && lc.iter().all(|&i| i < lw);
+                        let r_is_right = !rc.is_empty() && rc.iter().all(|&i| i >= lw);
+                        let l_is_right = !lc.is_empty() && lc.iter().all(|&i| i >= lw);
+                        let r_is_left = !rc.is_empty() && rc.iter().all(|&i| i < lw);
+                        if l_is_left && r_is_right {
+                            let mut rk = (**r).clone();
+                            rk.remap_columns(&|i| i - lw);
+                            left_keys.push((**l).clone());
+                            right_keys.push(rk);
+                            continue;
+                        }
+                        if l_is_right && r_is_left {
+                            let mut lk = (**l).clone();
+                            lk.remap_columns(&|i| i - lw);
+                            left_keys.push((**r).clone());
+                            right_keys.push(lk);
+                            continue;
+                        }
+                    }
+                    keep.push(c);
+                } else {
+                    keep.push(c);
+                }
+            }
+            let kind = if kind == JKind::Cross && !left_keys.is_empty() {
+                JKind::Inner
+            } else {
+                kind
+            };
+            let new_join = LogicalPlan::Join {
+                left: Box::new(push_conjuncts_opt(*left, left_conjs)),
+                right: Box::new(push_conjuncts_opt(*right, right_conjs)),
+                kind,
+                left_keys,
+                right_keys,
+                residual,
+                schema,
+            };
+            wrap_filter(new_join, keep)
+        }
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_conjuncts(*input, conjs)),
+            keys,
+        },
+        LogicalPlan::Limit { .. } => {
+            // Cannot push through LIMIT (changes which rows survive).
+            let inner = push_filters(plan);
+            wrap_filter(inner, conjs)
+        }
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(push_conjuncts(*input, conjs)),
+        },
+        other => {
+            let inner = push_filters(other);
+            wrap_filter(inner, conjs)
+        }
+    }
+}
+
+fn push_conjuncts_opt(plan: LogicalPlan, conjs: Vec<BExpr>) -> LogicalPlan {
+    if conjs.is_empty() {
+        push_filters(plan)
+    } else {
+        push_conjuncts(plan, conjs)
+    }
+}
+
+fn wrap_filter(plan: LogicalPlan, conjs: Vec<BExpr>) -> LogicalPlan {
+    match conjoin(conjs) {
+        Some(pred) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            pred,
+        },
+        None => plan,
+    }
+}
+
+/// Replaces `Col(i)` with `exprs[i]` (pushdown through projections).
+fn substitute_cols(e: &mut BExpr, exprs: &[BExpr]) {
+    match e {
+        BExpr::Col(i) => *e = exprs[*i].clone(),
+        BExpr::Lit(_) => {}
+        BExpr::Bin { l, r, .. } => {
+            substitute_cols(l, exprs);
+            substitute_cols(r, exprs);
+        }
+        BExpr::Not(x) | BExpr::Neg(x) => substitute_cols(x, exprs),
+        BExpr::IsNull { e: x, .. } | BExpr::Like { e: x, .. } | BExpr::InList { e: x, .. } => {
+            substitute_cols(x, exprs)
+        }
+        BExpr::Case { arms, else_value } => {
+            for (c, v) in arms {
+                substitute_cols(c, exprs);
+                substitute_cols(v, exprs);
+            }
+            if let Some(x) = else_value {
+                substitute_cols(x, exprs);
+            }
+        }
+        BExpr::Func { args, .. } => args.iter_mut().for_each(|a| substitute_cols(a, exprs)),
+        BExpr::Cast { e: x, .. } => substitute_cols(x, exprs),
+    }
+}
+
+// ---------------- projection pruning ----------------
+
+/// Rewrites `plan` to produce only the columns in `required` (in ascending
+/// old-index order). Returns the new plan and the mapping old→new index.
+fn prune(plan: LogicalPlan, required: &[usize]) -> (LogicalPlan, Vec<(usize, usize)>) {
+    let mut req: Vec<usize> = required.to_vec();
+    req.sort_unstable();
+    req.dedup();
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            schema,
+            projection,
+        } => {
+            let base: Vec<usize> = match &projection {
+                Some(p) => p.clone(),
+                None => (0..schema.len()).collect(),
+            };
+            let kept: Vec<usize> = req.iter().map(|&i| base[i]).collect();
+            let fields = req.iter().map(|&i| schema.fields[i].clone()).collect();
+            let mapping = req.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            (
+                LogicalPlan::Scan {
+                    table,
+                    schema: Schema::new(fields),
+                    projection: Some(kept),
+                },
+                mapping,
+            )
+        }
+        LogicalPlan::Values { schema, rows } => {
+            let fields = req.iter().map(|&i| schema.fields[i].clone()).collect();
+            let rows = rows
+                .into_iter()
+                .map(|r| req.iter().map(|&i| r[i].clone()).collect())
+                .collect();
+            let mapping = req.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            (
+                LogicalPlan::Values {
+                    schema: Schema::new(fields),
+                    rows,
+                },
+                mapping,
+            )
+        }
+        LogicalPlan::Filter { input, mut pred } => {
+            let mut need = req.clone();
+            need.extend(cols_of(&pred));
+            let (new_input, mapping) = prune(*input, &need);
+            {
+                let remap = to_remap(&mapping);
+                pred.remap_columns(&remap);
+            }
+            // Output schema is the input schema; caller's required indices map
+            // through `mapping` — but the Filter output now has the pruned
+            // width, so expose the full mapping.
+            (
+                LogicalPlan::Filter {
+                    input: Box::new(new_input),
+                    pred,
+                },
+                mapping,
+            )
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let kept_exprs: Vec<BExpr> = req.iter().map(|&i| exprs[i].clone()).collect();
+            let kept_fields = req.iter().map(|&i| schema.fields[i].clone()).collect();
+            let mut need = Vec::new();
+            for e in &kept_exprs {
+                need.extend(cols_of(e));
+            }
+            let (new_input, mapping) = prune(*input, &need);
+            let remap = to_remap(&mapping);
+            let kept_exprs = kept_exprs
+                .into_iter()
+                .map(|mut e| {
+                    e.remap_columns(&remap);
+                    e
+                })
+                .collect();
+            let out_map = req.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            (
+                LogicalPlan::Project {
+                    input: Box::new(new_input),
+                    exprs: kept_exprs,
+                    schema: Schema::new(kept_fields),
+                },
+                out_map,
+            )
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => {
+            let lw = left.schema().len();
+            let semi = matches!(kind, JKind::Semi | JKind::Anti);
+            let mut lneed: Vec<usize> = Vec::new();
+            let mut rneed: Vec<usize> = Vec::new();
+            for &i in &req {
+                if i < lw {
+                    lneed.push(i);
+                } else {
+                    rneed.push(i - lw);
+                }
+            }
+            for k in &left_keys {
+                lneed.extend(cols_of(k));
+            }
+            for k in &right_keys {
+                rneed.extend(cols_of(k));
+            }
+            if let Some(res) = &residual {
+                for c in cols_of(res) {
+                    if c < lw {
+                        lneed.push(c);
+                    } else {
+                        rneed.push(c - lw);
+                    }
+                }
+            }
+            let (new_left, lmap) = prune(*left, &lneed);
+            let (new_right, rmap) = if semi && rneed.is_empty() && right_keys.is_empty() {
+                // Keyless semi/anti join needs nothing from the right but its
+                // row count; keep one column if available.
+                let keep: Vec<usize> = if right.schema().is_empty() {
+                    vec![]
+                } else {
+                    vec![0]
+                };
+                prune(*right, &keep)
+            } else {
+                prune(*right, &rneed)
+            };
+            let lremap = to_remap(&lmap);
+            let rremap = to_remap(&rmap);
+            let new_lw = new_left.schema().len();
+            let left_keys = left_keys
+                .into_iter()
+                .map(|mut k| {
+                    k.remap_columns(&lremap);
+                    k
+                })
+                .collect();
+            let right_keys = right_keys
+                .into_iter()
+                .map(|mut k| {
+                    k.remap_columns(&rremap);
+                    k
+                })
+                .collect();
+            let residual = residual.map(|mut r| {
+                r.remap_columns(&|i| {
+                    if i < lw {
+                        lremap(i)
+                    } else {
+                        new_lw + rremap(i - lw)
+                    }
+                });
+                r
+            });
+            // New schema: pruned left ++ pruned right (or left only).
+            let new_schema = if semi {
+                new_left.schema().clone()
+            } else {
+                new_left.schema().concat(new_right.schema())
+            };
+            let _ = schema;
+            let mut mapping: Vec<(usize, usize)> = Vec::new();
+            for (old, new) in &lmap {
+                mapping.push((*old, *new));
+            }
+            if !semi {
+                for (old, new) in &rmap {
+                    mapping.push((old + lw, new + new_lw));
+                }
+            }
+            (
+                LogicalPlan::Join {
+                    left: Box::new(new_left),
+                    right: Box::new(new_right),
+                    kind,
+                    left_keys,
+                    right_keys,
+                    residual,
+                    schema: new_schema,
+                },
+                mapping,
+            )
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => {
+            // Group keys and aggregates all stay (grouping semantics); prune
+            // only the input.
+            let mut need = Vec::new();
+            for g in &group {
+                need.extend(cols_of(g));
+            }
+            for a in &aggs {
+                if let Some(arg) = &a.arg {
+                    need.extend(cols_of(arg));
+                }
+            }
+            let (new_input, mapping) = prune(*input, &need);
+            let remap = to_remap(&mapping);
+            let group = group
+                .into_iter()
+                .map(|mut g| {
+                    g.remap_columns(&remap);
+                    g
+                })
+                .collect();
+            let aggs = aggs
+                .into_iter()
+                .map(|mut a| {
+                    if let Some(arg) = &mut a.arg {
+                        arg.remap_columns(&remap);
+                    }
+                    a
+                })
+                .collect();
+            let identity = (0..schema.len()).map(|i| (i, i)).collect();
+            (
+                LogicalPlan::Aggregate {
+                    input: Box::new(new_input),
+                    group,
+                    aggs,
+                    schema,
+                },
+                identity,
+            )
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut need = req.clone();
+            for (k, _) in &keys {
+                need.extend(cols_of(k));
+            }
+            let (new_input, mapping) = prune(*input, &need);
+            let keys = {
+                let remap = to_remap(&mapping);
+                keys.into_iter()
+                    .map(|(mut k, asc)| {
+                        k.remap_columns(&remap);
+                        (k, asc)
+                    })
+                    .collect()
+            };
+            (
+                LogicalPlan::Sort {
+                    input: Box::new(new_input),
+                    keys,
+                },
+                mapping,
+            )
+        }
+        LogicalPlan::Limit { input, n } => {
+            let (new_input, mapping) = prune(*input, &req);
+            (
+                LogicalPlan::Limit {
+                    input: Box::new(new_input),
+                    n,
+                },
+                mapping,
+            )
+        }
+        LogicalPlan::Window {
+            input,
+            order,
+            schema,
+        } => {
+            let in_width = schema.len() - 1;
+            let mut need: Vec<usize> = req.iter().filter(|&&i| i < in_width).copied().collect();
+            // The window column itself requires nothing extra; order keys do.
+            for (k, _) in &order {
+                need.extend(cols_of(k));
+            }
+            // Window appends a column, so the input must keep everything the
+            // parent wants below the appended index.
+            let (new_input, mapping) = prune(*input, &need);
+            let remap = to_remap(&mapping);
+            let order = order
+                .into_iter()
+                .map(|(mut k, asc)| {
+                    k.remap_columns(&remap);
+                    (k, asc)
+                })
+                .collect();
+            let new_in_schema = new_input.schema().clone();
+            let mut fields = new_in_schema.fields.clone();
+            fields.push(schema.fields[in_width].clone());
+            let mut out_map = mapping.clone();
+            out_map.push((in_width, fields.len() - 1));
+            (
+                LogicalPlan::Window {
+                    input: Box::new(new_input),
+                    order,
+                    schema: Schema::new(fields),
+                },
+                out_map,
+            )
+        }
+        LogicalPlan::Distinct { input } => {
+            // Distinct semantics depend on every column: prune nothing.
+            let all: Vec<usize> = (0..input.schema().len()).collect();
+            let (new_input, mapping) = prune(*input, &all);
+            (
+                LogicalPlan::Distinct {
+                    input: Box::new(new_input),
+                },
+                mapping,
+            )
+        }
+    }
+}
+
+fn to_remap(mapping: &[(usize, usize)]) -> impl Fn(usize) -> usize + '_ {
+    move |old| {
+        mapping
+            .iter()
+            .find(|(o, _)| *o == old)
+            .map(|(_, n)| *n)
+            .unwrap_or(old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Field, Schema};
+    use pytond_common::{DType, Value};
+
+    fn scan(cols: usize) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(
+                (0..cols)
+                    .map(|i| Field::new(format!("c{i}"), DType::Int))
+                    .collect(),
+            ),
+            projection: None,
+        }
+    }
+
+    fn col_eq_lit(i: usize, v: i64) -> BExpr {
+        BExpr::Bin {
+            op: BinOp::Eq,
+            l: Box::new(BExpr::Col(i)),
+            r: Box::new(BExpr::Lit(Value::Int(v))),
+        }
+    }
+
+    #[test]
+    fn filter_pushes_into_join_sides() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan(2)),
+            right: Box::new(scan(2)),
+            kind: JKind::Inner,
+            left_keys: vec![BExpr::Col(0)],
+            right_keys: vec![BExpr::Col(0)],
+            residual: None,
+            schema: scan(2).schema().concat(scan(2).schema()),
+        };
+        let filtered = LogicalPlan::Filter {
+            input: Box::new(join),
+            pred: BExpr::Bin {
+                op: BinOp::And,
+                l: Box::new(col_eq_lit(1, 5)),  // left side
+                r: Box::new(col_eq_lit(3, 7)), // right side
+            },
+        };
+        let out = push_filters(filtered);
+        // Top node is the join now; both sides gained filters.
+        match out {
+            LogicalPlan::Join { left, right, .. } => {
+                assert!(matches!(*left, LogicalPlan::Filter { .. }));
+                assert!(matches!(*right, LogicalPlan::Filter { .. }));
+            }
+            other => panic!("expected join on top, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn cross_join_promoted_to_inner() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan(1)),
+            right: Box::new(scan(1)),
+            kind: JKind::Cross,
+            left_keys: vec![],
+            right_keys: vec![],
+            residual: None,
+            schema: scan(1).schema().concat(scan(1).schema()),
+        };
+        let filtered = LogicalPlan::Filter {
+            input: Box::new(join),
+            pred: BExpr::Bin {
+                op: BinOp::Eq,
+                l: Box::new(BExpr::Col(0)),
+                r: Box::new(BExpr::Col(1)),
+            },
+        };
+        match push_filters(filtered) {
+            LogicalPlan::Join {
+                kind, left_keys, ..
+            } => {
+                assert_eq!(kind, JKind::Inner);
+                assert_eq!(left_keys.len(), 1);
+            }
+            other => panic!("expected join, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn prune_narrows_scan() {
+        let project = LogicalPlan::Project {
+            input: Box::new(scan(10)),
+            exprs: vec![BExpr::Col(7), BExpr::Col(2)],
+            schema: Schema::new(vec![
+                Field::new("a", DType::Int),
+                Field::new("b", DType::Int),
+            ]),
+        };
+        let out = optimize(project);
+        fn find_scan(p: &LogicalPlan) -> Option<&LogicalPlan> {
+            if matches!(p, LogicalPlan::Scan { .. }) {
+                return Some(p);
+            }
+            p.children().into_iter().find_map(find_scan)
+        }
+        match find_scan(&out).unwrap() {
+            LogicalPlan::Scan { projection, .. } => {
+                assert_eq!(projection.as_deref(), Some(&[2usize, 7][..]));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn filter_not_pushed_through_limit() {
+        let limited = LogicalPlan::Limit {
+            input: Box::new(scan(2)),
+            n: 5,
+        };
+        let filtered = LogicalPlan::Filter {
+            input: Box::new(limited),
+            pred: col_eq_lit(0, 1),
+        };
+        match push_filters(filtered) {
+            LogicalPlan::Filter { input, .. } => {
+                assert!(matches!(*input, LogicalPlan::Limit { .. }));
+            }
+            other => panic!("expected filter above limit, got {}", other.name()),
+        }
+    }
+}

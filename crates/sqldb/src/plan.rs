@@ -1,0 +1,248 @@
+//! Logical query plans.
+
+use crate::ast::AggName;
+use crate::expr::BExpr;
+use crate::table::Schema;
+use pytond_common::Value;
+
+/// Join kinds at the plan level (includes semi/anti from IN-subqueries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JKind {
+    /// Inner equi-join (+ optional residual).
+    Inner,
+    /// Left outer.
+    Left,
+    /// Right outer.
+    Right,
+    /// Full outer.
+    Full,
+    /// Cartesian product.
+    Cross,
+    /// Left semi (EXISTS / IN).
+    Semi,
+    /// Left anti (NOT EXISTS / NOT IN).
+    Anti,
+}
+
+/// One bound aggregate computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BAgg {
+    /// Aggregate function.
+    pub func: AggName,
+    /// Argument (`None` = COUNT(*)).
+    pub arg: Option<BExpr>,
+    /// DISTINCT modifier.
+    pub distinct: bool,
+}
+
+/// A logical plan node. Every node can report its output [`Schema`].
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Scan of a base table or materialized CTE.
+    Scan {
+        /// Table / CTE name.
+        table: String,
+        /// Output schema (possibly pruned).
+        schema: Schema,
+        /// Column positions kept from the stored table (`None` = all).
+        projection: Option<Vec<usize>>,
+    },
+    /// Inline constant rows.
+    Values {
+        /// Output schema.
+        schema: Schema,
+        /// Row values.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input schema.
+        pred: BExpr,
+    },
+    /// Expression projection.
+    Project {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// One expression per output column.
+        exprs: Vec<BExpr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Join.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Kind.
+        kind: JKind,
+        /// Equi-join keys on the left schema.
+        left_keys: Vec<BExpr>,
+        /// Equi-join keys on the right schema.
+        right_keys: Vec<BExpr>,
+        /// Residual predicate over the concatenated schema.
+        residual: Option<BExpr>,
+        /// Output schema (left ++ right; left only for semi/anti).
+        schema: Schema,
+    },
+    /// Hash aggregation (scalar aggregation when `group` is empty).
+    Aggregate {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Group-key expressions over the input schema.
+        group: Vec<BExpr>,
+        /// Aggregates over the input schema.
+        aggs: Vec<BAgg>,
+        /// Output schema: group keys then aggregates.
+        schema: Schema,
+    },
+    /// Sort.
+    Sort {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// `(key, ascending)` pairs over the input schema.
+        keys: Vec<(BExpr, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Maximum rows.
+        n: u64,
+    },
+    /// `row_number() OVER (ORDER BY ...)`: appends one Int column.
+    Window {
+        /// Input.
+        input: Box<LogicalPlan>,
+        /// Ordering keys (empty = natural order).
+        order: Vec<(BExpr, bool)>,
+        /// Output schema (input ++ row_number field).
+        schema: Schema,
+    },
+    /// Duplicate elimination over all columns.
+    Distinct {
+        /// Input.
+        input: Box<LogicalPlan>,
+    },
+}
+
+impl LogicalPlan {
+    /// The node's output schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            LogicalPlan::Scan { schema, .. }
+            | LogicalPlan::Values { schema, .. }
+            | LogicalPlan::Project { schema, .. }
+            | LogicalPlan::Join { schema, .. }
+            | LogicalPlan::Aggregate { schema, .. }
+            | LogicalPlan::Window { schema, .. } => schema,
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => input.schema(),
+        }
+    }
+
+    /// Single-line operator name (for EXPLAIN-style rendering).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalPlan::Scan { .. } => "Scan",
+            LogicalPlan::Values { .. } => "Values",
+            LogicalPlan::Filter { .. } => "Filter",
+            LogicalPlan::Project { .. } => "Project",
+            LogicalPlan::Join { .. } => "Join",
+            LogicalPlan::Aggregate { .. } => "Aggregate",
+            LogicalPlan::Sort { .. } => "Sort",
+            LogicalPlan::Limit { .. } => "Limit",
+            LogicalPlan::Window { .. } => "Window",
+            LogicalPlan::Distinct { .. } => "Distinct",
+        }
+    }
+
+    /// Children of this node.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => Vec::new(),
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Window { input, .. }
+            | LogicalPlan::Distinct { input } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Indented multi-line plan rendering.
+    pub fn explain(&self) -> String {
+        fn rec(p: &LogicalPlan, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            match p {
+                LogicalPlan::Scan { table, schema, .. } => {
+                    out.push_str(&format!("Scan {table} [{} cols]\n", schema.len()));
+                }
+                LogicalPlan::Join { kind, left_keys, .. } => {
+                    out.push_str(&format!("Join {kind:?} on {} keys\n", left_keys.len()));
+                }
+                LogicalPlan::Aggregate { group, aggs, .. } => {
+                    out.push_str(&format!(
+                        "Aggregate [{} groups, {} aggs]\n",
+                        group.len(),
+                        aggs.len()
+                    ));
+                }
+                other => out.push_str(&format!("{}\n", other.name())),
+            }
+            for c in p.children() {
+                rec(c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        rec(self, 0, &mut s);
+        s
+    }
+
+    /// Number of plan nodes (used by optimizer tests).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
+    }
+}
+
+/// A fully bound query: CTEs (materialized in order) plus the root plan.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// `(name, plan)` pairs, to materialize in order.
+    pub ctes: Vec<(String, LogicalPlan)>,
+    /// Root plan.
+    pub root: LogicalPlan,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Field, Schema};
+    use pytond_common::DType;
+
+    #[test]
+    fn schema_passthrough_nodes() {
+        let scan = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(vec![Field::new("a", DType::Int)]),
+            projection: None,
+        };
+        let filter = LogicalPlan::Filter {
+            input: Box::new(scan),
+            pred: BExpr::Lit(pytond_common::Value::Bool(true)),
+        };
+        assert_eq!(filter.schema().len(), 1);
+        assert_eq!(filter.node_count(), 2);
+        assert!(filter.explain().contains("Scan t"));
+    }
+}

@@ -1,0 +1,843 @@
+//! SQL code generation from TondIR (paper, Section III-E).
+//!
+//! Each rule becomes one CTE in a `WITH` chain; the program's last rule feeds
+//! the final `SELECT * FROM <last>`. Constant relations are hoisted into
+//! `name(cols) AS (VALUES ...)` CTEs (exactly the paper's Figure 2 shape).
+//! Implicit inner joins (shared variables between relation accesses) become
+//! equality conjuncts in `WHERE`; outer-join marker atoms become explicit
+//! `LEFT/RIGHT/FULL JOIN ... ON` syntax; `exists` atoms become
+//! `[NOT] IN (SELECT ...)` predicates; `uid()` becomes
+//! `row_number() OVER (...)`.
+//!
+//! Backend adaptation: the [`Dialect`] controls the spelling of external
+//! functions (e.g. `substr(s, a, b)` on the DuckDB-style dialect vs
+//! `SUBSTRING(s FROM a FOR b)` on the Hyper-style one), mirroring the paper's
+//! "minor details, mostly in the interface of their external functions".
+
+use pytond_common::{Error, Result};
+use pytond_tondir::analysis::SchemaEnv;
+use pytond_tondir::{Atom, Body, Catalog, Const, OuterKind, Program, Rule, ScalarOp, Term};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Target SQL dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dialect {
+    /// DuckDB-style spellings (`substr`, `year(d)`).
+    #[default]
+    DuckDb,
+    /// Hyper-style spellings (`SUBSTRING ... FROM ... FOR`, `EXTRACT`).
+    Hyper,
+    /// LingoDB-style (standard-leaning, like Hyper).
+    LingoDb,
+}
+
+/// Generates the full SQL statement for a TondIR program.
+pub fn generate_sql(program: &Program, catalog: &Catalog, dialect: Dialect) -> Result<String> {
+    if program.rules.is_empty() {
+        return Err(Error::CodeGen("empty program".into()));
+    }
+    let mut env = SchemaEnv::from_catalog(catalog);
+    let mut ctes: Vec<String> = Vec::new();
+    let mut seen_names: Vec<String> = Vec::new();
+    let mut const_counter = 0usize;
+    for rule in &program.rules {
+        if seen_names.contains(&rule.head.rel) {
+            return Err(Error::CodeGen(format!(
+                "relation '{}' defined twice; the translator must uniquify rule names",
+                rule.head.rel
+            )));
+        }
+        let gen = RuleGen {
+            env: &env,
+            dialect,
+            const_counter: &mut const_counter,
+        };
+        let (sql, extra_ctes) = gen.rule_to_sql(rule)?;
+        ctes.extend(extra_ctes);
+        let col_list: Vec<String> = rule
+            .head
+            .cols
+            .iter()
+            .map(|(n, _)| quote_ident(n))
+            .collect();
+        ctes.push(format!(
+            "{}({}) AS (\n{}\n)",
+            quote_ident(&rule.head.rel),
+            col_list.join(", "),
+            indent(&sql)
+        ));
+        seen_names.push(rule.head.rel.clone());
+        env.define(&rule.head);
+    }
+    let last = program.rules.last().expect("non-empty");
+    let mut out = String::new();
+    write!(out, "WITH {}\nSELECT * FROM {}", ctes.join(",\n"), quote_ident(&last.head.rel))
+        .unwrap();
+    Ok(out)
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "by", "having", "order", "limit", "join", "inner",
+    "left", "right", "full", "cross", "on", "and", "or", "not", "in", "is", "between", "like",
+    "exists", "union", "as", "asc", "desc", "distinct", "with", "when", "then", "else", "end",
+    "values", "case", "null", "true", "false", "date", "cast", "interval", "sum", "min", "max",
+    "avg", "count",
+];
+
+/// Quotes an identifier when it is not a plain lower-case word.
+pub fn quote_ident(name: &str) -> String {
+    let plain = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.chars().next().unwrap().is_ascii_digit()
+        && !RESERVED.contains(&name.to_lowercase().as_str());
+    if plain {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+struct RuleGen<'a> {
+    env: &'a SchemaEnv,
+    dialect: Dialect,
+    const_counter: &'a mut usize,
+}
+
+impl<'a> RuleGen<'a> {
+    /// Renders a rule body + head into a SELECT, returning any hoisted
+    /// VALUES CTEs.
+    fn rule_to_sql(self, rule: &Rule) -> Result<(String, Vec<String>)> {
+        let mut extra_ctes = Vec::new();
+        // Pure constant rule: R(c0) :- (c0 = [...]).
+        if rule.body.atoms.len() == 1 {
+            if let Atom::ConstRel { rows, .. } = &rule.body.atoms[0] {
+                let rendered: Vec<String> = rows
+                    .iter()
+                    .map(|r| {
+                        let vals: Vec<String> =
+                            r.iter().map(|c| render_const(c)).collect();
+                        format!("({})", vals.join(", "))
+                    })
+                    .collect();
+                return Ok((format!("VALUES {}", rendered.join(", ")), extra_ctes));
+            }
+        }
+
+        // Variable bindings: var → rendered SQL expression.
+        let mut bindings: HashMap<String, String> = HashMap::new();
+        // Extra equality conditions from repeated variables (implicit joins).
+        let mut conditions: Vec<String> = Vec::new();
+        // FROM items in order: (rendered item, alias).
+        let mut from_items: Vec<String> = Vec::new();
+        // Alias of each relation access for outer-join wiring.
+        let mut alias_of: HashMap<String, usize> = HashMap::new(); // alias → from_items idx
+        let mut outer_markers: Vec<(&OuterKind, &String, &String, &Vec<(String, String)>)> =
+            Vec::new();
+
+        for atom in &rule.body.atoms {
+            match atom {
+                Atom::Rel { rel, alias, vars } => {
+                    let cols = self.env.columns(rel).map_err(|e| {
+                        Error::CodeGen(format!(
+                            "rule '{}': {}",
+                            rule.head.rel,
+                            e.message()
+                        ))
+                    })?;
+                    if cols.len() != vars.len() {
+                        return Err(Error::CodeGen(format!(
+                            "rule '{}': relation '{rel}' has {} columns, access binds {}",
+                            rule.head.rel,
+                            cols.len(),
+                            vars.len()
+                        )));
+                    }
+                    let item = if alias == rel {
+                        quote_ident(rel)
+                    } else {
+                        format!("{} AS {}", quote_ident(rel), quote_ident(alias))
+                    };
+                    alias_of.insert(alias.clone(), from_items.len());
+                    from_items.push(item);
+                    for (col, var) in cols.iter().zip(vars) {
+                        let expr = format!("{}.{}", quote_ident(alias), quote_ident(col));
+                        match bindings.get(var) {
+                            Some(prev) => conditions.push(format!("{prev} = {expr}")),
+                            None => {
+                                bindings.insert(var.clone(), expr);
+                            }
+                        }
+                    }
+                }
+                Atom::ConstRel { vars, rows } => {
+                    *self.const_counter += 1;
+                    let name = format!("const_rel_{}", self.const_counter);
+                    let rendered: Vec<String> = rows
+                        .iter()
+                        .map(|r| {
+                            let vals: Vec<String> =
+                                r.iter().map(|c| render_const(c)).collect();
+                            format!("({})", vals.join(", "))
+                        })
+                        .collect();
+                    let col_list: Vec<String> =
+                        vars.iter().map(|v| quote_ident(v)).collect();
+                    extra_ctes.push(format!(
+                        "{}({}) AS (\n  VALUES {}\n)",
+                        quote_ident(&name),
+                        col_list.join(", "),
+                        rendered.join(", ")
+                    ));
+                    alias_of.insert(name.clone(), from_items.len());
+                    from_items.push(quote_ident(&name));
+                    for var in vars {
+                        let expr = format!("{}.{}", quote_ident(&name), quote_ident(var));
+                        match bindings.get(var) {
+                            Some(prev) => conditions.push(format!("{prev} = {expr}")),
+                            None => {
+                                bindings.insert(var.clone(), expr);
+                            }
+                        }
+                    }
+                }
+                Atom::Assign { var, term } => {
+                    let rendered = self.render_term(term, &bindings)?;
+                    let stored = if matches!(term, Term::Bin { .. } | Term::Not(_)) {
+                        format!("({rendered})")
+                    } else {
+                        rendered
+                    };
+                    bindings.insert(var.clone(), stored);
+                }
+                Atom::Pred(term) => {
+                    let rendered = self.render_term(term, &bindings)?;
+                    // Disjunctions must not leak into the AND chain unparenthesized.
+                    let rendered = if matches!(term, Term::Bin { op: ScalarOp::Or, .. }) {
+                        format!("({rendered})")
+                    } else {
+                        rendered
+                    };
+                    conditions.push(rendered);
+                }
+                Atom::Exists {
+                    body,
+                    keys,
+                    negated,
+                } => {
+                    conditions.push(self.render_exists(body, keys, *negated, &bindings)?);
+                }
+                Atom::OuterJoin {
+                    kind,
+                    left,
+                    right,
+                    on,
+                } => {
+                    outer_markers.push((kind, left, right, on));
+                }
+            }
+        }
+
+        // FROM clause: outer-join markers splice explicit JOIN syntax.
+        let from_clause = if outer_markers.is_empty() {
+            from_items.join(", ")
+        } else {
+            self.render_outer_from(&from_items, &alias_of, &outer_markers, &bindings)?
+        };
+
+        // SELECT list.
+        let mut select_items = Vec::new();
+        for (name, var) in &rule.head.cols {
+            let expr = bindings.get(var).ok_or_else(|| {
+                Error::CodeGen(format!(
+                    "rule '{}': head variable '{var}' is unbound",
+                    rule.head.rel
+                ))
+            })?;
+            select_items.push(format!("{expr} AS {}", quote_ident(name)));
+        }
+        let mut sql = String::new();
+        write!(
+            sql,
+            "SELECT {}{}",
+            if rule.head.distinct { "DISTINCT " } else { "" },
+            select_items.join(", ")
+        )
+        .unwrap();
+        write!(sql, "\nFROM {from_clause}").unwrap();
+        if !conditions.is_empty() {
+            write!(sql, "\nWHERE {}", conditions.join(" AND ")).unwrap();
+        }
+        if let Some(group) = &rule.head.group {
+            let keys: Vec<String> = group
+                .iter()
+                .map(|v| {
+                    bindings
+                        .get(v)
+                        .cloned()
+                        .ok_or_else(|| Error::CodeGen(format!("group variable '{v}' unbound")))
+                })
+                .collect::<Result<_>>()?;
+            write!(sql, "\nGROUP BY {}", keys.join(", ")).unwrap();
+        }
+        if let Some(sort) = &rule.head.sort {
+            let keys: Vec<String> = sort
+                .iter()
+                .map(|(v, asc)| {
+                    let expr = bindings
+                        .get(v)
+                        .cloned()
+                        .ok_or_else(|| Error::CodeGen(format!("sort variable '{v}' unbound")))?;
+                    Ok(format!("{expr}{}", if *asc { " ASC" } else { " DESC" }))
+                })
+                .collect::<Result<_>>()?;
+            write!(sql, "\nORDER BY {}", keys.join(", ")).unwrap();
+        }
+        if let Some(n) = rule.head.limit {
+            write!(sql, "\nLIMIT {n}").unwrap();
+        }
+        Ok((sql, extra_ctes))
+    }
+
+    fn render_outer_from(
+        &self,
+        from_items: &[String],
+        alias_of: &HashMap<String, usize>,
+        markers: &[(&OuterKind, &String, &String, &Vec<(String, String)>)],
+        bindings: &HashMap<String, String>,
+    ) -> Result<String> {
+        // Relations joined by markers are chained with JOIN syntax; all other
+        // items stay comma-separated.
+        let mut joined: Vec<bool> = vec![false; from_items.len()];
+        let mut chain = String::new();
+        for (ki, (kind, left, right, on)) in markers.iter().enumerate() {
+            let li = *alias_of
+                .get(*left)
+                .ok_or_else(|| Error::CodeGen(format!("outer join alias '{left}' unknown")))?;
+            let ri = *alias_of
+                .get(*right)
+                .ok_or_else(|| Error::CodeGen(format!("outer join alias '{right}' unknown")))?;
+            let kw = match kind {
+                OuterKind::Left => "LEFT JOIN",
+                OuterKind::Right => "RIGHT JOIN",
+                OuterKind::Full => "FULL OUTER JOIN",
+            };
+            let conds: Vec<String> = on
+                .iter()
+                .map(|(l, r)| {
+                    let le = bindings
+                        .get(l)
+                        .cloned()
+                        .ok_or_else(|| Error::CodeGen(format!("join variable '{l}' unbound")))?;
+                    let re = bindings
+                        .get(r)
+                        .cloned()
+                        .ok_or_else(|| Error::CodeGen(format!("join variable '{r}' unbound")))?;
+                    Ok(format!("{le} = {re}"))
+                })
+                .collect::<Result<_>>()?;
+            if ki == 0 {
+                write!(
+                    chain,
+                    "{} {kw} {} ON {}",
+                    from_items[li],
+                    from_items[ri],
+                    conds.join(" AND ")
+                )
+                .unwrap();
+            } else {
+                write!(chain, " {kw} {} ON {}", from_items[ri], conds.join(" AND ")).unwrap();
+            }
+            joined[li] = true;
+            joined[ri] = true;
+        }
+        let mut parts = vec![chain];
+        for (i, item) in from_items.iter().enumerate() {
+            if !joined[i] {
+                parts.push(item.clone());
+            }
+        }
+        Ok(parts.join(", "))
+    }
+
+    fn render_exists(
+        &self,
+        body: &Body,
+        keys: &[(String, String)],
+        negated: bool,
+        outer_bindings: &HashMap<String, String>,
+    ) -> Result<String> {
+        if keys.len() != 1 {
+            return Err(Error::CodeGen(
+                "exists atoms must correlate on exactly one key (isin)".into(),
+            ));
+        }
+        // Render the inner body as a one-column subselect.
+        let mut inner_bindings: HashMap<String, String> = HashMap::new();
+        let mut inner_from: Vec<String> = Vec::new();
+        let mut inner_conds: Vec<String> = Vec::new();
+        for atom in &body.atoms {
+            match atom {
+                Atom::Rel { rel, alias, vars } => {
+                    let cols = self.env.columns(rel).map_err(|e| {
+                        Error::CodeGen(e.message().to_string())
+                    })?;
+                    let item = if alias == rel {
+                        quote_ident(rel)
+                    } else {
+                        format!("{} AS {}", quote_ident(rel), quote_ident(alias))
+                    };
+                    inner_from.push(item);
+                    for (col, var) in cols.iter().zip(vars) {
+                        let expr = format!("{}.{}", quote_ident(alias), quote_ident(col));
+                        match inner_bindings.get(var) {
+                            Some(prev) => inner_conds.push(format!("{prev} = {expr}")),
+                            None => {
+                                inner_bindings.insert(var.clone(), expr);
+                            }
+                        }
+                    }
+                }
+                Atom::Pred(t) => {
+                    let rendered = self.render_term(t, &inner_bindings)?;
+                    let rendered = if matches!(t, Term::Bin { op: ScalarOp::Or, .. }) {
+                        format!("({rendered})")
+                    } else {
+                        rendered
+                    };
+                    inner_conds.push(rendered);
+                }
+                Atom::Assign { var, term } => {
+                    let rendered = self.render_term(term, &inner_bindings)?;
+                    let stored = if matches!(term, Term::Bin { .. } | Term::Not(_)) {
+                        format!("({rendered})")
+                    } else {
+                        rendered
+                    };
+                    inner_bindings.insert(var.clone(), stored);
+                }
+                other => {
+                    return Err(Error::CodeGen(format!(
+                        "unsupported atom inside exists: {other:?}"
+                    )))
+                }
+            }
+        }
+        let (outer_var, inner_var) = &keys[0];
+        let outer_expr = outer_bindings
+            .get(outer_var)
+            .ok_or_else(|| Error::CodeGen(format!("exists outer key '{outer_var}' unbound")))?;
+        let inner_expr = inner_bindings
+            .get(inner_var)
+            .ok_or_else(|| Error::CodeGen(format!("exists inner key '{inner_var}' unbound")))?;
+        let mut sub = format!("SELECT {inner_expr} FROM {}", inner_from.join(", "));
+        if !inner_conds.is_empty() {
+            write!(sub, " WHERE {}", inner_conds.join(" AND ")).unwrap();
+        }
+        Ok(format!(
+            "{outer_expr} {}IN ({sub})",
+            if negated { "NOT " } else { "" }
+        ))
+    }
+
+    // ---------------- terms ----------------
+
+    fn render_term(&self, t: &Term, bindings: &HashMap<String, String>) -> Result<String> {
+        Ok(match t {
+            Term::Var(v) => bindings
+                .get(v)
+                .cloned()
+                .ok_or_else(|| Error::CodeGen(format!("variable '{v}' unbound")))?,
+            Term::Const(c) => render_const(c),
+            Term::Agg { func, arg } => {
+                use pytond_tondir::AggFunc;
+                let inner = self.render_term(arg, bindings)?;
+                match func {
+                    AggFunc::Sum => format!("SUM({inner})"),
+                    AggFunc::Min => format!("MIN({inner})"),
+                    AggFunc::Max => format!("MAX({inner})"),
+                    AggFunc::Avg => format!("AVG({inner})"),
+                    AggFunc::Count => {
+                        // count over a bare "1" constant means COUNT(*)
+                        if matches!(**arg, Term::Const(Const::Int(1))) {
+                            "COUNT(*)".to_string()
+                        } else {
+                            format!("COUNT({inner})")
+                        }
+                    }
+                    AggFunc::CountDistinct => format!("COUNT(DISTINCT {inner})"),
+                }
+            }
+            Term::Ext { func, args } => self.render_ext(func, args, bindings)?,
+            Term::If { cond, then, els } => format!(
+                "CASE WHEN {} THEN {} ELSE {} END",
+                self.render_term(cond, bindings)?,
+                self.render_term(then, bindings)?,
+                self.render_term(els, bindings)?
+            ),
+            Term::Bin { op, lhs, rhs } => {
+                let l = self.paren(lhs, bindings)?;
+                let r = self.paren(rhs, bindings)?;
+                match op {
+                    ScalarOp::Like => format!("{l} LIKE {r}"),
+                    ScalarOp::NotLike => format!("{l} NOT LIKE {r}"),
+                    other => format!("{l} {} {r}", other.sql()),
+                }
+            }
+            Term::Not(inner) => format!("NOT ({})", self.render_term(inner, bindings)?),
+            Term::IsNull(inner) => {
+                format!("{} IS NULL", self.paren(inner, bindings)?)
+            }
+        })
+    }
+
+    fn paren(&self, t: &Term, bindings: &HashMap<String, String>) -> Result<String> {
+        let s = self.render_term(t, bindings)?;
+        Ok(match t {
+            Term::Bin { .. } => format!("({s})"),
+            _ => s,
+        })
+    }
+
+    /// Dialect-specific external functions (paper: "Backend Adaptation").
+    fn render_ext(
+        &self,
+        func: &str,
+        args: &[Term],
+        bindings: &HashMap<String, String>,
+    ) -> Result<String> {
+        let rendered: Vec<String> = args
+            .iter()
+            .map(|a| self.render_term(a, bindings))
+            .collect::<Result<_>>()?;
+        let arg = |i: usize| -> Result<&String> {
+            rendered
+                .get(i)
+                .ok_or_else(|| Error::CodeGen(format!("{func} missing argument {i}")))
+        };
+        Ok(match func {
+            "uid" => match rendered.first() {
+                Some(col) => format!("row_number() OVER (ORDER BY {col})"),
+                None => "row_number() OVER ()".to_string(),
+            },
+            "year" => match self.dialect {
+                Dialect::DuckDb => format!("year({})", arg(0)?),
+                _ => format!("EXTRACT(YEAR FROM {})", arg(0)?),
+            },
+            "month" => match self.dialect {
+                Dialect::DuckDb => format!("month({})", arg(0)?),
+                _ => format!("EXTRACT(MONTH FROM {})", arg(0)?),
+            },
+            "day" => match self.dialect {
+                Dialect::DuckDb => format!("day({})", arg(0)?),
+                _ => format!("EXTRACT(DAY FROM {})", arg(0)?),
+            },
+            "substr" => match self.dialect {
+                Dialect::DuckDb => format!("substr({}, {}, {})", arg(0)?, arg(1)?, arg(2)?),
+                _ => format!(
+                    "SUBSTRING({} FROM {} FOR {})",
+                    arg(0)?,
+                    arg(1)?,
+                    arg(2)?
+                ),
+            },
+            "strlen" => match self.dialect {
+                Dialect::DuckDb => format!("length({})", arg(0)?),
+                _ => format!("CHAR_LENGTH({})", arg(0)?),
+            },
+            "round" => {
+                if rendered.len() > 1 {
+                    format!("ROUND({}, {})", arg(0)?, arg(1)?)
+                } else {
+                    format!("ROUND({})", arg(0)?)
+                }
+            }
+            "abs" => format!("ABS({})", arg(0)?),
+            "floor" => format!("FLOOR({})", arg(0)?),
+            "ceil" => format!("CEIL({})", arg(0)?),
+            "sqrt" => format!("SQRT({})", arg(0)?),
+            "power" => format!("POWER({}, {})", arg(0)?, arg(1)?),
+            "upper" => format!("UPPER({})", arg(0)?),
+            "lower" => format!("LOWER({})", arg(0)?),
+            "coalesce" => format!("COALESCE({})", rendered.join(", ")),
+            "add_months" => format!("ADD_MONTHS({}, {})", arg(0)?, arg(1)?),
+            "add_years" => format!("ADD_YEARS({}, {})", arg(0)?, arg(1)?),
+            "add_days" => format!("ADD_DAYS({}, {})", arg(0)?, arg(1)?),
+            "strpos" => format!("STRPOS({}, {})", arg(0)?, arg(1)?),
+            other => {
+                return Err(Error::CodeGen(format!(
+                    "unknown external function '{other}'"
+                )))
+            }
+        })
+    }
+}
+
+fn render_const(c: &Const) -> String {
+    match c {
+        Const::Int(i) => i.to_string(),
+        Const::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Const::Bool(b) => b.to_string().to_uppercase(),
+        Const::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Const::Date(d) => format!("DATE '{}'", pytond_common::date::format(*d)),
+        Const::Null => "NULL".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytond_common::DType;
+    use pytond_tondir::builder::*;
+    use pytond_tondir::{AggFunc, Head, TableSchema};
+
+    fn catalog() -> Catalog {
+        Catalog::new().with(TableSchema::new(
+            "r",
+            vec![
+                ("a".into(), DType::Int),
+                ("b".into(), DType::Float),
+                ("c".into(), DType::Float),
+            ],
+        ))
+    }
+
+    #[test]
+    fn paper_example_aggregation_rule() {
+        // R1(a, s) :- R(a, b, c), (s=sum(b)).  →  WITH R1(a, s) AS (SELECT ...)
+        let p = Program {
+            rules: vec![rule(
+                Head {
+                    rel: "r1".into(),
+                    cols: vec![("a".into(), "a".into()), ("s".into(), "s".into())],
+                    group: Some(vec!["a".into()]),
+                    sort: None,
+                    limit: None,
+                    distinct: false,
+                },
+                vec![
+                    rel("r", "r", &["a", "b", "c"]),
+                    assign("s", Term::agg(AggFunc::Sum, Term::var("b"))),
+                ],
+            )],
+        };
+        let sql = generate_sql(&p, &catalog(), Dialect::DuckDb).unwrap();
+        assert!(sql.contains("WITH r1(a, s) AS ("), "{sql}");
+        assert!(sql.contains("SUM(r.b) AS s"), "{sql}");
+        assert!(sql.contains("GROUP BY r.a"), "{sql}");
+        assert!(sql.trim_end().ends_with("SELECT * FROM r1"), "{sql}");
+    }
+
+    #[test]
+    fn implicit_join_becomes_where_equality() {
+        let p = Program {
+            rules: vec![rule(
+                head("out", &["x"]),
+                vec![
+                    rel("r", "t1", &["k", "x", "c1"]),
+                    rel("r", "t2", &["k", "y", "c2"]),
+                ],
+            )],
+        };
+        let sql = generate_sql(&p, &catalog(), Dialect::DuckDb).unwrap();
+        assert!(sql.contains("FROM r AS t1, r AS t2"), "{sql}");
+        assert!(sql.contains("WHERE t1.a = t2.a"), "{sql}");
+    }
+
+    #[test]
+    fn filters_and_sort_limit() {
+        let p = Program {
+            rules: vec![rule(
+                Head {
+                    rel: "out".into(),
+                    cols: vec![("a".into(), "a".into())],
+                    group: None,
+                    sort: Some(vec![("a".into(), false)]),
+                    limit: Some(10),
+                    distinct: false,
+                },
+                vec![
+                    rel("r", "r", &["a", "b", "c"]),
+                    cmp(ScalarOp::Gt, Term::var("b"), Term::float(5.0)),
+                ],
+            )],
+        };
+        let sql = generate_sql(&p, &catalog(), Dialect::DuckDb).unwrap();
+        assert!(sql.contains("WHERE r.b > 5.0"), "{sql}");
+        assert!(sql.contains("ORDER BY r.a DESC"), "{sql}");
+        assert!(sql.contains("LIMIT 10"), "{sql}");
+    }
+
+    #[test]
+    fn const_rel_hoisted_as_values_cte() {
+        let p = Program {
+            rules: vec![rule(
+                head("out", &["a", "c0"]),
+                vec![
+                    rel("r", "r", &["a", "b", "c"]),
+                    Atom::ConstRel {
+                        vars: vec!["c0".into()],
+                        rows: vec![vec![Const::Int(0)], vec![Const::Int(1)]],
+                    },
+                ],
+            )],
+        };
+        let sql = generate_sql(&p, &catalog(), Dialect::DuckDb).unwrap();
+        assert!(sql.contains("const_rel_1(c0) AS (\n  VALUES (0), (1)\n)"), "{sql}");
+        assert!(sql.contains("FROM r, const_rel_1"), "{sql}");
+    }
+
+    #[test]
+    fn exists_becomes_in_subquery() {
+        let p = Program {
+            rules: vec![rule(
+                head("out", &["a"]),
+                vec![
+                    rel("r", "r", &["a", "b", "c"]),
+                    Atom::Exists {
+                        body: pytond_tondir::Body::new(vec![
+                            rel("r", "inner1", &["a2", "b2", "c2"]),
+                            cmp(ScalarOp::Gt, Term::var("b2"), Term::float(1.0)),
+                        ]),
+                        keys: vec![("a".into(), "a2".into())],
+                        negated: true,
+                    },
+                ],
+            )],
+        };
+        let sql = generate_sql(&p, &catalog(), Dialect::DuckDb).unwrap();
+        assert!(
+            sql.contains("r.a NOT IN (SELECT inner1.a FROM r AS inner1 WHERE inner1.b > 1.0)"),
+            "{sql}"
+        );
+    }
+
+    #[test]
+    fn outer_join_marker_becomes_left_join() {
+        let p = Program {
+            rules: vec![rule(
+                head("out", &["x", "y"]),
+                vec![
+                    rel("r", "t1", &["k1", "x", "c1"]),
+                    rel("r", "t2", &["k2", "y", "c2"]),
+                    Atom::OuterJoin {
+                        kind: OuterKind::Left,
+                        left: "t1".into(),
+                        right: "t2".into(),
+                        on: vec![("k1".into(), "k2".into())],
+                    },
+                ],
+            )],
+        };
+        let sql = generate_sql(&p, &catalog(), Dialect::DuckDb).unwrap();
+        assert!(
+            sql.contains("FROM r AS t1 LEFT JOIN r AS t2 ON t1.a = t2.a"),
+            "{sql}"
+        );
+    }
+
+    #[test]
+    fn dialects_differ_in_ext_functions() {
+        let p = Program {
+            rules: vec![rule(
+                head("out", &["y"]),
+                vec![
+                    rel("r", "r", &["a", "b", "c"]),
+                    assign(
+                        "y",
+                        Term::Ext {
+                            func: "substr".into(),
+                            args: vec![Term::var("a"), Term::int(1), Term::int(2)],
+                        },
+                    ),
+                ],
+            )],
+        };
+        let duck = generate_sql(&p, &catalog(), Dialect::DuckDb).unwrap();
+        let hyper = generate_sql(&p, &catalog(), Dialect::Hyper).unwrap();
+        assert!(duck.contains("substr(r.a, 1, 2)"), "{duck}");
+        assert!(hyper.contains("SUBSTRING(r.a FROM 1 FOR 2)"), "{hyper}");
+    }
+
+    #[test]
+    fn uid_renders_row_number() {
+        let p = Program {
+            rules: vec![rule(
+                head("out", &["a", "id"]),
+                vec![
+                    rel("r", "r", &["a", "b", "c"]),
+                    assign(
+                        "id",
+                        Term::Ext {
+                            func: "uid".into(),
+                            args: vec![],
+                        },
+                    ),
+                ],
+            )],
+        };
+        let sql = generate_sql(&p, &catalog(), Dialect::DuckDb).unwrap();
+        assert!(sql.contains("row_number() OVER ()"), "{sql}");
+    }
+
+    #[test]
+    fn duplicate_rule_names_rejected() {
+        let r1 = rule(head("dup", &["a"]), vec![rel("r", "r", &["a", "b", "c"])]);
+        let p = Program {
+            rules: vec![r1.clone(), r1],
+        };
+        assert!(generate_sql(&p, &catalog(), Dialect::DuckDb).is_err());
+    }
+
+    #[test]
+    fn quoting_of_odd_identifiers() {
+        assert_eq!(quote_ident("abc"), "abc");
+        assert_eq!(quote_ident("select"), "\"select\"");
+        assert_eq!(quote_ident("7"), "\"7\"");
+        assert_eq!(quote_ident("my col"), "\"my col\"");
+    }
+
+    #[test]
+    fn if_renders_case_when() {
+        let p = Program {
+            rules: vec![rule(
+                head("out", &["v"]),
+                vec![
+                    rel("r", "r", &["a", "b", "c"]),
+                    assign(
+                        "v",
+                        Term::If {
+                            cond: Box::new(Term::bin(
+                                ScalarOp::Eq,
+                                Term::var("a"),
+                                Term::int(1),
+                            )),
+                            then: Box::new(Term::var("b")),
+                            els: Box::new(Term::int(0)),
+                        },
+                    ),
+                ],
+            )],
+        };
+        let sql = generate_sql(&p, &catalog(), Dialect::DuckDb).unwrap();
+        assert!(
+            sql.contains("CASE WHEN r.a = 1 THEN r.b ELSE 0 END"),
+            "{sql}"
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Program analyses shared by the optimizer and the SQL generator:
+//! variable def/use sets, rule dependency edges, and positional schema
+//! resolution (which column of which source relation a body variable binds).
+
+use crate::catalog::Catalog;
+use crate::ir::*;
+use pytond_common::hash::{FxHashMap, FxHashSet};
+use pytond_common::{Error, Result};
+
+/// Variables *defined* by a rule body: relation-access bindings, assignment
+/// targets and constant-relation columns.
+pub fn defined_vars(body: &Body) -> FxHashSet<String> {
+    let mut out = FxHashSet::default();
+    for atom in &body.atoms {
+        match atom {
+            Atom::Rel { vars, .. } | Atom::ConstRel { vars, .. } => {
+                out.extend(vars.iter().cloned());
+            }
+            Atom::Assign { var, .. } => {
+                out.insert(var.clone());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Variables *used* by a rule: head columns, group/sort keys, predicate and
+/// assignment right-hand sides, exists correlation keys and outer-join keys.
+pub fn used_vars(rule: &Rule) -> FxHashSet<String> {
+    let mut out = FxHashSet::default();
+    for (_, v) in &rule.head.cols {
+        out.insert(v.clone());
+    }
+    if let Some(g) = &rule.head.group {
+        out.extend(g.iter().cloned());
+    }
+    if let Some(s) = &rule.head.sort {
+        out.extend(s.iter().map(|(v, _)| v.clone()));
+    }
+    for atom in &rule.body.atoms {
+        match atom {
+            Atom::Pred(t) => out.extend(t.vars()),
+            Atom::Assign { term, .. } => out.extend(term.vars()),
+            Atom::Exists { keys, .. } => out.extend(keys.iter().map(|(o, _)| o.clone())),
+            Atom::OuterJoin { on, .. } => {
+                out.extend(on.iter().flat_map(|(l, r)| [l.clone(), r.clone()]));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Variables appearing in more than one relation access of the body — the
+/// implicit inner-join keys.
+pub fn join_vars(body: &Body) -> FxHashSet<String> {
+    let mut seen = FxHashSet::default();
+    let mut joined = FxHashSet::default();
+    for atom in &body.atoms {
+        if let Atom::Rel { vars, .. } = atom {
+            let mut in_this_atom = FxHashSet::default();
+            for v in vars {
+                if !in_this_atom.insert(v.clone()) {
+                    // repeated inside one atom (e.g. diagonal access): also a join
+                    joined.insert(v.clone());
+                }
+                if seen.contains(v) {
+                    joined.insert(v.clone());
+                }
+            }
+            seen.extend(in_this_atom);
+        }
+    }
+    joined
+}
+
+/// Names of relations referenced by a rule body (including inside `exists`).
+pub fn referenced_relations(body: &Body) -> Vec<String> {
+    let mut out = Vec::new();
+    for atom in &body.atoms {
+        match atom {
+            Atom::Rel { rel, .. } => out.push(rel.clone()),
+            Atom::Exists { body, .. } => out.extend(referenced_relations(body)),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// How many rules (bodies) in the program reference each relation.
+pub fn reference_counts(p: &Program) -> FxHashMap<String, usize> {
+    let mut out: FxHashMap<String, usize> = FxHashMap::default();
+    for rule in &p.rules {
+        for r in referenced_relations(&rule.body) {
+            *out.entry(r).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// Resolves the column names of every relation as the program executes:
+/// base tables come from the catalog, derived relations from the defining
+/// rule's head. Handles redefinition (a rule may replace a relation).
+#[derive(Debug, Clone)]
+pub struct SchemaEnv {
+    schemas: FxHashMap<String, Vec<String>>,
+}
+
+impl SchemaEnv {
+    /// Environment seeded with the base-table schemas.
+    pub fn from_catalog(catalog: &Catalog) -> SchemaEnv {
+        let mut schemas = FxHashMap::default();
+        for t in catalog.tables() {
+            schemas.insert(
+                t.name.clone(),
+                t.cols.iter().map(|(c, _)| c.clone()).collect(),
+            );
+        }
+        SchemaEnv { schemas }
+    }
+
+    /// Column names of `rel` at the current point.
+    pub fn columns(&self, rel: &str) -> Result<&[String]> {
+        self.schemas
+            .get(rel)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| Error::Catalog(format!("unknown relation '{rel}'")))
+    }
+
+    /// Registers the head of a rule, making its relation visible to
+    /// subsequent rules (replacing any previous definition).
+    pub fn define(&mut self, head: &Head) {
+        self.schemas.insert(
+            head.rel.clone(),
+            head.cols.iter().map(|(c, _)| c.clone()).collect(),
+        );
+    }
+
+    /// Validates positional binding: each relation access must bind exactly
+    /// as many variables as the source has columns.
+    pub fn check_rule(&self, rule: &Rule) -> Result<()> {
+        for atom in &rule.body.atoms {
+            if let Atom::Rel { rel, vars, .. } = atom {
+                let cols = self.columns(rel)?;
+                if cols.len() != vars.len() {
+                    return Err(Error::Catalog(format!(
+                        "relation '{rel}' has {} columns but the access binds {} variables",
+                        cols.len(),
+                        vars.len()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Full-program validation: positional binding arity, head vars defined in
+/// the body, and rules referencing only earlier-defined relations.
+pub fn validate(p: &Program, catalog: &Catalog) -> Result<()> {
+    let mut env = SchemaEnv::from_catalog(catalog);
+    for (i, rule) in p.rules.iter().enumerate() {
+        env.check_rule(rule)
+            .map_err(|e| Error::Catalog(format!("rule {i}: {}", e.message())))?;
+        let defined = defined_vars(&rule.body);
+        for (col, var) in &rule.head.cols {
+            if !defined.contains(var) {
+                return Err(Error::Catalog(format!(
+                    "rule {i}: head column '{col}' uses undefined variable '{var}'"
+                )));
+            }
+        }
+        if let Some(g) = &rule.head.group {
+            for v in g {
+                if !defined.contains(v) {
+                    return Err(Error::Catalog(format!(
+                        "rule {i}: group variable '{v}' is undefined"
+                    )));
+                }
+            }
+        }
+        env.define(&rule.head);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use pytond_common::DType;
+
+    fn catalog() -> Catalog {
+        Catalog::new().with(crate::catalog::TableSchema::new(
+            "t",
+            vec![
+                ("a".into(), DType::Int),
+                ("b".into(), DType::Int),
+            ],
+        ))
+    }
+
+    #[test]
+    fn def_use_sets() {
+        let r = rule(
+            head("r1", &["a", "s"]),
+            vec![
+                rel("t", "t", &["a", "b"]),
+                assign("s", Term::agg(AggFunc::Sum, Term::var("b"))),
+                cmp(ScalarOp::Gt, Term::var("a"), Term::int(0)),
+            ],
+        );
+        let defined = defined_vars(&r.body);
+        assert!(defined.contains("a") && defined.contains("b") && defined.contains("s"));
+        let used = used_vars(&r);
+        assert!(used.contains("a") && used.contains("b") && used.contains("s"));
+    }
+
+    #[test]
+    fn join_vars_detects_shared_variables() {
+        let body = Body::new(vec![
+            rel("t", "t1", &["k", "x"]),
+            rel("s", "s1", &["k", "y"]),
+        ]);
+        let jv = join_vars(&body);
+        assert!(jv.contains("k"));
+        assert!(!jv.contains("x"));
+    }
+
+    #[test]
+    fn join_vars_detects_diagonal_access() {
+        let body = Body::new(vec![rel("m", "m1", &["i", "i", "v"])]);
+        assert!(join_vars(&body).contains("i"));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_program() {
+        let p = Program {
+            rules: vec![
+                rule(
+                    head("r1", &["a"]),
+                    vec![
+                        rel("t", "t", &["a", "b"]),
+                        cmp(ScalarOp::Gt, Term::var("b"), Term::int(1)),
+                    ],
+                ),
+                rule(head("r2", &["a"]), vec![rel("r1", "r1", &["a"])]),
+            ],
+        };
+        validate(&p, &catalog()).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_arity_mismatch() {
+        let p = Program {
+            rules: vec![rule(head("r1", &["a"]), vec![rel("t", "t", &["a"])])],
+        };
+        let err = validate(&p, &catalog()).unwrap_err();
+        assert!(err.to_string().contains("binds 1 variables"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_undefined_head_var() {
+        let p = Program {
+            rules: vec![rule(head("r1", &["z"]), vec![rel("t", "t", &["a", "b"])])],
+        };
+        assert!(validate(&p, &catalog()).is_err());
+    }
+
+    #[test]
+    fn reference_counts_span_exists() {
+        let p = Program {
+            rules: vec![rule(
+                head("r1", &["a"]),
+                vec![
+                    rel("t", "t", &["a", "b"]),
+                    Atom::Exists {
+                        body: Body::new(vec![rel("t", "inner", &["c", "d"])]),
+                        keys: vec![("a".into(), "c".into())],
+                        negated: false,
+                    },
+                ],
+            )],
+        };
+        let counts = reference_counts(&p);
+        assert_eq!(counts.get("t"), Some(&2));
+    }
+
+    #[test]
+    fn schema_env_tracks_redefinition() {
+        let mut env = SchemaEnv::from_catalog(&catalog());
+        assert_eq!(env.columns("t").unwrap().len(), 2);
+        env.define(&head("t", &["a", "b", "id"]));
+        assert_eq!(env.columns("t").unwrap().len(), 3);
+    }
+}

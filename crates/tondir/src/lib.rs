@@ -1,0 +1,34 @@
+//! TondIR — the Datalog-inspired intermediate representation of PyTond.
+//!
+//! The grammar follows Table IV of the paper:
+//!
+//! ```text
+//! Program P ::= R | P R
+//! Rule    R ::= H :- B.
+//! Head    H ::= r [group(x)] [sort(x, b) [limit(n)]]
+//! Relation r ::= X(x)
+//! Body    B ::= a | B , a
+//! Atom    a ::= r | [<c>] | exists(B) | x θ t
+//! Term    t ::= x | agg(t) | ext(x) | if(t, t, t) | t ⋄ t | c
+//! ```
+//!
+//! Inner joins are expressed implicitly by sharing a variable between two
+//! relation-access atoms; outer joins carry explicit `outer_left/right/full`
+//! marker atoms (paper, Section III-C); `exists` models containment filters
+//! (`isin`). Head variables double as output column names, and body relation
+//! accesses bind variables positionally to the source relation's columns —
+//! the property the paper relies on for sound code generation through
+//! optimization.
+//!
+//! This crate also hosts the [`Catalog`]: the schema/constraint metadata that
+//! PyTond reads from the database catalog and from `@pytond` decorator
+//! arguments (paper, Section III-A "Contextual Information").
+
+pub mod analysis;
+pub mod builder;
+pub mod catalog;
+pub mod ir;
+pub mod printer;
+
+pub use catalog::{Catalog, TableSchema};
+pub use ir::{AggFunc, Atom, Body, Const, Head, OuterKind, Program, Rule, ScalarOp, Term};

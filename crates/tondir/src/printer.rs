@@ -1,0 +1,271 @@
+//! Pretty-printer rendering TondIR in the paper's Datalog-like notation, e.g.
+//!
+//! ```text
+//! R1(a, s) group(a) :- R(a, b, c), (s=sum(b)).
+//! ```
+
+use crate::ir::*;
+use std::fmt::Write;
+
+/// Renders a whole program, one rule per line.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for rule in &p.rules {
+        out.push_str(&print_rule(rule));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one rule.
+pub fn print_rule(r: &Rule) -> String {
+    let mut s = String::new();
+    write!(s, "{}(", r.head.rel).unwrap();
+    let cols: Vec<String> = r
+        .head
+        .cols
+        .iter()
+        .map(|(name, var)| {
+            if name == var {
+                name.clone()
+            } else {
+                format!("{name}={var}")
+            }
+        })
+        .collect();
+    write!(s, "{})", cols.join(", ")).unwrap();
+    if r.head.distinct {
+        s.push_str(" distinct");
+    }
+    if let Some(g) = &r.head.group {
+        write!(s, " group({})", g.join(", ")).unwrap();
+    }
+    if let Some(sort) = &r.head.sort {
+        let keys: Vec<String> = sort
+            .iter()
+            .map(|(v, asc)| {
+                if *asc {
+                    v.clone()
+                } else {
+                    format!("{v} desc")
+                }
+            })
+            .collect();
+        write!(s, " sort({})", keys.join(", ")).unwrap();
+    }
+    if let Some(n) = r.head.limit {
+        write!(s, " limit({n})").unwrap();
+    }
+    s.push_str(" :- ");
+    let atoms: Vec<String> = r.body.atoms.iter().map(print_atom).collect();
+    s.push_str(&atoms.join(", "));
+    s.push('.');
+    s
+}
+
+/// Renders one atom.
+pub fn print_atom(a: &Atom) -> String {
+    match a {
+        Atom::Rel { rel, alias, vars } => {
+            if alias == rel {
+                format!("{rel}({})", vars.join(", "))
+            } else {
+                format!("{rel}@{alias}({})", vars.join(", "))
+            }
+        }
+        Atom::ConstRel { vars, rows } => {
+            let rendered: Vec<String> = rows
+                .iter()
+                .map(|row| {
+                    let vals: Vec<String> = row.iter().map(print_const).collect();
+                    if vals.len() == 1 {
+                        vals[0].clone()
+                    } else {
+                        format!("({})", vals.join(", "))
+                    }
+                })
+                .collect();
+            format!("[{} <{}>]", vars.join(", "), rendered.join(", "))
+        }
+        Atom::Exists {
+            body,
+            keys,
+            negated,
+        } => {
+            let inner: Vec<String> = body.atoms.iter().map(print_atom).collect();
+            let key_str: Vec<String> = keys
+                .iter()
+                .map(|(o, i)| format!("{o}={i}"))
+                .collect();
+            format!(
+                "{}exists({}; {})",
+                if *negated { "not " } else { "" },
+                inner.join(", "),
+                key_str.join(", ")
+            )
+        }
+        Atom::Pred(t) => format!("({})", print_term(t)),
+        Atom::Assign { var, term } => format!("({var}={})", print_term(term)),
+        Atom::OuterJoin {
+            kind,
+            left,
+            right,
+            on,
+        } => {
+            let name = match kind {
+                OuterKind::Left => "outer_left",
+                OuterKind::Right => "outer_right",
+                OuterKind::Full => "outer_full",
+            };
+            let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+            format!("{name}({left}, {right}; {})", keys.join(", "))
+        }
+    }
+}
+
+/// Renders one term.
+pub fn print_term(t: &Term) -> String {
+    match t {
+        Term::Var(v) => v.clone(),
+        Term::Const(c) => print_const(c),
+        Term::Agg { func, arg } => format!("{}({})", func.name(), print_term(arg)),
+        Term::Ext { func, args } => {
+            let rendered: Vec<String> = args.iter().map(print_term).collect();
+            format!("{func}({})", rendered.join(", "))
+        }
+        Term::If { cond, then, els } => format!(
+            "if({}, {}, {})",
+            print_term(cond),
+            print_term(then),
+            print_term(els)
+        ),
+        Term::Bin { op, lhs, rhs } =>
+
+            format!("{} {} {}", paren(lhs), op.sql().to_lowercase(), paren(rhs)),
+        Term::Not(t) => format!("not {}", paren(t)),
+        Term::IsNull(t) => format!("isnull({})", print_term(t)),
+    }
+}
+
+fn paren(t: &Term) -> String {
+    match t {
+        Term::Bin { .. } => format!("({})", print_term(t)),
+        _ => print_term(t),
+    }
+}
+
+fn print_const(c: &Const) -> String {
+    match c {
+        Const::Int(i) => i.to_string(),
+        Const::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Const::Bool(b) => b.to_string(),
+        Const::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Const::Date(d) => format!("date '{}'", pytond_common::date::format(*d)),
+        Const::Null => "null".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn prints_paper_style_rule() {
+        // R1(a, s) group(a) :- R(a, b, c), (s=sum(b)).
+        let rule = Rule {
+            head: Head {
+                rel: "R1".into(),
+                cols: vec![("a".into(), "a".into()), ("s".into(), "s".into())],
+                group: Some(vec!["a".into()]),
+                sort: None,
+                limit: None,
+                distinct: false,
+            },
+            body: Body::new(vec![
+                rel("R", "R", &["a", "b", "c"]),
+                assign("s", Term::agg(AggFunc::Sum, Term::var("b"))),
+            ]),
+        };
+        assert_eq!(
+            print_rule(&rule),
+            "R1(a, s) group(a) :- R(a, b, c), (s=sum(b))."
+        );
+    }
+
+    #[test]
+    fn prints_sort_limit_and_distinct() {
+        let rule = Rule {
+            head: Head {
+                rel: "R".into(),
+                cols: vec![("x".into(), "x".into())],
+                group: None,
+                sort: Some(vec![("x".into(), false)]),
+                limit: Some(10),
+                distinct: true,
+            },
+            body: Body::new(vec![rel("T", "T", &["x"])]),
+        };
+        assert_eq!(
+            print_rule(&rule),
+            "R(x) distinct sort(x desc) limit(10) :- T(x)."
+        );
+    }
+
+    #[test]
+    fn prints_renamed_head_columns_and_aliases() {
+        let rule = Rule {
+            head: Head::simple("R", vec![("total".into(), "v3".into())]),
+            body: Body::new(vec![rel("T", "t1", &["v1", "v2", "v3"])]),
+        };
+        assert_eq!(print_rule(&rule), "R(total=v3) :- T@t1(v1, v2, v3).");
+    }
+
+    #[test]
+    fn prints_exists_and_const_rel() {
+        let rule = Rule {
+            head: Head::simple("R", vec![("a".into(), "a".into())]),
+            body: Body::new(vec![
+                rel("T", "T", &["a"]),
+                Atom::Exists {
+                    body: Body::new(vec![rel("S", "S", &["b"])]),
+                    keys: vec![("a".into(), "b".into())],
+                    negated: true,
+                },
+                Atom::ConstRel {
+                    vars: vec!["c0".into()],
+                    rows: vec![vec![Const::Int(0)], vec![Const::Int(1)]],
+                },
+            ]),
+        };
+        let s = print_rule(&rule);
+        assert!(s.contains("not exists(S(b); a=b)"), "{s}");
+        assert!(s.contains("[c0 <0, 1>]"), "{s}");
+    }
+
+    #[test]
+    fn prints_terms_with_parens() {
+        let t = Term::bin(
+            ScalarOp::Mul,
+            Term::bin(ScalarOp::Add, Term::var("a"), Term::int(1)),
+            Term::var("b"),
+        );
+        assert_eq!(print_term(&t), "(a + 1) * b");
+    }
+
+    #[test]
+    fn prints_if_and_string_escaping() {
+        let t = Term::If {
+            cond: Box::new(Term::bin(ScalarOp::Eq, Term::var("b"), Term::str("o'x"))),
+            then: Box::new(Term::var("c")),
+            els: Box::new(Term::int(0)),
+        };
+        assert_eq!(print_term(&t), "if(b = 'o''x', c, 0)");
+    }
+}

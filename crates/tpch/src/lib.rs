@@ -1,0 +1,48 @@
+//! TPC-H substrate: the `dbgen`-equivalent generator and all 22 queries in
+//! both frontends (Python source for the PyTond compiler, interpreted
+//! `pytond-frame` baselines).
+//!
+//! The paper runs the Pandas TPC-H suite [34] at SF 1; this reproduction
+//! defaults to a laptop-scale fraction (see DESIGN.md) with the scale factor
+//! exposed as a knob.
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{generate, generate_seeded, TpchData};
+pub use queries::{all_queries, query, Query};
+
+use pytond_sqldb::Database;
+
+/// Registers the dataset into a raw engine database (used by hand-written
+/// SQL tests and benchmarks).
+pub fn register_database(db: &mut Database, data: &TpchData) {
+    for (name, rel, _) in data.tables() {
+        db.register(name, rel.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_enumerate() {
+        let qs = all_queries();
+        assert_eq!(qs.len(), 22);
+        assert_eq!(qs[0].name, "Q1");
+        assert_eq!(qs[21].id, 22);
+        for q in &qs {
+            assert!(q.source.contains("@pytond"), "{} source", q.name);
+        }
+    }
+
+    #[test]
+    fn baselines_run_on_tiny_data() {
+        let d = generate(0.001);
+        for q in all_queries() {
+            let out = q.run_baseline(&d);
+            assert!(out.is_ok(), "{} baseline failed: {:?}", q.name, out.err());
+        }
+    }
+}

@@ -1,0 +1,1213 @@
+//! All 22 TPC-H queries in both frontends:
+//!
+//! * `source` — the Pandas-style Python text handed to the PyTond compiler
+//!   (the paper uses the Pandas TPC-H suite of [34]);
+//! * `baseline` — the same pipeline interpreted directly on the
+//!   `pytond-frame` DataFrame library (the evaluation's "Python" bars).
+//!
+//! Differential tests assert the two produce identical relations.
+
+use crate::gen::TpchData;
+use pytond_common::{Column, Relation, Result, Value};
+use pytond_frame::{AggOp, DataFrame, JoinHow};
+
+/// One benchmark query.
+pub struct Query {
+    /// 1-based TPC-H query number.
+    pub id: usize,
+    /// `"Q1"`, ... label.
+    pub name: &'static str,
+    /// Python source for the PyTond path.
+    pub source: &'static str,
+    /// Interpreted baseline.
+    pub baseline: fn(&TpchData) -> Result<DataFrame>,
+}
+
+/// All 22 queries in order.
+pub fn all_queries() -> Vec<Query> {
+    (1..=22).map(query).collect()
+}
+
+/// One query by number (1–22).
+pub fn query(id: usize) -> Query {
+    let (name, source, baseline): (&'static str, &'static str, fn(&TpchData) -> Result<DataFrame>) =
+        match id {
+            1 => ("Q1", Q1_SRC, q1),
+            2 => ("Q2", Q2_SRC, q2),
+            3 => ("Q3", Q3_SRC, q3),
+            4 => ("Q4", Q4_SRC, q4),
+            5 => ("Q5", Q5_SRC, q5),
+            6 => ("Q6", Q6_SRC, q6),
+            7 => ("Q7", Q7_SRC, q7),
+            8 => ("Q8", Q8_SRC, q8),
+            9 => ("Q9", Q9_SRC, q9),
+            10 => ("Q10", Q10_SRC, q10),
+            11 => ("Q11", Q11_SRC, q11),
+            12 => ("Q12", Q12_SRC, q12),
+            13 => ("Q13", Q13_SRC, q13),
+            14 => ("Q14", Q14_SRC, q14),
+            15 => ("Q15", Q15_SRC, q15),
+            16 => ("Q16", Q16_SRC, q16),
+            17 => ("Q17", Q17_SRC, q17),
+            18 => ("Q18", Q18_SRC, q18),
+            19 => ("Q19", Q19_SRC, q19),
+            20 => ("Q20", Q20_SRC, q20),
+            21 => ("Q21", Q21_SRC, q21),
+            22 => ("Q22", Q22_SRC, q22),
+            other => panic!("no TPC-H query {other}"),
+        };
+    Query {
+        id,
+        name,
+        source,
+        baseline,
+    }
+}
+
+// ---------- helpers for the baselines ----------
+
+fn scalar_frame(name: &str, v: Value) -> Result<DataFrame> {
+    DataFrame::from_cols(vec![(name, Column::from_values(&[v])?)])
+}
+
+fn revenue(df: &DataFrame) -> Result<pytond_frame::Series> {
+    let one_minus = df.col("l_discount")?.mul_scalar(-1.0)?.add_scalar(1.0)?;
+    df.col("l_extendedprice")?.mul(&one_minus)
+}
+
+impl Query {
+    /// Runs the interpreted baseline, returning a relation.
+    pub fn run_baseline(&self, data: &TpchData) -> Result<Relation> {
+        (self.baseline)(data).map(|df| df.to_relation())
+    }
+}
+
+// =====================================================================
+// Q1 — pricing summary report
+// =====================================================================
+
+const Q1_SRC: &str = r#"
+@pytond
+def q1(lineitem):
+    li = lineitem[lineitem.l_shipdate <= '1998-09-02']
+    li['disc_price'] = li.l_extendedprice * (1 - li.l_discount)
+    li['charge'] = li.disc_price * (1 + li.l_tax)
+    g = li.groupby(['l_returnflag', 'l_linestatus']).agg(
+        sum_qty=('l_quantity', 'sum'),
+        sum_base_price=('l_extendedprice', 'sum'),
+        sum_disc_price=('disc_price', 'sum'),
+        sum_charge=('charge', 'sum'),
+        avg_qty=('l_quantity', 'mean'),
+        avg_price=('l_extendedprice', 'mean'),
+        avg_disc=('l_discount', 'mean'),
+        count_order=('l_quantity', 'count'))
+    return g.sort_values(by=['l_returnflag', 'l_linestatus'])
+"#;
+
+fn q1(d: &TpchData) -> Result<DataFrame> {
+    let li = DataFrame::from_relation(&d.lineitem);
+    let mask = li.col("l_shipdate")?.le_val(&Value::Str("1998-09-02".into()));
+    let mut li = li.filter(&mask)?;
+    let disc_price = revenue(&li)?.rename("disc_price");
+    li.insert(disc_price.clone())?;
+    let one_plus_tax = li.col("l_tax")?.add_scalar(1.0)?;
+    li.insert(disc_price.mul(&one_plus_tax)?.rename("charge"))?;
+    let g = li.groupby(&["l_returnflag", "l_linestatus"])?.agg(&[
+        ("l_quantity", AggOp::Sum, "sum_qty"),
+        ("l_extendedprice", AggOp::Sum, "sum_base_price"),
+        ("disc_price", AggOp::Sum, "sum_disc_price"),
+        ("charge", AggOp::Sum, "sum_charge"),
+        ("l_quantity", AggOp::Mean, "avg_qty"),
+        ("l_extendedprice", AggOp::Mean, "avg_price"),
+        ("l_discount", AggOp::Mean, "avg_disc"),
+        ("l_quantity", AggOp::Count, "count_order"),
+    ])?;
+    g.sort_values(&[("l_returnflag", true), ("l_linestatus", true)])
+}
+
+// =====================================================================
+// Q2 — minimum cost supplier
+// =====================================================================
+
+const Q2_SRC: &str = r#"
+@pytond
+def q2(part, supplier, partsupp, nation, region):
+    r = region[region.r_name == 'EUROPE']
+    n = nation.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    ps = partsupp.merge(s, left_on='ps_suppkey', right_on='s_suppkey')
+    p = part[(part.p_size == 15) & (part.p_type.str.endswith('BRASS'))]
+    j = p.merge(ps, left_on='p_partkey', right_on='ps_partkey')
+    mins = j.groupby(['p_partkey']).agg(min_cost=('ps_supplycost', 'min'))
+    jm = j.merge(mins, on='p_partkey')
+    best = jm[jm.ps_supplycost == jm.min_cost]
+    out = best[['s_acctbal', 's_name', 'n_name', 'p_partkey', 'p_mfgr', 's_address', 's_phone', 's_comment']]
+    return out.sort_values(by=['s_acctbal', 'n_name', 's_name', 'p_partkey'], ascending=[False, True, True, True]).head(100)
+"#;
+
+fn q2(d: &TpchData) -> Result<DataFrame> {
+    let region = DataFrame::from_relation(&d.region);
+    let r = region.filter(&region.col("r_name")?.eq_val(&Value::Str("EUROPE".into())))?;
+    let n = DataFrame::from_relation(&d.nation).merge(
+        &r,
+        JoinHow::Inner,
+        &["n_regionkey"],
+        &["r_regionkey"],
+    )?;
+    let s = DataFrame::from_relation(&d.supplier).merge(
+        &n,
+        JoinHow::Inner,
+        &["s_nationkey"],
+        &["n_nationkey"],
+    )?;
+    let ps = DataFrame::from_relation(&d.partsupp).merge(
+        &s,
+        JoinHow::Inner,
+        &["ps_suppkey"],
+        &["s_suppkey"],
+    )?;
+    let part = DataFrame::from_relation(&d.part);
+    let m1 = part.col("p_size")?.eq_val(&Value::Int(15));
+    let m2 = part.col("p_type")?.str_endswith("BRASS")?;
+    let p = part.filter(&m1.and(&m2)?)?;
+    let j = p.merge(&ps, JoinHow::Inner, &["p_partkey"], &["ps_partkey"])?;
+    let mins = j
+        .groupby(&["p_partkey"])?
+        .agg(&[("ps_supplycost", AggOp::Min, "min_cost")])?;
+    let jm = j.merge(&mins, JoinHow::Inner, &["p_partkey"], &["p_partkey"])?;
+    let best = jm.filter(&jm.col("ps_supplycost")?.eq_series(jm.col("min_cost")?))?;
+    let out = best.select(&[
+        "s_acctbal",
+        "s_name",
+        "n_name",
+        "p_partkey",
+        "p_mfgr",
+        "s_address",
+        "s_phone",
+        "s_comment",
+    ])?;
+    Ok(out
+        .sort_values(&[
+            ("s_acctbal", false),
+            ("n_name", true),
+            ("s_name", true),
+            ("p_partkey", true),
+        ])?
+        .head(100))
+}
+
+// =====================================================================
+// Q3 — shipping priority
+// =====================================================================
+
+const Q3_SRC: &str = r#"
+@pytond
+def q3(customer, orders, lineitem):
+    c = customer[customer.c_mktsegment == 'BUILDING']
+    o = orders[orders.o_orderdate < '1995-03-15']
+    l = lineitem[lineitem.l_shipdate > '1995-03-15']
+    co = c.merge(o, left_on='c_custkey', right_on='o_custkey')
+    col = co.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    col['revenue'] = col.l_extendedprice * (1 - col.l_discount)
+    g = col.groupby(['l_orderkey', 'o_orderdate', 'o_shippriority']).agg(revenue=('revenue', 'sum'))
+    return g.sort_values(by=['revenue', 'o_orderdate'], ascending=[False, True]).head(10)
+"#;
+
+fn q3(d: &TpchData) -> Result<DataFrame> {
+    let customer = DataFrame::from_relation(&d.customer);
+    let c = customer.filter(
+        &customer
+            .col("c_mktsegment")?
+            .eq_val(&Value::Str("BUILDING".into())),
+    )?;
+    let orders = DataFrame::from_relation(&d.orders);
+    let o = orders.filter(&orders.col("o_orderdate")?.lt_val(&Value::Str("1995-03-15".into())))?;
+    let lineitem = DataFrame::from_relation(&d.lineitem);
+    let l =
+        lineitem.filter(&lineitem.col("l_shipdate")?.gt_val(&Value::Str("1995-03-15".into())))?;
+    let co = c.merge(&o, JoinHow::Inner, &["c_custkey"], &["o_custkey"])?;
+    let mut col = co.merge(&l, JoinHow::Inner, &["o_orderkey"], &["l_orderkey"])?;
+    let rev = revenue(&col)?.rename("revenue");
+    col.insert(rev)?;
+    let g = col
+        .groupby(&["l_orderkey", "o_orderdate", "o_shippriority"])?
+        .agg(&[("revenue", AggOp::Sum, "revenue")])?;
+    Ok(g.sort_values(&[("revenue", false), ("o_orderdate", true)])?
+        .head(10))
+}
+
+// =====================================================================
+// Q4 — order priority checking
+// =====================================================================
+
+const Q4_SRC: &str = r#"
+@pytond
+def q4(orders, lineitem):
+    l = lineitem[lineitem.l_commitdate < lineitem.l_receiptdate]
+    o = orders[(orders.o_orderdate >= '1993-07-01') & (orders.o_orderdate < '1993-10-01')]
+    sel = o[o.o_orderkey.isin(l['l_orderkey'])]
+    g = sel.groupby(['o_orderpriority']).agg(order_count=('o_orderkey', 'count'))
+    return g.sort_values(by=['o_orderpriority'])
+"#;
+
+fn q4(d: &TpchData) -> Result<DataFrame> {
+    let lineitem = DataFrame::from_relation(&d.lineitem);
+    let l = lineitem.filter(
+        &lineitem
+            .col("l_commitdate")?
+            .lt_series(lineitem.col("l_receiptdate")?),
+    )?;
+    let orders = DataFrame::from_relation(&d.orders);
+    let m = orders
+        .col("o_orderdate")?
+        .ge_val(&Value::Str("1993-07-01".into()))
+        .and(&orders.col("o_orderdate")?.lt_val(&Value::Str("1993-10-01".into())))?;
+    let o = orders.filter(&m)?;
+    let sel = o.filter(&o.col("o_orderkey")?.isin(l.col("l_orderkey")?))?;
+    let g = sel
+        .groupby(&["o_orderpriority"])?
+        .agg(&[("o_orderkey", AggOp::Count, "order_count")])?;
+    g.sort_values(&[("o_orderpriority", true)])
+}
+
+// =====================================================================
+// Q5 — local supplier volume
+// =====================================================================
+
+const Q5_SRC: &str = r#"
+@pytond
+def q5(customer, orders, lineitem, supplier, nation, region):
+    r = region[region.r_name == 'ASIA']
+    n = nation.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    o = orders[(orders.o_orderdate >= '1994-01-01') & (orders.o_orderdate < '1995-01-01')]
+    co = customer.merge(o, left_on='c_custkey', right_on='o_custkey')
+    col = co.merge(lineitem, left_on='o_orderkey', right_on='l_orderkey')
+    j = col.merge(s, left_on='l_suppkey', right_on='s_suppkey')
+    jj = j[j.c_nationkey == j.s_nationkey]
+    jj['revenue'] = jj.l_extendedprice * (1 - jj.l_discount)
+    g = jj.groupby(['n_name']).agg(revenue=('revenue', 'sum'))
+    return g.sort_values(by=['revenue'], ascending=False)
+"#;
+
+fn q5(d: &TpchData) -> Result<DataFrame> {
+    let region = DataFrame::from_relation(&d.region);
+    let r = region.filter(&region.col("r_name")?.eq_val(&Value::Str("ASIA".into())))?;
+    let n = DataFrame::from_relation(&d.nation).merge(
+        &r,
+        JoinHow::Inner,
+        &["n_regionkey"],
+        &["r_regionkey"],
+    )?;
+    let s = DataFrame::from_relation(&d.supplier).merge(
+        &n,
+        JoinHow::Inner,
+        &["s_nationkey"],
+        &["n_nationkey"],
+    )?;
+    let orders = DataFrame::from_relation(&d.orders);
+    let m = orders
+        .col("o_orderdate")?
+        .ge_val(&Value::Str("1994-01-01".into()))
+        .and(&orders.col("o_orderdate")?.lt_val(&Value::Str("1995-01-01".into())))?;
+    let o = orders.filter(&m)?;
+    let co = DataFrame::from_relation(&d.customer).merge(
+        &o,
+        JoinHow::Inner,
+        &["c_custkey"],
+        &["o_custkey"],
+    )?;
+    let col = co.merge(
+        &DataFrame::from_relation(&d.lineitem),
+        JoinHow::Inner,
+        &["o_orderkey"],
+        &["l_orderkey"],
+    )?;
+    let j = col.merge(&s, JoinHow::Inner, &["l_suppkey"], &["s_suppkey"])?;
+    let mut jj = j.filter(&j.col("c_nationkey")?.eq_series(j.col("s_nationkey")?))?;
+    let rev = revenue(&jj)?.rename("revenue");
+    jj.insert(rev)?;
+    let g = jj
+        .groupby(&["n_name"])?
+        .agg(&[("revenue", AggOp::Sum, "revenue")])?;
+    g.sort_values(&[("revenue", false)])
+}
+
+// =====================================================================
+// Q6 — forecasting revenue change
+// =====================================================================
+
+const Q6_SRC: &str = r#"
+@pytond
+def q6(lineitem):
+    l = lineitem[(lineitem.l_shipdate >= '1994-01-01') & (lineitem.l_shipdate < '1995-01-01') & (lineitem.l_discount >= 0.05) & (lineitem.l_discount <= 0.07) & (lineitem.l_quantity < 24)]
+    rev = l.l_extendedprice * l.l_discount
+    return rev.sum()
+"#;
+
+fn q6(d: &TpchData) -> Result<DataFrame> {
+    let li = DataFrame::from_relation(&d.lineitem);
+    let m = li
+        .col("l_shipdate")?
+        .ge_val(&Value::Str("1994-01-01".into()))
+        .and(&li.col("l_shipdate")?.lt_val(&Value::Str("1995-01-01".into())))?
+        .and(&li.col("l_discount")?.ge_val(&Value::Float(0.05)))?
+        .and(&li.col("l_discount")?.le_val(&Value::Float(0.07)))?
+        .and(&li.col("l_quantity")?.lt_val(&Value::Float(24.0)))?;
+    let l = li.filter(&m)?;
+    let rev = l.col("l_extendedprice")?.mul(l.col("l_discount")?)?;
+    scalar_frame("rev_sum", rev.sum())
+}
+
+// =====================================================================
+// Q7 — volume shipping
+// =====================================================================
+
+const Q7_SRC: &str = r#"
+@pytond
+def q7(supplier, lineitem, orders, customer, nation):
+    n1 = nation.rename(columns={'n_nationkey': 'n1_key', 'n_name': 'supp_nation'})
+    n2 = nation.rename(columns={'n_nationkey': 'n2_key', 'n_name': 'cust_nation'})
+    sl = supplier.merge(lineitem, left_on='s_suppkey', right_on='l_suppkey')
+    slo = sl.merge(orders, left_on='l_orderkey', right_on='o_orderkey')
+    sloc = slo.merge(customer, left_on='o_custkey', right_on='c_custkey')
+    j1 = sloc.merge(n1, left_on='s_nationkey', right_on='n1_key')
+    j2 = j1.merge(n2, left_on='c_nationkey', right_on='n2_key')
+    f = j2[((j2.supp_nation == 'FRANCE') & (j2.cust_nation == 'GERMANY')) | ((j2.supp_nation == 'GERMANY') & (j2.cust_nation == 'FRANCE'))]
+    ff = f[(f.l_shipdate >= '1995-01-01') & (f.l_shipdate <= '1996-12-31')]
+    ff['l_year'] = ff.l_shipdate.dt.year
+    ff['volume'] = ff.l_extendedprice * (1 - ff.l_discount)
+    g = ff.groupby(['supp_nation', 'cust_nation', 'l_year']).agg(revenue=('volume', 'sum'))
+    return g.sort_values(by=['supp_nation', 'cust_nation', 'l_year'])
+"#;
+
+fn q7(d: &TpchData) -> Result<DataFrame> {
+    let nation = DataFrame::from_relation(&d.nation);
+    let n1 = nation.rename(&[("n_nationkey", "n1_key"), ("n_name", "supp_nation")]);
+    let n2 = nation.rename(&[("n_nationkey", "n2_key"), ("n_name", "cust_nation")]);
+    let sl = DataFrame::from_relation(&d.supplier).merge(
+        &DataFrame::from_relation(&d.lineitem),
+        JoinHow::Inner,
+        &["s_suppkey"],
+        &["l_suppkey"],
+    )?;
+    let slo = sl.merge(
+        &DataFrame::from_relation(&d.orders),
+        JoinHow::Inner,
+        &["l_orderkey"],
+        &["o_orderkey"],
+    )?;
+    let sloc = slo.merge(
+        &DataFrame::from_relation(&d.customer),
+        JoinHow::Inner,
+        &["o_custkey"],
+        &["c_custkey"],
+    )?;
+    let j1 = sloc.merge(&n1, JoinHow::Inner, &["s_nationkey"], &["n1_key"])?;
+    let j2 = j1.merge(&n2, JoinHow::Inner, &["c_nationkey"], &["n2_key"])?;
+    let fr = Value::Str("FRANCE".into());
+    let de = Value::Str("GERMANY".into());
+    let m = j2
+        .col("supp_nation")?
+        .eq_val(&fr)
+        .and(&j2.col("cust_nation")?.eq_val(&de))?
+        .or(&j2
+            .col("supp_nation")?
+            .eq_val(&de)
+            .and(&j2.col("cust_nation")?.eq_val(&fr))?)?;
+    let f = j2.filter(&m)?;
+    let m2 = f
+        .col("l_shipdate")?
+        .ge_val(&Value::Str("1995-01-01".into()))
+        .and(&f.col("l_shipdate")?.le_val(&Value::Str("1996-12-31".into())))?;
+    let mut ff = f.filter(&m2)?;
+    let year = ff.col("l_shipdate")?.dt_year()?.rename("l_year");
+    ff.insert(year)?;
+    let vol = revenue(&ff)?.rename("volume");
+    ff.insert(vol)?;
+    let g = ff
+        .groupby(&["supp_nation", "cust_nation", "l_year"])?
+        .agg(&[("volume", AggOp::Sum, "revenue")])?;
+    g.sort_values(&[
+        ("supp_nation", true),
+        ("cust_nation", true),
+        ("l_year", true),
+    ])
+}
+
+// =====================================================================
+// Q8 — national market share
+// =====================================================================
+
+const Q8_SRC: &str = r#"
+@pytond
+def q8(part, supplier, lineitem, orders, customer, nation, region):
+    r = region[region.r_name == 'AMERICA']
+    n1 = nation.merge(r, left_on='n_regionkey', right_on='r_regionkey')
+    p = part[part.p_type == 'ECONOMY ANODIZED STEEL']
+    pl = p.merge(lineitem, left_on='p_partkey', right_on='l_partkey')
+    plo = pl.merge(orders, left_on='l_orderkey', right_on='o_orderkey')
+    ploc = plo.merge(customer, left_on='o_custkey', right_on='c_custkey')
+    j1 = ploc.merge(n1, left_on='c_nationkey', right_on='n_nationkey')
+    n2 = nation.rename(columns={'n_nationkey': 'n2_key', 'n_name': 'nation_name'})
+    js = j1.merge(supplier, left_on='l_suppkey', right_on='s_suppkey')
+    j2 = js.merge(n2, left_on='s_nationkey', right_on='n2_key')
+    f = j2[(j2.o_orderdate >= '1995-01-01') & (j2.o_orderdate <= '1996-12-31')]
+    f['o_year'] = f.o_orderdate.dt.year
+    f['volume'] = f.l_extendedprice * (1 - f.l_discount)
+    f['brazil_volume'] = np.where(f.nation_name == 'BRAZIL', f.volume, 0.0)
+    g = f.groupby(['o_year']).agg(bv=('brazil_volume', 'sum'), v=('volume', 'sum'))
+    g['mkt_share'] = g.bv / g.v
+    out = g[['o_year', 'mkt_share']]
+    return out.sort_values(by=['o_year'])
+"#;
+
+fn q8(d: &TpchData) -> Result<DataFrame> {
+    let region = DataFrame::from_relation(&d.region);
+    let r = region.filter(&region.col("r_name")?.eq_val(&Value::Str("AMERICA".into())))?;
+    let nation = DataFrame::from_relation(&d.nation);
+    let n1 = nation.merge(&r, JoinHow::Inner, &["n_regionkey"], &["r_regionkey"])?;
+    let part = DataFrame::from_relation(&d.part);
+    let p = part.filter(
+        &part
+            .col("p_type")?
+            .eq_val(&Value::Str("ECONOMY ANODIZED STEEL".into())),
+    )?;
+    let pl = p.merge(
+        &DataFrame::from_relation(&d.lineitem),
+        JoinHow::Inner,
+        &["p_partkey"],
+        &["l_partkey"],
+    )?;
+    let plo = pl.merge(
+        &DataFrame::from_relation(&d.orders),
+        JoinHow::Inner,
+        &["l_orderkey"],
+        &["o_orderkey"],
+    )?;
+    let ploc = plo.merge(
+        &DataFrame::from_relation(&d.customer),
+        JoinHow::Inner,
+        &["o_custkey"],
+        &["c_custkey"],
+    )?;
+    let j1 = ploc.merge(&n1, JoinHow::Inner, &["c_nationkey"], &["n_nationkey"])?;
+    let n2 = nation.rename(&[("n_nationkey", "n2_key"), ("n_name", "nation_name")]);
+    let js = j1.merge(
+        &DataFrame::from_relation(&d.supplier),
+        JoinHow::Inner,
+        &["l_suppkey"],
+        &["s_suppkey"],
+    )?;
+    let j2 = js.merge(&n2, JoinHow::Inner, &["s_nationkey"], &["n2_key"])?;
+    let m = j2
+        .col("o_orderdate")?
+        .ge_val(&Value::Str("1995-01-01".into()))
+        .and(&j2.col("o_orderdate")?.le_val(&Value::Str("1996-12-31".into())))?;
+    let mut f = j2.filter(&m)?;
+    let year = f.col("o_orderdate")?.dt_year()?.rename("o_year");
+    f.insert(year)?;
+    let vol = revenue(&f)?.rename("volume");
+    f.insert(vol.clone())?;
+    let is_brazil = f.col("nation_name")?.eq_val(&Value::Str("BRAZIL".into()));
+    let bv = {
+        let mut vals = Vec::with_capacity(f.num_rows());
+        for i in 0..f.num_rows() {
+            let b = is_brazil.get(i) == Value::Bool(true);
+            vals.push(if b { vol.get(i) } else { Value::Float(0.0) });
+        }
+        pytond_frame::Series::new("brazil_volume", Column::from_values(&vals)?)
+    };
+    f.insert(bv)?;
+    let mut g = f.groupby(&["o_year"])?.agg(&[
+        ("brazil_volume", AggOp::Sum, "bv"),
+        ("volume", AggOp::Sum, "v"),
+    ])?;
+    let share = g.col("bv")?.div(g.col("v")?)?.rename("mkt_share");
+    g.insert(share)?;
+    let out = g.select(&["o_year", "mkt_share"])?;
+    out.sort_values(&[("o_year", true)])
+}
+
+// =====================================================================
+// Q9 — product type profit measure
+// =====================================================================
+
+const Q9_SRC: &str = r#"
+@pytond
+def q9(part, supplier, lineitem, partsupp, orders, nation):
+    p = part[part.p_name.str.contains('green')]
+    pl = p.merge(lineitem, left_on='p_partkey', right_on='l_partkey')
+    pls = pl.merge(supplier, left_on='l_suppkey', right_on='s_suppkey')
+    j = pls.merge(partsupp, left_on=['l_partkey', 'l_suppkey'], right_on=['ps_partkey', 'ps_suppkey'])
+    jo = j.merge(orders, left_on='l_orderkey', right_on='o_orderkey')
+    jn = jo.merge(nation, left_on='s_nationkey', right_on='n_nationkey')
+    jn['o_year'] = jn.o_orderdate.dt.year
+    jn['amount'] = jn.l_extendedprice * (1 - jn.l_discount) - jn.ps_supplycost * jn.l_quantity
+    g = jn.groupby(['n_name', 'o_year']).agg(sum_profit=('amount', 'sum'))
+    return g.sort_values(by=['n_name', 'o_year'], ascending=[True, False])
+"#;
+
+fn q9(d: &TpchData) -> Result<DataFrame> {
+    let part = DataFrame::from_relation(&d.part);
+    let p = part.filter(&part.col("p_name")?.str_contains("green")?)?;
+    let pl = p.merge(
+        &DataFrame::from_relation(&d.lineitem),
+        JoinHow::Inner,
+        &["p_partkey"],
+        &["l_partkey"],
+    )?;
+    let pls = pl.merge(
+        &DataFrame::from_relation(&d.supplier),
+        JoinHow::Inner,
+        &["l_suppkey"],
+        &["s_suppkey"],
+    )?;
+    let j = pls.merge(
+        &DataFrame::from_relation(&d.partsupp),
+        JoinHow::Inner,
+        &["l_partkey", "l_suppkey"],
+        &["ps_partkey", "ps_suppkey"],
+    )?;
+    let jo = j.merge(
+        &DataFrame::from_relation(&d.orders),
+        JoinHow::Inner,
+        &["l_orderkey"],
+        &["o_orderkey"],
+    )?;
+    let mut jn = jo.merge(
+        &DataFrame::from_relation(&d.nation),
+        JoinHow::Inner,
+        &["s_nationkey"],
+        &["n_nationkey"],
+    )?;
+    let year = jn.col("o_orderdate")?.dt_year()?.rename("o_year");
+    jn.insert(year)?;
+    let rev = revenue(&jn)?;
+    let cost = jn.col("ps_supplycost")?.mul(jn.col("l_quantity")?)?;
+    jn.insert(rev.sub(&cost)?.rename("amount"))?;
+    let g = jn
+        .groupby(&["n_name", "o_year"])?
+        .agg(&[("amount", AggOp::Sum, "sum_profit")])?;
+    g.sort_values(&[("n_name", true), ("o_year", false)])
+}
+
+// =====================================================================
+// Q10 — returned item reporting
+// =====================================================================
+
+const Q10_SRC: &str = r#"
+@pytond
+def q10(customer, orders, lineitem, nation):
+    o = orders[(orders.o_orderdate >= '1993-10-01') & (orders.o_orderdate < '1994-01-01')]
+    l = lineitem[lineitem.l_returnflag == 'R']
+    co = customer.merge(o, left_on='c_custkey', right_on='o_custkey')
+    col = co.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    j = col.merge(nation, left_on='c_nationkey', right_on='n_nationkey')
+    j['revenue'] = j.l_extendedprice * (1 - j.l_discount)
+    g = j.groupby(['c_custkey', 'c_name', 'c_acctbal', 'c_phone', 'n_name', 'c_address', 'c_comment']).agg(revenue=('revenue', 'sum'))
+    return g.sort_values(by=['revenue'], ascending=False).head(20)
+"#;
+
+fn q10(d: &TpchData) -> Result<DataFrame> {
+    let orders = DataFrame::from_relation(&d.orders);
+    let m = orders
+        .col("o_orderdate")?
+        .ge_val(&Value::Str("1993-10-01".into()))
+        .and(&orders.col("o_orderdate")?.lt_val(&Value::Str("1994-01-01".into())))?;
+    let o = orders.filter(&m)?;
+    let lineitem = DataFrame::from_relation(&d.lineitem);
+    let l = lineitem.filter(&lineitem.col("l_returnflag")?.eq_val(&Value::Str("R".into())))?;
+    let co = DataFrame::from_relation(&d.customer).merge(
+        &o,
+        JoinHow::Inner,
+        &["c_custkey"],
+        &["o_custkey"],
+    )?;
+    let col = co.merge(&l, JoinHow::Inner, &["o_orderkey"], &["l_orderkey"])?;
+    let mut j = col.merge(
+        &DataFrame::from_relation(&d.nation),
+        JoinHow::Inner,
+        &["c_nationkey"],
+        &["n_nationkey"],
+    )?;
+    let rev = revenue(&j)?.rename("revenue");
+    j.insert(rev)?;
+    let g = j
+        .groupby(&[
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "n_name",
+            "c_address",
+            "c_comment",
+        ])?
+        .agg(&[("revenue", AggOp::Sum, "revenue")])?;
+    Ok(g.sort_values(&[("revenue", false)])?.head(20))
+}
+
+// =====================================================================
+// Q11 — important stock identification
+// =====================================================================
+
+const Q11_SRC: &str = r#"
+@pytond
+def q11(partsupp, supplier, nation):
+    n = nation[nation.n_name == 'GERMANY']
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    ps = partsupp.merge(s, left_on='ps_suppkey', right_on='s_suppkey')
+    ps['value'] = ps.ps_supplycost * ps.ps_availqty
+    total = ps.value.sum()
+    g = ps.groupby(['ps_partkey']).agg(value=('value', 'sum'))
+    out = g[g.value > total * 0.0001]
+    return out.sort_values(by=['value'], ascending=False)
+"#;
+
+fn q11(d: &TpchData) -> Result<DataFrame> {
+    let nation = DataFrame::from_relation(&d.nation);
+    let n = nation.filter(&nation.col("n_name")?.eq_val(&Value::Str("GERMANY".into())))?;
+    let s = DataFrame::from_relation(&d.supplier).merge(
+        &n,
+        JoinHow::Inner,
+        &["s_nationkey"],
+        &["n_nationkey"],
+    )?;
+    let mut ps = DataFrame::from_relation(&d.partsupp).merge(
+        &s,
+        JoinHow::Inner,
+        &["ps_suppkey"],
+        &["s_suppkey"],
+    )?;
+    let avail_float = ps.col("ps_availqty")?.map_numeric(|x| x)?;
+    let value = ps.col("ps_supplycost")?.mul(&avail_float)?.rename("value");
+    ps.insert(value)?;
+    let total = ps.col("value")?.sum().as_f64().unwrap_or(0.0);
+    let g = ps
+        .groupby(&["ps_partkey"])?
+        .agg(&[("value", AggOp::Sum, "value")])?;
+    let out = g.filter(&g.col("value")?.gt_val(&Value::Float(total * 0.0001)))?;
+    out.sort_values(&[("value", false)])
+}
+
+// =====================================================================
+// Q12 — shipping modes and order priority
+// =====================================================================
+
+const Q12_SRC: &str = r#"
+@pytond
+def q12(orders, lineitem):
+    l = lineitem[((lineitem.l_shipmode == 'MAIL') | (lineitem.l_shipmode == 'SHIP')) & (lineitem.l_commitdate < lineitem.l_receiptdate) & (lineitem.l_shipdate < lineitem.l_commitdate) & (lineitem.l_receiptdate >= '1994-01-01') & (lineitem.l_receiptdate < '1995-01-01')]
+    j = orders.merge(l, left_on='o_orderkey', right_on='l_orderkey')
+    j['high_line'] = np.where((j.o_orderpriority == '1-URGENT') | (j.o_orderpriority == '2-HIGH'), 1, 0)
+    j['low_line'] = np.where((j.o_orderpriority != '1-URGENT') & (j.o_orderpriority != '2-HIGH'), 1, 0)
+    g = j.groupby(['l_shipmode']).agg(high_line_count=('high_line', 'sum'), low_line_count=('low_line', 'sum'))
+    return g.sort_values(by=['l_shipmode'])
+"#;
+
+fn q12(d: &TpchData) -> Result<DataFrame> {
+    let li = DataFrame::from_relation(&d.lineitem);
+    let modes = li
+        .col("l_shipmode")?
+        .eq_val(&Value::Str("MAIL".into()))
+        .or(&li.col("l_shipmode")?.eq_val(&Value::Str("SHIP".into())))?;
+    let m = modes
+        .and(&li.col("l_commitdate")?.lt_series(li.col("l_receiptdate")?))?
+        .and(&li.col("l_shipdate")?.lt_series(li.col("l_commitdate")?))?
+        .and(&li.col("l_receiptdate")?.ge_val(&Value::Str("1994-01-01".into())))?
+        .and(&li.col("l_receiptdate")?.lt_val(&Value::Str("1995-01-01".into())))?;
+    let l = li.filter(&m)?;
+    let mut j = DataFrame::from_relation(&d.orders).merge(
+        &l,
+        JoinHow::Inner,
+        &["o_orderkey"],
+        &["l_orderkey"],
+    )?;
+    let urgent = j
+        .col("o_orderpriority")?
+        .eq_val(&Value::Str("1-URGENT".into()))
+        .or(&j.col("o_orderpriority")?.eq_val(&Value::Str("2-HIGH".into())))?;
+    let high: Vec<i64> = urgent.col.as_bool().iter().map(|&b| i64::from(b)).collect();
+    let low: Vec<i64> = urgent.col.as_bool().iter().map(|&b| i64::from(!b)).collect();
+    j.insert(pytond_frame::Series::new("high_line", Column::from_i64(high)))?;
+    j.insert(pytond_frame::Series::new("low_line", Column::from_i64(low)))?;
+    let g = j.groupby(&["l_shipmode"])?.agg(&[
+        ("high_line", AggOp::Sum, "high_line_count"),
+        ("low_line", AggOp::Sum, "low_line_count"),
+    ])?;
+    g.sort_values(&[("l_shipmode", true)])
+}
+
+// =====================================================================
+// Q13 — customer distribution
+// =====================================================================
+
+const Q13_SRC: &str = r#"
+@pytond
+def q13(customer, orders):
+    o = orders[~orders.o_comment.str.contains('special%requests')]
+    j = customer.merge(o, how='left', left_on='c_custkey', right_on='o_custkey')
+    g = j.groupby(['c_custkey']).agg(c_count=('o_orderkey', 'count'))
+    d = g.groupby(['c_count']).agg(custdist=('c_count', 'count'))
+    return d.sort_values(by=['custdist', 'c_count'], ascending=[False, False])
+"#;
+
+fn q13(d: &TpchData) -> Result<DataFrame> {
+    let orders = DataFrame::from_relation(&d.orders);
+    // "special" followed by "requests" (the LIKE '%special%requests%' shape).
+    let mask = orders.col("o_comment")?.apply(|v| match v {
+        Value::Str(s) => {
+            let hit = s
+                .find("special")
+                .map(|i| s[i..].contains("requests"))
+                .unwrap_or(false);
+            Value::Bool(!hit)
+        }
+        _ => Value::Bool(true),
+    })?;
+    let o = orders.filter(&mask)?;
+    let j = DataFrame::from_relation(&d.customer).merge(
+        &o,
+        JoinHow::Left,
+        &["c_custkey"],
+        &["o_custkey"],
+    )?;
+    let g = j
+        .groupby(&["c_custkey"])?
+        .agg(&[("o_orderkey", AggOp::Count, "c_count")])?;
+    let dist = g
+        .groupby(&["c_count"])?
+        .agg(&[("c_count", AggOp::Count, "custdist")])?;
+    dist.sort_values(&[("custdist", false), ("c_count", false)])
+}
+
+// =====================================================================
+// Q14 — promotion effect
+// =====================================================================
+
+const Q14_SRC: &str = r#"
+@pytond
+def q14(lineitem, part):
+    l = lineitem[(lineitem.l_shipdate >= '1995-09-01') & (lineitem.l_shipdate < '1995-10-01')]
+    j = l.merge(part, left_on='l_partkey', right_on='p_partkey')
+    j['revenue'] = j.l_extendedprice * (1 - j.l_discount)
+    j['promo_revenue'] = np.where(j.p_type.str.startswith('PROMO'), j.revenue, 0.0)
+    promo = j.promo_revenue.sum()
+    total = j.revenue.sum()
+    return 100.0 * promo / total
+"#;
+
+fn q14(d: &TpchData) -> Result<DataFrame> {
+    let li = DataFrame::from_relation(&d.lineitem);
+    let m = li
+        .col("l_shipdate")?
+        .ge_val(&Value::Str("1995-09-01".into()))
+        .and(&li.col("l_shipdate")?.lt_val(&Value::Str("1995-10-01".into())))?;
+    let l = li.filter(&m)?;
+    let mut j = l.merge(
+        &DataFrame::from_relation(&d.part),
+        JoinHow::Inner,
+        &["l_partkey"],
+        &["p_partkey"],
+    )?;
+    let rev = revenue(&j)?.rename("revenue");
+    j.insert(rev.clone())?;
+    let promo_mask = j.col("p_type")?.str_startswith("PROMO")?;
+    let promo: Vec<Value> = (0..j.num_rows())
+        .map(|i| {
+            if promo_mask.get(i) == Value::Bool(true) {
+                rev.get(i)
+            } else {
+                Value::Float(0.0)
+            }
+        })
+        .collect();
+    j.insert(pytond_frame::Series::new(
+        "promo_revenue",
+        Column::from_values(&promo)?,
+    ))?;
+    let p = j.col("promo_revenue")?.sum().as_f64().unwrap_or(0.0);
+    let t = j.col("revenue")?.sum().as_f64().unwrap_or(0.0);
+    scalar_frame("promo_pct", Value::Float(100.0 * p / t))
+}
+
+// =====================================================================
+// Q15 — top supplier
+// =====================================================================
+
+const Q15_SRC: &str = r#"
+@pytond
+def q15(lineitem, supplier):
+    l = lineitem[(lineitem.l_shipdate >= '1996-01-01') & (lineitem.l_shipdate < '1996-04-01')]
+    l['revenue'] = l.l_extendedprice * (1 - l.l_discount)
+    g = l.groupby(['l_suppkey']).agg(total_revenue=('revenue', 'sum'))
+    top = g.total_revenue.max()
+    best = g[g.total_revenue == top]
+    j = supplier.merge(best, left_on='s_suppkey', right_on='l_suppkey')
+    out = j[['s_suppkey', 's_name', 's_address', 's_phone', 'total_revenue']]
+    return out.sort_values(by=['s_suppkey'])
+"#;
+
+fn q15(d: &TpchData) -> Result<DataFrame> {
+    let li = DataFrame::from_relation(&d.lineitem);
+    let m = li
+        .col("l_shipdate")?
+        .ge_val(&Value::Str("1996-01-01".into()))
+        .and(&li.col("l_shipdate")?.lt_val(&Value::Str("1996-04-01".into())))?;
+    let mut l = li.filter(&m)?;
+    let rev = revenue(&l)?.rename("revenue");
+    l.insert(rev)?;
+    let g = l
+        .groupby(&["l_suppkey"])?
+        .agg(&[("revenue", AggOp::Sum, "total_revenue")])?;
+    let top = g.col("total_revenue")?.max();
+    let best = g.filter(&g.col("total_revenue")?.eq_val(&top))?;
+    let j = DataFrame::from_relation(&d.supplier).merge(
+        &best,
+        JoinHow::Inner,
+        &["s_suppkey"],
+        &["l_suppkey"],
+    )?;
+    let out = j.select(&["s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"])?;
+    out.sort_values(&[("s_suppkey", true)])
+}
+
+// =====================================================================
+// Q16 — parts/supplier relationship
+// =====================================================================
+
+const Q16_SRC: &str = r#"
+@pytond
+def q16(partsupp, part, supplier):
+    p = part[(part.p_brand != 'Brand#45') & (~part.p_type.str.startswith('MEDIUM POLISHED')) & ((part.p_size == 49) | (part.p_size == 14) | (part.p_size == 23) | (part.p_size == 45) | (part.p_size == 19) | (part.p_size == 3) | (part.p_size == 36) | (part.p_size == 9))]
+    j = p.merge(partsupp, left_on='p_partkey', right_on='ps_partkey')
+    bad = supplier[supplier.s_comment.str.contains('Customer%Complaints')]
+    jj = j[~j.ps_suppkey.isin(bad['s_suppkey'])]
+    g = jj.groupby(['p_brand', 'p_type', 'p_size']).agg(supplier_cnt=('ps_suppkey', 'nunique'))
+    return g.sort_values(by=['supplier_cnt', 'p_brand', 'p_type', 'p_size'], ascending=[False, True, True, True])
+"#;
+
+fn q16(d: &TpchData) -> Result<DataFrame> {
+    let part = DataFrame::from_relation(&d.part);
+    let sizes = [49i64, 14, 23, 45, 19, 3, 36, 9];
+    let mut size_mask = part.col("p_size")?.eq_val(&Value::Int(sizes[0]));
+    for s in &sizes[1..] {
+        size_mask = size_mask.or(&part.col("p_size")?.eq_val(&Value::Int(*s)))?;
+    }
+    let m = part
+        .col("p_brand")?
+        .ne_val(&Value::Str("Brand#45".into()))
+        .and(&part.col("p_type")?.str_startswith("MEDIUM POLISHED")?.not()?)?
+        .and(&size_mask)?;
+    let p = part.filter(&m)?;
+    let j = p.merge(
+        &DataFrame::from_relation(&d.partsupp),
+        JoinHow::Inner,
+        &["p_partkey"],
+        &["ps_partkey"],
+    )?;
+    let supplier = DataFrame::from_relation(&d.supplier);
+    let bad_mask = supplier.col("s_comment")?.apply(|v| match v {
+        Value::Str(s) => Value::Bool(
+            s.find("Customer")
+                .map(|i| s[i..].contains("Complaints"))
+                .unwrap_or(false),
+        ),
+        _ => Value::Bool(false),
+    })?;
+    let bad = supplier.filter(&bad_mask)?;
+    let jj = j.filter(&j.col("ps_suppkey")?.isin(bad.col("s_suppkey")?).not()?)?;
+    let g = jj
+        .groupby(&["p_brand", "p_type", "p_size"])?
+        .agg(&[("ps_suppkey", AggOp::NUnique, "supplier_cnt")])?;
+    g.sort_values(&[
+        ("supplier_cnt", false),
+        ("p_brand", true),
+        ("p_type", true),
+        ("p_size", true),
+    ])
+}
+
+// =====================================================================
+// Q17 — small-quantity-order revenue
+// =====================================================================
+
+const Q17_SRC: &str = r#"
+@pytond
+def q17(lineitem, part):
+    p = part[(part.p_brand == 'Brand#23') & (part.p_container == 'MED BOX')]
+    j = p.merge(lineitem, left_on='p_partkey', right_on='l_partkey')
+    avgs = j.groupby(['p_partkey']).agg(avg_qty=('l_quantity', 'mean'))
+    jm = j.merge(avgs, on='p_partkey')
+    f = jm[jm.l_quantity < 0.2 * jm.avg_qty]
+    total = f.l_extendedprice.sum()
+    return total / 7.0
+"#;
+
+fn q17(d: &TpchData) -> Result<DataFrame> {
+    let part = DataFrame::from_relation(&d.part);
+    let m = part
+        .col("p_brand")?
+        .eq_val(&Value::Str("Brand#23".into()))
+        .and(&part.col("p_container")?.eq_val(&Value::Str("MED BOX".into())))?;
+    let p = part.filter(&m)?;
+    let j = p.merge(
+        &DataFrame::from_relation(&d.lineitem),
+        JoinHow::Inner,
+        &["p_partkey"],
+        &["l_partkey"],
+    )?;
+    let avgs = j
+        .groupby(&["p_partkey"])?
+        .agg(&[("l_quantity", AggOp::Mean, "avg_qty")])?;
+    let jm = j.merge(&avgs, JoinHow::Inner, &["p_partkey"], &["p_partkey"])?;
+    let threshold = jm.col("avg_qty")?.mul_scalar(0.2)?;
+    let f = jm.filter(&jm.col("l_quantity")?.lt_series(&threshold))?;
+    let total = f.col("l_extendedprice")?.sum().as_f64().unwrap_or(0.0);
+    scalar_frame("avg_yearly", Value::Float(total / 7.0))
+}
+
+// =====================================================================
+// Q18 — large volume customers
+// =====================================================================
+
+const Q18_SRC: &str = r#"
+@pytond
+def q18(customer, orders, lineitem):
+    g = lineitem.groupby(['l_orderkey']).agg(sum_qty=('l_quantity', 'sum'))
+    big = g[g.sum_qty > 300]
+    j = orders[orders.o_orderkey.isin(big['l_orderkey'])]
+    jc = j.merge(customer, left_on='o_custkey', right_on='c_custkey')
+    jl = jc.merge(lineitem, left_on='o_orderkey', right_on='l_orderkey')
+    gg = jl.groupby(['c_name', 'c_custkey', 'o_orderkey', 'o_orderdate', 'o_totalprice']).agg(sum_qty=('l_quantity', 'sum'))
+    return gg.sort_values(by=['o_totalprice', 'o_orderdate'], ascending=[False, True]).head(100)
+"#;
+
+fn q18(d: &TpchData) -> Result<DataFrame> {
+    let lineitem = DataFrame::from_relation(&d.lineitem);
+    let g = lineitem
+        .groupby(&["l_orderkey"])?
+        .agg(&[("l_quantity", AggOp::Sum, "sum_qty")])?;
+    let big = g.filter(&g.col("sum_qty")?.gt_val(&Value::Float(300.0)))?;
+    let orders = DataFrame::from_relation(&d.orders);
+    let j = orders.filter(&orders.col("o_orderkey")?.isin(big.col("l_orderkey")?))?;
+    let jc = j.merge(
+        &DataFrame::from_relation(&d.customer),
+        JoinHow::Inner,
+        &["o_custkey"],
+        &["c_custkey"],
+    )?;
+    let jl = jc.merge(&lineitem, JoinHow::Inner, &["o_orderkey"], &["l_orderkey"])?;
+    let gg = jl
+        .groupby(&["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"])?
+        .agg(&[("l_quantity", AggOp::Sum, "sum_qty")])?;
+    Ok(gg
+        .sort_values(&[("o_totalprice", false), ("o_orderdate", true)])?
+        .head(100))
+}
+
+// =====================================================================
+// Q19 — discounted revenue
+// =====================================================================
+
+const Q19_SRC: &str = r#"
+@pytond
+def q19(lineitem, part):
+    j = lineitem.merge(part, left_on='l_partkey', right_on='p_partkey')
+    f = j[(j.l_shipinstruct == 'DELIVER IN PERSON') & ((j.l_shipmode == 'AIR') | (j.l_shipmode == 'REG AIR')) & (((j.p_brand == 'Brand#12') & (j.p_container == 'SM CASE') & (j.l_quantity >= 1) & (j.l_quantity <= 11) & (j.p_size >= 1) & (j.p_size <= 5)) | ((j.p_brand == 'Brand#23') & (j.p_container == 'MED BOX') & (j.l_quantity >= 10) & (j.l_quantity <= 20) & (j.p_size >= 1) & (j.p_size <= 10)) | ((j.p_brand == 'Brand#34') & (j.p_container == 'LG PACK') & (j.l_quantity >= 20) & (j.l_quantity <= 30) & (j.p_size >= 1) & (j.p_size <= 15)))]
+    rev = f.l_extendedprice * (1 - f.l_discount)
+    return rev.sum()
+"#;
+
+fn q19(d: &TpchData) -> Result<DataFrame> {
+    let j = DataFrame::from_relation(&d.lineitem).merge(
+        &DataFrame::from_relation(&d.part),
+        JoinHow::Inner,
+        &["l_partkey"],
+        &["p_partkey"],
+    )?;
+    let arm = |brand: &str, container: &str, qlo: f64, qhi: f64, slo: i64, shi: i64| -> Result<pytond_frame::Series> {
+        j.col("p_brand")?
+            .eq_val(&Value::Str(brand.into()))
+            .and(&j.col("p_container")?.eq_val(&Value::Str(container.into())))?
+            .and(&j.col("l_quantity")?.ge_val(&Value::Float(qlo)))?
+            .and(&j.col("l_quantity")?.le_val(&Value::Float(qhi)))?
+            .and(&j.col("p_size")?.ge_val(&Value::Int(slo)))?
+            .and(&j.col("p_size")?.le_val(&Value::Int(shi)))
+    };
+    let arms = arm("Brand#12", "SM CASE", 1.0, 11.0, 1, 5)?
+        .or(&arm("Brand#23", "MED BOX", 10.0, 20.0, 1, 10)?)?
+        .or(&arm("Brand#34", "LG PACK", 20.0, 30.0, 1, 15)?)?;
+    let m = j
+        .col("l_shipinstruct")?
+        .eq_val(&Value::Str("DELIVER IN PERSON".into()))
+        .and(
+            &j.col("l_shipmode")?
+                .eq_val(&Value::Str("AIR".into()))
+                .or(&j.col("l_shipmode")?.eq_val(&Value::Str("REG AIR".into())))?,
+        )?
+        .and(&arms)?;
+    let f = j.filter(&m)?;
+    let rev = revenue(&f)?;
+    scalar_frame("revenue", rev.sum())
+}
+
+// =====================================================================
+// Q20 — potential part promotion
+// =====================================================================
+
+const Q20_SRC: &str = r#"
+@pytond
+def q20(supplier, nation, partsupp, part, lineitem):
+    p = part[part.p_name.str.startswith('forest')]
+    l = lineitem[(lineitem.l_shipdate >= '1994-01-01') & (lineitem.l_shipdate < '1995-01-01')]
+    lg = l.groupby(['l_partkey', 'l_suppkey']).agg(sum_qty=('l_quantity', 'sum'))
+    ps = partsupp[partsupp.ps_partkey.isin(p['p_partkey'])]
+    jm = ps.merge(lg, left_on=['ps_partkey', 'ps_suppkey'], right_on=['l_partkey', 'l_suppkey'])
+    ok = jm[jm.ps_availqty > 0.5 * jm.sum_qty]
+    n = nation[nation.n_name == 'CANADA']
+    s = supplier.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    out = s[s.s_suppkey.isin(ok['ps_suppkey'])]
+    res = out[['s_name', 's_address']]
+    return res.sort_values(by=['s_name'])
+"#;
+
+fn q20(d: &TpchData) -> Result<DataFrame> {
+    let part = DataFrame::from_relation(&d.part);
+    let p = part.filter(&part.col("p_name")?.str_startswith("forest")?)?;
+    let li = DataFrame::from_relation(&d.lineitem);
+    let m = li
+        .col("l_shipdate")?
+        .ge_val(&Value::Str("1994-01-01".into()))
+        .and(&li.col("l_shipdate")?.lt_val(&Value::Str("1995-01-01".into())))?;
+    let l = li.filter(&m)?;
+    let lg = l
+        .groupby(&["l_partkey", "l_suppkey"])?
+        .agg(&[("l_quantity", AggOp::Sum, "sum_qty")])?;
+    let partsupp = DataFrame::from_relation(&d.partsupp);
+    let ps = partsupp.filter(&partsupp.col("ps_partkey")?.isin(p.col("p_partkey")?))?;
+    let jm = ps.merge(
+        &lg,
+        JoinHow::Inner,
+        &["ps_partkey", "ps_suppkey"],
+        &["l_partkey", "l_suppkey"],
+    )?;
+    let half = jm.col("sum_qty")?.mul_scalar(0.5)?;
+    let avail = jm.col("ps_availqty")?.map_numeric(|x| x)?;
+    let ok = jm.filter(&avail.gt_series(&half))?;
+    let nation = DataFrame::from_relation(&d.nation);
+    let n = nation.filter(&nation.col("n_name")?.eq_val(&Value::Str("CANADA".into())))?;
+    let s = DataFrame::from_relation(&d.supplier).merge(
+        &n,
+        JoinHow::Inner,
+        &["s_nationkey"],
+        &["n_nationkey"],
+    )?;
+    let out = s.filter(&s.col("s_suppkey")?.isin(ok.col("ps_suppkey")?))?;
+    let res = out.select(&["s_name", "s_address"])?;
+    res.sort_values(&[("s_name", true)])
+}
+
+// =====================================================================
+// Q21 — suppliers who kept orders waiting
+// =====================================================================
+
+const Q21_SRC: &str = r#"
+@pytond
+def q21(supplier, lineitem, orders, nation):
+    n = nation[nation.n_name == 'SAUDI ARABIA']
+    late = lineitem[lineitem.l_receiptdate > lineitem.l_commitdate]
+    multi = lineitem.groupby(['l_orderkey']).agg(n_supp=('l_suppkey', 'nunique'))
+    multi_ok = multi[multi.n_supp > 1]
+    late_g = late.groupby(['l_orderkey']).agg(n_late=('l_suppkey', 'nunique'))
+    late_ok = late_g[late_g.n_late == 1]
+    f = late[late.l_orderkey.isin(multi_ok['l_orderkey'])]
+    f2 = f[f.l_orderkey.isin(late_ok['l_orderkey'])]
+    o = orders[orders.o_orderstatus == 'F']
+    j = f2.merge(o, left_on='l_orderkey', right_on='o_orderkey')
+    js = j.merge(supplier, left_on='l_suppkey', right_on='s_suppkey')
+    jn = js.merge(n, left_on='s_nationkey', right_on='n_nationkey')
+    g = jn.groupby(['s_name']).agg(numwait=('l_orderkey', 'count'))
+    return g.sort_values(by=['numwait', 's_name'], ascending=[False, True]).head(100)
+"#;
+
+fn q21(d: &TpchData) -> Result<DataFrame> {
+    let nation = DataFrame::from_relation(&d.nation);
+    let n = nation.filter(&nation.col("n_name")?.eq_val(&Value::Str("SAUDI ARABIA".into())))?;
+    let lineitem = DataFrame::from_relation(&d.lineitem);
+    let late = lineitem.filter(
+        &lineitem
+            .col("l_receiptdate")?
+            .gt_series(lineitem.col("l_commitdate")?),
+    )?;
+    let multi = lineitem
+        .groupby(&["l_orderkey"])?
+        .agg(&[("l_suppkey", AggOp::NUnique, "n_supp")])?;
+    let multi_ok = multi.filter(&multi.col("n_supp")?.gt_val(&Value::Int(1)))?;
+    let late_g = late
+        .groupby(&["l_orderkey"])?
+        .agg(&[("l_suppkey", AggOp::NUnique, "n_late")])?;
+    let late_ok = late_g.filter(&late_g.col("n_late")?.eq_val(&Value::Int(1)))?;
+    let f = late.filter(&late.col("l_orderkey")?.isin(multi_ok.col("l_orderkey")?))?;
+    let f2 = f.filter(&f.col("l_orderkey")?.isin(late_ok.col("l_orderkey")?))?;
+    let orders = DataFrame::from_relation(&d.orders);
+    let o = orders.filter(&orders.col("o_orderstatus")?.eq_val(&Value::Str("F".into())))?;
+    let j = f2.merge(&o, JoinHow::Inner, &["l_orderkey"], &["o_orderkey"])?;
+    let js = j.merge(
+        &DataFrame::from_relation(&d.supplier),
+        JoinHow::Inner,
+        &["l_suppkey"],
+        &["s_suppkey"],
+    )?;
+    let jn = js.merge(&n, JoinHow::Inner, &["s_nationkey"], &["n_nationkey"])?;
+    let g = jn
+        .groupby(&["s_name"])?
+        .agg(&[("l_orderkey", AggOp::Count, "numwait")])?;
+    Ok(g.sort_values(&[("numwait", false), ("s_name", true)])?.head(100))
+}
+
+// =====================================================================
+// Q22 — global sales opportunity
+// =====================================================================
+
+const Q22_SRC: &str = r#"
+@pytond
+def q22(customer, orders):
+    customer['cntrycode'] = customer.c_phone.str.slice(0, 2)
+    sel = customer[(customer.cntrycode == '13') | (customer.cntrycode == '31') | (customer.cntrycode == '23') | (customer.cntrycode == '29') | (customer.cntrycode == '30') | (customer.cntrycode == '18') | (customer.cntrycode == '17')]
+    pos = sel[sel.c_acctbal > 0.0]
+    avg_bal = pos.c_acctbal.mean()
+    rich = sel[sel.c_acctbal > avg_bal]
+    noord = rich[~rich.c_custkey.isin(orders['o_custkey'])]
+    g = noord.groupby(['cntrycode']).agg(numcust=('c_custkey', 'count'), totacctbal=('c_acctbal', 'sum'))
+    return g.sort_values(by=['cntrycode'])
+"#;
+
+fn q22(d: &TpchData) -> Result<DataFrame> {
+    let mut customer = DataFrame::from_relation(&d.customer);
+    let code = customer.col("c_phone")?.str_slice(0, 2)?.rename("cntrycode");
+    customer.insert(code)?;
+    let codes = ["13", "31", "23", "29", "30", "18", "17"];
+    let mut m = customer
+        .col("cntrycode")?
+        .eq_val(&Value::Str(codes[0].into()));
+    for c in &codes[1..] {
+        m = m.or(&customer.col("cntrycode")?.eq_val(&Value::Str((*c).into())))?;
+    }
+    let sel = customer.filter(&m)?;
+    let pos = sel.filter(&sel.col("c_acctbal")?.gt_val(&Value::Float(0.0)))?;
+    let avg = pos.col("c_acctbal")?.mean();
+    let rich = sel.filter(&sel.col("c_acctbal")?.gt_val(&avg))?;
+    let orders = DataFrame::from_relation(&d.orders);
+    let noord = rich.filter(
+        &rich
+            .col("c_custkey")?
+            .isin(orders.col("o_custkey")?)
+            .not()?,
+    )?;
+    let g = noord.groupby(&["cntrycode"])?.agg(&[
+        ("c_custkey", AggOp::Count, "numcust"),
+        ("c_acctbal", AggOp::Sum, "totacctbal"),
+    ])?;
+    g.sort_values(&[("cntrycode", true)])
+}

@@ -1,0 +1,306 @@
+//! A-Normal Form conversion (paper, Section III-B "Normalization").
+//!
+//! Every nested sub-expression that performs *work* (method calls,
+//! subscripts, binary operations) is hoisted into its own assignment to a
+//! fresh variable, so each subsequent translation rule handles exactly one
+//! simple expression. Literals, names, attribute references, and
+//! literal-only containers stay in place (they carry no work).
+
+use pytond_common::Result;
+use pytond_pyparse::ast::{Expr, Stmt};
+
+/// Normalizes a function body to ANF.
+pub fn normalize(body: &[Stmt]) -> Result<Vec<Stmt>> {
+    let mut n = Normalizer { counter: 0 };
+    let mut out = Vec::new();
+    for stmt in body {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                let v = n.flatten(value, &mut out, false)?;
+                out.push(Stmt::Assign {
+                    target: target.clone(),
+                    value: v,
+                });
+            }
+            Stmt::Return(Some(e)) => {
+                let v = n.flatten(e, &mut out, false)?;
+                out.push(Stmt::Return(Some(v)));
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    Ok(out)
+}
+
+struct Normalizer {
+    counter: usize,
+}
+
+impl Normalizer {
+    fn fresh(&mut self) -> String {
+        self.counter += 1;
+        format!("__anf{}", self.counter)
+    }
+
+    /// `atomize=true` forces the result to be a name/literal by hoisting.
+    fn flatten(&mut self, e: &Expr, out: &mut Vec<Stmt>, atomize: bool) -> Result<Expr> {
+        let flat = match e {
+            // Atoms stay.
+            Expr::Name(_)
+            | Expr::Int(_)
+            | Expr::Float(_)
+            | Expr::Str(_)
+            | Expr::Bool(_)
+            | Expr::NoneLit => return Ok(e.clone()),
+            // Attribute chains are cheap metadata access (df.col, np.einsum):
+            // flatten only the base.
+            Expr::Attribute { value, attr } => {
+                let base = self.flatten(value, out, false)?;
+                Expr::Attribute {
+                    value: Box::new(base),
+                    attr: attr.clone(),
+                }
+            }
+            Expr::Subscript { value, index } => {
+                let base = self.flatten(value, out, true)?;
+                let idx = self.flatten_index(index, out)?;
+                Expr::Subscript {
+                    value: Box::new(base),
+                    index: Box::new(idx),
+                }
+            }
+            Expr::Call { func, args, kwargs } => {
+                // The callee keeps its attribute shape (method dispatch), but
+                // its receiver is atomized.
+                let func = match func.as_ref() {
+                    Expr::Attribute { value, attr } => {
+                        let base = self.flatten(value, out, true)?;
+                        Expr::Attribute {
+                            value: Box::new(base),
+                            attr: attr.clone(),
+                        }
+                    }
+                    other => self.flatten(other, out, false)?,
+                };
+                let args = args
+                    .iter()
+                    .map(|a| self.flatten(a, out, true))
+                    .collect::<Result<Vec<_>>>()?;
+                let kwargs = kwargs
+                    .iter()
+                    .map(|(k, v)| Ok((k.clone(), self.flatten(v, out, true)?)))
+                    .collect::<Result<Vec<_>>>()?;
+                Expr::Call {
+                    func: Box::new(func),
+                    args,
+                    kwargs,
+                }
+            }
+            Expr::Binary { op, left, right } => {
+                let l = self.flatten(left, out, true)?;
+                let r = self.flatten(right, out, true)?;
+                Expr::Binary {
+                    op: *op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }
+            Expr::Compare { op, left, right } => {
+                let l = self.flatten(left, out, true)?;
+                let r = self.flatten(right, out, true)?;
+                Expr::Compare {
+                    op: *op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                }
+            }
+            Expr::Unary { op, operand } => {
+                let o = self.flatten(operand, out, true)?;
+                Expr::Unary {
+                    op: *op,
+                    operand: Box::new(o),
+                }
+            }
+            Expr::IfExp { test, body, orelse } => {
+                let t = self.flatten(test, out, true)?;
+                let b = self.flatten(body, out, true)?;
+                let o = self.flatten(orelse, out, true)?;
+                Expr::IfExp {
+                    test: Box::new(t),
+                    body: Box::new(b),
+                    orelse: Box::new(o),
+                }
+            }
+            Expr::List(items) => Expr::List(
+                items
+                    .iter()
+                    .map(|i| self.flatten(i, out, false))
+                    .collect::<Result<_>>()?,
+            ),
+            Expr::Tuple(items) => Expr::Tuple(
+                items
+                    .iter()
+                    .map(|i| self.flatten(i, out, false))
+                    .collect::<Result<_>>()?,
+            ),
+            Expr::Dict(items) => Expr::Dict(
+                items
+                    .iter()
+                    .map(|(k, v)| {
+                        Ok((
+                            self.flatten(k, out, false)?,
+                            self.flatten(v, out, false)?,
+                        ))
+                    })
+                    .collect::<Result<_>>()?,
+            ),
+            // Lambdas are translated wholesale; slices/stars stay structural.
+            Expr::Lambda { .. } | Expr::Slice { .. } | Expr::Starred(_) => e.clone(),
+        };
+        // Hoist "work" nodes when an atom is required. Attribute accesses and
+        // containers stay in place: they are translated contextually.
+        let needs_hoist = atomize
+            && matches!(
+                flat,
+                Expr::Call { .. }
+                    | Expr::Binary { .. }
+                    | Expr::Compare { .. }
+                    | Expr::Unary { .. }
+                    | Expr::Subscript { .. }
+                    | Expr::IfExp { .. }
+            );
+        if needs_hoist {
+            let name = self.fresh();
+            out.push(Stmt::Assign {
+                target: Expr::Name(name.clone()),
+                value: flat,
+            });
+            Ok(Expr::Name(name))
+        } else {
+            Ok(flat)
+        }
+    }
+
+    /// Subscript indices keep slices/masks/lists structural but flatten any
+    /// computation inside them.
+    fn flatten_index(&mut self, index: &Expr, out: &mut Vec<Stmt>) -> Result<Expr> {
+        match index {
+            Expr::Slice { lower, upper, step } => {
+                let f =
+                    |x: &Option<Box<Expr>>, n: &mut Self, out: &mut Vec<Stmt>| -> Result<_> {
+                        Ok(match x {
+                            Some(e) => Some(Box::new(n.flatten(e, out, true)?)),
+                            None => None,
+                        })
+                    };
+                Ok(Expr::Slice {
+                    lower: f(lower, self, out)?,
+                    upper: f(upper, self, out)?,
+                    step: f(step, self, out)?,
+                })
+            }
+            Expr::Tuple(items) => Ok(Expr::Tuple(
+                items
+                    .iter()
+                    .map(|i| self.flatten_index(i, out))
+                    .collect::<Result<_>>()?,
+            )),
+            Expr::List(_) | Expr::Str(_) | Expr::Int(_) | Expr::Name(_) => Ok(index.clone()),
+            other => self.flatten(other, out, true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytond_pyparse::parse_module;
+
+    fn anf_of(src: &str) -> Vec<Stmt> {
+        let m = parse_module(src).unwrap();
+        normalize(&m.stmts).unwrap()
+    }
+
+    #[test]
+    fn paper_example_decomposes_nested_merge() {
+        // The exact example from Section III-B.
+        let stmts = anf_of(
+            "res = (df1[df1.b > 10]['a']).merge((df2[df2.y == 'r']['x']), \
+             left_on='a', right_on='x')\n",
+        );
+        // Expect several hoisted assignments followed by the final merge.
+        assert!(stmts.len() >= 5, "{stmts:#?}");
+        match stmts.last().unwrap() {
+            Stmt::Assign { target, value } => {
+                assert_eq!(target, &Expr::Name("res".into()));
+                match value {
+                    Expr::Call { func, args, .. } => {
+                        assert!(matches!(
+                            func.as_ref(),
+                            Expr::Attribute { attr, .. } if attr == "merge"
+                        ));
+                        // The argument is now a plain name.
+                        assert!(matches!(args[0], Expr::Name(_)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_statements_unchanged() {
+        let stmts = anf_of("v1 = df.b > 10\nv2 = df[v1]\n");
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn chained_calls_are_split() {
+        let stmts = anf_of("r = df.sort_values(by=['a']).head(5)\n");
+        assert_eq!(stmts.len(), 2);
+        match &stmts[0] {
+            Stmt::Assign { target, .. } => {
+                assert!(matches!(target, Expr::Name(n) if n.starts_with("__anf")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn input_variable_names_preserved() {
+        // "the input variable names (df1 and df2) remain unchanged"
+        let stmts = anf_of("r = df1[df1.b > 10]\n");
+        let text = format!("{stmts:?}");
+        assert!(text.contains("df1"));
+    }
+
+    #[test]
+    fn masks_in_subscripts_hoisted() {
+        let stmts = anf_of("r = df[(df.a > 1) & (df.b < 2)]\n");
+        // & expression hoisted before the filter
+        assert!(stmts.len() >= 2);
+        match stmts.last().unwrap() {
+            Stmt::Assign {
+                value: Expr::Subscript { index, .. },
+                ..
+            } => assert!(matches!(index.as_ref(), Expr::Name(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn return_values_flattened() {
+        let m = parse_module("def f(df):\n    return df[df.a > 1]\n").unwrap();
+        let f = m.function("f").unwrap();
+        let stmts = normalize(&f.body).unwrap();
+        // The mask is hoisted; the returned filter stays structural.
+        assert!(stmts.len() >= 2);
+        match stmts.last().unwrap() {
+            Stmt::Return(Some(Expr::Subscript { index, .. })) => {
+                assert!(matches!(index.as_ref(), Expr::Name(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

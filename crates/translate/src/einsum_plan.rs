@@ -1,0 +1,424 @@
+//! Einsum planning for the dense layout (paper, Section III-D, Table VI).
+//!
+//! A binary einsum over matrix/vector operands is normalized (indices renamed
+//! `i`, `j`, `k` by first appearance, as in the paper's `'ab,cc->ba'` →
+//! `'ij,kk->ji'` walk-through), then reduced to a chain of *pre-steps*
+//! (diagonal extraction, axis summation — kernels ES1–ES4) followed by one
+//! *base kernel* (ES5–ES9 and friends), optionally transposing the result
+//! (ES4) at the end.
+
+use pytond_common::{Error, Result};
+
+/// Per-operand reduction applied before the base kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreStep {
+    /// `'ii->i'` — ES3, diagonal to column.
+    Diag {
+        /// Operand index.
+        operand: usize,
+    },
+    /// Sum a matrix axis out: axis 0 = rows (`'ij->j'`), 1 = cols (`'ij->i'`).
+    SumAxis {
+        /// Operand index.
+        operand: usize,
+        /// Axis to contract.
+        axis: usize,
+    },
+    /// Sum a vector to a scalar (`'i->'` — ES1).
+    SumAll {
+        /// Operand index.
+        operand: usize,
+    },
+}
+
+/// The final kernel of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Single operand passes through unchanged.
+    Identity,
+    /// `'ij->i'` — row sums (horizontal).
+    RowSum,
+    /// `'ij->j'` — column sums.
+    ColSum,
+    /// `'ij->'` — full matrix sum.
+    FullSum,
+    /// `'i->'` — vector sum.
+    VecSum,
+    /// `'ii->i'` — diagonal.
+    Diag,
+    /// `'ij->ji'` — transpose.
+    Transpose,
+    /// `'i,i->'` — inner product.
+    Inner,
+    /// `'i,j->ij'` — outer product.
+    Outer,
+    /// `'ij,ij->ij'` / `'i,i->i'` — Hadamard (ES7).
+    Hadamard,
+    /// `'ij,ij->'` — full dot product.
+    Dot2,
+    /// `'ij,ik->jk'` — batch vector outer product (ES8, covariance).
+    BatchOuter,
+    /// `'ij,jk->ik'` — matrix multiplication.
+    MatMul,
+    /// `'ij,j->i'` — matrix-vector product (ES9 family).
+    MatVec,
+    /// `',x->x'` — scalar times tensor (ES5/ES6).
+    ScalarMul,
+}
+
+/// A complete dense-layout einsum plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EinsumPlan {
+    /// Pre-steps, applied in order.
+    pub pre: Vec<PreStep>,
+    /// Base kernel.
+    pub kernel: Kernel,
+    /// Swap the two operands before the kernel.
+    pub swap: bool,
+    /// Transpose the kernel result (ES4).
+    pub transpose_out: bool,
+}
+
+/// Parses an einsum spec into per-operand index lists and the output list.
+pub fn parse_spec(spec: &str) -> Result<(Vec<Vec<char>>, Vec<char>)> {
+    let spec: String = spec.chars().filter(|c| !c.is_whitespace()).collect();
+    let (ins, out) = match spec.split_once("->") {
+        Some((i, o)) => (i.to_string(), Some(o.to_string())),
+        None => (spec.clone(), None),
+    };
+    let inputs: Vec<Vec<char>> = ins.split(',').map(|s| s.chars().collect()).collect();
+    for i in &inputs {
+        for &c in i {
+            if !c.is_ascii_lowercase() {
+                return Err(Error::Translate(format!("invalid einsum index '{c}'")));
+            }
+        }
+        if i.len() > 2 {
+            return Err(Error::Translate(
+                "dense-layout einsum supports tensors of order ≤ 2".into(),
+            ));
+        }
+    }
+    let output: Vec<char> = match out {
+        Some(o) => o.chars().collect(),
+        None => {
+            let mut counts = std::collections::BTreeMap::new();
+            for i in &inputs {
+                for &c in i {
+                    *counts.entry(c).or_insert(0usize) += 1;
+                }
+            }
+            counts
+                .into_iter()
+                .filter_map(|(c, n)| (n == 1).then_some(c))
+                .collect()
+        }
+    };
+    for &c in &output {
+        if !inputs.iter().any(|i| i.contains(&c)) {
+            return Err(Error::Translate(format!(
+                "einsum output index '{c}' missing from inputs"
+            )));
+        }
+    }
+    Ok((inputs, output))
+}
+
+/// Normalizes index names by first appearance (paper: "a, b, and c appeared
+/// in the first, second, and third non-repeated position").
+pub fn normalize(inputs: &[Vec<char>], output: &[char]) -> (Vec<Vec<char>>, Vec<char>) {
+    let mut mapping: Vec<(char, char)> = Vec::new();
+    let fresh = ['i', 'j', 'k', 'l', 'm', 'n'];
+    let map_char = |c: char, mapping: &mut Vec<(char, char)>| -> char {
+        if let Some((_, to)) = mapping.iter().find(|(from, _)| *from == c) {
+            return *to;
+        }
+        let to = fresh[mapping.len().min(fresh.len() - 1)];
+        mapping.push((c, to));
+        to
+    };
+    let new_inputs: Vec<Vec<char>> = inputs
+        .iter()
+        .map(|i| i.iter().map(|&c| map_char(c, &mut mapping)).collect())
+        .collect();
+    let new_output: Vec<char> = output.iter().map(|&c| map_char(c, &mut mapping)).collect();
+    (new_inputs, new_output)
+}
+
+/// Plans a 1- or 2-operand einsum over dense matrices/vectors.
+pub fn plan(spec: &str) -> Result<EinsumPlan> {
+    let (inputs, output) = parse_spec(spec)?;
+    let (mut inputs, output) = normalize(&inputs, &output);
+    if inputs.is_empty() || inputs.len() > 2 {
+        return Err(Error::Translate(
+            "dense einsum planning handles 1 or 2 operands (n-ary einsums are \
+             decomposed upstream)"
+                .into(),
+        ));
+    }
+    let mut pre = Vec::new();
+
+    // Per-operand pre-reduction.
+    for op in 0..inputs.len() {
+        // Repeated index within one operand → diagonal.
+        if inputs[op].len() == 2 && inputs[op][0] == inputs[op][1] {
+            pre.push(PreStep::Diag { operand: op });
+            let c = inputs[op][0];
+            inputs[op] = vec![c];
+        }
+        // Indices local to this operand and absent from the output and the
+        // other operand → summed out.
+        loop {
+            let other: Vec<char> = inputs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != op)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            let local: Option<usize> = inputs[op]
+                .iter()
+                .position(|c| !output.contains(c) && !other.contains(c));
+            match local {
+                Some(pos) if inputs[op].len() == 2 => {
+                    pre.push(PreStep::SumAxis {
+                        operand: op,
+                        axis: pos,
+                    });
+                    inputs[op].remove(pos);
+                }
+                Some(_) if inputs[op].len() == 1 => {
+                    pre.push(PreStep::SumAll { operand: op });
+                    inputs[op].clear();
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    // Unary case.
+    if inputs.len() == 1 {
+        let a = &inputs[0];
+        let kernel = match (a.as_slice(), output.as_slice()) {
+            (x, y) if x == y => Kernel::Identity,
+            ([i, j], [jj, ii]) if i == ii && j == jj => Kernel::Transpose,
+            ([i, _j], [ii]) if i == ii => Kernel::RowSum,
+            ([_i, j], [jj]) if j == jj => Kernel::ColSum,
+            ([_, _], []) => Kernel::FullSum,
+            ([_], []) => Kernel::VecSum,
+            ([], []) => Kernel::Identity,
+            _ => {
+                return Err(Error::Translate(format!(
+                    "unsupported unary einsum {a:?} -> {output:?}"
+                )))
+            }
+        };
+        return Ok(EinsumPlan {
+            pre,
+            kernel,
+            swap: false,
+            transpose_out: false,
+        });
+    }
+
+    // Binary case.
+    let (a, b) = (inputs[0].clone(), inputs[1].clone());
+    let classify = |a: &[char], b: &[char]| -> Option<(Kernel, Vec<char>)> {
+        // Returns (kernel, natural output order).
+        match (a, b) {
+            ([], rest) => Some((Kernel::ScalarMul, rest.to_vec())),
+            ([i1], [i2]) if i1 == i2 => None, // handled below (inner/hadamard)
+            ([i], [j]) if i != j => Some((Kernel::Outer, vec![*i, *j])),
+            ([i1, j], [i2, k]) if i1 == i2 && j != k => {
+                Some((Kernel::BatchOuter, vec![*j, *k]))
+            }
+            ([i, j1], [j2, k]) if j1 == j2 && i != k => Some((Kernel::MatMul, vec![*i, *k])),
+            ([i, j1], [j2]) if j1 == j2 => Some((Kernel::MatVec, vec![*i])),
+            ([i1, j1], [i2, j2]) if i1 == i2 && j1 == j2 => {
+                Some((Kernel::Hadamard, vec![*i1, *j1]))
+            }
+            _ => None,
+        }
+    };
+
+    // Same-index pairs: inner / vector-hadamard / full dot.
+    if a == b {
+        if output.is_empty() {
+            let kernel = if a.len() == 1 { Kernel::Inner } else { Kernel::Dot2 };
+            return Ok(EinsumPlan {
+                pre,
+                kernel,
+                swap: false,
+                transpose_out: false,
+            });
+        }
+        let (kernel, natural) = (Kernel::Hadamard, a.clone());
+        let transpose_out = natural != output;
+        return Ok(EinsumPlan {
+            pre,
+            kernel,
+            swap: false,
+            transpose_out,
+        });
+    }
+    let accept = |kernel: Kernel, natural: &[char], swap: bool, pre: &[PreStep]| -> Option<EinsumPlan> {
+        let mut sorted_nat = natural.to_vec();
+        sorted_nat.sort_unstable();
+        let mut sorted_out = output.clone();
+        sorted_out.sort_unstable();
+        if sorted_nat != sorted_out {
+            return None; // broadcasting shapes are not kernel-expressible
+        }
+        Some(EinsumPlan {
+            pre: pre.to_vec(),
+            kernel,
+            swap,
+            transpose_out: natural != output.as_slice(),
+        })
+    };
+    if let Some((kernel, natural)) = classify(&a, &b) {
+        if let Some(plan) = accept(kernel, &natural, false, &pre) {
+            return Ok(plan);
+        }
+    }
+    if let Some((kernel, natural)) = classify(&b, &a) {
+        if let Some(plan) = accept(kernel, &natural, true, &pre) {
+            return Ok(plan);
+        }
+    }
+    // 'ij,i->j' style: contract the leading shared index of a 2-D and 1-D
+    // operand — a batch outer with a 1-column right operand.
+    match (a.as_slice(), b.as_slice()) {
+        ([i1, j], [i2]) if i1 == i2 => {
+            return Ok(EinsumPlan {
+                pre,
+                kernel: Kernel::BatchOuter,
+                swap: false,
+                transpose_out: output != vec![*j],
+            });
+        }
+        ([i1], [i2, j]) if i1 == i2 => {
+            return Ok(EinsumPlan {
+                pre,
+                kernel: Kernel::BatchOuter,
+                swap: true,
+                transpose_out: output != vec![*j],
+            });
+        }
+        _ => {}
+    }
+    Err(Error::Translate(format!(
+        "unsupported binary einsum {a:?},{b:?} -> {output:?}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_base_kernels_map_directly() {
+        // ES1: 'i->' reduces via a SumAll pre-step.
+        let es1 = plan("i->").unwrap();
+        assert_eq!(es1.pre, vec![PreStep::SumAll { operand: 0 }]);
+        assert_eq!(es1.kernel, Kernel::Identity);
+        // ES2: 'ij->i' contracts axis 1 via a pre-step.
+        let es2 = plan("ij->i").unwrap();
+        assert_eq!(
+            es2.pre,
+            vec![PreStep::SumAxis {
+                operand: 0,
+                axis: 1
+            }]
+        );
+        assert_eq!(plan("ii->i").unwrap().kernel, Kernel::Identity); // ES3 via pre-step
+        assert_eq!(
+            plan("ii->i").unwrap().pre,
+            vec![PreStep::Diag { operand: 0 }]
+        );
+        assert_eq!(plan("ij->ji").unwrap().kernel, Kernel::Transpose); // ES4
+        assert_eq!(plan(",ij->ij").unwrap().kernel, Kernel::ScalarMul); // ES6
+        assert_eq!(plan("ij,ij->ij").unwrap().kernel, Kernel::Hadamard); // ES7
+        assert_eq!(plan("ij,ik->jk").unwrap().kernel, Kernel::BatchOuter); // ES8
+        assert_eq!(plan("ij,jk->ik").unwrap().kernel, Kernel::MatMul);
+        assert_eq!(plan("ij,j->i").unwrap().kernel, Kernel::MatVec);
+        assert_eq!(plan("i,i->").unwrap().kernel, Kernel::Inner);
+        assert_eq!(plan("i,j->ij").unwrap().kernel, Kernel::Outer);
+    }
+
+    #[test]
+    fn paper_walkthrough_ab_cc_ba() {
+        // 'ab,cc->ba' → diag+sum on the right operand, scalar-mult, transpose.
+        let p = plan("ab,cc->ba").unwrap();
+        assert!(p.pre.contains(&PreStep::Diag { operand: 1 }));
+        assert!(p.pre.contains(&PreStep::SumAll { operand: 1 }));
+        assert_eq!(p.kernel, Kernel::ScalarMul);
+        assert!(p.swap); // scalar must come first
+        assert!(p.transpose_out); // 'ij' natural, 'ji' requested
+    }
+
+    #[test]
+    fn normalization_by_first_appearance() {
+        let (ins, out) = parse_spec("ab,cc->ba").unwrap();
+        let (ins, out) = normalize(&ins, &out);
+        assert_eq!(ins, vec![vec!['i', 'j'], vec!['k', 'k']]);
+        assert_eq!(out, vec!['j', 'i']);
+    }
+
+    #[test]
+    fn swapped_operands_detected() {
+        let p = plan("j,ij->i").unwrap();
+        assert_eq!(p.kernel, Kernel::MatVec);
+        assert!(p.swap);
+        // Broadcasting shapes are rejected, not silently mis-planned.
+        assert!(plan("j,ij->ij").is_err());
+    }
+
+    #[test]
+    fn covariance_with_transpose() {
+        let p = plan("ij,ik->kj").unwrap();
+        assert_eq!(p.kernel, Kernel::BatchOuter);
+        assert!(p.transpose_out);
+    }
+
+    #[test]
+    fn axis_pre_reduction() {
+        // 'ij,k->k': the matrix is fully summed, then scalar-mults the vector.
+        let p = plan("ij,k->k").unwrap();
+        assert_eq!(
+            p.pre,
+            vec![
+                PreStep::SumAxis {
+                    operand: 0,
+                    axis: 0
+                },
+                PreStep::SumAll { operand: 0 }
+            ]
+        );
+        assert_eq!(p.kernel, Kernel::ScalarMul);
+    }
+
+    #[test]
+    fn full_dot_product() {
+        assert_eq!(plan("ij,ij->").unwrap().kernel, Kernel::Dot2);
+    }
+
+    #[test]
+    fn implicit_output_mode() {
+        let p = plan("ij,jk").unwrap(); // implicit 'ik'
+        assert_eq!(p.kernel, Kernel::MatMul);
+    }
+
+    #[test]
+    fn rejects_higher_order() {
+        assert!(plan("ijk->i").is_err());
+    }
+
+    #[test]
+    fn vector_matrix_contraction() {
+        // 'ij,i->j' — contract rows: batch-outer with 1-column right side.
+        let p = plan("ij,i->j").unwrap();
+        assert_eq!(p.kernel, Kernel::BatchOuter);
+        assert!(!p.swap);
+    }
+}

@@ -1,0 +1,1076 @@
+//! Call dispatch: Pandas method translations (Table V) and module functions.
+
+use crate::pandas::BodyBuilder;
+use crate::value::*;
+use crate::Translator;
+use pytond_common::{DType, Error, Result};
+use pytond_pyparse::ast as py;
+use pytond_tondir::{AggFunc, Atom, Body, Const, Head, OuterKind, Rule, ScalarOp, Term};
+
+impl<'a> Translator<'a> {
+    pub(crate) fn call(
+        &mut self,
+        func: &py::Expr,
+        args: &[py::Expr],
+        kwargs: &[(String, py::Expr)],
+    ) -> Result<PyVal> {
+        // Module-level functions (np.*, pd.*, DataFrame).
+        if let Some(dotted) = func.dotted_name() {
+            match dotted.as_str() {
+                "np.einsum" | "numpy.einsum" => return self.np_einsum(args, kwargs),
+                "np.array" | "numpy.array" => return self.np_array(args),
+                "np.where" | "numpy.where" => return self.np_where(args),
+                "np.dot" | "numpy.dot" => return self.np_dot(args),
+                "pd.DataFrame" | "pandas.DataFrame" | "DataFrame" => {
+                    return self.pd_dataframe(args, kwargs)
+                }
+                "len" => {
+                    let v = self.translate_expr(&args[0])?;
+                    return self.series_aggregate(v, AggFunc::Count);
+                }
+                _ => {}
+            }
+        }
+        // Method calls.
+        let py::Expr::Attribute { value, attr } = func else {
+            return Err(Error::Translate(format!(
+                "unsupported function call {func:?}"
+            )));
+        };
+        let recv = self.translate_expr(value)?;
+        self.method_call(recv, attr, args, kwargs)
+    }
+
+    fn method_call(
+        &mut self,
+        recv: PyVal,
+        method: &str,
+        args: &[py::Expr],
+        kwargs: &[(String, py::Expr)],
+    ) -> Result<PyVal> {
+        match (&recv, method) {
+            // ---------------- frame methods ----------------
+            (PyVal::Frame(_), "merge") => self.merge(recv, args, kwargs),
+            (PyVal::Col(_), "merge") => self.merge(recv, args, kwargs),
+            (PyVal::Frame(f), "head") => {
+                let n = self.usize_arg(args, kwargs, "n", 0)?;
+                self.head(f.clone(), n).map(PyVal::Frame)
+            }
+            (PyVal::Frame(f), "sort_values") => {
+                let f = f.clone();
+                self.sort_values(&f, args, kwargs).map(PyVal::Frame)
+            }
+            (PyVal::Frame(f), "groupby") => {
+                let keys = self.name_list_arg(args, kwargs, "by", 0)?;
+                for k in &keys {
+                    if f.col(k).is_none() {
+                        return Err(Error::Translate(format!("no grouping column '{k}'")));
+                    }
+                }
+                Ok(PyVal::GroupBy(GroupByVal {
+                    frame: f.clone(),
+                    keys,
+                }))
+            }
+            (PyVal::Frame(f), "drop") => {
+                let names = self.drop_names(args, kwargs)?;
+                let outputs = f
+                    .cols
+                    .iter()
+                    .filter(|c| !names.contains(&c.name))
+                    .map(|c| {
+                        (
+                            c.name.clone(),
+                            Term::Var(col_placeholder(&c.name)),
+                            c.dtype,
+                        )
+                    })
+                    .collect();
+                let f = f.clone();
+                self.emit_project(&f, outputs, f.id_col.is_some())
+                    .map(PyVal::Frame)
+            }
+            (PyVal::Frame(f), "rename") => {
+                let mapping = self.rename_mapping(kwargs)?;
+                let outputs = f
+                    .cols
+                    .iter()
+                    .map(|c| {
+                        let new = mapping
+                            .iter()
+                            .find(|(from, _)| *from == c.name)
+                            .map(|(_, to)| to.clone())
+                            .unwrap_or_else(|| c.name.clone());
+                        (new, Term::Var(col_placeholder(&c.name)), c.dtype)
+                    })
+                    .collect();
+                let f = f.clone();
+                self.emit_project(&f, outputs, f.id_col.is_some())
+                    .map(PyVal::Frame)
+            }
+            (PyVal::Frame(f), "drop_duplicates") => {
+                let f = f.clone();
+                self.distinct_frame(&f).map(PyVal::Frame)
+            }
+            (PyVal::Frame(f), "reset_index") | (PyVal::Frame(f), "copy") => {
+                Ok(PyVal::Frame(f.clone()))
+            }
+            (PyVal::Frame(f), "to_numpy") | (PyVal::Frame(f), "values") => {
+                let f = f.clone();
+                self.frame_to_array(&f).map(PyVal::Array)
+            }
+            (PyVal::Frame(f), "pivot_table") => {
+                let f = f.clone();
+                self.pivot_table(&f, args, kwargs).map(PyVal::Frame)
+            }
+            (PyVal::Frame(_), "aggregate") | (PyVal::Frame(_), "agg")
+                if !args.is_empty() && matches!(args[0], py::Expr::Str(_)) =>
+            {
+                // df.aggregate('sum') — per-column reduction (Table V).
+                let fname = args[0].as_str_lit().unwrap();
+                let func = parse_agg(fname)?;
+                let PyVal::Frame(f) = recv.clone() else { unreachable!() };
+                self.frame_aggregate(&f, func).map(PyVal::Frame)
+            }
+
+            // ---------------- series / column-expression methods ----------------
+            (PyVal::Frame(_), m) | (PyVal::Col(_), m)
+                if matches!(
+                    m,
+                    "sum" | "mean" | "min" | "max" | "count" | "nunique" | "size"
+                ) =>
+            {
+                let func = parse_agg(m)?;
+                self.series_aggregate(recv, func)
+            }
+            (PyVal::Col(_), "unique") | (PyVal::Frame(_), "unique") => {
+                let c = self.as_col(recv)?;
+                self.unique(&c).map(PyVal::Frame)
+            }
+            (PyVal::Col(_), "isin") | (PyVal::Frame(_), "isin") => {
+                let c = self.as_col(recv)?;
+                let other = self.translate_expr(&args[0])?;
+                self.isin(&c, other, false)
+            }
+            (PyVal::Col(_), "fillna") => {
+                let c = self.as_col(recv)?;
+                let v = self.translate_expr(&args[0])?;
+                let PyVal::Scalar(ScalarVal::Const(k)) = v else {
+                    return Err(Error::Translate("fillna requires a constant".into()));
+                };
+                Ok(PyVal::Col(ColExpr {
+                    term: Term::Ext {
+                        func: "coalesce".into(),
+                        args: vec![c.term.clone(), Term::Const(k)],
+                    },
+                    ..c
+                }))
+            }
+            (PyVal::Col(_), "round") => {
+                let c = self.as_col(recv)?;
+                let digits = self.usize_arg(args, kwargs, "decimals", 0).unwrap_or(0);
+                Ok(PyVal::Col(ColExpr {
+                    term: Term::Ext {
+                        func: "round".into(),
+                        args: vec![c.term.clone(), Term::int(digits as i64)],
+                    },
+                    dtype: DType::Float,
+                    ..c
+                }))
+            }
+            (PyVal::Col(_), "abs") => {
+                let c = self.as_col(recv)?;
+                Ok(PyVal::Col(ColExpr {
+                    term: Term::Ext {
+                        func: "abs".into(),
+                        args: vec![c.term.clone()],
+                    },
+                    ..c
+                }))
+            }
+            (PyVal::Col(_), "apply") | (PyVal::Frame(_), "apply") => {
+                self.apply(recv, args, kwargs)
+            }
+            (PyVal::Col(_), "astype") => {
+                // types are structural in TondIR; astype only adjusts dtype
+                let c = self.as_col(recv)?;
+                let target = args[0]
+                    .as_str_lit()
+                    .or_else(|| args[0].as_name())
+                    .unwrap_or("float");
+                let dtype = match target {
+                    "int" | "int64" | "int32" => DType::Int,
+                    "str" | "object" => DType::Str,
+                    _ => DType::Float,
+                };
+                Ok(PyVal::Col(ColExpr { dtype, ..c }))
+            }
+
+            // ---------------- str accessor ----------------
+            (PyVal::StrAccessor(c), "contains") => {
+                let pat = self.str_arg(args, 0)?;
+                Ok(PyVal::Col(like(c.clone(), format!("%{pat}%"))))
+            }
+            (PyVal::StrAccessor(c), "startswith") => {
+                let pat = self.str_arg(args, 0)?;
+                Ok(PyVal::Col(like(c.clone(), format!("{pat}%"))))
+            }
+            (PyVal::StrAccessor(c), "endswith") => {
+                let pat = self.str_arg(args, 0)?;
+                Ok(PyVal::Col(like(c.clone(), format!("%{pat}"))))
+            }
+            (PyVal::StrAccessor(c), "slice") => {
+                let start = self.usize_arg(args, kwargs, "start", 0)?;
+                let stop = self.usize_arg(args, kwargs, "stop", 1)?;
+                Ok(PyVal::Col(ColExpr {
+                    term: Term::Ext {
+                        func: "substr".into(),
+                        args: vec![
+                            c.term.clone(),
+                            Term::int(start as i64 + 1),
+                            Term::int((stop - start) as i64),
+                        ],
+                    },
+                    dtype: DType::Str,
+                    ..c.clone()
+                }))
+            }
+            (PyVal::StrAccessor(c), "len") => Ok(PyVal::Col(ColExpr {
+                term: Term::Ext {
+                    func: "strlen".into(),
+                    args: vec![c.term.clone()],
+                },
+                dtype: DType::Int,
+                ..c.clone()
+            })),
+
+            // ---------------- dt accessor (as methods: .dt.year()) ----------------
+            (PyVal::DtAccessor(c), "year") | (PyVal::DtAccessor(c), "month")
+            | (PyVal::DtAccessor(c), "day") => Ok(PyVal::Col(ColExpr {
+                term: Term::Ext {
+                    func: method.to_string(),
+                    args: vec![c.term.clone()],
+                },
+                dtype: DType::Int,
+                ..c.clone()
+            })),
+
+            // ---------------- group-by aggregation ----------------
+            (PyVal::GroupBy(g), "agg") | (PyVal::GroupBy(g), "aggregate") => {
+                let g = g.clone();
+                self.groupby_agg(&g, args, kwargs).map(PyVal::Frame)
+            }
+            (PyVal::GroupBy(g), "size") => {
+                let g = g.clone();
+                self.groupby_all(&g, AggFunc::Count, Some("size"))
+                    .map(PyVal::Frame)
+            }
+            (PyVal::GroupBy(g), m)
+                if matches!(m, "sum" | "mean" | "min" | "max" | "count" | "nunique") =>
+            {
+                let g = g.clone();
+                self.groupby_all(&g, parse_agg(m)?, None).map(PyVal::Frame)
+            }
+
+            // ---------------- ndarray methods (numpy.rs) ----------------
+            (PyVal::Array(_), _) => self.array_method(recv, method, args, kwargs),
+
+            _ => Err(Error::Translate(format!(
+                "unsupported method '{method}' on {}",
+                recv.kind()
+            ))),
+        }
+    }
+
+    // ---------------- pandas operations ----------------
+
+    /// `df.head(n)` — fused into the defining sorted rule when possible
+    /// (paper: "separately-defined ORDER BY/LIMIT pairs are done within a
+    /// single CTE").
+    fn head(&mut self, frame: FrameVal, n: usize) -> Result<FrameVal> {
+        if let Some(idx) = frame.rule_index {
+            let can_fuse =
+                self.rules[idx].head.sort.is_some() && self.rules[idx].head.limit.is_none();
+            if can_fuse {
+                self.rules[idx].head.limit = Some(n as u64);
+                return Ok(frame);
+            }
+        }
+        let outputs = frame
+            .cols
+            .iter()
+            .map(|c| {
+                (
+                    c.name.clone(),
+                    Term::Var(col_placeholder(&c.name)),
+                    c.dtype,
+                )
+            })
+            .collect();
+        let out = self.emit_project(&frame, outputs, frame.id_col.is_some())?;
+        let idx = out.rule_index.expect("just created");
+        self.rules[idx].head.limit = Some(n as u64);
+        Ok(out)
+    }
+
+    fn sort_values(
+        &mut self,
+        frame: &FrameVal,
+        args: &[py::Expr],
+        kwargs: &[(String, py::Expr)],
+    ) -> Result<FrameVal> {
+        let by = self.name_list_arg(args, kwargs, "by", 0)?;
+        let asc: Vec<bool> = match kwargs.iter().find(|(k, _)| k == "ascending") {
+            None => vec![true; by.len()],
+            Some((_, py::Expr::Bool(b))) => vec![*b; by.len()],
+            Some((_, py::Expr::List(items))) => items
+                .iter()
+                .map(|i| match i {
+                    py::Expr::Bool(b) => Ok(*b),
+                    other => Err(Error::Translate(format!(
+                        "ascending entries must be booleans, found {other:?}"
+                    ))),
+                })
+                .collect::<Result<_>>()?,
+            Some((_, other)) => {
+                return Err(Error::Translate(format!(
+                    "unsupported ascending argument {other:?}"
+                )))
+            }
+        };
+        let outputs = frame
+            .cols
+            .iter()
+            .map(|c| {
+                (
+                    c.name.clone(),
+                    Term::Var(col_placeholder(&c.name)),
+                    c.dtype,
+                )
+            })
+            .collect();
+        let out = self.emit_project(frame, outputs, frame.id_col.is_some())?;
+        let idx = out.rule_index.expect("just created");
+        // Sort keys refer to the head vars of the new rule.
+        let rule = &mut self.rules[idx];
+        let mut keys = Vec::new();
+        for (name, a) in by.iter().zip(asc) {
+            let var = rule
+                .head
+                .var_of(name)
+                .ok_or_else(|| Error::Translate(format!("no sort column '{name}'")))?
+                .to_string();
+            keys.push((var, a));
+        }
+        rule.head.sort = Some(keys);
+        Ok(out)
+    }
+
+    fn distinct_frame(&mut self, frame: &FrameVal) -> Result<FrameVal> {
+        let outputs = frame
+            .cols
+            .iter()
+            .map(|c| {
+                (
+                    c.name.clone(),
+                    Term::Var(col_placeholder(&c.name)),
+                    c.dtype,
+                )
+            })
+            .collect();
+        let out = self.emit_project(frame, outputs, false)?;
+        let idx = out.rule_index.expect("just created");
+        self.rules[idx].head.distinct = true;
+        Ok(out)
+    }
+
+    /// `series.unique()` (Table II).
+    fn unique(&mut self, c: &ColExpr) -> Result<FrameVal> {
+        let frame = c.frame.clone();
+        let mut out = self.emit_project(
+            &frame,
+            vec![(c.name.clone(), c.term.clone(), c.dtype)],
+            false,
+        )?;
+        let idx = out.rule_index.expect("just created");
+        self.rules[idx].head.distinct = true;
+        out.is_series = true;
+        Ok(out)
+    }
+
+    /// `series.isin(other)` → exists atom (Table I's containment filtering).
+    fn isin(&mut self, c: &ColExpr, other: PyVal, negated: bool) -> Result<PyVal> {
+        let inner = self.materialize_frame(other)?;
+        let inner_col = inner
+            .series_col()
+            .ok_or_else(|| Error::Translate("isin requires a single-column operand".into()))?
+            .clone();
+        let phys = inner.physical_cols();
+        let pos = phys
+            .iter()
+            .position(|p| *p == inner_col.name)
+            .expect("series col physical");
+        let spec = ExistsSpec {
+            outer: c.term.clone(),
+            inner_rel: inner.rel.clone(),
+            inner_col: inner_col.name,
+            inner_arity: phys.len(),
+            inner_col_pos: pos,
+            negated,
+        };
+        let mut out = c.clone();
+        out.exists.push(spec);
+        out.term = Term::Const(Const::Bool(true));
+        out.dtype = DType::Bool;
+        Ok(PyVal::Col(out))
+    }
+
+    /// Whole-column aggregation → 1-row relation scalar.
+    fn series_aggregate(&mut self, recv: PyVal, func: AggFunc) -> Result<PyVal> {
+        let c = self.as_col(recv)?;
+        let rel = self.fresh_rel();
+        let mut b = BodyBuilder::new();
+        b.access_frame(&c.frame, true);
+        let term = b.add_expr(&c)?;
+        let out_var = b.fresh_var("agg");
+        let agg_term = Term::Agg {
+            func,
+            arg: Box::new(term),
+        };
+        // Pandas semantics: sum() over an empty series is 0, not NULL.
+        let agg_term = if func == AggFunc::Sum {
+            Term::Ext {
+                func: "coalesce".into(),
+                args: vec![agg_term, Term::int(0)],
+            }
+        } else {
+            agg_term
+        };
+        b.atoms.push(Atom::Assign {
+            var: out_var.clone(),
+            term: agg_term,
+        });
+        let col_name = format!("{}_{}", c.name, func.name());
+        self.rules.push(Rule {
+            head: Head::simple(rel.clone(), vec![(col_name.clone(), out_var)]),
+            body: Body::new(b.atoms),
+        });
+        let dtype = match func {
+            AggFunc::Count | AggFunc::CountDistinct => DType::Int,
+            AggFunc::Avg => DType::Float,
+            _ => c.dtype,
+        };
+        Ok(PyVal::Scalar(ScalarVal::Rel {
+            rel,
+            cols: vec![col_name.clone()],
+            col: col_name,
+            dtype,
+        }))
+    }
+
+    /// `df.aggregate(func)` — reduce every column (Table V row 3).
+    fn frame_aggregate(&mut self, frame: &FrameVal, func: AggFunc) -> Result<FrameVal> {
+        let rel = self.fresh_rel();
+        let mut b = BodyBuilder::new();
+        let (_, _, map) = b.access_frame(frame, true);
+        let mut head_cols = Vec::new();
+        let mut infos = Vec::new();
+        for c in &frame.cols {
+            let v = b.fresh_var(&format!("{}_agg", c.name));
+            b.atoms.push(Atom::Assign {
+                var: v.clone(),
+                term: Term::Agg {
+                    func,
+                    arg: Box::new(Term::Var(map[&c.name].clone())),
+                },
+            });
+            head_cols.push((c.name.clone(), v));
+            infos.push(ColInfo::new(
+                c.name.clone(),
+                match func {
+                    AggFunc::Count | AggFunc::CountDistinct => DType::Int,
+                    AggFunc::Avg => DType::Float,
+                    _ => c.dtype,
+                },
+            ));
+        }
+        let rule_index = self.rules.len();
+        self.rules.push(Rule {
+            head: Head::simple(rel.clone(), head_cols),
+            body: Body::new(b.atoms),
+        });
+        Ok(FrameVal {
+            rel,
+            cols: infos,
+            id_col: None,
+            rule_index: Some(rule_index),
+            is_series: false,
+        })
+    }
+
+    /// `groupby(keys).agg(out=('col','func'), ...)` or `.agg({'col':'func'})`.
+    fn groupby_agg(
+        &mut self,
+        g: &GroupByVal,
+        args: &[py::Expr],
+        kwargs: &[(String, py::Expr)],
+    ) -> Result<FrameVal> {
+        let mut specs: Vec<(String, String, AggFunc)> = Vec::new(); // (out, in, func)
+        for (out_name, v) in kwargs {
+            let py::Expr::Tuple(parts) = v else {
+                return Err(Error::Translate(
+                    "named aggregation expects (column, func) tuples".into(),
+                ));
+            };
+            let col = parts[0]
+                .as_str_lit()
+                .ok_or_else(|| Error::Translate("agg column must be a string".into()))?;
+            let fname = parts[1]
+                .as_str_lit()
+                .ok_or_else(|| Error::Translate("agg func must be a string".into()))?;
+            specs.push((out_name.clone(), col.to_string(), parse_agg(fname)?));
+        }
+        if let Some(py::Expr::Dict(items)) = args.first() {
+            for (k, v) in items {
+                let col = k
+                    .as_str_lit()
+                    .ok_or_else(|| Error::Translate("agg dict keys must be strings".into()))?;
+                let fname = v
+                    .as_str_lit()
+                    .ok_or_else(|| Error::Translate("agg dict values must be strings".into()))?;
+                specs.push((col.to_string(), col.to_string(), parse_agg(fname)?));
+            }
+        }
+        if specs.is_empty() {
+            return Err(Error::Translate("empty aggregation".into()));
+        }
+        self.emit_groupby(&g.frame, &g.keys, &specs)
+    }
+
+    /// `groupby(keys).sum()` etc — aggregate every non-key column.
+    fn groupby_all(
+        &mut self,
+        g: &GroupByVal,
+        func: AggFunc,
+        count_name: Option<&str>,
+    ) -> Result<FrameVal> {
+        let mut specs = Vec::new();
+        if let Some(n) = count_name {
+            // .size(): count rows via the first key column.
+            specs.push((n.to_string(), g.keys[0].clone(), AggFunc::Count));
+        } else {
+            for c in &g.frame.cols {
+                if !g.keys.contains(&c.name) {
+                    specs.push((c.name.clone(), c.name.clone(), func));
+                }
+            }
+        }
+        self.emit_groupby(&g.frame, &g.keys, &specs)
+    }
+
+    pub(crate) fn emit_groupby(
+        &mut self,
+        frame: &FrameVal,
+        keys: &[String],
+        specs: &[(String, String, AggFunc)],
+    ) -> Result<FrameVal> {
+        let rel = self.fresh_rel();
+        let mut b = BodyBuilder::new();
+        let (_, _, map) = b.access_frame(frame, true);
+        let mut head_cols = Vec::new();
+        let mut infos = Vec::new();
+        let mut group_vars = Vec::new();
+        for k in keys {
+            let var = map
+                .get(k)
+                .ok_or_else(|| Error::Translate(format!("no grouping column '{k}'")))?;
+            head_cols.push((k.clone(), var.clone()));
+            group_vars.push(var.clone());
+            infos.push(frame.col(k).cloned().unwrap());
+        }
+        for (out, input, func) in specs {
+            let src = map
+                .get(input)
+                .ok_or_else(|| Error::Translate(format!("no aggregation column '{input}'")))?;
+            let v = b.fresh_var(out);
+            b.atoms.push(Atom::Assign {
+                var: v.clone(),
+                term: Term::Agg {
+                    func: *func,
+                    arg: Box::new(Term::Var(src.clone())),
+                },
+            });
+            head_cols.push((out.clone(), v));
+            let src_dtype = frame.col(input).map(|c| c.dtype).unwrap_or(DType::Float);
+            infos.push(ColInfo::new(
+                out.clone(),
+                match func {
+                    AggFunc::Count | AggFunc::CountDistinct => DType::Int,
+                    AggFunc::Avg => DType::Float,
+                    _ => src_dtype,
+                },
+            ));
+        }
+        let rule_index = self.rules.len();
+        self.rules.push(Rule {
+            head: Head {
+                rel: rel.clone(),
+                cols: head_cols,
+                group: Some(group_vars),
+                sort: None,
+                limit: None,
+                distinct: false,
+            },
+            body: Body::new(b.atoms),
+        });
+        Ok(FrameVal {
+            rel,
+            cols: infos,
+            id_col: None,
+            rule_index: Some(rule_index),
+            is_series: false,
+        })
+    }
+
+    /// `df1.merge(df2, how, on/left_on/right_on)` with the implicit renaming
+    /// rules of Section III-C.
+    fn merge(
+        &mut self,
+        recv: PyVal,
+        args: &[py::Expr],
+        kwargs: &[(String, py::Expr)],
+    ) -> Result<PyVal> {
+        let left = self.materialize_if_col(recv)?;
+        let right_val = self.translate_expr(&args[0])?;
+        let right = self.materialize_if_col(right_val)?;
+        let how = kwargs
+            .iter()
+            .find(|(k, _)| k == "how")
+            .and_then(|(_, v)| v.as_str_lit())
+            .unwrap_or("inner");
+        let (left_on, right_on) = if let Some((_, on)) =
+            kwargs.iter().find(|(k, _)| k == "on")
+        {
+            let names = self.names_of(on)?;
+            (names.clone(), names)
+        } else {
+            let l = kwargs
+                .iter()
+                .find(|(k, _)| k == "left_on")
+                .map(|(_, v)| self.names_of(v))
+                .transpose()?
+                .unwrap_or_default();
+            let r = kwargs
+                .iter()
+                .find(|(k, _)| k == "right_on")
+                .map(|(_, v)| self.names_of(v))
+                .transpose()?
+                .unwrap_or_default();
+            (l, r)
+        };
+        if how != "cross" && (left_on.is_empty() || left_on.len() != right_on.len()) {
+            return Err(Error::Translate(
+                "merge requires matching on/left_on/right_on".into(),
+            ));
+        }
+
+        let rel = self.fresh_rel();
+        let mut b = BodyBuilder::new();
+        let (lalias, _, lmap) = b.access_frame(&left, false);
+        let (ralias, _, rmap) = b.access_frame(&right, false);
+
+        // Key equality: shared variables for inner joins; explicit markers
+        // for outer joins (paper, Section III-C).
+        let mut marker_on = Vec::new();
+        for (lk, rk) in left_on.iter().zip(&right_on) {
+            let lv = lmap
+                .get(lk)
+                .ok_or_else(|| Error::Translate(format!("no left key '{lk}'")))?
+                .clone();
+            let rv = rmap
+                .get(rk)
+                .ok_or_else(|| Error::Translate(format!("no right key '{rk}'")))?
+                .clone();
+            match how {
+                "inner" => {
+                    b.atoms.push(Atom::Pred(Term::bin(
+                        ScalarOp::Eq,
+                        Term::Var(lv),
+                        Term::Var(rv),
+                    )));
+                }
+                "left" | "right" | "outer" | "full" => marker_on.push((lv, rv)),
+                "cross" => {}
+                other => {
+                    return Err(Error::Translate(format!("unknown join type '{other}'")))
+                }
+            }
+        }
+        if !marker_on.is_empty() {
+            let kind = match how {
+                "left" => OuterKind::Left,
+                "right" => OuterKind::Right,
+                _ => OuterKind::Full,
+            };
+            b.atoms.push(Atom::OuterJoin {
+                kind,
+                left: lalias,
+                right: ralias,
+                on: marker_on,
+            });
+        }
+
+        // Output schema with the implicit `_x`/`_y` renaming.
+        let merged_keys: Vec<&String> = left_on
+            .iter()
+            .zip(&right_on)
+            .filter(|(l, r)| l == r)
+            .map(|(l, _)| l)
+            .collect();
+        let mut head_cols = Vec::new();
+        let mut infos = Vec::new();
+        for c in &left.cols {
+            let name = if merged_keys.contains(&&c.name) {
+                c.name.clone()
+            } else if right.col(&c.name).is_some() {
+                format!("{}_x", c.name)
+            } else {
+                c.name.clone()
+            };
+            head_cols.push((name.clone(), lmap[&c.name].clone()));
+            infos.push(ColInfo::new(name, c.dtype));
+        }
+        for c in &right.cols {
+            if merged_keys.contains(&&c.name) {
+                continue;
+            }
+            let name = if left.col(&c.name).is_some() {
+                format!("{}_y", c.name)
+            } else {
+                c.name.clone()
+            };
+            head_cols.push((name.clone(), rmap[&c.name].clone()));
+            infos.push(ColInfo::new(name, c.dtype));
+        }
+        let rule_index = self.rules.len();
+        self.rules.push(Rule {
+            head: Head::simple(rel.clone(), head_cols),
+            body: Body::new(b.atoms),
+        });
+        Ok(PyVal::Frame(FrameVal {
+            rel,
+            cols: infos,
+            id_col: None,
+            rule_index: Some(rule_index),
+            is_series: false,
+        }))
+    }
+
+    /// `df.pivot_table(index, columns, values, aggfunc)` (Section III-C).
+    fn pivot_table(
+        &mut self,
+        frame: &FrameVal,
+        args: &[py::Expr],
+        kwargs: &[(String, py::Expr)],
+    ) -> Result<FrameVal> {
+        let index = self
+            .str_kwarg(kwargs, "index")
+            .or_else(|| args.first().and_then(|a| a.as_str_lit().map(String::from)))
+            .ok_or_else(|| Error::Translate("pivot_table requires index=".into()))?;
+        let columns = self
+            .str_kwarg(kwargs, "columns")
+            .ok_or_else(|| Error::Translate("pivot_table requires columns=".into()))?;
+        let values = self
+            .str_kwarg(kwargs, "values")
+            .ok_or_else(|| Error::Translate("pivot_table requires values=".into()))?;
+        let fname = self
+            .str_kwarg(kwargs, "aggfunc")
+            .or_else(|| self.str_kwarg(kwargs, "func"))
+            .unwrap_or_else(|| "sum".to_string());
+        let func = parse_agg(&fname)?;
+        let distinct = self
+            .options
+            .pivot_values
+            .get(&columns)
+            .cloned()
+            .ok_or_else(|| {
+                Error::Translate(format!(
+                    "pivot_table needs the distinct values of '{columns}' \
+                     (pass pivot_values in the @pytond decorator)"
+                ))
+            })?;
+        let rel = self.fresh_rel();
+        let mut b = BodyBuilder::new();
+        let (_, _, map) = b.access_frame(frame, true);
+        let idx_var = map
+            .get(&index)
+            .ok_or_else(|| Error::Translate(format!("no pivot index column '{index}'")))?
+            .clone();
+        let col_var = map
+            .get(&columns)
+            .ok_or_else(|| Error::Translate(format!("no pivot columns column '{columns}'")))?
+            .clone();
+        let val_var = map
+            .get(&values)
+            .ok_or_else(|| Error::Translate(format!("no pivot values column '{values}'")))?
+            .clone();
+        let mut head_cols = vec![(index.clone(), idx_var.clone())];
+        let mut infos = vec![frame.col(&index).cloned().unwrap()];
+        let val_dtype = frame.col(&values).map(|c| c.dtype).unwrap_or(DType::Float);
+        for value in &distinct {
+            // vK = agg(if(columns = value, values, 0))
+            let v = b.fresh_var(value);
+            b.atoms.push(Atom::Assign {
+                var: v.clone(),
+                term: Term::Agg {
+                    func,
+                    arg: Box::new(Term::If {
+                        cond: Box::new(Term::bin(
+                            ScalarOp::Eq,
+                            Term::Var(col_var.clone()),
+                            Term::Const(Const::Str(value.clone())),
+                        )),
+                        then: Box::new(Term::Var(val_var.clone())),
+                        els: Box::new(Term::int(0)),
+                    }),
+                },
+            });
+            head_cols.push((value.clone(), v));
+            infos.push(ColInfo::new(value.clone(), val_dtype));
+        }
+        let rule_index = self.rules.len();
+        self.rules.push(Rule {
+            head: Head {
+                rel: rel.clone(),
+                cols: head_cols,
+                group: Some(vec![idx_var]),
+                sort: Some(vec![(
+                    // Pandas sorts the pivot index.
+                    index.clone(),
+                    true,
+                )]),
+                limit: None,
+                distinct: false,
+            },
+            body: Body::new(b.atoms),
+        });
+        // sort key refers to head var: fix to the grouped variable
+        let rule = self.rules.last_mut().unwrap();
+        let gv = rule.head.cols[0].1.clone();
+        rule.head.sort = Some(vec![(gv, true)]);
+        Ok(FrameVal {
+            rel,
+            cols: infos,
+            id_col: None,
+            rule_index: Some(rule_index),
+            is_series: false,
+        })
+    }
+
+    /// `series.apply(lambda x: ...)` / `df.apply(lambda row: ..., axis=1)`.
+    fn apply(
+        &mut self,
+        recv: PyVal,
+        args: &[py::Expr],
+        _kwargs: &[(String, py::Expr)],
+    ) -> Result<PyVal> {
+        let lambda = self.translate_expr(&args[0])?;
+        let PyVal::Lambda { params, body } = lambda else {
+            return Err(Error::Translate("apply requires a lambda".into()));
+        };
+        let param = params
+            .first()
+            .ok_or_else(|| Error::Translate("lambda needs one parameter".into()))?
+            .clone();
+        // Bind the parameter to the receiver and translate the body.
+        let saved = self.env.get(&param).cloned();
+        self.env.insert(param.clone(), recv);
+        let out = self.translate_expr(&body);
+        match saved {
+            Some(v) => {
+                self.env.insert(param, v);
+            }
+            None => {
+                self.env.remove(&param);
+            }
+        }
+        out
+    }
+
+    fn materialize_if_col(&mut self, v: PyVal) -> Result<FrameVal> {
+        match v {
+            PyVal::Frame(f) => Ok(f),
+            PyVal::Col(_) => self.materialize_frame(v),
+            other => Err(Error::Translate(format!(
+                "expected a frame, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    // ---------------- pd.DataFrame / np constructors ----------------
+
+    fn pd_dataframe(
+        &mut self,
+        args: &[py::Expr],
+        kwargs: &[(String, py::Expr)],
+    ) -> Result<PyVal> {
+        if args.is_empty() {
+            // Empty DataFrame awaiting column assignments.
+            return Ok(PyVal::Frame(FrameVal::base("", vec![])));
+        }
+        let data = self.translate_expr(&args[0])?;
+        let columns = kwargs
+            .iter()
+            .find(|(k, _)| k == "columns")
+            .map(|(_, v)| self.names_of(v))
+            .transpose()?;
+        match data {
+            PyVal::Array(a) => self.array_to_frame(&a, columns),
+            PyVal::Frame(f) => Ok(PyVal::Frame(f)),
+            other => Err(Error::Translate(format!(
+                "DataFrame() from {} is not supported",
+                other.kind()
+            ))),
+        }
+    }
+
+    // ---------------- argument helpers ----------------
+
+    pub(crate) fn names_of(&mut self, e: &py::Expr) -> Result<Vec<String>> {
+        match e {
+            py::Expr::Str(s) => Ok(vec![s.clone()]),
+            py::Expr::List(_) => match self.translate_expr(e)? {
+                PyVal::NameList(n) => Ok(n),
+                other => Err(Error::Translate(format!(
+                    "expected column names, found {}",
+                    other.kind()
+                ))),
+            },
+            py::Expr::Name(_) => match self.translate_expr(e)? {
+                PyVal::NameList(n) => Ok(n),
+                other => Err(Error::Translate(format!(
+                    "expected column names, found {}",
+                    other.kind()
+                ))),
+            },
+            other => Err(Error::Translate(format!(
+                "expected column names, found {other:?}"
+            ))),
+        }
+    }
+
+    fn name_list_arg(
+        &mut self,
+        args: &[py::Expr],
+        kwargs: &[(String, py::Expr)],
+        kw: &str,
+        pos: usize,
+    ) -> Result<Vec<String>> {
+        if let Some((_, v)) = kwargs.iter().find(|(k, _)| k == kw) {
+            let v = v.clone();
+            return self.names_of(&v);
+        }
+        if let Some(a) = args.get(pos) {
+            let a = a.clone();
+            return self.names_of(&a);
+        }
+        Err(Error::Translate(format!("missing argument '{kw}'")))
+    }
+
+    fn usize_arg(
+        &mut self,
+        args: &[py::Expr],
+        kwargs: &[(String, py::Expr)],
+        kw: &str,
+        pos: usize,
+    ) -> Result<usize> {
+        let e = kwargs
+            .iter()
+            .find(|(k, _)| k == kw)
+            .map(|(_, v)| v)
+            .or_else(|| args.get(pos))
+            .ok_or_else(|| Error::Translate(format!("missing argument '{kw}'")))?;
+        match e {
+            py::Expr::Int(i) if *i >= 0 => Ok(*i as usize),
+            other => Err(Error::Translate(format!(
+                "argument '{kw}' must be a non-negative integer, found {other:?}"
+            ))),
+        }
+    }
+
+    fn str_arg(&mut self, args: &[py::Expr], pos: usize) -> Result<String> {
+        args.get(pos)
+            .and_then(|a| a.as_str_lit())
+            .map(String::from)
+            .ok_or_else(|| Error::Translate("expected a string argument".into()))
+    }
+
+    fn str_kwarg(&self, kwargs: &[(String, py::Expr)], kw: &str) -> Option<String> {
+        kwargs
+            .iter()
+            .find(|(k, _)| k == kw)
+            .and_then(|(_, v)| v.as_str_lit())
+            .map(String::from)
+    }
+
+    fn drop_names(
+        &mut self,
+        args: &[py::Expr],
+        kwargs: &[(String, py::Expr)],
+    ) -> Result<Vec<String>> {
+        if let Some((_, v)) = kwargs.iter().find(|(k, _)| k == "columns") {
+            let v = v.clone();
+            return self.names_of(&v);
+        }
+        if let Some(a) = args.first() {
+            let a = a.clone();
+            return self.names_of(&a);
+        }
+        Err(Error::Translate("drop requires columns".into()))
+    }
+
+    fn rename_mapping(&self, kwargs: &[(String, py::Expr)]) -> Result<Vec<(String, String)>> {
+        let Some((_, py::Expr::Dict(items))) = kwargs.iter().find(|(k, _)| k == "columns")
+        else {
+            return Err(Error::Translate("rename requires columns={...}".into()));
+        };
+        items
+            .iter()
+            .map(|(k, v)| {
+                let from = k
+                    .as_str_lit()
+                    .ok_or_else(|| Error::Translate("rename keys must be strings".into()))?;
+                let to = v
+                    .as_str_lit()
+                    .ok_or_else(|| Error::Translate("rename values must be strings".into()))?;
+                Ok((from.to_string(), to.to_string()))
+            })
+            .collect()
+    }
+
+}
+
+fn like(c: ColExpr, pattern: String) -> ColExpr {
+    ColExpr {
+        term: Term::bin(
+            ScalarOp::Like,
+            c.term.clone(),
+            Term::Const(Const::Str(pattern)),
+        ),
+        dtype: DType::Bool,
+        ..c
+    }
+}
+
+pub(crate) fn parse_agg(name: &str) -> Result<AggFunc> {
+    match name {
+        "sum" => Ok(AggFunc::Sum),
+        "min" => Ok(AggFunc::Min),
+        "max" => Ok(AggFunc::Max),
+        "mean" | "avg" => Ok(AggFunc::Avg),
+        "count" | "size" | "len" => Ok(AggFunc::Count),
+        "nunique" => Ok(AggFunc::CountDistinct),
+        other => Err(Error::Translate(format!("unknown aggregate '{other}'"))),
+    }
+}

@@ -1,0 +1,85 @@
+//! The covariance micro-benchmark of Figure 9: NumPy vs PyTond with dense
+//! and sparse (COO) layouts, swept over sparsity, rows, and columns.
+
+use pytond_common::{Column, Relation};
+use pytond_ndarray::{Coo, NdArray};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an `rows × cols` matrix with the given fraction of non-zero
+/// entries (`sparsity` = 1.0 means fully dense, like the paper's fixed
+/// dimension).
+pub fn gen_matrix(rows: usize, cols: usize, sparsity: f64, seed: u64) -> NdArray {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = vec![0.0f64; rows * cols];
+    for v in data.iter_mut() {
+        if rng.gen_bool(sparsity.clamp(0.0, 1.0)) {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+    }
+    NdArray::from_vec(vec![rows, cols], data).expect("shape matches data")
+}
+
+/// The dense relation `(__id, c0..c{n-1})` the PyTond dense path reads.
+pub fn dense_relation(m: &NdArray) -> Relation {
+    let (rows, cols) = (m.shape()[0], m.shape()[1]);
+    let mut out: Vec<(String, Column)> = Vec::with_capacity(cols + 1);
+    out.push((
+        "__id".into(),
+        Column::from_i64((0..rows as i64).collect()),
+    ));
+    for j in 0..cols {
+        out.push((
+            format!("c{j}"),
+            Column::from_f64((0..rows).map(|i| m.get(&[i, j])).collect()),
+        ));
+    }
+    Relation::new(out).expect("rectangular")
+}
+
+/// The COO relation `(row_id, col_id, val)` the sparse path reads.
+pub fn sparse_relation(m: &NdArray) -> Relation {
+    Coo::from_dense(m).expect("matrix").to_relation()
+}
+
+/// Python source of the dense covariance (`m` binds to the dense table).
+pub fn covariance_dense_source() -> &'static str {
+    r#"
+@pytond
+def covariance(m):
+    return np.einsum('ij,ik->jk', m, m)
+"#
+}
+
+/// Python source of the sparse covariance (COO operand).
+pub fn covariance_sparse_source() -> &'static str {
+    r#"
+@pytond(layout='sparse')
+def covariance(m):
+    return np.einsum('ij,ik->jk', m, m)
+"#
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_controls_density() {
+        let dense = gen_matrix(100, 8, 1.0, 1);
+        let sparse = gen_matrix(100, 8, 0.01, 1);
+        let nnz = |m: &NdArray| m.data().iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nnz(&dense), 800);
+        assert!(nnz(&sparse) < 40);
+    }
+
+    #[test]
+    fn relations_have_expected_shapes() {
+        let m = gen_matrix(10, 3, 0.5, 2);
+        let d = dense_relation(&m);
+        assert_eq!(d.names(), vec!["__id", "c0", "c1", "c2"]);
+        assert_eq!(d.num_rows(), 10);
+        let s = sparse_relation(&m);
+        assert_eq!(s.names(), vec!["row_id", "col_id", "val"]);
+    }
+}

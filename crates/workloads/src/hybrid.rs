@@ -1,0 +1,200 @@
+//! The synthetic hybrid matrix-calculation workloads (paper, Section V-A):
+//! join two large tables, convert to a NumPy array, run an einsum —
+//! matrix-vector multiplication or covariance — optionally with a
+//! join-dependent filter before the final calculation (the "Filtered"
+//! variants).
+
+use crate::Workload;
+use pytond_common::{Column, Relation, Result, Value};
+use pytond_frame::{DataFrame, JoinHow};
+use pytond_ndarray::{einsum, NdArray};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+type Tables = [(&'static str, Relation, Vec<Vec<&'static str>>)];
+type TableVec = Vec<(&'static str, Relation, Vec<Vec<&'static str>>)>;
+
+/// Two join-compatible numeric tables `tx(id, a, b)` and `ty(id, c, d)`.
+pub fn hybrid_tables(scale: usize) -> TableVec {
+    let n = 20_000 * scale;
+    let mut rng = StdRng::seed_from_u64(23);
+    let id: Vec<i64> = (0..n as i64).collect();
+    let col = |rng: &mut StdRng| -> Vec<f64> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    };
+    let tx = Relation::new(vec![
+        ("id".into(), Column::from_i64(id.clone())),
+        ("a".into(), Column::from_f64(col(&mut rng))),
+        ("b".into(), Column::from_f64(col(&mut rng))),
+    ])
+    .unwrap();
+    let ty = Relation::new(vec![
+        ("id".into(), Column::from_i64(id)),
+        ("c".into(), Column::from_f64(col(&mut rng))),
+        ("d".into(), Column::from_f64(col(&mut rng))),
+    ])
+    .unwrap();
+    vec![
+        ("tx", tx, vec![vec!["id"]]),
+        ("ty", ty, vec![vec!["id"]]),
+    ]
+}
+
+/// Hybrid Covar, non-filtered.
+pub const HYBRID_COVAR_NF: &str = r#"
+@pytond
+def hybrid_covar_nf(tx, ty):
+    j = tx.merge(ty, on='id')
+    m = j.drop(columns=['id']).to_numpy()
+    cov = np.einsum('ij,ik->jk', m, m)
+    return cov
+"#;
+
+/// Hybrid Covar, filtered (join-dependent filter before the einsum).
+pub const HYBRID_COVAR_F: &str = r#"
+@pytond
+def hybrid_covar_f(tx, ty):
+    j = tx.merge(ty, on='id')
+    f = j[j.a + j.c > 0.5]
+    m = f.drop(columns=['id']).to_numpy()
+    cov = np.einsum('ij,ik->jk', m, m)
+    return cov
+"#;
+
+/// Hybrid MV, non-filtered.
+pub const HYBRID_MV_NF: &str = r#"
+@pytond
+def hybrid_mv_nf(tx, ty):
+    j = tx.merge(ty, on='id')
+    m = j.drop(columns=['id']).to_numpy()
+    v = np.array([0.5, -1.0, 2.0, 1.5])
+    r = np.einsum('ij,j->i', m, v)
+    return r
+"#;
+
+/// Hybrid MV, filtered.
+pub const HYBRID_MV_F: &str = r#"
+@pytond
+def hybrid_mv_f(tx, ty):
+    j = tx.merge(ty, on='id')
+    f = j[j.a + j.c > 0.5]
+    m = f.drop(columns=['id']).to_numpy()
+    v = np.array([0.5, -1.0, 2.0, 1.5])
+    r = np.einsum('ij,j->i', m, v)
+    return r
+"#;
+
+fn joined_matrix(tables: &Tables, filtered: bool) -> Result<NdArray> {
+    let tx = DataFrame::from_relation(&tables[0].1);
+    let ty = DataFrame::from_relation(&tables[1].1);
+    let j = tx.merge(&ty, JoinHow::Inner, &["id"], &["id"])?;
+    let j = if filtered {
+        let m = j.col("a")?.add(j.col("c")?)?.gt_val(&Value::Float(0.5));
+        j.filter(&m)?
+    } else {
+        j
+    };
+    let cols = ["a", "b", "c", "d"];
+    let n = j.num_rows();
+    let mut buf = Vec::with_capacity(n * cols.len());
+    for i in 0..n {
+        for c in &cols {
+            buf.push(j.col(c)?.get(i).as_f64().unwrap_or(0.0));
+        }
+    }
+    NdArray::from_vec(vec![n, cols.len()], buf)
+}
+
+fn covar_baseline_nf(tables: &Tables) -> Result<Relation> {
+    covar_baseline(tables, false)
+}
+
+fn covar_baseline_f(tables: &Tables) -> Result<Relation> {
+    covar_baseline(tables, true)
+}
+
+fn covar_baseline(tables: &Tables, filtered: bool) -> Result<Relation> {
+    let m = joined_matrix(tables, filtered)?;
+    let cov = einsum("ij,ik->jk", &[&m, &m])?;
+    matrix_relation(&cov)
+}
+
+fn mv_baseline_nf(tables: &Tables) -> Result<Relation> {
+    mv_baseline(tables, false)
+}
+
+fn mv_baseline_f(tables: &Tables) -> Result<Relation> {
+    mv_baseline(tables, true)
+}
+
+fn mv_baseline(tables: &Tables, filtered: bool) -> Result<Relation> {
+    let m = joined_matrix(tables, filtered)?;
+    let v = NdArray::vector(&[0.5, -1.0, 2.0, 1.5]);
+    let r = einsum("ij,j->i", &[&m, &v])?;
+    matrix_relation(&r)
+}
+
+/// Renders an array as the engine's dense relation shape (id + value cols).
+pub fn matrix_relation(a: &NdArray) -> Result<Relation> {
+    let (rows, cols) = if a.ndim() == 2 {
+        (a.shape()[0], a.shape()[1])
+    } else {
+        (a.shape()[0], 1)
+    };
+    let mut out: Vec<(String, Column)> = Vec::with_capacity(cols + 1);
+    out.push((
+        "__id".into(),
+        Column::from_i64((0..rows as i64).collect()),
+    ));
+    for j in 0..cols {
+        let data: Vec<f64> = (0..rows)
+            .map(|i| {
+                if a.ndim() == 2 {
+                    a.get(&[i, j])
+                } else {
+                    a.get(&[i])
+                }
+            })
+            .collect();
+        out.push((format!("c{j}"), Column::from_f64(data)));
+    }
+    Relation::new(out)
+}
+
+/// Hybrid Covar workload (Figures 5/6/8/10).
+pub fn hybrid_covar(scale: usize, filtered: bool) -> Workload {
+    Workload {
+        name: if filtered {
+            "Hybrid Covar (F)"
+        } else {
+            "Hybrid Covar (NF)"
+        },
+        tables: hybrid_tables(scale),
+        source: if filtered {
+            HYBRID_COVAR_F
+        } else {
+            HYBRID_COVAR_NF
+        },
+        baseline: if filtered {
+            covar_baseline_f
+        } else {
+            covar_baseline_nf
+        },
+        ignore_id_cols: true,
+    }
+}
+
+/// Hybrid MV workload.
+pub fn hybrid_mv(scale: usize, filtered: bool) -> Workload {
+    Workload {
+        name: if filtered {
+            "Hybrid MV (F)"
+        } else {
+            "Hybrid MV (NF)"
+        },
+        tables: hybrid_tables(scale),
+        source: if filtered { HYBRID_MV_F } else { HYBRID_MV_NF },
+        baseline: if filtered { mv_baseline_f } else { mv_baseline_nf },
+        ignore_id_cols: true,
+    }
+}

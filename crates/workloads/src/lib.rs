@@ -1,0 +1,66 @@
+//! The hybrid data-science workloads of the paper's evaluation (Section V-A):
+//! Crime Index, Birth Analysis, the Kaggle notebooks N3/N9, and the synthetic
+//! Hybrid Covar / Hybrid MV pairs (non-filtered and filtered) — plus the
+//! covariance micro-benchmark of Figure 9.
+//!
+//! Each workload carries a deterministic data generator, the Python source
+//! for the PyTond path, and an interpreted baseline over `pytond-frame` /
+//! `pytond-ndarray` (the evaluation's "Python" bars). The original notebooks
+//! use proprietary/Kaggle datasets; the generators synthesize data with the
+//! same schema, cardinalities and selectivities (see DESIGN.md).
+
+pub mod covariance;
+pub mod hybrid;
+pub mod notebooks;
+
+pub use covariance::{covariance_dense_source, covariance_sparse_source, gen_matrix};
+pub use hybrid::{hybrid_tables, HYBRID_COVAR_F, HYBRID_COVAR_NF, HYBRID_MV_F, HYBRID_MV_NF};
+pub use notebooks::{birth_tables, crime_tables, n3_tables, n9_tables};
+
+use pytond_common::{Relation, Result};
+
+/// A named workload: tables + Python source + interpreted baseline.
+pub struct Workload {
+    /// Display name matching the paper's figures.
+    pub name: &'static str,
+    /// `(table name, relation, unique keys)` to register.
+    pub tables: Vec<(&'static str, Relation, Vec<Vec<&'static str>>)>,
+    /// Python source for the PyTond path.
+    pub source: &'static str,
+    /// Interpreted baseline.
+    pub baseline: fn(&[(&'static str, Relation, Vec<Vec<&'static str>>)]) -> Result<Relation>,
+    /// Columns to ignore when diffing compiled vs baseline results
+    /// (generated row-id columns whose numbering conventions differ).
+    pub ignore_id_cols: bool,
+}
+
+/// All eight workloads of Figures 5/6/8, at `scale` (≈ rows multiplier).
+pub fn all_workloads(scale: usize) -> Vec<Workload> {
+    vec![
+        notebooks::crime_index(scale),
+        notebooks::birth_analysis(scale),
+        hybrid::hybrid_covar(scale, false),
+        hybrid::hybrid_covar(scale, true),
+        hybrid::hybrid_mv(scale, false),
+        hybrid::hybrid_mv(scale, true),
+        notebooks::n3(scale),
+        notebooks::n9(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_enumerate_and_generate() {
+        let ws = all_workloads(1);
+        assert_eq!(ws.len(), 8);
+        for w in &ws {
+            assert!(w.source.contains("@pytond"), "{}", w.name);
+            assert!(!w.tables.is_empty(), "{}", w.name);
+            let out = (w.baseline)(&w.tables);
+            assert!(out.is_ok(), "{} baseline: {:?}", w.name, out.err());
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Real-world notebook workloads: Crime Index, Birth Analysis, N3, N9.
+
+use crate::Workload;
+use pytond_common::{Column, Relation, Result, Value};
+use pytond_frame::{AggOp, DataFrame};
+use pytond_ndarray::{einsum, NdArray};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+type Tables = [(&'static str, Relation, Vec<Vec<&'static str>>)];
+type TableVec = Vec<(&'static str, Relation, Vec<Vec<&'static str>>)>;
+
+// =====================================================================
+// Crime Index (Weld notebook): Pandas → NumPy einsum → Pandas.
+// =====================================================================
+
+/// Synthetic city statistics (the notebook's per-city population/crime data).
+pub fn crime_tables(scale: usize) -> TableVec {
+    let n = 5_000 * scale;
+    let mut rng = StdRng::seed_from_u64(7);
+    let pop: Vec<f64> = (0..n).map(|_| rng.gen_range(1_000.0..5_000_000.0)).collect();
+    let crimes: Vec<f64> = pop
+        .iter()
+        .map(|p| p * rng.gen_range(0.001..0.05))
+        .collect();
+    let name: Vec<String> = (0..n).map(|i| format!("city{i}")).collect();
+    vec![(
+        "cities",
+        Relation::new(vec![
+            ("name".into(), Column::from_str_vec(name)),
+            ("population".into(), Column::from_f64(pop)),
+            ("total_crimes".into(), Column::from_f64(crimes)),
+        ])
+        .unwrap(),
+        vec![],
+    )]
+}
+
+const CRIME_SRC: &str = r#"
+@pytond
+def crime_index(cities):
+    big = cities[cities.population > 500000.0]
+    data = big[['population', 'total_crimes']]
+    arr = data.to_numpy()
+    weights = np.array([0.000001, -0.0001])
+    idx = np.einsum('ij,j->i', arr, weights)
+    df = pd.DataFrame(idx, columns=['index_val'])
+    sel = df[df.index_val > 0.5]
+    return sel[['index_val']]
+"#;
+
+fn crime_baseline(tables: &Tables) -> Result<Relation> {
+    let cities = DataFrame::from_relation(&tables[0].1);
+    let big = cities.filter(&cities.col("population")?.gt_val(&Value::Float(500_000.0)))?;
+    let data = big.select(&["population", "total_crimes"])?;
+    let n = data.num_rows();
+    let mut buf = Vec::with_capacity(n * 2);
+    for i in 0..n {
+        buf.push(data.col("population")?.get(i).as_f64().unwrap_or(0.0));
+        buf.push(data.col("total_crimes")?.get(i).as_f64().unwrap_or(0.0));
+    }
+    let arr = NdArray::from_vec(vec![n, 2], buf)?;
+    let weights = NdArray::vector(&[0.000001, -0.0001]);
+    let idx = einsum("ij,j->i", &[&arr, &weights])?;
+    let vals: Vec<f64> = idx.data().iter().copied().filter(|&v| v > 0.5).collect();
+    Relation::new(vec![("index_val".into(), Column::from_f64(vals))])
+}
+
+/// The Crime Index workload.
+pub fn crime_index(scale: usize) -> Workload {
+    Workload {
+        name: "Crime Index",
+        tables: crime_tables(scale),
+        source: CRIME_SRC,
+        baseline: crime_baseline,
+        ignore_id_cols: true,
+    }
+}
+
+// =====================================================================
+// Birth Analysis: pivot_table-centric notebook.
+// =====================================================================
+
+/// Synthetic birth statistics `(year, sex, births)`.
+pub fn birth_tables(scale: usize) -> TableVec {
+    let years = 120;
+    let per_year = 50 * scale;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut year = Vec::new();
+    let mut sex = Vec::new();
+    let mut births = Vec::new();
+    for y in 0..years {
+        for _ in 0..per_year {
+            year.push(1900 + y);
+            sex.push(if rng.gen_bool(0.5) { "F" } else { "M" }.to_string());
+            births.push(rng.gen_range(5..2_000i64));
+        }
+    }
+    vec![(
+        "births",
+        Relation::new(vec![
+            ("year".into(), Column::from_i64(year)),
+            ("sex".into(), Column::from_str_vec(sex)),
+            ("births".into(), Column::from_i64(births)),
+        ])
+        .unwrap(),
+        vec![],
+    )]
+}
+
+const BIRTH_SRC: &str = r#"
+@pytond(pivot_values={'sex': ['F', 'M']})
+def birth_analysis(births):
+    pv = births.pivot_table(index='year', columns='sex', values='births', aggfunc='sum')
+    pv['total'] = pv.F + pv.M
+    pv['f_share'] = pv.F / pv.total
+    big = pv[pv.total > 20000]
+    return big.sort_values(by=['year'])
+"#;
+
+fn birth_baseline(tables: &Tables) -> Result<Relation> {
+    let births = DataFrame::from_relation(&tables[0].1);
+    let mut pv = births.pivot_table("year", "sex", "births", AggOp::Sum)?;
+    let total = pv.col("F")?.add(pv.col("M")?)?.rename("total");
+    pv.insert(total)?;
+    let share = pv
+        .col("F")?
+        .map_numeric(|x| x)?
+        .div(&pv.col("total")?.map_numeric(|x| x)?)?
+        .rename("f_share");
+    pv.insert(share)?;
+    let big = pv.filter(&pv.col("total")?.gt_val(&Value::Int(20_000)))?;
+    Ok(big.sort_values(&[("year", true)])?.to_relation())
+}
+
+/// The Birth Analysis workload.
+pub fn birth_analysis(scale: usize) -> Workload {
+    Workload {
+        name: "Birth Analysis",
+        tables: birth_tables(scale),
+        source: BIRTH_SRC,
+        baseline: birth_baseline,
+        ignore_id_cols: false,
+    }
+}
+
+// =====================================================================
+// N3: airline on-time performance (relational pipeline on wide data).
+// =====================================================================
+
+/// Synthetic airline on-time data.
+pub fn n3_tables(scale: usize) -> TableVec {
+    let n = 20_000 * scale;
+    let mut rng = StdRng::seed_from_u64(13);
+    const CARRIERS: &[&str] = &["AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9"];
+    let carrier: Vec<String> = (0..n)
+        .map(|_| CARRIERS[rng.gen_range(0..CARRIERS.len())].to_string())
+        .collect();
+    let dep_delay: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..180.0)).collect();
+    let arr_delay: Vec<f64> = dep_delay
+        .iter()
+        .map(|d| d + rng.gen_range(-30.0..30.0))
+        .collect();
+    let distance: Vec<f64> = (0..n).map(|_| rng.gen_range(100.0..3_000.0)).collect();
+    let cancelled: Vec<i64> = (0..n).map(|_| i64::from(rng.gen_bool(0.02))).collect();
+    vec![(
+        "flights",
+        Relation::new(vec![
+            ("carrier".into(), Column::from_str_vec(carrier)),
+            ("dep_delay".into(), Column::from_f64(dep_delay)),
+            ("arr_delay".into(), Column::from_f64(arr_delay)),
+            ("distance".into(), Column::from_f64(distance)),
+            ("cancelled".into(), Column::from_i64(cancelled)),
+        ])
+        .unwrap(),
+        vec![],
+    )]
+}
+
+const N3_SRC: &str = r#"
+@pytond
+def n3(flights):
+    f = flights[(flights.cancelled == 0) & (flights.dep_delay >= 0.0)]
+    f['gain'] = f.dep_delay - f.arr_delay
+    g = f.groupby(['carrier']).agg(mean_gain=('gain', 'mean'), n=('gain', 'count'), total_dist=('distance', 'sum'))
+    big = g[g.n > 10]
+    return big.sort_values(by=['mean_gain'], ascending=False)
+"#;
+
+fn n3_baseline(tables: &Tables) -> Result<Relation> {
+    let flights = DataFrame::from_relation(&tables[0].1);
+    let m = flights
+        .col("cancelled")?
+        .eq_val(&Value::Int(0))
+        .and(&flights.col("dep_delay")?.ge_val(&Value::Float(0.0)))?;
+    let mut f = flights.filter(&m)?;
+    let gain = f
+        .col("dep_delay")?
+        .sub(f.col("arr_delay")?)?
+        .rename("gain");
+    f.insert(gain)?;
+    let g = f.groupby(&["carrier"])?.agg(&[
+        ("gain", AggOp::Mean, "mean_gain"),
+        ("gain", AggOp::Count, "n"),
+        ("distance", AggOp::Sum, "total_dist"),
+    ])?;
+    let big = g.filter(&g.col("n")?.gt_val(&Value::Int(10)))?;
+    Ok(big.sort_values(&[("mean_gain", false)])?.to_relation())
+}
+
+/// The N3 workload.
+pub fn n3(scale: usize) -> Workload {
+    Workload {
+        name: "N3",
+        tables: n3_tables(scale),
+        source: N3_SRC,
+        baseline: n3_baseline,
+        ignore_id_cols: false,
+    }
+}
+
+// =====================================================================
+// N9: e-commerce event analytics.
+// =====================================================================
+
+/// Synthetic e-commerce events.
+pub fn n9_tables(scale: usize) -> TableVec {
+    let n = 15_000 * scale;
+    let mut rng = StdRng::seed_from_u64(17);
+    const TYPES: &[&str] = &["view", "cart", "purchase"];
+    const CATS: &[&str] = &[
+        "electronics",
+        "apparel",
+        "computers",
+        "appliances",
+        "auto",
+        "furniture",
+        "kids",
+        "sport",
+    ];
+    let event_type: Vec<String> = (0..n)
+        .map(|_| {
+            let r: f64 = rng.gen();
+            if r < 0.7 {
+                TYPES[0]
+            } else if r < 0.9 {
+                TYPES[1]
+            } else {
+                TYPES[2]
+            }
+            .to_string()
+        })
+        .collect();
+    let category: Vec<String> = (0..n)
+        .map(|_| CATS[rng.gen_range(0..CATS.len())].to_string())
+        .collect();
+    let price: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..2_000.0)).collect();
+    let quantity: Vec<i64> = (0..n).map(|_| rng.gen_range(1..5)).collect();
+    vec![(
+        "events",
+        Relation::new(vec![
+            ("event_type".into(), Column::from_str_vec(event_type)),
+            ("category".into(), Column::from_str_vec(category)),
+            ("price".into(), Column::from_f64(price)),
+            ("quantity".into(), Column::from_i64(quantity)),
+        ])
+        .unwrap(),
+        vec![],
+    )]
+}
+
+const N9_SRC: &str = r#"
+@pytond
+def n9(events):
+    e = events[events.event_type == 'purchase']
+    e['rev'] = e.price * e.quantity
+    g = e.groupby(['category']).agg(revenue=('rev', 'sum'), n=('rev', 'count'))
+    g['avg_value'] = g.revenue / g.n
+    return g.sort_values(by=['revenue'], ascending=False).head(10)
+"#;
+
+fn n9_baseline(tables: &Tables) -> Result<Relation> {
+    let events = DataFrame::from_relation(&tables[0].1);
+    let mut e =
+        events.filter(&events.col("event_type")?.eq_val(&Value::Str("purchase".into())))?;
+    let qf = e.col("quantity")?.map_numeric(|x| x)?;
+    let rev = e.col("price")?.mul(&qf)?.rename("rev");
+    e.insert(rev)?;
+    let mut g = e.groupby(&["category"])?.agg(&[
+        ("rev", AggOp::Sum, "revenue"),
+        ("rev", AggOp::Count, "n"),
+    ])?;
+    let avg = g
+        .col("revenue")?
+        .div(&g.col("n")?.map_numeric(|x| x)?)?
+        .rename("avg_value");
+    g.insert(avg)?;
+    Ok(g.sort_values(&[("revenue", false)])?.head(10).to_relation())
+}
+
+/// The N9 workload.
+pub fn n9(scale: usize) -> Workload {
+    Workload {
+        name: "N9",
+        tables: n9_tables(scale),
+        source: N9_SRC,
+        baseline: n9_baseline,
+        ignore_id_cols: false,
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: compile a Pandas-style function to SQL and run it in-database.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pytond_common::{Column, Relation};
+use pytond_repro::pytond::{Backend, Dialect, Pytond};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Load data into the embedded database (in the paper's setting the
+    //    data already lives in the DBMS).
+    let mut py = Pytond::new();
+    py.register_table(
+        "sales",
+        Relation::new(vec![
+            (
+                "region".into(),
+                Column::from_strs(&["eu", "us", "eu", "apac", "us", "eu"]),
+            ),
+            (
+                "amount".into(),
+                Column::from_f64(vec![10.0, 20.0, 5.0, 7.5, 12.5, 40.0]),
+            ),
+            (
+                "discount".into(),
+                Column::from_f64(vec![0.0, 0.1, 0.0, 0.2, 0.05, 0.1]),
+            ),
+        ])?,
+        &[],
+    );
+
+    // 2. Write the analysis exactly as a data scientist would in Pandas,
+    //    decorated with @pytond.
+    let source = r#"
+@pytond
+def revenue_by_region(sales):
+    s = sales[sales.amount > 6.0]
+    s['net'] = s.amount * (1 - s.discount)
+    g = s.groupby(['region']).agg(net_total=('net', 'sum'), n=('net', 'count'))
+    return g.sort_values(by=['net_total'], ascending=False)
+"#;
+
+    // 3. Inspect the pipeline stages.
+    let compiled = py.compile(source, Dialect::DuckDb)?;
+    println!("--- TondIR (optimized) ---\n{}", compiled.ir_text());
+    println!("--- generated SQL ---\n{}\n", compiled.sql);
+
+    // 4. Execute on any backend profile.
+    let result = py.execute(&compiled, &Backend::duckdb_sim(1))?;
+    println!("--- result ---\n{result}");
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Workspace-root package of the PyTond reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`; it re-exports the member crates
+//! for their convenience. The actual implementation lives in `crates/*`.
+
+pub use pytond;
+pub use pytond_common as common;
+pub use pytond_frame as frame;
+pub use pytond_ndarray as ndarray;
+pub use pytond_optimizer as optimizer;
+pub use pytond_sqldb as sqldb;
+pub use pytond_sqlgen as sqlgen;
+pub use pytond_tondir as tondir;
+pub use pytond_tpch as tpch;
+pub use pytond_translate as translate;
+pub use pytond_workloads as workloads;

@@ -1,0 +1,124 @@
+//! Differential testing for the hybrid workloads (Figures 5/6/8) and the
+//! covariance micro-benchmark (Figure 9): compiled-SQL results must match
+//! the interpreted frame/ndarray baselines.
+
+use pytond::{Backend, OptLevel, Pytond};
+use pytond_common::Relation;
+use pytond_ndarray::einsum;
+use pytond_workloads::{all_workloads, covariance as cov};
+
+fn register(w: &pytond_workloads::Workload) -> Pytond {
+    let mut py = Pytond::new();
+    for (name, rel, unique) in &w.tables {
+        let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
+        py.register_table(name, rel.clone(), &keys);
+    }
+    py
+}
+
+/// Strips generated id columns whose numbering conventions differ between
+/// the two paths (`row_number()` is 1-based; NumPy indices are 0-based).
+fn strip_ids(rel: &Relation) -> Relation {
+    let cols: Vec<(String, pytond_common::Column)> = rel
+        .columns()
+        .iter()
+        .filter(|(n, _)| n != "__id" && n != "row_id" && n != "col_id")
+        .cloned()
+        .collect();
+    Relation::new(cols).expect("filtered columns stay rectangular")
+}
+
+fn check(w: &pytond_workloads::Workload, backend: &Backend, level: OptLevel) {
+    let py = register(w);
+    let expected = (w.baseline)(&w.tables).unwrap_or_else(|e| panic!("{} baseline: {e}", w.name));
+    let actual = py
+        .run_at(w.source, backend, level)
+        .unwrap_or_else(|e| panic!("{} compile/run: {e}", w.name));
+    let (mut e, mut a) = (expected, actual);
+    if w.ignore_id_cols {
+        e = strip_ids(&e);
+        a = strip_ids(&a);
+    }
+    let (e, a) = (e.canonicalized(), a.canonicalized());
+    assert!(
+        e.approx_eq(&a, 1e-6),
+        "{} on {} at {}: {:?}\nexpected:\n{}\nactual:\n{}",
+        w.name,
+        backend.name(),
+        level.name(),
+        e.diff(&a, 1e-6),
+        e.to_table_string(5),
+        a.to_table_string(5)
+    );
+}
+
+#[test]
+fn all_workloads_match_baseline_at_o4() {
+    for w in all_workloads(1) {
+        check(&w, &Backend::duckdb_sim(1), OptLevel::O4);
+    }
+}
+
+#[test]
+fn workloads_agree_across_profiles_and_threads() {
+    for w in all_workloads(1) {
+        check(&w, &Backend::hyper_sim(1), OptLevel::O4);
+        check(&w, &Backend::duckdb_sim(4), OptLevel::O4);
+    }
+}
+
+#[test]
+fn optimization_levels_preserve_workload_semantics() {
+    for w in all_workloads(1) {
+        for level in OptLevel::all() {
+            check(&w, &Backend::duckdb_sim(1), level);
+        }
+    }
+}
+
+#[test]
+fn covariance_dense_and_sparse_paths_match_numpy() {
+    for sparsity in [1.0, 0.1, 0.001] {
+        let m = cov::gen_matrix(500, 8, sparsity, 5);
+        let reference = einsum("ij,ik->jk", &[&m, &m]).unwrap();
+        // Dense path.
+        let mut py = Pytond::new();
+        py.register_table("m", cov::dense_relation(&m), &[&["__id"]]);
+        let dense = py
+            .run(cov::covariance_dense_source(), &Backend::duckdb_sim(1))
+            .unwrap();
+        for j in 0..8 {
+            for k in 0..8 {
+                let cell = dense.get(j, &format!("c{k}")).unwrap().as_f64().unwrap();
+                let want = reference.get(&[j, k]);
+                assert!(
+                    (cell - want).abs() < 1e-6,
+                    "dense ({j},{k}): {cell} vs {want} at sparsity {sparsity}"
+                );
+            }
+        }
+        // Sparse (COO) path: result rows exist only for non-zero cells.
+        let mut py = Pytond::new();
+        py.register_table("m", cov::sparse_relation(&m), &[]);
+        let sparse = py
+            .run(cov::covariance_sparse_source(), &Backend::duckdb_sim(1))
+            .unwrap();
+        let mut seen = std::collections::HashMap::new();
+        for i in 0..sparse.num_rows() {
+            let r = sparse.get(i, "row_id").unwrap().as_i64().unwrap() as usize;
+            let c = sparse.get(i, "col_id").unwrap().as_i64().unwrap() as usize;
+            let v = sparse.get(i, "val").unwrap().as_f64().unwrap();
+            seen.insert((r, c), v);
+        }
+        for j in 0..8 {
+            for k in 0..8 {
+                let want = reference.get(&[j, k]);
+                let got = seen.get(&(j, k)).copied().unwrap_or(0.0);
+                assert!(
+                    (got - want).abs() < 1e-6,
+                    "sparse ({j},{k}): {got} vs {want} at sparsity {sparsity}"
+                );
+            }
+        }
+    }
+}

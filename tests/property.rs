@@ -1,0 +1,116 @@
+//! Property-based differential tests (proptest): randomly generated
+//! filter/sort/aggregate pipelines must agree between the compiled SQL path
+//! and the interpreted DataFrame baseline, and the engine must agree with
+//! itself across profiles and thread counts.
+
+use proptest::prelude::*;
+use pytond::{Backend, OptLevel, Pytond};
+use pytond_common::{Column, Relation, Value};
+use pytond_frame::{AggOp, DataFrame};
+
+fn table(rows: &[(i64, f64, u8)]) -> Relation {
+    Relation::new(vec![
+        (
+            "k".into(),
+            Column::from_i64(rows.iter().map(|(k, _, _)| *k).collect()),
+        ),
+        (
+            "v".into(),
+            Column::from_f64(rows.iter().map(|(_, v, _)| *v).collect()),
+        ),
+        (
+            "tag".into(),
+            Column::from_str_vec(
+                rows.iter()
+                    .map(|(_, _, t)| format!("t{}", t % 4))
+                    .collect(),
+            ),
+        ),
+    ])
+    .expect("rectangular")
+}
+
+fn instance(rel: &Relation) -> Pytond {
+    let mut py = Pytond::new();
+    py.register_table("t", rel.clone(), &[]);
+    py
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// filter(threshold) → groupby(tag).sum/count → sort: SQL path ≡ frame path.
+    #[test]
+    fn filter_group_sort_agree(
+        rows in prop::collection::vec((0i64..50, -100.0f64..100.0, 0u8..4), 1..200),
+        threshold in -50i64..50,
+    ) {
+        let rel = table(&rows);
+        let py = instance(&rel);
+        let source = format!(
+            "@pytond\ndef q(t):\n    f = t[t.k > {threshold}]\n    g = f.groupby(['tag']).agg(s=('v', 'sum'), n=('v', 'count'))\n    return g.sort_values(by=['tag'])\n"
+        );
+        let compiled = py.run(&source, &Backend::duckdb_sim(1)).unwrap();
+
+        let df = DataFrame::from_relation(&rel);
+        let f = df.filter(&df.col("k").unwrap().gt_val(&Value::Int(threshold))).unwrap();
+        let g = f
+            .groupby(&["tag"]).unwrap()
+            .agg(&[("v", AggOp::Sum, "s"), ("v", AggOp::Count, "n")]).unwrap();
+        let expected = g.sort_values(&[("tag", true)]).unwrap().to_relation();
+
+        prop_assert!(
+            expected.canonicalized().approx_eq(&compiled.canonicalized(), 1e-6),
+            "diff: {:?}", expected.diff(&compiled, 1e-6)
+        );
+    }
+
+    /// Every optimization level and profile produces identical results.
+    #[test]
+    fn levels_and_profiles_agree(
+        rows in prop::collection::vec((0i64..20, -10.0f64..10.0, 0u8..4), 1..100),
+    ) {
+        let rel = table(&rows);
+        let py = instance(&rel);
+        let source = "@pytond\ndef q(t):\n    f = t[(t.k > 3) & (t.v < 5.0)]\n    f['w'] = f.v * 2 + 1\n    return f.sort_values(by=['k', 'v'])\n";
+        let reference = py.run_at(source, &Backend::duckdb_sim(1), OptLevel::O0).unwrap();
+        for level in OptLevel::all() {
+            for backend in [Backend::duckdb_sim(1), Backend::hyper_sim(4)] {
+                let out = py.run_at(source, &backend, level).unwrap();
+                prop_assert!(
+                    reference.canonicalized().approx_eq(&out.canonicalized(), 1e-9),
+                    "{} on {} diverged", level.name(), backend.name()
+                );
+            }
+        }
+    }
+
+    /// Join + isin against a second random table.
+    #[test]
+    fn join_and_isin_agree(
+        rows in prop::collection::vec((0i64..30, -10.0f64..10.0, 0u8..4), 1..120),
+        keys in prop::collection::vec(0i64..30, 1..40),
+    ) {
+        let rel = table(&rows);
+        let other = Relation::new(vec![
+            ("k".into(), Column::from_i64(keys.clone())),
+            ("w".into(), Column::from_f64(keys.iter().map(|&k| k as f64).collect())),
+        ]).unwrap();
+        let mut py = Pytond::new();
+        py.register_table("t", rel.clone(), &[]);
+        py.register_table("u", other.clone(), &[]);
+        let source = "@pytond\ndef q(t, u):\n    keep = t[t.k.isin(u['k'])]\n    return keep.sort_values(by=['k', 'v'])\n";
+        let compiled = py.run(source, &Backend::duckdb_sim(1)).unwrap();
+
+        let df = DataFrame::from_relation(&rel);
+        let udf = DataFrame::from_relation(&other);
+        let mask = df.col("k").unwrap().isin(udf.col("k").unwrap());
+        let expected = df.filter(&mask).unwrap()
+            .sort_values(&[("k", true), ("v", true)]).unwrap()
+            .to_relation();
+        prop_assert!(
+            expected.canonicalized().approx_eq(&compiled.canonicalized(), 1e-6),
+            "diff: {:?}", expected.diff(&compiled, 1e-6)
+        );
+    }
+}
