@@ -3,11 +3,11 @@
 //! benches provide statistically tracked samples for regression testing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use pytond::{Backend, OptLevel, Pytond};
 use pytond_bench::{tpch_instance, workload_instance, System};
 use pytond_ndarray::einsum;
 use pytond_workloads::covariance as cov;
+use std::time::Duration;
 
 const SF: f64 = 0.005;
 

@@ -13,9 +13,14 @@ fn main() {
         py.register_table(name, rel.clone(), &keys);
     }
     let backend = Backend::duckdb_sim(1);
-    let filter: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let filter: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     for q in all_queries() {
-        if !filter.is_empty() && !filter.contains(&q.id) { continue; }
+        if !filter.is_empty() && !filter.contains(&q.id) {
+            continue;
+        }
         eprint!("{} ... ", q.name);
         let t = std::time::Instant::now();
         match py.run(q.source, &backend) {
@@ -24,7 +29,11 @@ fn main() {
         }
         let t2 = std::time::Instant::now();
         match q.run_baseline(&data) {
-            Ok(rel) => eprintln!("   baseline ok {} rows in {:?}", rel.num_rows(), t2.elapsed()),
+            Ok(rel) => eprintln!(
+                "   baseline ok {} rows in {:?}",
+                rel.num_rows(),
+                t2.elapsed()
+            ),
             Err(e) => eprintln!("   baseline ERR {e}"),
         }
     }

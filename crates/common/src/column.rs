@@ -202,9 +202,7 @@ impl Column {
             idx: &[usize],
         ) -> (Vec<T>, Option<Vec<bool>>) {
             let out: Vec<T> = idx.iter().map(|&i| data[i].clone()).collect();
-            let v = valid
-                .as_ref()
-                .map(|v| idx.iter().map(|&i| v[i]).collect());
+            let v = valid.as_ref().map(|v| idx.iter().map(|&i| v[i]).collect());
             (out, v)
         }
         match self {
@@ -468,7 +466,10 @@ mod tests {
         assert_eq!(c.cast(DType::Float).unwrap().as_float(), &[1.0, 2.0]);
         let s = Column::from_strs(&["1994-01-01"]);
         let d = s.cast(DType::Date).unwrap();
-        assert_eq!(d.get(0), Value::Date(crate::date::parse("1994-01-01").unwrap()));
+        assert_eq!(
+            d.get(0),
+            Value::Date(crate::date::parse("1994-01-01").unwrap())
+        );
         assert_eq!(c.cast(DType::Str).unwrap().get(0), Value::Str("1".into()));
     }
 

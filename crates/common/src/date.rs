@@ -32,7 +32,10 @@ pub fn days_in_month(year: i32, month: u32) -> u32 {
 /// `i32` year range we care about.
 pub fn from_ymd(year: i32, month: u32, day: u32) -> i32 {
     debug_assert!((1..=12).contains(&month), "invalid month {month}");
-    debug_assert!(day >= 1 && day <= days_in_month(year, month), "invalid day {day}");
+    debug_assert!(
+        day >= 1 && day <= days_in_month(year, month),
+        "invalid day {day}"
+    );
     let y = i64::from(year) - i64::from(month <= 2);
     let era = if y >= 0 { y } else { y - 399 } / 400;
     let yoe = y - era * 400; // [0, 399]

@@ -67,10 +67,7 @@ impl Relation {
 
     /// Looks a column up by name.
     pub fn column(&self, name: &str) -> Option<&Column> {
-        self.cols
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| c)
+        self.cols.iter().find(|(n, _)| n == name).map(|(_, c)| c)
     }
 
     /// The `i`-th column.

@@ -190,15 +190,27 @@ mod tests {
 
     #[test]
     fn sql_cmp_mixed_numeric() {
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Float(1.5).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
     fn sql_cmp_date_vs_string_literal() {
         let d = Value::Date(date::parse("1994-06-01").unwrap());
-        assert_eq!(d.sql_cmp(&Value::Str("1994-01-01".into())), Some(Ordering::Greater));
-        assert_eq!(d.sql_cmp(&Value::Str("1995-01-01".into())), Some(Ordering::Less));
+        assert_eq!(
+            d.sql_cmp(&Value::Str("1994-01-01".into())),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            d.sql_cmp(&Value::Str("1995-01-01".into())),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]

@@ -166,12 +166,7 @@ impl Pytond {
     }
 
     /// Compiles at an explicit optimization level (Figure 10's ablation).
-    pub fn compile_at(
-        &self,
-        source: &str,
-        dialect: Dialect,
-        level: OptLevel,
-    ) -> Result<Compiled> {
+    pub fn compile_at(&self, source: &str, dialect: Dialect, level: OptLevel) -> Result<Compiled> {
         let raw_ir = pytond_translate::translate_source(source, &self.catalog)?;
         pytond_tondir::analysis::validate(&raw_ir, &self.catalog)?;
         let optimized_ir = pytond_optimizer::optimize(raw_ir.clone(), &self.catalog, level);
@@ -198,12 +193,7 @@ impl Pytond {
     }
 
     /// Compile at a level + execute (optimization ablations).
-    pub fn run_at(
-        &self,
-        source: &str,
-        backend: &Backend,
-        level: OptLevel,
-    ) -> Result<Relation> {
+    pub fn run_at(&self, source: &str, backend: &Backend, level: OptLevel) -> Result<Relation> {
         let compiled = self.compile_at(source, backend.dialect(), level)?;
         self.execute(&compiled, backend)
     }
@@ -287,12 +277,8 @@ mod tests {
     fn o4_produces_fewer_ctes_than_o0() {
         let py = instance();
         let src = "@pytond\ndef q(t):\n    a = t[t.v > 0]\n    b = a[['k', 'v']]\n    c = b[b.v < 100]\n    return c\n";
-        let o0 = py
-            .compile_at(src, Dialect::DuckDb, OptLevel::O0)
-            .unwrap();
-        let o4 = py
-            .compile_at(src, Dialect::DuckDb, OptLevel::O4)
-            .unwrap();
+        let o0 = py.compile_at(src, Dialect::DuckDb, OptLevel::O0).unwrap();
+        let o4 = py.compile_at(src, Dialect::DuckDb, OptLevel::O4).unwrap();
         assert!(
             o4.optimized_ir.rules.len() < o0.optimized_ir.rules.len(),
             "O0={} O4={}",
@@ -305,7 +291,10 @@ mod tests {
     fn compiled_sql_is_inspectable() {
         let py = instance();
         let c = py
-            .compile("@pytond\ndef q(t):\n    return t[t.v > 2]\n", Dialect::DuckDb)
+            .compile(
+                "@pytond\ndef q(t):\n    return t[t.v > 2]\n",
+                Dialect::DuckDb,
+            )
             .unwrap();
         assert!(c.sql.starts_with("WITH"), "{}", c.sql);
         assert!(c.ir_text().contains(":-"), "{}", c.ir_text());

@@ -256,10 +256,7 @@ impl DataFrame {
         let mut out = DataFrame::new();
         for s in &self.cols {
             let v = func.apply_series(s);
-            out.insert(Series::new(
-                s.name.clone(),
-                Column::from_values(&[v])?,
-            ))?;
+            out.insert(Series::new(s.name.clone(), Column::from_values(&[v])?))?;
         }
         Ok(out)
     }
@@ -272,11 +269,7 @@ impl DataFrame {
     ) -> Result<Series> {
         let mut vals = Vec::with_capacity(self.num_rows());
         for i in 0..self.num_rows() {
-            let getter = |col: &str| {
-                self.col(col)
-                    .map(|s| s.get(i))
-                    .unwrap_or(Value::Null)
-            };
+            let getter = |col: &str| self.col(col).map(|s| s.get(i)).unwrap_or(Value::Null);
             vals.push(f(&getter));
         }
         Ok(Series::new(name, Column::from_values(&vals)?))
@@ -324,7 +317,10 @@ mod tests {
         let mask = d.col("a").unwrap().ge_val(&Value::Int(2));
         let f = d.filter(&mask).unwrap();
         assert_eq!(f.num_rows(), 2);
-        assert_eq!(f.col("b").unwrap().col.as_str_col(), &["x".to_string(), "z".into()]);
+        assert_eq!(
+            f.col("b").unwrap().col.as_str_col(),
+            &["x".to_string(), "z".into()]
+        );
     }
 
     #[test]

@@ -62,10 +62,7 @@ impl<'a> GroupBy<'a> {
     /// first-appearance order (Pandas `sort=False` semantics; callers sort
     /// explicitly when needed).
     pub fn new(df: &'a DataFrame, by: &[&str]) -> Result<GroupBy<'a>> {
-        let keys: Vec<&Series> = by
-            .iter()
-            .map(|k| df.col(k))
-            .collect::<Result<Vec<_>>>()?;
+        let keys: Vec<&Series> = by.iter().map(|k| df.col(k)).collect::<Result<Vec<_>>>()?;
         let mut map: FxHashMap<Vec<u8>, usize> = FxHashMap::default();
         let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         let mut buf = Vec::new();
@@ -166,7 +163,10 @@ mod tests {
         let g = d.groupby(&["k"]).unwrap();
         assert_eq!(g.num_groups(), 2);
         let r = g.agg(&[("v", AggOp::Sum, "total")]).unwrap();
-        assert_eq!(r.col("k").unwrap().col.as_str_col(), &["a".to_string(), "b".into()]);
+        assert_eq!(
+            r.col("k").unwrap().col.as_str_col(),
+            &["a".to_string(), "b".into()]
+        );
         assert_eq!(r.col("total").unwrap().col.as_int(), &[9, 6]);
     }
 

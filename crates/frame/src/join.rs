@@ -226,7 +226,15 @@ mod tests {
 
     #[test]
     fn inner_join_on_shared_name_keeps_one_key() {
-        let j = merge(&left(), &right(), JoinHow::Inner, &["id"], &["id"], ("_x", "_y")).unwrap();
+        let j = merge(
+            &left(),
+            &right(),
+            JoinHow::Inner,
+            &["id"],
+            &["id"],
+            ("_x", "_y"),
+        )
+        .unwrap();
         assert_eq!(j.columns(), vec!["id", "v", "w"]);
         assert_eq!(j.col("id").unwrap().col.as_int(), &[2, 3]);
         assert_eq!(j.col("w").unwrap().col.as_int(), &[20, 30]);
@@ -234,7 +242,15 @@ mod tests {
 
     #[test]
     fn left_join_fills_nulls() {
-        let j = merge(&left(), &right(), JoinHow::Left, &["id"], &["id"], ("_x", "_y")).unwrap();
+        let j = merge(
+            &left(),
+            &right(),
+            JoinHow::Left,
+            &["id"],
+            &["id"],
+            ("_x", "_y"),
+        )
+        .unwrap();
         assert_eq!(j.num_rows(), 3);
         assert_eq!(j.col("w").unwrap().get(0), Value::Null);
         assert_eq!(j.col("w").unwrap().get(1), Value::Int(20));
@@ -242,7 +258,15 @@ mod tests {
 
     #[test]
     fn right_join_mirrors() {
-        let j = merge(&left(), &right(), JoinHow::Right, &["id"], &["id"], ("_x", "_y")).unwrap();
+        let j = merge(
+            &left(),
+            &right(),
+            JoinHow::Right,
+            &["id"],
+            &["id"],
+            ("_x", "_y"),
+        )
+        .unwrap();
         assert_eq!(j.num_rows(), 3);
         // unmatched right row id=4 appears with null v but key filled
         let ids: Vec<Value> = (0..3).map(|i| j.col("id").unwrap().get(i)).collect();
@@ -253,7 +277,15 @@ mod tests {
 
     #[test]
     fn outer_join_is_union() {
-        let j = merge(&left(), &right(), JoinHow::Outer, &["id"], &["id"], ("_x", "_y")).unwrap();
+        let j = merge(
+            &left(),
+            &right(),
+            JoinHow::Outer,
+            &["id"],
+            &["id"],
+            ("_x", "_y"),
+        )
+        .unwrap();
         assert_eq!(j.num_rows(), 4);
     }
 
@@ -299,7 +331,15 @@ mod tests {
             ("w", Column::from_i64(vec![1, 2])),
         ])
         .unwrap();
-        let j = merge(&left(), &df2, JoinHow::Inner, &["id"], &["id"], ("_x", "_y")).unwrap();
+        let j = merge(
+            &left(),
+            &df2,
+            JoinHow::Inner,
+            &["id"],
+            &["id"],
+            ("_x", "_y"),
+        )
+        .unwrap();
         assert_eq!(j.num_rows(), 2);
         assert_eq!(j.col("w").unwrap().col.as_int(), &[1, 2]);
     }
@@ -310,7 +350,15 @@ mod tests {
         idc.push(Value::Int(1)).unwrap();
         idc.push_null();
         let df1 = DataFrame::from_cols(vec![("id", idc)]).unwrap();
-        let j = merge(&df1, &right(), JoinHow::Left, &["id"], &["id"], ("_x", "_y")).unwrap();
+        let j = merge(
+            &df1,
+            &right(),
+            JoinHow::Left,
+            &["id"],
+            &["id"],
+            ("_x", "_y"),
+        )
+        .unwrap();
         assert_eq!(j.num_rows(), 2);
         assert_eq!(j.col("w").unwrap().get(1), Value::Null);
     }

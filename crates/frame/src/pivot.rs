@@ -99,7 +99,10 @@ mod tests {
         .unwrap();
         let p = pivot_table(&df, "a", "b", "c", AggOp::Sum).unwrap();
         assert_eq!(p.columns(), vec!["a", "v1", "v2", "v3"]);
-        assert_eq!(p.col("a").unwrap().col.as_str_col(), &["x".to_string(), "y".into(), "z".into()]);
+        assert_eq!(
+            p.col("a").unwrap().col.as_str_col(),
+            &["x".to_string(), "y".into(), "z".into()]
+        );
         let get = |r: usize, c: &str| p.col(c).unwrap().get(r);
         // x: v1=10 v2=60 v3=0 ; y: v1=60 v2=0 v3=70 ; z: v1=0 v2=70 v3=0
         assert_eq!(get(0, "v1"), Value::Int(10));

@@ -167,7 +167,11 @@ impl Series {
 
     // ---------------- comparisons ----------------
 
-    fn compare(&self, other: impl Fn(usize) -> Value, f: impl Fn(std::cmp::Ordering) -> bool) -> Series {
+    fn compare(
+        &self,
+        other: impl Fn(usize) -> Value,
+        f: impl Fn(std::cmp::Ordering) -> bool,
+    ) -> Series {
         let mut out = Vec::with_capacity(self.len());
         for i in 0..self.len() {
             let v = self.get(i).sql_cmp(&other(i)).map(&f).unwrap_or(false);
@@ -354,7 +358,12 @@ impl Series {
         let data: Vec<String> = match &self.col {
             Column::Str(d, _) => d
                 .iter()
-                .map(|s| s.chars().skip(start).take(stop.saturating_sub(start)).collect())
+                .map(|s| {
+                    s.chars()
+                        .skip(start)
+                        .take(stop.saturating_sub(start))
+                        .collect()
+                })
                 .collect(),
             _ => return Err(Error::Data(".str accessor requires strings".into())),
         };
@@ -500,7 +509,7 @@ impl Series {
     pub fn all(&self) -> bool {
         match &self.col {
             Column::Bool(d, _) => d.iter().all(|&b| b),
-            _ => (0..self.len()).all(|i| self.get(i).as_f64().map_or(false, |x| x != 0.0)),
+            _ => (0..self.len()).all(|i| self.get(i).as_f64().is_some_and(|x| x != 0.0)),
         }
     }
 
@@ -508,7 +517,7 @@ impl Series {
     pub fn any(&self) -> bool {
         match &self.col {
             Column::Bool(d, _) => d.iter().any(|&b| b),
-            _ => (0..self.len()).any(|i| self.get(i).as_f64().map_or(false, |x| x != 0.0)),
+            _ => (0..self.len()).any(|i| self.get(i).as_f64().is_some_and(|x| x != 0.0)),
         }
     }
 
@@ -517,7 +526,7 @@ impl Series {
         (0..self.len())
             .filter(|&i| match self.get(i) {
                 Value::Bool(b) => b,
-                v => v.as_f64().map_or(false, |x| x != 0.0),
+                v => v.as_f64().is_some_and(|x| x != 0.0),
             })
             .collect()
     }

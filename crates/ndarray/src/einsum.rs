@@ -62,11 +62,18 @@ impl Spec {
         }
         Ok(Spec { inputs, output })
     }
+}
 
+impl std::fmt::Display for Spec {
     /// Canonical string form.
-    pub fn to_string(&self) -> String {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let ins: Vec<String> = self.inputs.iter().map(|i| i.iter().collect()).collect();
-        format!("{}->{}", ins.join(","), self.output.iter().collect::<String>())
+        write!(
+            f,
+            "{}->{}",
+            ins.join(","),
+            self.output.iter().collect::<String>()
+        )
     }
 }
 
@@ -278,8 +285,18 @@ fn binary_bmm(
     let (nb, nm, nn, nk) = (size(&batch), size(&left), size(&right), size(&contract));
 
     // Permute A to [batch, left, contract] and B to [batch, contract, right].
-    let a_perm = permuted(a, a_labels, &[&batch[..], &left[..], &contract[..]].concat(), dims)?;
-    let b_perm = permuted(b, b_labels, &[&batch[..], &contract[..], &right[..]].concat(), dims)?;
+    let a_perm = permuted(
+        a,
+        a_labels,
+        &[&batch[..], &left[..], &contract[..]].concat(),
+        dims,
+    )?;
+    let b_perm = permuted(
+        b,
+        b_labels,
+        &[&batch[..], &contract[..], &right[..]].concat(),
+        dims,
+    )?;
 
     let mut out = vec![0.0; nb * nm * nn];
     for bi in 0..nb {
@@ -329,9 +346,10 @@ fn permuted(
         let src = op.offset(&idx);
         let mut dst = 0usize;
         for (ti, &tc) in target.iter().enumerate() {
-            let pos = labels.iter().position(|&l| l == tc).ok_or_else(|| {
-                Error::Data(format!("permutation target index '{tc}' missing"))
-            })?;
+            let pos = labels
+                .iter()
+                .position(|&l| l == tc)
+                .ok_or_else(|| Error::Data(format!("permutation target index '{tc}' missing")))?;
             dst = dst * tshape[ti] + idx[pos];
         }
         out[dst] = op.data()[src];
@@ -379,7 +397,7 @@ fn binary_general(
 
 /// Odometer increment; `false` when the space is exhausted.
 fn advance(idx: &mut [usize], sizes: &[usize]) -> bool {
-    if sizes.iter().any(|&s| s == 0) {
+    if sizes.contains(&0) {
         return false;
     }
     for i in (0..idx.len()).rev() {
@@ -492,7 +510,10 @@ mod tests {
     #[test]
     fn hadamard_product() {
         let a = m23();
-        close(&einsum("ij,ij->ij", &[&a, &a]).unwrap(), &a.mul(&a).unwrap());
+        close(
+            &einsum("ij,ij->ij", &[&a, &a]).unwrap(),
+            &a.mul(&a).unwrap(),
+        );
     }
 
     #[test]

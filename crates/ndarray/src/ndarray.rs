@@ -139,8 +139,8 @@ impl NdArray {
             }
             1 => {
                 let mut out = vec![0.0; r];
-                for i in 0..r {
-                    out[i] = self.data[i * c..(i + 1) * c].iter().sum();
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = self.data[i * c..(i + 1) * c].iter().sum();
                 }
                 NdArray::from_vec(vec![r], out)
             }

@@ -84,10 +84,7 @@ fn shrink_accesses(atoms: &mut [Atom], needed: &FxHashMap<String, Vec<usize>>) {
 /// Computes, per derived relation, the head-column positions any consumer
 /// still needs. Returns `None` when nothing can be pruned. Base tables are
 /// never pruned (their schema is fixed in the database).
-fn needed_positions(
-    program: &Program,
-    catalog: &Catalog,
-) -> Option<FxHashMap<String, Vec<usize>>> {
+fn needed_positions(program: &Program, catalog: &Catalog) -> Option<FxHashMap<String, Vec<usize>>> {
     let mut needed: FxHashMap<String, FxHashSet<usize>> = FxHashMap::default();
     let out_rel = program.output_relation()?.to_string();
     // The program output keeps every column.
@@ -129,11 +126,7 @@ fn needed_positions(
     any_shrinks.then_some(out)
 }
 
-fn mark_body(
-    atoms: &[Atom],
-    rule: &Rule,
-    needed: &mut FxHashMap<String, FxHashSet<usize>>,
-) {
+fn mark_body(atoms: &[Atom], rule: &Rule, needed: &mut FxHashMap<String, FxHashSet<usize>>) {
     // A bound variable is "live" when it appears in the rule's used set or in
     // more than one access position (join variable).
     let used = analysis::used_vars(rule);

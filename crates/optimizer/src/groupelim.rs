@@ -148,7 +148,10 @@ mod tests {
         let out = eliminate_group_aggregates(p, &catalog());
         assert!(matches!(
             &out.rules[0].body.atoms[1],
-            Atom::Assign { term: Term::Const(pytond_tondir::Const::Int(1)), .. }
+            Atom::Assign {
+                term: Term::Const(pytond_tondir::Const::Int(1)),
+                ..
+            }
         ));
     }
 

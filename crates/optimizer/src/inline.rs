@@ -37,10 +37,8 @@ pub fn is_flow_breaker(rule: &Rule, is_sink: bool) -> bool {
                     return true;
                 }
             }
-            Atom::Pred(term) => {
-                if term.contains_agg() {
-                    return true;
-                }
+            Atom::Pred(term) if term.contains_agg() => {
+                return true;
             }
             _ => {}
         }
@@ -93,14 +91,13 @@ fn consumer_is_plain_access(program: &Program, rel: &str) -> bool {
                 Atom::Rel { rel: r, alias, .. } if r == rel => {
                     return !outer_aliases.contains(&alias.as_str());
                 }
-                Atom::Exists { body, .. } => {
+                Atom::Exists { body, .. }
                     if body
                         .atoms
                         .iter()
-                        .any(|a| matches!(a, Atom::Rel { rel: r, .. } if r == rel))
-                    {
-                        return false;
-                    }
+                        .any(|a| matches!(a, Atom::Rel { rel: r, .. } if r == rel)) =>
+                {
+                    return false;
                 }
                 _ => {}
             }
@@ -112,9 +109,11 @@ fn consumer_is_plain_access(program: &Program, rel: &str) -> bool {
 /// Replaces the consumer's access to `producer.head.rel` with the producer's
 /// body, renaming variables to avoid capture. Returns `true` on success.
 fn splice(consumer: &mut Rule, producer: &Rule, splice_id: usize) -> bool {
-    let pos = consumer.body.atoms.iter().position(
-        |a| matches!(a, Atom::Rel { rel, .. } if *rel == producer.head.rel),
-    );
+    let pos = consumer
+        .body
+        .atoms
+        .iter()
+        .position(|a| matches!(a, Atom::Rel { rel, .. } if *rel == producer.head.rel));
     let Some(pos) = pos else {
         return false;
     };
@@ -127,9 +126,8 @@ fn splice(consumer: &mut Rule, producer: &Rule, splice_id: usize) -> bool {
     for ((_, hv), cv) in producer.head.cols.iter().zip(&vars) {
         mapping.insert(hv.clone(), cv.clone());
     }
-    let taken: std::collections::HashSet<String> = analysis::defined_vars(&consumer.body)
-        .into_iter()
-        .collect();
+    let taken: std::collections::HashSet<String> =
+        analysis::defined_vars(&consumer.body).into_iter().collect();
     let mut fresh_counter = 0usize;
     let mut fresh = |base: &str, taken: &std::collections::HashSet<String>| -> String {
         loop {
@@ -140,9 +138,7 @@ fn splice(consumer: &mut Rule, producer: &Rule, splice_id: usize) -> bool {
             }
         }
     };
-    let mut map_var = |v: &str,
-                       mapping: &mut FxHashMap<String, String>|
-     -> String {
+    let mut map_var = |v: &str, mapping: &mut FxHashMap<String, String>| -> String {
         if let Some(m) = mapping.get(v) {
             return m.clone();
         }
@@ -204,10 +200,7 @@ fn rename_atom_clone(
                     .map(|a| rename_atom_clone(a, rename, splice_id))
                     .collect(),
             ),
-            keys: keys
-                .iter()
-                .map(|(o, i)| (rename(o), rename(i)))
-                .collect(),
+            keys: keys.iter().map(|(o, i)| (rename(o), rename(i))).collect(),
             negated: *negated,
         },
         Atom::OuterJoin {
@@ -325,10 +318,7 @@ mod tests {
                 rule(head("v1", &["a"]), vec![rel("r", "r", &["a"])]),
                 rule(
                     head("out", &["x"]),
-                    vec![
-                        rel("v1", "t1", &["x"]),
-                        rel("v1", "t2", &["x"]),
-                    ],
+                    vec![rel("v1", "t1", &["x"]), rel("v1", "t2", &["x"])],
                 ),
             ],
         };
@@ -345,7 +335,10 @@ mod tests {
                     head("v1", &["y"]),
                     vec![
                         rel("r", "r", &["a"]),
-                        assign("tmp", Term::bin(ScalarOp::Add, Term::var("a"), Term::int(1))),
+                        assign(
+                            "tmp",
+                            Term::bin(ScalarOp::Add, Term::var("a"), Term::int(1)),
+                        ),
                         assign("y", Term::var("tmp")),
                     ],
                 ),
@@ -354,7 +347,10 @@ mod tests {
                     vec![
                         rel("v1", "v1", &["w"]),
                         rel("s", "s", &["tmp"]),
-                        assign("z", Term::bin(ScalarOp::Add, Term::var("w"), Term::var("tmp"))),
+                        assign(
+                            "z",
+                            Term::bin(ScalarOp::Add, Term::var("w"), Term::var("tmp")),
+                        ),
                     ],
                 ),
             ],

@@ -11,11 +11,7 @@ use pytond_tondir::{Atom, Catalog, Program, Term};
 pub fn eliminate_self_joins(mut program: Program, catalog: &Catalog) -> Program {
     let unique = infer_with_schemas(&program, catalog);
     for rule in &mut program.rules {
-        loop {
-            let Some((first, second, renames)) = find_mergeable(rule, &unique) else {
-                break;
-            };
-            let _ = first;
+        while let Some((_first, second, renames)) = find_mergeable(rule, &unique) {
             // Rename the second access's variables throughout the rule, then
             // delete the access.
             rule.body.atoms.remove(second);
@@ -127,15 +123,16 @@ fn find_mergeable(
             if rel1 != rel2 || vars1.len() != vars2.len() {
                 continue;
             }
-            if outer_aliases.contains(&alias1.as_str())
-                || outer_aliases.contains(&alias2.as_str())
+            if outer_aliases.contains(&alias1.as_str()) || outer_aliases.contains(&alias2.as_str())
             {
                 continue;
             }
             // A shared (or equated) variable at the same unique position?
-            let mergeable = vars1.iter().zip(vars2.iter()).enumerate().any(|(p, (a, b))| {
-                joined(a, b) && unique.position_is_unique(rel1, p)
-            });
+            let mergeable = vars1
+                .iter()
+                .zip(vars2.iter())
+                .enumerate()
+                .any(|(p, (a, b))| joined(a, b) && unique.position_is_unique(rel1, p));
             if mergeable {
                 let mut renames = FxHashMap::default();
                 for (a, b) in vars1.iter().zip(vars2.iter()) {
@@ -254,9 +251,8 @@ mod tests {
 
     #[test]
     fn different_relations_untouched() {
-        let cat = catalog().with(
-            TableSchema::new("s", vec![("a".into(), DType::Int)]).with_unique(&["a"]),
-        );
+        let cat = catalog()
+            .with(TableSchema::new("s", vec![("a".into(), DType::Int)]).with_unique(&["a"]));
         let p = Program {
             rules: vec![rule(
                 head("r1", &["a"]),

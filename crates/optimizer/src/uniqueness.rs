@@ -129,7 +129,10 @@ impl UniqueSets {
 pub fn infer_with_schemas(program: &Program, catalog: &Catalog) -> SchemaUnique {
     let mut schemas: FxHashMap<String, Vec<String>> = FxHashMap::default();
     for t in catalog.tables() {
-        schemas.insert(t.name.clone(), t.cols.iter().map(|(c, _)| c.clone()).collect());
+        schemas.insert(
+            t.name.clone(),
+            t.cols.iter().map(|(c, _)| c.clone()).collect(),
+        );
     }
     let mut map: FxHashMap<String, Vec<Vec<String>>> = FxHashMap::default();
     for t in catalog.tables() {
@@ -335,10 +338,7 @@ mod tests {
     fn joins_are_conservative() {
         let r = rule(
             head("j", &["pk", "x"]),
-            vec![
-                rel("t", "t1", &["pk", "x"]),
-                rel("t", "t2", &["pk", "y"]),
-            ],
+            vec![rel("t", "t1", &["pk", "x"]), rel("t", "t2", &["pk", "y"])],
         );
         let p = Program { rules: vec![r] };
         let u = infer_with_schemas(&p, &catalog());

@@ -90,10 +90,7 @@ pub struct Decorator {
 impl Decorator {
     /// Looks up a keyword argument by name.
     pub fn kwarg(&self, name: &str) -> Option<&Expr> {
-        self.kwargs
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v)
+        self.kwargs.iter().find(|(k, _)| k == name).map(|(_, v)| v)
     }
 }
 

@@ -42,9 +42,9 @@ pub struct SpannedTok {
 
 /// All multi-character operators, longest first so maximal munch works.
 const OPERATORS: &[&str] = &[
-    "**=", "//=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "->", "**", "//", "<<", ">>",
-    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "@=", "(", ")", "[", "]", "{", "}", ",",
-    ":", ".", ";", "@", "=", "+", "-", "*", "/", "%", "&", "|", "^", "~", "<", ">",
+    "**=", "//=", "<<=", ">>=", "...", "==", "!=", "<=", ">=", "->", "**", "//", "<<", ">>", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "@=", "(", ")", "[", "]", "{", "}", ",", ":", ".",
+    ";", "@", "=", "+", "-", "*", "/", "%", "&", "|", "^", "~", "<", ">",
 ];
 
 /// Tokenizes `src`, returning the token stream ending in `Eof`.
@@ -272,7 +272,12 @@ impl<'a> Lexer<'a> {
                     self.bump();
                 }
                 b'.' if !is_float && matches!(self.peek2(), Some(b'0'..=b'9') | None)
-                    || c == b'.' && !is_float && !matches!(self.peek2(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.')) =>
+                    || c == b'.'
+                        && !is_float
+                        && !matches!(
+                            self.peek2(),
+                            Some(b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.')
+                        ) =>
                 {
                     is_float = true;
                     self.bump();

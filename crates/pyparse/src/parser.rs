@@ -24,6 +24,9 @@ struct Parser {
     pos: usize,
 }
 
+/// Positional arguments plus `name=value` keyword arguments of a call.
+type CallArgs = (Vec<Expr>, Vec<(String, Expr)>);
+
 impl Parser {
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
@@ -350,7 +353,8 @@ impl Parser {
             } else if self.check_kw("in") {
                 self.bump();
                 CmpOp::In
-            } else if self.check_kw("not") && matches!(self.peek_ahead(1), Tok::Name(n) if n == "in")
+            } else if self.check_kw("not")
+                && matches!(self.peek_ahead(1), Tok::Name(n) if n == "in")
             {
                 self.bump();
                 self.bump();
@@ -610,7 +614,7 @@ impl Parser {
         Ok(Expr::Slice { lower, upper, step })
     }
 
-    fn call_args(&mut self) -> Result<(Vec<Expr>, Vec<(String, Expr)>)> {
+    fn call_args(&mut self) -> Result<CallArgs> {
         self.expect_op("(")?;
         let mut args = Vec::new();
         let mut kwargs = Vec::new();
@@ -753,13 +757,7 @@ mod tests {
                 op: BinOp::Add,
                 right,
                 ..
-            } => assert!(matches!(
-                *right,
-                Expr::Binary {
-                    op: BinOp::Mul,
-                    ..
-                }
-            )),
+            } => assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. })),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -772,13 +770,7 @@ mod tests {
                 op: BinOp::Pow,
                 right,
                 ..
-            } => assert!(matches!(
-                *right,
-                Expr::Binary {
-                    op: BinOp::Pow,
-                    ..
-                }
-            )),
+            } => assert!(matches!(*right, Expr::Binary { op: BinOp::Pow, .. })),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -786,13 +778,7 @@ mod tests {
     #[test]
     fn chained_comparison_desugars_to_and() {
         let e = expr("1 < x < 10");
-        assert!(matches!(
-            e,
-            Expr::Binary {
-                op: BinOp::And,
-                ..
-            }
-        ));
+        assert!(matches!(e, Expr::Binary { op: BinOp::And, .. }));
     }
 
     #[test]
@@ -912,7 +898,10 @@ def q(df):
             other => panic!("unexpected {other:?}"),
         }
         let e = expr("[1, 2, 3]");
-        assert_eq!(e, Expr::List(vec![Expr::Int(1), Expr::Int(2), Expr::Int(3)]));
+        assert_eq!(
+            e,
+            Expr::List(vec![Expr::Int(1), Expr::Int(2), Expr::Int(3)])
+        );
     }
 
     #[test]

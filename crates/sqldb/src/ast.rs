@@ -338,9 +338,9 @@ impl SqlExpr {
             } => expr.any(f) || low.any(f) || high.any(f),
             SqlExpr::Case { arms, else_value } => {
                 arms.iter().any(|(c, v)| c.any(f) || v.any(f))
-                    || else_value.as_ref().map_or(false, |e| e.any(f))
+                    || else_value.as_ref().is_some_and(|e| e.any(f))
             }
-            SqlExpr::Agg { arg, .. } => arg.as_ref().map_or(false, |a| a.any(f)),
+            SqlExpr::Agg { arg, .. } => arg.as_ref().is_some_and(|a| a.any(f)),
             SqlExpr::Func { args, .. } => args.iter().any(|a| a.any(f)),
             SqlExpr::RowNumber { order_by } => order_by.iter().any(|(e, _)| e.any(f)),
             _ => false,

@@ -113,7 +113,7 @@ impl<'a> Binder<'a> {
                 SelectItem::Expr { expr, .. } => expr.contains_agg(),
                 _ => false,
             })
-            || s.having.as_ref().map_or(false, |h| h.contains_agg())
+            || s.having.as_ref().is_some_and(|h| h.contains_agg())
             || s.order_by.iter().any(|(e, _)| e.contains_agg());
 
         let (mut plan, mut items): (LogicalPlan, Vec<(BExpr, String)>) = if has_agg {
@@ -132,7 +132,7 @@ impl<'a> Binder<'a> {
                         for (i, f) in schema.fields.iter().enumerate() {
                             if f.qualifier
                                 .as_deref()
-                                .map_or(false, |fq| fq.eq_ignore_ascii_case(q))
+                                .is_some_and(|fq| fq.eq_ignore_ascii_case(q))
                             {
                                 items.push((BExpr::Col(i), f.name.clone()));
                             }
@@ -507,9 +507,7 @@ impl<'a> Binder<'a> {
         for item in &s.items {
             match item {
                 SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
-                    return Err(Error::Plan(
-                        "SELECT * is not valid with GROUP BY".into(),
-                    ));
+                    return Err(Error::Plan("SELECT * is not valid with GROUP BY".into()));
                 }
                 SelectItem::Expr { expr, alias } => {
                     let bexpr = self.bind_expr(expr, &in_schema, Some(&mut ctx))?;
@@ -568,11 +566,7 @@ impl<'a> Binder<'a> {
     /// Window-function handling for non-aggregate selects: each
     /// `row_number()` in an item appends a Window node and the expression
     /// becomes a reference to the appended column.
-    fn bind_with_windows(
-        &self,
-        expr: &SqlExpr,
-        plan: LogicalPlan,
-    ) -> Result<(BExpr, LogicalPlan)> {
+    fn bind_with_windows(&self, expr: &SqlExpr, plan: LogicalPlan) -> Result<(BExpr, LogicalPlan)> {
         if let SqlExpr::RowNumber { order_by } = expr {
             let keys = order_by
                 .iter()
@@ -745,10 +739,7 @@ impl<'a> Binder<'a> {
                 negated,
             } => {
                 let e = self.bind_expr(expr, schema, agg)?;
-                let vals = list
-                    .iter()
-                    .map(literal_value)
-                    .collect::<Result<Vec<_>>>()?;
+                let vals = list.iter().map(literal_value).collect::<Result<Vec<_>>>()?;
                 Ok(BExpr::InList {
                     e: Box::new(e),
                     list: vals,
@@ -803,9 +794,8 @@ impl<'a> Binder<'a> {
                 })
             }
             SqlExpr::Func { name, args } => {
-                let f = SFunc::parse(name).ok_or_else(|| {
-                    Error::Plan(format!("unknown function '{name}'"))
-                })?;
+                let f = SFunc::parse(name)
+                    .ok_or_else(|| Error::Plan(format!("unknown function '{name}'")))?;
                 let mut bound = Vec::with_capacity(args.len());
                 for a in args {
                     bound.push(self.bind_expr(a, schema, agg.as_deref_mut())?);
@@ -885,9 +875,8 @@ fn equi_pair(conj: &SqlExpr, left: &Schema, right: &Schema) -> Option<(BExpr, BE
             _ => None,
         }
     };
-    match (bind_side(a, left), bind_side(b, right)) {
-        (Some(l), Some(r)) => return Some((l, r)),
-        _ => {}
+    if let (Some(l), Some(r)) = (bind_side(a, left), bind_side(b, right)) {
+        return Some((l, r));
     }
     match (bind_side(b, left), bind_side(a, right)) {
         (Some(l), Some(r)) => Some((l, r)),
@@ -901,9 +890,7 @@ fn order_key_as_output(key: &SqlExpr, items: &[(BExpr, String)]) -> Option<usize
         name,
     } = key
     {
-        return items
-            .iter()
-            .position(|(_, n)| n.eq_ignore_ascii_case(name));
+        return items.iter().position(|(_, n)| n.eq_ignore_ascii_case(name));
     }
     None
 }
@@ -924,11 +911,7 @@ fn literal_value(e: &SqlExpr) -> Result<Value> {
         SqlExpr::Bool(b) => Value::Bool(*b),
         SqlExpr::Null => Value::Null,
         SqlExpr::DateLit(d) => Value::Date(*d),
-        other => {
-            return Err(Error::Plan(format!(
-                "expected a literal, found {other:?}"
-            )))
-        }
+        other => return Err(Error::Plan(format!("expected a literal, found {other:?}"))),
     })
 }
 
@@ -976,8 +959,8 @@ fn replace_scalar_subquery(e: SqlExpr, col: usize) -> SqlExpr {
         }
     }
     let mut done = false;
-    let out = rec(e, col, &mut done);
-    out
+
+    rec(e, col, &mut done)
 }
 
 /// Scalar-subquery cross joins name their appended column specially so the

@@ -289,11 +289,9 @@ mod tests {
 
     #[test]
     fn with_chain_and_reuse() {
-        let r = run(
-            "WITH big AS (SELECT a, b FROM t WHERE b > 15), \
+        let r = run("WITH big AS (SELECT a, b FROM t WHERE b > 15), \
              top AS (SELECT a FROM big WHERE a < 4) \
-             SELECT big.a, big.b FROM big, top WHERE big.a = top.a ORDER BY a",
-        );
+             SELECT big.a, big.b FROM big, top WHERE big.a = top.a ORDER BY a");
         assert_eq!(r.num_rows(), 2);
         assert_eq!(r.column("a").unwrap().as_int(), &[2, 3]);
     }
@@ -310,7 +308,10 @@ mod tests {
     fn distinct_and_limit() {
         let r = run("SELECT DISTINCT s FROM t ORDER BY s LIMIT 2");
         assert_eq!(r.num_rows(), 2);
-        assert_eq!(r.column("s").unwrap().as_str_col(), &["x".to_string(), "y".into()]);
+        assert_eq!(
+            r.column("s").unwrap().as_str_col(),
+            &["x".to_string(), "y".into()]
+        );
     }
 
     #[test]
@@ -327,9 +328,7 @@ mod tests {
 
     #[test]
     fn case_when_aggregation() {
-        let r = run(
-            "SELECT SUM(CASE WHEN s = 'x' THEN b ELSE 0 END) AS x_total FROM t",
-        );
+        let r = run("SELECT SUM(CASE WHEN s = 'x' THEN b ELSE 0 END) AS x_total FROM t");
         assert_eq!(r.column("x_total").unwrap().get(0), Value::Float(40.0));
     }
 
@@ -405,9 +404,8 @@ mod tests {
 
     #[test]
     fn full_outer_join() {
-        let r = run(
-            "SELECT t.a, u.w FROM t FULL OUTER JOIN u ON t.a = u.a ORDER BY t.a NULLS FIRST",
-        );
+        let r =
+            run("SELECT t.a, u.w FROM t FULL OUTER JOIN u ON t.a = u.a ORDER BY t.a NULLS FIRST");
         assert_eq!(r.num_rows(), 5);
         // Row with u.a = 5 has null t.a.
         assert_eq!(r.column("a").unwrap().get(0), Value::Null);

@@ -94,10 +94,7 @@ impl<'a> Executor<'a> {
                 let batch = match projection {
                     None => stored.batch.clone(),
                     Some(cols) => Batch {
-                        cols: cols
-                            .iter()
-                            .map(|&i| stored.batch.cols[i].clone())
-                            .collect(),
+                        cols: cols.iter().map(|&i| stored.batch.cols[i].clone()).collect(),
                     },
                 };
                 Ok(batch)
@@ -536,10 +533,7 @@ impl<'a> Executor<'a> {
         if self.opts.threads > 1 && n > 4 * self.opts.morsel {
             // Parallel chunk sort + k-way merge.
             let chunk = n.div_ceil(self.opts.threads);
-            let mut chunks: Vec<Vec<usize>> = idx
-                .chunks(chunk)
-                .map(|c| c.to_vec())
-                .collect();
+            let mut chunks: Vec<Vec<usize>> = idx.chunks(chunk).map(|c| c.to_vec()).collect();
             std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for c in &mut chunks {
@@ -655,7 +649,7 @@ struct GroupState {
 
 #[derive(Debug, Clone)]
 enum Acc {
-    SumI(i64, bool),          // value, saw-any
+    SumI(i64, bool), // value, saw-any
     SumF(f64, bool),
     Count(i64),
     Min(Option<Value>),
@@ -765,9 +759,9 @@ impl GroupState {
                 }
                 (Acc::Min(x), Acc::Min(y)) => {
                     if let Some(yv) = y {
-                        if x.as_ref().map_or(true, |xv| {
-                            yv.sql_cmp(xv) == Some(std::cmp::Ordering::Less)
-                        }) {
+                        if x.as_ref()
+                            .map_or(true, |xv| yv.sql_cmp(xv) == Some(std::cmp::Ordering::Less))
+                        {
                             *x = Some(yv.clone());
                         }
                     }

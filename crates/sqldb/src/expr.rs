@@ -131,7 +131,9 @@ impl LikePattern {
         fn rec(segs: &[LikeSeg], s: &str) -> bool {
             match segs.first() {
                 None => s.is_empty(),
-                Some(LikeSeg::Lit(l)) => s.strip_prefix(l.as_str()).map_or(false, |rest| rec(&segs[1..], rest)),
+                Some(LikeSeg::Lit(l)) => s
+                    .strip_prefix(l.as_str())
+                    .is_some_and(|rest| rec(&segs[1..], rest)),
                 Some(LikeSeg::One) => {
                     let mut chars = s.chars();
                     chars.next().is_some() && rec(&segs[1..], chars.as_str())
@@ -291,8 +293,14 @@ impl BExpr {
             BExpr::Col(i) => input.get(*i).copied().unwrap_or(DType::Float),
             BExpr::Lit(v) => v.dtype().unwrap_or(DType::Float),
             BExpr::Bin { op, l, r } => match op {
-                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-                | BinOp::And | BinOp::Or => DType::Bool,
+                BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or => DType::Bool,
                 BinOp::Concat => DType::Str,
                 BinOp::Div => DType::Float,
                 _ => {
@@ -328,11 +336,12 @@ impl BExpr {
                 }
                 SFunc::Substring | SFunc::Upper | SFunc::Lower => DType::Str,
                 SFunc::AddMonths | SFunc::AddYears | SFunc::AddDays => DType::Date,
-                SFunc::Coalesce => args
-                    .first()
-                    .map(|a| a.dtype(input))
-                    .unwrap_or(DType::Float),
-                SFunc::Abs | SFunc::Round | SFunc::Floor | SFunc::Ceil | SFunc::Sqrt
+                SFunc::Coalesce => args.first().map(|a| a.dtype(input)).unwrap_or(DType::Float),
+                SFunc::Abs
+                | SFunc::Round
+                | SFunc::Floor
+                | SFunc::Ceil
+                | SFunc::Sqrt
                 | SFunc::Power => match args.first().map(|a| a.dtype(input)) {
                     Some(DType::Int) if matches!(f, SFunc::Abs) => DType::Int,
                     _ => DType::Float,
@@ -386,9 +395,7 @@ impl BExpr {
             }
             BExpr::IsNull { e, negated } => {
                 let c = e.eval(batch, sel)?;
-                let out: Vec<bool> = (0..c.len())
-                    .map(|i| c.is_valid(i) == *negated)
-                    .collect();
+                let out: Vec<bool> = (0..c.len()).map(|i| c.is_valid(i) == *negated).collect();
                 Ok(Column::from_bool(out))
             }
             BExpr::Like {
@@ -441,12 +448,12 @@ impl BExpr {
                     .as_ref()
                     .map(|e| e.eval(batch, sel))
                     .transpose()?;
-                // Output type from the first non-null-typed column.
+                // Output type from the first branch value (ELSE included).
                 let dtype = vals
                     .iter()
                     .chain(els.iter())
                     .map(|c| c.dtype())
-                    .find(|d| *d != DType::Float || true)
+                    .next()
                     .unwrap_or(DType::Float);
                 let mut out = Column::with_capacity(dtype, n);
                 'rows: for i in 0..n {
@@ -670,7 +677,7 @@ fn eval_func(f: SFunc, cols: &[Column], n: usize) -> Result<Column> {
         },
         SFunc::Round => {
             let digits = match cols.get(1) {
-                Some(c) if c.len() > 0 => c.get(0).as_i64().unwrap_or(0),
+                Some(c) if !c.is_empty() => c.get(0).as_i64().unwrap_or(0),
                 _ => 0,
             } as i32;
             let scale = 10f64.powi(digits);
@@ -725,7 +732,10 @@ fn eval_func(f: SFunc, cols: &[Column], n: usize) -> Result<Column> {
                 .iter()
                 .enumerate()
                 .map(|(i, &x)| {
-                    let n = k.get(i.min(k.len().saturating_sub(1))).as_i64().unwrap_or(0) as i32;
+                    let n = k
+                        .get(i.min(k.len().saturating_sub(1)))
+                        .as_i64()
+                        .unwrap_or(0) as i32;
                     match f {
                         SFunc::AddMonths => date::add_months(x, n),
                         SFunc::AddYears => date::add_years(x, n),
@@ -881,7 +891,10 @@ mod tests {
             l: Box::new(BExpr::Col(0)),
             r: Box::new(BExpr::Lit(Value::Int(2))),
         };
-        assert_eq!(div.eval(&b, None).unwrap().as_float(), &[0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(
+            div.eval(&b, None).unwrap().as_float(),
+            &[0.5, 1.0, 1.5, 2.0]
+        );
     }
 
     #[test]
@@ -903,7 +916,10 @@ mod tests {
             l: Box::new(BExpr::Col(1)),
             r: Box::new(BExpr::Lit(Value::Float(25.0))),
         };
-        assert_eq!(gt.eval_mask(&b, None).unwrap(), vec![false, false, true, true]);
+        assert_eq!(
+            gt.eval_mask(&b, None).unwrap(),
+            vec![false, false, true, true]
+        );
     }
 
     #[test]

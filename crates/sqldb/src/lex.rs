@@ -36,8 +36,7 @@ impl Tok {
 }
 
 const OPERATORS: &[&str] = &[
-    "<>", "!=", "<=", ">=", "||", "(", ")", ",", ";", "+", "-", "*", "/", "%", "<", ">", "=",
-    ".",
+    "<>", "!=", "<=", ">=", "||", "(", ")", ",", ";", "+", "-", "*", "/", "%", "<", ">", "=", ".",
 ];
 
 /// Tokenizes SQL text.
@@ -119,9 +118,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Tok>> {
                 }
                 let text = std::str::from_utf8(&b[start..pos]).unwrap();
                 if is_float {
-                    toks.push(Tok::Float(text.parse().map_err(|_| {
-                        Error::Sql(format!("bad float literal '{text}'"))
-                    })?));
+                    toks.push(Tok::Float(
+                        text.parse()
+                            .map_err(|_| Error::Sql(format!("bad float literal '{text}'")))?,
+                    ));
                 } else {
                     toks.push(Tok::Int(text.parse().map_err(|_| {
                         Error::Sql(format!("bad integer literal '{text}'"))

@@ -305,7 +305,11 @@ fn prune(plan: LogicalPlan, required: &[usize]) -> (LogicalPlan, Vec<(usize, usi
             };
             let kept: Vec<usize> = req.iter().map(|&i| base[i]).collect();
             let fields = req.iter().map(|&i| schema.fields[i].clone()).collect();
-            let mapping = req.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let mapping = req
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
             (
                 LogicalPlan::Scan {
                     table,
@@ -321,7 +325,11 @@ fn prune(plan: LogicalPlan, required: &[usize]) -> (LogicalPlan, Vec<(usize, usi
                 .into_iter()
                 .map(|r| req.iter().map(|&i| r[i].clone()).collect())
                 .collect();
-            let mapping = req.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let mapping = req
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
             (
                 LogicalPlan::Values {
                     schema: Schema::new(fields),
@@ -369,7 +377,11 @@ fn prune(plan: LogicalPlan, required: &[usize]) -> (LogicalPlan, Vec<(usize, usi
                     e
                 })
                 .collect();
-            let out_map = req.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let out_map = req
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
             (
                 LogicalPlan::Project {
                     input: Box::new(new_input),
@@ -663,7 +675,7 @@ mod tests {
             input: Box::new(join),
             pred: BExpr::Bin {
                 op: BinOp::And,
-                l: Box::new(col_eq_lit(1, 5)),  // left side
+                l: Box::new(col_eq_lit(1, 5)), // left side
                 r: Box::new(col_eq_lit(3, 7)), // right side
             },
         };

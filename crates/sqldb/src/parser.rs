@@ -162,10 +162,8 @@ impl P {
                 s.items.push(SelectItem::QualifiedWildcard(q));
             } else {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw("AS") {
-                    Some(self.ident()?)
-                } else if matches!(self.peek(), Tok::Word { .. })
-                    && !self.peek_is_clause_keyword()
+                let alias = if self.eat_kw("AS")
+                    || (matches!(self.peek(), Tok::Word { .. }) && !self.peek_is_clause_keyword())
                 {
                     Some(self.ident()?)
                 } else {
@@ -224,10 +222,8 @@ impl P {
                 true
             };
             // NULLS FIRST/LAST accepted and ignored (engine does NULLS FIRST).
-            if self.eat_kw("NULLS") {
-                if !self.eat_kw("FIRST") {
-                    self.expect_kw("LAST")?;
-                }
+            if self.eat_kw("NULLS") && !self.eat_kw("FIRST") {
+                self.expect_kw("LAST")?;
             }
             keys.push((e, asc));
             if !self.eat_op(",") {
@@ -303,9 +299,9 @@ impl P {
             });
         }
         let name = self.ident()?;
-        let alias = if self.eat_kw("AS") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Tok::Word { .. }) && !self.peek_is_clause_keyword() {
+        let alias = if self.eat_kw("AS")
+            || (matches!(self.peek(), Tok::Word { .. }) && !self.peek_is_clause_keyword())
+        {
             Some(self.ident()?)
         } else {
             None
@@ -357,7 +353,9 @@ impl P {
             });
         }
         let negated = if self.peek().is_kw("NOT")
-            && (self.peek2().is_kw("LIKE") || self.peek2().is_kw("IN") || self.peek2().is_kw("BETWEEN"))
+            && (self.peek2().is_kw("LIKE")
+                || self.peek2().is_kw("IN")
+                || self.peek2().is_kw("BETWEEN"))
         {
             self.bump();
             true
@@ -512,10 +510,10 @@ impl P {
 
     fn word_expr(&mut self, upper: String, original: String, quoted: bool) -> Result<SqlExpr> {
         const RESERVED: &[&str] = &[
-            "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN",
-            "INNER", "LEFT", "RIGHT", "FULL", "CROSS", "ON", "AND", "OR", "IN", "IS",
-            "BETWEEN", "LIKE", "UNION", "AS", "ASC", "DESC", "DISTINCT", "WITH", "WHEN",
-            "THEN", "ELSE", "END", "VALUES",
+            "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER",
+            "LEFT", "RIGHT", "FULL", "CROSS", "ON", "AND", "OR", "IN", "IS", "BETWEEN", "LIKE",
+            "UNION", "AS", "ASC", "DESC", "DISTINCT", "WITH", "WHEN", "THEN", "ELSE", "END",
+            "VALUES",
         ];
         if !quoted && RESERVED.contains(&upper.as_str()) {
             return Err(Error::Sql(format!(
@@ -720,20 +718,17 @@ mod tests {
 
     #[test]
     fn with_chain() {
-        let q = parse_sql(
-            "WITH c1 AS (SELECT a FROM t), c2(x) AS (SELECT a FROM c1) SELECT * FROM c2",
-        )
-        .unwrap();
+        let q =
+            parse_sql("WITH c1 AS (SELECT a FROM t), c2(x) AS (SELECT a FROM c1) SELECT * FROM c2")
+                .unwrap();
         assert_eq!(q.ctes.len(), 2);
         assert_eq!(q.ctes[1].columns.as_deref(), Some(&["x".to_string()][..]));
     }
 
     #[test]
     fn joins_parse() {
-        let q = parse_sql(
-            "SELECT * FROM a LEFT JOIN b ON a.id = b.id INNER JOIN c ON b.k = c.k",
-        )
-        .unwrap();
+        let q = parse_sql("SELECT * FROM a LEFT JOIN b ON a.id = b.id INNER JOIN c ON b.k = c.k")
+            .unwrap();
         match &q.body.from[0] {
             TableRef::Join { kind, left, .. } => {
                 assert_eq!(*kind, JoinKind::Inner);
@@ -810,8 +805,8 @@ mod tests {
 
     #[test]
     fn in_list_and_subquery() {
-        let q = parse_sql("SELECT * FROM t WHERE a IN (1, 2) AND b NOT IN (SELECT x FROM s)")
-            .unwrap();
+        let q =
+            parse_sql("SELECT * FROM t WHERE a IN (1, 2) AND b NOT IN (SELECT x FROM s)").unwrap();
         let w = q.body.where_clause.unwrap();
         assert!(w.any(&mut |e| matches!(e, SqlExpr::InList { .. })));
         assert!(w.any(&mut |e| matches!(e, SqlExpr::InSubquery { negated: true, .. })));
@@ -871,9 +866,7 @@ mod tests {
     #[test]
     fn implicit_alias_without_as() {
         let q = parse_sql("SELECT r1.a FROM t r1").unwrap();
-        assert!(
-            matches!(&q.body.from[0], TableRef::Table { alias: Some(a), .. } if a == "r1")
-        );
+        assert!(matches!(&q.body.from[0], TableRef::Table { alias: Some(a), .. } if a == "r1"));
     }
 
     #[test]
@@ -885,7 +878,10 @@ mod tests {
 
     #[test]
     fn exists_subquery() {
-        let q = parse_sql("SELECT * FROM t WHERE EXISTS (SELECT x FROM s) AND NOT EXISTS (SELECT y FROM u)").unwrap();
+        let q = parse_sql(
+            "SELECT * FROM t WHERE EXISTS (SELECT x FROM s) AND NOT EXISTS (SELECT y FROM u)",
+        )
+        .unwrap();
         let w = q.body.where_clause.unwrap();
         assert!(w.any(&mut |e| matches!(e, SqlExpr::Exists { negated: false, .. })));
     }

@@ -184,7 +184,9 @@ impl LogicalPlan {
                 LogicalPlan::Scan { table, schema, .. } => {
                     out.push_str(&format!("Scan {table} [{} cols]\n", schema.len()));
                 }
-                LogicalPlan::Join { kind, left_keys, .. } => {
+                LogicalPlan::Join {
+                    kind, left_keys, ..
+                } => {
                     out.push_str(&format!("Join {kind:?} on {} keys\n", left_keys.len()));
                 }
                 LogicalPlan::Aggregate { group, aggs, .. } => {

@@ -71,7 +71,7 @@ impl Schema {
                     && qualifier.map_or(true, |q| {
                         f.qualifier
                             .as_deref()
-                            .map_or(false, |fq| fq.eq_ignore_ascii_case(q))
+                            .is_some_and(|fq| fq.eq_ignore_ascii_case(q))
                     })
             })
             .map(|(i, _)| i)
@@ -279,10 +279,7 @@ mod tests {
 
     #[test]
     fn relation_conversion_disambiguates_names() {
-        let b = Batch::from_columns(vec![
-            Column::from_i64(vec![1]),
-            Column::from_i64(vec![2]),
-        ]);
+        let b = Batch::from_columns(vec![Column::from_i64(vec![1]), Column::from_i64(vec![2])]);
         let s = Schema::new(vec![
             Field::qualified("t", "a", DType::Int),
             Field::qualified("s", "a", DType::Int),

@@ -20,6 +20,14 @@ use pytond_tondir::{Atom, Body, Catalog, Const, OuterKind, Program, Rule, Scalar
 use std::collections::HashMap;
 use std::fmt::Write;
 
+/// One pending outer-join marker: `(kind, left alias, right alias, ON pairs)`.
+type OuterMarker<'a> = (
+    &'a OuterKind,
+    &'a String,
+    &'a String,
+    &'a Vec<(String, String)>,
+);
+
 /// Target SQL dialect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Dialect {
@@ -55,12 +63,7 @@ pub fn generate_sql(program: &Program, catalog: &Catalog, dialect: Dialect) -> R
         };
         let (sql, extra_ctes) = gen.rule_to_sql(rule)?;
         ctes.extend(extra_ctes);
-        let col_list: Vec<String> = rule
-            .head
-            .cols
-            .iter()
-            .map(|(n, _)| quote_ident(n))
-            .collect();
+        let col_list: Vec<String> = rule.head.cols.iter().map(|(n, _)| quote_ident(n)).collect();
         ctes.push(format!(
             "{}({}) AS (\n{}\n)",
             quote_ident(&rule.head.rel),
@@ -72,8 +75,13 @@ pub fn generate_sql(program: &Program, catalog: &Catalog, dialect: Dialect) -> R
     }
     let last = program.rules.last().expect("non-empty");
     let mut out = String::new();
-    write!(out, "WITH {}\nSELECT * FROM {}", ctes.join(",\n"), quote_ident(&last.head.rel))
-        .unwrap();
+    write!(
+        out,
+        "WITH {}\nSELECT * FROM {}",
+        ctes.join(",\n"),
+        quote_ident(&last.head.rel)
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -85,19 +93,17 @@ fn indent(s: &str) -> String {
 }
 
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "by", "having", "order", "limit", "join", "inner",
-    "left", "right", "full", "cross", "on", "and", "or", "not", "in", "is", "between", "like",
-    "exists", "union", "as", "asc", "desc", "distinct", "with", "when", "then", "else", "end",
-    "values", "case", "null", "true", "false", "date", "cast", "interval", "sum", "min", "max",
-    "avg", "count",
+    "select", "from", "where", "group", "by", "having", "order", "limit", "join", "inner", "left",
+    "right", "full", "cross", "on", "and", "or", "not", "in", "is", "between", "like", "exists",
+    "union", "as", "asc", "desc", "distinct", "with", "when", "then", "else", "end", "values",
+    "case", "null", "true", "false", "date", "cast", "interval", "sum", "min", "max", "avg",
+    "count",
 ];
 
 /// Quotes an identifier when it is not a plain lower-case word.
 pub fn quote_ident(name: &str) -> String {
     let plain = !name.is_empty()
-        && name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !name.chars().next().unwrap().is_ascii_digit()
         && !RESERVED.contains(&name.to_lowercase().as_str());
     if plain {
@@ -124,8 +130,7 @@ impl<'a> RuleGen<'a> {
                 let rendered: Vec<String> = rows
                     .iter()
                     .map(|r| {
-                        let vals: Vec<String> =
-                            r.iter().map(|c| render_const(c)).collect();
+                        let vals: Vec<String> = r.iter().map(render_const).collect();
                         format!("({})", vals.join(", "))
                     })
                     .collect();
@@ -141,18 +146,13 @@ impl<'a> RuleGen<'a> {
         let mut from_items: Vec<String> = Vec::new();
         // Alias of each relation access for outer-join wiring.
         let mut alias_of: HashMap<String, usize> = HashMap::new(); // alias → from_items idx
-        let mut outer_markers: Vec<(&OuterKind, &String, &String, &Vec<(String, String)>)> =
-            Vec::new();
+        let mut outer_markers: Vec<OuterMarker<'_>> = Vec::new();
 
         for atom in &rule.body.atoms {
             match atom {
                 Atom::Rel { rel, alias, vars } => {
                     let cols = self.env.columns(rel).map_err(|e| {
-                        Error::CodeGen(format!(
-                            "rule '{}': {}",
-                            rule.head.rel,
-                            e.message()
-                        ))
+                        Error::CodeGen(format!("rule '{}': {}", rule.head.rel, e.message()))
                     })?;
                     if cols.len() != vars.len() {
                         return Err(Error::CodeGen(format!(
@@ -185,13 +185,11 @@ impl<'a> RuleGen<'a> {
                     let rendered: Vec<String> = rows
                         .iter()
                         .map(|r| {
-                            let vals: Vec<String> =
-                                r.iter().map(|c| render_const(c)).collect();
+                            let vals: Vec<String> = r.iter().map(render_const).collect();
                             format!("({})", vals.join(", "))
                         })
                         .collect();
-                    let col_list: Vec<String> =
-                        vars.iter().map(|v| quote_ident(v)).collect();
+                    let col_list: Vec<String> = vars.iter().map(|v| quote_ident(v)).collect();
                     extra_ctes.push(format!(
                         "{}({}) AS (\n  VALUES {}\n)",
                         quote_ident(&name),
@@ -222,7 +220,13 @@ impl<'a> RuleGen<'a> {
                 Atom::Pred(term) => {
                     let rendered = self.render_term(term, &bindings)?;
                     // Disjunctions must not leak into the AND chain unparenthesized.
-                    let rendered = if matches!(term, Term::Bin { op: ScalarOp::Or, .. }) {
+                    let rendered = if matches!(
+                        term,
+                        Term::Bin {
+                            op: ScalarOp::Or,
+                            ..
+                        }
+                    ) {
                         format!("({rendered})")
                     } else {
                         rendered
@@ -290,16 +294,15 @@ impl<'a> RuleGen<'a> {
             write!(sql, "\nGROUP BY {}", keys.join(", ")).unwrap();
         }
         if let Some(sort) = &rule.head.sort {
-            let keys: Vec<String> = sort
-                .iter()
-                .map(|(v, asc)| {
-                    let expr = bindings
-                        .get(v)
-                        .cloned()
-                        .ok_or_else(|| Error::CodeGen(format!("sort variable '{v}' unbound")))?;
-                    Ok(format!("{expr}{}", if *asc { " ASC" } else { " DESC" }))
-                })
-                .collect::<Result<_>>()?;
+            let keys: Vec<String> =
+                sort.iter()
+                    .map(|(v, asc)| {
+                        let expr = bindings.get(v).cloned().ok_or_else(|| {
+                            Error::CodeGen(format!("sort variable '{v}' unbound"))
+                        })?;
+                        Ok(format!("{expr}{}", if *asc { " ASC" } else { " DESC" }))
+                    })
+                    .collect::<Result<_>>()?;
             write!(sql, "\nORDER BY {}", keys.join(", ")).unwrap();
         }
         if let Some(n) = rule.head.limit {
@@ -312,7 +315,7 @@ impl<'a> RuleGen<'a> {
         &self,
         from_items: &[String],
         alias_of: &HashMap<String, usize>,
-        markers: &[(&OuterKind, &String, &String, &Vec<(String, String)>)],
+        markers: &[OuterMarker<'_>],
         bindings: &HashMap<String, String>,
     ) -> Result<String> {
         // Relations joined by markers are chained with JOIN syntax; all other
@@ -331,20 +334,18 @@ impl<'a> RuleGen<'a> {
                 OuterKind::Right => "RIGHT JOIN",
                 OuterKind::Full => "FULL OUTER JOIN",
             };
-            let conds: Vec<String> = on
-                .iter()
-                .map(|(l, r)| {
-                    let le = bindings
-                        .get(l)
-                        .cloned()
-                        .ok_or_else(|| Error::CodeGen(format!("join variable '{l}' unbound")))?;
-                    let re = bindings
-                        .get(r)
-                        .cloned()
-                        .ok_or_else(|| Error::CodeGen(format!("join variable '{r}' unbound")))?;
-                    Ok(format!("{le} = {re}"))
-                })
-                .collect::<Result<_>>()?;
+            let conds: Vec<String> =
+                on.iter()
+                    .map(|(l, r)| {
+                        let le = bindings.get(l).cloned().ok_or_else(|| {
+                            Error::CodeGen(format!("join variable '{l}' unbound"))
+                        })?;
+                        let re = bindings.get(r).cloned().ok_or_else(|| {
+                            Error::CodeGen(format!("join variable '{r}' unbound"))
+                        })?;
+                        Ok(format!("{le} = {re}"))
+                    })
+                    .collect::<Result<_>>()?;
             if ki == 0 {
                 write!(
                     chain,
@@ -388,9 +389,10 @@ impl<'a> RuleGen<'a> {
         for atom in &body.atoms {
             match atom {
                 Atom::Rel { rel, alias, vars } => {
-                    let cols = self.env.columns(rel).map_err(|e| {
-                        Error::CodeGen(e.message().to_string())
-                    })?;
+                    let cols = self
+                        .env
+                        .columns(rel)
+                        .map_err(|e| Error::CodeGen(e.message().to_string()))?;
                     let item = if alias == rel {
                         quote_ident(rel)
                     } else {
@@ -409,7 +411,13 @@ impl<'a> RuleGen<'a> {
                 }
                 Atom::Pred(t) => {
                     let rendered = self.render_term(t, &inner_bindings)?;
-                    let rendered = if matches!(t, Term::Bin { op: ScalarOp::Or, .. }) {
+                    let rendered = if matches!(
+                        t,
+                        Term::Bin {
+                            op: ScalarOp::Or,
+                            ..
+                        }
+                    ) {
                         format!("({rendered})")
                     } else {
                         rendered
@@ -543,12 +551,7 @@ impl<'a> RuleGen<'a> {
             },
             "substr" => match self.dialect {
                 Dialect::DuckDb => format!("substr({}, {}, {})", arg(0)?, arg(1)?, arg(2)?),
-                _ => format!(
-                    "SUBSTRING({} FROM {} FOR {})",
-                    arg(0)?,
-                    arg(1)?,
-                    arg(2)?
-                ),
+                _ => format!("SUBSTRING({} FROM {} FOR {})", arg(0)?, arg(1)?, arg(2)?),
             },
             "strlen" => match self.dialect {
                 Dialect::DuckDb => format!("length({})", arg(0)?),
@@ -698,7 +701,10 @@ mod tests {
             )],
         };
         let sql = generate_sql(&p, &catalog(), Dialect::DuckDb).unwrap();
-        assert!(sql.contains("const_rel_1(c0) AS (\n  VALUES (0), (1)\n)"), "{sql}");
+        assert!(
+            sql.contains("const_rel_1(c0) AS (\n  VALUES (0), (1)\n)"),
+            "{sql}"
+        );
         assert!(sql.contains("FROM r, const_rel_1"), "{sql}");
     }
 
@@ -822,11 +828,7 @@ mod tests {
                     assign(
                         "v",
                         Term::If {
-                            cond: Box::new(Term::bin(
-                                ScalarOp::Eq,
-                                Term::var("a"),
-                                Term::int(1),
-                            )),
+                            cond: Box::new(Term::bin(ScalarOp::Eq, Term::var("a"), Term::int(1))),
                             then: Box::new(Term::var("b")),
                             els: Box::new(Term::int(0)),
                         },

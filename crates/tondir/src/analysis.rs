@@ -194,10 +194,7 @@ mod tests {
     fn catalog() -> Catalog {
         Catalog::new().with(crate::catalog::TableSchema::new(
             "t",
-            vec![
-                ("a".into(), DType::Int),
-                ("b".into(), DType::Int),
-            ],
+            vec![("a".into(), DType::Int), ("b".into(), DType::Int)],
         ))
     }
 

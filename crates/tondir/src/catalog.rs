@@ -53,10 +53,7 @@ impl TableSchema {
 
     /// Looks up a column's type.
     pub fn col_type(&self, name: &str) -> Option<DType> {
-        self.cols
-            .iter()
-            .find(|(c, _)| c == name)
-            .map(|(_, t)| *t)
+        self.cols.iter().find(|(c, _)| c == name).map(|(_, t)| *t)
     }
 
     /// Position of a column.

@@ -535,10 +535,7 @@ mod tests {
     fn substitute_replaces_with_terms() {
         let mut t = Term::bin(ScalarOp::Add, Term::var("x"), Term::var("y"));
         t.substitute(&mut |v| (v == "x").then(|| Term::int(5)));
-        assert_eq!(
-            t,
-            Term::bin(ScalarOp::Add, Term::int(5), Term::var("y"))
-        );
+        assert_eq!(t, Term::bin(ScalarOp::Add, Term::int(5), Term::var("y")));
     }
 
     #[test]

@@ -43,13 +43,15 @@ pub fn print_rule(r: &Rule) -> String {
     if let Some(sort) = &r.head.sort {
         let keys: Vec<String> = sort
             .iter()
-            .map(|(v, asc)| {
-                if *asc {
-                    v.clone()
-                } else {
-                    format!("{v} desc")
-                }
-            })
+            .map(
+                |(v, asc)| {
+                    if *asc {
+                        v.clone()
+                    } else {
+                        format!("{v} desc")
+                    }
+                },
+            )
             .collect();
         write!(s, " sort({})", keys.join(", ")).unwrap();
     }
@@ -93,10 +95,7 @@ pub fn print_atom(a: &Atom) -> String {
             negated,
         } => {
             let inner: Vec<String> = body.atoms.iter().map(print_atom).collect();
-            let key_str: Vec<String> = keys
-                .iter()
-                .map(|(o, i)| format!("{o}={i}"))
-                .collect();
+            let key_str: Vec<String> = keys.iter().map(|(o, i)| format!("{o}={i}")).collect();
             format!(
                 "{}exists({}; {})",
                 if *negated { "not " } else { "" },
@@ -139,9 +138,9 @@ pub fn print_term(t: &Term) -> String {
             print_term(then),
             print_term(els)
         ),
-        Term::Bin { op, lhs, rhs } =>
-
-            format!("{} {} {}", paren(lhs), op.sql().to_lowercase(), paren(rhs)),
+        Term::Bin { op, lhs, rhs } => {
+            format!("{} {} {}", paren(lhs), op.sql().to_lowercase(), paren(rhs))
+        }
         Term::Not(t) => format!("not {}", paren(t)),
         Term::IsNull(t) => format!("isnull({})", print_term(t)),
     }

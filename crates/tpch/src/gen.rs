@@ -38,7 +38,13 @@ const NATIONS: &[(&str, i64)] = &[
     ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
-const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const SHIP_INSTRUCT: &[&str] = &[
@@ -54,23 +60,138 @@ const CONTAINER_SYL1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
 const CONTAINER_SYL2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const BRAND_DIGITS: usize = 5;
 const P_NAME_WORDS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
-    "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
-    "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty",
-    "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru",
-    "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
-    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
-    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "hotpink",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
 ];
 const COMMENT_WORDS: &[&str] = &[
-    "carefully", "quickly", "furiously", "slyly", "blithely", "deposits", "accounts", "packages",
-    "requests", "instructions", "theodolites", "platelets", "pinto", "beans", "foxes", "ideas",
-    "dependencies", "excuses", "asymptotes", "courts", "dolphins", "multipliers", "sauternes",
-    "warthogs", "frets", "dinos", "attainments", "regular", "express", "special", "pending",
-    "bold", "even", "final", "ironic", "silent", "unusual",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "deposits",
+    "accounts",
+    "packages",
+    "requests",
+    "instructions",
+    "theodolites",
+    "platelets",
+    "pinto",
+    "beans",
+    "foxes",
+    "ideas",
+    "dependencies",
+    "excuses",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sauternes",
+    "warthogs",
+    "frets",
+    "dinos",
+    "attainments",
+    "regular",
+    "express",
+    "special",
+    "pending",
+    "bold",
+    "even",
+    "final",
+    "ironic",
+    "silent",
+    "unusual",
 ];
 
 /// Generated TPC-H tables.
@@ -151,10 +272,7 @@ pub fn generate_seeded(sf: f64, seed: u64) -> TpchData {
 
     // region
     let region = Relation::new(vec![
-        (
-            "r_regionkey".into(),
-            Column::from_i64((0..5).collect()),
-        ),
+        ("r_regionkey".into(), Column::from_i64((0..5).collect())),
         ("r_name".into(), Column::from_strs(REGIONS)),
         (
             "r_comment".into(),
@@ -382,10 +500,7 @@ pub fn generate_seeded(sf: f64, seed: u64) -> TpchData {
             let (ret, status) = if receipt <= today {
                 all_f = false;
                 any_f = true;
-                (
-                    if rng.gen_bool(0.25) { "R" } else { "A" },
-                    "F",
-                )
+                (if rng.gen_bool(0.25) { "R" } else { "A" }, "F")
             } else {
                 ("N", "O")
             };

@@ -30,32 +30,36 @@ pub fn all_queries() -> Vec<Query> {
 
 /// One query by number (1–22).
 pub fn query(id: usize) -> Query {
-    let (name, source, baseline): (&'static str, &'static str, fn(&TpchData) -> Result<DataFrame>) =
-        match id {
-            1 => ("Q1", Q1_SRC, q1),
-            2 => ("Q2", Q2_SRC, q2),
-            3 => ("Q3", Q3_SRC, q3),
-            4 => ("Q4", Q4_SRC, q4),
-            5 => ("Q5", Q5_SRC, q5),
-            6 => ("Q6", Q6_SRC, q6),
-            7 => ("Q7", Q7_SRC, q7),
-            8 => ("Q8", Q8_SRC, q8),
-            9 => ("Q9", Q9_SRC, q9),
-            10 => ("Q10", Q10_SRC, q10),
-            11 => ("Q11", Q11_SRC, q11),
-            12 => ("Q12", Q12_SRC, q12),
-            13 => ("Q13", Q13_SRC, q13),
-            14 => ("Q14", Q14_SRC, q14),
-            15 => ("Q15", Q15_SRC, q15),
-            16 => ("Q16", Q16_SRC, q16),
-            17 => ("Q17", Q17_SRC, q17),
-            18 => ("Q18", Q18_SRC, q18),
-            19 => ("Q19", Q19_SRC, q19),
-            20 => ("Q20", Q20_SRC, q20),
-            21 => ("Q21", Q21_SRC, q21),
-            22 => ("Q22", Q22_SRC, q22),
-            other => panic!("no TPC-H query {other}"),
-        };
+    type Entry = (
+        &'static str,
+        &'static str,
+        fn(&TpchData) -> Result<DataFrame>,
+    );
+    let (name, source, baseline): Entry = match id {
+        1 => ("Q1", Q1_SRC, q1),
+        2 => ("Q2", Q2_SRC, q2),
+        3 => ("Q3", Q3_SRC, q3),
+        4 => ("Q4", Q4_SRC, q4),
+        5 => ("Q5", Q5_SRC, q5),
+        6 => ("Q6", Q6_SRC, q6),
+        7 => ("Q7", Q7_SRC, q7),
+        8 => ("Q8", Q8_SRC, q8),
+        9 => ("Q9", Q9_SRC, q9),
+        10 => ("Q10", Q10_SRC, q10),
+        11 => ("Q11", Q11_SRC, q11),
+        12 => ("Q12", Q12_SRC, q12),
+        13 => ("Q13", Q13_SRC, q13),
+        14 => ("Q14", Q14_SRC, q14),
+        15 => ("Q15", Q15_SRC, q15),
+        16 => ("Q16", Q16_SRC, q16),
+        17 => ("Q17", Q17_SRC, q17),
+        18 => ("Q18", Q18_SRC, q18),
+        19 => ("Q19", Q19_SRC, q19),
+        20 => ("Q20", Q20_SRC, q20),
+        21 => ("Q21", Q21_SRC, q21),
+        22 => ("Q22", Q22_SRC, q22),
+        other => panic!("no TPC-H query {other}"),
+    };
     Query {
         id,
         name,
@@ -106,7 +110,9 @@ def q1(lineitem):
 
 fn q1(d: &TpchData) -> Result<DataFrame> {
     let li = DataFrame::from_relation(&d.lineitem);
-    let mask = li.col("l_shipdate")?.le_val(&Value::Str("1998-09-02".into()));
+    let mask = li
+        .col("l_shipdate")?
+        .le_val(&Value::Str("1998-09-02".into()));
     let mut li = li.filter(&mask)?;
     let disc_price = revenue(&li)?.rename("disc_price");
     li.insert(disc_price.clone())?;
@@ -221,10 +227,17 @@ fn q3(d: &TpchData) -> Result<DataFrame> {
             .eq_val(&Value::Str("BUILDING".into())),
     )?;
     let orders = DataFrame::from_relation(&d.orders);
-    let o = orders.filter(&orders.col("o_orderdate")?.lt_val(&Value::Str("1995-03-15".into())))?;
+    let o = orders.filter(
+        &orders
+            .col("o_orderdate")?
+            .lt_val(&Value::Str("1995-03-15".into())),
+    )?;
     let lineitem = DataFrame::from_relation(&d.lineitem);
-    let l =
-        lineitem.filter(&lineitem.col("l_shipdate")?.gt_val(&Value::Str("1995-03-15".into())))?;
+    let l = lineitem.filter(
+        &lineitem
+            .col("l_shipdate")?
+            .gt_val(&Value::Str("1995-03-15".into())),
+    )?;
     let co = c.merge(&o, JoinHow::Inner, &["c_custkey"], &["o_custkey"])?;
     let mut col = co.merge(&l, JoinHow::Inner, &["o_orderkey"], &["l_orderkey"])?;
     let rev = revenue(&col)?.rename("revenue");
@@ -261,12 +274,16 @@ fn q4(d: &TpchData) -> Result<DataFrame> {
     let m = orders
         .col("o_orderdate")?
         .ge_val(&Value::Str("1993-07-01".into()))
-        .and(&orders.col("o_orderdate")?.lt_val(&Value::Str("1993-10-01".into())))?;
+        .and(
+            &orders
+                .col("o_orderdate")?
+                .lt_val(&Value::Str("1993-10-01".into())),
+        )?;
     let o = orders.filter(&m)?;
     let sel = o.filter(&o.col("o_orderkey")?.isin(l.col("l_orderkey")?))?;
-    let g = sel
-        .groupby(&["o_orderpriority"])?
-        .agg(&[("o_orderkey", AggOp::Count, "order_count")])?;
+    let g =
+        sel.groupby(&["o_orderpriority"])?
+            .agg(&[("o_orderkey", AggOp::Count, "order_count")])?;
     g.sort_values(&[("o_orderpriority", true)])
 }
 
@@ -309,7 +326,11 @@ fn q5(d: &TpchData) -> Result<DataFrame> {
     let m = orders
         .col("o_orderdate")?
         .ge_val(&Value::Str("1994-01-01".into()))
-        .and(&orders.col("o_orderdate")?.lt_val(&Value::Str("1995-01-01".into())))?;
+        .and(
+            &orders
+                .col("o_orderdate")?
+                .lt_val(&Value::Str("1995-01-01".into())),
+        )?;
     let o = orders.filter(&m)?;
     let co = DataFrame::from_relation(&d.customer).merge(
         &o,
@@ -350,7 +371,10 @@ fn q6(d: &TpchData) -> Result<DataFrame> {
     let m = li
         .col("l_shipdate")?
         .ge_val(&Value::Str("1994-01-01".into()))
-        .and(&li.col("l_shipdate")?.lt_val(&Value::Str("1995-01-01".into())))?
+        .and(
+            &li.col("l_shipdate")?
+                .lt_val(&Value::Str("1995-01-01".into())),
+        )?
         .and(&li.col("l_discount")?.ge_val(&Value::Float(0.05)))?
         .and(&li.col("l_discount")?.le_val(&Value::Float(0.07)))?
         .and(&li.col("l_quantity")?.lt_val(&Value::Float(24.0)))?;
@@ -419,7 +443,10 @@ fn q7(d: &TpchData) -> Result<DataFrame> {
     let m2 = f
         .col("l_shipdate")?
         .ge_val(&Value::Str("1995-01-01".into()))
-        .and(&f.col("l_shipdate")?.le_val(&Value::Str("1996-12-31".into())))?;
+        .and(
+            &f.col("l_shipdate")?
+                .le_val(&Value::Str("1996-12-31".into())),
+        )?;
     let mut ff = f.filter(&m2)?;
     let year = ff.col("l_shipdate")?.dt_year()?.rename("l_year");
     ff.insert(year)?;
@@ -503,7 +530,10 @@ fn q8(d: &TpchData) -> Result<DataFrame> {
     let m = j2
         .col("o_orderdate")?
         .ge_val(&Value::Str("1995-01-01".into()))
-        .and(&j2.col("o_orderdate")?.le_val(&Value::Str("1996-12-31".into())))?;
+        .and(
+            &j2.col("o_orderdate")?
+                .le_val(&Value::Str("1996-12-31".into())),
+        )?;
     let mut f = j2.filter(&m)?;
     let year = f.col("o_orderdate")?.dt_year()?.rename("o_year");
     f.insert(year)?;
@@ -614,10 +644,18 @@ fn q10(d: &TpchData) -> Result<DataFrame> {
     let m = orders
         .col("o_orderdate")?
         .ge_val(&Value::Str("1993-10-01".into()))
-        .and(&orders.col("o_orderdate")?.lt_val(&Value::Str("1994-01-01".into())))?;
+        .and(
+            &orders
+                .col("o_orderdate")?
+                .lt_val(&Value::Str("1994-01-01".into())),
+        )?;
     let o = orders.filter(&m)?;
     let lineitem = DataFrame::from_relation(&d.lineitem);
-    let l = lineitem.filter(&lineitem.col("l_returnflag")?.eq_val(&Value::Str("R".into())))?;
+    let l = lineitem.filter(
+        &lineitem
+            .col("l_returnflag")?
+            .eq_val(&Value::Str("R".into())),
+    )?;
     let co = DataFrame::from_relation(&d.customer).merge(
         &o,
         JoinHow::Inner,
@@ -714,8 +752,14 @@ fn q12(d: &TpchData) -> Result<DataFrame> {
     let m = modes
         .and(&li.col("l_commitdate")?.lt_series(li.col("l_receiptdate")?))?
         .and(&li.col("l_shipdate")?.lt_series(li.col("l_commitdate")?))?
-        .and(&li.col("l_receiptdate")?.ge_val(&Value::Str("1994-01-01".into())))?
-        .and(&li.col("l_receiptdate")?.lt_val(&Value::Str("1995-01-01".into())))?;
+        .and(
+            &li.col("l_receiptdate")?
+                .ge_val(&Value::Str("1994-01-01".into())),
+        )?
+        .and(
+            &li.col("l_receiptdate")?
+                .lt_val(&Value::Str("1995-01-01".into())),
+        )?;
     let l = li.filter(&m)?;
     let mut j = DataFrame::from_relation(&d.orders).merge(
         &l,
@@ -726,10 +770,20 @@ fn q12(d: &TpchData) -> Result<DataFrame> {
     let urgent = j
         .col("o_orderpriority")?
         .eq_val(&Value::Str("1-URGENT".into()))
-        .or(&j.col("o_orderpriority")?.eq_val(&Value::Str("2-HIGH".into())))?;
+        .or(&j
+            .col("o_orderpriority")?
+            .eq_val(&Value::Str("2-HIGH".into())))?;
     let high: Vec<i64> = urgent.col.as_bool().iter().map(|&b| i64::from(b)).collect();
-    let low: Vec<i64> = urgent.col.as_bool().iter().map(|&b| i64::from(!b)).collect();
-    j.insert(pytond_frame::Series::new("high_line", Column::from_i64(high)))?;
+    let low: Vec<i64> = urgent
+        .col
+        .as_bool()
+        .iter()
+        .map(|&b| i64::from(!b))
+        .collect();
+    j.insert(pytond_frame::Series::new(
+        "high_line",
+        Column::from_i64(high),
+    ))?;
     j.insert(pytond_frame::Series::new("low_line", Column::from_i64(low)))?;
     let g = j.groupby(&["l_shipmode"])?.agg(&[
         ("high_line", AggOp::Sum, "high_line_count"),
@@ -802,7 +856,10 @@ fn q14(d: &TpchData) -> Result<DataFrame> {
     let m = li
         .col("l_shipdate")?
         .ge_val(&Value::Str("1995-09-01".into()))
-        .and(&li.col("l_shipdate")?.lt_val(&Value::Str("1995-10-01".into())))?;
+        .and(
+            &li.col("l_shipdate")?
+                .lt_val(&Value::Str("1995-10-01".into())),
+        )?;
     let l = li.filter(&m)?;
     let mut j = l.merge(
         &DataFrame::from_relation(&d.part),
@@ -853,7 +910,10 @@ fn q15(d: &TpchData) -> Result<DataFrame> {
     let m = li
         .col("l_shipdate")?
         .ge_val(&Value::Str("1996-01-01".into()))
-        .and(&li.col("l_shipdate")?.lt_val(&Value::Str("1996-04-01".into())))?;
+        .and(
+            &li.col("l_shipdate")?
+                .lt_val(&Value::Str("1996-04-01".into())),
+        )?;
     let mut l = li.filter(&m)?;
     let rev = revenue(&l)?.rename("revenue");
     l.insert(rev)?;
@@ -868,7 +928,13 @@ fn q15(d: &TpchData) -> Result<DataFrame> {
         &["s_suppkey"],
         &["l_suppkey"],
     )?;
-    let out = j.select(&["s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"])?;
+    let out = j.select(&[
+        "s_suppkey",
+        "s_name",
+        "s_address",
+        "s_phone",
+        "total_revenue",
+    ])?;
     out.sort_values(&[("s_suppkey", true)])
 }
 
@@ -897,7 +963,12 @@ fn q16(d: &TpchData) -> Result<DataFrame> {
     let m = part
         .col("p_brand")?
         .ne_val(&Value::Str("Brand#45".into()))
-        .and(&part.col("p_type")?.str_startswith("MEDIUM POLISHED")?.not()?)?
+        .and(
+            &part
+                .col("p_type")?
+                .str_startswith("MEDIUM POLISHED")?
+                .not()?,
+        )?
         .and(&size_mask)?;
     let p = part.filter(&m)?;
     let j = p.merge(
@@ -917,9 +988,11 @@ fn q16(d: &TpchData) -> Result<DataFrame> {
     })?;
     let bad = supplier.filter(&bad_mask)?;
     let jj = j.filter(&j.col("ps_suppkey")?.isin(bad.col("s_suppkey")?).not()?)?;
-    let g = jj
-        .groupby(&["p_brand", "p_type", "p_size"])?
-        .agg(&[("ps_suppkey", AggOp::NUnique, "supplier_cnt")])?;
+    let g = jj.groupby(&["p_brand", "p_type", "p_size"])?.agg(&[(
+        "ps_suppkey",
+        AggOp::NUnique,
+        "supplier_cnt",
+    )])?;
     g.sort_values(&[
         ("supplier_cnt", false),
         ("p_brand", true),
@@ -949,7 +1022,11 @@ fn q17(d: &TpchData) -> Result<DataFrame> {
     let m = part
         .col("p_brand")?
         .eq_val(&Value::Str("Brand#23".into()))
-        .and(&part.col("p_container")?.eq_val(&Value::Str("MED BOX".into())))?;
+        .and(
+            &part
+                .col("p_container")?
+                .eq_val(&Value::Str("MED BOX".into())),
+        )?;
     let p = part.filter(&m)?;
     let j = p.merge(
         &DataFrame::from_relation(&d.lineitem),
@@ -999,7 +1076,13 @@ fn q18(d: &TpchData) -> Result<DataFrame> {
     )?;
     let jl = jc.merge(&lineitem, JoinHow::Inner, &["o_orderkey"], &["l_orderkey"])?;
     let gg = jl
-        .groupby(&["c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"])?
+        .groupby(&[
+            "c_name",
+            "c_custkey",
+            "o_orderkey",
+            "o_orderdate",
+            "o_totalprice",
+        ])?
         .agg(&[("l_quantity", AggOp::Sum, "sum_qty")])?;
     Ok(gg
         .sort_values(&[("o_totalprice", false), ("o_orderdate", true)])?
@@ -1026,7 +1109,13 @@ fn q19(d: &TpchData) -> Result<DataFrame> {
         &["l_partkey"],
         &["p_partkey"],
     )?;
-    let arm = |brand: &str, container: &str, qlo: f64, qhi: f64, slo: i64, shi: i64| -> Result<pytond_frame::Series> {
+    let arm = |brand: &str,
+               container: &str,
+               qlo: f64,
+               qhi: f64,
+               slo: i64,
+               shi: i64|
+     -> Result<pytond_frame::Series> {
         j.col("p_brand")?
             .eq_val(&Value::Str(brand.into()))
             .and(&j.col("p_container")?.eq_val(&Value::Str(container.into())))?
@@ -1079,11 +1168,14 @@ fn q20(d: &TpchData) -> Result<DataFrame> {
     let m = li
         .col("l_shipdate")?
         .ge_val(&Value::Str("1994-01-01".into()))
-        .and(&li.col("l_shipdate")?.lt_val(&Value::Str("1995-01-01".into())))?;
+        .and(
+            &li.col("l_shipdate")?
+                .lt_val(&Value::Str("1995-01-01".into())),
+        )?;
     let l = li.filter(&m)?;
-    let lg = l
-        .groupby(&["l_partkey", "l_suppkey"])?
-        .agg(&[("l_quantity", AggOp::Sum, "sum_qty")])?;
+    let lg =
+        l.groupby(&["l_partkey", "l_suppkey"])?
+            .agg(&[("l_quantity", AggOp::Sum, "sum_qty")])?;
     let partsupp = DataFrame::from_relation(&d.partsupp);
     let ps = partsupp.filter(&partsupp.col("ps_partkey")?.isin(p.col("p_partkey")?))?;
     let jm = ps.merge(
@@ -1133,16 +1225,21 @@ def q21(supplier, lineitem, orders, nation):
 
 fn q21(d: &TpchData) -> Result<DataFrame> {
     let nation = DataFrame::from_relation(&d.nation);
-    let n = nation.filter(&nation.col("n_name")?.eq_val(&Value::Str("SAUDI ARABIA".into())))?;
+    let n = nation.filter(
+        &nation
+            .col("n_name")?
+            .eq_val(&Value::Str("SAUDI ARABIA".into())),
+    )?;
     let lineitem = DataFrame::from_relation(&d.lineitem);
     let late = lineitem.filter(
         &lineitem
             .col("l_receiptdate")?
             .gt_series(lineitem.col("l_commitdate")?),
     )?;
-    let multi = lineitem
-        .groupby(&["l_orderkey"])?
-        .agg(&[("l_suppkey", AggOp::NUnique, "n_supp")])?;
+    let multi =
+        lineitem
+            .groupby(&["l_orderkey"])?
+            .agg(&[("l_suppkey", AggOp::NUnique, "n_supp")])?;
     let multi_ok = multi.filter(&multi.col("n_supp")?.gt_val(&Value::Int(1)))?;
     let late_g = late
         .groupby(&["l_orderkey"])?
@@ -1163,7 +1260,8 @@ fn q21(d: &TpchData) -> Result<DataFrame> {
     let g = jn
         .groupby(&["s_name"])?
         .agg(&[("l_orderkey", AggOp::Count, "numwait")])?;
-    Ok(g.sort_values(&[("numwait", false), ("s_name", true)])?.head(100))
+    Ok(g.sort_values(&[("numwait", false), ("s_name", true)])?
+        .head(100))
 }
 
 // =====================================================================
@@ -1185,7 +1283,10 @@ def q22(customer, orders):
 
 fn q22(d: &TpchData) -> Result<DataFrame> {
     let mut customer = DataFrame::from_relation(&d.customer);
-    let code = customer.col("c_phone")?.str_slice(0, 2)?.rename("cntrycode");
+    let code = customer
+        .col("c_phone")?
+        .str_slice(0, 2)?
+        .rename("cntrycode");
     customer.insert(code)?;
     let codes = ["13", "31", "23", "29", "30", "18", "17"];
     let mut m = customer

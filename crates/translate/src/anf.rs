@@ -146,12 +146,7 @@ impl Normalizer {
             Expr::Dict(items) => Expr::Dict(
                 items
                     .iter()
-                    .map(|(k, v)| {
-                        Ok((
-                            self.flatten(k, out, false)?,
-                            self.flatten(v, out, false)?,
-                        ))
-                    })
+                    .map(|(k, v)| Ok((self.flatten(k, out, false)?, self.flatten(v, out, false)?)))
                     .collect::<Result<_>>()?,
             ),
             // Lambdas are translated wholesale; slices/stars stay structural.
@@ -186,13 +181,12 @@ impl Normalizer {
     fn flatten_index(&mut self, index: &Expr, out: &mut Vec<Stmt>) -> Result<Expr> {
         match index {
             Expr::Slice { lower, upper, step } => {
-                let f =
-                    |x: &Option<Box<Expr>>, n: &mut Self, out: &mut Vec<Stmt>| -> Result<_> {
-                        Ok(match x {
-                            Some(e) => Some(Box::new(n.flatten(e, out, true)?)),
-                            None => None,
-                        })
-                    };
+                let f = |x: &Option<Box<Expr>>, n: &mut Self, out: &mut Vec<Stmt>| -> Result<_> {
+                    Ok(match x {
+                        Some(e) => Some(Box::new(n.flatten(e, out, true)?)),
+                        None => None,
+                    })
+                };
                 Ok(Expr::Slice {
                     lower: f(lower, self, out)?,
                     upper: f(upper, self, out)?,

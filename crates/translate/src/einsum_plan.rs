@@ -229,9 +229,7 @@ pub fn plan(spec: &str) -> Result<EinsumPlan> {
             ([], rest) => Some((Kernel::ScalarMul, rest.to_vec())),
             ([i1], [i2]) if i1 == i2 => None, // handled below (inner/hadamard)
             ([i], [j]) if i != j => Some((Kernel::Outer, vec![*i, *j])),
-            ([i1, j], [i2, k]) if i1 == i2 && j != k => {
-                Some((Kernel::BatchOuter, vec![*j, *k]))
-            }
+            ([i1, j], [i2, k]) if i1 == i2 && j != k => Some((Kernel::BatchOuter, vec![*j, *k])),
             ([i, j1], [j2, k]) if j1 == j2 && i != k => Some((Kernel::MatMul, vec![*i, *k])),
             ([i, j1], [j2]) if j1 == j2 => Some((Kernel::MatVec, vec![*i])),
             ([i1, j1], [i2, j2]) if i1 == i2 && j1 == j2 => {
@@ -244,7 +242,11 @@ pub fn plan(spec: &str) -> Result<EinsumPlan> {
     // Same-index pairs: inner / vector-hadamard / full dot.
     if a == b {
         if output.is_empty() {
-            let kernel = if a.len() == 1 { Kernel::Inner } else { Kernel::Dot2 };
+            let kernel = if a.len() == 1 {
+                Kernel::Inner
+            } else {
+                Kernel::Dot2
+            };
             return Ok(EinsumPlan {
                 pre,
                 kernel,
@@ -261,21 +263,22 @@ pub fn plan(spec: &str) -> Result<EinsumPlan> {
             transpose_out,
         });
     }
-    let accept = |kernel: Kernel, natural: &[char], swap: bool, pre: &[PreStep]| -> Option<EinsumPlan> {
-        let mut sorted_nat = natural.to_vec();
-        sorted_nat.sort_unstable();
-        let mut sorted_out = output.clone();
-        sorted_out.sort_unstable();
-        if sorted_nat != sorted_out {
-            return None; // broadcasting shapes are not kernel-expressible
-        }
-        Some(EinsumPlan {
-            pre: pre.to_vec(),
-            kernel,
-            swap,
-            transpose_out: natural != output.as_slice(),
-        })
-    };
+    let accept =
+        |kernel: Kernel, natural: &[char], swap: bool, pre: &[PreStep]| -> Option<EinsumPlan> {
+            let mut sorted_nat = natural.to_vec();
+            sorted_nat.sort_unstable();
+            let mut sorted_out = output.clone();
+            sorted_out.sort_unstable();
+            if sorted_nat != sorted_out {
+                return None; // broadcasting shapes are not kernel-expressible
+            }
+            Some(EinsumPlan {
+                pre: pre.to_vec(),
+                kernel,
+                swap,
+                transpose_out: natural != output.as_slice(),
+            })
+        };
     if let Some((kernel, natural)) = classify(&a, &b) {
         if let Some(plan) = accept(kernel, &natural, false, &pre) {
             return Ok(plan);

@@ -150,8 +150,8 @@ pub fn translate_with_options(
             }
         }
     }
-    let out = returned
-        .ok_or_else(|| Error::Translate("@pytond function must return a value".into()))?;
+    let out =
+        returned.ok_or_else(|| Error::Translate("@pytond function must return a value".into()))?;
     tr.finalize(out)?;
     Ok(Program { rules: tr.rules })
 }

@@ -327,47 +327,34 @@ impl<'a> Translator<'a> {
         }
         let result = match plan.kernel {
             Kernel::Identity => slots.into_iter().next().unwrap(),
-            Kernel::RowSum => {
-                EinsumVal::Array(self.emit_rowsum(expect_array(&slots[0])?)?)
-            }
-            Kernel::ColSum => {
-                EinsumVal::Array(self.emit_colsum(expect_array(&slots[0])?)?)
-            }
+            Kernel::RowSum => EinsumVal::Array(self.emit_rowsum(expect_array(&slots[0])?)?),
+            Kernel::ColSum => EinsumVal::Array(self.emit_colsum(expect_array(&slots[0])?)?),
             Kernel::FullSum | Kernel::VecSum => {
                 EinsumVal::Scalar(self.emit_fullsum(expect_array(&slots[0])?)?)
             }
             Kernel::Diag => EinsumVal::Array(self.emit_diag(expect_array(&slots[0])?)?),
-            Kernel::Transpose => {
-                EinsumVal::Array(self.emit_transpose(expect_array(&slots[0])?)?)
-            }
-            Kernel::Inner => EinsumVal::Scalar(self.emit_inner(
-                expect_array(&slots[0])?,
-                expect_array(&slots[1])?,
-            )?),
-            Kernel::Dot2 => EinsumVal::Scalar(self.emit_dot2(
-                expect_array(&slots[0])?,
-                expect_array(&slots[1])?,
-            )?),
-            Kernel::Outer => EinsumVal::Array(self.emit_outer(
-                expect_array(&slots[0])?,
-                expect_array(&slots[1])?,
-            )?),
-            Kernel::Hadamard => EinsumVal::Array(self.emit_hadamard(
-                expect_array(&slots[0])?,
-                expect_array(&slots[1])?,
-            )?),
-            Kernel::BatchOuter => EinsumVal::Array(self.emit_batch_outer(
-                expect_array(&slots[0])?,
-                expect_array(&slots[1])?,
-            )?),
-            Kernel::MatMul => EinsumVal::Array(self.emit_matmul(
-                expect_array(&slots[0])?,
-                expect_array(&slots[1])?,
-            )?),
-            Kernel::MatVec => EinsumVal::Array(self.emit_matvec(
-                expect_array(&slots[0])?,
-                expect_array(&slots[1])?,
-            )?),
+            Kernel::Transpose => EinsumVal::Array(self.emit_transpose(expect_array(&slots[0])?)?),
+            Kernel::Inner => EinsumVal::Scalar(
+                self.emit_inner(expect_array(&slots[0])?, expect_array(&slots[1])?)?,
+            ),
+            Kernel::Dot2 => EinsumVal::Scalar(
+                self.emit_dot2(expect_array(&slots[0])?, expect_array(&slots[1])?)?,
+            ),
+            Kernel::Outer => EinsumVal::Array(
+                self.emit_outer(expect_array(&slots[0])?, expect_array(&slots[1])?)?,
+            ),
+            Kernel::Hadamard => EinsumVal::Array(
+                self.emit_hadamard(expect_array(&slots[0])?, expect_array(&slots[1])?)?,
+            ),
+            Kernel::BatchOuter => EinsumVal::Array(
+                self.emit_batch_outer(expect_array(&slots[0])?, expect_array(&slots[1])?)?,
+            ),
+            Kernel::MatMul => EinsumVal::Array(
+                self.emit_matmul(expect_array(&slots[0])?, expect_array(&slots[1])?)?,
+            ),
+            Kernel::MatVec => EinsumVal::Array(
+                self.emit_matvec(expect_array(&slots[0])?, expect_array(&slots[1])?)?,
+            ),
             Kernel::ScalarMul => {
                 let EinsumVal::Scalar(s) = slots[0].clone() else {
                     return Err(Error::Translate(
@@ -463,11 +450,9 @@ impl<'a> Translator<'a> {
 
     /// `'ij->j'`: per-column sums into one row, then unpivot to a vector.
     fn emit_colsum(&mut self, a: &ArrayVal) -> Result<ArrayVal> {
-        let one_row = self.emit_fold_columns(a, |col_var| {
-            Term::Agg {
-                func: AggFunc::Sum,
-                arg: Box::new(Term::Var(col_var.to_string())),
-            }
+        let one_row = self.emit_fold_columns(a, |col_var| Term::Agg {
+            func: AggFunc::Sum,
+            arg: Box::new(Term::Var(col_var.to_string())),
         })?;
         self.emit_unpivot(&one_row, a.ncols(), 1)
     }
@@ -532,9 +517,7 @@ impl<'a> Translator<'a> {
             return Ok(a.clone()); // vector transpose is identity here
         }
         let rows = a.static_rows.ok_or_else(|| {
-            Error::Translate(
-                "dense transpose requires a statically-known row count".into(),
-            )
+            Error::Translate("dense transpose requires a statically-known row count".into())
         })?;
         let one_row = self.emit_pivot_matrix(a, rows)?;
         // one_row columns are p_{i}_{j}, laid out row-major; unpivot the
@@ -599,9 +582,7 @@ impl<'a> Translator<'a> {
         let prods = v1
             .iter()
             .zip(&v2)
-            .map(|(a, c)| {
-                Term::bin(ScalarOp::Mul, Term::Var(a.clone()), Term::Var(c.clone()))
-            })
+            .map(|(a, c)| Term::bin(ScalarOp::Mul, Term::Var(a.clone()), Term::Var(c.clone())))
             .reduce(|acc, t| Term::bin(ScalarOp::Add, acc, t))
             .ok_or_else(|| Error::Translate("dot of zero-column matrices".into()))?;
         let out = b.fresh_var("dot");
@@ -788,14 +769,14 @@ impl<'a> Translator<'a> {
         let (id, uvals) = self.array_access(&mut b, u);
         let vvars = vrow.access(&mut b);
         let mut outs = Vec::new();
-        for kk in 0..k {
+        for vvar in vvars.iter().take(k) {
             let o = b.fresh_var("o");
             b.atoms.push(Atom::Assign {
                 var: o.clone(),
                 term: Term::bin(
                     ScalarOp::Mul,
                     Term::Var(uvals[0].clone()),
-                    Term::Var(vvars[kk].clone()),
+                    Term::Var(vvar.clone()),
                 ),
             });
             outs.push(o);
@@ -806,11 +787,7 @@ impl<'a> Translator<'a> {
     // ---- reshape helpers (the paper's Figure 2 v4_2/v4_3 constructions) ----
 
     /// One aggregate per column → 1-row relation.
-    fn emit_fold_columns(
-        &mut self,
-        a: &ArrayVal,
-        f: impl Fn(&str) -> Term,
-    ) -> Result<OneRow> {
+    fn emit_fold_columns(&mut self, a: &ArrayVal, f: impl Fn(&str) -> Term) -> Result<OneRow> {
         let mut b = BodyBuilder::new();
         let (_, vals) = self.array_access(&mut b, a);
         let mut outs = Vec::new();
@@ -884,7 +861,12 @@ impl<'a> Translator<'a> {
 
     /// Unpivots a 1-row relation into `n` rows of one column.
     fn emit_unpivot(&mut self, one_row: &OneRow, n: usize, _width: usize) -> Result<ArrayVal> {
-        let groups: Vec<Vec<String>> = one_row.cols.iter().take(n).map(|c| vec![c.clone()]).collect();
+        let groups: Vec<Vec<String>> = one_row
+            .cols
+            .iter()
+            .take(n)
+            .map(|c| vec![c.clone()])
+            .collect();
         let mut out = self.emit_unpivot_groups(one_row, &groups)?;
         out.ndim = 1;
         Ok(out)
@@ -1077,14 +1059,10 @@ impl<'a> Translator<'a> {
                     .map(|(_, v)| v)
                     .or_else(|| args.first());
                 match axis {
-                    None | Some(py::Expr::NoneLit) => {
-                        self.emit_fullsum(&a).map(PyVal::Scalar)
-                    }
+                    None | Some(py::Expr::NoneLit) => self.emit_fullsum(&a).map(PyVal::Scalar),
                     Some(py::Expr::Int(0)) => self.emit_colsum(&a).map(PyVal::Array),
                     Some(py::Expr::Int(1)) => self.emit_rowsum(&a).map(PyVal::Array),
-                    other => Err(Error::Translate(format!(
-                        "unsupported sum axis {other:?}"
-                    ))),
+                    other => Err(Error::Translate(format!("unsupported sum axis {other:?}"))),
                 }
             }
             "transpose" => self.emit_transpose(&a).map(PyVal::Array),
@@ -1158,8 +1136,7 @@ impl<'a> Translator<'a> {
                     .collect();
                 let mut b = BodyBuilder::new();
                 let (id, vals) = self.array_access(&mut b, &a);
-                let outs: Vec<String> =
-                    keep.iter().map(|&i| vals[i].clone()).collect();
+                let outs: Vec<String> = keep.iter().map(|&i| vals[i].clone()).collect();
                 Ok(PyVal::Array(self.push_array_rule(
                     b.atoms,
                     Some(id),
@@ -1219,12 +1196,7 @@ impl<'a> Translator<'a> {
     }
 
     /// Combines two 1-row scalars into a new 1-row scalar.
-    fn scalar_binop(
-        &mut self,
-        op: ScalarOp,
-        l: &ScalarVal,
-        r: &ScalarVal,
-    ) -> Result<ScalarVal> {
+    fn scalar_binop(&mut self, op: ScalarOp, l: &ScalarVal, r: &ScalarVal) -> Result<ScalarVal> {
         let mut b = BodyBuilder::new();
         let term_of = |s: &ScalarVal, b: &mut BodyBuilder| -> Term {
             match s {
@@ -1270,8 +1242,7 @@ impl<'a> Translator<'a> {
         match index {
             // m[:, j] — single column as a vector.
             py::Expr::Tuple(items)
-                if items.len() == 2
-                    && matches!(items[0], py::Expr::Slice { .. }) =>
+                if items.len() == 2 && matches!(items[0], py::Expr::Slice { .. }) =>
             {
                 let py::Expr::Int(j) = items[1] else {
                     return Err(Error::Translate(

@@ -19,7 +19,7 @@ pub(crate) struct BodyBuilder {
 }
 
 impl BodyBuilder {
-    pub fn new() -> BodyBuilder {
+    pub(crate) fn new() -> BodyBuilder {
         BodyBuilder {
             atoms: Vec::new(),
             used: HashSet::new(),
@@ -28,12 +28,22 @@ impl BodyBuilder {
         }
     }
 
-    pub fn fresh_var(&mut self, base: &str) -> String {
+    pub(crate) fn fresh_var(&mut self, base: &str) -> String {
         let base: String = base
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
-        let base = if base.is_empty() { "v".to_string() } else { base };
+        let base = if base.is_empty() {
+            "v".to_string()
+        } else {
+            base
+        };
         let mut name = base.clone();
         let mut k = 1;
         while !self.used.insert(name.clone()) {
@@ -55,7 +65,7 @@ impl BodyBuilder {
     /// Accesses a frame, binding every physical column to a fresh variable
     /// and registering `$col` placeholders for the visible columns.
     /// Returns (alias, id-var if any, visible col → var).
-    pub fn access_frame(
+    pub(crate) fn access_frame(
         &mut self,
         frame: &FrameVal,
         register_placeholders: bool,
@@ -91,7 +101,7 @@ impl BodyBuilder {
 
     /// Cross-joins a 1-row scalar relation, registering its `#rel.col`
     /// placeholders.
-    pub fn access_scalar(&mut self, dep: &ScalarDep) {
+    pub(crate) fn access_scalar(&mut self, dep: &ScalarDep) {
         let key = scalar_placeholder(&dep.rel, &dep.col);
         if self.subst.contains_key(&key) {
             return;
@@ -112,7 +122,7 @@ impl BodyBuilder {
     }
 
     /// Substitutes placeholders in a deferred term.
-    pub fn resolve(&self, t: &Term) -> Result<Term> {
+    pub(crate) fn resolve(&self, t: &Term) -> Result<Term> {
         let mut out = t.clone();
         let mut missing = None;
         out.rename_vars(&mut |v| {
@@ -135,7 +145,7 @@ impl BodyBuilder {
 
     /// Adds the atoms for one deferred expression (scalar deps, exists) and
     /// returns the resolved term.
-    pub fn add_expr(&mut self, e: &ColExpr) -> Result<Term> {
+    pub(crate) fn add_expr(&mut self, e: &ColExpr) -> Result<Term> {
         for dep in &e.scalar_deps {
             self.access_scalar(dep);
         }
@@ -224,22 +234,14 @@ impl<'a> Translator<'a> {
             PyVal::Frame(f) => {
                 // Re-project visible columns (drops the hidden id); skip when
                 // the frame is already the last rule and has no id.
-                let is_last = f
-                    .rule_index
-                    .map_or(false, |i| i + 1 == self.rules.len());
+                let is_last = f.rule_index.is_some_and(|i| i + 1 == self.rules.len());
                 if is_last && f.id_col.is_none() {
                     return Ok(());
                 }
                 let outputs: Vec<(String, Term, DType)> = f
                     .cols
                     .iter()
-                    .map(|c| {
-                        (
-                            c.name.clone(),
-                            Term::Var(col_placeholder(&c.name)),
-                            c.dtype,
-                        )
-                    })
+                    .map(|c| (c.name.clone(), Term::Var(col_placeholder(&c.name)), c.dtype))
                     .collect();
                 self.emit_project(&f, outputs, false)?;
                 Ok(())
@@ -338,9 +340,9 @@ impl<'a> Translator<'a> {
         let rhs_col = match rhs {
             PyVal::Col(c) => c,
             PyVal::Frame(f) if f.is_series => {
-                let c = f.series_col().ok_or_else(|| {
-                    Error::Translate("series without a column".into())
-                })?;
+                let c = f
+                    .series_col()
+                    .ok_or_else(|| Error::Translate("series without a column".into()))?;
                 ColExpr::column(f.clone(), &c.name.clone(), c.dtype)
             }
             PyVal::Scalar(ScalarVal::Const(k)) => {
@@ -384,8 +386,11 @@ impl<'a> Translator<'a> {
             // First column of an empty DataFrame: project from the source.
             let src = rhs_col.frame.clone();
             let mut outputs = vec![(col.to_string(), rhs_col.term.clone(), rhs_col.dtype)];
-            let mut f = self.emit_project_full(&src, std::mem::take(&mut outputs), true, &rhs_col)?;
-            f.cols.last_mut().map(|c| c.name = col.to_string());
+            let mut f =
+                self.emit_project_full(&src, std::mem::take(&mut outputs), true, &rhs_col)?;
+            if let Some(c) = f.cols.last_mut() {
+                c.name = col.to_string();
+            }
             return Ok(f);
         }
 
@@ -395,13 +400,7 @@ impl<'a> Translator<'a> {
                 .cols
                 .iter()
                 .filter(|c| c.name != col)
-                .map(|c| {
-                    (
-                        c.name.clone(),
-                        Term::Var(col_placeholder(&c.name)),
-                        c.dtype,
-                    )
-                })
+                .map(|c| (c.name.clone(), Term::Var(col_placeholder(&c.name)), c.dtype))
                 .collect();
             outputs.push((col.to_string(), rhs_col.term.clone(), rhs_col.dtype));
             return self.emit_project_full(&target, outputs, target.id_col.is_some(), &rhs_col);
@@ -780,14 +779,10 @@ impl<'a> Translator<'a> {
                 let outputs = names
                     .iter()
                     .map(|n| {
-                        let c = f.col(n).ok_or_else(|| {
-                            Error::Translate(format!("no column '{n}'"))
-                        })?;
-                        Ok((
-                            n.clone(),
-                            Term::Var(col_placeholder(n)),
-                            c.dtype,
-                        ))
+                        let c = f
+                            .col(n)
+                            .ok_or_else(|| Error::Translate(format!("no column '{n}'")))?;
+                        Ok((n.clone(), Term::Var(col_placeholder(n)), c.dtype))
                     })
                     .collect::<Result<Vec<_>>>()?;
                 let out = self.emit_project(f, outputs, f.id_col.is_some())?;
@@ -814,7 +809,9 @@ impl<'a> Translator<'a> {
                     .col(&c.name)
                     .cloned()
                     .ok_or_else(|| Error::Translate("filtered column lost".into()))?;
-                Ok(PyVal::Col(ColExpr::column(filtered, &info.name, info.dtype)))
+                Ok(PyVal::Col(ColExpr::column(
+                    filtered, &info.name, info.dtype,
+                )))
             }
             (PyVal::Array(_), _) => self.array_subscript(&b, index),
             other => Err(Error::Translate(format!(
@@ -861,11 +858,7 @@ impl<'a> Translator<'a> {
             py::CmpOp::Le => ScalarOp::Le,
             py::CmpOp::Gt => ScalarOp::Gt,
             py::CmpOp::Ge => ScalarOp::Ge,
-            other => {
-                return Err(Error::Translate(format!(
-                    "unsupported comparison {other}"
-                )))
-            }
+            other => return Err(Error::Translate(format!("unsupported comparison {other}"))),
         };
         self.combine(sop, l, r, DType::Bool)
     }
@@ -962,12 +955,7 @@ impl<'a> Translator<'a> {
         }
     }
 
-    fn if_expr(
-        &mut self,
-        test: &py::Expr,
-        body: &py::Expr,
-        orelse: &py::Expr,
-    ) -> Result<PyVal> {
+    fn if_expr(&mut self, test: &py::Expr, body: &py::Expr, orelse: &py::Expr) -> Result<PyVal> {
         let t = self.translate_expr(test)?;
         let b = self.translate_expr(body)?;
         let o = self.translate_expr(orelse)?;
@@ -1010,17 +998,14 @@ impl<'a> Translator<'a> {
     /// (or folds constants).
     fn combine(&mut self, op: ScalarOp, l: PyVal, r: PyVal, dtype: DType) -> Result<PyVal> {
         // Constant folding.
-        if let (PyVal::Scalar(ScalarVal::Const(a)), PyVal::Scalar(ScalarVal::Const(b))) = (&l, &r)
-        {
+        if let (PyVal::Scalar(ScalarVal::Const(a)), PyVal::Scalar(ScalarVal::Const(b))) = (&l, &r) {
             if let Some(folded) = fold_consts(op, a, b) {
                 return Ok(PyVal::Scalar(ScalarVal::Const(folded)));
             }
         }
         // Scalar ⊗ scalar where at least one side is an aggregation result.
         if let (PyVal::Scalar(a), PyVal::Scalar(b)) = (&l, &r) {
-            return self
-                .combine_scalars(op, a, b)
-                .map(PyVal::Scalar);
+            return self.combine_scalars(op, a, b).map(PyVal::Scalar);
         }
         let (lt, rt, proto) = self.combine_cols(l, r)?;
         let dtype = refine_dtype(op, dtype, &proto);

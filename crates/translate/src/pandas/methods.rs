@@ -78,13 +78,7 @@ impl<'a> Translator<'a> {
                     .cols
                     .iter()
                     .filter(|c| !names.contains(&c.name))
-                    .map(|c| {
-                        (
-                            c.name.clone(),
-                            Term::Var(col_placeholder(&c.name)),
-                            c.dtype,
-                        )
-                    })
+                    .map(|c| (c.name.clone(), Term::Var(col_placeholder(&c.name)), c.dtype))
                     .collect();
                 let f = f.clone();
                 self.emit_project(&f, outputs, f.id_col.is_some())
@@ -129,7 +123,9 @@ impl<'a> Translator<'a> {
                 // df.aggregate('sum') — per-column reduction (Table V).
                 let fname = args[0].as_str_lit().unwrap();
                 let func = parse_agg(fname)?;
-                let PyVal::Frame(f) = recv.clone() else { unreachable!() };
+                let PyVal::Frame(f) = recv.clone() else {
+                    unreachable!()
+                };
                 self.frame_aggregate(&f, func).map(PyVal::Frame)
             }
 
@@ -188,9 +184,7 @@ impl<'a> Translator<'a> {
                     ..c
                 }))
             }
-            (PyVal::Col(_), "apply") | (PyVal::Frame(_), "apply") => {
-                self.apply(recv, args, kwargs)
-            }
+            (PyVal::Col(_), "apply") | (PyVal::Frame(_), "apply") => self.apply(recv, args, kwargs),
             (PyVal::Col(_), "astype") => {
                 // types are structural in TondIR; astype only adjusts dtype
                 let c = self.as_col(recv)?;
@@ -245,7 +239,8 @@ impl<'a> Translator<'a> {
             })),
 
             // ---------------- dt accessor (as methods: .dt.year()) ----------------
-            (PyVal::DtAccessor(c), "year") | (PyVal::DtAccessor(c), "month")
+            (PyVal::DtAccessor(c), "year")
+            | (PyVal::DtAccessor(c), "month")
             | (PyVal::DtAccessor(c), "day") => Ok(PyVal::Col(ColExpr {
                 term: Term::Ext {
                     func: method.to_string(),
@@ -299,13 +294,7 @@ impl<'a> Translator<'a> {
         let outputs = frame
             .cols
             .iter()
-            .map(|c| {
-                (
-                    c.name.clone(),
-                    Term::Var(col_placeholder(&c.name)),
-                    c.dtype,
-                )
-            })
+            .map(|c| (c.name.clone(), Term::Var(col_placeholder(&c.name)), c.dtype))
             .collect();
         let out = self.emit_project(&frame, outputs, frame.id_col.is_some())?;
         let idx = out.rule_index.expect("just created");
@@ -341,13 +330,7 @@ impl<'a> Translator<'a> {
         let outputs = frame
             .cols
             .iter()
-            .map(|c| {
-                (
-                    c.name.clone(),
-                    Term::Var(col_placeholder(&c.name)),
-                    c.dtype,
-                )
-            })
+            .map(|c| (c.name.clone(), Term::Var(col_placeholder(&c.name)), c.dtype))
             .collect();
         let out = self.emit_project(frame, outputs, frame.id_col.is_some())?;
         let idx = out.rule_index.expect("just created");
@@ -370,13 +353,7 @@ impl<'a> Translator<'a> {
         let outputs = frame
             .cols
             .iter()
-            .map(|c| {
-                (
-                    c.name.clone(),
-                    Term::Var(col_placeholder(&c.name)),
-                    c.dtype,
-                )
-            })
+            .map(|c| (c.name.clone(), Term::Var(col_placeholder(&c.name)), c.dtype))
             .collect();
         let out = self.emit_project(frame, outputs, false)?;
         let idx = out.rule_index.expect("just created");
@@ -648,9 +625,7 @@ impl<'a> Translator<'a> {
             .find(|(k, _)| k == "how")
             .and_then(|(_, v)| v.as_str_lit())
             .unwrap_or("inner");
-        let (left_on, right_on) = if let Some((_, on)) =
-            kwargs.iter().find(|(k, _)| k == "on")
-        {
+        let (left_on, right_on) = if let Some((_, on)) = kwargs.iter().find(|(k, _)| k == "on") {
             let names = self.names_of(on)?;
             (names.clone(), names)
         } else {
@@ -701,9 +676,7 @@ impl<'a> Translator<'a> {
                 }
                 "left" | "right" | "outer" | "full" => marker_on.push((lv, rv)),
                 "cross" => {}
-                other => {
-                    return Err(Error::Translate(format!("unknown join type '{other}'")))
-                }
+                other => return Err(Error::Translate(format!("unknown join type '{other}'"))),
             }
         }
         if !marker_on.is_empty() {
@@ -910,11 +883,7 @@ impl<'a> Translator<'a> {
 
     // ---------------- pd.DataFrame / np constructors ----------------
 
-    fn pd_dataframe(
-        &mut self,
-        args: &[py::Expr],
-        kwargs: &[(String, py::Expr)],
-    ) -> Result<PyVal> {
+    fn pd_dataframe(&mut self, args: &[py::Expr], kwargs: &[(String, py::Expr)]) -> Result<PyVal> {
         if args.is_empty() {
             // Empty DataFrame awaiting column assignments.
             return Ok(PyVal::Frame(FrameVal::base("", vec![])));
@@ -1031,8 +1000,7 @@ impl<'a> Translator<'a> {
     }
 
     fn rename_mapping(&self, kwargs: &[(String, py::Expr)]) -> Result<Vec<(String, String)>> {
-        let Some((_, py::Expr::Dict(items))) = kwargs.iter().find(|(k, _)| k == "columns")
-        else {
+        let Some((_, py::Expr::Dict(items))) = kwargs.iter().find(|(k, _)| k == "columns") else {
             return Err(Error::Translate("rename requires columns={...}".into()));
         };
         items
@@ -1048,7 +1016,6 @@ impl<'a> Translator<'a> {
             })
             .collect()
     }
-
 }
 
 fn like(c: ColExpr, pattern: String) -> ColExpr {

@@ -10,8 +10,8 @@
 
 use crate::Layout;
 use pytond_common::DType;
-use pytond_tondir::Term;
 use pytond_pyparse::ast as py;
+use pytond_tondir::Term;
 
 /// One visible DataFrame column.
 #[derive(Debug, Clone, PartialEq)]

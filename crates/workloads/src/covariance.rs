@@ -24,10 +24,7 @@ pub fn gen_matrix(rows: usize, cols: usize, sparsity: f64, seed: u64) -> NdArray
 pub fn dense_relation(m: &NdArray) -> Relation {
     let (rows, cols) = (m.shape()[0], m.shape()[1]);
     let mut out: Vec<(String, Column)> = Vec::with_capacity(cols + 1);
-    out.push((
-        "__id".into(),
-        Column::from_i64((0..rows as i64).collect()),
-    ));
+    out.push(("__id".into(), Column::from_i64((0..rows as i64).collect())));
     for j in 0..cols {
         out.push((
             format!("c{j}"),

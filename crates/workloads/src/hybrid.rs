@@ -19,9 +19,7 @@ pub fn hybrid_tables(scale: usize) -> TableVec {
     let n = 20_000 * scale;
     let mut rng = StdRng::seed_from_u64(23);
     let id: Vec<i64> = (0..n as i64).collect();
-    let col = |rng: &mut StdRng| -> Vec<f64> {
-        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
-    };
+    let col = |rng: &mut StdRng| -> Vec<f64> { (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect() };
     let tx = Relation::new(vec![
         ("id".into(), Column::from_i64(id.clone())),
         ("a".into(), Column::from_f64(col(&mut rng))),
@@ -34,10 +32,7 @@ pub fn hybrid_tables(scale: usize) -> TableVec {
         ("d".into(), Column::from_f64(col(&mut rng))),
     ])
     .unwrap();
-    vec![
-        ("tx", tx, vec![vec!["id"]]),
-        ("ty", ty, vec![vec!["id"]]),
-    ]
+    vec![("tx", tx, vec![vec!["id"]]), ("ty", ty, vec![vec!["id"]])]
 }
 
 /// Hybrid Covar, non-filtered.
@@ -142,10 +137,7 @@ pub fn matrix_relation(a: &NdArray) -> Result<Relation> {
         (a.shape()[0], 1)
     };
     let mut out: Vec<(String, Column)> = Vec::with_capacity(cols + 1);
-    out.push((
-        "__id".into(),
-        Column::from_i64((0..rows as i64).collect()),
-    ));
+    out.push(("__id".into(), Column::from_i64((0..rows as i64).collect())));
     for j in 0..cols {
         let data: Vec<f64> = (0..rows)
             .map(|i| {
@@ -194,7 +186,11 @@ pub fn hybrid_mv(scale: usize, filtered: bool) -> Workload {
         },
         tables: hybrid_tables(scale),
         source: if filtered { HYBRID_MV_F } else { HYBRID_MV_NF },
-        baseline: if filtered { mv_baseline_f } else { mv_baseline_nf },
+        baseline: if filtered {
+            mv_baseline_f
+        } else {
+            mv_baseline_nf
+        },
         ignore_id_cols: true,
     }
 }

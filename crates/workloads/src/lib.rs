@@ -19,16 +19,19 @@ pub use notebooks::{birth_tables, crime_tables, n3_tables, n9_tables};
 
 use pytond_common::{Relation, Result};
 
+/// One table of a workload: `(table name, relation, unique keys)`.
+pub type WorkloadTable = (&'static str, Relation, Vec<Vec<&'static str>>);
+
 /// A named workload: tables + Python source + interpreted baseline.
 pub struct Workload {
     /// Display name matching the paper's figures.
     pub name: &'static str,
-    /// `(table name, relation, unique keys)` to register.
-    pub tables: Vec<(&'static str, Relation, Vec<Vec<&'static str>>)>,
+    /// Tables to register.
+    pub tables: Vec<WorkloadTable>,
     /// Python source for the PyTond path.
     pub source: &'static str,
     /// Interpreted baseline.
-    pub baseline: fn(&[(&'static str, Relation, Vec<Vec<&'static str>>)]) -> Result<Relation>,
+    pub baseline: fn(&[WorkloadTable]) -> Result<Relation>,
     /// Columns to ignore when diffing compiled vs baseline results
     /// (generated row-id columns whose numbering conventions differ).
     pub ignore_id_cols: bool,

@@ -18,11 +18,10 @@ type TableVec = Vec<(&'static str, Relation, Vec<Vec<&'static str>>)>;
 pub fn crime_tables(scale: usize) -> TableVec {
     let n = 5_000 * scale;
     let mut rng = StdRng::seed_from_u64(7);
-    let pop: Vec<f64> = (0..n).map(|_| rng.gen_range(1_000.0..5_000_000.0)).collect();
-    let crimes: Vec<f64> = pop
-        .iter()
-        .map(|p| p * rng.gen_range(0.001..0.05))
+    let pop: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(1_000.0..5_000_000.0))
         .collect();
+    let crimes: Vec<f64> = pop.iter().map(|p| p * rng.gen_range(0.001..0.05)).collect();
     let name: Vec<String> = (0..n).map(|i| format!("city{i}")).collect();
     vec![(
         "cities",
@@ -194,10 +193,7 @@ fn n3_baseline(tables: &Tables) -> Result<Relation> {
         .eq_val(&Value::Int(0))
         .and(&flights.col("dep_delay")?.ge_val(&Value::Float(0.0)))?;
     let mut f = flights.filter(&m)?;
-    let gain = f
-        .col("dep_delay")?
-        .sub(f.col("arr_delay")?)?
-        .rename("gain");
+    let gain = f.col("dep_delay")?.sub(f.col("arr_delay")?)?.rename("gain");
     f.insert(gain)?;
     let g = f.groupby(&["carrier"])?.agg(&[
         ("gain", AggOp::Mean, "mean_gain"),
@@ -281,15 +277,17 @@ def n9(events):
 
 fn n9_baseline(tables: &Tables) -> Result<Relation> {
     let events = DataFrame::from_relation(&tables[0].1);
-    let mut e =
-        events.filter(&events.col("event_type")?.eq_val(&Value::Str("purchase".into())))?;
+    let mut e = events.filter(
+        &events
+            .col("event_type")?
+            .eq_val(&Value::Str("purchase".into())),
+    )?;
     let qf = e.col("quantity")?.map_numeric(|x| x)?;
     let rev = e.col("price")?.mul(&qf)?.rename("rev");
     e.insert(rev)?;
-    let mut g = e.groupby(&["category"])?.agg(&[
-        ("rev", AggOp::Sum, "revenue"),
-        ("rev", AggOp::Count, "n"),
-    ])?;
+    let mut g = e
+        .groupby(&["category"])?
+        .agg(&[("rev", AggOp::Sum, "revenue"), ("rev", AggOp::Count, "n")])?;
     let avg = g
         .col("revenue")?
         .div(&g.col("n")?.map_numeric(|x| x)?)?

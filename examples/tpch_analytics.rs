@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- Pandas-style source ---{}", q.source);
     let compiled = py.compile(q.source, Dialect::DuckDb)?;
-    println!("--- generated SQL ({} CTE rules after O4) ---", compiled.optimized_ir.rules.len());
+    println!(
+        "--- generated SQL ({} CTE rules after O4) ---",
+        compiled.optimized_ir.rules.len()
+    );
     println!("{}\n", compiled.sql);
 
     // Interpreted baseline (the evaluation's "Python" bars).

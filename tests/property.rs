@@ -20,11 +20,7 @@ fn table(rows: &[(i64, f64, u8)]) -> Relation {
         ),
         (
             "tag".into(),
-            Column::from_str_vec(
-                rows.iter()
-                    .map(|(_, _, t)| format!("t{}", t % 4))
-                    .collect(),
-            ),
+            Column::from_str_vec(rows.iter().map(|(_, _, t)| format!("t{}", t % 4)).collect()),
         ),
     ])
     .expect("rectangular")
