@@ -1,0 +1,175 @@
+//! Kernel-level microbenches: expression evaluation over 1M-row columns and
+//! hash-key build/probe for each key layout the engine can choose.
+//!
+//! The paper-figure benches catch figure-level regressions; these isolate the
+//! two engine hot paths the typed-kernel work targets, so a future PR that
+//! slows a single kernel shows up here even when the figure numbers hide it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pytond_common::hash::{distinct_keep, FixedKeySpec, KeyArena, KeyWidth};
+use pytond_common::{Column, Value};
+use pytond_frame::{AggOp, DataFrame, JoinHow};
+use pytond_sqldb::ast::BinOp;
+use pytond_sqldb::expr::BExpr;
+use pytond_sqldb::table::Batch;
+use std::time::Duration;
+
+/// Rows for the expression kernels (1M, per the paper's columnar batches).
+const EVAL_ROWS: usize = 1 << 20;
+/// Rows for key build/probe (kept smaller: maps dominate, not scans).
+const KEY_ROWS: usize = 1 << 18;
+
+fn gen_i64(n: usize, modulus: i64) -> Vec<i64> {
+    (0..n)
+        .map(|i| ((i as i64).wrapping_mul(0x9E37_79B9)).rem_euclid(modulus))
+        .collect()
+}
+
+fn gen_f64(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as f64) * 0.618_033_988_749).fract() * 1e4)
+        .collect()
+}
+
+fn bin(op: BinOp, l: BExpr, r: BExpr) -> BExpr {
+    BExpr::Bin {
+        op,
+        l: Box::new(l),
+        r: Box::new(r),
+    }
+}
+
+/// Filter and arithmetic kernels over 1M-row Int/Float columns.
+fn kernel_eval(c: &mut Criterion) {
+    let batch = Batch::from_columns(vec![
+        Column::from_i64(gen_i64(EVAL_ROWS, 10_000)),
+        Column::from_f64(gen_f64(EVAL_ROWS)),
+    ]);
+    let mut group = c.benchmark_group("kernel_eval");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(100));
+    group.measurement_time(Duration::from_millis(400));
+    let filter_int = bin(BinOp::Gt, BExpr::Col(0), BExpr::Lit(Value::Int(5_000)));
+    group.bench_function(BenchmarkId::new("filter_int_gt_lit", EVAL_ROWS), |b| {
+        b.iter(|| filter_int.eval_mask(&batch, None).unwrap())
+    });
+    // Int column against a float literal: the mixed-type comparison pair.
+    let filter_mixed = bin(BinOp::Le, BExpr::Col(0), BExpr::Lit(Value::Float(5e3)));
+    group.bench_function(BenchmarkId::new("filter_int_le_float", EVAL_ROWS), |b| {
+        b.iter(|| filter_mixed.eval_mask(&batch, None).unwrap())
+    });
+    let arith_float = bin(
+        BinOp::Add,
+        bin(BinOp::Mul, BExpr::Col(1), BExpr::Col(1)),
+        BExpr::Col(1),
+    );
+    group.bench_function(BenchmarkId::new("arith_float_mul_add", EVAL_ROWS), |b| {
+        b.iter(|| arith_float.eval(&batch, None).unwrap())
+    });
+    let arith_mixed = bin(
+        BinOp::Mul,
+        BExpr::Col(0),
+        bin(BinOp::Add, BExpr::Col(1), BExpr::Lit(Value::Float(1.5))),
+    );
+    group.bench_function(BenchmarkId::new("arith_int_float_mix", EVAL_ROWS), |b| {
+        b.iter(|| arith_mixed.eval(&batch, None).unwrap())
+    });
+    group.finish();
+}
+
+/// Key build/probe for each layout: packed u64 (1-col int), packed u128
+/// (2-col int), and the byte-arena fallback (string key).
+fn hash_keys(c: &mut Criterion) {
+    let k1 = Column::from_i64(gen_i64(KEY_ROWS, 4_096));
+    let k2 = Column::from_i64(gen_i64(KEY_ROWS, 17));
+    let ks = Column::from_str_vec(
+        gen_i64(KEY_ROWS, 4_096)
+            .into_iter()
+            .map(|v| format!("key_{v}"))
+            .collect(),
+    );
+    let mut group = c.benchmark_group("hash_keys");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(100));
+    group.measurement_time(Duration::from_millis(400));
+    // Raw key machinery: pack/encode + distinct over the packed keys.
+    group.bench_function(BenchmarkId::new("pack_u64_1col_int", KEY_ROWS), |b| {
+        let cols = [&k1];
+        let spec = FixedKeySpec::plan(&[&cols], true).unwrap();
+        assert_eq!(spec.width(), KeyWidth::U64);
+        b.iter(|| distinct_keep(&spec.pack_u64(&cols).0))
+    });
+    group.bench_function(BenchmarkId::new("pack_u128_2col_int", KEY_ROWS), |b| {
+        let cols = [&k1, &k2];
+        let spec = FixedKeySpec::plan(&[&cols], true).unwrap();
+        assert_eq!(spec.width(), KeyWidth::U128);
+        b.iter(|| distinct_keep(&spec.pack_u128(&cols).0))
+    });
+    group.bench_function(BenchmarkId::new("arena_1col_str", KEY_ROWS), |b| {
+        let cols = [&ks];
+        assert!(FixedKeySpec::plan(&[&cols], true).is_none());
+        b.iter(|| {
+            let arena = KeyArena::encode_raw(&cols, false);
+            distinct_keep(&arena.dense_keys())
+        })
+    });
+    group.finish();
+
+    // End-to-end build/probe through the frame layer (shares the machinery).
+    let probe_int = DataFrame::from_cols(vec![
+        ("k", k1.clone()),
+        ("k2", k2.clone()),
+        ("v", Column::from_f64(gen_f64(KEY_ROWS))),
+    ])
+    .unwrap();
+    let build_int = DataFrame::from_cols(vec![
+        ("k", Column::from_i64((0..4_096).collect())),
+        ("k2", Column::from_i64((0..4_096).map(|v| v % 17).collect())),
+        ("w", Column::from_i64((0..4_096).collect())),
+    ])
+    .unwrap();
+    let probe_str = DataFrame::from_cols(vec![("k", ks.clone())]).unwrap();
+    let build_str = DataFrame::from_cols(vec![(
+        "k",
+        Column::from_str_vec((0..4_096).map(|v| format!("key_{v}")).collect()),
+    )])
+    .unwrap();
+    let mut group = c.benchmark_group("hash_join_probe");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(100));
+    group.measurement_time(Duration::from_millis(400));
+    group.bench_function(BenchmarkId::new("merge_1col_int", KEY_ROWS), |b| {
+        b.iter(|| {
+            probe_int
+                .merge(&build_int, JoinHow::Inner, &["k"], &["k"])
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("merge_2col_int", KEY_ROWS), |b| {
+        b.iter(|| {
+            probe_int
+                .merge(&build_int, JoinHow::Inner, &["k", "k2"], &["k", "k2"])
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("merge_1col_str", KEY_ROWS), |b| {
+        b.iter(|| {
+            probe_str
+                .merge(&build_str, JoinHow::Inner, &["k"], &["k"])
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("groupby_1col_int", KEY_ROWS), |b| {
+        b.iter(|| {
+            probe_int
+                .groupby(&["k"])
+                .unwrap()
+                .agg(&[("v", AggOp::Sum, "s")])
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, kernel_eval, hash_keys);
+criterion_main!(kernels);

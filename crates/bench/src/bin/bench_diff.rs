@@ -1,0 +1,231 @@
+//! Compares two smoke-bench JSON summaries and fails on regressions.
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json> [--threshold 0.25] [--no-calibrate]
+//! ```
+//!
+//! Both files are the `PYTOND_BENCH_JSON` output of the criterion shim: a JSON
+//! array of `{"group", "bench", "iters", "mean_ns"}` objects. Any benchmark
+//! present in both files whose candidate `mean_ns` exceeds the baseline by
+//! more than `threshold` (fractional, default 0.25 = +25%) is reported and
+//! the process exits non-zero — the CI gate against silent perf regressions.
+//!
+//! Because the committed baseline and the CI run execute on **different
+//! hardware**, raw nanoseconds are not comparable: by default every candidate
+//! value is first divided by the *median* candidate/baseline ratio across all
+//! shared benchmarks (a uniformly slower or faster machine shifts every
+//! benchmark alike, so the median estimates the hardware factor, while a real
+//! regression moves individual benchmarks against it). `--no-calibrate`
+//! compares raw values for same-machine diffs.
+//!
+//! Benchmarks present on only one side are listed but never fail the run
+//! (benches come and go; the committed baseline is refreshed when they do).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.25f64;
+    let mut calibrate = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--threshold needs a fractional number (e.g. 0.25)");
+                    return ExitCode::from(2);
+                };
+                threshold = v;
+            }
+            "--no-calibrate" => calibrate = false,
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        eprintln!(
+            "usage: bench_diff <baseline.json> <candidate.json> [--threshold 0.25] [--no-calibrate]"
+        );
+        return ExitCode::from(2);
+    };
+    let base = match load(baseline) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot read {baseline}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cand = match load(candidate) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot read {candidate}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (factor, regressions) = analyze(&base, &cand, threshold, calibrate);
+    if calibrate {
+        println!("calibration factor (median candidate/baseline ratio): {factor:.3}x");
+    }
+
+    println!(
+        "{:<72} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline", "candidate", "ratio"
+    );
+    for (name, &b) in &base {
+        match cand.get(name) {
+            Some(&c) => {
+                let ratio = if b > 0.0 { c / factor / b } else { 1.0 };
+                let flag = if ratio > 1.0 + threshold {
+                    "  <-- REGRESSION"
+                } else {
+                    ""
+                };
+                println!("{name:<72} {b:>12.0} {c:>12.0} {ratio:>7.2}x{flag}");
+            }
+            None => println!("{name:<72} {b:>12.0} {:>12} {:>8}", "absent", "-"),
+        }
+    }
+    for name in cand.keys().filter(|k| !base.contains_key(*k)) {
+        println!("{name:<72} {:>12} {:>12.0} {:>8}", "new", cand[name], "-");
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "\nbench-diff: no regression above {:.0}% across {} shared benchmarks",
+            threshold * 100.0,
+            base.keys().filter(|k| cand.contains_key(*k)).count()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "\nbench-diff: {} regression(s) above {:.0}%:",
+            regressions.len(),
+            threshold * 100.0
+        );
+        for (name, ratio) in &regressions {
+            println!("  {name}: {ratio:.2}x");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Computes the calibration factor (median candidate/baseline ratio over
+/// shared benchmarks; 1.0 when `calibrate` is off) and the benchmarks whose
+/// calibrated ratio exceeds `1 + threshold`.
+fn analyze(
+    base: &BTreeMap<String, f64>,
+    cand: &BTreeMap<String, f64>,
+    threshold: f64,
+    calibrate: bool,
+) -> (f64, Vec<(String, f64)>) {
+    // A uniformly slower machine shifts every benchmark alike, so the median
+    // ratio estimates the hardware factor; real regressions move individual
+    // benchmarks against that shift.
+    let mut shared_ratios: Vec<f64> = base
+        .iter()
+        .filter_map(|(name, &b)| cand.get(name).map(|&c| (b, c)))
+        .filter(|&(b, _)| b > 0.0)
+        .map(|(b, c)| c / b)
+        .collect();
+    shared_ratios.sort_by(f64::total_cmp);
+    let factor = if calibrate && !shared_ratios.is_empty() {
+        shared_ratios[shared_ratios.len() / 2]
+    } else {
+        1.0
+    };
+    let regressions = base
+        .iter()
+        .filter_map(|(name, &b)| {
+            let &c = cand.get(name)?;
+            let ratio = if b > 0.0 { c / factor / b } else { 1.0 };
+            (ratio > 1.0 + threshold).then(|| (name.clone(), ratio))
+        })
+        .collect();
+    (factor, regressions)
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    parse(&text)
+}
+
+/// Parses the criterion shim's JSON summary. The shim writes one object per
+/// line with a fixed field order, so a line-oriented scan is exact for the
+/// only producer this tool consumes.
+fn parse(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let group = field_str(line, "group").ok_or_else(|| format!("no group in: {line}"))?;
+        let bench = field_str(line, "bench").ok_or_else(|| format!("no bench in: {line}"))?;
+        let mean = field_num(line, "mean_ns").ok_or_else(|| format!("no mean_ns in: {line}"))?;
+        out.insert(format!("{group}/{bench}"), mean);
+    }
+    if out.is_empty() {
+        return Err("no benchmark entries found".into());
+    }
+    Ok(out)
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"group": "fig3", "bench": "python_1t/Q1", "iters": 2, "mean_ns": 100.0},
+  {"group": "fig3", "bench": "PyTond_DuckDB_1t/Q1", "iters": 2, "mean_ns": 250.5}
+]
+"#;
+
+    #[test]
+    fn parses_shim_output() {
+        let m = parse(SAMPLE).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["fig3/python_1t/Q1"], 100.0);
+        assert_eq!(m["fig3/PyTond_DuckDB_1t/Q1"], 250.5);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse("[]").is_err());
+    }
+
+    fn map(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        entries.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn calibration_absorbs_uniform_hardware_shift() {
+        let base = map(&[("a", 100.0), ("b", 200.0), ("c", 300.0), ("d", 50.0)]);
+        // Candidate machine is uniformly 2x slower, plus one real 4x regression.
+        let cand = map(&[("a", 200.0), ("b", 400.0), ("c", 600.0), ("d", 400.0)]);
+        let (factor, regs) = analyze(&base, &cand, 0.25, true);
+        assert!((factor - 2.0).abs() < 1e-9);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].0, "d");
+        // Without calibration, every benchmark looks regressed.
+        let (_, raw_regs) = analyze(&base, &cand, 0.25, false);
+        assert_eq!(raw_regs.len(), 4);
+    }
+}

@@ -313,6 +313,53 @@ impl Column {
         (0..self.len()).map(move |i| self.get(i))
     }
 
+    /// Zero-copy view of integer data, `None` for other dtypes. Together with
+    /// [`Column::validity`], this is the accessor the typed kernels dispatch
+    /// on: one dtype check per column, then monomorphic loops over the slice.
+    #[inline]
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match self {
+            Column::Int(d, _) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy view of float data, `None` for other dtypes.
+    #[inline]
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match self {
+            Column::Float(d, _) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy view of bool data, `None` for other dtypes.
+    #[inline]
+    pub fn as_bool_slice(&self) -> Option<&[bool]> {
+        match self {
+            Column::Bool(d, _) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy view of date data (days since epoch), `None` otherwise.
+    #[inline]
+    pub fn as_date_slice(&self) -> Option<&[i32]> {
+        match self {
+            Column::Date(d, _) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Zero-copy view of string data, `None` for other dtypes.
+    #[inline]
+    pub fn as_str_slice(&self) -> Option<&[String]> {
+        match self {
+            Column::Str(d, _) => Some(d),
+            _ => None,
+        }
+    }
+
     /// Direct access to integer data (panics on wrong type) — fast paths.
     pub fn as_int(&self) -> &[i64] {
         match self {
@@ -487,6 +534,21 @@ mod tests {
         let c = Column::from_values(&[Value::Null, Value::Str("x".into())]).unwrap();
         assert_eq!(c.dtype(), DType::Str);
         assert_eq!(c.get(0), Value::Null);
+    }
+
+    #[test]
+    fn typed_slice_accessors() {
+        let c = Column::from_i64(vec![1, 2]);
+        assert_eq!(c.as_i64_slice(), Some(&[1i64, 2][..]));
+        assert_eq!(c.as_f64_slice(), None);
+        let f = Column::from_f64(vec![0.5]);
+        assert_eq!(f.as_f64_slice(), Some(&[0.5][..]));
+        let d = Column::from_dates(vec![7]);
+        assert_eq!(d.as_date_slice(), Some(&[7i32][..]));
+        let b = Column::from_bool(vec![true]);
+        assert_eq!(b.as_bool_slice(), Some(&[true][..]));
+        let s = Column::from_strs(&["x"]);
+        assert_eq!(s.as_str_slice().map(|v| v.len()), Some(1));
     }
 
     #[test]

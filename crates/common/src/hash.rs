@@ -1,10 +1,22 @@
-//! Fast non-cryptographic hashing for join/group keys.
+//! Fast non-cryptographic hashing and key encoding for join/group keys.
 //!
 //! The engine's hash joins and aggregations are dominated by hashing short
 //! integer/string keys, where the std `SipHash` is needlessly slow. This is
 //! the well-known `FxHash` multiply-xor scheme (as used by rustc), implemented
 //! locally to keep the dependency set minimal.
+//!
+//! Composite keys come in two physical layouts, chosen per operator by
+//! [`FixedKeySpec::plan`]:
+//!
+//! * **fixed-width** — when every key column is `Int`/`Date`/`Bool`, the key
+//!   packs into a single `u64` or `u128` word (one bit-slot per column, with
+//!   a validity bit folded in when nulls can occur), so hash maps key on a
+//!   machine word instead of a heap-allocated byte string;
+//! * **byte-encoded fallback** — strings and mixed numeric keys encode into
+//!   one contiguous [`KeyArena`] buffer; maps then key on borrowed `&[u8]`
+//!   slices, which costs zero per-row allocations on both build and probe.
 
+use crate::column::Column;
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiply-xor hasher (FxHash). Not DoS-resistant; keys are internal.
@@ -78,18 +90,8 @@ pub fn encode_value(buf: &mut Vec<u8>, v: &crate::value::Value) {
             buf.push(1);
             buf.extend_from_slice(&i.to_le_bytes());
         }
-        Value::Float(f) => {
-            buf.push(2);
-            // Normalize -0.0 and NaN payloads so equal floats encode equal.
-            let canonical = if *f == 0.0 {
-                0.0f64
-            } else if f.is_nan() {
-                f64::NAN
-            } else {
-                *f
-            };
-            buf.extend_from_slice(&canonical.to_bits().to_le_bytes());
-        }
+        // -0.0 and NaN payloads normalize so equal floats encode equal.
+        Value::Float(f) => push_f64(buf, *f),
         Value::Bool(b) => buf.extend_from_slice(&[3, u8::from(*b)]),
         Value::Str(s) => {
             buf.push(4);
@@ -101,6 +103,456 @@ pub fn encode_value(buf: &mut Vec<u8>, v: &crate::value::Value) {
             buf.extend_from_slice(&d.to_le_bytes());
         }
     }
+}
+
+/// Widens ints/dates/bools to floats so `1 = 1.0` matches across
+/// differently-typed key columns (SQL comparison semantics for the
+/// byte-encoded key fallback; the fixed-width path never mixes in floats, so
+/// it compares integer keys exactly).
+pub fn normalize_key(v: crate::value::Value) -> crate::value::Value {
+    use crate::value::Value;
+    match v {
+        Value::Int(i) => Value::Float(i as f64),
+        Value::Date(d) => Value::Float(f64::from(d)),
+        Value::Bool(b) => Value::Float(f64::from(u8::from(b))),
+        other => other,
+    }
+}
+
+// ---------------- fixed-width key packing ----------------
+
+/// Machine-word width of a packed fixed-width key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyWidth {
+    /// Fits in 64 bits.
+    U64,
+    /// Fits in 128 bits.
+    U128,
+}
+
+/// One key column's bit-slot inside the packed word.
+#[derive(Debug, Clone, Copy)]
+struct KeySlot {
+    /// Bit offset of the value inside the word.
+    shift: u32,
+    /// Value width in bits (sign-extended two's complement, masked).
+    bits: u32,
+    /// Whether a validity bit follows the value bits (group semantics with a
+    /// nullable column: NULL keys form their own group).
+    null_bit: bool,
+}
+
+/// Layout for packing a multi-column fixed-width key into one word.
+///
+/// Planned jointly over every participating side (one column set for
+/// group-by/distinct, two for joins) so position `i` of each side lands in
+/// the same slot with the same width: an `Int` joined against a `Date` packs
+/// both sides as 64-bit sign-extended values, keeping cross-type equality
+/// consistent with the byte-encoded fallback.
+#[derive(Debug, Clone)]
+pub struct FixedKeySpec {
+    slots: Vec<KeySlot>,
+    width: KeyWidth,
+    total_bits: u32,
+}
+
+fn fixed_bits(c: &Column) -> Option<u32> {
+    match c {
+        Column::Int(..) => Some(64),
+        Column::Date(..) => Some(32),
+        Column::Bool(..) => Some(1),
+        Column::Float(..) | Column::Str(..) => None,
+    }
+}
+
+impl FixedKeySpec {
+    /// Plans a fixed-width layout for the key columns, or `None` when any
+    /// column is `Float`/`Str` or the packed key exceeds 128 bits.
+    ///
+    /// `col_sets` holds one slice of key columns per participating side —
+    /// `&[&keys]` for group-by/distinct, `&[&left_keys, &right_keys]` for
+    /// joins. `nulls_matter` selects group semantics (NULL is a key value and
+    /// gets a validity bit) over join semantics (NULL keys never match; the
+    /// caller skips rows flagged by the pack step instead).
+    pub fn plan(col_sets: &[&[&Column]], nulls_matter: bool) -> Option<FixedKeySpec> {
+        let ncols = col_sets.first()?.len();
+        if col_sets.iter().any(|s| s.len() != ncols) {
+            return None;
+        }
+        let mut slots = Vec::with_capacity(ncols);
+        let mut shift = 0u32;
+        for i in 0..ncols {
+            let mut bits = 0u32;
+            let mut nullable = false;
+            for set in col_sets {
+                bits = bits.max(fixed_bits(set[i])?);
+                nullable |= set[i].validity().is_some();
+            }
+            let null_bit = nulls_matter && nullable;
+            slots.push(KeySlot {
+                shift,
+                bits,
+                null_bit,
+            });
+            shift += bits + u32::from(null_bit);
+        }
+        let width = match shift {
+            0..=64 => KeyWidth::U64,
+            65..=128 => KeyWidth::U128,
+            _ => return None,
+        };
+        Some(FixedKeySpec {
+            slots,
+            width,
+            total_bits: shift,
+        })
+    }
+
+    /// The planned word width.
+    pub fn width(&self) -> KeyWidth {
+        self.width
+    }
+
+    /// Total bits used by the layout (values plus validity bits).
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Packs one side's key columns into `u64` words, column-at-a-time.
+    ///
+    /// The second return is `Some(skip)` when the layout has no validity bits
+    /// but a column is nullable (join semantics): `skip[i]` marks rows whose
+    /// key contains a NULL and must not participate in matching.
+    pub fn pack_u64(&self, cols: &[&Column]) -> (Vec<u64>, Option<Vec<bool>>) {
+        self.pack_generic::<u64>(cols)
+    }
+
+    /// Packs one side's key columns into `u128` words; see [`Self::pack_u64`].
+    pub fn pack_u128(&self, cols: &[&Column]) -> (Vec<u128>, Option<Vec<bool>>) {
+        self.pack_generic::<u128>(cols)
+    }
+
+    fn pack_generic<W: KeyWord>(&self, cols: &[&Column]) -> (Vec<W>, Option<Vec<bool>>) {
+        let n = cols.first().map_or(0, |c| c.len());
+        let mut keys = vec![W::default(); n];
+        let mut skip: Option<Vec<bool>> = None;
+        for (slot, col) in self.slots.iter().zip(cols) {
+            match col {
+                Column::Int(d, v) => {
+                    pack_col(&mut keys, &mut skip, d, v.as_deref(), slot, |x| x as u64)
+                }
+                Column::Date(d, v) => pack_col(&mut keys, &mut skip, d, v.as_deref(), slot, |x| {
+                    i64::from(x) as u64
+                }),
+                Column::Bool(d, v) => {
+                    pack_col(&mut keys, &mut skip, d, v.as_deref(), slot, u64::from)
+                }
+                _ => unreachable!("plan admits only fixed-width dtypes"),
+            }
+        }
+        (keys, skip)
+    }
+}
+
+/// Word types a fixed-width key can pack into. Sealed to `u64`/`u128`.
+trait KeyWord: Copy + Default + std::ops::BitOrAssign {
+    fn from_bits(v: u64, shift: u32) -> Self;
+    fn bit(pos: u32) -> Self;
+}
+
+impl KeyWord for u64 {
+    #[inline]
+    fn from_bits(v: u64, shift: u32) -> u64 {
+        v << shift
+    }
+    #[inline]
+    fn bit(pos: u32) -> u64 {
+        1u64 << pos
+    }
+}
+
+impl KeyWord for u128 {
+    #[inline]
+    fn from_bits(v: u64, shift: u32) -> u128 {
+        u128::from(v) << shift
+    }
+    #[inline]
+    fn bit(pos: u32) -> u128 {
+        1u128 << pos
+    }
+}
+
+/// Monomorphic per-column packing loop: value bits are the sign-extended
+/// two's-complement representation masked to the slot width, so equal values
+/// of different physical types (Int vs Date) pack identically.
+#[inline]
+fn pack_col<W: KeyWord, T: Copy>(
+    keys: &mut [W],
+    skip: &mut Option<Vec<bool>>,
+    data: &[T],
+    valid: Option<&[bool]>,
+    slot: &KeySlot,
+    to_bits: impl Fn(T) -> u64,
+) {
+    let mask = if slot.bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << slot.bits) - 1
+    };
+    match (valid, slot.null_bit) {
+        (None, false) => {
+            for (k, &v) in keys.iter_mut().zip(data) {
+                *k |= W::from_bits(to_bits(v) & mask, slot.shift);
+            }
+        }
+        (None, true) => {
+            let nb = W::bit(slot.shift + slot.bits);
+            for (k, &v) in keys.iter_mut().zip(data) {
+                *k |= W::from_bits(to_bits(v) & mask, slot.shift);
+                *k |= nb;
+            }
+        }
+        (Some(vs), true) => {
+            // NULL rows leave the slot zero (value bits and validity bit),
+            // so all NULLs collide into one key — SQL GROUP BY semantics.
+            let nb = W::bit(slot.shift + slot.bits);
+            for ((k, &v), &ok) in keys.iter_mut().zip(data).zip(vs) {
+                if ok {
+                    *k |= W::from_bits(to_bits(v) & mask, slot.shift);
+                    *k |= nb;
+                }
+            }
+        }
+        (Some(vs), false) => {
+            let skip = skip.get_or_insert_with(|| vec![false; keys.len()]);
+            for (((k, &v), &ok), s) in keys.iter_mut().zip(data).zip(vs).zip(skip.iter_mut()) {
+                if ok {
+                    *k |= W::from_bits(to_bits(v) & mask, slot.shift);
+                } else {
+                    *s = true;
+                }
+            }
+        }
+    }
+}
+
+// ---------------- byte-encoded key arena (fallback) ----------------
+
+/// Row-major arena of byte-encoded composite keys.
+///
+/// All rows encode into one contiguous buffer up front; hash maps then key on
+/// borrowed `&[u8]` slices (`Copy`, no per-row `Vec<u8>` allocation or clone
+/// on either build or probe). This replaces the old
+/// `table.entry(buf.clone())` pattern wholesale.
+#[derive(Debug)]
+pub struct KeyArena {
+    buf: Vec<u8>,
+    /// Per-row `(start, end)` into `buf`; `start == usize::MAX` marks a row
+    /// whose key contains a NULL under join semantics (skipped).
+    spans: Vec<(usize, usize)>,
+}
+
+const NULL_SPAN: (usize, usize) = (usize::MAX, usize::MAX);
+
+/// How one key position encodes in a [`KeyArena`].
+///
+/// The SQL engine's byte fallback must partition rows exactly like the packed
+/// fast path would, so equality cannot depend on *which* layout got chosen:
+/// positions where every participating column is `Int`/`Date`/`Bool` encode
+/// as exact sign-extended `i64` (mirroring [`FixedKeySpec`]'s slot
+/// unification), positions involving a `Float` widen every numeric to the
+/// canonical f64 encoding (SQL `1 = 1.0`), and anything else keeps the raw
+/// type-tagged [`encode_value`] layout under which values of different types
+/// never compare equal (Pandas semantics; also SQL string positions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyEncoding {
+    /// Raw type-tagged encoding (type-sensitive equality).
+    Raw,
+    /// Exact integer encoding unifying `Int`/`Date`/`Bool`.
+    Int64,
+    /// Canonical f64 encoding unifying all numerics.
+    Float64,
+}
+
+/// Per-position [`KeyEncoding`] for SQL comparison semantics, planned jointly
+/// over every participating side (like [`FixedKeySpec::plan`]).
+pub fn sql_key_encodings(col_sets: &[&[&Column]]) -> Vec<KeyEncoding> {
+    let ncols = col_sets.first().map_or(0, |s| s.len());
+    (0..ncols)
+        .map(|i| {
+            let mut any_float = false;
+            let mut all_numeric = true;
+            for set in col_sets {
+                match set[i] {
+                    Column::Float(..) => any_float = true,
+                    Column::Int(..) | Column::Date(..) | Column::Bool(..) => {}
+                    Column::Str(..) => all_numeric = false,
+                }
+            }
+            if !all_numeric {
+                KeyEncoding::Raw
+            } else if any_float {
+                KeyEncoding::Float64
+            } else {
+                KeyEncoding::Int64
+            }
+        })
+        .collect()
+}
+
+impl KeyArena {
+    /// Encodes every row of the key columns, one [`KeyEncoding`] per column.
+    ///
+    /// `skip_nulls` selects join semantics: a row with any NULL key column
+    /// gets no key at all ([`KeyArena::key`] returns `None`).
+    pub fn encode(cols: &[&Column], enc: &[KeyEncoding], skip_nulls: bool) -> KeyArena {
+        let n = cols.first().map_or(0, |c| c.len());
+        let mut buf = Vec::with_capacity(n * cols.len() * 9);
+        let mut spans = Vec::with_capacity(n);
+        let valids: Vec<Option<&[bool]>> = cols.iter().map(|c| c.validity()).collect();
+        'rows: for i in 0..n {
+            let start = buf.len();
+            for ((c, valid), e) in cols.iter().zip(&valids).zip(enc) {
+                if !valid.map_or(true, |v| v[i]) {
+                    if skip_nulls {
+                        buf.truncate(start);
+                        spans.push(NULL_SPAN);
+                        continue 'rows;
+                    }
+                    buf.push(0);
+                    continue;
+                }
+                match (c, e) {
+                    (Column::Int(d, _), KeyEncoding::Raw | KeyEncoding::Int64) => {
+                        push_i64(&mut buf, d[i]);
+                    }
+                    (Column::Int(d, _), KeyEncoding::Float64) => {
+                        push_f64(&mut buf, d[i] as f64);
+                    }
+                    (Column::Float(d, _), _) => push_f64(&mut buf, d[i]),
+                    (Column::Bool(d, _), KeyEncoding::Raw) => {
+                        buf.extend_from_slice(&[3, u8::from(d[i])]);
+                    }
+                    (Column::Bool(d, _), KeyEncoding::Int64) => {
+                        push_i64(&mut buf, i64::from(d[i]));
+                    }
+                    (Column::Bool(d, _), KeyEncoding::Float64) => {
+                        push_f64(&mut buf, f64::from(u8::from(d[i])));
+                    }
+                    (Column::Str(d, _), _) => {
+                        buf.push(4);
+                        buf.extend_from_slice(&(d[i].len() as u32).to_le_bytes());
+                        buf.extend_from_slice(d[i].as_bytes());
+                    }
+                    (Column::Date(d, _), KeyEncoding::Raw) => {
+                        buf.push(5);
+                        buf.extend_from_slice(&d[i].to_le_bytes());
+                    }
+                    (Column::Date(d, _), KeyEncoding::Int64) => {
+                        push_i64(&mut buf, i64::from(d[i]));
+                    }
+                    (Column::Date(d, _), KeyEncoding::Float64) => {
+                        push_f64(&mut buf, f64::from(d[i]));
+                    }
+                }
+            }
+            spans.push((start, buf.len()));
+        }
+        KeyArena { buf, spans }
+    }
+
+    /// [`KeyArena::encode`] with the raw type-tagged encoding everywhere —
+    /// the frame baseline's Pandas-style type-sensitive equality.
+    pub fn encode_raw(cols: &[&Column], skip_nulls: bool) -> KeyArena {
+        KeyArena::encode(cols, &vec![KeyEncoding::Raw; cols.len()], skip_nulls)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when no rows were encoded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The row's key bytes, `None` for NULL-containing keys under
+    /// `skip_nulls` semantics.
+    #[inline]
+    pub fn key(&self, i: usize) -> Option<&[u8]> {
+        let (s, e) = self.spans[i];
+        (s != usize::MAX).then(|| &self.buf[s..e])
+    }
+
+    /// All keys as borrowed slices, in row order.
+    pub fn keys(&self) -> Vec<Option<&[u8]>> {
+        (0..self.len()).map(|i| self.key(i)).collect()
+    }
+
+    /// All keys for arenas encoded with `skip_nulls = false` (every row has
+    /// one): panics if any row was skipped.
+    pub fn dense_keys(&self) -> Vec<&[u8]> {
+        (0..self.len())
+            .map(|i| self.key(i).expect("nulls are encoded, not skipped"))
+            .collect()
+    }
+}
+
+/// Exact integer encoding (tag 1 + little-endian i64), shared by raw Int and
+/// the [`KeyEncoding::Int64`] unification.
+#[inline]
+fn push_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.push(1);
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bit pattern under which equal floats hash equal: `-0.0` folds into `0.0`
+/// and every NaN payload folds into the canonical NaN. The same
+/// canonicalization [`encode_value`] applies, exposed for typed hash sets
+/// over float columns.
+#[inline]
+pub fn canonical_f64_bits(f: f64) -> u64 {
+    let canonical = if f == 0.0 {
+        0.0f64
+    } else if f.is_nan() {
+        f64::NAN
+    } else {
+        f
+    };
+    canonical.to_bits()
+}
+
+/// Canonical float encoding shared with [`encode_value`].
+#[inline]
+fn push_f64(buf: &mut Vec<u8>, f: f64) {
+    buf.push(2);
+    buf.extend_from_slice(&canonical_f64_bits(f).to_le_bytes());
+}
+
+/// Turns `(keys, skip)` from a fixed-width pack into per-row optional keys
+/// (join semantics: `None` = NULL-containing key, never matches).
+pub fn opt_keys<K>((keys, skip): (Vec<K>, Option<Vec<bool>>)) -> Vec<Option<K>> {
+    match skip {
+        None => keys.into_iter().map(Some).collect(),
+        Some(s) => keys
+            .into_iter()
+            .zip(s)
+            .map(|(k, null)| (!null).then_some(k))
+            .collect(),
+    }
+}
+
+/// First-occurrence indices of distinct keys.
+pub fn distinct_keep<K: std::hash::Hash + Eq + Copy>(keys: &[K]) -> Vec<usize> {
+    let mut seen: FxHashSet<K> = FxHashSet::default();
+    let mut keep = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        if seen.insert(*k) {
+            keep.push(i);
+        }
+    }
+    keep
 }
 
 #[cfg(test)]
@@ -148,5 +600,121 @@ mod tests {
         encode_value(&mut a, &Value::Float(0.0));
         encode_value(&mut b, &Value::Float(-0.0));
         assert_eq!(a, b);
+    }
+
+    fn nullable_int(vals: &[Option<i64>]) -> Column {
+        let mut c = Column::new(crate::column::DType::Int);
+        for v in vals {
+            match v {
+                Some(x) => c.push(Value::Int(*x)).unwrap(),
+                None => c.push_null(),
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn plan_picks_minimal_width() {
+        let i = Column::from_i64(vec![1]);
+        let d = Column::from_dates(vec![1]);
+        let b = Column::from_bool(vec![true]);
+        let s = Column::from_strs(&["x"]);
+        let f = Column::from_f64(vec![1.0]);
+        let w = |cols: &[&Column], nm: bool| FixedKeySpec::plan(&[cols], nm).map(|s| s.width());
+        assert_eq!(w(&[&i], false), Some(KeyWidth::U64));
+        assert_eq!(w(&[&d, &d], false), Some(KeyWidth::U64)); // 32 + 32
+        assert_eq!(w(&[&i, &i], false), Some(KeyWidth::U128));
+        assert_eq!(w(&[&i, &d], false), Some(KeyWidth::U128)); // 64 + 32
+        assert_eq!(w(&[&i, &b], false), Some(KeyWidth::U128)); // 64 + 1
+        assert_eq!(w(&[&i, &i, &i], false), None);
+        assert_eq!(w(&[&s], false), None);
+        assert_eq!(w(&[&f], false), None);
+        // A nullable column only costs a bit under group semantics.
+        let ni = nullable_int(&[Some(1), None]);
+        assert_eq!(w(&[&ni], false), Some(KeyWidth::U64));
+        assert_eq!(w(&[&ni], true), Some(KeyWidth::U128)); // 64 + 1 null bit
+    }
+
+    #[test]
+    fn plan_unifies_widths_across_sides() {
+        // Int joined against Date: both sides get a 64-bit slot, so equal
+        // values pack identically.
+        let l = Column::from_i64(vec![5, -3]);
+        let r = Column::from_dates(vec![5, -3]);
+        let spec = FixedKeySpec::plan(&[&[&l], &[&r]], false).unwrap();
+        let (lk, _) = spec.pack_u64(&[&l]);
+        let (rk, _) = spec.pack_u64(&[&r]);
+        assert_eq!(lk, rk);
+    }
+
+    #[test]
+    fn pack_distinguishes_null_from_zero_under_group_semantics() {
+        let c = nullable_int(&[Some(0), None, None]);
+        let spec = FixedKeySpec::plan(&[&[&c]], true).unwrap();
+        let (keys, skip) = spec.pack_u128(&[&c]);
+        assert!(skip.is_none());
+        assert_ne!(keys[0], keys[1]); // 0 != NULL
+        assert_eq!(keys[1], keys[2]); // NULL == NULL
+    }
+
+    #[test]
+    fn pack_flags_null_rows_under_join_semantics() {
+        let c = nullable_int(&[Some(7), None]);
+        let spec = FixedKeySpec::plan(&[&[&c]], false).unwrap();
+        let (keys, skip) = spec.pack_u64(&[&c]);
+        assert_eq!(keys[0], 7);
+        assert_eq!(skip, Some(vec![false, true]));
+    }
+
+    #[test]
+    fn arena_raw_matches_encode_value() {
+        let i = nullable_int(&[Some(3), None]);
+        let s = Column::from_strs(&["ab", "c"]);
+        let arena = KeyArena::encode_raw(&[&i, &s], false);
+        for row in 0..2 {
+            let mut want = Vec::new();
+            encode_value(&mut want, &i.get(row));
+            encode_value(&mut want, &s.get(row));
+            assert_eq!(arena.key(row), Some(want.as_slice()));
+        }
+        assert_eq!(arena.dense_keys().len(), 2);
+    }
+
+    #[test]
+    fn sql_encodings_unify_int_like_positions_exactly() {
+        // Int joined against Date: both sides encode as exact i64, matching
+        // the packed fast path's slot unification.
+        let i = Column::from_i64(vec![4]);
+        let d = Column::from_dates(vec![4]);
+        let enc = sql_key_encodings(&[&[&i], &[&d]]);
+        assert_eq!(enc, vec![KeyEncoding::Int64]);
+        let a = KeyArena::encode(&[&i], &enc, false);
+        let b = KeyArena::encode(&[&d], &enc, false);
+        assert_eq!(a.key(0), b.key(0));
+    }
+
+    #[test]
+    fn sql_encodings_widen_to_f64_only_with_floats() {
+        let i = Column::from_i64(vec![4]);
+        let f = Column::from_f64(vec![4.0]);
+        let s = Column::from_strs(&["x"]);
+        let enc = sql_key_encodings(&[&[&i, &s], &[&f, &s]]);
+        assert_eq!(enc, vec![KeyEncoding::Float64, KeyEncoding::Raw]);
+        let a = KeyArena::encode(&[&i, &s], &enc, false);
+        let b = KeyArena::encode(&[&f, &s], &enc, false);
+        // 4 == 4.0 under SQL semantics (normalize_key + encode_value).
+        assert_eq!(a.key(0), b.key(0));
+        let mut want = Vec::new();
+        encode_value(&mut want, &normalize_key(Value::Int(4)));
+        encode_value(&mut want, &Value::Str("x".into()));
+        assert_eq!(a.key(0), Some(want.as_slice()));
+    }
+
+    #[test]
+    fn arena_skips_null_keys_in_join_mode() {
+        let i = nullable_int(&[Some(1), None]);
+        let arena = KeyArena::encode(&[&i], &[KeyEncoding::Int64], true);
+        assert!(arena.key(0).is_some());
+        assert_eq!(arena.key(1), None);
     }
 }

@@ -195,19 +195,16 @@ impl DataFrame {
 
     /// `df.drop_duplicates()` over all columns, keeping first occurrences.
     pub fn drop_duplicates(&self) -> DataFrame {
-        use pytond_common::hash::FxHashSet;
-        let mut seen: FxHashSet<Vec<u8>> = FxHashSet::default();
-        let mut keep = Vec::new();
-        let mut buf = Vec::new();
-        for i in 0..self.num_rows() {
-            buf.clear();
-            for s in &self.cols {
-                pytond_common::hash::encode_value(&mut buf, &s.get(i));
+        use pytond_common::hash::{distinct_keep, FixedKeySpec, KeyArena, KeyWidth};
+        let cols: Vec<&pytond_common::Column> = self.cols.iter().map(|s| &s.col).collect();
+        let keep = match FixedKeySpec::plan(&[&cols], true) {
+            Some(spec) if spec.width() == KeyWidth::U64 => distinct_keep(&spec.pack_u64(&cols).0),
+            Some(spec) => distinct_keep(&spec.pack_u128(&cols).0),
+            None => {
+                let arena = KeyArena::encode_raw(&cols, false);
+                distinct_keep(&arena.dense_keys())
             }
-            if seen.insert(buf.clone()) {
-                keep.push(i);
-            }
-        }
+        };
         self.take(&keep)
     }
 

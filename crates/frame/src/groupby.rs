@@ -2,8 +2,9 @@
 
 use crate::dataframe::DataFrame;
 use crate::series::Series;
-use pytond_common::hash::FxHashMap;
+use pytond_common::hash::{FixedKeySpec, FxHashMap, KeyArena, KeyWidth};
 use pytond_common::{Column, Error, Result, Value};
+use std::hash::Hash;
 
 /// Aggregate functions available to `agg`, `aggregate` and `pivot_table`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,24 +62,31 @@ impl<'a> GroupBy<'a> {
     /// Hashes the key columns and collects row indices per group,
     /// first-appearance order (Pandas `sort=False` semantics; callers sort
     /// explicitly when needed).
+    ///
+    /// Shares the engine's key machinery — the fairness rule that keeps the
+    /// baseline comparable: fixed-width keys pack into `u64`/`u128` words,
+    /// anything else arena-encodes. The byte encoding is **not** normalized
+    /// (Pandas equality is type-sensitive, unlike SQL's `1 = 1.0`).
     pub fn new(df: &'a DataFrame, by: &[&str]) -> Result<GroupBy<'a>> {
         let keys: Vec<&Series> = by.iter().map(|k| df.col(k)).collect::<Result<Vec<_>>>()?;
-        let mut map: FxHashMap<Vec<u8>, usize> = FxHashMap::default();
-        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
-        let mut buf = Vec::new();
-        for i in 0..df.num_rows() {
-            buf.clear();
-            for k in &keys {
-                pytond_common::hash::encode_value(&mut buf, &k.get(i));
+        let cols: Vec<&Column> = keys.iter().map(|s| &s.col).collect();
+        let groups = if cols.is_empty() {
+            // Degenerate `groupby([])`: every row lands in one group.
+            if df.num_rows() == 0 {
+                Vec::new()
+            } else {
+                vec![(0, (0..df.num_rows()).collect())]
             }
-            match map.get(buf.as_slice()) {
-                Some(&g) => groups[g].1.push(i),
+        } else {
+            match FixedKeySpec::plan(&[&cols], true) {
+                Some(spec) if spec.width() == KeyWidth::U64 => group_rows(&spec.pack_u64(&cols).0),
+                Some(spec) => group_rows(&spec.pack_u128(&cols).0),
                 None => {
-                    map.insert(buf.clone(), groups.len());
-                    groups.push((i, vec![i]));
+                    let arena = KeyArena::encode_raw(&cols, false);
+                    group_rows(&arena.dense_keys())
                 }
             }
-        }
+        };
         Ok(GroupBy {
             df,
             by: by.iter().map(|s| s.to_string()).collect(),
@@ -142,6 +150,22 @@ impl<'a> GroupBy<'a> {
             .collect();
         self.agg(&borrowed)
     }
+}
+
+/// Buckets row indices by key in first-appearance order.
+fn group_rows<K: Hash + Eq + Copy>(keys: &[K]) -> Vec<(usize, Vec<usize>)> {
+    let mut map: FxHashMap<K, usize> = FxHashMap::default();
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        match map.get(k) {
+            Some(&g) => groups[g].1.push(i),
+            None => {
+                map.insert(*k, groups.len());
+                groups.push((i, vec![i]));
+            }
+        }
+    }
+    groups
 }
 
 #[cfg(test)]

@@ -3,8 +3,9 @@
 
 use crate::dataframe::DataFrame;
 use crate::series::Series;
-use pytond_common::hash::FxHashMap;
-use pytond_common::{Error, Result};
+use pytond_common::hash::{opt_keys, FixedKeySpec, FxHashMap, KeyArena, KeyWidth};
+use pytond_common::{Column, Error, Result};
+use std::hash::Hash;
 
 /// Join kinds accepted by the `how` argument.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,49 +63,68 @@ pub fn merge(
         right.col(k)?;
     }
 
-    // Build: right side keyed by encoded composite key.
-    let right_keys: Vec<&Series> = right_on.iter().map(|k| right.col(k).unwrap()).collect();
-    let mut table: FxHashMap<Vec<u8>, Vec<usize>> = FxHashMap::default();
-    let mut buf = Vec::new();
-    for i in 0..right.num_rows() {
-        buf.clear();
-        let mut has_null = false;
-        for k in &right_keys {
-            let v = k.get(i);
-            if v.is_null() {
-                has_null = true;
-                break;
-            }
-            pytond_common::hash::encode_value(&mut buf, &v);
-        }
-        if has_null {
-            continue; // null keys never match (SQL/Pandas semantics)
-        }
-        table.entry(buf.clone()).or_default().push(i);
-    }
-
-    // Probe: left side in order.
+    // Same key machinery as the SQL engine (the fairness rule): fixed-width
+    // keys pack into machine words, anything else arena-encodes into borrowed
+    // byte slices — either way, build and probe never clone a key. NULL keys
+    // never match (SQL/Pandas semantics). Pandas equality is type-sensitive
+    // (Int never equals Date), so the packed path — whose slot unification
+    // would equate them — only applies when each key position carries the
+    // same dtype on both sides; the byte encoding stays raw (type-tagged).
     let left_keys: Vec<&Series> = left_on.iter().map(|k| left.col(k).unwrap()).collect();
+    let right_keys: Vec<&Series> = right_on.iter().map(|k| right.col(k).unwrap()).collect();
+    let lcols: Vec<&Column> = left_keys.iter().map(|s| &s.col).collect();
+    let rcols: Vec<&Column> = right_keys.iter().map(|s| &s.col).collect();
+    let same_dtypes = lcols
+        .iter()
+        .zip(&rcols)
+        .all(|(l, r)| l.dtype() == r.dtype());
+    let plan = if same_dtypes {
+        FixedKeySpec::plan(&[&lcols, &rcols], false)
+    } else {
+        None
+    };
+    let (left_idx, right_idx) = match plan {
+        Some(spec) if spec.width() == KeyWidth::U64 => probe_indices(
+            &opt_keys(spec.pack_u64(&lcols)),
+            &opt_keys(spec.pack_u64(&rcols)),
+            how,
+        ),
+        Some(spec) => probe_indices(
+            &opt_keys(spec.pack_u128(&lcols)),
+            &opt_keys(spec.pack_u128(&rcols)),
+            how,
+        ),
+        None => {
+            let la = KeyArena::encode_raw(&lcols, true);
+            let ra = KeyArena::encode_raw(&rcols, true);
+            probe_indices(&la.keys(), &ra.keys(), how)
+        }
+    };
+
+    assemble(
+        left, right, &left_idx, &right_idx, left_on, right_on, suffixes,
+    )
+}
+
+/// Hash build (right) + ordered probe (left) over precomputed per-row keys;
+/// `None` keys never match.
+#[allow(clippy::type_complexity)]
+fn probe_indices<K: Hash + Eq + Copy>(
+    lkeys: &[Option<K>],
+    rkeys: &[Option<K>],
+    how: JoinHow,
+) -> (Vec<Option<usize>>, Vec<Option<usize>>) {
+    let mut table: FxHashMap<K, Vec<usize>> = FxHashMap::default();
+    for (i, k) in rkeys.iter().enumerate() {
+        if let Some(k) = k {
+            table.entry(*k).or_default().push(i);
+        }
+    }
     let mut left_idx: Vec<Option<usize>> = Vec::new();
     let mut right_idx: Vec<Option<usize>> = Vec::new();
-    let mut right_matched = vec![false; right.num_rows()];
-    for i in 0..left.num_rows() {
-        buf.clear();
-        let mut has_null = false;
-        for k in &left_keys {
-            let v = k.get(i);
-            if v.is_null() {
-                has_null = true;
-                break;
-            }
-            pytond_common::hash::encode_value(&mut buf, &v);
-        }
-        let matches = if has_null {
-            None
-        } else {
-            table.get(buf.as_slice())
-        };
-        match matches {
+    let mut right_matched = vec![false; rkeys.len()];
+    for (i, k) in lkeys.iter().enumerate() {
+        match k.as_ref().and_then(|k| table.get(k)) {
             Some(rows) => {
                 for &r in rows {
                     left_idx.push(Some(i));
@@ -128,10 +148,7 @@ pub fn merge(
             }
         }
     }
-
-    assemble(
-        left, right, &left_idx, &right_idx, left_on, right_on, suffixes,
-    )
+    (left_idx, right_idx)
 }
 
 fn cross_join(left: &DataFrame, right: &DataFrame, suffixes: (&str, &str)) -> Result<DataFrame> {
@@ -342,6 +359,20 @@ mod tests {
         .unwrap();
         assert_eq!(j.num_rows(), 2);
         assert_eq!(j.col("w").unwrap().col.as_int(), &[1, 2]);
+    }
+
+    #[test]
+    fn cross_dtype_keys_never_match() {
+        // Pandas equality is type-sensitive: Int 5 must not match Date 5
+        // (the packed fast path is bypassed for mixed-dtype key positions).
+        let df1 = DataFrame::from_cols(vec![("k", Column::from_i64(vec![5, 6]))]).unwrap();
+        let df2 = DataFrame::from_cols(vec![("k", Column::from_dates(vec![5, 7]))]).unwrap();
+        let j = merge(&df1, &df2, JoinHow::Inner, &["k"], &["k"], ("_x", "_y")).unwrap();
+        assert_eq!(j.num_rows(), 0);
+        // Same-dtype joins still match (and take the packed path).
+        let df3 = DataFrame::from_cols(vec![("k", Column::from_i64(vec![5, 9]))]).unwrap();
+        let j2 = merge(&df1, &df3, JoinHow::Inner, &["k"], &["k"], ("_x", "_y")).unwrap();
+        assert_eq!(j2.num_rows(), 1);
     }
 
     #[test]

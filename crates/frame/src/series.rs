@@ -286,25 +286,52 @@ impl Series {
     }
 
     /// Membership test against the values of `other` (Pandas `isin`).
+    ///
+    /// Same-dtype columns use typed hash sets over raw slices (no encoding,
+    /// no per-row allocation); mixed dtypes keep the byte-encoded semantics,
+    /// under which values of different types never compare equal.
     pub fn isin(&self, other: &Series) -> Series {
-        let mut set: FxHashSet<Vec<u8>> = FxHashSet::default();
-        let mut buf = Vec::new();
-        for i in 0..other.len() {
-            buf.clear();
-            pytond_common::hash::encode_value(&mut buf, &other.get(i));
-            set.insert(buf.clone());
-        }
-        let mut out = Vec::with_capacity(self.len());
-        for i in 0..self.len() {
-            buf.clear();
-            let v = self.get(i);
-            if v.is_null() {
-                out.push(false);
-                continue;
+        use pytond_common::hash::canonical_f64_bits;
+        let out: Vec<bool> = match (&self.col, &other.col) {
+            (Column::Int(d, valid), Column::Int(od, ovalid)) => {
+                membership(d, valid, od, ovalid, |&x| x)
             }
-            pytond_common::hash::encode_value(&mut buf, &v);
-            out.push(set.contains(buf.as_slice()));
-        }
+            (Column::Date(d, valid), Column::Date(od, ovalid)) => {
+                membership(d, valid, od, ovalid, |&x| x)
+            }
+            (Column::Bool(d, valid), Column::Bool(od, ovalid)) => {
+                membership(d, valid, od, ovalid, |&x| x)
+            }
+            (Column::Float(d, valid), Column::Float(od, ovalid)) => {
+                membership(d, valid, od, ovalid, |&x| canonical_f64_bits(x))
+            }
+            (Column::Str(d, valid), Column::Str(od, ovalid)) => {
+                membership(d, valid, od, ovalid, |x| x.as_str())
+            }
+            _ => {
+                // Mixed dtypes: byte-encoded values (tags keep types apart).
+                let mut set: FxHashSet<Vec<u8>> = FxHashSet::default();
+                let mut buf = Vec::new();
+                for i in 0..other.len() {
+                    buf.clear();
+                    pytond_common::hash::encode_value(&mut buf, &other.get(i));
+                    if !set.contains(&buf) {
+                        set.insert(buf.clone());
+                    }
+                }
+                (0..self.len())
+                    .map(|i| {
+                        let v = self.get(i);
+                        if v.is_null() {
+                            return false;
+                        }
+                        buf.clear();
+                        pytond_common::hash::encode_value(&mut buf, &v);
+                        set.contains(buf.as_slice())
+                    })
+                    .collect()
+            }
+        };
         Series::new(self.name.clone(), Column::from_bool(out))
     }
 
@@ -474,34 +501,31 @@ impl Series {
         (self.len() - self.col.null_count()) as i64
     }
 
-    /// Number of distinct non-null values (`nunique`).
+    /// Number of distinct non-null values (`nunique`), via a typed hash set
+    /// over the raw column slice.
     pub fn nunique(&self) -> i64 {
-        let mut set: FxHashSet<Vec<u8>> = FxHashSet::default();
-        let mut buf = Vec::new();
-        for i in 0..self.len() {
-            let v = self.get(i);
-            if v.is_null() {
-                continue;
-            }
-            buf.clear();
-            pytond_common::hash::encode_value(&mut buf, &v);
-            set.insert(buf.clone());
-        }
-        set.len() as i64
+        use pytond_common::hash::canonical_f64_bits;
+        let n = match &self.col {
+            Column::Int(d, v) => count_distinct(d, v.as_deref(), |&x| x),
+            Column::Date(d, v) => count_distinct(d, v.as_deref(), |&x| x),
+            Column::Bool(d, v) => count_distinct(d, v.as_deref(), |&x| x),
+            Column::Float(d, v) => count_distinct(d, v.as_deref(), |&x| canonical_f64_bits(x)),
+            Column::Str(d, v) => count_distinct(d, v.as_deref(), |x: &String| x.as_str()),
+        };
+        n as i64
     }
 
-    /// Distinct values in first-appearance order (`unique`).
+    /// Distinct values in first-appearance order (`unique`); a null, if any,
+    /// is kept once at its first occurrence.
     pub fn unique(&self) -> Series {
-        let mut set: FxHashSet<Vec<u8>> = FxHashSet::default();
-        let mut buf = Vec::new();
-        let mut keep = Vec::new();
-        for i in 0..self.len() {
-            buf.clear();
-            pytond_common::hash::encode_value(&mut buf, &self.get(i));
-            if set.insert(buf.clone()) {
-                keep.push(i);
-            }
-        }
+        use pytond_common::hash::canonical_f64_bits;
+        let keep = match &self.col {
+            Column::Int(d, v) => unique_keep(d, v.as_deref(), |&x| x),
+            Column::Date(d, v) => unique_keep(d, v.as_deref(), |&x| x),
+            Column::Bool(d, v) => unique_keep(d, v.as_deref(), |&x| x),
+            Column::Float(d, v) => unique_keep(d, v.as_deref(), |&x| canonical_f64_bits(x)),
+            Column::Str(d, v) => unique_keep(d, v.as_deref(), |x: &String| x.as_str()),
+        };
         Series::new(self.name.clone(), self.col.gather(&keep))
     }
 
@@ -530,6 +554,63 @@ impl Series {
             })
             .collect()
     }
+}
+
+/// `self ∈ other` over raw slices: builds a typed set from `other`'s valid
+/// values, probes `self`'s rows (nulls are never members).
+fn membership<'a, T, K: std::hash::Hash + Eq + 'a>(
+    data: &'a [T],
+    valid: &Option<Vec<bool>>,
+    other: &'a [T],
+    other_valid: &Option<Vec<bool>>,
+    key: impl Fn(&'a T) -> K,
+) -> Vec<bool> {
+    let set: FxHashSet<K> = other
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| other_valid.as_ref().map_or(true, |v| v[*i]))
+        .map(|(_, x)| key(x))
+        .collect();
+    data.iter()
+        .enumerate()
+        .map(|(i, x)| valid.as_ref().map_or(true, |v| v[i]) && set.contains(&key(x)))
+        .collect()
+}
+
+/// Number of distinct valid values in a slice.
+fn count_distinct<'a, T, K: std::hash::Hash + Eq + 'a>(
+    data: &'a [T],
+    valid: Option<&[bool]>,
+    key: impl Fn(&'a T) -> K,
+) -> usize {
+    data.iter()
+        .enumerate()
+        .filter(|(i, _)| valid.map_or(true, |v| v[*i]))
+        .map(|(_, x)| key(x))
+        .collect::<FxHashSet<K>>()
+        .len()
+}
+
+/// First-occurrence indices of distinct values; nulls count as one value.
+fn unique_keep<'a, T, K: std::hash::Hash + Eq + 'a>(
+    data: &'a [T],
+    valid: Option<&[bool]>,
+    key: impl Fn(&'a T) -> K,
+) -> Vec<usize> {
+    let mut set: FxHashSet<K> = FxHashSet::default();
+    let mut seen_null = false;
+    let mut keep = Vec::new();
+    for (i, x) in data.iter().enumerate() {
+        if valid.map_or(true, |v| v[i]) {
+            if set.insert(key(x)) {
+                keep.push(i);
+            }
+        } else if !seen_null {
+            seen_null = true;
+            keep.push(i);
+        }
+    }
+    keep
 }
 
 #[cfg(test)]

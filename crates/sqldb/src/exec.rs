@@ -21,8 +21,12 @@ use crate::db::Database;
 use crate::expr::BExpr;
 use crate::plan::{BAgg, BoundQuery, JKind, LogicalPlan};
 use crate::table::{Batch, Schema, StoredTable};
-use pytond_common::hash::{encode_value, FxHashMap, FxHashSet};
+use pytond_common::hash::{
+    distinct_keep, encode_value, normalize_key, opt_keys, sql_key_encodings, FixedKeySpec,
+    FxHashMap, FxHashSet, KeyArena, KeyWidth,
+};
 use pytond_common::{Column, DType, Error, Result, Value};
+use std::hash::Hash;
 use std::sync::Arc;
 
 /// Runtime options (derived from [`crate::db::EngineConfig`]).
@@ -155,19 +159,17 @@ impl<'a> Executor<'a> {
             }
             LogicalPlan::Distinct { input } => {
                 let batch = self.exec(input)?;
-                let n = batch.num_rows();
-                let mut seen: FxHashSet<Vec<u8>> = FxHashSet::default();
-                let mut keep = Vec::new();
-                let mut buf = Vec::new();
-                for i in 0..n {
-                    buf.clear();
-                    for c in &batch.cols {
-                        encode_value(&mut buf, &c.get(i));
+                let cols: Vec<&Column> = batch.cols.iter().map(|c| c.as_ref()).collect();
+                let keep = match FixedKeySpec::plan(&[&cols], true) {
+                    Some(spec) if spec.width() == KeyWidth::U64 => {
+                        distinct_keep(&spec.pack_u64(&cols).0)
                     }
-                    if seen.insert(buf.clone()) {
-                        keep.push(i);
+                    Some(spec) => distinct_keep(&spec.pack_u128(&cols).0),
+                    None => {
+                        let arena = KeyArena::encode_raw(&cols, false);
+                        distinct_keep(&arena.dense_keys())
                     }
-                }
+                };
                 Ok(batch.gather(&keep))
             }
         }
@@ -237,57 +239,69 @@ impl<'a> Executor<'a> {
         if left_keys.is_empty() {
             return self.keyless_join(left, right, kind, residual);
         }
-        // Build: hash the right side.
-        let rkey_cols: Vec<Column> = right_keys
-            .iter()
-            .map(|e| e.eval(right, None))
-            .collect::<Result<_>>()?;
-        let mut table: FxHashMap<Vec<u8>, Vec<u32>> = FxHashMap::default();
-        {
-            let mut buf = Vec::new();
-            for i in 0..right.num_rows() {
-                buf.clear();
-                let mut null_key = false;
-                for k in &rkey_cols {
-                    let v = normalize_key(k.get(i));
-                    if v.is_null() {
-                        null_key = true;
-                        break;
-                    }
-                    encode_value(&mut buf, &v);
-                }
-                if !null_key {
-                    table.entry(buf.clone()).or_default().push(i as u32);
-                }
-            }
-        }
-        // Probe: left side, in parallel ranges.
         let lkey_cols: Vec<Column> = left_keys
             .iter()
             .map(|e| e.eval(left, None))
             .collect::<Result<_>>()?;
+        let rkey_cols: Vec<Column> = right_keys
+            .iter()
+            .map(|e| e.eval(right, None))
+            .collect::<Result<_>>()?;
+        let lrefs: Vec<&Column> = lkey_cols.iter().collect();
+        let rrefs: Vec<&Column> = rkey_cols.iter().collect();
+        // Pick the key layout jointly over both sides; the packed fast paths
+        // and the byte fallback share one generic build/probe implementation.
+        match FixedKeySpec::plan(&[&lrefs, &rrefs], false) {
+            Some(spec) if spec.width() == KeyWidth::U64 => {
+                let lk = opt_keys(spec.pack_u64(&lrefs));
+                let rk = opt_keys(spec.pack_u64(&rrefs));
+                self.join_with_keys(left, right, kind, &lk, &rk, residual)
+            }
+            Some(spec) => {
+                let lk = opt_keys(spec.pack_u128(&lrefs));
+                let rk = opt_keys(spec.pack_u128(&rrefs));
+                self.join_with_keys(left, right, kind, &lk, &rk, residual)
+            }
+            None => {
+                // Per-position encodings keep fallback equality identical to
+                // what the packed path would compute (exact int-like keys,
+                // f64-normalized only where a float column participates).
+                let enc = sql_key_encodings(&[&lrefs, &rrefs]);
+                let la = KeyArena::encode(&lrefs, &enc, true);
+                let ra = KeyArena::encode(&rrefs, &enc, true);
+                self.join_with_keys(left, right, kind, &la.keys(), &ra.keys(), residual)
+            }
+        }
+    }
+
+    /// Hash join over precomputed per-row keys (`None` = NULL key, never
+    /// matches). `K` is `u64`/`u128` on the packed fast path and a borrowed
+    /// `&[u8]` arena slice on the fallback — either way `Copy`, so the build
+    /// side inserts without cloning.
+    fn join_with_keys<K: Hash + Eq + Copy + Send + Sync>(
+        &self,
+        left: &Batch,
+        right: &Batch,
+        kind: JKind,
+        lkeys: &[Option<K>],
+        rkeys: &[Option<K>],
+        residual: Option<&BExpr>,
+    ) -> Result<Batch> {
+        // Build: hash the right side.
+        let mut table: FxHashMap<K, Vec<u32>> = FxHashMap::default();
+        for (i, k) in rkeys.iter().enumerate() {
+            if let Some(k) = k {
+                table.entry(*k).or_default().push(i as u32);
+            }
+        }
+        // Probe: left side, in parallel ranges.
         let keep_unmatched_left = matches!(kind, JKind::Left | JKind::Full);
         let probe_chunks = par_ranges(left.num_rows(), self.opts, |start, end| {
             let mut li: Vec<Option<usize>> = Vec::new();
             let mut ri: Vec<Option<usize>> = Vec::new();
             let mut matched_right: Vec<u32> = Vec::new();
-            let mut buf = Vec::new();
-            for i in start..end {
-                buf.clear();
-                let mut null_key = false;
-                for k in &lkey_cols {
-                    let v = normalize_key(k.get(i));
-                    if v.is_null() {
-                        null_key = true;
-                        break;
-                    }
-                    encode_value(&mut buf, &v);
-                }
-                let matches = if null_key {
-                    None
-                } else {
-                    table.get(buf.as_slice())
-                };
+            for (i, lk) in lkeys.iter().enumerate().take(end).skip(start) {
+                let matches = lk.as_ref().and_then(|k| table.get(k));
                 match (matches, kind) {
                     (Some(rows), JKind::Semi) => {
                         if !rows.is_empty() {
@@ -423,35 +437,87 @@ impl<'a> Executor<'a> {
             })
             .collect::<Result<_>>()?;
 
-        let arg_is_int: Vec<bool> = arg_cols
+        let arg_dtypes: Vec<Option<DType>> = arg_cols
             .iter()
-            .map(|c| c.as_ref().map_or(true, |c| c.dtype() == DType::Int))
+            .map(|c| c.as_ref().map(|c| c.dtype()))
             .collect();
-        // Parallel partial aggregation.
-        let arg_is_int_ref = &arg_is_int;
-        let partials = par_ranges(n, self.opts, |start, end| {
-            let mut map: FxHashMap<Vec<u8>, usize> = FxHashMap::default();
-            let mut states: Vec<GroupState> = Vec::new();
-            let mut buf = Vec::new();
-            for i in start..end {
-                buf.clear();
-                for k in &key_cols {
-                    encode_value(&mut buf, &normalize_key(k.get(i)));
+        // Group keys take the packed fast path when every key column is
+        // fixed-width (group semantics: NULL is a key value, so the layout
+        // folds a validity bit in); strings/floats fall back to arena-encoded
+        // byte keys. Scalar aggregation is a single constant key.
+        let krefs: Vec<&Column> = key_cols.iter().collect();
+        let mut states = if group.is_empty() {
+            self.agg_states(n, &vec![0u64; n], aggs, &arg_cols, &arg_dtypes)?
+        } else {
+            match FixedKeySpec::plan(&[&krefs], true) {
+                Some(spec) if spec.width() == KeyWidth::U64 => {
+                    self.agg_states(n, &spec.pack_u64(&krefs).0, aggs, &arg_cols, &arg_dtypes)?
                 }
-                let g = match map.get(buf.as_slice()) {
+                Some(spec) => {
+                    self.agg_states(n, &spec.pack_u128(&krefs).0, aggs, &arg_cols, &arg_dtypes)?
+                }
+                None => {
+                    let enc = sql_key_encodings(&[&krefs]);
+                    let arena = KeyArena::encode(&krefs, &enc, false);
+                    self.agg_states(n, &arena.dense_keys(), aggs, &arg_cols, &arg_dtypes)?
+                }
+            }
+        };
+        states.sort_by_key(|s| s.first_row);
+
+        // Scalar aggregation over empty input still yields one row.
+        if group.is_empty() && states.is_empty() {
+            states.push(GroupState::new(0, aggs, &arg_dtypes));
+        }
+
+        // Assemble output: group keys then aggregates.
+        let mut out_cols = Vec::with_capacity(group.len() + aggs.len());
+        let firsts: Vec<usize> = states.iter().map(|s| s.first_row).collect();
+        for k in &key_cols {
+            out_cols.push(k.gather(&firsts));
+        }
+        for (ai, agg) in aggs.iter().enumerate() {
+            let vals: Vec<Value> = states.iter().map(|s| s.finalize(ai, agg)).collect();
+            out_cols.push(Column::from_values(&vals)?);
+        }
+        Ok(Batch::from_columns(out_cols))
+    }
+
+    /// Parallel partial aggregation over precomputed per-row group keys,
+    /// merged by global first occurrence. `K` is a packed `u64`/`u128` word or
+    /// a borrowed byte slice; partial maps never clone keys.
+    fn agg_states<K: Hash + Eq + Copy + Send + Sync>(
+        &self,
+        n: usize,
+        keys: &[K],
+        aggs: &[BAgg],
+        arg_cols: &[Option<Column>],
+        arg_dtypes: &[Option<DType>],
+    ) -> Result<Vec<GroupState>> {
+        let partials = par_ranges(n, self.opts, |start, end| {
+            // Pass 1: assign a chunk-local group id per row.
+            let mut map: FxHashMap<K, usize> = FxHashMap::default();
+            let mut states: Vec<GroupState> = Vec::new();
+            let mut gids: Vec<u32> = Vec::with_capacity(end - start);
+            for (i, key) in keys.iter().enumerate().take(end).skip(start) {
+                let g = match map.get(key) {
                     Some(&g) => g,
                     None => {
-                        map.insert(buf.clone(), states.len());
-                        states.push(GroupState::new(i, aggs, arg_is_int_ref));
+                        map.insert(*key, states.len());
+                        states.push(GroupState::new(i, aggs, arg_dtypes));
                         states.len() - 1
                     }
                 };
-                states[g].update(i, aggs, &arg_cols)?;
+                gids.push(g as u32);
+            }
+            // Pass 2: accumulate column-major — one typed loop per aggregate.
+            for (ai, agg) in aggs.iter().enumerate() {
+                accumulate(&mut states, ai, agg, &gids, start, arg_cols[ai].as_ref())?;
             }
             Ok((map, states))
         })?;
         // Merge partials, ordering groups by global first occurrence.
-        let mut global: FxHashMap<Vec<u8>, usize> = FxHashMap::default();
+        let mut global: FxHashMap<K, usize> = FxHashMap::default();
         let mut states: Vec<GroupState> = Vec::new();
         for (map, part_states) in partials {
             for (key, gi) in map {
@@ -464,24 +530,7 @@ impl<'a> Executor<'a> {
                 }
             }
         }
-        states.sort_by_key(|s| s.first_row);
-
-        // Scalar aggregation over empty input still yields one row.
-        if group.is_empty() && states.is_empty() {
-            states.push(GroupState::new(0, aggs, &arg_is_int));
-        }
-
-        // Assemble output: group keys then aggregates.
-        let mut out_cols = Vec::with_capacity(group.len() + aggs.len());
-        for k in &key_cols {
-            let firsts: Vec<usize> = states.iter().map(|s| s.first_row).collect();
-            out_cols.push(k.gather(&firsts));
-        }
-        for (ai, agg) in aggs.iter().enumerate() {
-            let vals: Vec<Value> = states.iter().map(|s| s.finalize(ai, agg)).collect();
-            out_cols.push(Column::from_values(&vals)?);
-        }
-        Ok(Batch::from_columns(out_cols))
+        Ok(states)
     }
 
     fn eval_parallel(
@@ -597,15 +646,14 @@ impl<'a> Executor<'a> {
     }
 }
 
-/// Join/group keys normalize Int to Float encoding only when needed; here we
-/// widen ints to floats so `1 = 1.0` matches across differently-typed sides.
-fn normalize_key(v: Value) -> Value {
-    match v {
-        Value::Int(i) => Value::Float(i as f64),
-        Value::Date(d) => Value::Float(f64::from(d)),
-        Value::Bool(b) => Value::Float(f64::from(u8::from(b))),
-        other => other,
-    }
+/// The key layout the executor chooses for the given key-column sets:
+/// `Some(width)` = fixed-width packed fast path, `None` = byte-encoded
+/// fallback. This is the exact decision `join` (two column sets,
+/// `nulls_matter = false`), `aggregate` and `distinct` (one set,
+/// `nulls_matter = true`) make internally — exposed so tests and diagnostics
+/// can assert which path a query takes.
+pub fn planned_key_width(col_sets: &[&[&Column]], nulls_matter: bool) -> Option<KeyWidth> {
+    FixedKeySpec::plan(col_sets, nulls_matter).map(|s| s.width())
 }
 
 /// Splits `[0, n)` into per-thread ranges and runs `f` on each concurrently.
@@ -638,6 +686,181 @@ fn par_ranges<T: Send>(
     results.into_iter().collect()
 }
 
+/// Column-major accumulation of one aggregate over a row chunk.
+///
+/// `gids[k]` is the chunk-local group of row `start + k`. Numeric
+/// sum/avg/count/min/max arguments take monomorphic loops over the raw column
+/// slice; every other dtype/accumulator pair (DISTINCT sets, string/date
+/// extrema) falls back to the row-at-a-time [`GroupState::update_one`].
+fn accumulate(
+    states: &mut [GroupState],
+    ai: usize,
+    agg: &BAgg,
+    gids: &[u32],
+    start: usize,
+    col: Option<&Column>,
+) -> Result<()> {
+    let Some(first) = states.first() else {
+        return Ok(());
+    };
+    let tag = first.accs[ai].tag();
+
+    /// One typed loop: `$acc` destructures the accumulator, `$x` binds the
+    /// row value (only on valid rows), `$body` updates the accumulator.
+    macro_rules! acc_loop {
+        ($d:expr, $valid:expr, $acc:pat, $x:ident, $body:expr) => {{
+            match $valid {
+                None => {
+                    for (k, &g) in gids.iter().enumerate() {
+                        let $x = $d[start + k];
+                        let $acc = &mut states[g as usize].accs[ai] else {
+                            unreachable!("accumulator kinds are uniform per aggregate");
+                        };
+                        $body
+                    }
+                }
+                Some(vs) => {
+                    for (k, &g) in gids.iter().enumerate() {
+                        if vs[start + k] {
+                            let $x = $d[start + k];
+                            let $acc = &mut states[g as usize].accs[ai] else {
+                                unreachable!("accumulator kinds are uniform per aggregate");
+                            };
+                            $body
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }};
+    }
+
+    match (col, tag) {
+        // COUNT(*) — no argument, every row counts.
+        (None, AccTag::Count) => {
+            for &g in gids {
+                if let Acc::Count(cnt) = &mut states[g as usize].accs[ai] {
+                    *cnt += 1;
+                }
+            }
+            Ok(())
+        }
+        // COUNT(arg) — count valid rows; only the validity mask matters.
+        (Some(c), AccTag::Count) => {
+            let valid = c.validity();
+            for (k, &g) in gids.iter().enumerate() {
+                if valid.map_or(true, |v| v[start + k]) {
+                    if let Acc::Count(cnt) = &mut states[g as usize].accs[ai] {
+                        *cnt += 1;
+                    }
+                }
+            }
+            Ok(())
+        }
+        (Some(Column::Float(d, v)), AccTag::SumF) => {
+            acc_loop!(d, v.as_deref(), Acc::SumF(s, any), x, {
+                *s += x;
+                *any = true;
+            })
+        }
+        (Some(Column::Int(d, v)), AccTag::SumF) => {
+            acc_loop!(d, v.as_deref(), Acc::SumF(s, any), x, {
+                *s += x as f64;
+                *any = true;
+            })
+        }
+        (Some(Column::Int(d, v)), AccTag::SumI) => {
+            acc_loop!(d, v.as_deref(), Acc::SumI(s, any), x, {
+                *s += x;
+                *any = true;
+            })
+        }
+        (Some(Column::Float(d, v)), AccTag::Avg) => {
+            acc_loop!(d, v.as_deref(), Acc::Avg(s, c), x, {
+                *s += x;
+                *c += 1;
+            })
+        }
+        (Some(Column::Int(d, v)), AccTag::Avg) => {
+            acc_loop!(d, v.as_deref(), Acc::Avg(s, c), x, {
+                *s += x as f64;
+                *c += 1;
+            })
+        }
+        // MIN/MAX over floats: NaN never replaces (partial_cmp semantics).
+        (Some(Column::Float(d, v)), AccTag::Min) => {
+            acc_loop!(d, v.as_deref(), Acc::Min(m), x, {
+                match m {
+                    Some(Value::Float(cur)) => {
+                        if x < *cur {
+                            *cur = x;
+                        }
+                    }
+                    _ => *m = Some(Value::Float(x)),
+                }
+            })
+        }
+        (Some(Column::Float(d, v)), AccTag::Max) => {
+            acc_loop!(d, v.as_deref(), Acc::Max(m), x, {
+                match m {
+                    Some(Value::Float(cur)) => {
+                        if x > *cur {
+                            *cur = x;
+                        }
+                    }
+                    _ => *m = Some(Value::Float(x)),
+                }
+            })
+        }
+        (Some(Column::Int(d, v)), AccTag::Min) => {
+            acc_loop!(d, v.as_deref(), Acc::Min(m), x, {
+                match m {
+                    Some(Value::Int(cur)) => {
+                        if x < *cur {
+                            *cur = x;
+                        }
+                    }
+                    _ => *m = Some(Value::Int(x)),
+                }
+            })
+        }
+        (Some(Column::Int(d, v)), AccTag::Max) => {
+            acc_loop!(d, v.as_deref(), Acc::Max(m), x, {
+                match m {
+                    Some(Value::Int(cur)) => {
+                        if x > *cur {
+                            *cur = x;
+                        }
+                    }
+                    _ => *m = Some(Value::Int(x)),
+                }
+            })
+        }
+        // DISTINCT over a fixed-width argument: raw i64 inserts.
+        (Some(Column::Int(d, v)), AccTag::DistinctI) => {
+            acc_loop!(d, v.as_deref(), Acc::DistinctI(set), x, {
+                set.insert(x);
+            })
+        }
+        (Some(Column::Date(d, v)), AccTag::DistinctI) => {
+            acc_loop!(d, v.as_deref(), Acc::DistinctI(set), x, {
+                set.insert(i64::from(x));
+            })
+        }
+        // Everything else row-at-a-time through the Value fallback.
+        _ => {
+            for (k, &g) in gids.iter().enumerate() {
+                let v = match col {
+                    Some(c) => c.get(start + k),
+                    None => Value::Int(1),
+                };
+                states[g as usize].update_one(ai, agg, v);
+            }
+            Ok(())
+        }
+    }
+}
+
 // ---------------- aggregate state ----------------
 
 /// Per-group accumulator states.
@@ -655,25 +878,65 @@ enum Acc {
     Min(Option<Value>),
     Max(Option<Value>),
     Avg(f64, i64),
-    Distinct(FxHashSet<Vec<u8>>),
+    /// DISTINCT over a fixed-width argument: raw `i64` set, no encoding.
+    DistinctI(FxHashSet<i64>),
+    /// DISTINCT fallback (float/string args): byte-encoded values.
+    DistinctB(FxHashSet<Vec<u8>>),
+}
+
+/// Copyable accumulator discriminant — lets [`accumulate`] pick a typed loop
+/// without holding a borrow on the states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccTag {
+    SumI,
+    SumF,
+    Count,
+    Min,
+    Max,
+    Avg,
+    DistinctI,
+    DistinctB,
+}
+
+impl Acc {
+    fn tag(&self) -> AccTag {
+        match self {
+            Acc::SumI(..) => AccTag::SumI,
+            Acc::SumF(..) => AccTag::SumF,
+            Acc::Count(..) => AccTag::Count,
+            Acc::Min(..) => AccTag::Min,
+            Acc::Max(..) => AccTag::Max,
+            Acc::Avg(..) => AccTag::Avg,
+            Acc::DistinctI(..) => AccTag::DistinctI,
+            Acc::DistinctB(..) => AccTag::DistinctB,
+        }
+    }
 }
 
 impl GroupState {
-    fn new(first_row: usize, aggs: &[BAgg], arg_is_int: &[bool]) -> GroupState {
+    fn new(first_row: usize, aggs: &[BAgg], arg_dtypes: &[Option<DType>]) -> GroupState {
         let accs = aggs
             .iter()
             .enumerate()
-            .map(|(i, a)| match (a.func, a.distinct) {
-                (_, true) => Acc::Distinct(FxHashSet::default()),
-                (AggName::Count, _) => Acc::Count(0),
-                (AggName::Avg, _) => Acc::Avg(0.0, 0),
-                (AggName::Min, _) => Acc::Min(None),
-                (AggName::Max, _) => Acc::Max(None),
-                (AggName::Sum, _) => {
-                    if arg_is_int.get(i).copied().unwrap_or(false) && a.arg.is_some() {
-                        Acc::SumI(0, false)
-                    } else {
-                        Acc::SumF(0.0, false)
+            .map(|(i, a)| {
+                let dtype = arg_dtypes.get(i).copied().flatten();
+                match (a.func, a.distinct) {
+                    (_, true) => match dtype {
+                        Some(DType::Int | DType::Date | DType::Bool) => {
+                            Acc::DistinctI(FxHashSet::default())
+                        }
+                        _ => Acc::DistinctB(FxHashSet::default()),
+                    },
+                    (AggName::Count, _) => Acc::Count(0),
+                    (AggName::Avg, _) => Acc::Avg(0.0, 0),
+                    (AggName::Min, _) => Acc::Min(None),
+                    (AggName::Max, _) => Acc::Max(None),
+                    (AggName::Sum, _) => {
+                        if dtype == Some(DType::Int) && a.arg.is_some() {
+                            Acc::SumI(0, false)
+                        } else {
+                            Acc::SumF(0.0, false)
+                        }
                     }
                 }
             })
@@ -681,63 +944,63 @@ impl GroupState {
         GroupState { first_row, accs }
     }
 
-    fn update(&mut self, row: usize, aggs: &[BAgg], args: &[Option<Column>]) -> Result<()> {
-        for (ai, agg) in aggs.iter().enumerate() {
-            let v = match &args[ai] {
-                Some(col) => col.get(row),
-                None => Value::Int(1), // COUNT(*)
-            };
-            match &mut self.accs[ai] {
-                Acc::Count(c) => {
-                    if agg.arg.is_none() || !v.is_null() {
-                        *c += 1;
-                    }
+    /// Row-at-a-time accumulator update — the fallback [`accumulate`] uses
+    /// for dtype/accumulator pairs without a typed loop.
+    fn update_one(&mut self, ai: usize, agg: &BAgg, v: Value) {
+        match &mut self.accs[ai] {
+            Acc::Count(c) => {
+                if agg.arg.is_none() || !v.is_null() {
+                    *c += 1;
                 }
-                Acc::SumF(s, any) => {
-                    if let Some(x) = v.as_f64() {
-                        *s += x;
-                        *any = true;
-                    }
+            }
+            Acc::SumF(s, any) => {
+                if let Some(x) = v.as_f64() {
+                    *s += x;
+                    *any = true;
                 }
-                Acc::SumI(s, any) => {
-                    if let Some(x) = v.as_i64() {
-                        *s += x;
-                        *any = true;
-                    }
+            }
+            Acc::SumI(s, any) => {
+                if let Some(x) = v.as_i64() {
+                    *s += x;
+                    *any = true;
                 }
-                Acc::Avg(s, c) => {
-                    if let Some(x) = v.as_f64() {
-                        *s += x;
-                        *c += 1;
-                    }
+            }
+            Acc::Avg(s, c) => {
+                if let Some(x) = v.as_f64() {
+                    *s += x;
+                    *c += 1;
                 }
-                Acc::Min(m) => {
-                    if !v.is_null()
-                        && m.as_ref()
-                            .map_or(true, |cur| v.sql_cmp(cur) == Some(std::cmp::Ordering::Less))
-                    {
-                        *m = Some(v);
-                    }
+            }
+            Acc::Min(m) => {
+                if !v.is_null()
+                    && m.as_ref()
+                        .map_or(true, |cur| v.sql_cmp(cur) == Some(std::cmp::Ordering::Less))
+                {
+                    *m = Some(v);
                 }
-                Acc::Max(m) => {
-                    if !v.is_null()
-                        && m.as_ref().map_or(true, |cur| {
-                            v.sql_cmp(cur) == Some(std::cmp::Ordering::Greater)
-                        })
-                    {
-                        *m = Some(v);
-                    }
+            }
+            Acc::Max(m) => {
+                if !v.is_null()
+                    && m.as_ref().map_or(true, |cur| {
+                        v.sql_cmp(cur) == Some(std::cmp::Ordering::Greater)
+                    })
+                {
+                    *m = Some(v);
                 }
-                Acc::Distinct(set) => {
-                    if !v.is_null() {
-                        let mut buf = Vec::new();
-                        encode_value(&mut buf, &normalize_key(v));
-                        set.insert(buf);
-                    }
+            }
+            Acc::DistinctI(set) => {
+                if let Some(x) = v.as_i64() {
+                    set.insert(x);
+                }
+            }
+            Acc::DistinctB(set) => {
+                if !v.is_null() {
+                    let mut buf = Vec::new();
+                    encode_value(&mut buf, &normalize_key(v));
+                    set.insert(buf);
                 }
             }
         }
-        Ok(())
     }
 
     fn merge(&mut self, other: &GroupState, _aggs: &[BAgg]) {
@@ -775,7 +1038,10 @@ impl GroupState {
                         }
                     }
                 }
-                (Acc::Distinct(x), Acc::Distinct(y)) => {
+                (Acc::DistinctI(x), Acc::DistinctI(y)) => {
+                    x.extend(y.iter().copied());
+                }
+                (Acc::DistinctB(x), Acc::DistinctB(y)) => {
                     x.extend(y.iter().cloned());
                 }
                 _ => unreachable!("accumulator kinds align"),
@@ -808,10 +1074,58 @@ impl GroupState {
                 }
             }
             Acc::Min(m) | Acc::Max(m) => m.clone().unwrap_or(Value::Null),
-            Acc::Distinct(set) => match agg.func {
+            Acc::DistinctI(set) => match agg.func {
+                AggName::Count => Value::Int(set.len() as i64),
+                _ => Value::Null,
+            },
+            Acc::DistinctB(set) => match agg.func {
                 AggName::Count => Value::Int(set.len() as i64),
                 _ => Value::Null,
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_fast_path_taken_for_int_date_keys() {
+        let i = Column::from_i64(vec![1, 2]);
+        let d = Column::from_dates(vec![3, 4]);
+        let b = Column::from_bool(vec![true, false]);
+        // Group-by / distinct (nulls_matter = true).
+        assert_eq!(planned_key_width(&[&[&i]], true), Some(KeyWidth::U64));
+        assert_eq!(planned_key_width(&[&[&d]], true), Some(KeyWidth::U64));
+        assert_eq!(planned_key_width(&[&[&i, &d]], true), Some(KeyWidth::U128));
+        // Two 32-bit dates fit a word; adding a bool (1 bit) tips into u128.
+        assert_eq!(planned_key_width(&[&[&d, &d]], true), Some(KeyWidth::U64));
+        assert_eq!(
+            planned_key_width(&[&[&d, &d, &b]], true),
+            Some(KeyWidth::U128)
+        );
+        // Join keys: the layout is planned jointly over both sides.
+        assert_eq!(
+            planned_key_width(&[&[&i], &[&d]], false),
+            Some(KeyWidth::U64)
+        );
+        assert_eq!(
+            planned_key_width(&[&[&i, &i], &[&i, &d]], false),
+            Some(KeyWidth::U128)
+        );
+    }
+
+    #[test]
+    fn byte_fallback_covers_string_and_mixed_keys() {
+        let i = Column::from_i64(vec![1]);
+        let s = Column::from_strs(&["x"]);
+        let f = Column::from_f64(vec![1.0]);
+        assert_eq!(planned_key_width(&[&[&s]], true), None);
+        assert_eq!(planned_key_width(&[&[&i, &s]], true), None);
+        assert_eq!(planned_key_width(&[&[&f]], true), None);
+        assert_eq!(planned_key_width(&[&[&i], &[&f]], false), None);
+        // Three 64-bit columns overflow u128 and fall back too.
+        assert_eq!(planned_key_width(&[&[&i, &i, &i]], true), None);
     }
 }

@@ -366,13 +366,7 @@ impl BExpr {
                     None => (**col).clone(),
                 })
             }
-            BExpr::Lit(v) => {
-                let mut c = Column::with_capacity(v.dtype().unwrap_or(DType::Float), n);
-                for _ in 0..n {
-                    c.push(v.clone())?;
-                }
-                Ok(c)
-            }
+            BExpr::Lit(v) => Ok(lit_column(v, n)),
             BExpr::Bin { op, l, r } => {
                 let lc = l.eval(batch, sel)?;
                 let rc = r.eval(batch, sel)?;
@@ -421,19 +415,7 @@ impl BExpr {
             }
             BExpr::InList { e, list, negated } => {
                 let c = e.eval(batch, sel)?;
-                let out: Vec<bool> = (0..c.len())
-                    .map(|i| {
-                        let v = c.get(i);
-                        if v.is_null() {
-                            return false;
-                        }
-                        let found = list
-                            .iter()
-                            .any(|cand| v.sql_cmp(cand) == Some(std::cmp::Ordering::Equal));
-                        found != *negated
-                    })
-                    .collect();
-                Ok(Column::from_bool(out))
+                Ok(Column::from_bool(eval_in_list(&c, list, *negated)))
             }
             BExpr::Case { arms, else_value } => {
                 let conds: Vec<Column> = arms
@@ -508,7 +490,31 @@ fn coerce(v: Value, to: DType) -> Result<Value> {
     })
 }
 
-/// Vectorized binary kernels with typed fast paths.
+/// Materializes a literal as a constant column without per-row dispatch.
+fn lit_column(v: &Value, n: usize) -> Column {
+    match v {
+        Value::Int(x) => Column::Int(vec![*x; n], None),
+        Value::Float(x) => Column::Float(vec![*x; n], None),
+        Value::Bool(x) => Column::Bool(vec![*x; n], None),
+        Value::Str(s) => Column::Str(vec![s.clone(); n], None),
+        Value::Date(d) => Column::Date(vec![*d; n], None),
+        Value::Null => {
+            if n == 0 {
+                Column::Float(Vec::new(), None)
+            } else {
+                Column::Float(vec![0.0; n], Some(vec![false; n]))
+            }
+        }
+    }
+}
+
+/// Vectorized binary kernels.
+///
+/// Dispatches **once** per column pair to a monomorphic loop over raw typed
+/// slices (see [`Column::as_i64_slice`] and friends); only genuinely mixed
+/// combinations (e.g. date vs string) fall back to the row-at-a-time
+/// [`reference`] semantics. Null handling: arithmetic merges validity masks,
+/// comparisons collapse NULL to `false`.
 pub fn eval_bin(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
     use BinOp::*;
     let n = l.len();
@@ -518,101 +524,130 @@ pub fn eval_bin(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
     match op {
         And | Or => match (l, r) {
             (Column::Bool(a, _), Column::Bool(b, _)) => {
-                let out = a
-                    .iter()
-                    .zip(b)
-                    .map(|(&x, &y)| if op == And { x && y } else { x || y })
-                    .collect();
+                let out = if op == And {
+                    a.iter().zip(b).map(|(&x, &y)| x && y).collect()
+                } else {
+                    a.iter().zip(b).map(|(&x, &y)| x || y).collect()
+                };
                 Ok(Column::from_bool(out))
             }
             _ => Err(Error::Exec("AND/OR require booleans".into())),
         },
         Eq | Ne | Lt | Le | Gt | Ge => eval_cmp(op, l, r),
-        Concat => {
-            let mut out = Column::with_capacity(DType::Str, n);
-            for i in 0..n {
-                match (l.get(i), r.get(i)) {
-                    (Value::Str(a), Value::Str(b)) => out.push(Value::Str(a + &b))?,
-                    (Value::Null, _) | (_, Value::Null) => out.push_null(),
-                    (a, b) => out.push(Value::Str(format!("{a}{b}")))?,
-                }
-            }
-            Ok(out)
-        }
+        Concat => eval_concat(l, r, n),
         Add | Sub | Mul | Div | Mod => eval_arith(op, l, r),
     }
 }
 
+/// String concatenation: a typed pass for string-string inputs, a
+/// scratch-buffer `Display` pass (no `format!` allocation churn) otherwise.
+fn eval_concat(l: &Column, r: &Column, n: usize) -> Result<Column> {
+    if let (Column::Str(a, av), Column::Str(b, bv)) = (l, r) {
+        let valid = merge_validity(av, bv);
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            if valid.as_ref().map_or(true, |v| v[i]) {
+                let mut s = String::with_capacity(a[i].len() + b[i].len());
+                s.push_str(&a[i]);
+                s.push_str(&b[i]);
+                data.push(s);
+            } else {
+                data.push(String::new());
+            }
+        }
+        return Ok(Column::Str(data, valid));
+    }
+    // Mixed operands format through Display into a reused scratch buffer.
+    use std::fmt::Write;
+    let valid = merge_validity(&validity_of(l), &validity_of(r));
+    let mut data = Vec::with_capacity(n);
+    let mut scratch = String::new();
+    for i in 0..n {
+        if valid.as_ref().map_or(true, |v| v[i]) {
+            scratch.clear();
+            write!(scratch, "{}{}", l.get(i), r.get(i)).expect("write to String");
+            data.push(scratch.clone());
+        } else {
+            data.push(String::new());
+        }
+    }
+    Ok(Column::Str(data, valid))
+}
+
 fn eval_arith(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
     use BinOp::*;
-    // Int ∘ Int stays Int for +,-,*,%.
-    if let (Column::Int(a, av), Column::Int(b, bv)) = (l, r) {
-        if matches!(op, Add | Sub | Mul | Mod) {
-            let data: Vec<i64> = a
-                .iter()
-                .zip(b)
-                .map(|(&x, &y)| match op {
-                    Add => x.wrapping_add(y),
-                    Sub => x.wrapping_sub(y),
-                    Mul => x.wrapping_mul(y),
-                    _ => {
-                        if y == 0 {
-                            0
-                        } else {
-                            x % y
-                        }
-                    }
-                })
-                .collect();
-            return Ok(Column::Int(data, merge_validity(av, bv)));
+    use Column::{Date, Float, Int};
+
+    /// One monomorphic float loop per operator, with per-side converters.
+    macro_rules! fzip {
+        ($a:expr, $av:expr, $b:expr, $bv:expr, $ca:expr, $cb:expr) => {{
+            let valid = merge_validity($av, $bv);
+            let data: Vec<f64> = match op {
+                Add => $a.iter().zip($b).map(|(&x, &y)| $ca(x) + $cb(y)).collect(),
+                Sub => $a.iter().zip($b).map(|(&x, &y)| $ca(x) - $cb(y)).collect(),
+                Mul => $a.iter().zip($b).map(|(&x, &y)| $ca(x) * $cb(y)).collect(),
+                Div => $a.iter().zip($b).map(|(&x, &y)| $ca(x) / $cb(y)).collect(),
+                _ => $a.iter().zip($b).map(|(&x, &y)| $ca(x) % $cb(y)).collect(),
+            };
+            Ok(Column::Float(data, valid))
+        }};
+    }
+    let id = |x: f64| x;
+    let i2f = |x: i64| x as f64;
+
+    match (l, r) {
+        // Int ∘ Int stays Int for +,-,*,%; / divides as floats.
+        (Int(a, av), Int(b, bv)) => match op {
+            Add => Ok(Int(
+                a.iter().zip(b).map(|(&x, &y)| x.wrapping_add(y)).collect(),
+                merge_validity(av, bv),
+            )),
+            Sub => Ok(Int(
+                a.iter().zip(b).map(|(&x, &y)| x.wrapping_sub(y)).collect(),
+                merge_validity(av, bv),
+            )),
+            Mul => Ok(Int(
+                a.iter().zip(b).map(|(&x, &y)| x.wrapping_mul(y)).collect(),
+                merge_validity(av, bv),
+            )),
+            Mod => Ok(Int(
+                a.iter()
+                    .zip(b)
+                    .map(|(&x, &y)| if y == 0 { 0 } else { x % y })
+                    .collect(),
+                merge_validity(av, bv),
+            )),
+            _ => fzip!(a, av, b, bv, i2f, i2f),
+        },
+        // Date ± Int days.
+        (Date(a, av), Int(b, bv)) if matches!(op, Add | Sub) => {
+            let data: Vec<i32> = if op == Add {
+                a.iter().zip(b).map(|(&x, &y)| x + y as i32).collect()
+            } else {
+                a.iter().zip(b).map(|(&x, &y)| x - y as i32).collect()
+            };
+            Ok(Date(data, merge_validity(av, bv)))
+        }
+        // Date - Date → days.
+        (Date(a, av), Date(b, bv)) if op == Sub => Ok(Int(
+            a.iter().zip(b).map(|(&x, &y)| i64::from(x - y)).collect(),
+            merge_validity(av, bv),
+        )),
+        (Float(a, av), Float(b, bv)) => fzip!(a, av, b, bv, id, id),
+        (Int(a, av), Float(b, bv)) => fzip!(a, av, b, bv, i2f, id),
+        (Float(a, av), Int(b, bv)) => fzip!(a, av, b, bv, id, i2f),
+        // Anything else (bool arithmetic, date in float math) widens to f64.
+        _ => {
+            let af = to_f64_vec(l)?;
+            let bf = to_f64_vec(r)?;
+            fzip!(af, &validity_of(l), &bf, &validity_of(r), id, id)
         }
     }
-    // Date ± Int days.
-    if let (Column::Date(a, av), Column::Int(b, bv)) = (l, r) {
-        if matches!(op, Add | Sub) {
-            let data: Vec<i32> = a
-                .iter()
-                .zip(b)
-                .map(|(&x, &y)| {
-                    if op == Add {
-                        x + y as i32
-                    } else {
-                        x - y as i32
-                    }
-                })
-                .collect();
-            return Ok(Column::Date(data, merge_validity(av, bv)));
-        }
-    }
-    // Date - Date → days.
-    if let (Column::Date(a, av), Column::Date(b, bv)) = (l, r) {
-        if op == Sub {
-            let data: Vec<i64> = a.iter().zip(b).map(|(&x, &y)| i64::from(x - y)).collect();
-            return Ok(Column::Int(data, merge_validity(av, bv)));
-        }
-    }
-    // Generic float path.
-    let af = to_f64_vec(l)?;
-    let bf = to_f64_vec(r)?;
-    let data: Vec<f64> = af
-        .iter()
-        .zip(&bf)
-        .map(|(&x, &y)| match op {
-            Add => x + y,
-            Sub => x - y,
-            Mul => x * y,
-            Div => x / y,
-            _ => x % y,
-        })
-        .collect();
-    Ok(Column::Float(
-        data,
-        merge_validity(&validity_of(l), &validity_of(r)),
-    ))
 }
 
 fn eval_cmp(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
     use BinOp::*;
+    use Column::{Bool, Date, Float, Int, Str};
     let n = l.len();
     let want = |o: std::cmp::Ordering| -> bool {
         match op {
@@ -625,38 +660,264 @@ fn eval_cmp(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
             _ => unreachable!(),
         }
     };
-    // Fast typed paths for fully-valid numeric columns.
-    match (l, r) {
-        (Column::Int(a, None), Column::Int(b, None)) => {
-            return Ok(Column::from_bool(
-                a.iter().zip(b).map(|(x, y)| want(x.cmp(y))).collect(),
-            ));
-        }
-        (Column::Float(a, None), Column::Float(b, None)) => {
-            return Ok(Column::from_bool(
-                a.iter()
-                    .zip(b)
-                    .map(|(x, y)| x.partial_cmp(y).map(&want).unwrap_or(false))
+
+    /// One monomorphic comparison loop per type pair; NULL collapses to
+    /// `false` (predicate semantics), incomparable values too.
+    macro_rules! czip {
+        ($a:expr, $av:expr, $b:expr, $bv:expr, $cmp:expr) => {{
+            let out: Vec<bool> = match ($av.as_deref(), $bv.as_deref()) {
+                (None, None) => $a
+                    .iter()
+                    .zip($b.iter())
+                    .map(|(x, y)| $cmp(x, y).map(&want).unwrap_or(false))
                     .collect(),
-            ));
+                (av, bv) => $a
+                    .iter()
+                    .zip($b.iter())
+                    .enumerate()
+                    .map(|(i, (x, y))| {
+                        av.map_or(true, |v| v[i])
+                            && bv.map_or(true, |v| v[i])
+                            && $cmp(x, y).map(&want).unwrap_or(false)
+                    })
+                    .collect(),
+            };
+            Ok(Column::from_bool(out))
+        }};
+    }
+
+    match (l, r) {
+        (Int(a, av), Int(b, bv)) => czip!(a, av, b, bv, |x: &i64, y: &i64| Some(x.cmp(y))),
+        (Float(a, av), Float(b, bv)) => {
+            czip!(a, av, b, bv, |x: &f64, y: &f64| x.partial_cmp(y))
         }
-        (Column::Date(a, None), Column::Date(b, None)) => {
-            return Ok(Column::from_bool(
-                a.iter().zip(b).map(|(x, y)| want(x.cmp(y))).collect(),
-            ));
+        (Int(a, av), Float(b, bv)) => {
+            czip!(a, av, b, bv, |x: &i64, y: &f64| (*x as f64).partial_cmp(y))
         }
-        (Column::Str(a, None), Column::Str(b, None)) => {
-            return Ok(Column::from_bool(
-                a.iter().zip(b).map(|(x, y)| want(x.cmp(y))).collect(),
-            ));
+        (Float(a, av), Int(b, bv)) => {
+            czip!(a, av, b, bv, |x: &f64, y: &i64| x.partial_cmp(&(*y as f64)))
+        }
+        (Date(a, av), Date(b, bv)) => czip!(a, av, b, bv, |x: &i32, y: &i32| Some(x.cmp(y))),
+        (Int(a, av), Date(b, bv)) => {
+            czip!(a, av, b, bv, |x: &i64, y: &i32| Some(x.cmp(&i64::from(*y))))
+        }
+        (Date(a, av), Int(b, bv)) => {
+            czip!(a, av, b, bv, |x: &i32, y: &i64| Some(i64::from(*x).cmp(y)))
+        }
+        (Str(a, av), Str(b, bv)) => {
+            czip!(a, av, b, bv, |x: &String, y: &String| Some(x.cmp(y)))
+        }
+        (Bool(a, av), Bool(b, bv)) => czip!(a, av, b, bv, |x: &bool, y: &bool| Some(x.cmp(y))),
+        // Genuinely mixed pairs (date vs string literal, ...) stay row-wise.
+        _ => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(l.get(i).sql_cmp(&r.get(i)).map(&want).unwrap_or(false));
+            }
+            Ok(Column::from_bool(out))
+        }
+    }
+}
+
+/// IN-list membership with typed fast paths for the common literal shapes
+/// (int/date column against int/date candidates, string column against
+/// string candidates); anything else keeps the row-wise `sql_cmp` semantics.
+fn eval_in_list(c: &Column, list: &[Value], negated: bool) -> Vec<bool> {
+    match c {
+        Column::Int(d, valid) => {
+            if let Some(ints) = list
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => Some(*i),
+                    Value::Date(x) => Some(i64::from(*x)),
+                    _ => None,
+                })
+                .collect::<Option<Vec<i64>>>()
+            {
+                return d
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| {
+                        valid.as_ref().map_or(true, |v| v[i]) && ints.contains(x) != negated
+                    })
+                    .collect();
+            }
+        }
+        Column::Date(d, valid) => {
+            if let Some(ints) = list
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => Some(*i),
+                    Value::Date(x) => Some(i64::from(*x)),
+                    _ => None,
+                })
+                .collect::<Option<Vec<i64>>>()
+            {
+                return d
+                    .iter()
+                    .enumerate()
+                    .map(|(i, x)| {
+                        valid.as_ref().map_or(true, |v| v[i])
+                            && ints.contains(&i64::from(*x)) != negated
+                    })
+                    .collect();
+            }
+        }
+        Column::Str(d, valid) if list.iter().all(|v| matches!(v, Value::Str(_))) => {
+            return d
+                .iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    valid.as_ref().map_or(true, |v| v[i])
+                        && list.iter().any(|v| v.as_str() == Some(x)) != negated
+                })
+                .collect();
         }
         _ => {}
     }
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        out.push(l.get(i).sql_cmp(&r.get(i)).map(&want).unwrap_or(false));
+    (0..c.len())
+        .map(|i| {
+            let v = c.get(i);
+            if v.is_null() {
+                return false;
+            }
+            list.iter()
+                .any(|cand| v.sql_cmp(cand) == Some(std::cmp::Ordering::Equal))
+                != negated
+        })
+        .collect()
+}
+
+/// Row-at-a-time reference evaluator for the binary kernels.
+///
+/// Implements the same SQL semantics as [`eval_bin`] by constructing a scalar
+/// [`Value`] per row — the shape the engine had before the typed kernels.
+/// Property tests assert the vectorized kernels stay **bit-identical** to
+/// this evaluator on every valid row (placeholder data under null rows is
+/// unspecified in both). Not used on any hot path.
+pub mod reference {
+    use super::*;
+
+    /// Reference implementation of [`super::eval_bin`].
+    pub fn eval_bin(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
+        use BinOp::*;
+        let n = l.len();
+        if r.len() != n {
+            return Err(Error::Exec("binary operand length mismatch".into()));
+        }
+        match op {
+            And | Or => {
+                if !matches!((l, r), (Column::Bool(..), Column::Bool(..))) {
+                    return Err(Error::Exec("AND/OR require booleans".into()));
+                }
+                let out: Vec<bool> = (0..n)
+                    .map(|i| {
+                        // Null placeholders are stored as `false`.
+                        let x = bool_data(l, i);
+                        let y = bool_data(r, i);
+                        if op == And {
+                            x && y
+                        } else {
+                            x || y
+                        }
+                    })
+                    .collect();
+                Ok(Column::from_bool(out))
+            }
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let want = |o: std::cmp::Ordering| -> bool {
+                    match op {
+                        Eq => o == std::cmp::Ordering::Equal,
+                        Ne => o != std::cmp::Ordering::Equal,
+                        Lt => o == std::cmp::Ordering::Less,
+                        Le => o != std::cmp::Ordering::Greater,
+                        Gt => o == std::cmp::Ordering::Greater,
+                        _ => o != std::cmp::Ordering::Less,
+                    }
+                };
+                let out: Vec<bool> = (0..n)
+                    .map(|i| l.get(i).sql_cmp(&r.get(i)).map(want).unwrap_or(false))
+                    .collect();
+                Ok(Column::from_bool(out))
+            }
+            Concat => {
+                let mut out = Column::with_capacity(DType::Str, n);
+                for i in 0..n {
+                    match (l.get(i), r.get(i)) {
+                        (Value::Null, _) | (_, Value::Null) => out.push_null(),
+                        (Value::Str(a), Value::Str(b)) => out.push(Value::Str(a + &b))?,
+                        (a, b) => out.push(Value::Str(format!("{a}{b}")))?,
+                    }
+                }
+                Ok(out)
+            }
+            Add | Sub | Mul | Div | Mod => {
+                let dtype = arith_dtype(op, l.dtype(), r.dtype());
+                let mut out = Column::with_capacity(dtype, n);
+                for i in 0..n {
+                    out.push(scalar_arith(op, &l.get(i), &r.get(i))?)?;
+                }
+                Ok(out)
+            }
+        }
     }
-    Ok(Column::from_bool(out))
+
+    fn bool_data(c: &Column, i: usize) -> bool {
+        match c {
+            Column::Bool(d, _) => d[i],
+            _ => unreachable!("checked by caller"),
+        }
+    }
+
+    /// The result dtype the typed kernels produce for an arithmetic pair.
+    pub fn arith_dtype(op: BinOp, l: DType, r: DType) -> DType {
+        use BinOp::*;
+        match (l, r) {
+            (DType::Int, DType::Int) if matches!(op, Add | Sub | Mul | Mod) => DType::Int,
+            (DType::Date, DType::Int) if matches!(op, Add | Sub) => DType::Date,
+            (DType::Date, DType::Date) if op == Sub => DType::Int,
+            _ => DType::Float,
+        }
+    }
+
+    fn scalar_arith(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+        use BinOp::*;
+        if a.is_null() || b.is_null() {
+            return Ok(Value::Null);
+        }
+        Ok(match (a, b) {
+            (Value::Int(x), Value::Int(y)) => match op {
+                Add => Value::Int(x.wrapping_add(*y)),
+                Sub => Value::Int(x.wrapping_sub(*y)),
+                Mul => Value::Int(x.wrapping_mul(*y)),
+                Mod => Value::Int(if *y == 0 { 0 } else { x % y }),
+                _ => Value::Float(*x as f64 / *y as f64),
+            },
+            (Value::Date(x), Value::Int(y)) if matches!(op, Add | Sub) => {
+                if op == Add {
+                    Value::Date(x + *y as i32)
+                } else {
+                    Value::Date(x - *y as i32)
+                }
+            }
+            (Value::Date(x), Value::Date(y)) if op == Sub => Value::Int(i64::from(x - y)),
+            _ => {
+                let (x, y) = match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => {
+                        return Err(Error::Exec("cannot use strings in arithmetic".into()));
+                    }
+                };
+                Value::Float(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    _ => x % y,
+                })
+            }
+        })
+    }
 }
 
 fn eval_func(f: SFunc, cols: &[Column], n: usize) -> Result<Column> {
@@ -664,16 +925,32 @@ fn eval_func(f: SFunc, cols: &[Column], n: usize) -> Result<Column> {
         cols.get(i)
             .ok_or_else(|| Error::Exec(format!("function missing argument {i}")))
     };
+    /// Applies `f` element-wise as a float kernel: direct slice loops for
+    /// int/float inputs, `to_f64_vec` widening for the rest.
+    macro_rules! fmap {
+        ($c:expr, $f:expr) => {{
+            match $c {
+                Column::Float(d, v) => {
+                    Ok(Column::Float(d.iter().map(|&x| $f(x)).collect(), v.clone()))
+                }
+                Column::Int(d, v) => Ok(Column::Float(
+                    d.iter().map(|&x| $f(x as f64)).collect(),
+                    v.clone(),
+                )),
+                c => {
+                    let d = to_f64_vec(c)?;
+                    Ok(Column::Float(
+                        d.iter().map(|&x| $f(x)).collect(),
+                        validity_of(c),
+                    ))
+                }
+            }
+        }};
+    }
     match f {
         SFunc::Abs => match arg(0)? {
             Column::Int(d, v) => Ok(Column::Int(d.iter().map(|x| x.abs()).collect(), v.clone())),
-            c => {
-                let d = to_f64_vec(c)?;
-                Ok(Column::Float(
-                    d.iter().map(|x| x.abs()).collect(),
-                    validity_of(c),
-                ))
-            }
+            c => fmap!(c, f64::abs),
         },
         SFunc::Round => {
             let digits = match cols.get(1) {
@@ -681,24 +958,11 @@ fn eval_func(f: SFunc, cols: &[Column], n: usize) -> Result<Column> {
                 _ => 0,
             } as i32;
             let scale = 10f64.powi(digits);
-            let d = to_f64_vec(arg(0)?)?;
-            Ok(Column::Float(
-                d.iter().map(|x| (x * scale).round() / scale).collect(),
-                validity_of(arg(0)?),
-            ))
+            fmap!(arg(0)?, |x: f64| (x * scale).round() / scale)
         }
-        SFunc::Floor | SFunc::Ceil | SFunc::Sqrt => {
-            let d = to_f64_vec(arg(0)?)?;
-            let out = d
-                .iter()
-                .map(|&x| match f {
-                    SFunc::Floor => x.floor(),
-                    SFunc::Ceil => x.ceil(),
-                    _ => x.sqrt(),
-                })
-                .collect();
-            Ok(Column::Float(out, validity_of(arg(0)?)))
-        }
+        SFunc::Floor => fmap!(arg(0)?, f64::floor),
+        SFunc::Ceil => fmap!(arg(0)?, f64::ceil),
+        SFunc::Sqrt => fmap!(arg(0)?, f64::sqrt),
         SFunc::Power => {
             let a = to_f64_vec(arg(0)?)?;
             let b = to_f64_vec(arg(1)?)?;

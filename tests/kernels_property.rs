@@ -1,0 +1,324 @@
+//! Property tests for the typed vectorized kernels and the fixed-width key
+//! packing: every typed fast path must stay **bit-identical** to the
+//! row-at-a-time `Value`-based reference evaluator across dtypes, null masks
+//! and selection vectors (including f64 NaN / `-0.0`), and fixed-width key
+//! packing must partition rows exactly like the byte-encoded fallback
+//! (including the NULL-vs-zero edge the folded validity bit exists for).
+
+use proptest::prelude::*;
+use pytond_common::hash::{encode_value, sql_key_encodings, FixedKeySpec, KeyArena, KeyWidth};
+use pytond_common::{Column, DType, Value};
+use pytond_sqldb::ast::BinOp;
+use pytond_sqldb::exec::planned_key_width;
+use pytond_sqldb::expr::{eval_bin, reference, BExpr};
+use pytond_sqldb::table::Batch;
+
+/// Builds an Int column; selector 0 → NULL.
+fn int_col(rows: &[(u8, i64)]) -> Column {
+    let mut c = Column::new(DType::Int);
+    for (sel, v) in rows {
+        if *sel == 0 {
+            c.push_null();
+        } else {
+            c.push(Value::Int(*v)).unwrap();
+        }
+    }
+    c
+}
+
+/// Builds a Float column; selector 0 → NULL, 1 → NaN, 2 → -0.0, 3 → 0.0.
+fn float_col(rows: &[(u8, f64)]) -> Column {
+    let mut c = Column::new(DType::Float);
+    for (sel, v) in rows {
+        match sel {
+            0 => c.push_null(),
+            1 => c.push(Value::Float(f64::NAN)).unwrap(),
+            2 => c.push(Value::Float(-0.0)).unwrap(),
+            3 => c.push(Value::Float(0.0)).unwrap(),
+            _ => c.push(Value::Float(*v)).unwrap(),
+        }
+    }
+    c
+}
+
+/// Builds a Date column; selector 0 → NULL.
+fn date_col(rows: &[(u8, i64)]) -> Column {
+    let mut c = Column::new(DType::Date);
+    for (sel, v) in rows {
+        if *sel == 0 {
+            c.push_null();
+        } else {
+            c.push(Value::Date((*v % 50_000) as i32)).unwrap();
+        }
+    }
+    c
+}
+
+/// Builds a Str column from a small alphabet; selector 0 → NULL.
+fn str_col(rows: &[(u8, i64)]) -> Column {
+    let mut c = Column::new(DType::Str);
+    for (sel, v) in rows {
+        if *sel == 0 {
+            c.push_null();
+        } else {
+            c.push(Value::Str(format!("s{}", v.rem_euclid(12))))
+                .unwrap();
+        }
+    }
+    c
+}
+
+/// Bit-identical column comparison on every **valid** row (placeholder data
+/// under null rows is unspecified in both evaluators). Floats compare by bit
+/// pattern, with all NaNs considered one value.
+fn cols_bit_identical(a: &Column, b: &Column) -> bool {
+    if a.dtype() != b.dtype() || a.len() != b.len() {
+        return false;
+    }
+    (0..a.len()).all(|i| match (a.is_valid(i), b.is_valid(i)) {
+        (false, false) => true,
+        (true, true) => match (a.get(i), b.get(i)) {
+            (Value::Float(x), Value::Float(y)) => {
+                x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+            }
+            (x, y) => x == y,
+        },
+        _ => false,
+    })
+}
+
+const ARITH: [BinOp; 5] = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod];
+const CMP: [BinOp; 6] = [
+    BinOp::Eq,
+    BinOp::Ne,
+    BinOp::Lt,
+    BinOp::Le,
+    BinOp::Gt,
+    BinOp::Ge,
+];
+
+fn assert_matches_reference(ops: &[BinOp], l: &Column, r: &Column) -> Result<(), String> {
+    for &op in ops {
+        let fast = eval_bin(op, l, r);
+        let slow = reference::eval_bin(op, l, r);
+        match (fast, slow) {
+            (Ok(f), Ok(s)) => {
+                if !cols_bit_identical(&f, &s) {
+                    return Err(format!("{op:?} diverged: {f:?} vs {s:?}"));
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (f, s) => return Err(format!("{op:?} error mismatch: {f:?} vs {s:?}")),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arithmetic kernels over every numeric column pair, with nulls and
+    /// float specials mixed in.
+    #[test]
+    fn arith_kernels_match_reference(
+        rows in prop::collection::vec(
+            (0u8..6, -1000i64..1000, 0u8..8, -1e6f64..1e6), 0..80),
+    ) {
+        let li: Vec<(u8, i64)> = rows.iter().map(|r| (r.0, r.1)).collect();
+        let lf: Vec<(u8, f64)> = rows.iter().map(|r| (r.2, r.3)).collect();
+        let ri: Vec<(u8, i64)> = rows.iter().map(|r| (r.2, r.1.wrapping_mul(3) % 500)).collect();
+        let rf: Vec<(u8, f64)> = rows.iter().map(|r| (r.0, r.3 * 0.5 - 17.0)).collect();
+        let (a, b) = (int_col(&li), int_col(&ri));
+        let (x, y) = (float_col(&lf), float_col(&rf));
+        let (d, e) = (date_col(&li), date_col(&ri));
+        prop_assert!(assert_matches_reference(&ARITH, &a, &b).is_ok());
+        prop_assert!(assert_matches_reference(&ARITH, &x, &y).is_ok());
+        prop_assert!(assert_matches_reference(&ARITH, &a, &y).is_ok());
+        prop_assert!(assert_matches_reference(&ARITH, &x, &b).is_ok());
+        // Date ± Int, Date - Date, and the widening fallbacks.
+        prop_assert!(assert_matches_reference(&ARITH, &d, &b).is_ok());
+        prop_assert!(assert_matches_reference(&ARITH, &d, &e).is_ok());
+        prop_assert!(assert_matches_reference(&ARITH, &a, &e).is_ok());
+    }
+
+    /// Comparison kernels over every typed pair, NULL collapsing to false.
+    #[test]
+    fn cmp_kernels_match_reference(
+        rows in prop::collection::vec(
+            (0u8..6, -50i64..50, 0u8..8, -100.0f64..100.0), 0..80),
+    ) {
+        let li: Vec<(u8, i64)> = rows.iter().map(|r| (r.0, r.1)).collect();
+        let lf: Vec<(u8, f64)> = rows.iter().map(|r| (r.2, r.3)).collect();
+        let ri: Vec<(u8, i64)> = rows.iter().map(|r| (r.2, -r.1)).collect();
+        let rf: Vec<(u8, f64)> = rows.iter().map(|r| (r.0, r.3.floor())).collect();
+        let (a, b) = (int_col(&li), int_col(&ri));
+        let (x, y) = (float_col(&lf), float_col(&rf));
+        let (d, e) = (date_col(&li), date_col(&ri));
+        let (s, t) = (str_col(&li), str_col(&ri));
+        prop_assert!(assert_matches_reference(&CMP, &a, &b).is_ok());
+        prop_assert!(assert_matches_reference(&CMP, &x, &y).is_ok());
+        prop_assert!(assert_matches_reference(&CMP, &a, &y).is_ok());
+        prop_assert!(assert_matches_reference(&CMP, &x, &b).is_ok());
+        prop_assert!(assert_matches_reference(&CMP, &d, &e).is_ok());
+        prop_assert!(assert_matches_reference(&CMP, &a, &e).is_ok());
+        prop_assert!(assert_matches_reference(&CMP, &d, &b).is_ok());
+        prop_assert!(assert_matches_reference(&CMP, &s, &t).is_ok());
+    }
+
+    /// Concat: string-string fast path and the Display fallback.
+    #[test]
+    fn concat_kernel_matches_reference(
+        rows in prop::collection::vec((0u8..4, -50i64..50), 0..60),
+    ) {
+        let s = str_col(&rows);
+        let t = str_col(&rows.iter().map(|r| (r.1.unsigned_abs() as u8 % 3, r.1 + 1)).collect::<Vec<_>>());
+        let i = int_col(&rows);
+        prop_assert!(assert_matches_reference(&[BinOp::Concat], &s, &t).is_ok());
+        prop_assert!(assert_matches_reference(&[BinOp::Concat], &s, &i).is_ok());
+        prop_assert!(assert_matches_reference(&[BinOp::Concat], &i, &s).is_ok());
+    }
+
+    /// IN-list typed fast paths agree with row-wise `sql_cmp` semantics.
+    #[test]
+    fn in_list_matches_rowwise_semantics(
+        rows in prop::collection::vec((0u8..4, -20i64..20), 1..60),
+        cands in prop::collection::vec(-20i64..20, 0..6),
+        negated in 0u8..2,
+    ) {
+        let negated = negated == 1;
+        for col in [int_col(&rows), date_col(&rows), str_col(&rows)] {
+            let list: Vec<Value> = match col.dtype() {
+                DType::Int => cands.iter().map(|&v| Value::Int(v)).collect(),
+                // Mixed Int/Date candidates exercise the i64 unification.
+                DType::Date => cands.iter().enumerate().map(|(i, &v)| {
+                    if i % 2 == 0 { Value::Date(v as i32) } else { Value::Int(v) }
+                }).collect(),
+                _ => cands.iter().map(|&v| Value::Str(format!("s{}", v.rem_euclid(12)))).collect(),
+            };
+            let batch = Batch::from_columns(vec![col.clone()]);
+            let e = BExpr::InList {
+                e: Box::new(BExpr::Col(0)),
+                list: list.clone(),
+                negated,
+            };
+            let got = e.eval_mask(&batch, None).unwrap();
+            let want: Vec<bool> = (0..col.len())
+                .map(|i| {
+                    let v = col.get(i);
+                    if v.is_null() {
+                        return false;
+                    }
+                    list.iter().any(|c| v.sql_cmp(c) == Some(std::cmp::Ordering::Equal))
+                        != negated
+                })
+                .collect();
+            prop_assert!(got == want, "IN-list diverged: {got:?} vs {want:?}");
+        }
+    }
+
+    /// Evaluating under a selection vector equals full evaluation + gather.
+    #[test]
+    fn selection_vector_matches_gather(
+        rows in prop::collection::vec((0u8..6, -100i64..100, 0u8..8, -1e3f64..1e3), 1..60),
+        picks in prop::collection::vec(0usize..1000, 0..40),
+    ) {
+        let li: Vec<(u8, i64)> = rows.iter().map(|r| (r.0, r.1)).collect();
+        let lf: Vec<(u8, f64)> = rows.iter().map(|r| (r.2, r.3)).collect();
+        let batch = Batch::from_columns(vec![int_col(&li), float_col(&lf)]);
+        let sel: Vec<usize> = picks.iter().map(|p| p % rows.len()).collect();
+        let expr = BExpr::Bin {
+            op: BinOp::Mul,
+            l: Box::new(BExpr::Col(0)),
+            r: Box::new(BExpr::Bin {
+                op: BinOp::Add,
+                l: Box::new(BExpr::Col(1)),
+                r: Box::new(BExpr::Lit(Value::Float(1.5))),
+            }),
+        };
+        let full = expr.eval(&batch, None).unwrap();
+        let restricted = expr.eval(&batch, Some(&sel)).unwrap();
+        prop_assert!(cols_bit_identical(&restricted, &full.gather(&sel)));
+    }
+
+    /// Fixed-width key packing partitions rows exactly like byte encoding —
+    /// NULL forms its own group and never collides with 0 (the folded
+    /// validity bit), across 1- and 2-column int/date/bool keys.
+    #[test]
+    fn key_packing_partitions_like_byte_encoding(
+        rows in prop::collection::vec((0u8..3, -4i64..4, 0u8..3, 0i64..3), 1..80),
+    ) {
+        let a = int_col(&rows.iter().map(|r| (r.0, r.1)).collect::<Vec<_>>());
+        let d = date_col(&rows.iter().map(|r| (r.2, r.3)).collect::<Vec<_>>());
+        let n = rows.len();
+        for cols in [vec![&a], vec![&a, &d], vec![&d]] {
+            let spec = FixedKeySpec::plan(&[&cols], true).unwrap();
+            let packed_groups: Vec<Vec<usize>> = match spec.width() {
+                KeyWidth::U64 => partition(&spec.pack_u64(&cols).0),
+                KeyWidth::U128 => partition(&spec.pack_u128(&cols).0),
+            };
+            // Byte-encoded reference partition.
+            let byte_keys: Vec<Vec<u8>> = (0..n)
+                .map(|i| {
+                    let mut buf = Vec::new();
+                    for c in &cols {
+                        encode_value(&mut buf, &c.get(i));
+                    }
+                    buf
+                })
+                .collect();
+            let byte_groups = partition(&byte_keys);
+            prop_assert!(
+                packed_groups == byte_groups,
+                "partitions diverged: {packed_groups:?} vs {byte_groups:?}"
+            );
+        }
+    }
+
+    /// The executor's layout decision: all-int/date keys take the packed fast
+    /// path, strings and floats fall back.
+    #[test]
+    fn layout_hook_classifies_keys(
+        rows in prop::collection::vec((1u8..3, -5i64..5), 1..20),
+    ) {
+        let i = int_col(&rows);
+        let d = date_col(&rows);
+        let s = str_col(&rows);
+        prop_assert!(planned_key_width(&[&[&i]], true).is_some());
+        prop_assert!(planned_key_width(&[&[&i, &d]], true).is_some());
+        prop_assert!(planned_key_width(&[&[&i], &[&d]], false).is_some());
+        prop_assert!(planned_key_width(&[&[&s]], true).is_none());
+        prop_assert!(planned_key_width(&[&[&i, &s]], true).is_none());
+    }
+}
+
+/// SQL key equality must not depend on which layout gets chosen: beyond
+/// 2^53, distinct i64 keys collapse under f64 widening, so both the packed
+/// path and the SQL byte fallback must compare int keys exactly.
+#[test]
+fn big_int_keys_consistent_across_layouts() {
+    let big = 9_007_199_254_740_992i64; // 2^53: big+1 == big as f64
+    let col = Column::from_i64(vec![big, big + 1]);
+    let cols = [&col];
+    // Packed path: exact.
+    let spec = FixedKeySpec::plan(&[&cols], true).unwrap();
+    let (keys, _) = spec.pack_u64(&cols);
+    assert_ne!(keys[0], keys[1]);
+    // SQL byte fallback (as if a string key column forced it): also exact.
+    let enc = sql_key_encodings(&[&cols]);
+    let arena = KeyArena::encode(&cols, &enc, false);
+    assert_ne!(arena.key(0), arena.key(1));
+}
+
+/// Groups row indices by key value, ordered by first appearance.
+fn partition<K: std::hash::Hash + Eq + Clone>(keys: &[K]) -> Vec<Vec<usize>> {
+    let mut order: Vec<K> = Vec::new();
+    let mut map: std::collections::HashMap<K, Vec<usize>> = std::collections::HashMap::new();
+    for (i, k) in keys.iter().enumerate() {
+        let e = map.entry(k.clone()).or_default();
+        if e.is_empty() {
+            order.push(k.clone());
+        }
+        e.push(i);
+    }
+    order.into_iter().map(|k| map.remove(&k).unwrap()).collect()
+}
