@@ -7,11 +7,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pytond_common::hash::{distinct_keep, FixedKeySpec, KeyArena, KeyWidth};
-use pytond_common::{Column, Value};
+use pytond_common::{Column, Relation, Value};
 use pytond_frame::{AggOp, DataFrame, JoinHow};
 use pytond_sqldb::ast::BinOp;
 use pytond_sqldb::expr::BExpr;
 use pytond_sqldb::table::Batch;
+use pytond_sqldb::{Database, EngineConfig};
 use std::time::Duration;
 
 /// Rows for the expression kernels (1M, per the paper's columnar batches).
@@ -171,5 +172,50 @@ fn hash_keys(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(kernels, kernel_eval, hash_keys);
+/// Zone-map scan pruning: a selective range predicate over 1M clustered
+/// (sequentially keyed) rows, with pruning on vs off. The pruned path skips
+/// ~99% of the zones before the vectorized kernels run.
+fn scan_pruning(c: &mut Criterion) {
+    const ROWS: i64 = 1 << 20;
+    let mut db = Database::new();
+    db.register(
+        "events",
+        Relation::new(vec![
+            ("id".into(), Column::from_i64((0..ROWS).collect())),
+            (
+                "v".into(),
+                Column::from_f64((0..ROWS).map(|i| (i % 1000) as f64).collect()),
+            ),
+        ])
+        .unwrap(),
+    );
+    // ~1% of rows survive; zone maps skip every morsel outside the band.
+    let sql = "SELECT SUM(v) AS s FROM events WHERE id >= 500000 AND id < 510000";
+    let pruned_cfg = EngineConfig::default();
+    let unpruned_cfg = EngineConfig {
+        zone_prune: false,
+        ..EngineConfig::default()
+    };
+    let mut group = c.benchmark_group("scan_pruning");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(100));
+    group.measurement_time(Duration::from_millis(400));
+    group.bench_function(BenchmarkId::new("selective_1pct_pruned", ROWS), |b| {
+        b.iter(|| db.execute_sql(sql, &pruned_cfg).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("selective_1pct_unpruned", ROWS), |b| {
+        b.iter(|| db.execute_sql(sql, &unpruned_cfg).unwrap())
+    });
+    // Point lookup: equality on the clustered key touches a single zone.
+    let point = "SELECT v FROM events WHERE id = 777777";
+    group.bench_function(BenchmarkId::new("point_lookup_pruned", ROWS), |b| {
+        b.iter(|| db.execute_sql(point, &pruned_cfg).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("point_lookup_unpruned", ROWS), |b| {
+        b.iter(|| db.execute_sql(point, &unpruned_cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, kernel_eval, hash_keys, scan_pruning);
 criterion_main!(kernels);

@@ -7,6 +7,8 @@
 //! [`Relation`]s, calendar [`date`] arithmetic and a fast non-cryptographic
 //! [`hash`] used for join/group keys.
 
+#![warn(missing_docs)]
+
 pub mod column;
 pub mod date;
 pub mod error;

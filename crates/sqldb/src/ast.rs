@@ -112,11 +112,11 @@ pub enum TableRef {
 pub enum JoinKind {
     /// INNER JOIN.
     Inner,
-    /// LEFT [OUTER] JOIN.
+    /// LEFT \[OUTER\] JOIN.
     Left,
-    /// RIGHT [OUTER] JOIN.
+    /// RIGHT \[OUTER\] JOIN.
     Right,
-    /// FULL [OUTER] JOIN.
+    /// FULL \[OUTER\] JOIN.
     Full,
     /// CROSS JOIN.
     Cross,

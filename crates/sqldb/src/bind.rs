@@ -333,6 +333,7 @@ impl<'a> Binder<'a> {
                     table: name.clone(),
                     schema: schema.requalify(&alias),
                     projection: None,
+                    pred: None,
                 })
             }
             TableRef::Subquery { query, alias } => {

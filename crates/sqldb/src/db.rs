@@ -2,9 +2,10 @@
 
 use crate::ast::{Query, Select, SelectItem, SqlExpr, TableRef};
 use crate::bind::bind_query;
-use crate::exec::{execute, ExecOptions};
-use crate::optimize::optimize;
+use crate::exec::{execute_traced, ExecMetrics, ExecOptions};
+use crate::optimize::{estimate, optimize_with, StatsCatalog};
 use crate::parser::parse_sql;
+use crate::plan::BoundQuery;
 use crate::table::StoredTable;
 use pytond_common::hash::FxHashMap;
 use pytond_common::{Error, Relation, Result};
@@ -43,6 +44,9 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Rows per morsel (default 16 Ki).
     pub morsel: usize,
+    /// Zone-map scan pruning (default on; benchmarks disable it to measure
+    /// the pruned-vs-unpruned delta).
+    pub zone_prune: bool,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +55,7 @@ impl Default for EngineConfig {
             profile: Profile::Vectorized,
             threads: 1,
             morsel: 16 * 1024,
+            zone_prune: true,
         }
     }
 }
@@ -61,7 +66,7 @@ impl EngineConfig {
         EngineConfig {
             profile,
             threads,
-            morsel: 16 * 1024,
+            ..EngineConfig::default()
         }
     }
 }
@@ -78,15 +83,60 @@ impl Database {
         Database::default()
     }
 
-    /// Registers (or replaces) a table.
+    /// Registers (or replaces) a table, computing column statistics and zone
+    /// maps for the optimizer and the pruning scan path.
     pub fn register(&mut self, name: &str, rel: Relation) {
         self.tables
             .insert(name.to_lowercase(), StoredTable::from_relation(&rel));
     }
 
+    /// Appends a batch of rows to an existing table (columns must match the
+    /// stored schema in name, order and dtype). Statistics update
+    /// incrementally: only the trailing partial zone is recomputed.
+    pub fn append(&mut self, name: &str, rel: &Relation) -> Result<()> {
+        let stored = self
+            .tables
+            .get_mut(&name.to_lowercase())
+            .ok_or_else(|| Error::Data(format!("unknown table '{name}'")))?;
+        stored.append_relation(rel)
+    }
+
     /// Looks a table up (case-insensitive).
     pub fn table(&self, name: &str) -> Option<&StoredTable> {
         self.tables.get(&name.to_lowercase())
+    }
+
+    /// Statistics snapshot over every registered table, for the optimizer.
+    fn stats_catalog(&self) -> StatsCatalog<'_> {
+        let mut ctx = StatsCatalog::empty();
+        for (name, stored) in &self.tables {
+            if let Some(stats) = &stored.stats {
+                ctx.add_table(name, stats);
+            }
+        }
+        ctx
+    }
+
+    /// Parses, binds and optimizes one statement (CTEs get their estimated
+    /// cardinalities registered in order so later plans can cost them).
+    fn plan_sql(&self, sql: &str, profile: Profile) -> Result<BoundQuery> {
+        let query = parse_sql(sql)?;
+        if profile == Profile::Lingo {
+            lingo_check(&query)?;
+        }
+        let mut bound = bind_query(self, &query)?;
+        let mut ctx = self.stats_catalog();
+        bound.ctes = bound
+            .ctes
+            .into_iter()
+            .map(|(n, p)| {
+                let p = optimize_with(p, &ctx);
+                ctx.set_rows(&n, estimate(&p, &ctx));
+                (n, p)
+            })
+            .collect();
+        bound.root = optimize_with(bound.root, &ctx);
+        Ok(bound)
     }
 
     /// Table names, sorted.
@@ -98,40 +148,72 @@ impl Database {
 
     /// Parses, binds, optimizes and executes one SQL statement.
     pub fn execute_sql(&self, sql: &str, config: &EngineConfig) -> Result<Relation> {
-        let query = parse_sql(sql)?;
-        if config.profile == Profile::Lingo {
-            lingo_check(&query)?;
-        }
-        let mut bound = bind_query(self, &query)?;
-        bound.ctes = bound
-            .ctes
-            .into_iter()
-            .map(|(n, p)| (n, optimize(p)))
-            .collect();
-        bound.root = optimize(bound.root);
+        let (rel, _) = self.execute_bound(sql, config)?;
+        Ok(rel)
+    }
+
+    /// Like [`Database::execute_sql`] but also returns a [`QueryTrace`] with
+    /// the optimized plan rendering and the executor's zone-pruning / join
+    /// counters, so tests and benchmarks can assert on planner decisions.
+    pub fn execute_sql_traced(
+        &self,
+        sql: &str,
+        config: &EngineConfig,
+    ) -> Result<(Relation, QueryTrace)> {
+        let (rel, (bound, metrics)) = self.execute_bound(sql, config)?;
+        let trace = QueryTrace {
+            plan: render_plans(&bound),
+            metrics,
+        };
+        Ok((rel, trace))
+    }
+
+    /// Shared plan + execute path; the EXPLAIN rendering happens only in the
+    /// traced entry point (it costs real time on microsecond-scale queries).
+    fn execute_bound(
+        &self,
+        sql: &str,
+        config: &EngineConfig,
+    ) -> Result<(Relation, (BoundQuery, ExecMetrics))> {
+        let bound = self.plan_sql(sql, config.profile)?;
         let opts = ExecOptions {
             threads: config.threads,
             fused: matches!(config.profile, Profile::Fused | Profile::Lingo),
             morsel: config.morsel,
+            zone_prune: config.zone_prune,
         };
-        let (batch, schema) = execute(self, &bound, opts)?;
-        Ok(batch.to_relation(&schema))
+        let (batch, schema, metrics) = execute_traced(self, &bound, opts)?;
+        Ok((batch.to_relation(&schema), (bound, metrics)))
     }
 
     /// Like [`Database::execute_sql`] but returns the optimized plan's
     /// EXPLAIN rendering instead of running it.
     pub fn explain_sql(&self, sql: &str) -> Result<String> {
-        let query = parse_sql(sql)?;
-        let bound = bind_query(self, &query)?;
-        let mut out = String::new();
-        for (name, plan) in &bound.ctes {
-            out.push_str(&format!("CTE {name}:\n"));
-            out.push_str(&optimize(plan.clone()).explain());
-        }
-        out.push_str("ROOT:\n");
-        out.push_str(&optimize(bound.root).explain());
-        Ok(out)
+        let bound = self.plan_sql(sql, Profile::Vectorized)?;
+        Ok(render_plans(&bound))
     }
+}
+
+/// EXPLAIN rendering of every optimized plan in a bound query.
+fn render_plans(bound: &BoundQuery) -> String {
+    let mut out = String::new();
+    for (name, plan) in &bound.ctes {
+        out.push_str(&format!("CTE {name}:\n"));
+        out.push_str(&plan.explain());
+    }
+    out.push_str("ROOT:\n");
+    out.push_str(&bound.root.explain());
+    out
+}
+
+/// Planner + executor report for one traced query: the EXPLAIN rendering of
+/// the optimized plans (join order included) plus runtime counters.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// EXPLAIN rendering of all CTE plans and the root plan.
+    pub plan: String,
+    /// Executor counters (zones pruned/scanned, joins flipped).
+    pub metrics: ExecMetrics,
 }
 
 /// The documented LingoDB-profile restrictions (see crate docs): reject
@@ -400,6 +482,228 @@ mod tests {
     fn explain_renders_plan() {
         let text = db().explain_sql("SELECT a FROM t WHERE a > 1").unwrap();
         assert!(text.contains("Scan t"), "{text}");
+        // The filter was sunk into the scan node.
+        assert!(text.contains("where"), "{text}");
+    }
+
+    /// A clustered (sequentially keyed) table: zone maps give tight per-zone
+    /// bounds, so selective range scans skip most morsels.
+    fn clustered_db(rows: i64) -> Database {
+        let mut db = Database::new();
+        db.register(
+            "events",
+            Relation::new(vec![
+                ("id".into(), Column::from_i64((0..rows).collect())),
+                (
+                    "v".into(),
+                    Column::from_f64((0..rows).map(|i| (i % 97) as f64).collect()),
+                ),
+            ])
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn zone_pruning_skips_morsels_and_preserves_results() {
+        let db = clustered_db(40_000);
+        let sql = "SELECT id, v FROM events WHERE id >= 100 AND id < 300";
+        let (pruned, trace) = db
+            .execute_sql_traced(sql, &EngineConfig::default())
+            .unwrap();
+        assert!(
+            trace.metrics.morsels_pruned > 0,
+            "expected pruned morsels, got {:?}\n{}",
+            trace.metrics,
+            trace.plan
+        );
+        // Same query with pruning disabled scans every morsel and agrees.
+        let cfg = EngineConfig {
+            zone_prune: false,
+            ..EngineConfig::default()
+        };
+        let (full, t2) = db.execute_sql_traced(sql, &cfg).unwrap();
+        assert_eq!(t2.metrics.morsels_pruned, 0);
+        assert!(t2.metrics.morsels_scanned > trace.metrics.morsels_scanned);
+        assert!(pruned.approx_eq(&full, 0.0), "pruned scan changed results");
+        assert_eq!(pruned.num_rows(), 200);
+    }
+
+    #[test]
+    fn zone_pruning_handles_in_lists_and_equality() {
+        let db = clustered_db(40_000);
+        let (r, trace) = db
+            .execute_sql_traced(
+                "SELECT id FROM events WHERE id IN (5, 39999)",
+                &EngineConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(r.num_rows(), 2);
+        assert!(trace.metrics.morsels_pruned > 0, "{:?}", trace.metrics);
+        let (r, trace) = db
+            .execute_sql_traced(
+                "SELECT id FROM events WHERE id = 12345",
+                &EngineConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(r.num_rows(), 1);
+        assert_eq!(trace.metrics.morsels_scanned, 1, "{:?}", trace.metrics);
+    }
+
+    /// TPC-H Q3 shape with the FROM clause in a deliberately bad order:
+    /// the greedy cost-based rewrite must start from the cheap
+    /// customer⋈orders pair instead of crossing lineitem with customer.
+    fn q3_shaped_db() -> Database {
+        let mut db = Database::new();
+        let n_li = 8_000i64;
+        db.register(
+            "lineitem",
+            Relation::new(vec![
+                (
+                    "l_orderkey".into(),
+                    Column::from_i64((0..n_li).map(|i| i / 4).collect()),
+                ),
+                (
+                    "l_extendedprice".into(),
+                    Column::from_f64((0..n_li).map(|i| (i % 100) as f64).collect()),
+                ),
+            ])
+            .unwrap(),
+        );
+        db.register(
+            "orders",
+            Relation::new(vec![
+                ("o_orderkey".into(), Column::from_i64((0..2_000).collect())),
+                (
+                    "o_custkey".into(),
+                    Column::from_i64((0..2_000).map(|i| i % 100).collect()),
+                ),
+            ])
+            .unwrap(),
+        );
+        db.register(
+            "customer",
+            Relation::new(vec![(
+                "c_custkey".into(),
+                Column::from_i64((0..100).collect()),
+            )])
+            .unwrap(),
+        );
+        db
+    }
+
+    #[test]
+    fn cost_based_rewrite_changes_join_order() {
+        let db = q3_shaped_db();
+        let sql = "SELECT SUM(l_extendedprice) AS rev \
+                   FROM lineitem, customer, orders \
+                   WHERE l_orderkey = o_orderkey AND c_custkey = o_custkey";
+        let plan = db.explain_sql(sql).unwrap();
+        let pos = |t: &str| plan.find(&format!("Scan {t}")).expect(t);
+        // The FROM clause leads with lineitem; the rewrite starts from the
+        // cheap orders⋈customer pair and attaches lineitem last.
+        assert!(
+            pos("lineitem") > pos("orders") && pos("lineitem") > pos("customer"),
+            "join order not rewritten:\n{plan}"
+        );
+        // The rewritten plan computes the same answer as the well-ordered
+        // query.
+        let good = "SELECT SUM(l_extendedprice) AS rev \
+                    FROM customer, orders, lineitem \
+                    WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey";
+        let a = db.execute_sql(sql, &EngineConfig::default()).unwrap();
+        let b = db.execute_sql(good, &EngineConfig::default()).unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
+    }
+
+    #[test]
+    fn well_ordered_joins_are_left_alone() {
+        let db = q3_shaped_db();
+        let plan = db
+            .explain_sql(
+                "SELECT SUM(l_extendedprice) AS rev \
+                 FROM customer, orders, lineitem \
+                 WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey",
+            )
+            .unwrap();
+        let pos = |t: &str| plan.find(&format!("Scan {t}")).expect(t);
+        assert!(
+            pos("customer") < pos("orders") && pos("orders") < pos("lineitem"),
+            "optimal FROM order should be preserved:\n{plan}"
+        );
+    }
+
+    #[test]
+    fn joins_build_on_smaller_side() {
+        let db = q3_shaped_db();
+        // lineitem (8000 rows) probes; orders (2000 rows) should build even
+        // though it is the left input here.
+        let (_, trace) = db
+            .execute_sql_traced(
+                "SELECT o_orderkey FROM orders, lineitem WHERE o_orderkey = l_orderkey",
+                &EngineConfig::default(),
+            )
+            .unwrap();
+        assert!(trace.metrics.joins_flipped >= 1, "{:?}", trace.metrics);
+    }
+
+    #[test]
+    fn joins_over_empty_tables_plan_and_run() {
+        let mut db = db();
+        db.register(
+            "e",
+            Relation::new(vec![("a".into(), Column::from_i64(vec![]))]).unwrap(),
+        );
+        // A zero-row input must not panic cardinality estimation.
+        let r = db
+            .execute_sql(
+                "SELECT t.a FROM t, e WHERE t.a = e.a",
+                &EngineConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(r.num_rows(), 0);
+    }
+
+    #[test]
+    fn failed_append_leaves_table_untouched() {
+        let mut db = clustered_db(100);
+        // Second column has the wrong dtype: nothing may be appended.
+        let bad = Relation::new(vec![
+            ("id".into(), Column::from_i64(vec![100])),
+            ("v".into(), Column::from_strs(&["oops"])),
+        ])
+        .unwrap();
+        assert!(db.append("events", &bad).is_err());
+        let stored = db.table("events").unwrap();
+        assert!(stored.batch.cols.iter().all(|c| c.len() == 100));
+        let r = db
+            .execute_sql("SELECT COUNT(*) AS n FROM events", &EngineConfig::default())
+            .unwrap();
+        assert_eq!(r.column("n").unwrap().get(0), Value::Int(100));
+    }
+
+    #[test]
+    fn append_updates_data_and_stats() {
+        let mut db = clustered_db(5_000);
+        let more = Relation::new(vec![
+            ("id".into(), Column::from_i64((5_000..6_000).collect())),
+            ("v".into(), Column::from_f64(vec![1.0; 1_000])),
+        ])
+        .unwrap();
+        db.append("events", &more).unwrap();
+        let r = db
+            .execute_sql(
+                "SELECT COUNT(*) AS n FROM events WHERE id >= 5000",
+                &EngineConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(r.column("n").unwrap().get(0), Value::Int(1_000));
+        let stats = db.table("events").unwrap().stats.as_ref().unwrap();
+        assert_eq!(stats.row_count, 6_000);
+        assert_eq!(stats.columns[0].max, Value::Int(5_999));
+        // Mismatched schema is rejected.
+        let bad = Relation::new(vec![("id".into(), Column::from_i64(vec![1]))]).unwrap();
+        assert!(db.append("events", &bad).is_err());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::ast::AggName;
 use crate::db::Database;
 use crate::expr::BExpr;
 use crate::plan::{BAgg, BoundQuery, JKind, LogicalPlan};
+use crate::stats::ZONE_ROWS;
 use crate::table::{Batch, Schema, StoredTable};
 use pytond_common::hash::{
     distinct_keep, encode_value, normalize_key, opt_keys, sql_key_encodings, FixedKeySpec,
@@ -38,6 +39,8 @@ pub struct ExecOptions {
     pub fused: bool,
     /// Rows per morsel.
     pub morsel: usize,
+    /// Consult zone maps to skip morsels on pushed-down scan predicates.
+    pub zone_prune: bool,
 }
 
 impl Default for ExecOptions {
@@ -46,16 +49,44 @@ impl Default for ExecOptions {
             threads: 1,
             fused: false,
             morsel: 16 * 1024,
+            zone_prune: true,
         }
     }
 }
 
+/// Executor counters for one query, reported through
+/// [`crate::db::Database::execute_sql_traced`].
+///
+/// "Morsels" here are statistics zones ([`crate::stats::ZONE_ROWS`] rows):
+/// the granularity at which predicated scans either evaluate or skip input.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Zones whose rows a predicated scan actually evaluated.
+    pub morsels_scanned: u64,
+    /// Zones skipped because zone-map bounds proved the predicate false.
+    pub morsels_pruned: u64,
+    /// Hash joins that built on the left input because it was the smaller
+    /// side (the planner's layout defaults to building on the right).
+    pub joins_flipped: u64,
+}
+
 /// Executes a bound query, materializing CTEs in order.
 pub fn execute(db: &Database, q: &BoundQuery, opts: ExecOptions) -> Result<(Batch, Schema)> {
+    let (batch, schema, _) = execute_traced(db, q, opts)?;
+    Ok((batch, schema))
+}
+
+/// Like [`execute`], also returning the run's [`ExecMetrics`].
+pub fn execute_traced(
+    db: &Database,
+    q: &BoundQuery,
+    opts: ExecOptions,
+) -> Result<(Batch, Schema, ExecMetrics)> {
     let mut exec = Executor {
         db,
         temps: FxHashMap::default(),
         opts,
+        metrics: std::cell::Cell::new(ExecMetrics::default()),
     };
     for (name, plan) in &q.ctes {
         let batch = exec.exec(plan)?;
@@ -71,37 +102,39 @@ pub fn execute(db: &Database, q: &BoundQuery, opts: ExecOptions) -> Result<(Batc
                         .collect(),
                 ),
                 batch,
+                // CTE temporaries skip the stats pass: their scans filter
+                // row-by-row without zone pruning.
+                stats: None,
             },
         );
     }
     let batch = exec.exec(&q.root)?;
-    Ok((batch, q.root.schema().clone()))
+    Ok((batch, q.root.schema().clone(), exec.metrics.get()))
 }
 
 struct Executor<'a> {
     db: &'a Database,
     temps: FxHashMap<String, StoredTable>,
     opts: ExecOptions,
+    /// Updated from the single-threaded operator driver only (workers never
+    /// touch it), so a plain `Cell` suffices.
+    metrics: std::cell::Cell<ExecMetrics>,
 }
 
 impl<'a> Executor<'a> {
     fn exec(&self, plan: &LogicalPlan) -> Result<Batch> {
         match plan {
             LogicalPlan::Scan {
-                table, projection, ..
+                table,
+                projection,
+                pred,
+                ..
             } => {
-                let stored = self
-                    .temps
-                    .get(&table.to_lowercase())
-                    .or_else(|| self.db.table(table))
-                    .ok_or_else(|| Error::Exec(format!("unknown table '{table}'")))?;
-                let batch = match projection {
-                    None => stored.batch.clone(),
-                    Some(cols) => Batch {
-                        cols: cols.iter().map(|&i| stored.batch.cols[i].clone()).collect(),
-                    },
-                };
-                Ok(batch)
+                let (batch, sel) = self.scan(table, projection.as_deref(), pred.as_ref())?;
+                match sel {
+                    Some(sel) => Ok(batch.gather(&sel)),
+                    None => Ok(batch),
+                }
             }
             LogicalPlan::Values { schema, rows } => {
                 let mut cols: Vec<Column> = schema
@@ -175,8 +208,9 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Fused-profile hook: when the child is a Filter, return the *unfiltered*
-    /// child batch plus the selection vector so the parent evaluates lazily.
+    /// Fused-profile hook: when the child is a Filter (or a scan with a
+    /// pushed-down predicate), return the *unfiltered* child batch plus the
+    /// selection vector so the parent evaluates lazily.
     fn exec_with_sel(&self, input: &LogicalPlan) -> Result<(Batch, Option<Vec<usize>>)> {
         if self.opts.fused {
             if let LogicalPlan::Filter { input: inner, pred } = input {
@@ -184,8 +218,118 @@ impl<'a> Executor<'a> {
                 let sel = self.filter_sel(&batch, pred)?;
                 return Ok((batch, Some(sel)));
             }
+            if let LogicalPlan::Scan {
+                table,
+                projection,
+                pred: Some(pred),
+                ..
+            } = input
+            {
+                return self.scan(table, projection.as_deref(), Some(pred));
+            }
         }
         Ok((self.exec(input)?, None))
+    }
+
+    /// Scans a stored table: resolves the projection and, when a predicate
+    /// was pushed down, evaluates it zone-at-a-time — consulting the zone
+    /// maps first so morsels whose min/max bounds refute the predicate are
+    /// skipped without touching their rows. Returns the (unfiltered)
+    /// projected batch plus the selection of surviving rows.
+    fn scan(
+        &self,
+        table: &str,
+        projection: Option<&[usize]>,
+        pred: Option<&BExpr>,
+    ) -> Result<(Batch, Option<Vec<usize>>)> {
+        let stored = self
+            .temps
+            .get(&table.to_lowercase())
+            .or_else(|| self.db.table(table))
+            .ok_or_else(|| Error::Exec(format!("unknown table '{table}'")))?;
+        let batch = match projection {
+            None => stored.batch.clone(),
+            Some(cols) => Batch {
+                cols: cols.iter().map(|&i| stored.batch.cols[i].clone()).collect(),
+            },
+        };
+        let Some(pred) = pred else {
+            return Ok((batch, None));
+        };
+        let n = stored.batch.num_rows();
+        let total_zones = n.div_ceil(ZONE_ROWS).max(1);
+        // Zone pruning: a zone survives only if every prunable conjunct may
+        // match it. Tables without stats (CTE temps) keep every zone.
+        let zone_ok: Option<Vec<bool>> = if self.opts.zone_prune {
+            stored.stats.as_ref().map(|stats| {
+                let tests = crate::stats::prunable_tests(pred);
+                let mut ok = vec![true; total_zones];
+                for t in &tests {
+                    let col = match t {
+                        crate::stats::ZoneTest::Cmp { col, .. }
+                        | crate::stats::ZoneTest::In { col, .. }
+                        | crate::stats::ZoneTest::Null { col, .. } => *col,
+                    };
+                    let Some(zones) = stats.columns.get(col).and_then(|c| c.zones.as_ref()) else {
+                        continue;
+                    };
+                    for (z, zone) in zones.iter().enumerate() {
+                        if z < ok.len() && ok[z] && !crate::stats::zone_may_match(t, zone) {
+                            ok[z] = false;
+                        }
+                    }
+                }
+                ok
+            })
+        } else {
+            None
+        };
+        let survived = zone_ok
+            .as_ref()
+            .map_or(total_zones, |ok| ok.iter().filter(|&&k| k).count());
+        let mut m = self.metrics.get();
+        m.morsels_scanned += survived as u64;
+        m.morsels_pruned += (total_zones - survived) as u64;
+        self.metrics.set(m);
+        // Evaluate the predicate over the surviving rows against the *full*
+        // stored batch (scan predicates address stored column indices).
+        let full = Batch {
+            cols: stored.batch.cols.clone(),
+        };
+        let sel = match &zone_ok {
+            // Nothing pruned: the plain parallel path builds its candidate
+            // ranges per worker (no serial index-vector materialization).
+            Some(ok) if survived < total_zones => {
+                let mut rows = Vec::new();
+                for (z, keep) in ok.iter().enumerate() {
+                    if *keep {
+                        rows.extend(z * ZONE_ROWS..((z + 1) * ZONE_ROWS).min(n));
+                    }
+                }
+                self.filter_sel_within(&full, pred, &rows)?
+            }
+            _ => self.filter_sel(&full, pred)?,
+        };
+        Ok((batch, Some(sel)))
+    }
+
+    /// Like [`Executor::filter_sel`], restricted to the given candidate rows.
+    fn filter_sel_within(
+        &self,
+        batch: &Batch,
+        pred: &BExpr,
+        candidates: &[usize],
+    ) -> Result<Vec<usize>> {
+        let chunks = par_ranges(candidates.len(), self.opts, |start, end| {
+            let local = &candidates[start..end];
+            let mask = pred.eval_mask(batch, Some(local))?;
+            Ok(local
+                .iter()
+                .zip(mask)
+                .filter_map(|(&i, keep)| keep.then_some(i))
+                .collect::<Vec<usize>>())
+        })?;
+        Ok(chunks.concat())
     }
 
     /// Evaluates a predicate, returning the surviving row indices.
@@ -205,8 +349,17 @@ impl<'a> Executor<'a> {
 
     fn project(&self, batch: &Batch, exprs: &[BExpr], sel: Option<&[usize]>) -> Result<Batch> {
         let n = sel.map_or(batch.num_rows(), |s| s.len());
-        let mut out_cols: Vec<Column> = Vec::with_capacity(exprs.len());
+        let mut out_cols: Vec<Arc<Column>> = Vec::with_capacity(exprs.len());
         for e in exprs {
+            // Bare column without a selection: share the input column
+            // (permutation projections — e.g. the join-reorder restore
+            // projection — cost one Arc clone instead of a copy).
+            if sel.is_none() {
+                if let BExpr::Col(i) = e {
+                    out_cols.push(batch.cols[*i].clone());
+                    continue;
+                }
+            }
             let chunks = par_ranges(n, self.opts, |start, end| {
                 let local_sel: Vec<usize> = match sel {
                     Some(s) => s[start..end].to_vec(),
@@ -219,9 +372,9 @@ impl<'a> Executor<'a> {
             for c in it {
                 col.append(&c)?;
             }
-            out_cols.push(col);
+            out_cols.push(Arc::new(col));
         }
-        Ok(Batch::from_columns(out_cols))
+        Ok(Batch { cols: out_cols })
     }
 
     // ---------------- join ----------------
@@ -249,18 +402,37 @@ impl<'a> Executor<'a> {
             .collect::<Result<_>>()?;
         let lrefs: Vec<&Column> = lkey_cols.iter().collect();
         let rrefs: Vec<&Column> = rkey_cols.iter().collect();
+        // Build/probe side selection: the hash table defaults to the right
+        // input, but when the left side's (actual, post-filter) cardinality
+        // is smaller and the join kind permits, build on the left instead and
+        // probe with the right — output order is preserved either way.
+        let flip = matches!(kind, JKind::Inner | JKind::Semi | JKind::Anti)
+            && left.num_rows() < right.num_rows();
+        if flip {
+            let mut m = self.metrics.get();
+            m.joins_flipped += 1;
+            self.metrics.set(m);
+        }
         // Pick the key layout jointly over both sides; the packed fast paths
         // and the byte fallback share one generic build/probe implementation.
         match FixedKeySpec::plan(&[&lrefs, &rrefs], false) {
             Some(spec) if spec.width() == KeyWidth::U64 => {
                 let lk = opt_keys(spec.pack_u64(&lrefs));
                 let rk = opt_keys(spec.pack_u64(&rrefs));
-                self.join_with_keys(left, right, kind, &lk, &rk, residual)
+                if flip {
+                    self.join_build_left(left, right, kind, &lk, &rk, residual)
+                } else {
+                    self.join_with_keys(left, right, kind, &lk, &rk, residual)
+                }
             }
             Some(spec) => {
                 let lk = opt_keys(spec.pack_u128(&lrefs));
                 let rk = opt_keys(spec.pack_u128(&rrefs));
-                self.join_with_keys(left, right, kind, &lk, &rk, residual)
+                if flip {
+                    self.join_build_left(left, right, kind, &lk, &rk, residual)
+                } else {
+                    self.join_with_keys(left, right, kind, &lk, &rk, residual)
+                }
             }
             None => {
                 // Per-position encodings keep fallback equality identical to
@@ -269,7 +441,94 @@ impl<'a> Executor<'a> {
                 let enc = sql_key_encodings(&[&lrefs, &rrefs]);
                 let la = KeyArena::encode(&lrefs, &enc, true);
                 let ra = KeyArena::encode(&rrefs, &enc, true);
-                self.join_with_keys(left, right, kind, &la.keys(), &ra.keys(), residual)
+                if flip {
+                    self.join_build_left(left, right, kind, &la.keys(), &ra.keys(), residual)
+                } else {
+                    self.join_with_keys(left, right, kind, &la.keys(), &ra.keys(), residual)
+                }
+            }
+        }
+    }
+
+    /// Hash join building on the **left** (smaller) side and probing with the
+    /// right — used for inner/semi/anti joins when the left input is smaller.
+    /// Match pairs are re-emitted in left-major order (for each left row, its
+    /// matching right rows in right-row order), which is exactly the order
+    /// [`Executor::join_with_keys`] produces, so flipping is invisible to
+    /// results.
+    fn join_build_left<K: Hash + Eq + Copy + Send + Sync>(
+        &self,
+        left: &Batch,
+        right: &Batch,
+        kind: JKind,
+        lkeys: &[Option<K>],
+        rkeys: &[Option<K>],
+        residual: Option<&BExpr>,
+    ) -> Result<Batch> {
+        let ln = left.num_rows();
+        // Build: hash the left side.
+        let mut table: FxHashMap<K, Vec<u32>> = FxHashMap::default();
+        for (i, k) in lkeys.iter().enumerate() {
+            if let Some(k) = k {
+                table.entry(*k).or_default().push(i as u32);
+            }
+        }
+        // Probe: right side in parallel ranges, recording matches per left row.
+        let probe_chunks = par_ranges(right.num_rows(), self.opts, |start, end| {
+            let mut pairs: Vec<(u32, u32)> = Vec::new(); // (left row, right row)
+            let mut matched_left: Vec<u32> = Vec::new();
+            for (j, rk) in rkeys.iter().enumerate().take(end).skip(start) {
+                if let Some(rows) = rk.as_ref().and_then(|k| table.get(k)) {
+                    match kind {
+                        JKind::Semi | JKind::Anti => matched_left.extend_from_slice(rows),
+                        _ => pairs.extend(rows.iter().map(|&l| (l, j as u32))),
+                    }
+                }
+            }
+            Ok((pairs, matched_left))
+        })?;
+        match kind {
+            JKind::Semi | JKind::Anti => {
+                let mut matched = vec![false; ln];
+                for (_, ml) in &probe_chunks {
+                    for &l in ml {
+                        matched[l as usize] = true;
+                    }
+                }
+                let want = matches!(kind, JKind::Semi);
+                let keep: Vec<usize> = (0..ln).filter(|&i| matched[i] == want).collect();
+                let mut out = left.gather(&keep);
+                if let Some(res) = residual {
+                    let sel = self.filter_sel(&out, res)?;
+                    out = out.gather(&sel);
+                }
+                Ok(out)
+            }
+            _ => {
+                // Regroup pairs left-major; right rows arrive in ascending
+                // order because probe chunks are merged in range order.
+                let mut matches: Vec<Vec<u32>> = vec![Vec::new(); ln];
+                for (pairs, _) in &probe_chunks {
+                    for &(l, r) in pairs {
+                        matches[l as usize].push(r);
+                    }
+                }
+                let mut li: Vec<usize> = Vec::new();
+                let mut ri: Vec<usize> = Vec::new();
+                for (l, rs) in matches.iter().enumerate() {
+                    for &r in rs {
+                        li.push(l);
+                        ri.push(r as usize);
+                    }
+                }
+                let mut cols = left.gather(&li).cols;
+                cols.extend(right.gather(&ri).cols);
+                let mut out = Batch { cols };
+                if let Some(res) = residual {
+                    let sel = self.filter_sel(&out, res)?;
+                    out = out.gather(&sel);
+                }
+                Ok(out)
             }
         }
     }

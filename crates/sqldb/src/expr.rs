@@ -228,6 +228,55 @@ pub enum BExpr {
     },
 }
 
+impl std::fmt::Display for BExpr {
+    /// Compact SQL-ish rendering for EXPLAIN output; input columns print as
+    /// `#index` (names are not known at this level).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BExpr::Col(i) => write!(f, "#{i}"),
+            BExpr::Lit(v) => write!(f, "{v:?}"),
+            BExpr::Bin { op, l, r } => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Mod => "%",
+                    BinOp::Eq => "=",
+                    BinOp::Ne => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::And => "AND",
+                    BinOp::Or => "OR",
+                    BinOp::Concat => "||",
+                };
+                write!(f, "({l} {sym} {r})")
+            }
+            BExpr::Not(e) => write!(f, "NOT {e}"),
+            BExpr::Neg(e) => write!(f, "-{e}"),
+            BExpr::IsNull { e, negated } => {
+                write!(f, "{e} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            BExpr::Like { e, negated, .. } => {
+                write!(f, "{e} {}LIKE <pat>", if *negated { "NOT " } else { "" })
+            }
+            BExpr::InList { e, list, negated } => {
+                write!(
+                    f,
+                    "{e} {}IN ({} values)",
+                    if *negated { "NOT " } else { "" },
+                    list.len()
+                )
+            }
+            BExpr::Case { arms, .. } => write!(f, "CASE [{} arms]", arms.len()),
+            BExpr::Func { f: func, args } => write!(f, "{func:?}({} args)", args.len()),
+            BExpr::Cast { e, to } => write!(f, "CAST({e} AS {to})"),
+        }
+    }
+}
+
 impl BExpr {
     /// Collects the input column indices the expression touches.
     pub fn columns_used(&self, out: &mut Vec<usize>) {
@@ -513,7 +562,7 @@ fn lit_column(v: &Value, n: usize) -> Column {
 /// Dispatches **once** per column pair to a monomorphic loop over raw typed
 /// slices (see [`Column::as_i64_slice`] and friends); only genuinely mixed
 /// combinations (e.g. date vs string) fall back to the row-at-a-time
-/// [`reference`] semantics. Null handling: arithmetic merges validity masks,
+/// [`mod@reference`] semantics. Null handling: arithmetic merges validity masks,
 /// comparisons collapse NULL to `false`.
 pub fn eval_bin(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
     use BinOp::*;

@@ -42,6 +42,8 @@
 //! assert_eq!(out.num_rows(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod bind;
 pub mod db;
@@ -51,7 +53,8 @@ pub mod lex;
 pub mod optimize;
 pub mod parser;
 pub mod plan;
+pub mod stats;
 pub mod table;
 
-pub use db::{Database, EngineConfig, Profile};
+pub use db::{Database, EngineConfig, Profile, QueryTrace};
 pub use plan::LogicalPlan;

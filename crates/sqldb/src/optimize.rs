@@ -1,14 +1,36 @@
-//! Logical-plan rewrites: filter pushdown, cross→inner join promotion, and
-//! projection (scan-column) pruning.
+//! Logical-plan rewrites: filter pushdown, cross→inner join promotion,
+//! scan-predicate sinking, statistics-driven join ordering, and projection
+//! (scan-column) pruning.
+//!
+//! The statistics-aware passes consume a [`StatsCatalog`] snapshot of the
+//! database's [`crate::stats::TableStats`]: [`estimate`] predicts operator
+//! cardinalities from row counts, null fractions, min/max bounds and
+//! distinct-count estimates, and [`reorder_joins`] uses those predictions to
+//! greedily re-order contiguous inner/cross-join regions (outer joins,
+//! semi/anti joins and every other operator are barriers the rewrite never
+//! crosses). A region is only rebuilt when the estimated cost — sum of hash
+//! build sizes and intermediate cardinalities — strictly improves, so plans
+//! without useful statistics keep their original shape.
 
 use crate::ast::BinOp;
 use crate::expr::BExpr;
 use crate::plan::{JKind, LogicalPlan};
+use crate::stats::TableStats;
 use crate::table::Schema;
+use pytond_common::hash::FxHashMap;
+use pytond_common::Value;
 
-/// Runs all rewrite passes.
+/// Runs all rewrite passes without statistics (tests / standalone use).
 pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
+    optimize_with(plan, &StatsCatalog::empty())
+}
+
+/// Runs all rewrite passes with a statistics catalog: filter pushdown,
+/// scan-predicate sinking, cost-based join ordering, projection pruning.
+pub fn optimize_with(plan: LogicalPlan, ctx: &StatsCatalog<'_>) -> LogicalPlan {
     let plan = push_filters(plan);
+    let plan = sink_scan_filters(plan);
+    let plan = reorder_joins(plan, ctx);
     let all: Vec<usize> = (0..plan.schema().len()).collect();
     let (plan, _map) = prune(plan, &all);
     plan
@@ -293,11 +315,21 @@ fn prune(plan: LogicalPlan, required: &[usize]) -> (LogicalPlan, Vec<(usize, usi
     let mut req: Vec<usize> = required.to_vec();
     req.sort_unstable();
     req.dedup();
+    // A leaf pruned to zero columns would lose its row count (batches carry
+    // no explicit length), silently emptying `COUNT(*)`-style aggregates:
+    // keep one column.
+    if req.is_empty()
+        && matches!(plan, LogicalPlan::Scan { .. } | LogicalPlan::Values { .. })
+        && !plan.schema().is_empty()
+    {
+        req.push(0);
+    }
     match plan {
         LogicalPlan::Scan {
             table,
             schema,
             projection,
+            pred,
         } => {
             let base: Vec<usize> = match &projection {
                 Some(p) => p.clone(),
@@ -315,6 +347,9 @@ fn prune(plan: LogicalPlan, required: &[usize]) -> (LogicalPlan, Vec<(usize, usi
                     table,
                     schema: Schema::new(fields),
                     projection: Some(kept),
+                    // The scan predicate addresses the stored table directly,
+                    // so projection pruning never touches it.
+                    pred,
                 },
                 mapping,
             )
@@ -634,6 +669,925 @@ fn to_remap(mapping: &[(usize, usize)]) -> impl Fn(usize) -> usize + '_ {
     }
 }
 
+// ---------------- scan-predicate sinking ----------------
+
+/// Folds `Filter(Scan)` into the scan node itself, rewriting the predicate
+/// into the stored table's column space. The executor can then consult zone
+/// maps before materializing anything.
+pub fn sink_scan_filters(plan: LogicalPlan) -> LogicalPlan {
+    map_inputs(plan, &|p| match p {
+        LogicalPlan::Filter { input, pred } => match *input {
+            LogicalPlan::Scan {
+                table,
+                schema,
+                projection,
+                pred: existing,
+            } => {
+                let mut stored_pred = pred;
+                if let Some(proj) = &projection {
+                    stored_pred.remap_columns(&|i| proj[i]);
+                }
+                let pred = Some(match existing {
+                    Some(old) => BExpr::Bin {
+                        op: BinOp::And,
+                        l: Box::new(old),
+                        r: Box::new(stored_pred),
+                    },
+                    None => stored_pred,
+                });
+                LogicalPlan::Scan {
+                    table,
+                    schema,
+                    projection,
+                    pred,
+                }
+            }
+            other => LogicalPlan::Filter {
+                input: Box::new(other),
+                pred,
+            },
+        },
+        other => other,
+    })
+}
+
+/// Rebuilds `plan` with `f` applied bottom-up to every node.
+fn map_inputs(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    let mapped = match plan {
+        LogicalPlan::Filter { input, pred } => LogicalPlan::Filter {
+            input: Box::new(map_inputs(*input, f)),
+            pred,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(map_inputs(*input, f)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(map_inputs(*left, f)),
+            right: Box::new(map_inputs(*right, f)),
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(map_inputs(*input, f)),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(map_inputs(*input, f)),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(map_inputs(*input, f)),
+            n,
+        },
+        LogicalPlan::Window {
+            input,
+            order,
+            schema,
+        } => LogicalPlan::Window {
+            input: Box::new(map_inputs(*input, f)),
+            order,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(map_inputs(*input, f)),
+        },
+        leaf => leaf,
+    };
+    f(mapped)
+}
+
+// ---------------- statistics catalog & cardinality estimation ----------------
+
+/// Assumed row count for tables without statistics (CTE temps and the like).
+const DEFAULT_ROWS: f64 = 1000.0;
+/// Default selectivity of an equality predicate without statistics.
+const SEL_EQ: f64 = 0.1;
+/// Default selectivity of a range predicate without statistics.
+const SEL_RANGE: f64 = 0.3;
+/// Default selectivity of any other predicate shape.
+const SEL_OTHER: f64 = 0.25;
+/// Cardinality shrink factor of a GROUP BY without key statistics.
+const SEL_GROUP: f64 = 0.2;
+
+/// A snapshot of per-table statistics the optimizer plans against: base
+/// tables carry full [`TableStats`]; CTE results are registered with their
+/// estimated row counts as each CTE plan is optimized.
+#[derive(Debug, Default)]
+pub struct StatsCatalog<'a> {
+    tables: FxHashMap<String, (f64, Option<&'a TableStats>)>,
+}
+
+impl<'a> StatsCatalog<'a> {
+    /// A catalog with no information (every lookup uses defaults).
+    pub fn empty() -> StatsCatalog<'static> {
+        StatsCatalog::default()
+    }
+
+    /// Registers a base table's statistics.
+    pub fn add_table(&mut self, name: &str, stats: &'a TableStats) {
+        self.tables
+            .insert(name.to_lowercase(), (stats.row_count as f64, Some(stats)));
+    }
+
+    /// Registers (or overrides) a bare row-count estimate, e.g. for a CTE
+    /// whose plan was just optimized.
+    pub fn set_rows(&mut self, name: &str, rows: f64) {
+        self.tables
+            .insert(name.to_lowercase(), (rows.max(0.0), None));
+    }
+
+    fn lookup(&self, name: &str) -> (f64, Option<&'a TableStats>) {
+        self.tables
+            .get(&name.to_lowercase())
+            .copied()
+            .unwrap_or((DEFAULT_ROWS, None))
+    }
+}
+
+/// Estimated output cardinality of a plan node.
+pub fn estimate(plan: &LogicalPlan, ctx: &StatsCatalog<'_>) -> f64 {
+    match plan {
+        LogicalPlan::Scan { table, pred, .. } => {
+            let (rows, stats) = ctx.lookup(table);
+            match pred {
+                Some(p) => (rows * selectivity(p, stats)).max(1.0).min(rows.max(1.0)),
+                None => rows,
+            }
+        }
+        LogicalPlan::Values { rows, .. } => rows.len() as f64,
+        LogicalPlan::Filter { input, pred } => {
+            (estimate(input, ctx) * selectivity(pred, None)).max(1.0)
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Window { input, .. } => estimate(input, ctx),
+        LogicalPlan::Limit { input, n } => estimate(input, ctx).min(*n as f64),
+        LogicalPlan::Distinct { input } => (estimate(input, ctx) * 0.5).max(1.0),
+        LogicalPlan::Aggregate { input, group, .. } => {
+            if group.is_empty() {
+                1.0
+            } else {
+                (estimate(input, ctx) * SEL_GROUP).max(1.0)
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            ..
+        } => {
+            let l = estimate(left, ctx);
+            let r = estimate(right, ctx);
+            // Key-domain size: the largest NDV among key pairs whose columns
+            // trace back to a base-table scan.
+            let divisor = left_keys
+                .iter()
+                .zip(right_keys)
+                .filter_map(|(lk, rk)| {
+                    let dl = expr_ndv(left, lk, ctx);
+                    let dr = expr_ndv(right, rk, ctx);
+                    match (dl, dr) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (one, other) => one.or(other),
+                    }
+                })
+                .fold(None::<f64>, |acc, d| Some(acc.map_or(d, |a| a.max(d))));
+            join_estimate(*kind, !left_keys.is_empty(), l, r, divisor)
+        }
+    }
+}
+
+/// Textbook join-cardinality estimate `|L|·|R| / V(key)`: `divisor` is the
+/// key domain size (max NDV across key pairs) when statistics could resolve
+/// it; otherwise the larger input stands in for the domain (the "key side
+/// covers the domain" assumption).
+fn join_estimate(kind: JKind, has_keys: bool, l: f64, r: f64, divisor: Option<f64>) -> f64 {
+    let inner = if has_keys {
+        let d = divisor.unwrap_or_else(|| l.max(r)).max(1.0);
+        // Lower bound before upper: an empty input makes l*r = 0, and
+        // f64::clamp(1.0, 0.0) would panic on the inverted range.
+        (l * r / d).max(1.0).min((l * r).max(1.0))
+    } else {
+        (l * r).max(1.0)
+    };
+    match kind {
+        JKind::Inner | JKind::Cross => inner,
+        JKind::Left => inner.max(l),
+        JKind::Right => inner.max(r),
+        JKind::Full => inner.max(l).max(r),
+        JKind::Semi | JKind::Anti => (l * 0.5).max(1.0),
+    }
+}
+
+/// Distinct-count estimate of a bare-column key expression, traced through
+/// filters, projections and joins down to a base-table scan. `None` when the
+/// column's provenance leaves the statistics' reach. Pushed-down filters do
+/// not scale the NDV (domain preservation: join keys keep their domain).
+fn expr_ndv(plan: &LogicalPlan, key: &BExpr, ctx: &StatsCatalog<'_>) -> Option<f64> {
+    match key {
+        BExpr::Col(i) => col_ndv(plan, *i, ctx),
+        _ => None,
+    }
+}
+
+fn col_ndv(plan: &LogicalPlan, i: usize, ctx: &StatsCatalog<'_>) -> Option<f64> {
+    match plan {
+        LogicalPlan::Scan {
+            table, projection, ..
+        } => {
+            let (_, stats) = ctx.lookup(table);
+            let stored = projection.as_ref().map_or(i, |p| p[i]);
+            Some(stats?.columns.get(stored)?.distinct_estimate())
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => col_ndv(input, i, ctx),
+        LogicalPlan::Project { input, exprs, .. } => match exprs.get(i)? {
+            BExpr::Col(j) => col_ndv(input, *j, ctx),
+            _ => None,
+        },
+        LogicalPlan::Join { left, right, .. } => {
+            let lw = left.schema().len();
+            if i < lw {
+                col_ndv(left, i, ctx)
+            } else {
+                col_ndv(right, i - lw, ctx)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Estimated fraction of rows satisfying `pred`.
+///
+/// With `stats` (scan predicates, where column indices address the stored
+/// table) equality uses `1/NDV`, ranges interpolate into the `[min, max]`
+/// span, and NULL tests use the null fraction; without stats each shape falls
+/// back to a fixed default.
+pub fn selectivity(pred: &BExpr, stats: Option<&TableStats>) -> f64 {
+    let s = match pred {
+        BExpr::Lit(Value::Bool(b)) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        BExpr::Bin {
+            op: BinOp::And,
+            l,
+            r,
+        } => selectivity(l, stats) * selectivity(r, stats),
+        BExpr::Bin {
+            op: BinOp::Or,
+            l,
+            r,
+        } => selectivity(l, stats) + selectivity(r, stats),
+        BExpr::Not(e) => 1.0 - selectivity(e, stats),
+        BExpr::Bin { op, l, r } => match (col_of(l), lit_of(r), col_of(r), lit_of(l)) {
+            (Some(c), Some(v), _, _) => cmp_selectivity(*op, c, v, stats),
+            (_, _, Some(c), Some(v)) => cmp_selectivity(mirror(*op), c, v, stats),
+            _ => match op {
+                BinOp::Eq => SEL_EQ,
+                BinOp::Ne => 1.0 - SEL_EQ,
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => SEL_RANGE,
+                _ => SEL_OTHER,
+            },
+        },
+        BExpr::InList { e, list, negated } => {
+            let eq = col_of(e)
+                .map(|c| eq_selectivity(c, stats))
+                .unwrap_or(SEL_EQ);
+            let s = eq * list.len() as f64;
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        BExpr::IsNull { e, negated } => {
+            let frac = match (col_of(e), stats) {
+                (Some(c), Some(st)) if c < st.columns.len() && st.row_count > 0 => {
+                    st.columns[c].null_count as f64 / st.row_count as f64
+                }
+                _ => 0.05,
+            };
+            if *negated {
+                1.0 - frac
+            } else {
+                frac
+            }
+        }
+        BExpr::Like { negated, .. } => {
+            if *negated {
+                0.75
+            } else {
+                0.25
+            }
+        }
+        _ => SEL_OTHER,
+    };
+    s.clamp(0.0, 1.0)
+}
+
+fn col_of(e: &BExpr) -> Option<usize> {
+    match e {
+        BExpr::Col(i) => Some(*i),
+        _ => None,
+    }
+}
+
+fn lit_of(e: &BExpr) -> Option<&Value> {
+    match e {
+        BExpr::Lit(v) if !v.is_null() => Some(v),
+        _ => None,
+    }
+}
+
+fn mirror(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn eq_selectivity(col: usize, stats: Option<&TableStats>) -> f64 {
+    match stats {
+        Some(st) if col < st.columns.len() => 1.0 / st.columns[col].distinct_estimate(),
+        _ => SEL_EQ,
+    }
+}
+
+fn cmp_selectivity(op: BinOp, col: usize, lit: &Value, stats: Option<&TableStats>) -> f64 {
+    match op {
+        BinOp::Eq => eq_selectivity(col, stats),
+        BinOp::Ne => 1.0 - eq_selectivity(col, stats),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let Some(st) = stats else { return SEL_RANGE };
+            let Some(cs) = st.columns.get(col) else {
+                return SEL_RANGE;
+            };
+            let (Some(min), Some(max), Some(v)) = (cs.min.as_f64(), cs.max.as_f64(), lit.as_f64())
+            else {
+                return SEL_RANGE;
+            };
+            if max <= min {
+                return SEL_RANGE;
+            }
+            let frac = ((v - min) / (max - min)).clamp(0.0, 1.0);
+            match op {
+                BinOp::Lt | BinOp::Le => frac,
+                _ => 1.0 - frac,
+            }
+        }
+        _ => SEL_OTHER,
+    }
+}
+
+// ---------------- cost-based join ordering ----------------
+
+/// Largest join region the reorderer flattens (inputs are tracked in a
+/// 64-bit set; regions beyond this are left untouched).
+const MAX_REGION_INPUTS: usize = 32;
+/// A rewritten region must be at least this much cheaper to be kept.
+const COST_IMPROVEMENT: f64 = 0.99;
+
+/// Greedy cost-based join-order rewrite.
+///
+/// Contiguous regions of inner/cross joins (and the filters between them)
+/// are flattened into base inputs plus equi-join edges, then rebuilt
+/// left-deep: start from the cheapest connected pair, then repeatedly attach
+/// the input that minimizes estimated build + output cost. Outer joins,
+/// semi/anti joins, aggregates — anything that is not an inner/cross join —
+/// are barriers: they become atomic region inputs and their subtrees are
+/// reordered independently. The rewrite keeps the original plan unless the
+/// new order's estimated cost strictly improves, and re-establishes the
+/// original output column order with a closing projection.
+pub fn reorder_joins(plan: LogicalPlan, ctx: &StatsCatalog<'_>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Join {
+            kind: JKind::Inner | JKind::Cross,
+            ..
+        } if region_size(&plan) <= MAX_REGION_INPUTS => reorder_region(plan, ctx),
+        other => map_children_reorder(other, ctx),
+    }
+}
+
+/// Number of base inputs an inner/cross-join region would flatten into.
+/// Oversized regions (beyond the input bitmask) are skipped whole; their
+/// nested sub-regions still get visited through the generic recursion.
+fn region_size(plan: &LogicalPlan) -> usize {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind: JKind::Inner | JKind::Cross,
+            ..
+        } => region_size(left) + region_size(right),
+        LogicalPlan::Filter { input, .. }
+            if matches!(
+                **input,
+                LogicalPlan::Join {
+                    kind: JKind::Inner | JKind::Cross,
+                    ..
+                }
+            ) =>
+        {
+            region_size(input)
+        }
+        _ => 1,
+    }
+}
+
+fn map_children_reorder(plan: LogicalPlan, ctx: &StatsCatalog<'_>) -> LogicalPlan {
+    map_inputs_shallow(plan, &|c| reorder_joins(c, ctx))
+}
+
+/// Applies `f` to the direct children only (not bottom-up like
+/// [`map_inputs`]) — region detection must run top-down so a nested join
+/// region is flattened from its topmost node.
+fn map_inputs_shallow(plan: LogicalPlan, f: &impl Fn(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, pred } => LogicalPlan::Filter {
+            input: Box::new(f(*input)),
+            pred,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(f(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        } => LogicalPlan::Join {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggs,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(f(*input)),
+            group,
+            aggs,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(f(*input)),
+            keys,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(f(*input)),
+            n,
+        },
+        LogicalPlan::Window {
+            input,
+            order,
+            schema,
+        } => LogicalPlan::Window {
+            input: Box::new(f(*input)),
+            order,
+            schema,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
+        leaf => leaf,
+    }
+}
+
+/// One base input of a flattened join region, with its column span in the
+/// region's global (original concatenation) column space.
+struct RegionInput {
+    base: usize,
+    width: usize,
+    plan: LogicalPlan,
+}
+
+/// One equi-join edge between region inputs, in global column space.
+struct Edge {
+    l: BExpr,
+    r: BExpr,
+}
+
+/// Estimated cost of every join in a subtree: hash build (smaller side, since
+/// the executor picks build/probe by actual size) plus output cardinality.
+fn plan_cost(plan: &LogicalPlan, ctx: &StatsCatalog<'_>) -> f64 {
+    let own = match plan {
+        LogicalPlan::Join { left, right, .. } => {
+            let l = estimate(left, ctx);
+            let r = estimate(right, ctx);
+            l.min(r) + estimate(plan, ctx)
+        }
+        _ => 0.0,
+    };
+    own + plan
+        .children()
+        .iter()
+        .map(|c| plan_cost(c, ctx))
+        .sum::<f64>()
+}
+
+fn reorder_region(plan: LogicalPlan, ctx: &StatsCatalog<'_>) -> LogicalPlan {
+    let orig_schema = plan.schema().clone();
+    let total = orig_schema.len();
+    let orig_cost = plan_cost(&plan, ctx);
+    // Keep the original tree (bushy shapes included) for the no-improvement
+    // path; only its children still need the recursive rewrite then.
+    let original = plan.clone();
+    let mut inputs: Vec<RegionInput> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut filters: Vec<BExpr> = Vec::new();
+    flatten_region(plan, 0, &mut inputs, &mut edges, &mut filters, ctx);
+    let n = inputs.len();
+    let identity: Vec<usize> = (0..n).collect();
+    if (2..=MAX_REGION_INPUTS).contains(&n) {
+        let est: Vec<f64> = inputs.iter().map(|i| estimate(&i.plan, ctx)).collect();
+        let order = greedy_order(&inputs, &edges, &est, ctx);
+        if order != identity {
+            let candidate = build_region(&order, &inputs, &edges, &filters, total, &orig_schema);
+            if plan_cost(&candidate, ctx) < orig_cost * COST_IMPROVEMENT {
+                return candidate;
+            }
+        }
+    }
+    // No strict improvement: return the original shape; sub-regions and
+    // barrier subtrees are still rewritten through the child recursion.
+    map_inputs_shallow(original, &|c| reorder_joins(c, ctx))
+}
+
+/// Flattens a maximal inner/cross-join region into base inputs, global-space
+/// equi edges, and global-space residual filter conjuncts. Non-region nodes
+/// become inputs after being reordered recursively themselves.
+fn flatten_region(
+    plan: LogicalPlan,
+    base: usize,
+    inputs: &mut Vec<RegionInput>,
+    edges: &mut Vec<Edge>,
+    filters: &mut Vec<BExpr>,
+    ctx: &StatsCatalog<'_>,
+) {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            kind: JKind::Inner | JKind::Cross,
+            left_keys,
+            right_keys,
+            residual,
+            ..
+        } => {
+            let lw = left.schema().len();
+            let rbase = base + lw;
+            flatten_region(*left, base, inputs, edges, filters, ctx);
+            flatten_region(*right, rbase, inputs, edges, filters, ctx);
+            for (mut lk, mut rk) in left_keys.into_iter().zip(right_keys) {
+                lk.remap_columns(&|i| i + base);
+                rk.remap_columns(&|i| i + rbase);
+                edges.push(Edge { l: lk, r: rk });
+            }
+            if let Some(mut res) = residual {
+                res.remap_columns(&|i| i + base);
+                split_and(res, filters);
+            }
+        }
+        LogicalPlan::Filter { input, pred }
+            if matches!(
+                *input,
+                LogicalPlan::Join {
+                    kind: JKind::Inner | JKind::Cross,
+                    ..
+                }
+            ) =>
+        {
+            let mut p = pred;
+            p.remap_columns(&|i| i + base);
+            split_and(p, filters);
+            flatten_region(*input, base, inputs, edges, filters, ctx);
+        }
+        other => {
+            let width = other.schema().len();
+            inputs.push(RegionInput {
+                base,
+                width,
+                plan: reorder_joins(other, ctx),
+            });
+        }
+    }
+}
+
+/// Bitmask of region inputs whose span contains any of `cols`.
+fn input_mask(cols: &[usize], inputs: &[RegionInput]) -> u64 {
+    let mut mask = 0u64;
+    for &c in cols {
+        for (i, inp) in inputs.iter().enumerate() {
+            if c >= inp.base && c < inp.base + inp.width {
+                mask |= 1 << i;
+                break;
+            }
+        }
+    }
+    mask
+}
+
+/// Greedy join order: cheapest connected pair first, then repeatedly attach
+/// the input minimizing estimated build-side + output cost. Ties keep the
+/// original (flatten) order so symmetric estimates never churn plans.
+fn greedy_order(
+    inputs: &[RegionInput],
+    edges: &[Edge],
+    est: &[f64],
+    ctx: &StatsCatalog<'_>,
+) -> Vec<usize> {
+    let n = inputs.len();
+    let identity: Vec<usize> = (0..n).collect();
+    if edges.is_empty() {
+        return identity;
+    }
+    let masks: Vec<(u64, u64)> = edges
+        .iter()
+        .map(|e| {
+            (
+                input_mask(&cols_of(&e.l), inputs),
+                input_mask(&cols_of(&e.r), inputs),
+            )
+        })
+        .collect();
+    // Key-domain (NDV) divisor per edge, resolved against the base inputs.
+    let edge_div: Vec<Option<f64>> = edges
+        .iter()
+        .map(|e| {
+            let side = |expr: &BExpr| -> Option<f64> {
+                let cols = cols_of(expr);
+                let [g] = cols[..] else { return None };
+                let inp = inputs
+                    .iter()
+                    .find(|i| g >= i.base && g < i.base + i.width)?;
+                expr_ndv_local(&inp.plan, expr, g, inp.base, ctx)
+            };
+            match (side(&e.l), side(&e.r)) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (one, other) => one.or(other),
+            }
+        })
+        .collect();
+    // Strongest (max-NDV) edge between the included set and one candidate.
+    let pair_div = |inc: u64, kb: u64| -> (bool, Option<f64>) {
+        let mut connected = false;
+        let mut div: Option<f64> = None;
+        for ((lm, rm), d) in masks.iter().zip(&edge_div) {
+            let usable =
+                (*lm != 0 && lm & !inc == 0 && *rm != 0 && rm & !(inc | kb) == 0 && rm & kb != 0)
+                    || (*rm != 0
+                        && rm & !inc == 0
+                        && *lm != 0
+                        && lm & !(inc | kb) == 0
+                        && lm & kb != 0);
+            if usable {
+                connected = true;
+                if let Some(d) = d {
+                    div = Some(div.map_or(*d, |a: f64| a.max(*d)));
+                }
+            }
+        }
+        (connected, div)
+    };
+    // Completes a greedy order from a start pair, returning (order, cost):
+    // each step attaches the input minimizing build-side + output estimate.
+    let complete = |a: usize, b: usize| -> (Vec<usize>, f64) {
+        let mut order = vec![a, b];
+        let mut included: u64 = (1 << a) | (1 << b);
+        let (_, start_div) = pair_div(1 << a, 1 << b);
+        let mut cur_est = join_estimate(JKind::Inner, true, est[a], est[b], start_div);
+        let mut total = est[a].min(est[b]) + cur_est;
+        while order.len() < n {
+            let mut best: Option<(f64, usize, f64)> = None; // (cost, input, out)
+            for (k, &k_est) in est.iter().enumerate() {
+                if included & (1 << k) != 0 {
+                    continue;
+                }
+                let kb = 1u64 << k;
+                let (connected, div) = pair_div(included, kb);
+                let out = join_estimate(JKind::Inner, connected, cur_est, k_est, div);
+                let cost = cur_est.min(k_est) + out;
+                if best.map_or(true, |(c, bk, _)| cost < c || (cost == c && k < bk)) {
+                    best = Some((cost, k, out));
+                }
+            }
+            let (cost, k, out) = best.expect("region has >= 1 remaining input");
+            order.push(k);
+            included |= 1 << k;
+            cur_est = out;
+            total += cost;
+        }
+        (order, total)
+    };
+    // Tournament over start pairs: a locally-cheapest first join can force a
+    // huge input through a wide intermediate later (the classic greedy trap),
+    // so every connected two-input pair seeds a full greedy order and the
+    // cheapest complete order wins. Ties keep the earliest pair.
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut seen_pairs: Vec<(usize, usize)> = Vec::new();
+    for (lm, rm) in &masks {
+        if lm.count_ones() == 1 && rm.count_ones() == 1 && lm != rm {
+            let (a, b) = (lm.trailing_zeros() as usize, rm.trailing_zeros() as usize);
+            let (a, b) = (a.min(b), a.max(b));
+            if seen_pairs.contains(&(a, b)) {
+                continue;
+            }
+            seen_pairs.push((a, b));
+            let (order, cost) = complete(a, b);
+            if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+                best = Some((cost, order));
+            }
+        }
+    }
+    best.map_or(identity, |(_, order)| order)
+}
+
+/// NDV of a global-space bare-column edge expression within one region input.
+fn expr_ndv_local(
+    plan: &LogicalPlan,
+    expr: &BExpr,
+    global: usize,
+    base: usize,
+    ctx: &StatsCatalog<'_>,
+) -> Option<f64> {
+    match expr {
+        BExpr::Col(_) => col_ndv(plan, global - base, ctx),
+        _ => None,
+    }
+}
+
+/// Rebuilds a flattened region left-deep in `order`, wiring each equi edge
+/// and residual filter at the first join where all its inputs are available,
+/// and restoring the original column order with a closing projection when the
+/// order changed.
+fn build_region(
+    order: &[usize],
+    inputs: &[RegionInput],
+    edges: &[Edge],
+    filters: &[BExpr],
+    total: usize,
+    orig_schema: &Schema,
+) -> LogicalPlan {
+    // Global column -> position in the current concatenation.
+    let mut map: Vec<usize> = vec![usize::MAX; total];
+    let first = &inputs[order[0]];
+    for g in 0..first.width {
+        map[first.base + g] = g;
+    }
+    let mut cur = first.plan.clone();
+    let mut included: u64 = 1 << order[0];
+    let mut edge_used = vec![false; edges.len()];
+    let mut filter_used = vec![false; filters.len()];
+    for &k in &order[1..] {
+        let cand = &inputs[k];
+        let lw = cur.schema().len();
+        let avail = included | (1 << k);
+        let in_cand = |g: usize| g >= cand.base && g < cand.base + cand.width;
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut residual_conjs: Vec<BExpr> = Vec::new();
+        // Remap a global-space expression into the join output (cur ++ cand).
+        let joint_remap = |e: &BExpr| {
+            let mut e = e.clone();
+            e.remap_columns(&|g| {
+                if in_cand(g) {
+                    lw + (g - cand.base)
+                } else {
+                    map[g]
+                }
+            });
+            e
+        };
+        for (ei, edge) in edges.iter().enumerate() {
+            if edge_used[ei] {
+                continue;
+            }
+            let lm = input_mask(&cols_of(&edge.l), inputs);
+            let rm = input_mask(&cols_of(&edge.r), inputs);
+            if lm & !avail != 0 || rm & !avail != 0 {
+                continue; // references an input not yet joined
+            }
+            edge_used[ei] = true;
+            let kb = 1u64 << k;
+            if lm & !included == 0 && rm & kb == rm && rm != 0 {
+                // left side fully in current, right side fully in candidate
+                left_keys.push(remap_into(&edge.l, &map));
+                let mut rk = edge.r.clone();
+                rk.remap_columns(&|g| g - cand.base);
+                right_keys.push(rk);
+            } else if rm & !included == 0 && lm & kb == lm && lm != 0 {
+                right_keys.push({
+                    let mut rk = edge.l.clone();
+                    rk.remap_columns(&|g| g - cand.base);
+                    rk
+                });
+                left_keys.push(remap_into(&edge.r, &map));
+            } else {
+                // Mixed-span equality: apply as a residual after the join.
+                residual_conjs.push(BExpr::Bin {
+                    op: BinOp::Eq,
+                    l: Box::new(joint_remap(&edge.l)),
+                    r: Box::new(joint_remap(&edge.r)),
+                });
+            }
+        }
+        for (fi, filt) in filters.iter().enumerate() {
+            if filter_used[fi] {
+                continue;
+            }
+            let fm = input_mask(&cols_of(filt), inputs);
+            if fm & !avail == 0 {
+                filter_used[fi] = true;
+                residual_conjs.push(joint_remap(filt));
+            }
+        }
+        let kind = if left_keys.is_empty() {
+            JKind::Cross
+        } else {
+            JKind::Inner
+        };
+        let schema = cur.schema().concat(cand.plan.schema());
+        cur = LogicalPlan::Join {
+            left: Box::new(cur),
+            right: Box::new(cand.plan.clone()),
+            kind,
+            left_keys,
+            right_keys,
+            residual: conjoin(residual_conjs),
+            schema,
+        };
+        for g in 0..cand.width {
+            map[cand.base + g] = lw + g;
+        }
+        included = avail;
+    }
+    // Restore the region's original output column order when it changed.
+    if map.iter().enumerate().any(|(g, &p)| g != p) {
+        cur = LogicalPlan::Project {
+            exprs: (0..total).map(|g| BExpr::Col(map[g])).collect(),
+            input: Box::new(cur),
+            schema: orig_schema.clone(),
+        };
+    }
+    cur
+}
+
+fn remap_into(e: &BExpr, map: &[usize]) -> BExpr {
+    let mut e = e.clone();
+    e.remap_columns(&|g| map[g]);
+    e
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,6 +1603,7 @@ mod tests {
                     .collect(),
             ),
             projection: None,
+            pred: None,
         }
     }
 
@@ -743,6 +1698,82 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn sink_scan_filters_folds_filter_into_scan() {
+        let filtered = LogicalPlan::Filter {
+            input: Box::new(scan(3)),
+            pred: col_eq_lit(2, 9),
+        };
+        match sink_scan_filters(filtered) {
+            LogicalPlan::Scan { pred: Some(p), .. } => {
+                // Predicate columns address the stored table.
+                assert_eq!(cols_of(&p), vec![2]);
+            }
+            other => panic!("expected scan with pred, got {}", other.name()),
+        }
+        // Through an existing projection the predicate remaps to stored space.
+        let projected_scan = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(vec![Field::new("c5", DType::Int)]),
+            projection: Some(vec![5]),
+            pred: None,
+        };
+        let filtered = LogicalPlan::Filter {
+            input: Box::new(projected_scan),
+            pred: col_eq_lit(0, 1),
+        };
+        match sink_scan_filters(filtered) {
+            LogicalPlan::Scan { pred: Some(p), .. } => assert_eq!(cols_of(&p), vec![5]),
+            other => panic!("expected scan with pred, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn estimate_uses_table_stats() {
+        use crate::stats::TableStats;
+        use pytond_common::Column;
+        let col = Column::from_i64((0..1000).collect());
+        let stats = TableStats::compute(&[&col]);
+        let mut ctx = StatsCatalog::empty();
+        ctx.add_table("t", &stats);
+        let plain = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(vec![Field::new("c0", DType::Int)]),
+            projection: None,
+            pred: None,
+        };
+        assert_eq!(estimate(&plain, &ctx), 1000.0);
+        // Equality selectivity ≈ 1/NDV.
+        let eq = LogicalPlan::Scan {
+            table: "t".into(),
+            schema: Schema::new(vec![Field::new("c0", DType::Int)]),
+            projection: None,
+            pred: Some(col_eq_lit(0, 5)),
+        };
+        let est = estimate(&eq, &ctx);
+        assert!((0.5..=10.0).contains(&est), "eq estimate {est}");
+        // Unknown tables fall back to the default row count.
+        assert_eq!(estimate(&scan(1), &ctx), 1000.0);
+    }
+
+    #[test]
+    fn reorder_without_stats_keeps_plan_shape() {
+        let join = LogicalPlan::Join {
+            left: Box::new(scan(2)),
+            right: Box::new(scan(2)),
+            kind: JKind::Inner,
+            left_keys: vec![BExpr::Col(0)],
+            right_keys: vec![BExpr::Col(0)],
+            residual: None,
+            schema: scan(2).schema().concat(scan(2).schema()),
+        };
+        let out = reorder_joins(join, &StatsCatalog::empty());
+        // Identical estimates on both sides: identity order, no restore
+        // projection, same scan sequence.
+        assert_eq!(out.scan_order(), vec!["t", "t"]);
+        assert!(matches!(out, LogicalPlan::Join { .. }), "{}", out.name());
     }
 
     #[test]

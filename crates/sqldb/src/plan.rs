@@ -46,6 +46,10 @@ pub enum LogicalPlan {
         schema: Schema,
         /// Column positions kept from the stored table (`None` = all).
         projection: Option<Vec<usize>>,
+        /// Pushed-down row predicate over the **stored** table's column
+        /// indices (not the projected output). Zone-prunable conjuncts let
+        /// the executor skip whole morsels before evaluating the rest.
+        pred: Option<BExpr>,
     },
     /// Inline constant rows.
     Values {
@@ -181,13 +185,33 @@ impl LogicalPlan {
         fn rec(p: &LogicalPlan, depth: usize, out: &mut String) {
             out.push_str(&"  ".repeat(depth));
             match p {
-                LogicalPlan::Scan { table, schema, .. } => {
-                    out.push_str(&format!("Scan {table} [{} cols]\n", schema.len()));
-                }
+                LogicalPlan::Scan {
+                    table,
+                    schema,
+                    pred,
+                    ..
+                } => match pred {
+                    Some(p) => {
+                        out.push_str(&format!("Scan {table} [{} cols] where {p}\n", schema.len()));
+                    }
+                    None => out.push_str(&format!("Scan {table} [{} cols]\n", schema.len())),
+                },
                 LogicalPlan::Join {
-                    kind, left_keys, ..
+                    kind,
+                    left_keys,
+                    right_keys,
+                    ..
                 } => {
-                    out.push_str(&format!("Join {kind:?} on {} keys\n", left_keys.len()));
+                    let keys: Vec<String> = left_keys
+                        .iter()
+                        .zip(right_keys)
+                        .map(|(l, r)| format!("{l}={r}"))
+                        .collect();
+                    if keys.is_empty() {
+                        out.push_str(&format!("Join {kind:?}\n"));
+                    } else {
+                        out.push_str(&format!("Join {kind:?} on [{}]\n", keys.join(", ")));
+                    }
                 }
                 LogicalPlan::Aggregate { group, aggs, .. } => {
                     out.push_str(&format!(
@@ -205,6 +229,23 @@ impl LogicalPlan {
         let mut s = String::new();
         rec(self, 0, &mut s);
         s
+    }
+
+    /// Table names of every `Scan` in depth-first (left-to-right) order —
+    /// the executor's join order for left-deep trees. Tests use this to
+    /// assert cost-based join-order decisions.
+    pub fn scan_order(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn rec(p: &LogicalPlan, out: &mut Vec<String>) {
+            if let LogicalPlan::Scan { table, .. } = p {
+                out.push(table.clone());
+            }
+            for c in p.children() {
+                rec(c, out);
+            }
+        }
+        rec(self, &mut out);
+        out
     }
 
     /// Number of plan nodes (used by optimizer tests).
@@ -238,6 +279,7 @@ mod tests {
             table: "t".into(),
             schema: Schema::new(vec![Field::new("a", DType::Int)]),
             projection: None,
+            pred: None,
         };
         let filter = LogicalPlan::Filter {
             input: Box::new(scan),

@@ -203,17 +203,20 @@ impl Batch {
     }
 }
 
-/// A stored table: schema + batch.
+/// A stored table: schema + batch + optional statistics.
 #[derive(Debug, Clone)]
 pub struct StoredTable {
     /// Schema (unqualified field names).
     pub schema: Schema,
     /// The data.
     pub batch: Batch,
+    /// Column statistics and zone maps. Present on registered base tables;
+    /// `None` on CTE temporaries (not worth a stats pass per query).
+    pub stats: Option<crate::stats::TableStats>,
 }
 
 impl StoredTable {
-    /// Builds from a relation.
+    /// Builds from a relation, computing full column statistics.
     pub fn from_relation(rel: &Relation) -> StoredTable {
         let schema = Schema::new(
             rel.columns()
@@ -222,7 +225,43 @@ impl StoredTable {
                 .collect(),
         );
         let batch = Batch::from_columns(rel.columns().iter().map(|(_, c)| c.clone()).collect());
-        StoredTable { schema, batch }
+        let stats = Some(crate::stats::TableStats::compute(&batch.cols));
+        StoredTable {
+            schema,
+            batch,
+            stats,
+        }
+    }
+
+    /// Appends the rows of `rel` (same column names and dtypes, in order),
+    /// updating statistics incrementally.
+    pub fn append_relation(&mut self, rel: &Relation) -> Result<()> {
+        if rel.columns().len() != self.batch.num_cols() {
+            return Err(Error::Data(format!(
+                "append: expected {} columns, got {}",
+                self.batch.num_cols(),
+                rel.columns().len()
+            )));
+        }
+        // Validate every column before mutating anything: a mid-append error
+        // must not leave the table with unequal column lengths.
+        for ((name, col), field) in rel.columns().iter().zip(&self.schema.fields) {
+            if !field.name.eq_ignore_ascii_case(name) || field.dtype != col.dtype() {
+                return Err(Error::Data(format!(
+                    "append: column '{name}' ({}) does not match stored '{}' ({})",
+                    col.dtype(),
+                    field.name,
+                    field.dtype
+                )));
+            }
+        }
+        for ((_, col), stored) in rel.columns().iter().zip(&mut self.batch.cols) {
+            Arc::make_mut(stored).append(col)?;
+        }
+        if let Some(stats) = &mut self.stats {
+            stats.extend(&self.batch.cols);
+        }
+        Ok(())
     }
 
     /// Number of rows.

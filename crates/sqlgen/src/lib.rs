@@ -9,10 +9,29 @@
 //! `[NOT] IN (SELECT ...)` predicates; `uid()` becomes
 //! `row_number() OVER (...)`.
 //!
-//! Backend adaptation: the [`Dialect`] controls the spelling of external
-//! functions (e.g. `substr(s, a, b)` on the DuckDB-style dialect vs
-//! `SUBSTRING(s FROM a FOR b)` on the Hyper-style one), mirroring the paper's
-//! "minor details, mostly in the interface of their external functions".
+//! # Backend adaptation: the three dialect profiles
+//!
+//! The [`Dialect`] controls the spelling of external functions, mirroring the
+//! paper's "minor details, mostly in the interface of their external
+//! functions". The three profiles pair 1:1 with the engine's execution
+//! profiles in `pytond-sqldb` (`duckdb-sim` / `hyper-sim` / `lingodb-sim`):
+//!
+//! | Rendering | [`Dialect::DuckDb`] | [`Dialect::Hyper`] | [`Dialect::LingoDb`] |
+//! |---|---|---|---|
+//! | substring | `substr(s, start, len)` | `SUBSTRING(s FROM start FOR len)` | as Hyper |
+//! | date parts | `year(d)`, `month(d)`, `day(d)` | `EXTRACT(YEAR FROM d)`, … | as Hyper |
+//! | string length | `length(s)` | `CHAR_LENGTH(s)` | as Hyper |
+//! | everything else | shared standard spellings (`ROUND`, `ABS`, `COALESCE`, `ADD_MONTHS`, `POWER`, `STRPOS`, …) | — | — |
+//!
+//! Shared across all dialects: identifiers quote with `"double quotes"` when
+//! they are reserved words or not plain lower-case identifiers
+//! ([`quote_ident`]); date constants render as `DATE 'YYYY-MM-DD'`; `uid()`
+//! renders as `row_number() OVER (...)`. The LingoDB profile's *semantic*
+//! gaps — no window functions, no aggregates over disjunctive CASE
+//! conditions — are enforced by the engine (`pytond-sqldb`'s `lingodb-sim`
+//! checks), not by changing the generated text: LingoDB SQL is otherwise the
+//! standard-leaning Hyper spelling. The README's "SQL dialects" section
+//! carries the same table for quick reference.
 
 use pytond_common::{Error, Result};
 use pytond_tondir::analysis::SchemaEnv;

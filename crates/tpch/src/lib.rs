@@ -2,7 +2,7 @@
 //! both frontends (Python source for the PyTond compiler, interpreted
 //! `pytond-frame` baselines).
 //!
-//! The paper runs the Pandas TPC-H suite [34] at SF 1; this reproduction
+//! The paper runs the Pandas TPC-H suite (paper reference \[34\]) at SF 1; this reproduction
 //! defaults to a laptop-scale fraction (see DESIGN.md) with the scale factor
 //! exposed as a knob.
 

@@ -1,7 +1,7 @@
 //! All 22 TPC-H queries in both frontends:
 //!
 //! * `source` — the Pandas-style Python text handed to the PyTond compiler
-//!   (the paper uses the Pandas TPC-H suite of [34]);
+//!   (the paper uses the Pandas TPC-H suite of paper reference \[34\]);
 //! * `baseline` — the same pipeline interpreted directly on the
 //!   `pytond-frame` DataFrame library (the evaluation's "Python" bars).
 //!
