@@ -20,7 +20,7 @@ pub mod uniqueness;
 use pytond_tondir::{Catalog, Program};
 
 /// Cumulative optimization levels (Figure 10's O1–O4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum OptLevel {
     /// No IR optimization (Grizzly-simulated).
     O0,

@@ -1,4 +1,15 @@
-//! The database façade: table registry + `execute_sql`.
+//! The database façade: table registry, the compile-once/execute-many
+//! [`PreparedQuery`] API, and the convenience `execute_sql` wrappers.
+//!
+//! Planning (parse → bind → optimize) and execution are separate phases:
+//! [`Database::prepare`] (from SQL text) and [`Database::prepare_query`]
+//! (from an already-built AST, e.g. the direct TondIR lowering in
+//! [`crate::lower`]) run the whole front-end once and return a
+//! [`PreparedQuery`]; [`Database::execute_prepared`] then runs the stored
+//! plan as many times as desired with zero per-call lexing, parsing,
+//! binding or optimization. Every `register`/`append` bumps a
+//! [`Database::stats_version`] counter so callers caching prepared plans
+//! can detect when the statistics that drove cost-based planning moved.
 
 use crate::ast::{Query, Select, SelectItem, SqlExpr, TableRef};
 use crate::bind::bind_query;
@@ -11,7 +22,7 @@ use pytond_common::hash::FxHashMap;
 use pytond_common::{Error, Relation, Result};
 
 /// Execution profile emulating the paper's three backends (see crate docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Profile {
     /// DuckDB-like: vectorized operator-at-a-time with materialized
     /// intermediates.
@@ -75,6 +86,10 @@ impl EngineConfig {
 #[derive(Debug, Default)]
 pub struct Database {
     tables: FxHashMap<String, StoredTable>,
+    /// Bumped on every `register`/`append`: the version of the table set and
+    /// its statistics that cost-based planning reads. Cached prepared plans
+    /// compare it to decide whether their join orders are still fresh.
+    stats_version: u64,
 }
 
 impl Database {
@@ -84,21 +99,38 @@ impl Database {
     }
 
     /// Registers (or replaces) a table, computing column statistics and zone
-    /// maps for the optimizer and the pruning scan path.
+    /// maps for the optimizer and the pruning scan path. Bumps the
+    /// [`Database::stats_version`], invalidating cached prepared plans.
     pub fn register(&mut self, name: &str, rel: Relation) {
         self.tables
             .insert(name.to_lowercase(), StoredTable::from_relation(&rel));
+        self.stats_version += 1;
     }
 
     /// Appends a batch of rows to an existing table (columns must match the
     /// stored schema in name, order and dtype). Statistics update
-    /// incrementally: only the trailing partial zone is recomputed.
+    /// incrementally: only the trailing partial zone is recomputed. Bumps the
+    /// [`Database::stats_version`] on success, invalidating cached prepared
+    /// plans (their cost-based join orders were chosen for the old row
+    /// counts).
     pub fn append(&mut self, name: &str, rel: &Relation) -> Result<()> {
         let stored = self
             .tables
             .get_mut(&name.to_lowercase())
             .ok_or_else(|| Error::Data(format!("unknown table '{name}'")))?;
-        stored.append_relation(rel)
+        stored.append_relation(rel)?;
+        self.stats_version += 1;
+        Ok(())
+    }
+
+    /// Version counter of the table set + statistics: incremented by every
+    /// [`Database::register`] and successful [`Database::append`]. A
+    /// [`PreparedQuery`] whose [`PreparedQuery::stats_version`] differs was
+    /// planned against stale statistics and should be re-prepared — for
+    /// fresh join orders after appends, and for correctness if a `register`
+    /// replaced a table's schema (see [`Database::execute_prepared`]).
+    pub fn stats_version(&self) -> u64 {
+        self.stats_version
     }
 
     /// Looks a table up (case-insensitive).
@@ -117,14 +149,23 @@ impl Database {
         ctx
     }
 
-    /// Parses, binds and optimizes one statement (CTEs get their estimated
-    /// cardinalities registered in order so later plans can cost them).
-    fn plan_sql(&self, sql: &str, profile: Profile) -> Result<BoundQuery> {
+    /// Parses one SQL statement and prepares it: profile checks, binding and
+    /// the full optimizer pipeline run **once**, here; the returned
+    /// [`PreparedQuery`] can then be executed any number of times.
+    pub fn prepare(&self, sql: &str, profile: Profile) -> Result<PreparedQuery> {
         let query = parse_sql(sql)?;
+        self.prepare_query(&query, profile)
+    }
+
+    /// Prepares an already-built SQL AST (no text involved): the entry point
+    /// for [`crate::lower`]'s direct TondIR lowering, and the tail of
+    /// [`Database::prepare`]. Binding and optimization are shared with the
+    /// text path, so both produce identical plans by construction.
+    pub fn prepare_query(&self, query: &Query, profile: Profile) -> Result<PreparedQuery> {
         if profile == Profile::Lingo {
-            lingo_check(&query)?;
+            lingo_check(query)?;
         }
-        let mut bound = bind_query(self, &query)?;
+        let mut bound = bind_query(self, query)?;
         let mut ctx = self.stats_catalog();
         bound.ctes = bound
             .ctes
@@ -136,7 +177,44 @@ impl Database {
             })
             .collect();
         bound.root = optimize_with(bound.root, &ctx);
-        Ok(bound)
+        Ok(PreparedQuery {
+            bound,
+            profile,
+            stats_version: self.stats_version,
+        })
+    }
+
+    /// Executes a prepared plan. No lexing, parsing, binding or planning
+    /// happens here — only the physical execution options are derived from
+    /// `config`. A plan gone stale through [`Database::append`] still
+    /// executes correctly (appends never change a table's schema); it merely
+    /// keeps the join order chosen for the old statistics. A plan gone stale
+    /// through [`Database::register`] **replacing** a table must be
+    /// re-prepared instead — scans bind stored column indices, so a changed
+    /// schema invalidates the plan itself (the `Pytond` facade's cache never
+    /// executes stale plans for exactly this reason).
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        config: &EngineConfig,
+    ) -> Result<Relation> {
+        let (rel, _) = self.run_bound(&prepared.bound, config)?;
+        Ok(rel)
+    }
+
+    /// Like [`Database::execute_prepared`] but also returns a [`QueryTrace`]
+    /// (EXPLAIN rendering + executor counters).
+    pub fn execute_prepared_traced(
+        &self,
+        prepared: &PreparedQuery,
+        config: &EngineConfig,
+    ) -> Result<(Relation, QueryTrace)> {
+        let (rel, metrics) = self.run_bound(&prepared.bound, config)?;
+        let trace = QueryTrace {
+            plan: render_plans(&prepared.bound),
+            metrics,
+        };
+        Ok((rel, trace))
     }
 
     /// Table names, sorted.
@@ -146,10 +224,12 @@ impl Database {
         names
     }
 
-    /// Parses, binds, optimizes and executes one SQL statement.
+    /// Parses, binds, optimizes and executes one SQL statement — the
+    /// one-shot convenience wrapper over [`Database::prepare`] +
+    /// [`Database::execute_prepared`].
     pub fn execute_sql(&self, sql: &str, config: &EngineConfig) -> Result<Relation> {
-        let (rel, _) = self.execute_bound(sql, config)?;
-        Ok(rel)
+        let prepared = self.prepare(sql, config.profile)?;
+        self.execute_prepared(&prepared, config)
     }
 
     /// Like [`Database::execute_sql`] but also returns a [`QueryTrace`] with
@@ -160,37 +240,76 @@ impl Database {
         sql: &str,
         config: &EngineConfig,
     ) -> Result<(Relation, QueryTrace)> {
-        let (rel, (bound, metrics)) = self.execute_bound(sql, config)?;
-        let trace = QueryTrace {
-            plan: render_plans(&bound),
-            metrics,
-        };
-        Ok((rel, trace))
+        let prepared = self.prepare(sql, config.profile)?;
+        self.execute_prepared_traced(&prepared, config)
     }
 
-    /// Shared plan + execute path; the EXPLAIN rendering happens only in the
-    /// traced entry point (it costs real time on microsecond-scale queries).
-    fn execute_bound(
+    /// Pure execution of a bound query (shared by the prepared entry points).
+    fn run_bound(
         &self,
-        sql: &str,
+        bound: &BoundQuery,
         config: &EngineConfig,
-    ) -> Result<(Relation, (BoundQuery, ExecMetrics))> {
-        let bound = self.plan_sql(sql, config.profile)?;
+    ) -> Result<(Relation, ExecMetrics)> {
         let opts = ExecOptions {
             threads: config.threads,
             fused: matches!(config.profile, Profile::Fused | Profile::Lingo),
             morsel: config.morsel,
             zone_prune: config.zone_prune,
         };
-        let (batch, schema, metrics) = execute_traced(self, &bound, opts)?;
-        Ok((batch.to_relation(&schema), (bound, metrics)))
+        let (batch, schema, metrics) = execute_traced(self, bound, opts)?;
+        Ok((batch.to_relation(&schema), metrics))
     }
 
     /// Like [`Database::execute_sql`] but returns the optimized plan's
     /// EXPLAIN rendering instead of running it.
     pub fn explain_sql(&self, sql: &str) -> Result<String> {
-        let bound = self.plan_sql(sql, Profile::Vectorized)?;
-        Ok(render_plans(&bound))
+        let prepared = self.prepare(sql, Profile::Vectorized)?;
+        Ok(prepared.explain())
+    }
+}
+
+/// A bound + cost-optimized query plan, detached from the SQL (or TondIR)
+/// source that produced it: the compile-once/execute-many unit.
+///
+/// Created by [`Database::prepare`] / [`Database::prepare_query`] /
+/// [`crate::lower::lower_program`]; executed by
+/// [`Database::execute_prepared`]. Carries the [`Database::stats_version`]
+/// observed at planning time so callers can detect when the cost model's
+/// inputs have moved and transparently re-plan.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    bound: BoundQuery,
+    profile: Profile,
+    stats_version: u64,
+}
+
+impl PreparedQuery {
+    /// The optimized plans (CTEs in materialization order + root).
+    pub fn plan(&self) -> &BoundQuery {
+        &self.bound
+    }
+
+    /// The profile the query was validated against at prepare time (the
+    /// LingoDB profile's semantic gates run during `prepare`, not execute).
+    pub fn profile(&self) -> Profile {
+        self.profile
+    }
+
+    /// The [`Database::stats_version`] this plan was optimized under.
+    pub fn stats_version(&self) -> u64 {
+        self.stats_version
+    }
+
+    /// `true` while the database's statistics have not moved since planning:
+    /// the cost-based join orders in this plan are still the ones the
+    /// optimizer would pick today.
+    pub fn is_current(&self, db: &Database) -> bool {
+        self.stats_version == db.stats_version
+    }
+
+    /// EXPLAIN rendering of every plan in the query (CTEs + root).
+    pub fn explain(&self) -> String {
+        render_plans(&self.bound)
     }
 }
 
@@ -704,6 +823,137 @@ mod tests {
         // Mismatched schema is rejected.
         let bad = Relation::new(vec![("id".into(), Column::from_i64(vec![1]))]).unwrap();
         assert!(db.append("events", &bad).is_err());
+    }
+
+    #[test]
+    fn register_and_append_bump_stats_version() {
+        let mut db = Database::new();
+        assert_eq!(db.stats_version(), 0);
+        db.register(
+            "t",
+            Relation::new(vec![("a".into(), Column::from_i64(vec![1]))]).unwrap(),
+        );
+        assert_eq!(db.stats_version(), 1);
+        db.append(
+            "t",
+            &Relation::new(vec![("a".into(), Column::from_i64(vec![2]))]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(db.stats_version(), 2);
+        // A failed append must NOT bump the version (nothing changed).
+        let bad = Relation::new(vec![("a".into(), Column::from_f64(vec![1.0]))]).unwrap();
+        assert!(db.append("t", &bad).is_err());
+        assert_eq!(db.stats_version(), 2);
+    }
+
+    #[test]
+    fn prepared_query_executes_without_replanning() {
+        let db = db();
+        let sql = "SELECT s, SUM(b) AS total FROM t WHERE a >= 2 GROUP BY s ORDER BY s";
+        let prepared = db.prepare(sql, Profile::Vectorized).unwrap();
+        assert!(prepared.is_current(&db));
+        let reference = db.execute_sql(sql, &EngineConfig::default()).unwrap();
+        // Execute the same prepared plan repeatedly; results are identical
+        // to the one-shot path every time.
+        for _ in 0..3 {
+            let r = db
+                .execute_prepared(&prepared, &EngineConfig::default())
+                .unwrap();
+            assert!(reference.approx_eq(&r, 0.0));
+        }
+        // The prepared EXPLAIN matches the one-shot EXPLAIN.
+        assert_eq!(prepared.explain(), db.explain_sql(sql).unwrap());
+    }
+
+    /// The stale-plan hazard regression: a query prepared while `lineitem`
+    /// is tiny joins it first; after appending enough rows to make it the
+    /// biggest input, the stats version has moved, `is_current` turns false,
+    /// and re-preparing yields a different (lineitem-last) join order while
+    /// both plans still agree on results over the current data.
+    #[test]
+    fn append_invalidates_prepared_plans_and_replans_join_order() {
+        let mut db = Database::new();
+        let small_li = 40i64;
+        db.register(
+            "lineitem",
+            Relation::new(vec![
+                (
+                    "l_orderkey".into(),
+                    Column::from_i64((0..small_li).map(|i| i / 4).collect()),
+                ),
+                (
+                    "l_extendedprice".into(),
+                    Column::from_f64((0..small_li).map(|i| (i % 100) as f64).collect()),
+                ),
+            ])
+            .unwrap(),
+        );
+        db.register(
+            "orders",
+            Relation::new(vec![
+                ("o_orderkey".into(), Column::from_i64((0..2_000).collect())),
+                (
+                    "o_custkey".into(),
+                    Column::from_i64((0..2_000).map(|i| i % 100).collect()),
+                ),
+            ])
+            .unwrap(),
+        );
+        db.register(
+            "customer",
+            Relation::new(vec![(
+                "c_custkey".into(),
+                Column::from_i64((0..100).collect()),
+            )])
+            .unwrap(),
+        );
+        let sql = "SELECT SUM(l_extendedprice) AS rev \
+                   FROM lineitem, customer, orders \
+                   WHERE l_orderkey = o_orderkey AND c_custkey = o_custkey";
+        let before = db.prepare(sql, Profile::Vectorized).unwrap();
+        assert!(before.is_current(&db));
+        let order_before = before.plan().root.scan_order();
+        assert_eq!(
+            order_before[0], "lineitem",
+            "tiny lineitem should lead: {order_before:?}"
+        );
+        // Grow lineitem to 20k+ rows: it is now by far the largest input.
+        let n = 20_000i64;
+        db.append(
+            "lineitem",
+            &Relation::new(vec![
+                (
+                    "l_orderkey".into(),
+                    Column::from_i64((0..n).map(|i| (small_li + i) / 4 % 2_000).collect()),
+                ),
+                (
+                    "l_extendedprice".into(),
+                    Column::from_f64((0..n).map(|i| (i % 100) as f64).collect()),
+                ),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(
+            !before.is_current(&db),
+            "append must invalidate prepared plans"
+        );
+        let after = db.prepare(sql, Profile::Vectorized).unwrap();
+        let order_after = after.plan().root.scan_order();
+        assert_eq!(
+            order_after.last().map(String::as_str),
+            Some("lineitem"),
+            "re-planned join order should attach the now-huge lineitem last: {order_after:?}"
+        );
+        assert_ne!(order_before, order_after, "join order must be re-planned");
+        // Stale plans stay *correct* — they just keep the old join order.
+        let a = db
+            .execute_prepared(&before, &EngineConfig::default())
+            .unwrap();
+        let b = db
+            .execute_prepared(&after, &EngineConfig::default())
+            .unwrap();
+        assert!(a.approx_eq(&b, 1e-9));
     }
 
     #[test]

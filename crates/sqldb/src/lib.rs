@@ -23,6 +23,14 @@
 //! extraction, IN-subquery to semi/anti join) and one morsel-parallel
 //! runtime driven by `std::thread::scope`.
 //!
+//! Compilation and execution are split: [`Database::prepare`] runs the
+//! front-end + optimizer once and returns a [`PreparedQuery`] that
+//! [`Database::execute_prepared`] runs any number of times with zero
+//! per-call planning. TondIR programs enter without any SQL text through
+//! [`lower::prepare_program`] (the same binder/optimizer, so the direct and
+//! text paths produce identical plans); `register`/`append` bump a stats
+//! version that tells plan caches when cost-based join orders went stale.
+//!
 //! ```
 //! use pytond_sqldb::{Database, EngineConfig};
 //! use pytond_common::{Column, Relation};
@@ -50,11 +58,12 @@ pub mod db;
 pub mod exec;
 pub mod expr;
 pub mod lex;
+pub mod lower;
 pub mod optimize;
 pub mod parser;
 pub mod plan;
 pub mod stats;
 pub mod table;
 
-pub use db::{Database, EngineConfig, Profile, QueryTrace};
+pub use db::{Database, EngineConfig, PreparedQuery, Profile, QueryTrace};
 pub use plan::LogicalPlan;

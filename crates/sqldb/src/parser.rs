@@ -709,6 +709,13 @@ impl P {
 mod tests {
     use super::*;
 
+    /// Structured mismatch reporting for the shape-checking tests below:
+    /// an unexpected AST shape surfaces as an `Error` result, never as a
+    /// process abort.
+    fn unexpected<T: std::fmt::Debug>(what: &T) -> Error {
+        Error::Sql(format!("unexpected {what:?}"))
+    }
+
     #[test]
     fn simple_select() {
         let q = parse_sql("SELECT a, b * 2 AS b2 FROM t WHERE a > 1").unwrap();
@@ -726,9 +733,8 @@ mod tests {
     }
 
     #[test]
-    fn joins_parse() {
-        let q = parse_sql("SELECT * FROM a LEFT JOIN b ON a.id = b.id INNER JOIN c ON b.k = c.k")
-            .unwrap();
+    fn joins_parse() -> Result<()> {
+        let q = parse_sql("SELECT * FROM a LEFT JOIN b ON a.id = b.id INNER JOIN c ON b.k = c.k")?;
         match &q.body.from[0] {
             TableRef::Join { kind, left, .. } => {
                 assert_eq!(*kind, JoinKind::Inner);
@@ -739,8 +745,9 @@ mod tests {
                         ..
                     }
                 ));
+                Ok(())
             }
-            other => panic!("unexpected {other:?}"),
+            other => Err(unexpected(other)),
         }
     }
 
@@ -764,8 +771,8 @@ mod tests {
     }
 
     #[test]
-    fn aggregates_and_count_star() {
-        let q = parse_sql("SELECT COUNT(*), COUNT(DISTINCT a), AVG(b) FROM t").unwrap();
+    fn aggregates_and_count_star() -> Result<()> {
+        let q = parse_sql("SELECT COUNT(*), COUNT(DISTINCT a), AVG(b) FROM t")?;
         match &q.body.items[0] {
             SelectItem::Expr {
                 expr: SqlExpr::Agg { func, arg, .. },
@@ -774,19 +781,20 @@ mod tests {
                 assert_eq!(*func, AggName::Count);
                 assert!(arg.is_none());
             }
-            other => panic!("unexpected {other:?}"),
+            other => return Err(unexpected(other)),
         }
         match &q.body.items[1] {
             SelectItem::Expr {
                 expr: SqlExpr::Agg { distinct, .. },
                 ..
             } => assert!(distinct),
-            other => panic!("unexpected {other:?}"),
+            other => return Err(unexpected(other)),
         }
+        Ok(())
     }
 
     #[test]
-    fn case_when() {
+    fn case_when() -> Result<()> {
         let q = parse_sql(
             "SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END FROM t",
         )
@@ -798,8 +806,9 @@ mod tests {
             } => {
                 assert_eq!(arms.len(), 2);
                 assert!(else_value.is_some());
+                Ok(())
             }
-            other => panic!("unexpected {other:?}"),
+            other => Err(unexpected(other)),
         }
     }
 
@@ -825,8 +834,8 @@ mod tests {
     }
 
     #[test]
-    fn row_number_window() {
-        let q = parse_sql("SELECT row_number() OVER (ORDER BY a) AS id, a FROM t").unwrap();
+    fn row_number_window() -> Result<()> {
+        let q = parse_sql("SELECT row_number() OVER (ORDER BY a) AS id, a FROM t")?;
         match &q.body.items[0] {
             SelectItem::Expr {
                 expr: SqlExpr::RowNumber { order_by },
@@ -834,8 +843,9 @@ mod tests {
             } => {
                 assert_eq!(order_by.len(), 1);
                 assert_eq!(alias.as_deref(), Some("id"));
+                Ok(())
             }
-            other => panic!("unexpected {other:?}"),
+            other => Err(unexpected(other)),
         }
     }
 
@@ -846,14 +856,17 @@ mod tests {
     }
 
     #[test]
-    fn extract_and_interval() {
-        let q = parse_sql("SELECT EXTRACT(YEAR FROM d), d + INTERVAL '3' MONTH FROM t").unwrap();
+    fn extract_and_interval() -> Result<()> {
+        let q = parse_sql("SELECT EXTRACT(YEAR FROM d), d + INTERVAL '3' MONTH FROM t")?;
         match &q.body.items[0] {
             SelectItem::Expr {
                 expr: SqlExpr::Func { name, .. },
                 ..
-            } => assert_eq!(name, "YEAR"),
-            other => panic!("unexpected {other:?}"),
+            } => {
+                assert_eq!(name, "YEAR");
+                Ok(())
+            }
+            other => Err(unexpected(other)),
         }
     }
 
@@ -894,14 +907,17 @@ mod tests {
     }
 
     #[test]
-    fn cast_with_precision() {
-        let q = parse_sql("SELECT CAST(a AS DECIMAL(12, 2)) FROM t").unwrap();
+    fn cast_with_precision() -> Result<()> {
+        let q = parse_sql("SELECT CAST(a AS DECIMAL(12, 2)) FROM t")?;
         match &q.body.items[0] {
             SelectItem::Expr {
                 expr: SqlExpr::Cast { ty, .. },
                 ..
-            } => assert_eq!(ty, "DECIMAL"),
-            other => panic!("unexpected {other:?}"),
+            } => {
+                assert_eq!(ty, "DECIMAL");
+                Ok(())
+            }
+            other => Err(unexpected(other)),
         }
     }
 }

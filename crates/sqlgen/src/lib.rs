@@ -375,6 +375,15 @@ impl<'a> RuleGen<'a> {
                 )
                 .unwrap();
             } else {
+                // Later markers extend the one chain; a left side that is
+                // not already part of it would silently drop a relation, so
+                // reject disjoint outer-join groups outright.
+                if !joined[li] {
+                    return Err(Error::CodeGen(format!(
+                        "disjoint outer-join chains are not supported \
+                         (alias '{left}' is not part of the join chain)"
+                    )));
+                }
                 write!(chain, " {kw} {} ON {}", from_items[ri], conds.join(" AND ")).unwrap();
             }
             joined[li] = true;

@@ -1,0 +1,162 @@
+//! Differential testing of the compile/execute split: the direct
+//! TondIR→plan lowering (`pytond_sqldb::lower`) must be indistinguishable
+//! from the SQL-text path (sqlgen → lex → parse → bind) — same results
+//! (bit-identical) and same EXPLAIN plans (join order included) — across
+//! every TPC-H query, every hybrid workload, and all three dialect/profile
+//! pairs. sqlgen stays on as the differential oracle here.
+
+use pytond::{Backend, Dialect, EngineConfig, OptLevel, Profile, Pytond};
+use pytond_sqldb::lower::prepare_program;
+use pytond_tondir::Program;
+use pytond_tpch::{all_queries, generate};
+use pytond_workloads::all_workloads;
+
+/// The paper's three backend pairings: SQL dialect × engine profile.
+fn pairings() -> [(Dialect, Profile); 3] {
+    [
+        (Dialect::DuckDb, Profile::Vectorized),
+        (Dialect::Hyper, Profile::Fused),
+        (Dialect::LingoDb, Profile::Lingo),
+    ]
+}
+
+fn tpch_instance() -> Pytond {
+    let data = generate(0.002);
+    let mut py = Pytond::new();
+    for (name, rel, unique) in data.tables() {
+        let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
+        py.register_table(name, rel.clone(), &keys);
+    }
+    py
+}
+
+/// Optimized TondIR for a source, bypassing the facade so the same program
+/// can be pushed through both the text and the direct path.
+fn optimize_ir(py: &Pytond, source: &str, level: OptLevel) -> Program {
+    let raw = pytond_translate::translate_source(source, py.catalog()).expect("translate");
+    pytond_optimizer::optimize(raw, py.catalog(), level)
+}
+
+/// Asserts the two paths agree for one program on one dialect/profile pair:
+/// both fail (profile gates fire identically), or both succeed with equal
+/// EXPLAIN text and bit-identical results.
+fn assert_paths_agree(py: &Pytond, name: &str, ir: &Program, dialect: Dialect, profile: Profile) {
+    let db = py.database();
+    let sql = pytond_sqlgen::generate_sql(ir, py.catalog(), dialect)
+        .unwrap_or_else(|e| panic!("{name}: sqlgen failed: {e}"));
+    let text = db.prepare(&sql, profile);
+    let direct = prepare_program(db, ir, py.catalog(), profile);
+    match (text, direct) {
+        (Err(te), Err(de)) => {
+            // Typically the LingoDB profile gates (window functions, Q12's
+            // disjunctive CASE aggregates): both paths must reject alike.
+            assert_eq!(
+                te.stage(),
+                de.stage(),
+                "{name} on {dialect:?}/{profile:?}: error stages diverge: {te} vs {de}"
+            );
+        }
+        (Ok(text), Ok(direct)) => {
+            assert_eq!(
+                text.explain(),
+                direct.explain(),
+                "{name} on {dialect:?}/{profile:?}: EXPLAIN (join order) diverges"
+            );
+            let config = EngineConfig::new(profile, 1);
+            let rt = db
+                .execute_prepared(&text, &config)
+                .unwrap_or_else(|e| panic!("{name} text path exec: {e}"));
+            let rd = db
+                .execute_prepared(&direct, &config)
+                .unwrap_or_else(|e| panic!("{name} direct path exec: {e}"));
+            assert!(
+                rt.approx_eq(&rd, 0.0),
+                "{name} on {dialect:?}/{profile:?}: results not bit-identical: {:?}",
+                rt.diff(&rd, 0.0)
+            );
+        }
+        (Ok(_), Err(e)) => panic!("{name} on {dialect:?}/{profile:?}: only direct failed: {e}"),
+        (Err(e), Ok(_)) => panic!("{name} on {dialect:?}/{profile:?}: only text failed: {e}"),
+    }
+}
+
+#[test]
+fn tpch_direct_lowering_matches_sql_text_path_all_profiles() {
+    let py = tpch_instance();
+    for q in all_queries() {
+        let ir = optimize_ir(&py, q.source, OptLevel::O4);
+        for (dialect, profile) in pairings() {
+            assert_paths_agree(&py, q.name, &ir, dialect, profile);
+        }
+    }
+}
+
+#[test]
+fn tpch_unoptimized_ir_also_agrees() {
+    // O0 keeps every intermediate rule (many more CTEs): stresses the
+    // lowering over the largest programs.
+    let py = tpch_instance();
+    for id in [1, 4, 9, 13, 14, 15] {
+        let q = pytond_tpch::query(id);
+        let ir = optimize_ir(&py, q.source, OptLevel::O0);
+        for (dialect, profile) in pairings() {
+            assert_paths_agree(&py, &format!("{}@O0", q.name), &ir, dialect, profile);
+        }
+    }
+}
+
+#[test]
+fn hybrid_workloads_direct_lowering_matches_sql_text_path() {
+    for w in all_workloads(1) {
+        let mut py = Pytond::new();
+        for (name, rel, unique) in &w.tables {
+            let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
+            py.register_table(name, rel.clone(), &keys);
+        }
+        let ir = optimize_ir(&py, w.source, OptLevel::O4);
+        for (dialect, profile) in pairings() {
+            assert_paths_agree(&py, w.name, &ir, dialect, profile);
+        }
+    }
+}
+
+#[test]
+fn lingo_gated_queries_still_compile_for_export() {
+    // The LingoDB profile rejects Q12's SQL shape (aggregates over
+    // disjunctive CASE conditions), but `compile` must still produce the
+    // SQL export — it targets the paper's real backend; the profile gate
+    // fires at execute time, exactly as it did when SQL was the wire format.
+    let py = tpch_instance();
+    let q12 = pytond_tpch::query(12);
+    let compiled = py.compile(q12.source, Dialect::LingoDb).unwrap();
+    assert!(compiled.sql.starts_with("WITH"), "export SQL missing");
+    let err = py.execute(&compiled, &Backend::lingodb_sim(1));
+    assert!(err.is_err(), "lingo gate should fire at execute");
+    // The ungated profile runs the same compiled program fine.
+    assert!(py.execute(&compiled, &Backend::duckdb_sim(1)).is_ok());
+    // And run() on the lingo backend still errors (gate at prepare).
+    assert!(py.run(q12.source, &Backend::lingodb_sim(1)).is_err());
+}
+
+#[test]
+fn facade_run_matches_exported_sql_execution() {
+    // End-to-end: `Pytond::run` (cached direct plan) must equal executing
+    // the exported SQL text through the engine — the facade-level statement
+    // of the same property.
+    let py = tpch_instance();
+    for id in [3, 6, 12, 18] {
+        let q = pytond_tpch::query(id);
+        let backend = Backend::duckdb_sim(1);
+        let compiled = py.compile(q.source, backend.dialect()).unwrap();
+        let via_run = py.run(q.source, &backend).unwrap();
+        let via_sql = py
+            .database()
+            .execute_sql(&compiled.sql, &backend.config())
+            .unwrap();
+        assert!(
+            via_run.approx_eq(&via_sql, 0.0),
+            "{}: run() diverges from exported-SQL execution",
+            q.name
+        );
+    }
+}
