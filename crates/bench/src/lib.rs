@@ -116,10 +116,12 @@ pub fn measure_system(
 ) -> Option<f64> {
     match system.config(threads) {
         None => {
-            if threads > 1 {
-                // The paper's root cause: "Pandas does not support
-                // parallelization" — the Python bar is flat across threads.
-            }
+            // The `threads` knob does not reach the interpreted baseline:
+            // the paper's Pandas "does not support parallelization", and
+            // this baseline has no per-call thread config either. It *does*
+            // reuse the engine's morsel pool on large merges/group-bys (the
+            // fairness rule — see docs/EXECUTION.md); pin the whole process
+            // with PYTOND_THREADS=1 to reproduce the paper's flat bar.
             time_ms(warmups, rounds, || baseline().map(|_| ()))
         }
         Some((level, backend)) => {

@@ -543,6 +543,129 @@ pub fn opt_keys<K>((keys, skip): (Vec<K>, Option<Vec<bool>>)) -> Vec<Option<K>> 
     }
 }
 
+// ---------------- partitioned hash-join build ----------------
+
+/// Hashes one key with the engine's [`FxHasher`] (the partitioning hash of
+/// [`PartitionedIndex`]; exposed so diagnostics can reproduce placements).
+#[inline]
+pub fn fx_hash_one<K: std::hash::Hash>(k: &K) -> u64 {
+    use std::hash::BuildHasher;
+    FxBuildHasher::default().hash_one(k)
+}
+
+/// Rows per partition-id morsel in [`PartitionedIndex::build`].
+const PARTITION_MORSEL: usize = 64 * 1024;
+
+/// A hash-join build side, optionally split into `P` hash partitions built
+/// concurrently (P = the worker count rounded up to a power of two, capped
+/// at 64).
+///
+/// Keys are assigned to partitions by hash bits **just below the top 7**:
+/// hashbrown (std's `HashMap`) tags control bytes with the top-7 bits (h2)
+/// and picks buckets from the low bits (h1), so partition bits taken from
+/// either end would be constant within a partition and skew tag matching or
+/// bucket spread — bits 51+ (below the tag, far above the buckets) touch
+/// neither. A morsel-parallel pass buckets row ids per (morsel, partition);
+/// one worker per partition then walks its buckets in morsel order, so
+/// every key's row list is ascending — exactly what a single-threaded build
+/// over the same keys produces, and lookups are indistinguishable from the
+/// unpartitioned table. Total work is O(n) regardless of the partition
+/// count. `None` keys (NULL under join semantics) are never inserted.
+#[derive(Debug)]
+pub struct PartitionedIndex<K> {
+    parts: Vec<FxHashMap<K, Vec<u32>>>,
+    /// `bits == 0` means a single partition (serial build, no hash on probe).
+    bits: u32,
+}
+
+/// Build sides smaller than this stay unpartitioned: the scan-per-partition
+/// build costs more than it saves below ~tens of thousands of rows.
+pub const MIN_PARTITIONED_BUILD: usize = 16 * 1024;
+
+impl<K: std::hash::Hash + Eq + Copy + Send + Sync> PartitionedIndex<K> {
+    /// Builds the index over per-row optional keys. With `threads <= 1`, a
+    /// build side below [`MIN_PARTITIONED_BUILD`] rows, or a single hardware
+    /// worker, this is the exact serial single-map build.
+    pub fn build(keys: &[Option<K>], threads: usize) -> PartitionedIndex<K> {
+        if threads <= 1 || keys.len() < MIN_PARTITIONED_BUILD {
+            return PartitionedIndex {
+                parts: vec![Self::build_one(keys)],
+                bits: 0,
+            };
+        }
+        let p = threads.next_power_of_two().min(64);
+        let bits = p.trailing_zeros();
+        // Phase 1: bucket row ids per (morsel, partition) — morsel-parallel,
+        // each row hashed once.
+        let buckets: Vec<Vec<Vec<u32>>> =
+            crate::pool::par_morsels(threads, keys.len(), PARTITION_MORSEL, |_, r| {
+                let mut local: Vec<Vec<u32>> = vec![Vec::new(); p];
+                for i in r {
+                    if let Some(k) = &keys[i] {
+                        local[partition_of(fx_hash_one(k), bits)].push(i as u32);
+                    }
+                }
+                Ok(local)
+            })
+            .expect("partition pass is infallible")
+            .results;
+        // Phase 2: one worker per partition inserts its buckets in morsel
+        // order (ascending row ids) — O(n) total across all workers.
+        let parts = crate::pool::par_indexed(threads, p, |pi| {
+            let mut m: FxHashMap<K, Vec<u32>> = FxHashMap::default();
+            for morsel in &buckets {
+                for &i in &morsel[pi] {
+                    if let Some(k) = keys[i as usize] {
+                        m.entry(k).or_default().push(i);
+                    }
+                }
+            }
+            m
+        });
+        PartitionedIndex { parts, bits }
+    }
+
+    fn build_one(keys: &[Option<K>]) -> FxHashMap<K, Vec<u32>> {
+        let mut m: FxHashMap<K, Vec<u32>> = FxHashMap::default();
+        for (i, k) in keys.iter().enumerate() {
+            if let Some(k) = k {
+                m.entry(*k).or_default().push(i as u32);
+            }
+        }
+        m
+    }
+
+    /// The build-side rows matching `k`, in ascending row order.
+    #[inline]
+    pub fn get(&self, k: &K) -> Option<&[u32]> {
+        let part = if self.bits == 0 {
+            &self.parts[0]
+        } else {
+            &self.parts[partition_of(fx_hash_one(k), self.bits)]
+        };
+        part.get(k).map(|v| v.as_slice())
+    }
+
+    /// Number of physical partitions (1 = unpartitioned serial build).
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// `true` when the build actually partitioned (and ran concurrently).
+    pub fn partitioned(&self) -> bool {
+        self.bits != 0
+    }
+}
+
+/// Partition of a hash under a `2^bits`-way split: bits 51.. up to the tag
+/// boundary — below hashbrown's top-7 h2 tag bits, above its low h1 bucket
+/// bits, so neither per-map mechanism degenerates within a partition
+/// (`bits <= 6`, matching the 64-partition cap).
+#[inline]
+fn partition_of(hash: u64, bits: u32) -> usize {
+    ((hash >> (57 - bits)) & ((1 << bits) - 1)) as usize
+}
+
 /// First-occurrence indices of distinct keys.
 pub fn distinct_keep<K: std::hash::Hash + Eq + Copy>(keys: &[K]) -> Vec<usize> {
     let mut seen: FxHashSet<K> = FxHashSet::default();
@@ -708,6 +831,41 @@ mod tests {
         encode_value(&mut want, &normalize_key(Value::Int(4)));
         encode_value(&mut want, &Value::Str("x".into()));
         assert_eq!(a.key(0), Some(want.as_slice()));
+    }
+
+    #[test]
+    fn partitioned_index_matches_serial_build() {
+        // Enough rows to cross MIN_PARTITIONED_BUILD, with NULLs sprinkled in.
+        let n = MIN_PARTITIONED_BUILD + 1234;
+        let keys: Vec<Option<u64>> = (0..n)
+            .map(|i| {
+                if i % 97 == 0 {
+                    None
+                } else {
+                    Some((i % 4096) as u64)
+                }
+            })
+            .collect();
+        let serial = PartitionedIndex::build(&keys, 1);
+        assert!(!serial.partitioned());
+        let par = PartitionedIndex::build(&keys, 7);
+        assert!(par.partitioned());
+        assert_eq!(par.num_partitions(), 8);
+        for probe in 0..5000u64 {
+            assert_eq!(serial.get(&probe), par.get(&probe), "key {probe}");
+        }
+        // Row lists are ascending (single-build order) in both layouts.
+        let rows = par.get(&7).unwrap();
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn small_builds_stay_unpartitioned() {
+        let keys: Vec<Option<u64>> = (0..100).map(Some).collect();
+        let idx = PartitionedIndex::build(&keys, 8);
+        assert_eq!(idx.num_partitions(), 1);
+        assert_eq!(idx.get(&5), Some(&[5u32][..]));
+        assert_eq!(idx.get(&1000), None);
     }
 
     #[test]

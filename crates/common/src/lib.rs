@@ -4,8 +4,9 @@
 //! NumPy-like tensors (`pytond-ndarray`), the SQL engine substrate
 //! (`pytond-sqldb`) and the compiler crates — exchanges data through the types
 //! defined here: scalar [`Value`]s, typed columnar [`Column`]s, named-column
-//! [`Relation`]s, calendar [`date`] arithmetic and a fast non-cryptographic
-//! [`hash`] used for join/group keys.
+//! [`Relation`]s, calendar [`date`] arithmetic, a fast non-cryptographic
+//! [`hash`] used for join/group keys, and the morsel-driven worker [`pool`]
+//! shared by the SQL executor and the DataFrame baseline.
 
 #![warn(missing_docs)]
 
@@ -13,6 +14,7 @@ pub mod column;
 pub mod date;
 pub mod error;
 pub mod hash;
+pub mod pool;
 pub mod relation;
 pub mod value;
 

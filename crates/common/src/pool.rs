@@ -1,0 +1,255 @@
+//! Morsel-driven scoped worker pool (std-only).
+//!
+//! The engine's parallelism is *morsel-driven* (Leis et al., SIGMOD 2014, as
+//! cited by PyTond's "efficient multi-threaded query processing"): work is a
+//! fixed grid of row ranges ("morsels"), workers claim the next unclaimed
+//! morsel from a shared atomic cursor, and the per-morsel outputs are
+//! stitched back together **in morsel order**. Because the grid depends only
+//! on the input size — never on the worker count — and the merge order is
+//! fixed, every operator built on this pool produces bit-identical results
+//! at any thread count (see `docs/EXECUTION.md` for the full determinism
+//! argument).
+//!
+//! The build environment has no crates.io access, so there is no rayon here:
+//! workers are plain [`std::thread::scope`] threads and the dispenser is one
+//! [`AtomicUsize`]. Threads live for a single operator invocation; at
+//! `threads <= 1` (or a single-morsel grid) no thread is ever spawned and
+//! the closure runs inline on the caller's stack — the serial path.
+
+use crate::Result;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The machine's hardware parallelism (1 if it cannot be determined).
+/// Cached: the underlying `available_parallelism` probes cgroup files on
+/// Linux (~10 µs), which would dwarf a point query if paid per call.
+pub fn hardware_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// The default worker count: the `PYTOND_THREADS` environment variable when
+/// set to a positive integer, otherwise [`hardware_threads`]. This is what a
+/// thread count of `0` ("auto") resolves to everywhere in the engine.
+/// Read **once per process** (serving hot paths resolve it per query); set
+/// the variable before the first query, not between queries.
+pub fn default_threads() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| match std::env::var("PYTOND_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(hardware_threads),
+        Err(_) => hardware_threads(),
+    })
+}
+
+/// Resolves a configured thread count: `0` means "auto"
+/// ([`default_threads`]), anything else is taken literally.
+pub fn resolve_threads(configured: usize) -> usize {
+    if configured == 0 {
+        default_threads()
+    } else {
+        configured
+    }
+}
+
+/// The result of one [`par_morsels`] run: per-morsel outputs in morsel order
+/// plus how many morsels each worker claimed (`[total]` on the serial path).
+#[derive(Debug)]
+pub struct MorselOutcome<T> {
+    /// One output per morsel, in ascending morsel order — independent of
+    /// which worker produced it.
+    pub results: Vec<T>,
+    /// Morsels claimed by each worker, indexed by worker id. Length 1 on the
+    /// serial (inline) path.
+    pub claimed_per_worker: Vec<u64>,
+}
+
+/// Runs `f` over the fixed morsel grid of `[0, n)` with `morsel` rows per
+/// morsel, on up to `threads` workers claiming morsels from a shared atomic
+/// cursor. `f` receives `(morsel index, row range)`.
+///
+/// Outputs come back in morsel order, so any order-sensitive merge the
+/// caller performs (concatenation, partial-aggregate folding) sees the same
+/// sequence at every thread count. With `threads <= 1` or a single-morsel
+/// grid the closure runs inline — no thread is spawned.
+///
+/// The first error any worker returns is propagated; remaining morsels may
+/// or may not have run (their outputs are discarded).
+pub fn par_morsels<T, F>(threads: usize, n: usize, morsel: usize, f: F) -> Result<MorselOutcome<T>>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> Result<T> + Sync,
+{
+    let morsel = morsel.max(1);
+    let count = n.div_ceil(morsel);
+    let range = |i: usize| (i * morsel)..((i + 1) * morsel).min(n);
+    if threads <= 1 || count <= 1 {
+        let mut results = Vec::with_capacity(count);
+        for i in 0..count {
+            results.push(f(i, range(i))?);
+        }
+        return Ok(MorselOutcome {
+            results,
+            claimed_per_worker: vec![count as u64],
+        });
+    }
+    let workers = threads.min(count);
+    let cursor = AtomicUsize::new(0);
+    let (fref, cref) = (&f, &cursor);
+    let per_worker: Vec<Result<Vec<(usize, T)>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cref.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, fref(i, range(i))?));
+                    }
+                    Ok(local)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
+    });
+    let mut claimed = vec![0u64; workers];
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for (w, outcome) in per_worker.into_iter().enumerate() {
+        let local = outcome?;
+        claimed[w] = local.len() as u64;
+        for (i, t) in local {
+            slots[i] = Some(t);
+        }
+    }
+    Ok(MorselOutcome {
+        results: slots
+            .into_iter()
+            .map(|s| s.expect("every morsel claimed"))
+            .collect(),
+        claimed_per_worker: claimed,
+    })
+}
+
+/// Runs `f(0), f(1), ..., f(count - 1)` on up to `threads` workers (atomic
+/// task cursor), returning the outputs in task order. Used for fixed task
+/// lists — building the P partitions of a hash join, sorting the chunks of a
+/// parallel sort. Inline (no threads) when `threads <= 1` or `count <= 1`.
+pub fn par_indexed<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let workers = threads.min(count);
+    let cursor = AtomicUsize::new(0);
+    let (fref, cref) = (&f, &cursor);
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = cref.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, fref(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("indexed worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    for local in per_worker {
+        for (i, t) in local {
+            slots[i] = Some(t);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every task claimed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Error;
+
+    #[test]
+    fn morsel_grid_is_thread_count_independent() {
+        // The per-morsel outputs (and hence any ordered merge over them)
+        // must be identical for every worker count.
+        let n = 10_007;
+        let serial = par_morsels(1, n, 64, |i, r| Ok((i, r.start, r.end))).unwrap();
+        for threads in [2, 3, 7, 16] {
+            let par = par_morsels(threads, n, 64, |i, r| Ok((i, r.start, r.end))).unwrap();
+            assert_eq!(serial.results, par.results, "threads = {threads}");
+            assert_eq!(
+                par.claimed_per_worker.iter().sum::<u64>(),
+                serial.results.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn serial_path_spawns_no_workers() {
+        let out = par_morsels(1, 100, 10, |_, r| Ok(r.len())).unwrap();
+        assert_eq!(out.claimed_per_worker, vec![10]);
+        assert_eq!(out.results.iter().sum::<usize>(), 100);
+        // Single-morsel grids stay inline even with many threads.
+        let out = par_morsels(8, 100, 1000, |_, r| Ok(r.len())).unwrap();
+        assert_eq!(out.claimed_per_worker, vec![1]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_morsels() {
+        let out = par_morsels(4, 0, 16, |_, _| Ok(1)).unwrap();
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let err = par_morsels(4, 1000, 10, |i, _| {
+            if i == 57 {
+                Err(Error::Exec("boom".into()))
+            } else {
+                Ok(i)
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, Error::Exec(_)));
+    }
+
+    #[test]
+    fn indexed_tasks_return_in_task_order() {
+        let serial = par_indexed(1, 9, |i| i * i);
+        let par = par_indexed(4, 9, |i| i * i);
+        assert_eq!(serial, par);
+        assert_eq!(par[3], 9);
+    }
+
+    #[test]
+    fn resolve_treats_zero_as_auto() {
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+        assert!(hardware_threads() >= 1);
+    }
+}

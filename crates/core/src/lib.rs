@@ -57,6 +57,8 @@
 //! assert_eq!(out.num_rows(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use pytond_optimizer::OptLevel;
 pub use pytond_sqldb::{Database, EngineConfig, PreparedQuery, Profile};
 pub use pytond_sqlgen::Dialect;
@@ -72,11 +74,23 @@ use std::sync::{Arc, Mutex};
 pub struct Backend {
     /// Engine profile.
     pub profile: Profile,
-    /// Worker threads.
+    /// Worker threads. `0` = auto: resolve to
+    /// [`pytond_common::pool::default_threads`] (the `PYTOND_THREADS`
+    /// environment variable, else the machine's hardware parallelism) when
+    /// the query executes; `1` = the serial path. See `docs/EXECUTION.md`.
     pub threads: usize,
 }
 
 impl Backend {
+    /// A profile at automatic parallelism (`threads = 0`): the engine uses
+    /// every hardware thread, or whatever `PYTOND_THREADS` dictates.
+    pub fn auto(profile: Profile) -> Backend {
+        Backend {
+            profile,
+            threads: 0,
+        }
+    }
+
     /// DuckDB-like vectorized profile.
     pub fn duckdb_sim(threads: usize) -> Backend {
         Backend {
@@ -125,9 +139,13 @@ impl Backend {
         EngineConfig::new(self.profile, self.threads)
     }
 
-    /// Display name (e.g. `duckdb-sim/4t`).
+    /// Display name (e.g. `duckdb-sim/4t`, `hyper-sim/auto`).
     pub fn name(&self) -> String {
-        format!("{}/{}t", self.profile.name(), self.threads)
+        if self.threads == 0 {
+            format!("{}/auto", self.profile.name())
+        } else {
+            format!("{}/{}t", self.profile.name(), self.threads)
+        }
     }
 }
 

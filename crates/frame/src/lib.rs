@@ -3,11 +3,19 @@
 //!
 //! Faithful to the performance profile the paper attributes to Pandas:
 //! every operation **eagerly materializes** its result (no fusion), boolean
-//! filtering copies, joins and group-bys build full intermediate tables, and
-//! nothing is parallel ("Pandas library does not support parallelization",
-//! Section V-C). The API mirrors Table II of the paper: column selection,
-//! row filtering, `head`, `unique`, `sort_values`, `apply`, `aggregate`,
-//! `groupby`, `merge`, `isin`, and `pivot_table`.
+//! filtering copies, and joins and group-bys build full intermediate tables.
+//! One deliberate departure from the original's "Pandas library does not
+//! support parallelization" (Section V-C): `merge` and `groupby` reuse the
+//! engine's morsel pool ([`pytond_common::pool`]) on large inputs, so
+//! engine-vs-baseline comparisons measure query processing, not a
+//! parallelism handicap — the fairness rule. `PYTOND_THREADS=1` restores
+//! the fully serial baseline. Results are bit-identical at every thread
+//! count (morsel-ordered merges; see `docs/EXECUTION.md`). The API mirrors
+//! Table II of the paper: column selection, row filtering, `head`,
+//! `unique`, `sort_values`, `apply`, `aggregate`, `groupby`, `merge`,
+//! `isin`, and `pivot_table`.
+
+#![warn(missing_docs)]
 
 pub mod dataframe;
 pub mod groupby;

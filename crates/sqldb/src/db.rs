@@ -51,7 +51,11 @@ impl Profile {
 pub struct EngineConfig {
     /// Execution profile.
     pub profile: Profile,
-    /// Worker threads.
+    /// Worker threads. `0` (the default) means **auto**: resolve to
+    /// [`pytond_common::pool::default_threads`] — the `PYTOND_THREADS`
+    /// environment variable when set, otherwise the machine's hardware
+    /// parallelism — at execution time. `1` forces the serial path (no
+    /// worker threads are ever spawned); any other value is taken literally.
     pub threads: usize,
     /// Rows per morsel (default 16 Ki).
     pub morsel: usize,
@@ -64,7 +68,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             profile: Profile::Vectorized,
-            threads: 1,
+            threads: 0,
             morsel: 16 * 1024,
             zone_prune: true,
         }
@@ -211,7 +215,12 @@ impl Database {
     ) -> Result<(Relation, QueryTrace)> {
         let (rel, metrics) = self.run_bound(&prepared.bound, config)?;
         let trace = QueryTrace {
-            plan: render_plans(&prepared.bound),
+            plan: format!(
+                "parallelism: {} worker thread(s)\n{}",
+                metrics.threads,
+                render_plans(&prepared.bound)
+            ),
+            threads: metrics.threads,
             metrics,
         };
         Ok((rel, trace))
@@ -251,7 +260,7 @@ impl Database {
         config: &EngineConfig,
     ) -> Result<(Relation, ExecMetrics)> {
         let opts = ExecOptions {
-            threads: config.threads,
+            threads: pytond_common::pool::resolve_threads(config.threads),
             fused: matches!(config.profile, Profile::Fused | Profile::Lingo),
             morsel: config.morsel,
             zone_prune: config.zone_prune,
@@ -326,13 +335,38 @@ fn render_plans(bound: &BoundQuery) -> String {
 }
 
 /// Planner + executor report for one traced query: the EXPLAIN rendering of
-/// the optimized plans (join order included) plus runtime counters.
+/// the optimized plans (join order included, headed by the resolved degree
+/// of parallelism) plus runtime counters.
 #[derive(Debug, Clone)]
 pub struct QueryTrace {
-    /// EXPLAIN rendering of all CTE plans and the root plan.
+    /// EXPLAIN rendering of all CTE plans and the root plan, headed by a
+    /// `parallelism: N worker thread(s)` line.
     pub plan: String,
-    /// Executor counters (zones pruned/scanned, joins flipped).
+    /// Resolved degree of parallelism the query executed with.
+    pub threads: usize,
+    /// Executor counters (zones pruned/scanned, joins flipped, dispenser
+    /// claims per worker, join-build partitions).
     pub metrics: ExecMetrics,
+}
+
+impl QueryTrace {
+    /// Human-readable runtime summary: parallelism, per-worker morsel
+    /// claims, scan pruning and join counters — the numbers the
+    /// `docs/EXECUTION.md` and ARCHITECTURE.md walk-throughs quote.
+    pub fn summary(&self) -> String {
+        format!(
+            "parallelism: {} worker thread(s)\n\
+             morsels claimed per worker: {:?}\n\
+             scan zones: {} evaluated, {} pruned\n\
+             joins flipped: {}, build partitions: {}",
+            self.threads,
+            self.metrics.morsels_claimed_per_worker,
+            self.metrics.morsels_scanned,
+            self.metrics.morsels_pruned,
+            self.metrics.joins_flipped,
+            self.metrics.partitions_built,
+        )
+    }
 }
 
 /// The documented LingoDB-profile restrictions (see crate docs): reject

@@ -1,11 +1,18 @@
 //! Physical execution: morsel-parallel operators over materialized batches.
 //!
 //! The executor walks the logical plan operator-at-a-time. Parallelism is
-//! morsel-driven: filters, projections, join probes and partial aggregations
-//! split their input row range across `threads` workers via
-//! `std::thread::scope`, then merge deterministically (range order for row
-//! streams, first-occurrence order for groups — matching the Pandas
-//! baseline's group order, which keeps differential tests exact).
+//! morsel-driven (see `docs/EXECUTION.md` for the full threading model):
+//! predicated scans, filters, projections, join probes and partial
+//! aggregations claim morsels from [`pytond_common::pool`]'s shared atomic
+//! cursor, then merge deterministically — morsel order for row streams,
+//! global first-occurrence order for groups (matching the Pandas baseline's
+//! group order, which keeps differential tests exact). Hash-join build sides
+//! above [`pytond_common::hash::MIN_PARTITIONED_BUILD`] rows are split by
+//! key hash into partitions built concurrently
+//! ([`pytond_common::hash::PartitionedIndex`]). Order-sensitive float
+//! accumulation always folds over the fixed morsel grid — never over
+//! per-thread chunks — so every thread count (including 1) produces
+//! bit-identical results.
 //!
 //! Profile differences:
 //!
@@ -24,8 +31,9 @@ use crate::stats::ZONE_ROWS;
 use crate::table::{Batch, Schema, StoredTable};
 use pytond_common::hash::{
     distinct_keep, encode_value, normalize_key, opt_keys, sql_key_encodings, FixedKeySpec,
-    FxHashMap, FxHashSet, KeyArena, KeyWidth,
+    FxHashMap, FxHashSet, KeyArena, KeyWidth, PartitionedIndex,
 };
+use pytond_common::pool;
 use pytond_common::{Column, DType, Error, Result, Value};
 use std::hash::Hash;
 use std::sync::Arc;
@@ -33,7 +41,10 @@ use std::sync::Arc;
 /// Runtime options (derived from [`crate::db::EngineConfig`]).
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
-    /// Worker threads for morsel-parallel operators.
+    /// Worker threads for morsel-parallel operators. This is the *resolved*
+    /// degree of parallelism: [`crate::db::Database`] maps a configured `0`
+    /// ("auto") to [`pytond_common::pool::default_threads`] before execution
+    /// reaches here. `1` runs every operator inline with no worker threads.
     pub threads: usize,
     /// Fused (late-materialization) execution.
     pub fused: bool,
@@ -46,7 +57,7 @@ pub struct ExecOptions {
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
-            threads: 1,
+            threads: pool::default_threads(),
             fused: false,
             morsel: 16 * 1024,
             zone_prune: true,
@@ -54,13 +65,24 @@ impl Default for ExecOptions {
     }
 }
 
+/// Minimum number of morsels' worth of input before an operator spawns
+/// workers: below this, scoped-thread startup costs more than parallelism
+/// recovers (sub-millisecond operators). Purely a scheduling gate — the
+/// morsel grid, and therefore every result bit, is identical either way.
+const SPAWN_MIN_MORSELS: usize = 4;
+
 /// Executor counters for one query, reported through
 /// [`crate::db::Database::execute_sql_traced`].
 ///
-/// "Morsels" here are statistics zones ([`crate::stats::ZONE_ROWS`] rows):
+/// Scan "morsels" are statistics zones ([`crate::stats::ZONE_ROWS`] rows):
 /// the granularity at which predicated scans either evaluate or skip input.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// [`ExecMetrics::morsels_claimed_per_worker`] counts dispenser claims of
+/// *any* parallel operator (scans, filters, projections, join probes,
+/// aggregation partials), accumulated per worker id across the whole query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecMetrics {
+    /// Resolved degree of parallelism the query ran with.
+    pub threads: usize,
     /// Zones whose rows a predicated scan actually evaluated.
     pub morsels_scanned: u64,
     /// Zones skipped because zone-map bounds proved the predicate false.
@@ -68,6 +90,14 @@ pub struct ExecMetrics {
     /// Hash joins that built on the left input because it was the smaller
     /// side (the planner's layout defaults to building on the right).
     pub joins_flipped: u64,
+    /// Work units claimed from the shared morsel dispenser, per worker id,
+    /// summed over every parallel operator in the query. **Empty** when the
+    /// whole query ran on the serial path (inline operators never touch the
+    /// dispenser); parallel operators always contribute ≥ 2 worker entries.
+    pub morsels_claimed_per_worker: Vec<u64>,
+    /// Hash-join build partitions constructed concurrently (0 when every
+    /// build ran serially on one partition).
+    pub partitions_built: u64,
 }
 
 /// Executes a bound query, materializing CTEs in order.
@@ -86,7 +116,10 @@ pub fn execute_traced(
         db,
         temps: FxHashMap::default(),
         opts,
-        metrics: std::cell::Cell::new(ExecMetrics::default()),
+        metrics: std::cell::RefCell::new(ExecMetrics {
+            threads: opts.threads.max(1),
+            ..ExecMetrics::default()
+        }),
     };
     for (name, plan) in &q.ctes {
         let batch = exec.exec(plan)?;
@@ -109,7 +142,7 @@ pub fn execute_traced(
         );
     }
     let batch = exec.exec(&q.root)?;
-    Ok((batch, q.root.schema().clone(), exec.metrics.get()))
+    Ok((batch, q.root.schema().clone(), exec.metrics.into_inner()))
 }
 
 struct Executor<'a> {
@@ -117,8 +150,8 @@ struct Executor<'a> {
     temps: FxHashMap<String, StoredTable>,
     opts: ExecOptions,
     /// Updated from the single-threaded operator driver only (workers never
-    /// touch it), so a plain `Cell` suffices.
-    metrics: std::cell::Cell<ExecMetrics>,
+    /// touch it), so a plain `RefCell` suffices.
+    metrics: std::cell::RefCell<ExecMetrics>,
 }
 
 impl<'a> Executor<'a> {
@@ -195,12 +228,12 @@ impl<'a> Executor<'a> {
                 let cols: Vec<&Column> = batch.cols.iter().map(|c| c.as_ref()).collect();
                 let keep = match FixedKeySpec::plan(&[&cols], true) {
                     Some(spec) if spec.width() == KeyWidth::U64 => {
-                        distinct_keep(&spec.pack_u64(&cols).0)
+                        self.distinct_rows(&spec.pack_u64(&cols).0)?
                     }
-                    Some(spec) => distinct_keep(&spec.pack_u128(&cols).0),
+                    Some(spec) => self.distinct_rows(&spec.pack_u128(&cols).0)?,
                     None => {
                         let arena = KeyArena::encode_raw(&cols, false);
-                        distinct_keep(&arena.dense_keys())
+                        self.distinct_rows(&arena.dense_keys())?
                     }
                 };
                 Ok(batch.gather(&keep))
@@ -287,30 +320,164 @@ impl<'a> Executor<'a> {
         let survived = zone_ok
             .as_ref()
             .map_or(total_zones, |ok| ok.iter().filter(|&&k| k).count());
-        let mut m = self.metrics.get();
-        m.morsels_scanned += survived as u64;
-        m.morsels_pruned += (total_zones - survived) as u64;
-        self.metrics.set(m);
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.morsels_scanned += survived as u64;
+            m.morsels_pruned += (total_zones - survived) as u64;
+        }
         // Evaluate the predicate over the surviving rows against the *full*
         // stored batch (scan predicates address stored column indices).
         let full = Batch {
             cols: stored.batch.cols.clone(),
         };
-        let sel = match &zone_ok {
-            // Nothing pruned: the plain parallel path builds its candidate
-            // ranges per worker (no serial index-vector materialization).
-            Some(ok) if survived < total_zones => {
-                let mut rows = Vec::new();
-                for (z, keep) in ok.iter().enumerate() {
-                    if *keep {
-                        rows.extend(z * ZONE_ROWS..((z + 1) * ZONE_ROWS).min(n));
-                    }
+        let scan_threads = if n <= ZONE_ROWS * (SPAWN_MIN_MORSELS - 1) {
+            1
+        } else {
+            self.opts.threads
+        };
+        let sel = if scan_threads > 1 {
+            // Parallel predicated scan: workers claim zone-aligned morsels
+            // from the shared dispenser; pruned zones are claimed and
+            // dropped without touching their rows. Surviving selections
+            // stitch in zone order, so the selection is byte-for-byte the
+            // serial scan's.
+            let outcome = pool::par_morsels(scan_threads, n, ZONE_ROWS, |z, r| {
+                if zone_ok.as_ref().is_some_and(|ok| !ok[z]) {
+                    return Ok(Vec::new());
                 }
-                self.filter_sel_within(&full, pred, &rows)?
+                let local: Vec<usize> = r.collect();
+                let mask = pred.eval_mask(&full, Some(&local))?;
+                Ok(local
+                    .into_iter()
+                    .zip(mask)
+                    .filter_map(|(i, keep)| keep.then_some(i))
+                    .collect::<Vec<usize>>())
+            })?;
+            self.note_claims(&outcome.claimed_per_worker);
+            outcome.results.concat()
+        } else {
+            match &zone_ok {
+                // Something pruned: evaluate only the surviving candidates.
+                Some(ok) if survived < total_zones => {
+                    let mut rows = Vec::new();
+                    for (z, keep) in ok.iter().enumerate() {
+                        if *keep {
+                            rows.extend(z * ZONE_ROWS..((z + 1) * ZONE_ROWS).min(n));
+                        }
+                    }
+                    self.filter_sel_within(&full, pred, &rows)?
+                }
+                _ => self.filter_sel(&full, pred)?,
             }
-            _ => self.filter_sel(&full, pred)?,
         };
         Ok((batch, Some(sel)))
+    }
+
+    /// The worker count an operator over `n` rows should spawn: the
+    /// configured count, or 1 (inline, no threads) when the input spans
+    /// fewer than [`SPAWN_MIN_MORSELS`] morsels — sub-millisecond operators
+    /// lose more to thread spawns than workers can win back. This gates only
+    /// *who executes*; the morsel grid (and thus every result bit) is
+    /// unaffected.
+    fn op_threads(&self, n: usize) -> usize {
+        if n <= self.opts.morsel * (SPAWN_MIN_MORSELS - 1) {
+            1
+        } else {
+            self.opts.threads
+        }
+    }
+
+    /// Adds one parallel operator's dispenser claims into the query metrics,
+    /// accumulated per worker id.
+    fn note_claims(&self, claimed: &[u64]) {
+        let mut m = self.metrics.borrow_mut();
+        if m.morsels_claimed_per_worker.len() < claimed.len() {
+            m.morsels_claimed_per_worker.resize(claimed.len(), 0);
+        }
+        for (acc, c) in m.morsels_claimed_per_worker.iter_mut().zip(claimed) {
+            *acc += c;
+        }
+    }
+
+    /// Runs `f` over `(start, end)` ranges of `[0, n)` for **elementwise**
+    /// work, whose per-row outputs are independent of the chunk grid. Serial
+    /// (`threads = 1`) evaluates one range spanning the whole input — the
+    /// exact pre-pool code path; parallel runs claim morsel-grid ranges from
+    /// the shared dispenser and return results in morsel order.
+    fn par_elementwise<T: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(usize, usize) -> Result<T> + Sync,
+    ) -> Result<Vec<T>> {
+        let threads = self.op_threads(n);
+        if threads <= 1 {
+            return Ok(vec![f(0, n)?]);
+        }
+        let outcome = pool::par_morsels(threads, n, self.opts.morsel, |_, r| f(r.start, r.end))?;
+        self.note_claims(&outcome.claimed_per_worker);
+        Ok(outcome.results)
+    }
+
+    /// Runs `f` over the **fixed** morsel grid of `[0, n)` at every thread
+    /// count — the grid for order-sensitive partials (float aggregation),
+    /// where the merge tree must not depend on the worker count. See
+    /// `docs/EXECUTION.md` § determinism.
+    fn par_fixed<T: Send>(
+        &self,
+        n: usize,
+        f: impl Fn(usize, usize) -> Result<T> + Sync,
+    ) -> Result<Vec<T>> {
+        let threads = self.op_threads(n);
+        let outcome = pool::par_morsels(threads, n, self.opts.morsel, |_, r| f(r.start, r.end))?;
+        if threads > 1 {
+            self.note_claims(&outcome.claimed_per_worker);
+        }
+        Ok(outcome.results)
+    }
+
+    /// Builds a hash-join build side, partitioned and built concurrently
+    /// when the input is large enough and workers are available.
+    fn build_index<K: Hash + Eq + Copy + Send + Sync>(
+        &self,
+        keys: &[Option<K>],
+    ) -> PartitionedIndex<K> {
+        let idx = PartitionedIndex::build(keys, self.opts.threads);
+        if idx.partitioned() {
+            self.metrics.borrow_mut().partitions_built += idx.num_partitions() as u64;
+        }
+        idx
+    }
+
+    /// First-occurrence distinct over per-row keys. Serial: one hash-set
+    /// scan. Parallel: morsel-local first occurrences, merged through one
+    /// global set in morsel order — the keep list is identical to the serial
+    /// one by construction.
+    fn distinct_rows<K: Hash + Eq + Copy + Send + Sync>(&self, keys: &[K]) -> Result<Vec<usize>> {
+        let threads = self.op_threads(keys.len());
+        if threads <= 1 {
+            return Ok(distinct_keep(keys));
+        }
+        let outcome = pool::par_morsels(threads, keys.len(), self.opts.morsel, |_, r| {
+            let mut seen: FxHashSet<K> = FxHashSet::default();
+            let mut keep = Vec::new();
+            for i in r {
+                if seen.insert(keys[i]) {
+                    keep.push(i);
+                }
+            }
+            Ok(keep)
+        })?;
+        self.note_claims(&outcome.claimed_per_worker);
+        let mut global: FxHashSet<K> = FxHashSet::default();
+        let mut keep = Vec::new();
+        for local in outcome.results {
+            for i in local {
+                if global.insert(keys[i]) {
+                    keep.push(i);
+                }
+            }
+        }
+        Ok(keep)
     }
 
     /// Like [`Executor::filter_sel`], restricted to the given candidate rows.
@@ -320,7 +487,7 @@ impl<'a> Executor<'a> {
         pred: &BExpr,
         candidates: &[usize],
     ) -> Result<Vec<usize>> {
-        let chunks = par_ranges(candidates.len(), self.opts, |start, end| {
+        let chunks = self.par_elementwise(candidates.len(), |start, end| {
             let local = &candidates[start..end];
             let mask = pred.eval_mask(batch, Some(local))?;
             Ok(local
@@ -335,7 +502,7 @@ impl<'a> Executor<'a> {
     /// Evaluates a predicate, returning the surviving row indices.
     fn filter_sel(&self, batch: &Batch, pred: &BExpr) -> Result<Vec<usize>> {
         let n = batch.num_rows();
-        let chunks = par_ranges(n, self.opts, |start, end| {
+        let chunks = self.par_elementwise(n, |start, end| {
             let sel: Vec<usize> = (start..end).collect();
             let mask = pred.eval_mask(batch, Some(&sel))?;
             Ok(sel
@@ -360,7 +527,7 @@ impl<'a> Executor<'a> {
                     continue;
                 }
             }
-            let chunks = par_ranges(n, self.opts, |start, end| {
+            let chunks = self.par_elementwise(n, |start, end| {
                 let local_sel: Vec<usize> = match sel {
                     Some(s) => s[start..end].to_vec(),
                     None => (start..end).collect(),
@@ -409,9 +576,7 @@ impl<'a> Executor<'a> {
         let flip = matches!(kind, JKind::Inner | JKind::Semi | JKind::Anti)
             && left.num_rows() < right.num_rows();
         if flip {
-            let mut m = self.metrics.get();
-            m.joins_flipped += 1;
-            self.metrics.set(m);
+            self.metrics.borrow_mut().joins_flipped += 1;
         }
         // Pick the key layout jointly over both sides; the packed fast paths
         // and the byte fallback share one generic build/probe implementation.
@@ -466,15 +631,11 @@ impl<'a> Executor<'a> {
         residual: Option<&BExpr>,
     ) -> Result<Batch> {
         let ln = left.num_rows();
-        // Build: hash the left side.
-        let mut table: FxHashMap<K, Vec<u32>> = FxHashMap::default();
-        for (i, k) in lkeys.iter().enumerate() {
-            if let Some(k) = k {
-                table.entry(*k).or_default().push(i as u32);
-            }
-        }
-        // Probe: right side in parallel ranges, recording matches per left row.
-        let probe_chunks = par_ranges(right.num_rows(), self.opts, |start, end| {
+        // Build: hash the left side (partitioned + concurrent when large).
+        let table = self.build_index(lkeys);
+        // Probe: right side in parallel morsels, recording matches per left
+        // row.
+        let probe_chunks = self.par_elementwise(right.num_rows(), |start, end| {
             let mut pairs: Vec<(u32, u32)> = Vec::new(); // (left row, right row)
             let mut matched_left: Vec<u32> = Vec::new();
             for (j, rk) in rkeys.iter().enumerate().take(end).skip(start) {
@@ -546,16 +707,11 @@ impl<'a> Executor<'a> {
         rkeys: &[Option<K>],
         residual: Option<&BExpr>,
     ) -> Result<Batch> {
-        // Build: hash the right side.
-        let mut table: FxHashMap<K, Vec<u32>> = FxHashMap::default();
-        for (i, k) in rkeys.iter().enumerate() {
-            if let Some(k) = k {
-                table.entry(*k).or_default().push(i as u32);
-            }
-        }
-        // Probe: left side, in parallel ranges.
+        // Build: hash the right side (partitioned + concurrent when large).
+        let table = self.build_index(rkeys);
+        // Probe: left side, in parallel morsels.
         let keep_unmatched_left = matches!(kind, JKind::Left | JKind::Full);
-        let probe_chunks = par_ranges(left.num_rows(), self.opts, |start, end| {
+        let probe_chunks = self.par_elementwise(left.num_rows(), |start, end| {
             let mut li: Vec<Option<usize>> = Vec::new();
             let mut ri: Vec<Option<usize>> = Vec::new();
             let mut matched_right: Vec<u32> = Vec::new();
@@ -742,9 +898,18 @@ impl<'a> Executor<'a> {
         Ok(Batch::from_columns(out_cols))
     }
 
-    /// Parallel partial aggregation over precomputed per-row group keys,
-    /// merged by global first occurrence. `K` is a packed `u64`/`u128` word or
-    /// a borrowed byte slice; partial maps never clone keys.
+    /// Partial aggregation over precomputed per-row group keys on the
+    /// **fixed morsel grid**, merged by global first occurrence. `K` is a
+    /// packed `u64`/`u128` word or a borrowed byte slice; partial maps never
+    /// clone keys.
+    ///
+    /// Determinism: partials are computed per fixed-size morsel (the grid
+    /// depends only on `n` and `opts.morsel`, never on the worker count) and
+    /// merged in ascending morsel order, each partial's groups visited in
+    /// their local first-occurrence order. Float sums therefore fold over
+    /// the *same tree* at every thread count — the engine's "fixed merge
+    /// order" policy (`docs/EXECUTION.md`) — and the global group order is
+    /// exactly global first-occurrence order.
     fn agg_states<K: Hash + Eq + Copy + Send + Sync>(
         &self,
         n: usize,
@@ -753,9 +918,11 @@ impl<'a> Executor<'a> {
         arg_cols: &[Option<Column>],
         arg_dtypes: &[Option<DType>],
     ) -> Result<Vec<GroupState>> {
-        let partials = par_ranges(n, self.opts, |start, end| {
-            // Pass 1: assign a chunk-local group id per row.
+        let partials = self.par_fixed(n, |start, end| {
+            // Pass 1: assign a morsel-local group id per row, recording keys
+            // in local first-occurrence order.
             let mut map: FxHashMap<K, usize> = FxHashMap::default();
+            let mut order: Vec<K> = Vec::new();
             let mut states: Vec<GroupState> = Vec::new();
             let mut gids: Vec<u32> = Vec::with_capacity(end - start);
             for (i, key) in keys.iter().enumerate().take(end).skip(start) {
@@ -763,6 +930,7 @@ impl<'a> Executor<'a> {
                     Some(&g) => g,
                     None => {
                         map.insert(*key, states.len());
+                        order.push(*key);
                         states.push(GroupState::new(i, aggs, arg_dtypes));
                         states.len() - 1
                     }
@@ -773,18 +941,19 @@ impl<'a> Executor<'a> {
             for (ai, agg) in aggs.iter().enumerate() {
                 accumulate(&mut states, ai, agg, &gids, start, arg_cols[ai].as_ref())?;
             }
-            Ok((map, states))
+            Ok((order, states))
         })?;
-        // Merge partials, ordering groups by global first occurrence.
+        // Merge partials in ascending morsel order — the explicit merge
+        // order every thread count shares.
         let mut global: FxHashMap<K, usize> = FxHashMap::default();
         let mut states: Vec<GroupState> = Vec::new();
-        for (map, part_states) in partials {
-            for (key, gi) in map {
+        for (order, part_states) in partials {
+            for (key, part) in order.into_iter().zip(part_states) {
                 match global.get(&key) {
-                    Some(&g) => states[g].merge(&part_states[gi], aggs),
+                    Some(&g) => states[g].merge(&part, aggs),
                     None => {
                         global.insert(key, states.len());
-                        states.push(part_states[gi].clone());
+                        states.push(part);
                     }
                 }
             }
@@ -799,7 +968,7 @@ impl<'a> Executor<'a> {
         sel: Option<&[usize]>,
         n: usize,
     ) -> Result<Column> {
-        let chunks = par_ranges(n, self.opts, |start, end| {
+        let chunks = self.par_elementwise(n, |start, end| {
             let local: Vec<usize> = match sel {
                 Some(s) => s[start..end].to_vec(),
                 None => (start..end).collect(),
@@ -839,15 +1008,17 @@ impl<'a> Executor<'a> {
         };
         let mut idx: Vec<usize> = (0..n).collect();
         if self.opts.threads > 1 && n > 4 * self.opts.morsel {
-            // Parallel chunk sort + k-way merge.
+            // Parallel chunk sort (pool tasks) + k-way merge. The comparator
+            // totally orders rows (ties broken on original position), so the
+            // merged output is the serial sort's, independent of chunking.
             let chunk = n.div_ceil(self.opts.threads);
-            let mut chunks: Vec<Vec<usize>> = idx.chunks(chunk).map(|c| c.to_vec()).collect();
-            std::thread::scope(|s| {
-                let mut handles = Vec::new();
-                for c in &mut chunks {
-                    handles.push(s.spawn(|| c.sort_by(cmp)));
-                }
-            });
+            let bounds: Vec<&[usize]> = idx.chunks(chunk).collect();
+            let chunks: Vec<Vec<usize>> =
+                pool::par_indexed(self.opts.threads, bounds.len(), |ci| {
+                    let mut c = bounds[ci].to_vec();
+                    c.sort_by(cmp);
+                    c
+                });
             // k-way merge
             let mut heads = vec![0usize; chunks.len()];
             let mut out = Vec::with_capacity(n);
@@ -913,36 +1084,6 @@ impl<'a> Executor<'a> {
 /// can assert which path a query takes.
 pub fn planned_key_width(col_sets: &[&[&Column]], nulls_matter: bool) -> Option<KeyWidth> {
     FixedKeySpec::plan(col_sets, nulls_matter).map(|s| s.width())
-}
-
-/// Splits `[0, n)` into per-thread ranges and runs `f` on each concurrently.
-/// Results are returned in range order (deterministic).
-fn par_ranges<T: Send>(
-    n: usize,
-    opts: ExecOptions,
-    f: impl Fn(usize, usize) -> Result<T> + Sync + Send,
-) -> Result<Vec<T>> {
-    let threads = opts.threads.max(1);
-    if threads == 1 || n <= opts.morsel {
-        return Ok(vec![f(0, n)?]);
-    }
-    let chunk = n.div_ceil(threads).max(1);
-    let ranges: Vec<(usize, usize)> = (0..threads)
-        .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
-        .filter(|(s, e)| s < e)
-        .collect();
-    let fref = &f;
-    let results: Vec<Result<T>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .map(|&(s, e)| scope.spawn(move || fref(s, e)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    results.into_iter().collect()
 }
 
 /// Column-major accumulation of one aggregate over a row chunk.

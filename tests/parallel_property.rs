@@ -1,0 +1,333 @@
+//! Property tests for morsel-driven parallel execution: every query must be
+//! **bit-identical** across thread counts — not approximately equal, equal
+//! to the last float bit — because the accumulation tree is a function of
+//! the fixed morsel grid, never of the worker count (the "fixed merge
+//! order" policy of `docs/EXECUTION.md`).
+//!
+//! Coverage: all 22 TPC-H queries, every hybrid workload, the
+//! stats-property corpus (dtypes × clustering × NULL patterns ×
+//! predicates), NULL-heavy joins and empty-table joins. Thread counts
+//! include 1 (the serial path), 2, 7 (odd counts catch partition-skew and
+//! uneven-grid bugs) and the machine's hardware parallelism.
+
+use pytond::{Backend, EngineConfig, OptLevel, Profile, Pytond};
+use pytond_common::{pool, Column, DType, Relation, Value};
+use pytond_sqldb::Database;
+
+/// The thread counts every case runs at; index 0 is the serial reference.
+fn thread_counts() -> Vec<usize> {
+    vec![1, 2, 7, pool::hardware_threads().max(2)]
+}
+
+/// Small morsels so even the test-sized inputs span many-morsel grids
+/// (16 Ki-row production morsels would leave them single-morsel).
+const TEST_MORSEL: usize = 1024;
+
+fn config(profile: Profile, threads: usize) -> EngineConfig {
+    EngineConfig {
+        profile,
+        threads,
+        morsel: TEST_MORSEL,
+        zone_prune: true,
+    }
+}
+
+/// Exact equality, NaN-aware and sign-of-zero-aware: every cell must agree
+/// under `Value::total_cmp` (floats compare by total order, so `-0.0` vs
+/// `0.0` or differing NaN handling fail the test — "bit-identical").
+fn assert_bit_identical(name: &str, reference: &Relation, candidate: &Relation) {
+    assert_eq!(
+        reference.num_cols(),
+        candidate.num_cols(),
+        "{name}: column count"
+    );
+    assert_eq!(
+        reference.num_rows(),
+        candidate.num_rows(),
+        "{name}: row count"
+    );
+    for ci in 0..reference.num_cols() {
+        let a = reference.column_at(ci);
+        let b = candidate.column_at(ci);
+        for i in 0..a.len() {
+            let (va, vb) = (a.get(i), b.get(i));
+            assert!(
+                va.total_cmp(&vb) == std::cmp::Ordering::Equal,
+                "{name}: cell ({i}, {}) differs: {va:?} vs {vb:?}",
+                reference.name_at(ci)
+            );
+        }
+    }
+}
+
+/// Runs one compiled source at every thread count and asserts bit-identity
+/// against the serial run.
+fn check_source(name: &str, py: &Pytond, source: &str, profile: Profile) {
+    let backend = Backend {
+        profile,
+        threads: 1,
+    };
+    let prepared = py
+        .prepare(source, &backend, OptLevel::O4)
+        .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+    let reference = py
+        .database()
+        .execute_prepared(&prepared, &config(profile, 1))
+        .unwrap_or_else(|e| panic!("{name}: serial run failed: {e}"));
+    for threads in thread_counts() {
+        let r = py
+            .database()
+            .execute_prepared(&prepared, &config(profile, threads))
+            .unwrap_or_else(|e| panic!("{name}@{threads}t: run failed: {e}"));
+        assert_bit_identical(&format!("{name}@{threads}t"), &reference, &r);
+    }
+}
+
+#[test]
+fn tpch_bit_identical_across_thread_counts() {
+    let data = pytond_tpch::generate(0.002);
+    let mut py = Pytond::new();
+    for (name, rel, unique) in data.tables() {
+        let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
+        py.register_table(name, rel.clone(), &keys);
+    }
+    for q in pytond_tpch::all_queries() {
+        check_source(q.name, &py, q.source, Profile::Vectorized);
+    }
+    // The fused profile drives the late-materialization parallel paths.
+    for id in [1, 3, 6, 9, 18] {
+        let q = pytond_tpch::query(id);
+        check_source(&format!("{}/fused", q.name), &py, q.source, Profile::Fused);
+    }
+}
+
+#[test]
+fn hybrid_workloads_bit_identical_across_thread_counts() {
+    for w in pytond_workloads::all_workloads(1) {
+        let mut py = Pytond::new();
+        for (name, rel, unique) in &w.tables {
+            let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
+            py.register_table(name, rel.clone(), &keys);
+        }
+        check_source(w.name, &py, w.source, Profile::Vectorized);
+    }
+}
+
+// ---------------- the stats-property corpus, re-run for parallelism ------
+
+/// Deterministic value stream: clustered (sorted, tight zone bounds) or
+/// shuffled (wide zone bounds) over `[0, domain)` — the same corpus shape
+/// `tests/stats_property.rs` uses for pruning soundness.
+fn key_value(i: usize, n: usize, domain: i64, clustered: bool) -> i64 {
+    if clustered {
+        (i as i64) * domain / (n as i64).max(1)
+    } else {
+        ((i as i64).wrapping_mul(2_654_435_761)).rem_euclid(domain)
+    }
+}
+
+fn key_column(dtype: u8, n: usize, domain: i64, clustered: bool, null_every: usize) -> Column {
+    let dt = match dtype {
+        0 => DType::Int,
+        1 => DType::Float,
+        2 => DType::Date,
+        _ => DType::Bool,
+    };
+    let mut col = Column::new(dt);
+    for i in 0..n {
+        if null_every > 0 && i % (null_every + 3) == 0 {
+            col.push_null();
+            continue;
+        }
+        let v = key_value(i, n, domain, clustered);
+        let val = match dt {
+            DType::Int => Value::Int(v),
+            DType::Float => Value::Float(v as f64 + 0.25),
+            DType::Date => Value::Date(v as i32),
+            DType::Bool => Value::Bool(v % 2 == 0),
+            DType::Str => unreachable!(),
+        };
+        col.push(val).unwrap();
+    }
+    col
+}
+
+/// A corpus table: generated key column + float measure whose per-group sums
+/// are rounding-sensitive (so any merge-order drift shows in the low bits).
+fn corpus_db(dtype: u8, n: usize, domain: i64, clustered: bool, null_every: usize) -> Database {
+    let k = key_column(dtype, n, domain, clustered, null_every);
+    let f: Vec<f64> = (0..n)
+        .map(|i| ((i as f64) * 0.618_033_988_749).fract() * 1e6 + 0.1)
+        .collect();
+    let mut db = Database::new();
+    db.register(
+        "t",
+        Relation::new(vec![
+            ("k".into(), k),
+            ("f".into(), Column::from_f64(f)),
+            ("v".into(), Column::from_i64((0..n as i64).collect())),
+        ])
+        .unwrap(),
+    );
+    db
+}
+
+fn check_sql(name: &str, db: &Database, sql: &str) {
+    let reference = db
+        .execute_sql(sql, &config(Profile::Vectorized, 1))
+        .unwrap_or_else(|e| panic!("{name}: serial run failed: {e}"));
+    for threads in thread_counts() {
+        let r = db
+            .execute_sql(sql, &config(Profile::Vectorized, threads))
+            .unwrap_or_else(|e| panic!("{name}@{threads}t: run failed: {e}"));
+        assert_bit_identical(&format!("{name}@{threads}t"), &reference, &r);
+    }
+}
+
+#[test]
+fn stats_corpus_bit_identical_across_thread_counts() {
+    // Float SUM/AVG over many groups is the hardest case: the accumulation
+    // tree must be grid-fixed or the low mantissa bits drift per thread
+    // count. DISTINCT and predicated scans ride along.
+    for dtype in 0..4u8 {
+        for &clustered in &[true, false] {
+            for &null_every in &[0usize, 5] {
+                let db = corpus_db(dtype, 12_000, 400, clustered, null_every);
+                let label = format!("dtype{dtype}/clustered={clustered}/nulls={null_every}");
+                check_sql(
+                    &format!("{label}/groupby"),
+                    &db,
+                    "SELECT k, SUM(f) AS s, AVG(f) AS m, COUNT(*) AS n, \
+                     COUNT(DISTINCT v) AS d FROM t GROUP BY k",
+                );
+                check_sql(
+                    &format!("{label}/scalar"),
+                    &db,
+                    "SELECT SUM(f) AS s, AVG(f) AS m, MIN(f) AS lo, MAX(f) AS hi FROM t",
+                );
+                check_sql(
+                    &format!("{label}/pruned-scan"),
+                    &db,
+                    "SELECT v, f FROM t WHERE v >= 1000 AND v < 3000",
+                );
+                check_sql(
+                    &format!("{label}/distinct"),
+                    &db,
+                    "SELECT DISTINCT k FROM t",
+                );
+            }
+        }
+    }
+}
+
+// ---------------- NULL-heavy and empty-table joins ----------------
+
+/// Two tables whose join keys are NULL on every third / fourth row — the
+/// case where partitioned builds must drop NULL keys exactly like the
+/// serial build, for every join kind.
+fn null_heavy_db(n: usize) -> Database {
+    let mut l_key = Column::new(DType::Int);
+    let mut r_key = Column::new(DType::Int);
+    for i in 0..n {
+        if i % 3 == 0 {
+            l_key.push_null();
+        } else {
+            l_key.push(Value::Int((i % 500) as i64)).unwrap();
+        }
+    }
+    for i in 0..n / 2 {
+        if i % 4 == 0 {
+            r_key.push_null();
+        } else {
+            r_key.push(Value::Int((i % 700) as i64)).unwrap();
+        }
+    }
+    let mut db = Database::new();
+    db.register(
+        "l",
+        Relation::new(vec![
+            ("k".into(), l_key),
+            ("a".into(), Column::from_i64((0..n as i64).collect())),
+        ])
+        .unwrap(),
+    );
+    db.register(
+        "r",
+        Relation::new(vec![
+            ("k".into(), r_key),
+            (
+                "b".into(),
+                Column::from_f64((0..n / 2).map(|i| i as f64 * 0.3).collect()),
+            ),
+        ])
+        .unwrap(),
+    );
+    db.register(
+        "empty",
+        Relation::new(vec![("k".into(), Column::from_i64(vec![]))]).unwrap(),
+    );
+    db
+}
+
+#[test]
+fn null_heavy_and_empty_joins_bit_identical() {
+    let db = null_heavy_db(30_000);
+    for sql in [
+        // Inner join + aggregate over the matches.
+        "SELECT l.k, COUNT(*) AS n, SUM(r.b) AS s FROM l, r WHERE l.k = r.k GROUP BY l.k",
+        // Outer joins keep unmatched rows with NULL fill.
+        "SELECT l.a, r.b FROM l LEFT JOIN r ON l.k = r.k",
+        "SELECT l.a, r.b FROM l FULL OUTER JOIN r ON l.k = r.k",
+        // Semi/anti via IN / NOT IN subqueries.
+        "SELECT a FROM l WHERE k IN (SELECT k FROM r)",
+        "SELECT a FROM l WHERE k NOT IN (SELECT k FROM r WHERE k IS NOT NULL)",
+        // Empty build and probe sides.
+        "SELECT l.a FROM l, empty WHERE l.k = empty.k",
+        "SELECT empty.k FROM empty LEFT JOIN r ON empty.k = r.k",
+    ] {
+        check_sql(sql, &db, sql);
+    }
+}
+
+// ---------------- parallel runs actually parallelize ----------------
+
+#[test]
+fn traces_report_parallelism_and_partitions() {
+    let db = null_heavy_db(40_000);
+    let join_agg = "SELECT l.k, SUM(r.b) AS s FROM l, r WHERE l.k = r.k GROUP BY l.k";
+    // Serial trace: one worker, no concurrent partitions.
+    let (_, serial) = db
+        .execute_sql_traced(join_agg, &config(Profile::Vectorized, 1))
+        .unwrap();
+    assert_eq!(serial.threads, 1);
+    assert!(
+        serial.metrics.morsels_claimed_per_worker.is_empty(),
+        "serial runs never touch the dispenser: {:?}",
+        serial.metrics
+    );
+    assert_eq!(serial.metrics.partitions_built, 0);
+    assert!(serial.plan.contains("parallelism: 1 worker thread(s)"));
+    // Parallel trace: multiple workers claimed morsels, the join build
+    // partitioned, and the plan header names the degree of parallelism.
+    let (_, par) = db
+        .execute_sql_traced(join_agg, &config(Profile::Vectorized, 7))
+        .unwrap();
+    assert_eq!(par.threads, 7);
+    assert!(
+        par.metrics.morsels_claimed_per_worker.len() > 1,
+        "expected multi-worker claims: {:?}",
+        par.metrics
+    );
+    assert!(
+        par.metrics.morsels_claimed_per_worker.iter().sum::<u64>() > 0,
+        "{:?}",
+        par.metrics
+    );
+    assert!(
+        par.metrics.partitions_built > 0,
+        "the 40k-row build side should partition: {:?}",
+        par.metrics
+    );
+    assert!(par.plan.contains("parallelism: 7 worker thread(s)"));
+    assert!(par.summary().contains("morsels claimed per worker"));
+}
