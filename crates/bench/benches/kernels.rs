@@ -177,7 +177,7 @@ fn hash_keys(c: &mut Criterion) {
 /// ~99% of the zones before the vectorized kernels run.
 fn scan_pruning(c: &mut Criterion) {
     const ROWS: i64 = 1 << 20;
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(
         "events",
         Relation::new(vec![

@@ -122,14 +122,14 @@ fn fig9_covariance(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("numpy", label), |b| {
             b.iter(|| einsum("ij,ik->jk", &[&m, &m]).unwrap())
         });
-        let mut py = Pytond::new();
+        let py = Pytond::new();
         py.register_table("m", cov::dense_relation(&m), &[&["__id"]]);
         let backend = Backend::duckdb_sim(1);
         let dense = compile(&py, cov::covariance_dense_source(), backend, OptLevel::O4);
         group.bench_function(BenchmarkId::new("pytond_dense", label), |b| {
             b.iter(|| py.execute(&dense, &backend).unwrap())
         });
-        let mut pys = Pytond::new();
+        let pys = Pytond::new();
         pys.register_table("m", cov::sparse_relation(&m), &[]);
         let sparse = compile(&pys, cov::covariance_sparse_source(), backend, OptLevel::O4);
         group.bench_function(BenchmarkId::new("pytond_sparse", label), |b| {

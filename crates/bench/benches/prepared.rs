@@ -68,7 +68,7 @@ fn tables() -> Vec<(&'static str, Relation)> {
 }
 
 fn bench_db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     for (name, rel) in tables() {
         db.register(name, rel);
     }
@@ -76,7 +76,7 @@ fn bench_db() -> Database {
 }
 
 fn bench_pytond() -> Pytond {
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     for (name, rel) in tables() {
         py.register_table(name, rel, &[]);
     }

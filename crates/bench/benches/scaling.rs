@@ -36,7 +36,7 @@ fn smoke() -> bool {
 }
 
 fn scan_db() -> Database {
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(
         "events",
         Relation::new(vec![

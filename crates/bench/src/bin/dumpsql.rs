@@ -6,7 +6,7 @@ use pytond_tpch::{generate, query};
 
 fn main() {
     let data = generate(0.001);
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     for (name, rel, unique) in data.tables() {
         let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
         py.register_table(name, rel.clone(), &keys);

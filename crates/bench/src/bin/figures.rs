@@ -297,7 +297,7 @@ fn covariance_row(
             einsum("ij,ik->jk", &[&m, &m]).map(|_| ())
         })
     };
-    let mut py_dense = Pytond::new();
+    let py_dense = Pytond::new();
     py_dense.register_table("m", cov::dense_relation(&m), &[&["__id"]]);
     let duck_dense = compiled_time(
         &py_dense,
@@ -311,7 +311,7 @@ fn covariance_row(
         Backend::hyper_sim(threads),
         opts,
     );
-    let mut py_sparse = Pytond::new();
+    let py_sparse = Pytond::new();
     py_sparse.register_table("m", cov::sparse_relation(&m), &[]);
     let duck_sparse = compiled_time(
         &py_sparse,

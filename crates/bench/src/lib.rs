@@ -3,6 +3,8 @@
 //! helpers following the paper's protocol (warm-up rounds, then the mean of
 //! measured rounds — Section V-A).
 
+#![warn(missing_docs)]
+
 use pytond::{Backend, OptLevel, Pytond};
 use pytond_common::{Relation, Result};
 use pytond_tpch::TpchData;
@@ -86,7 +88,7 @@ pub fn time_ms<T>(warmups: usize, rounds: usize, mut f: impl FnMut() -> Result<T
 
 /// Registers the TPC-H dataset into a fresh compiler instance.
 pub fn tpch_instance(data: &TpchData) -> Pytond {
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     for (name, rel, unique) in data.tables() {
         let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
         py.register_table(name, rel.clone(), &keys);
@@ -96,7 +98,7 @@ pub fn tpch_instance(data: &TpchData) -> Pytond {
 
 /// Registers a workload's tables.
 pub fn workload_instance(w: &Workload) -> Pytond {
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     for (name, rel, unique) in &w.tables {
         let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
         py.register_table(name, rel.clone(), &keys);

@@ -5,8 +5,10 @@
 //! (`pytond-sqldb`) and the compiler crates — exchanges data through the types
 //! defined here: scalar [`Value`]s, typed columnar [`Column`]s, named-column
 //! [`Relation`]s, calendar [`date`] arithmetic, a fast non-cryptographic
-//! [`hash`] used for join/group keys, and the morsel-driven worker [`pool`]
-//! shared by the SQL executor and the DataFrame baseline.
+//! [`hash`] used for join/group keys, the morsel-driven worker [`pool`]
+//! shared by the SQL executor and the DataFrame baseline, and the
+//! epoch-style snapshot-publication cell ([`version`]) under the serving
+//! layer's copy-on-append table versioning.
 
 #![warn(missing_docs)]
 
@@ -17,6 +19,7 @@ pub mod hash;
 pub mod pool;
 pub mod relation;
 pub mod value;
+pub mod version;
 
 pub use column::{Column, DType};
 pub use error::{Error, Result};

@@ -1,4 +1,4 @@
-//! Morsel-driven scoped worker pool (std-only).
+//! Morsel-driven shared worker pool + query admission (std-only).
 //!
 //! The engine's parallelism is *morsel-driven* (Leis et al., SIGMOD 2014, as
 //! cited by PyTond's "efficient multi-threaded query processing"): work is a
@@ -10,16 +10,30 @@
 //! at any thread count (see `docs/EXECUTION.md` for the full determinism
 //! argument).
 //!
-//! The build environment has no crates.io access, so there is no rayon here:
-//! workers are plain [`std::thread::scope`] threads and the dispenser is one
-//! [`AtomicUsize`]. Threads live for a single operator invocation; at
-//! `threads <= 1` (or a single-morsel grid) no thread is ever spawned and
-//! the closure runs inline on the caller's stack — the serial path.
+//! The build environment has no crates.io access, so there is no rayon here.
+//! Workers are **long-lived process-wide threads** sharing one job queue:
+//! instead of every operator of every query spawning its own
+//! `std::thread::scope`, a parallel operator enqueues one *job* (its
+//! morsel-claim loop) asking for up to `threads − 1` helpers, runs the loop
+//! on its own thread too, and idle pool workers pick jobs up oldest-first.
+//! Concurrent queries therefore *multiplex* over one shared worker set —
+//! the total number of live worker threads is bounded by the largest single
+//! request, not by the number of in-flight queries (see `docs/SERVING.md`
+//! for the serving-level scheduling model). At `threads <= 1` (or a
+//! single-morsel grid) no job is ever enqueued and the closure runs inline
+//! on the caller's stack — the serial path.
+//!
+//! The [`Admission`] gate sits above the pool: a serving layer admits each
+//! query before execution, bounding how many queries compute simultaneously
+//! and measuring the time each one queued (`PYTOND_ADMIT` sets the
+//! capacity; the wait surfaces in `QueryTrace`).
 
 use crate::Result;
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// The machine's hardware parallelism (1 if it cannot be determined).
 /// Cached: the underlying `available_parallelism` probes cgroup files on
@@ -57,6 +71,260 @@ pub fn resolve_threads(configured: usize) -> usize {
     }
 }
 
+const POISON: &str = "pytond pool state poisoned";
+
+/// One lifetime-erased unit of shared-pool work: the morsel-claim loop of a
+/// single parallel operator invocation.
+///
+/// `work` is the submitting operator's claim loop with its lifetime erased
+/// to `'static`. This is sound for the same reason [`std::thread::scope`]
+/// is: the submitter blocks inside [`SharedPool::run_job`] (via
+/// [`JoinGuard`], which also runs on unwind) until `active` returns to
+/// zero, so no worker can observe the closure after the submitting stack
+/// frame dies.
+struct Job {
+    work: &'static (dyn Fn() + Sync),
+    /// Helper slots still open: workers decrement one to join the job.
+    /// All mutations happen under the pool's state mutex; the atomics exist
+    /// for `Sync`, not for lock-free access.
+    slots: AtomicUsize,
+    /// Helpers currently inside `work`.
+    active: AtomicUsize,
+    /// Set when a helper panicked inside `work`; re-raised by the submitter.
+    panicked: AtomicBool,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Pending jobs, oldest first. A job stays queued until its submitter
+    /// finishes or its helper slots run out; idle workers serve the oldest
+    /// job that still has open slots, which is what multiplexes concurrent
+    /// queries fairly over one worker set.
+    jobs: VecDeque<Arc<Job>>,
+    /// Workers currently parked on `work_cv`.
+    idle: usize,
+    /// Workers ever spawned (they are process-lived).
+    spawned: usize,
+}
+
+/// The process-wide shared morsel pool: long-lived workers + one job queue.
+struct SharedPool {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for jobs.
+    work_cv: Condvar,
+    /// Submitters park here waiting for their helpers to drain.
+    done_cv: Condvar,
+}
+
+/// The process-wide pool instance. Workers are spawned lazily on first
+/// demand and never exit; an idle pool costs a few parked threads.
+fn shared() -> &'static SharedPool {
+    static POOL: OnceLock<SharedPool> = OnceLock::new();
+    POOL.get_or_init(|| SharedPool {
+        state: Mutex::new(PoolState::default()),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+    })
+}
+
+/// Number of long-lived pool workers spawned so far in this process (the
+/// high-water mark of concurrent helper demand). Observability only.
+pub fn pool_workers_spawned() -> usize {
+    shared().state.lock().expect(POISON).spawned
+}
+
+/// Removes the job from the queue and waits for its active helpers to
+/// drain. Runs on both the normal and the unwind path of
+/// [`SharedPool::run_job`] — if the submitter's own claim loop panics, the
+/// stack frame the helpers borrow from must still outlive them.
+struct JoinGuard<'a> {
+    pool: &'static SharedPool,
+    job: &'a Arc<Job>,
+}
+
+impl Drop for JoinGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.pool.state.lock().expect(POISON);
+        self.job.slots.store(0, Ordering::Relaxed);
+        if let Some(pos) = st.jobs.iter().position(|j| Arc::ptr_eq(j, self.job)) {
+            st.jobs.remove(pos);
+        }
+        while self.job.active.load(Ordering::Relaxed) > 0 {
+            st = self.pool.done_cv.wait(st).expect(POISON);
+        }
+    }
+}
+
+impl SharedPool {
+    /// Runs `work` on the submitting thread plus up to `helpers` pool
+    /// workers, returning when every participant is done. Panics raised by
+    /// a helper are re-raised here.
+    fn run_job(&'static self, helpers: usize, work: &(dyn Fn() + Sync)) {
+        if helpers == 0 {
+            work();
+            return;
+        }
+        // SAFETY: lifetime erasure; see `Job::work`. The `JoinGuard` below
+        // guarantees the borrow outlives every worker's use of it.
+        let work_static =
+            unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(work) };
+        let job = Arc::new(Job {
+            work: work_static,
+            slots: AtomicUsize::new(helpers),
+            active: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        });
+        {
+            let mut st = self.state.lock().expect(POISON);
+            st.jobs.push_back(job.clone());
+            // Grow the worker set only when demand outstrips the idle
+            // supply; over time the pool converges on the largest
+            // concurrent helper demand, not the sum over queries.
+            for _ in 0..helpers.saturating_sub(st.idle) {
+                st.spawned += 1;
+                std::thread::Builder::new()
+                    .name("pytond-pool".into())
+                    .spawn(move || shared().worker_loop())
+                    .expect("spawn pool worker");
+            }
+            self.work_cv.notify_all();
+        }
+        let guard = JoinGuard {
+            pool: self,
+            job: &job,
+        };
+        work();
+        drop(guard);
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("morsel worker panicked");
+        }
+    }
+
+    fn worker_loop(&'static self) {
+        let mut st = self.state.lock().expect(POISON);
+        loop {
+            let next = st
+                .jobs
+                .iter()
+                .find(|j| j.slots.load(Ordering::Relaxed) > 0)
+                .cloned();
+            match next {
+                Some(job) => {
+                    job.slots.fetch_sub(1, Ordering::Relaxed);
+                    job.active.fetch_add(1, Ordering::Relaxed);
+                    drop(st);
+                    let ok =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.work)()))
+                            .is_ok();
+                    st = self.state.lock().expect(POISON);
+                    if !ok {
+                        job.panicked.store(true, Ordering::Relaxed);
+                    }
+                    job.active.fetch_sub(1, Ordering::Relaxed);
+                    self.done_cv.notify_all();
+                }
+                None => {
+                    st.idle += 1;
+                    st = self.work_cv.wait(st).expect(POISON);
+                    st.idle -= 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- admission
+
+/// A concurrency gate for whole queries: at most `capacity` tickets are out
+/// at once, and [`Admission::admit`] blocks (measuring the wait) until one
+/// frees. The serving layer admits every query before execution so a burst
+/// of clients degrades into an orderly queue instead of a thread stampede;
+/// the measured wait surfaces as `queue wait` in `QueryTrace`. See
+/// `docs/SERVING.md`.
+#[derive(Debug)]
+pub struct Admission {
+    /// Maximum concurrently admitted queries; `0` = unlimited (the gate is
+    /// a no-op and tickets are free).
+    capacity: usize,
+    running: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Admission {
+    /// A gate admitting at most `capacity` concurrent holders (`0` =
+    /// unlimited).
+    pub fn with_capacity(capacity: usize) -> Admission {
+        Admission {
+            capacity,
+            running: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity (`0` = unlimited).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Acquires a ticket, blocking while the gate is full. The returned
+    /// ticket records how long this call queued and releases its slot on
+    /// drop.
+    pub fn admit(&self) -> AdmitTicket<'_> {
+        if self.capacity == 0 {
+            return AdmitTicket {
+                gate: None,
+                queue_wait_ns: 0,
+            };
+        }
+        let start = Instant::now();
+        let mut running = self.running.lock().expect(POISON);
+        while *running >= self.capacity {
+            running = self.freed.wait(running).expect(POISON);
+        }
+        *running += 1;
+        AdmitTicket {
+            gate: Some(self),
+            queue_wait_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// Proof of admission for one query; the slot frees when this drops.
+#[derive(Debug)]
+pub struct AdmitTicket<'a> {
+    gate: Option<&'a Admission>,
+    /// Nanoseconds this query waited for the gate to open (0 when the gate
+    /// is unlimited or had room immediately).
+    pub queue_wait_ns: u64,
+}
+
+impl Drop for AdmitTicket<'_> {
+    fn drop(&mut self) {
+        if let Some(gate) = self.gate {
+            *gate.running.lock().expect(POISON) -= 1;
+            gate.freed.notify_one();
+        }
+    }
+}
+
+/// The process-wide admission gate queries pass through before executing:
+/// capacity is `PYTOND_ADMIT` when set to a non-negative integer (`0` =
+/// unlimited), else `2 ×` [`hardware_threads`]. Read once per process, like
+/// [`default_threads`].
+pub fn admission() -> &'static Admission {
+    static GATE: OnceLock<Admission> = OnceLock::new();
+    GATE.get_or_init(|| {
+        let capacity = match std::env::var("PYTOND_ADMIT") {
+            Ok(v) => v
+                .trim()
+                .parse::<usize>()
+                .unwrap_or_else(|_| 2 * hardware_threads()),
+            Err(_) => 2 * hardware_threads(),
+        };
+        Admission::with_capacity(capacity)
+    })
+}
+
 /// The result of one [`par_morsels`] run: per-morsel outputs in morsel order
 /// plus how many morsels each worker claimed (`[total]` on the serial path).
 #[derive(Debug)]
@@ -70,16 +338,21 @@ pub struct MorselOutcome<T> {
 }
 
 /// Runs `f` over the fixed morsel grid of `[0, n)` with `morsel` rows per
-/// morsel, on up to `threads` workers claiming morsels from a shared atomic
+/// morsel, on up to `threads` participants (the calling thread + up to
+/// `threads − 1` shared-pool helpers) claiming morsels from a shared atomic
 /// cursor. `f` receives `(morsel index, row range)`.
 ///
 /// Outputs come back in morsel order, so any order-sensitive merge the
 /// caller performs (concatenation, partial-aggregate folding) sees the same
 /// sequence at every thread count. With `threads <= 1` or a single-morsel
-/// grid the closure runs inline — no thread is spawned.
+/// grid the closure runs inline — no job is submitted to the pool. When the
+/// pool's workers are busy serving other queries, fewer helpers may arrive
+/// (the calling thread always participates, so progress is unconditional);
+/// the result is still bit-identical because the grid and the stitch order
+/// never depend on who claimed what.
 ///
-/// The first error any worker returns is propagated; remaining morsels may
-/// or may not have run (their outputs are discarded).
+/// The first error any participant returns is propagated; remaining morsels
+/// may or may not have run (their outputs are discarded).
 pub fn par_morsels<T, F>(threads: usize, n: usize, morsel: usize, f: F) -> Result<MorselOutcome<T>>
 where
     T: Send,
@@ -100,33 +373,42 @@ where
     }
     let workers = threads.min(count);
     let cursor = AtomicUsize::new(0);
-    let (fref, cref) = (&f, &cursor);
-    let per_worker: Vec<Result<Vec<(usize, T)>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(move || {
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let i = cref.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
-                        }
-                        local.push((i, fref(i, range(i))?));
+    let abort = AtomicBool::new(false);
+    let ordinal = AtomicUsize::new(0);
+    let claimed = Mutex::new(vec![0u64; workers]);
+    let collected: Mutex<Vec<Vec<(usize, T)>>> = Mutex::new(Vec::new());
+    let first_err: Mutex<Option<crate::Error>> = Mutex::new(None);
+    let work = || {
+        let me = ordinal.fetch_add(1, Ordering::Relaxed);
+        let mut local: Vec<(usize, T)> = Vec::new();
+        while !abort.load(Ordering::Relaxed) {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= count {
+                break;
+            }
+            match f(i, range(i)) {
+                Ok(t) => local.push((i, t)),
+                Err(e) => {
+                    abort.store(true, Ordering::Relaxed);
+                    let mut slot = first_err.lock().expect(POISON);
+                    if slot.is_none() {
+                        *slot = Some(e);
                     }
-                    Ok(local)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("morsel worker panicked"))
-            .collect()
-    });
-    let mut claimed = vec![0u64; workers];
+                    break;
+                }
+            }
+        }
+        if let Some(c) = claimed.lock().expect(POISON).get_mut(me) {
+            *c = local.len() as u64;
+        }
+        collected.lock().expect(POISON).push(local);
+    };
+    shared().run_job(workers - 1, &work);
+    if let Some(e) = first_err.into_inner().expect(POISON) {
+        return Err(e);
+    }
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    for (w, outcome) in per_worker.into_iter().enumerate() {
-        let local = outcome?;
-        claimed[w] = local.len() as u64;
+    for local in collected.into_inner().expect(POISON) {
         for (i, t) in local {
             slots[i] = Some(t);
         }
@@ -136,14 +418,15 @@ where
             .into_iter()
             .map(|s| s.expect("every morsel claimed"))
             .collect(),
-        claimed_per_worker: claimed,
+        claimed_per_worker: claimed.into_inner().expect(POISON),
     })
 }
 
-/// Runs `f(0), f(1), ..., f(count - 1)` on up to `threads` workers (atomic
-/// task cursor), returning the outputs in task order. Used for fixed task
-/// lists — building the P partitions of a hash join, sorting the chunks of a
-/// parallel sort. Inline (no threads) when `threads <= 1` or `count <= 1`.
+/// Runs `f(0), f(1), ..., f(count - 1)` on up to `threads` participants
+/// (the calling thread + shared-pool helpers, atomic task cursor),
+/// returning the outputs in task order. Used for fixed task lists —
+/// building the P partitions of a hash join, sorting the chunks of a
+/// parallel sort. Inline (no pool job) when `threads <= 1` or `count <= 1`.
 pub fn par_indexed<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -154,30 +437,21 @@ where
     }
     let workers = threads.min(count);
     let cursor = AtomicUsize::new(0);
-    let (fref, cref) = (&f, &cursor);
-    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(move || {
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let i = cref.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
-                            break;
-                        }
-                        local.push((i, fref(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("indexed worker panicked"))
-            .collect()
-    });
+    let collected: Mutex<Vec<Vec<(usize, T)>>> = Mutex::new(Vec::new());
+    let work = || {
+        let mut local: Vec<(usize, T)> = Vec::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= count {
+                break;
+            }
+            local.push((i, f(i)));
+        }
+        collected.lock().expect(POISON).push(local);
+    };
+    shared().run_job(workers - 1, &work);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    for local in per_worker {
+    for local in collected.into_inner().expect(POISON) {
         for (i, t) in local {
             slots[i] = Some(t);
         }

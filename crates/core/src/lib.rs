@@ -19,13 +19,19 @@
 //!                        sqldb::execute_prepared ──► Relation
 //! ```
 //!
-//! Prepared plans are cached per `(source, opt level, profile)` and keyed to
-//! the database's statistics version: a `register_table`/`append` bumps the
-//! version and the next execution transparently re-plans, so cost-based
-//! join orders stay fresh as data grows. Generated SQL text is still
-//! available on [`Compiled::sql`] as an *export format* for the paper's real
-//! backends (DuckDB/Hyper/LingoDB dialects) — the in-process engine never
-//! re-parses it.
+//! Prepared plans are cached per `(source, opt level, profile, stats
+//! version)` across 16 lock shards: a `register_table`/`append` bumps the
+//! statistics version and the next execution transparently re-plans, so
+//! cost-based join orders stay fresh as data grows. Generated SQL text is
+//! still available on [`Compiled::sql`] as an *export format* for the
+//! paper's real backends (DuckDB/Hyper/LingoDB dialects) — the in-process
+//! engine never re-parses it.
+//!
+//! [`Pytond`] is `Send + Sync` and every method takes `&self`: wrap one
+//! instance in an `Arc` (or hand out [`Database`] clones) and serve any
+//! number of client threads — reads pin an immutable snapshot, appends
+//! publish new versions without blocking them. `docs/SERVING.md` documents
+//! the full concurrency model.
 //!
 //! # Quick start
 //!
@@ -33,7 +39,7 @@
 //! use pytond::{Pytond, Backend};
 //! use pytond_common::{Column, Relation};
 //!
-//! let mut py = Pytond::new();
+//! let py = Pytond::new();
 //! py.register_table(
 //!     "sales",
 //!     Relation::new(vec![
@@ -63,9 +69,12 @@ pub use pytond_optimizer::OptLevel;
 pub use pytond_sqldb::{Database, EngineConfig, PreparedQuery, Profile};
 pub use pytond_sqlgen::Dialect;
 
-use pytond_common::hash::FxHashMap;
+use pytond_common::hash::{FxHashMap, FxHasher};
+use pytond_common::version::Versioned;
 use pytond_common::{Error, Relation, Result};
 use pytond_tondir::{Catalog, Program, TableSchema};
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
 /// A named backend: engine profile + thread count (the paper's
@@ -183,24 +192,152 @@ impl Compiled {
 
 /// Key of one cached prepared plan: the full source text (not a hash — a
 /// 64-bit digest could collide and silently serve the wrong plan) × opt
-/// level × profile.
-type PlanKey = (String, OptLevel, Profile);
+/// level × profile × the statistics version the plan was optimized under.
+/// Putting the stats version in the key means a lookup at the *current*
+/// version can never return a stale plan — after an append, old entries
+/// simply stop being found and age out of their shard's FIFO.
+type PlanKey = (String, OptLevel, Profile, u64);
 
-/// Soft cap on cached plans: when an insert finds the cache at the cap,
-/// stale entries (planned under an older stats version) are evicted first,
-/// and the cache is cleared outright if still full. Keeps long-lived
-/// instances serving many distinct sources bounded.
+/// Lock shards in the plan cache: concurrent clients compiling or looking
+/// up different sources contend on different mutexes.
+const PLAN_CACHE_SHARDS: usize = 16;
+
+/// Soft cap on cached plans across all shards (each shard holds at most
+/// `PLAN_CACHE_CAP / PLAN_CACHE_SHARDS`). When an insert finds its shard
+/// full, the shard evicts its oldest entries first — O(1) amortized, see
+/// [`CacheShard`].
 const PLAN_CACHE_CAP: usize = 512;
 
+/// Per-shard entry cap.
+const SHARD_CAP: usize = PLAN_CACHE_CAP / PLAN_CACHE_SHARDS;
+
+/// One cached plan + the FIFO stamp of its most recent insert (used to
+/// recognize stale FIFO records, see [`CacheShard::insert`]).
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<PreparedQuery>,
+    stamp: u64,
+}
+
+/// One lock shard of the plan cache: a map plus an insertion-order queue
+/// that makes eviction O(1) amortized (the previous design scanned the
+/// whole map under the lock on every insert at the cap).
+///
+/// Every insert pushes `(key, stamp)` onto the FIFO and records the stamp
+/// in the map entry. Re-inserting an existing key refreshes the stamp, so
+/// the key's older FIFO records no longer match and are skipped (and
+/// discarded) when popped. Each FIFO record is pushed once and popped at
+/// most once — eviction work is constant per insert, regardless of map
+/// size.
+#[derive(Debug, Default)]
+struct CacheShard {
+    map: FxHashMap<PlanKey, CacheEntry>,
+    fifo: VecDeque<(PlanKey, u64)>,
+    next_stamp: u64,
+}
+
+impl CacheShard {
+    fn lookup(&self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+        self.map.get(key).map(|e| e.plan.clone())
+    }
+
+    fn insert(&mut self, key: PlanKey, plan: Arc<PreparedQuery>) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if self
+            .map
+            .insert(key.clone(), CacheEntry { plan, stamp })
+            .is_none()
+        {
+            // A genuinely new key: make room by retiring oldest-inserted
+            // entries. FIFO records whose stamp no longer matches the map
+            // are leftovers of a key that was re-inserted later — drop
+            // them without evicting.
+            while self.map.len() > SHARD_CAP {
+                let (old_key, old_stamp) = self
+                    .fifo
+                    .pop_front()
+                    .expect("cache FIFO lost track of a live entry");
+                if self.map.get(&old_key).is_some_and(|e| e.stamp == old_stamp) {
+                    self.map.remove(&old_key);
+                }
+            }
+        }
+        self.fifo.push_back((key, stamp));
+    }
+}
+
+/// The sharded prepared-plan cache: `PLAN_CACHE_SHARDS` independent
+/// mutexes, selected by key hash.
+#[derive(Debug)]
+struct PlanCache {
+    shards: Vec<Mutex<CacheShard>>,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache {
+            shards: (0..PLAN_CACHE_SHARDS)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+        }
+    }
+}
+
+impl PlanCache {
+    fn shard(&self, key: &PlanKey) -> &Mutex<CacheShard> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % PLAN_CACHE_SHARDS]
+    }
+
+    fn lookup(&self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
+        self.shard(key)
+            .lock()
+            .expect("plan cache shard poisoned")
+            .lookup(key)
+    }
+
+    fn insert(&self, key: PlanKey, plan: Arc<PreparedQuery>) {
+        self.shard(&key)
+            .lock()
+            .expect("plan cache shard poisoned")
+            .insert(key, plan);
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("plan cache shard poisoned").map.len())
+            .sum()
+    }
+}
+
 /// The PyTond compiler + embedded database.
+///
+/// `Pytond` is `Send + Sync` and every method — including
+/// [`Pytond::register_table`] and [`Pytond::append`] — takes `&self`:
+/// share one instance behind an `Arc` across any number of client threads.
+/// Reads pin an immutable database snapshot for the life of the query;
+/// writes publish a new version without blocking in-flight reads (see
+/// `docs/SERVING.md`).
 #[derive(Debug, Default)]
 pub struct Pytond {
     db: Database,
-    catalog: Catalog,
-    /// Prepared-plan cache for [`Pytond::run`]/[`Pytond::run_at`]: entries
-    /// whose stats version trails the database are stale and transparently
-    /// re-planned on the next lookup.
-    plan_cache: Mutex<FxHashMap<PlanKey, Arc<PreparedQuery>>>,
+    /// Catalog versions publish in lockstep with database versions: readers
+    /// pin whichever version is current, writers replace it under
+    /// [`Pytond::write`].
+    catalog: Versioned<Catalog>,
+    /// Serializes [`Pytond::register_table`]/[`Pytond::append`] so the
+    /// catalog and the database move together (a reader may still observe
+    /// the catalog one version ahead of or behind the database — both are
+    /// internally consistent, see `docs/SERVING.md`).
+    write: Mutex<()>,
+    /// Sharded prepared-plan cache for [`Pytond::run`]/[`Pytond::run_at`]:
+    /// keys carry the stats version, so entries planned under older
+    /// statistics are never returned for current-version lookups and age
+    /// out FIFO per shard.
+    plan_cache: PlanCache,
 }
 
 impl Pytond {
@@ -211,42 +348,52 @@ impl Pytond {
 
     /// Registers a table, inferring its schema; `unique` lists single- or
     /// multi-column unique keys (the catalog constraints of Section III-A).
-    /// Bumps the database's statistics version, so cached prepared plans
-    /// re-plan on their next use.
-    pub fn register_table(&mut self, name: &str, rel: Relation, unique: &[&[&str]]) {
+    /// Publishes a new database + catalog version, so cached prepared plans
+    /// re-plan on their next use; in-flight queries keep the snapshot they
+    /// pinned.
+    pub fn register_table(&self, name: &str, rel: Relation, unique: &[&[&str]]) {
+        let _writer = self.write.lock().expect("facade writer poisoned");
         let mut schema = TableSchema::new(name, rel.schema());
         for key in unique {
             schema = schema.with_unique(key);
         }
         schema = schema.with_rows(rel.num_rows() as u64);
-        self.catalog.add(schema);
+        let mut catalog = (*self.catalog.load()).clone();
+        catalog.add(schema);
         self.db.register(name, rel);
+        self.catalog.publish(Arc::new(catalog));
     }
 
     /// Appends rows to a registered table (schema must match). Statistics
-    /// update incrementally and the stats version bumps: cached prepared
+    /// update incrementally and a new version publishes: cached prepared
     /// plans re-plan on their next use, so cost-based join orders track the
-    /// new row counts.
-    pub fn append(&mut self, name: &str, rel: &Relation) -> Result<()> {
+    /// new row counts. In-flight queries keep the version they pinned. A
+    /// failed append changes nothing.
+    pub fn append(&self, name: &str, rel: &Relation) -> Result<()> {
+        let _writer = self.write.lock().expect("facade writer poisoned");
         self.db.append(name, rel)?;
         // The catalog keys by the name as registered while the database
         // lowercases; match case-insensitively so the row count never
         // silently goes stale.
-        let entry = self
-            .catalog
+        let cur = self.catalog.load();
+        let entry = cur
             .tables()
             .find(|t| t.name.eq_ignore_ascii_case(name))
             .cloned();
         if let Some(schema) = entry {
             let rows = self.db.table(name).map_or(0, |t| t.num_rows() as u64);
-            self.catalog.add(schema.with_rows(rows));
+            let mut catalog = (*cur).clone();
+            catalog.add(schema.with_rows(rows));
+            self.catalog.publish(Arc::new(catalog));
         }
         Ok(())
     }
 
-    /// The catalog (schemas + constraints).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Pins the current catalog version (schemas + constraints). The
+    /// returned `Arc` is immutable; later `register_table`/`append` calls
+    /// publish new versions without disturbing it.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.catalog.load()
     }
 
     /// The embedded database.
@@ -263,16 +410,17 @@ impl Pytond {
     /// runs the front-end, lowers the optimized IR directly into a prepared
     /// plan, and renders the dialect's SQL export.
     pub fn compile_at(&self, source: &str, dialect: Dialect, level: OptLevel) -> Result<Compiled> {
-        let raw_ir = pytond_translate::translate_source(source, &self.catalog)?;
-        pytond_tondir::analysis::validate(&raw_ir, &self.catalog)?;
-        let optimized_ir = pytond_optimizer::optimize(raw_ir.clone(), &self.catalog, level);
-        pytond_tondir::analysis::validate(&optimized_ir, &self.catalog)?;
-        let sql = pytond_sqlgen::generate_sql(&optimized_ir, &self.catalog, dialect)?;
+        let catalog = self.catalog.load();
+        let raw_ir = pytond_translate::translate_source(source, &catalog)?;
+        pytond_tondir::analysis::validate(&raw_ir, &catalog)?;
+        let optimized_ir = pytond_optimizer::optimize(raw_ir.clone(), &catalog, level);
+        pytond_tondir::analysis::validate(&optimized_ir, &catalog)?;
+        let sql = pytond_sqlgen::generate_sql(&optimized_ir, &catalog, dialect)?;
         let profile = Backend::profile_for(dialect);
         let prepared = match pytond_sqldb::lower::prepare_program(
             &self.db,
             &optimized_ir,
-            &self.catalog,
+            &catalog,
             profile,
         ) {
             Ok(p) => Arc::new(p),
@@ -285,15 +433,16 @@ impl Pytond {
             Err(Error::Unsupported(_)) => Arc::new(pytond_sqldb::lower::prepare_program(
                 &self.db,
                 &optimized_ir,
-                &self.catalog,
+                &catalog,
                 Profile::Vectorized,
             )?),
             Err(e) => return Err(e),
         };
         // Cache under the profile the plan was actually validated for — a
-        // gate-skipping plan must never satisfy a Lingo-profile lookup.
-        self.cache_insert(
-            plan_key(source, level, prepared.profile()),
+        // gate-skipping plan must never satisfy a Lingo-profile lookup —
+        // and under the stats version it was planned at.
+        self.plan_cache.insert(
+            plan_key(source, level, prepared.profile(), prepared.stats_version()),
             prepared.clone(),
         );
         Ok(Compiled {
@@ -316,26 +465,30 @@ impl Pytond {
         backend: &Backend,
         level: OptLevel,
     ) -> Result<Arc<PreparedQuery>> {
-        let key = plan_key(source, level, backend.profile);
-        if let Some(p) = self.cache_lookup(&key) {
-            if p.is_current(&self.db) {
-                return Ok(p);
-            }
+        let key = plan_key(source, level, backend.profile, self.db.stats_version());
+        if let Some(p) = self.plan_cache.lookup(&key) {
+            return Ok(p);
         }
-        // Miss or stale: run the compile pipeline (translate → validate →
-        // optimize → lower → bind/plan) and refresh the cache. sqlgen is
-        // not involved — SQL text is an export format, not the wire format.
-        let raw_ir = pytond_translate::translate_source(source, &self.catalog)?;
-        pytond_tondir::analysis::validate(&raw_ir, &self.catalog)?;
-        let optimized_ir = pytond_optimizer::optimize(raw_ir, &self.catalog, level);
-        pytond_tondir::analysis::validate(&optimized_ir, &self.catalog)?;
+        // Miss (or the stats version moved, making this a fresh key): run
+        // the compile pipeline (translate → validate → optimize → lower →
+        // bind/plan) and cache under the version the plan was planned at.
+        // sqlgen is not involved — SQL text is an export format, not the
+        // wire format.
+        let catalog = self.catalog.load();
+        let raw_ir = pytond_translate::translate_source(source, &catalog)?;
+        pytond_tondir::analysis::validate(&raw_ir, &catalog)?;
+        let optimized_ir = pytond_optimizer::optimize(raw_ir, &catalog, level);
+        pytond_tondir::analysis::validate(&optimized_ir, &catalog)?;
         let prepared = Arc::new(pytond_sqldb::lower::prepare_program(
             &self.db,
             &optimized_ir,
-            &self.catalog,
+            &catalog,
             backend.profile,
         )?);
-        self.cache_insert(key, prepared.clone());
+        self.plan_cache.insert(
+            plan_key(source, level, backend.profile, prepared.stats_version()),
+            prepared.clone(),
+        );
         Ok(prepared)
     }
 
@@ -352,19 +505,31 @@ impl Pytond {
                 .db
                 .execute_prepared(&compiled.prepared, &backend.config());
         }
-        let key = plan_key(&compiled.source, compiled.level, backend.profile);
-        if let Some(p) = self.cache_lookup(&key) {
-            if p.is_current(&self.db) {
-                return self.db.execute_prepared(&p, &backend.config());
-            }
+        let key = plan_key(
+            &compiled.source,
+            compiled.level,
+            backend.profile,
+            self.db.stats_version(),
+        );
+        if let Some(p) = self.plan_cache.lookup(&key) {
+            return self.db.execute_prepared(&p, &backend.config());
         }
+        let catalog = self.catalog.load();
         let prepared = Arc::new(pytond_sqldb::lower::prepare_program(
             &self.db,
             &compiled.optimized_ir,
-            &self.catalog,
+            &catalog,
             backend.profile,
         )?);
-        self.cache_insert(key, prepared.clone());
+        self.plan_cache.insert(
+            plan_key(
+                &compiled.source,
+                compiled.level,
+                backend.profile,
+                prepared.stats_version(),
+            ),
+            prepared.clone(),
+        );
         self.db.execute_prepared(&prepared, &backend.config())
     }
 
@@ -386,36 +551,23 @@ impl Pytond {
         Ok(self.prepare(source, backend, level)?.explain())
     }
 
-    fn cache_lookup(&self, key: &PlanKey) -> Option<Arc<PreparedQuery>> {
-        self.plan_cache
-            .lock()
-            .expect("plan cache poisoned")
-            .get(key)
-            .cloned()
+    /// Number of prepared plans currently cached, summed across the lock
+    /// shards. Bounded by [`Pytond::plan_cache_capacity`] — the cache-bound
+    /// regression suite asserts on this.
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.len()
     }
 
-    fn cache_insert(&self, key: PlanKey, prepared: Arc<PreparedQuery>) {
-        let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
-        if cache.len() >= PLAN_CACHE_CAP {
-            // Evict everything planned under an older stats version first;
-            // those entries would be re-planned on lookup anyway.
-            let current = self.db.stats_version();
-            cache.retain(|_, p| p.stats_version() == current);
-            // Still full of current plans: drop arbitrary entries to make
-            // room — never the whole cache, which would force every other
-            // hot source through a full recompile.
-            while cache.len() >= PLAN_CACHE_CAP {
-                let victim = cache.keys().next().cloned().expect("cache non-empty");
-                cache.remove(&victim);
-            }
-        }
-        cache.insert(key, prepared);
+    /// Upper bound on [`Pytond::cached_plans`]: the per-shard FIFO cap
+    /// times the shard count.
+    pub fn plan_cache_capacity(&self) -> usize {
+        SHARD_CAP * PLAN_CACHE_SHARDS
     }
 }
 
-/// Cache key for one (source, level, profile) combination.
-fn plan_key(source: &str, level: OptLevel, profile: Profile) -> PlanKey {
-    (source.to_string(), level, profile)
+/// Cache key for one (source, level, profile, stats version) combination.
+fn plan_key(source: &str, level: OptLevel, profile: Profile, stats_version: u64) -> PlanKey {
+    (source.to_string(), level, profile, stats_version)
 }
 
 #[cfg(test)]
@@ -424,7 +576,7 @@ mod tests {
     use pytond_common::{Column, Value};
 
     fn instance() -> Pytond {
-        let mut py = Pytond::new();
+        let py = Pytond::new();
         py.register_table(
             "t",
             Relation::new(vec![
@@ -529,7 +681,7 @@ mod tests {
 
     #[test]
     fn append_invalidates_cached_plans() {
-        let mut py = instance();
+        let py = instance();
         let src = "@pytond\ndef q(t):\n    return t[t.v > 2]\n";
         let backend = Backend::duckdb_sim(1);
         let before = py.prepare(src, &backend, OptLevel::O4).unwrap();
@@ -555,7 +707,7 @@ mod tests {
 
     #[test]
     fn execute_reuses_prepared_plan_and_survives_staleness() {
-        let mut py = instance();
+        let py = instance();
         let src = "@pytond\ndef q(t):\n    return t[t.v >= 2]\n";
         let compiled = py.compile(src, Dialect::DuckDb).unwrap();
         let backend = Backend::duckdb_sim(1);
@@ -579,6 +731,48 @@ mod tests {
         // Cross-profile execution re-plans for the requested backend.
         let hyper = py.execute(&compiled, &Backend::hyper_sim(1)).unwrap();
         assert!(stale.approx_eq(&hyper, 1e-9));
+    }
+
+    #[test]
+    fn facade_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pytond>();
+        assert_send_sync::<Database>();
+    }
+
+    /// The cache-bound regression for the O(1)-amortized sharded eviction:
+    /// feeding far more distinct sources than the capacity must (a) keep
+    /// the total entry count at or under the cap, (b) keep recently
+    /// inserted plans cached (FIFO evicts oldest-first, not wholesale
+    /// clears), and (c) keep re-inserted keys correct.
+    #[test]
+    fn plan_cache_stays_bounded_under_many_sources() {
+        let py = instance();
+        let backend = Backend::duckdb_sim(1);
+        let cap = py.plan_cache_capacity();
+        let src = |i: usize| format!("@pytond\ndef q(t):\n    return t[t.v > {i}]\n");
+        for i in 0..cap * 2 {
+            py.prepare(&src(i), &backend, OptLevel::O4).unwrap();
+        }
+        assert!(
+            py.cached_plans() <= cap,
+            "cache exceeded its bound: {} > {cap}",
+            py.cached_plans()
+        );
+        // The most recent insert is still cached (same Arc on re-lookup).
+        let last = src(cap * 2 - 1);
+        let a = py.prepare(&last, &backend, OptLevel::O4).unwrap();
+        let b = py.prepare(&last, &backend, OptLevel::O4).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "fresh entry was evicted prematurely");
+        // Re-inserting an existing key must not inflate the count or evict
+        // the entry itself (the stale-FIFO-record path).
+        let before = py.cached_plans();
+        for _ in 0..8 {
+            py.prepare(&last, &backend, OptLevel::O4).unwrap();
+        }
+        assert_eq!(py.cached_plans(), before);
+        let c = py.prepare(&last, &backend, OptLevel::O4).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
     }
 
     #[test]

@@ -15,14 +15,14 @@
 //!   not part of the projection).
 
 use crate::ast::*;
-use crate::db::Database;
+use crate::db::Snapshot;
 use crate::expr::{BExpr, LikePattern, SFunc};
 use crate::plan::{BAgg, BoundQuery, JKind, LogicalPlan};
 use crate::table::{Field, Schema};
 use pytond_common::{DType, Error, Result, Value};
 
 /// Binds a parsed query against the database catalog.
-pub fn bind_query(db: &Database, q: &Query) -> Result<BoundQuery> {
+pub fn bind_query(db: &Snapshot, q: &Query) -> Result<BoundQuery> {
     let mut binder = Binder {
         db,
         ctes: Vec::new(),
@@ -67,7 +67,7 @@ fn rename_output(plan: LogicalPlan, names: &[String]) -> LogicalPlan {
 }
 
 struct Binder<'a> {
-    db: &'a Database,
+    db: &'a Snapshot,
     ctes: Vec<(String, LogicalPlan)>,
 }
 

@@ -1,15 +1,28 @@
-//! The database façade: table registry, the compile-once/execute-many
-//! [`PreparedQuery`] API, and the convenience `execute_sql` wrappers.
+//! The database façade: the `Arc`-cloneable multi-client [`Database`]
+//! handle, immutable [`Snapshot`] versions of the table set, the
+//! compile-once/execute-many [`PreparedQuery`] API, and the convenience
+//! `execute_sql` wrappers.
+//!
+//! **Concurrency model** (full treatment in `docs/SERVING.md`): a
+//! `Database` is a cheap-to-clone handle that any number of threads may
+//! read and write simultaneously. The table set lives in immutable,
+//! versioned [`Snapshot`]s published through
+//! [`pytond_common::version::Versioned`]; every query pins exactly one
+//! snapshot for its whole execution, so concurrent `register`/`append`
+//! calls never tear, block, or become partially visible to an in-flight
+//! read. Writers serialize among themselves and publish a new version by
+//! copy-on-append — readers of older versions keep them alive via `Arc`.
 //!
 //! Planning (parse → bind → optimize) and execution are separate phases:
 //! [`Database::prepare`] (from SQL text) and [`Database::prepare_query`]
 //! (from an already-built AST, e.g. the direct TondIR lowering in
-//! [`crate::lower`]) run the whole front-end once and return a
-//! [`PreparedQuery`]; [`Database::execute_prepared`] then runs the stored
-//! plan as many times as desired with zero per-call lexing, parsing,
-//! binding or optimization. Every `register`/`append` bumps a
-//! [`Database::stats_version`] counter so callers caching prepared plans
-//! can detect when the statistics that drove cost-based planning moved.
+//! [`crate::lower`]) run the whole front-end once against a pinned snapshot
+//! and return a [`PreparedQuery`]; [`Database::execute_prepared`] then runs
+//! the stored plan as many times as desired with zero per-call lexing,
+//! parsing, binding or optimization. Every `register`/`append` publishes a
+//! new snapshot version ([`Database::stats_version`]) so callers caching
+//! prepared plans can detect when the statistics that drove cost-based
+//! planning moved.
 
 use crate::ast::{Query, Select, SelectItem, SqlExpr, TableRef};
 use crate::bind::bind_query;
@@ -19,7 +32,9 @@ use crate::parser::parse_sql;
 use crate::plan::BoundQuery;
 use crate::table::StoredTable;
 use pytond_common::hash::FxHashMap;
-use pytond_common::{Error, Relation, Result};
+use pytond_common::version::Versioned;
+use pytond_common::{pool, Error, Relation, Result};
+use std::sync::{Arc, Mutex};
 
 /// Execution profile emulating the paper's three backends (see crate docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -86,63 +101,45 @@ impl EngineConfig {
     }
 }
 
-/// An in-memory database: named tables + SQL execution.
+/// One immutable, versioned view of the table set: what a single query
+/// executes against.
+///
+/// Snapshots are published by [`Database::register`]/[`Database::append`]
+/// and pinned by readers via [`Database::snapshot`] (or implicitly by every
+/// `prepare`/`execute` call). A pinned snapshot never changes — columns,
+/// statistics and zone maps are frozen at [`Snapshot::version`] — so a
+/// query's result is bit-identical to a serial run against that version
+/// regardless of concurrent writes. Stored tables are `Arc`-shared between
+/// versions; publishing version *v+1* clones only the table that changed
+/// (copy-on-append), the rest are pointer bumps.
 #[derive(Debug, Default)]
-pub struct Database {
-    tables: FxHashMap<String, StoredTable>,
-    /// Bumped on every `register`/`append`: the version of the table set and
-    /// its statistics that cost-based planning reads. Cached prepared plans
-    /// compare it to decide whether their join orders are still fresh.
-    stats_version: u64,
+pub struct Snapshot {
+    tables: FxHashMap<String, Arc<StoredTable>>,
+    /// The stats version this snapshot carries (0 = the empty database).
+    version: u64,
 }
 
-impl Database {
-    /// An empty database.
-    pub fn new() -> Database {
-        Database::default()
-    }
-
-    /// Registers (or replaces) a table, computing column statistics and zone
-    /// maps for the optimizer and the pruning scan path. Bumps the
-    /// [`Database::stats_version`], invalidating cached prepared plans.
-    pub fn register(&mut self, name: &str, rel: Relation) {
-        self.tables
-            .insert(name.to_lowercase(), StoredTable::from_relation(&rel));
-        self.stats_version += 1;
-    }
-
-    /// Appends a batch of rows to an existing table (columns must match the
-    /// stored schema in name, order and dtype). Statistics update
-    /// incrementally: only the trailing partial zone is recomputed. Bumps the
-    /// [`Database::stats_version`] on success, invalidating cached prepared
-    /// plans (their cost-based join orders were chosen for the old row
-    /// counts).
-    pub fn append(&mut self, name: &str, rel: &Relation) -> Result<()> {
-        let stored = self
-            .tables
-            .get_mut(&name.to_lowercase())
-            .ok_or_else(|| Error::Data(format!("unknown table '{name}'")))?;
-        stored.append_relation(rel)?;
-        self.stats_version += 1;
-        Ok(())
-    }
-
-    /// Version counter of the table set + statistics: incremented by every
-    /// [`Database::register`] and successful [`Database::append`]. A
-    /// [`PreparedQuery`] whose [`PreparedQuery::stats_version`] differs was
-    /// planned against stale statistics and should be re-prepared — for
-    /// fresh join orders after appends, and for correctness if a `register`
-    /// replaced a table's schema (see [`Database::execute_prepared`]).
-    pub fn stats_version(&self) -> u64 {
-        self.stats_version
+impl Snapshot {
+    /// The version counter of this view: incremented by every `register`
+    /// and successful `append` that produced it.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Looks a table up (case-insensitive).
     pub fn table(&self, name: &str) -> Option<&StoredTable> {
-        self.tables.get(&name.to_lowercase())
+        self.tables.get(&name.to_lowercase()).map(Arc::as_ref)
     }
 
-    /// Statistics snapshot over every registered table, for the optimizer.
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Statistics snapshot over every table in this version, for the
+    /// optimizer.
     fn stats_catalog(&self) -> StatsCatalog<'_> {
         let mut ctx = StatsCatalog::empty();
         for (name, stored) in &self.tables {
@@ -153,9 +150,181 @@ impl Database {
         ctx
     }
 
-    /// Parses one SQL statement and prepares it: profile checks, binding and
-    /// the full optimizer pipeline run **once**, here; the returned
-    /// [`PreparedQuery`] can then be executed any number of times.
+    /// Executes a prepared plan against **this** pinned version of the
+    /// data, regardless of what has been appended since. This is the
+    /// primitive the differential serving suite uses to prove snapshot
+    /// isolation: re-running the same plan on the same snapshot serially
+    /// must reproduce a concurrent run bit-for-bit.
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        config: &EngineConfig,
+    ) -> Result<Relation> {
+        let (rel, _) = self.run_bound(&prepared.bound, config)?;
+        Ok(rel)
+    }
+
+    /// Like [`Snapshot::execute_prepared`] but also returns a
+    /// [`QueryTrace`] (EXPLAIN rendering + executor counters, headed by the
+    /// snapshot version and the admission queue wait).
+    pub fn execute_prepared_traced(
+        &self,
+        prepared: &PreparedQuery,
+        config: &EngineConfig,
+    ) -> Result<(Relation, QueryTrace)> {
+        let (rel, metrics) = self.run_bound(&prepared.bound, config)?;
+        let trace = QueryTrace {
+            plan: format!(
+                "parallelism: {} worker thread(s)\nsnapshot: v{} (queue wait {} ns)\n{}",
+                metrics.threads,
+                metrics.snapshot_version,
+                metrics.queue_wait_ns,
+                render_plans(&prepared.bound)
+            ),
+            threads: metrics.threads,
+            snapshot_version: metrics.snapshot_version,
+            metrics,
+        };
+        Ok((rel, trace))
+    }
+
+    /// Pure execution of a bound query against this snapshot (shared by the
+    /// prepared entry points). Passes the query through the process-wide
+    /// [`pool::admission`] gate first; the measured queue wait lands in
+    /// [`ExecMetrics::queue_wait_ns`].
+    fn run_bound(
+        &self,
+        bound: &BoundQuery,
+        config: &EngineConfig,
+    ) -> Result<(Relation, ExecMetrics)> {
+        let ticket = pool::admission().admit();
+        let opts = ExecOptions {
+            threads: pool::resolve_threads(config.threads),
+            fused: matches!(config.profile, Profile::Fused | Profile::Lingo),
+            morsel: config.morsel,
+            zone_prune: config.zone_prune,
+        };
+        let (batch, schema, mut metrics) = execute_traced(self, bound, opts)?;
+        metrics.snapshot_version = self.version;
+        metrics.queue_wait_ns = ticket.queue_wait_ns;
+        drop(ticket);
+        Ok((batch.to_relation(&schema), metrics))
+    }
+}
+
+/// Everything the `Database` handles share: the current snapshot plus the
+/// writer lock that serializes version publication.
+#[derive(Debug, Default)]
+struct DbShared {
+    current: Versioned<Snapshot>,
+    /// Serializes writers: `register`/`append` read the current version,
+    /// build the next one off it, and publish — two concurrent writers must
+    /// not both base their copy on the same parent version.
+    write: Mutex<()>,
+}
+
+/// An in-memory database: named tables + SQL execution, shared by any
+/// number of client threads.
+///
+/// `Database` is a cheap `Clone` handle (an `Arc` internally): clone it
+/// into every client thread, or share one instance — all methods take
+/// `&self`. Reads pin an immutable [`Snapshot`]; writes publish a new
+/// version without blocking in-flight reads. See the module docs and
+/// `docs/SERVING.md` for the visibility rules.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    shared: Arc<DbShared>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Pins the current version of the table set. The returned snapshot is
+    /// immutable and stays valid (and consistent) for as long as the `Arc`
+    /// is held, no matter how many appends land after this call.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.shared.current.load()
+    }
+
+    /// Registers (or replaces) a table, computing column statistics and zone
+    /// maps for the optimizer and the pruning scan path, and publishes a new
+    /// snapshot version — invalidating cached prepared plans. In-flight
+    /// queries keep the version they pinned; they never observe the new
+    /// table.
+    pub fn register(&self, name: &str, rel: Relation) {
+        let _writer = self.shared.write.lock().expect("database writer poisoned");
+        let cur = self.shared.current.load();
+        let mut tables = cur.tables.clone();
+        tables.insert(
+            name.to_lowercase(),
+            Arc::new(StoredTable::from_relation(&rel)),
+        );
+        self.shared.current.publish(Arc::new(Snapshot {
+            tables,
+            version: cur.version + 1,
+        }));
+    }
+
+    /// Appends a batch of rows to an existing table (columns must match the
+    /// stored schema in name, order and dtype) and publishes a new snapshot
+    /// version on success, invalidating cached prepared plans (their
+    /// cost-based join orders were chosen for the old row counts).
+    ///
+    /// Appends are **copy-on-append**: the appended table's columns are
+    /// copied into the new version (readers may still hold the old one),
+    /// all other tables are shared by pointer, and statistics update
+    /// incrementally (only the trailing partial zone is recomputed). A
+    /// failed append publishes nothing — the current version is untouched.
+    pub fn append(&self, name: &str, rel: &Relation) -> Result<()> {
+        let _writer = self.shared.write.lock().expect("database writer poisoned");
+        let cur = self.shared.current.load();
+        let key = name.to_lowercase();
+        let stored = cur
+            .tables
+            .get(&key)
+            .ok_or_else(|| Error::Data(format!("unknown table '{name}'")))?;
+        // Copy-on-append: deep-clone the one table being appended (its
+        // columns are Arc-shared with the published snapshot, so the first
+        // mutation copies them), leave every other table Arc-shared.
+        let mut grown = (**stored).clone();
+        grown.append_relation(rel)?;
+        let mut tables = cur.tables.clone();
+        tables.insert(key, Arc::new(grown));
+        self.shared.current.publish(Arc::new(Snapshot {
+            tables,
+            version: cur.version + 1,
+        }));
+        Ok(())
+    }
+
+    /// Version counter of the table set + statistics: incremented by every
+    /// [`Database::register`] and successful [`Database::append`]. A
+    /// [`PreparedQuery`] whose [`PreparedQuery::stats_version`] differs was
+    /// planned against stale statistics and should be re-prepared — for
+    /// fresh join orders after appends, and for correctness if a `register`
+    /// replaced a table's schema (see [`Database::execute_prepared`]).
+    pub fn stats_version(&self) -> u64 {
+        self.shared.current.load().version
+    }
+
+    /// Looks a table up in the current version (case-insensitive). The
+    /// returned `Arc` is a pinned, immutable view of that one table.
+    pub fn table(&self, name: &str) -> Option<Arc<StoredTable>> {
+        self.shared
+            .current
+            .load()
+            .tables
+            .get(&name.to_lowercase())
+            .cloned()
+    }
+
+    /// Parses one SQL statement and prepares it against the current
+    /// snapshot: profile checks, binding and the full optimizer pipeline
+    /// run **once**, here; the returned [`PreparedQuery`] can then be
+    /// executed any number of times.
     pub fn prepare(&self, sql: &str, profile: Profile) -> Result<PreparedQuery> {
         let query = parse_sql(sql)?;
         self.prepare_query(&query, profile)
@@ -164,13 +333,16 @@ impl Database {
     /// Prepares an already-built SQL AST (no text involved): the entry point
     /// for [`crate::lower`]'s direct TondIR lowering, and the tail of
     /// [`Database::prepare`]. Binding and optimization are shared with the
-    /// text path, so both produce identical plans by construction.
+    /// text path, so both produce identical plans by construction. The
+    /// whole pipeline runs against one pinned snapshot — a concurrent
+    /// append cannot feed binding one version and costing another.
     pub fn prepare_query(&self, query: &Query, profile: Profile) -> Result<PreparedQuery> {
         if profile == Profile::Lingo {
             lingo_check(query)?;
         }
-        let mut bound = bind_query(self, query)?;
-        let mut ctx = self.stats_catalog();
+        let snap = self.snapshot();
+        let mut bound = bind_query(&snap, query)?;
+        let mut ctx = snap.stats_catalog();
         bound.ctes = bound
             .ctes
             .into_iter()
@@ -184,58 +356,54 @@ impl Database {
         Ok(PreparedQuery {
             bound,
             profile,
-            stats_version: self.stats_version,
+            stats_version: snap.version,
         })
     }
 
-    /// Executes a prepared plan. No lexing, parsing, binding or planning
-    /// happens here — only the physical execution options are derived from
-    /// `config`. A plan gone stale through [`Database::append`] still
-    /// executes correctly (appends never change a table's schema); it merely
-    /// keeps the join order chosen for the old statistics. A plan gone stale
+    /// Executes a prepared plan against the current snapshot, pinned for
+    /// the whole run. No lexing, parsing, binding or planning happens here —
+    /// only the physical execution options are derived from `config`. A
+    /// plan gone stale through [`Database::append`] still executes
+    /// correctly (appends never change a table's schema); it merely keeps
+    /// the join order chosen for the old statistics. A plan gone stale
     /// through [`Database::register`] **replacing** a table must be
     /// re-prepared instead — scans bind stored column indices, so a changed
     /// schema invalidates the plan itself (the `Pytond` facade's cache never
     /// executes stale plans for exactly this reason).
+    ///
+    /// To execute against an explicitly pinned older version, use
+    /// [`Database::snapshot`] + [`Snapshot::execute_prepared`].
     pub fn execute_prepared(
         &self,
         prepared: &PreparedQuery,
         config: &EngineConfig,
     ) -> Result<Relation> {
-        let (rel, _) = self.run_bound(&prepared.bound, config)?;
-        Ok(rel)
+        self.snapshot().execute_prepared(prepared, config)
     }
 
     /// Like [`Database::execute_prepared`] but also returns a [`QueryTrace`]
-    /// (EXPLAIN rendering + executor counters).
+    /// (EXPLAIN rendering + executor counters, including the pinned
+    /// snapshot version and the admission queue wait).
     pub fn execute_prepared_traced(
         &self,
         prepared: &PreparedQuery,
         config: &EngineConfig,
     ) -> Result<(Relation, QueryTrace)> {
-        let (rel, metrics) = self.run_bound(&prepared.bound, config)?;
-        let trace = QueryTrace {
-            plan: format!(
-                "parallelism: {} worker thread(s)\n{}",
-                metrics.threads,
-                render_plans(&prepared.bound)
-            ),
-            threads: metrics.threads,
-            metrics,
-        };
-        Ok((rel, trace))
+        self.snapshot().execute_prepared_traced(prepared, config)
     }
 
-    /// Table names, sorted.
+    /// Table names in the current version, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.keys().cloned().collect();
-        names.sort();
-        names
+        self.shared.current.load().table_names()
     }
 
     /// Parses, binds, optimizes and executes one SQL statement — the
     /// one-shot convenience wrapper over [`Database::prepare`] +
     /// [`Database::execute_prepared`].
+    ///
+    /// Note prepare and execute pin *separate* snapshots here: an append
+    /// landing between them executes the (still correct) plan against the
+    /// newer data, exactly like any other stale-plan execution.
     pub fn execute_sql(&self, sql: &str, config: &EngineConfig) -> Result<Relation> {
         let prepared = self.prepare(sql, config.profile)?;
         self.execute_prepared(&prepared, config)
@@ -251,22 +419,6 @@ impl Database {
     ) -> Result<(Relation, QueryTrace)> {
         let prepared = self.prepare(sql, config.profile)?;
         self.execute_prepared_traced(&prepared, config)
-    }
-
-    /// Pure execution of a bound query (shared by the prepared entry points).
-    fn run_bound(
-        &self,
-        bound: &BoundQuery,
-        config: &EngineConfig,
-    ) -> Result<(Relation, ExecMetrics)> {
-        let opts = ExecOptions {
-            threads: pytond_common::pool::resolve_threads(config.threads),
-            fused: matches!(config.profile, Profile::Fused | Profile::Lingo),
-            morsel: config.morsel,
-            zone_prune: config.zone_prune,
-        };
-        let (batch, schema, metrics) = execute_traced(self, bound, opts)?;
-        Ok((batch.to_relation(&schema), metrics))
     }
 
     /// Like [`Database::execute_sql`] but returns the optimized plan's
@@ -313,7 +465,7 @@ impl PreparedQuery {
     /// the cost-based join orders in this plan are still the ones the
     /// optimizer would pick today.
     pub fn is_current(&self, db: &Database) -> bool {
-        self.stats_version == db.stats_version
+        self.stats_version == db.stats_version()
     }
 
     /// EXPLAIN rendering of every plan in the query (CTEs + root).
@@ -340,26 +492,35 @@ fn render_plans(bound: &BoundQuery) -> String {
 #[derive(Debug, Clone)]
 pub struct QueryTrace {
     /// EXPLAIN rendering of all CTE plans and the root plan, headed by a
-    /// `parallelism: N worker thread(s)` line.
+    /// `parallelism: N worker thread(s)` line and a
+    /// `snapshot: vN (queue wait N ns)` line.
     pub plan: String,
     /// Resolved degree of parallelism the query executed with.
     pub threads: usize,
+    /// The table-set version the query executed against (pinned for the
+    /// whole run — see `docs/SERVING.md`).
+    pub snapshot_version: u64,
     /// Executor counters (zones pruned/scanned, joins flipped, dispenser
-    /// claims per worker, join-build partitions).
+    /// claims per worker, join-build partitions, snapshot version and
+    /// admission queue wait).
     pub metrics: ExecMetrics,
 }
 
 impl QueryTrace {
-    /// Human-readable runtime summary: parallelism, per-worker morsel
-    /// claims, scan pruning and join counters — the numbers the
-    /// `docs/EXECUTION.md` and ARCHITECTURE.md walk-throughs quote.
+    /// Human-readable runtime summary: parallelism, snapshot version,
+    /// admission queue wait, per-worker morsel claims, scan pruning and
+    /// join counters — the numbers the `docs/EXECUTION.md`,
+    /// `docs/SERVING.md` and ARCHITECTURE.md walk-throughs quote.
     pub fn summary(&self) -> String {
         format!(
             "parallelism: {} worker thread(s)\n\
+             snapshot: v{} (queue wait {} ns)\n\
              morsels claimed per worker: {:?}\n\
              scan zones: {} evaluated, {} pruned\n\
              joins flipped: {}, build partitions: {}",
             self.threads,
+            self.metrics.snapshot_version,
+            self.metrics.queue_wait_ns,
             self.metrics.morsels_claimed_per_worker,
             self.metrics.morsels_scanned,
             self.metrics.morsels_pruned,
@@ -455,7 +616,7 @@ mod tests {
     use pytond_common::{Column, Value};
 
     fn db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.register(
             "t",
             Relation::new(vec![
@@ -642,7 +803,7 @@ mod tests {
     /// A clustered (sequentially keyed) table: zone maps give tight per-zone
     /// bounds, so selective range scans skip most morsels.
     fn clustered_db(rows: i64) -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.register(
             "events",
             Relation::new(vec![
@@ -707,7 +868,7 @@ mod tests {
     /// the greedy cost-based rewrite must start from the cheap
     /// customer⋈orders pair instead of crossing lineitem with customer.
     fn q3_shaped_db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         let n_li = 8_000i64;
         db.register(
             "lineitem",
@@ -802,7 +963,7 @@ mod tests {
 
     #[test]
     fn joins_over_empty_tables_plan_and_run() {
-        let mut db = db();
+        let db = db();
         db.register(
             "e",
             Relation::new(vec![("a".into(), Column::from_i64(vec![]))]).unwrap(),
@@ -819,7 +980,7 @@ mod tests {
 
     #[test]
     fn failed_append_leaves_table_untouched() {
-        let mut db = clustered_db(100);
+        let db = clustered_db(100);
         // Second column has the wrong dtype: nothing may be appended.
         let bad = Relation::new(vec![
             ("id".into(), Column::from_i64(vec![100])),
@@ -837,7 +998,7 @@ mod tests {
 
     #[test]
     fn append_updates_data_and_stats() {
-        let mut db = clustered_db(5_000);
+        let db = clustered_db(5_000);
         let more = Relation::new(vec![
             ("id".into(), Column::from_i64((5_000..6_000).collect())),
             ("v".into(), Column::from_f64(vec![1.0; 1_000])),
@@ -851,7 +1012,8 @@ mod tests {
             )
             .unwrap();
         assert_eq!(r.column("n").unwrap().get(0), Value::Int(1_000));
-        let stats = db.table("events").unwrap().stats.as_ref().unwrap();
+        let stored = db.table("events").unwrap();
+        let stats = stored.stats.as_ref().unwrap();
         assert_eq!(stats.row_count, 6_000);
         assert_eq!(stats.columns[0].max, Value::Int(5_999));
         // Mismatched schema is rejected.
@@ -861,7 +1023,7 @@ mod tests {
 
     #[test]
     fn register_and_append_bump_stats_version() {
-        let mut db = Database::new();
+        let db = Database::new();
         assert_eq!(db.stats_version(), 0);
         db.register(
             "t",
@@ -906,7 +1068,7 @@ mod tests {
     /// both plans still agree on results over the current data.
     #[test]
     fn append_invalidates_prepared_plans_and_replans_join_order() {
-        let mut db = Database::new();
+        let db = Database::new();
         let small_li = 40i64;
         db.register(
             "lineitem",

@@ -24,7 +24,7 @@
 //!   compilation at this engine's abstraction level.
 
 use crate::ast::AggName;
-use crate::db::Database;
+use crate::db::Snapshot;
 use crate::expr::BExpr;
 use crate::plan::{BAgg, BoundQuery, JKind, LogicalPlan};
 use crate::stats::ZONE_ROWS;
@@ -98,17 +98,24 @@ pub struct ExecMetrics {
     /// Hash-join build partitions constructed concurrently (0 when every
     /// build ran serially on one partition).
     pub partitions_built: u64,
+    /// The [`crate::db::Snapshot::version`] the query executed against —
+    /// the whole run saw exactly this version of every table (stamped by
+    /// the snapshot entry points; 0 for direct executor calls).
+    pub snapshot_version: u64,
+    /// Nanoseconds the query waited in the admission gate before executing
+    /// (see [`pytond_common::pool::admission`]); 0 when a slot was free.
+    pub queue_wait_ns: u64,
 }
 
 /// Executes a bound query, materializing CTEs in order.
-pub fn execute(db: &Database, q: &BoundQuery, opts: ExecOptions) -> Result<(Batch, Schema)> {
+pub fn execute(db: &Snapshot, q: &BoundQuery, opts: ExecOptions) -> Result<(Batch, Schema)> {
     let (batch, schema, _) = execute_traced(db, q, opts)?;
     Ok((batch, schema))
 }
 
 /// Like [`execute`], also returning the run's [`ExecMetrics`].
 pub fn execute_traced(
-    db: &Database,
+    db: &Snapshot,
     q: &BoundQuery,
     opts: ExecOptions,
 ) -> Result<(Batch, Schema, ExecMetrics)> {
@@ -146,7 +153,7 @@ pub fn execute_traced(
 }
 
 struct Executor<'a> {
-    db: &'a Database,
+    db: &'a Snapshot,
     temps: FxHashMap<String, StoredTable>,
     opts: ExecOptions,
     /// Updated from the single-threaded operator driver only (workers never

@@ -65,5 +65,5 @@ pub mod plan;
 pub mod stats;
 pub mod table;
 
-pub use db::{Database, EngineConfig, PreparedQuery, Profile, QueryTrace};
+pub use db::{Database, EngineConfig, PreparedQuery, Profile, QueryTrace, Snapshot};
 pub use plan::LogicalPlan;

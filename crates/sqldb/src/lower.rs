@@ -601,7 +601,7 @@ mod tests {
     }
 
     fn db() -> Database {
-        let mut db = Database::new();
+        let db = Database::new();
         db.register(
             "r",
             Relation::new(vec![

@@ -6,6 +6,8 @@
 //! defaults to a laptop-scale fraction (see DESIGN.md) with the scale factor
 //! exposed as a knob.
 
+#![warn(missing_docs)]
+
 pub mod gen;
 pub mod queries;
 
@@ -16,7 +18,7 @@ use pytond_sqldb::Database;
 
 /// Registers the dataset into a raw engine database (used by hand-written
 /// SQL tests and benchmarks).
-pub fn register_database(db: &mut Database, data: &TpchData) {
+pub fn register_database(db: &Database, data: &TpchData) {
     for (name, rel, _) in data.tables() {
         db.register(name, rel.clone());
     }

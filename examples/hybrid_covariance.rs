@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Part 1: the hybrid pipeline of the paper's Figure 2 ---
     println!("== hybrid covariance (join → einsum) ==");
     let tables = hybrid_tables(1);
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     for (name, rel, unique) in &tables {
         let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
         py.register_table(name, rel.clone(), &keys);
@@ -49,14 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (r, t.elapsed())
         };
         // Dense relational layout.
-        let mut dense_py = Pytond::new();
+        let dense_py = Pytond::new();
         dense_py.register_table("m", cov::dense_relation(&m), &[&["__id"]]);
         let dense = dense_py.compile(cov::covariance_dense_source(), Dialect::DuckDb)?;
         let t = Instant::now();
         dense_py.execute(&dense, &Backend::duckdb_sim(1))?;
         let dense_time = t.elapsed();
         // Sparse COO layout (Blacher et al.).
-        let mut sparse_py = Pytond::new();
+        let sparse_py = Pytond::new();
         sparse_py.register_table("m", cov::sparse_relation(&m), &[]);
         let sparse = sparse_py.compile(cov::covariance_sparse_source(), Dialect::DuckDb)?;
         let t = Instant::now();

@@ -10,7 +10,7 @@ use pytond_repro::pytond::{Backend, Dialect, Pytond};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Load data into the embedded database (in the paper's setting the
     //    data already lives in the DBMS).
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     py.register_table(
         "sales",
         Relation::new(vec![

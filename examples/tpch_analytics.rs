@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("running TPC-H {} at SF 0.01\n", q.name);
 
     let data = tpch::generate(0.01);
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     for (name, rel, unique) in data.tables() {
         let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
         py.register_table(name, rel.clone(), &keys);

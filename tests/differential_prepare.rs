@@ -22,7 +22,7 @@ fn pairings() -> [(Dialect, Profile); 3] {
 
 fn tpch_instance() -> Pytond {
     let data = generate(0.002);
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     for (name, rel, unique) in data.tables() {
         let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
         py.register_table(name, rel.clone(), &keys);
@@ -33,8 +33,8 @@ fn tpch_instance() -> Pytond {
 /// Optimized TondIR for a source, bypassing the facade so the same program
 /// can be pushed through both the text and the direct path.
 fn optimize_ir(py: &Pytond, source: &str, level: OptLevel) -> Program {
-    let raw = pytond_translate::translate_source(source, py.catalog()).expect("translate");
-    pytond_optimizer::optimize(raw, py.catalog(), level)
+    let raw = pytond_translate::translate_source(source, &py.catalog()).expect("translate");
+    pytond_optimizer::optimize(raw, &py.catalog(), level)
 }
 
 /// Asserts the two paths agree for one program on one dialect/profile pair:
@@ -42,10 +42,10 @@ fn optimize_ir(py: &Pytond, source: &str, level: OptLevel) -> Program {
 /// EXPLAIN text and bit-identical results.
 fn assert_paths_agree(py: &Pytond, name: &str, ir: &Program, dialect: Dialect, profile: Profile) {
     let db = py.database();
-    let sql = pytond_sqlgen::generate_sql(ir, py.catalog(), dialect)
+    let sql = pytond_sqlgen::generate_sql(ir, &py.catalog(), dialect)
         .unwrap_or_else(|e| panic!("{name}: sqlgen failed: {e}"));
     let text = db.prepare(&sql, profile);
-    let direct = prepare_program(db, ir, py.catalog(), profile);
+    let direct = prepare_program(db, ir, &py.catalog(), profile);
     match (text, direct) {
         (Err(te), Err(de)) => {
             // Typically the LingoDB profile gates (window functions, Q12's
@@ -108,7 +108,7 @@ fn tpch_unoptimized_ir_also_agrees() {
 #[test]
 fn hybrid_workloads_direct_lowering_matches_sql_text_path() {
     for w in all_workloads(1) {
-        let mut py = Pytond::new();
+        let py = Pytond::new();
         for (name, rel, unique) in &w.tables {
             let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
             py.register_table(name, rel.clone(), &keys);

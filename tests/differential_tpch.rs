@@ -9,7 +9,7 @@ use pytond_tpch::{all_queries, generate};
 
 fn instance() -> (Pytond, pytond_tpch::TpchData) {
     let data = generate(0.002);
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     for (name, rel, unique) in data.tables() {
         let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
         py.register_table(name, rel.clone(), &keys);

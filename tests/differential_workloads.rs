@@ -8,7 +8,7 @@ use pytond_ndarray::einsum;
 use pytond_workloads::{all_workloads, covariance as cov};
 
 fn register(w: &pytond_workloads::Workload) -> Pytond {
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     for (name, rel, unique) in &w.tables {
         let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
         py.register_table(name, rel.clone(), &keys);
@@ -82,7 +82,7 @@ fn covariance_dense_and_sparse_paths_match_numpy() {
         let m = cov::gen_matrix(500, 8, sparsity, 5);
         let reference = einsum("ij,ik->jk", &[&m, &m]).unwrap();
         // Dense path.
-        let mut py = Pytond::new();
+        let py = Pytond::new();
         py.register_table("m", cov::dense_relation(&m), &[&["__id"]]);
         let dense = py
             .run(cov::covariance_dense_source(), &Backend::duckdb_sim(1))
@@ -98,7 +98,7 @@ fn covariance_dense_and_sparse_paths_match_numpy() {
             }
         }
         // Sparse (COO) path: result rows exist only for non-zero cells.
-        let mut py = Pytond::new();
+        let py = Pytond::new();
         py.register_table("m", cov::sparse_relation(&m), &[]);
         let sparse = py
             .run(cov::covariance_sparse_source(), &Backend::duckdb_sim(1))

@@ -86,7 +86,7 @@ fn check_source(name: &str, py: &Pytond, source: &str, profile: Profile) {
 #[test]
 fn tpch_bit_identical_across_thread_counts() {
     let data = pytond_tpch::generate(0.002);
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     for (name, rel, unique) in data.tables() {
         let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
         py.register_table(name, rel.clone(), &keys);
@@ -104,7 +104,7 @@ fn tpch_bit_identical_across_thread_counts() {
 #[test]
 fn hybrid_workloads_bit_identical_across_thread_counts() {
     for w in pytond_workloads::all_workloads(1) {
-        let mut py = Pytond::new();
+        let py = Pytond::new();
         for (name, rel, unique) in &w.tables {
             let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
             py.register_table(name, rel.clone(), &keys);
@@ -159,7 +159,7 @@ fn corpus_db(dtype: u8, n: usize, domain: i64, clustered: bool, null_every: usiz
     let f: Vec<f64> = (0..n)
         .map(|i| ((i as f64) * 0.618_033_988_749).fract() * 1e6 + 0.1)
         .collect();
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(
         "t",
         Relation::new(vec![
@@ -242,7 +242,7 @@ fn null_heavy_db(n: usize) -> Database {
             r_key.push(Value::Int((i % 700) as i64)).unwrap();
         }
     }
-    let mut db = Database::new();
+    let db = Database::new();
     db.register(
         "l",
         Relation::new(vec![

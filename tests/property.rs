@@ -27,7 +27,7 @@ fn table(rows: &[(i64, f64, u8)]) -> Relation {
 }
 
 fn instance(rel: &Relation) -> Pytond {
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     py.register_table("t", rel.clone(), &[]);
     py
 }
@@ -92,7 +92,7 @@ proptest! {
             ("k".into(), Column::from_i64(keys.clone())),
             ("w".into(), Column::from_f64(keys.iter().map(|&k| k as f64).collect())),
         ]).unwrap();
-        let mut py = Pytond::new();
+        let py = Pytond::new();
         py.register_table("t", rel.clone(), &[]);
         py.register_table("u", other.clone(), &[]);
         let source = "@pytond\ndef q(t, u):\n    keep = t[t.k.isin(u['k'])]\n    return keep.sort_values(by=['k', 'v'])\n";

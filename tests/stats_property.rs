@@ -112,7 +112,7 @@ proptest! {
         a in -50i64..550,
         b in -50i64..550,
     ) {
-        let mut db = Database::new();
+        let db = Database::new();
         db.register(
             "t",
             table_of(key_column(dtype, n, domain, clustered == 1, null_every)),
@@ -133,7 +133,7 @@ proptest! {
         n in 9_000usize..20_000,
         frac in 1i64..10,
     ) {
-        let mut db = Database::new();
+        let db = Database::new();
         db.register("t", table_of(key_column(0, n, 1_000_000, true, 0)));
         let sql = format!("SELECT v FROM t WHERE k < {}", 1_000_000 * frac / 100);
         let (pruned, full, pruned_zones) = run_both(&db, &sql);
@@ -157,19 +157,17 @@ proptest! {
         let (c1, c2) = (cut_a % n, cut_b % n);
         let (c1, c2) = (c1.min(c2).max(1), c1.max(c2).max(1));
 
-        let mut whole = Database::new();
+        let whole = Database::new();
         whole.register("t", rel.clone());
-        let mut batched = Database::new();
+        let batched = Database::new();
         batched.register("t", slice_rel(&rel, 0, c1));
         if c2 > c1 {
             batched.append("t", &slice_rel(&rel, c1, c2)).unwrap();
         }
         batched.append("t", &slice_rel(&rel, c1.max(c2), n)).unwrap();
 
-        let (sa, sb) = (
-            whole.table("t").unwrap().stats.as_ref().unwrap(),
-            batched.table("t").unwrap().stats.as_ref().unwrap(),
-        );
+        let (ta, tb) = (whole.table("t").unwrap(), batched.table("t").unwrap());
+        let (sa, sb) = (ta.stats.as_ref().unwrap(), tb.stats.as_ref().unwrap());
         prop_assert!(sa.row_count == sb.row_count);
         for (ca, cb) in sa.columns.iter().zip(&sb.columns) {
             prop_assert!(ca.null_count == cb.null_count);
@@ -214,7 +212,7 @@ fn nan_floats_do_not_break_pruning() {
             col.push(Value::Float(i as f64)).unwrap();
         }
     }
-    let mut db = Database::new();
+    let db = Database::new();
     db.register("t", table_of(col));
     for sql in [
         "SELECT COUNT(*) AS c FROM t WHERE k < 100.0",

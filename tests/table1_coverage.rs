@@ -7,7 +7,7 @@ use pytond_common::{Column, Relation};
 use pytond_workloads::covariance as cov;
 
 fn frame_instance() -> Pytond {
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     py.register_table(
         "t",
         Relation::new(vec![
@@ -37,7 +37,7 @@ fn supports_pandas() {
 #[test]
 fn supports_numpy() {
     let m = cov::gen_matrix(64, 4, 1.0, 3);
-    let mut py = Pytond::new();
+    let py = Pytond::new();
     py.register_table("m", cov::dense_relation(&m), &[&["__id"]]);
     let out = py
         .run(cov::covariance_dense_source(), &Backend::duckdb_sim(1))
@@ -49,12 +49,12 @@ fn supports_numpy() {
 #[test]
 fn supports_multiple_layouts() {
     let m = cov::gen_matrix(64, 4, 0.2, 3);
-    let mut dense = Pytond::new();
+    let dense = Pytond::new();
     dense.register_table("m", cov::dense_relation(&m), &[&["__id"]]);
     assert!(dense
         .run(cov::covariance_dense_source(), &Backend::duckdb_sim(1))
         .is_ok());
-    let mut sparse = Pytond::new();
+    let sparse = Pytond::new();
     sparse.register_table("m", cov::sparse_relation(&m), &[]);
     assert!(sparse
         .run(cov::covariance_sparse_source(), &Backend::duckdb_sim(1))
