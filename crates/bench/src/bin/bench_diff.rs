@@ -153,7 +153,9 @@ fn load(path: &str) -> Result<BTreeMap<String, f64>, String> {
 
 /// Parses the criterion shim's JSON summary. The shim writes one object per
 /// line with a fixed field order, so a line-oriented scan is exact for the
-/// only producer this tool consumes.
+/// only producer this tool consumes. Compact re-encodings of that shape —
+/// e.g. `jq -c '.[]'` NDJSON from the CI merge step, which drops the space
+/// after each colon — are accepted too.
 fn parse(text: &str) -> Result<BTreeMap<String, f64>, String> {
     let mut out = BTreeMap::new();
     for line in text.lines() {
@@ -173,19 +175,23 @@ fn parse(text: &str) -> Result<BTreeMap<String, f64>, String> {
 }
 
 fn field_str(line: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\": \"");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
+    let rest = after_key(line, key)?.strip_prefix('"')?;
     let end = rest.find('"')?;
     Some(rest[..end].to_string())
 }
 
 fn field_num(line: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\": ");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
+    let rest = after_key(line, key)?;
     let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
+}
+
+/// Slice just past `"key":` and any following whitespace — tolerates both
+/// the shim's `"key": v` spacing and compact `"key":v`.
+fn after_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    Some(line[start..].trim_start())
 }
 
 #[cfg(test)]
@@ -209,6 +215,19 @@ mod tests {
     #[test]
     fn rejects_empty_input() {
         assert!(parse("[]").is_err());
+    }
+
+    #[test]
+    fn parses_compact_ndjson_reencoding() {
+        // What `jq -c '.[]'` makes of the shim output (the CI merge step).
+        let m = parse(
+            "{\"group\":\"fig3\",\"bench\":\"python_1t/Q1\",\"iters\":2,\"mean_ns\":100}\n\
+             {\"group\":\"shedding\",\"bench\":\"oversub_8c/cap1\",\"iters\":2,\"mean_ns\":2.5e6}\n",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["fig3/python_1t/Q1"], 100.0);
+        assert_eq!(m["shedding/oversub_8c/cap1"], 2.5e6);
     }
 
     fn map(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {

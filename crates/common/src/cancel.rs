@@ -1,0 +1,376 @@
+//! Cooperative query cancellation: deadlines, explicit cancel, memory budgets.
+//!
+//! A [`CancelToken`] is a cheap `Arc`-shared handle created once per query by
+//! the serving layer and threaded through the executor. The executor polls it
+//! at every *morsel claim*, *join-build partition* and *aggregation-merge*
+//! step via [`CancelToken::check`]; allocation-heavy operators additionally
+//! charge their coarse allocations via [`CancelToken::charge`]. A poll is two
+//! relaxed atomic loads plus (when a deadline is armed) one monotonic clock
+//! read, so the per-morsel overhead is in the tens of nanoseconds.
+//!
+//! The token is *sticky*: once it trips (explicit cancel, deadline expiry or
+//! budget exhaustion) every subsequent `check`/`charge` returns the same
+//! error class, so a query unwinds promptly no matter which worker observes
+//! the trip first.
+//!
+//! Tokens also double as per-query resource meters: the number of cooperative
+//! checks and the cumulative charged bytes are exposed so the serving layer
+//! can surface them in `ExecMetrics`/`QueryTrace`.
+//!
+//! See `docs/RESILIENCE.md` for deadline semantics and the transient-error
+//! taxonomy.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::error::{Error, Result};
+
+/// Terminal states a token can trip into. `LIVE` is the initial state; the
+/// others are sticky.
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const TIMED_OUT: u8 = 2;
+const EXHAUSTED: u8 = 3;
+
+#[derive(Debug)]
+struct Inner {
+    /// Reference point for the deadline; taken at token creation.
+    created: Instant,
+    /// Deadline in nanoseconds after `created`; 0 = no deadline.
+    deadline_ns: AtomicU64,
+    /// Memory budget in bytes; 0 = no budget.
+    budget_bytes: AtomicU64,
+    /// Cumulative bytes charged so far (a coarse over-approximation of live
+    /// memory: releases are not tracked, so this is also the peak).
+    used_bytes: AtomicU64,
+    /// One of `LIVE`/`CANCELLED`/`TIMED_OUT`/`EXHAUSTED`.
+    state: AtomicU8,
+    /// Number of cooperative `check` calls observed.
+    checks: AtomicU64,
+    /// Whether the executor should poll this token at fine granularity.
+    /// Disarmed tokens still count checks but skip the clock read and never
+    /// force the fine-grained serial morsel path.
+    armed: bool,
+    /// Query context (e.g. `q@v3`) included in error messages and panic
+    /// payloads; set once by the serving layer.
+    label: OnceLock<String>,
+}
+
+/// Shared, cloneable cancellation handle for one query.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same state, so a
+/// handle kept by the caller can cancel a query mid-flight from another
+/// thread.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    fn with_armed(armed: bool) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                created: Instant::now(),
+                deadline_ns: AtomicU64::new(0),
+                budget_bytes: AtomicU64::new(0),
+                used_bytes: AtomicU64::new(0),
+                state: AtomicU8::new(LIVE),
+                checks: AtomicU64::new(0),
+                armed,
+                label: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// A live, armed token with no deadline or budget. Use this when the
+    /// caller intends to [`cancel`](Self::cancel) the query from another
+    /// thread: armed tokens are polled at per-morsel granularity even on the
+    /// serial execution path.
+    pub fn new() -> Self {
+        Self::with_armed(true)
+    }
+
+    /// A token that only meters (check counts); it is never polled at fine
+    /// granularity and carries no deadline or budget. The serving layer uses
+    /// this when no lifecycle limits apply, keeping the unlimited path free
+    /// of clock reads.
+    pub fn disarmed() -> Self {
+        Self::with_armed(false)
+    }
+
+    /// Whether the executor should poll at fine granularity (a deadline,
+    /// budget or external cancel handle is in play).
+    pub fn is_armed(&self) -> bool {
+        self.inner.armed
+    }
+
+    /// Attach a query-context label (e.g. `q@v3`) used in error messages.
+    /// Only the first call wins; later calls are ignored.
+    pub fn set_label(&self, label: impl Into<String>) {
+        let _ = self.inner.label.set(label.into());
+    }
+
+    /// The query-context label (`"query"` until [`set_label`](Self::set_label)
+    /// is called). Included in trip errors and pool-job panic payloads.
+    pub fn label(&self) -> &str {
+        self.inner
+            .label
+            .get()
+            .map(String::as_str)
+            .unwrap_or("query")
+    }
+
+    /// Arm (or tighten) the deadline: the query must finish within `d` of
+    /// token creation. If a deadline is already set, the earlier one wins.
+    pub fn set_deadline(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        let ns = ns.max(1); // 0 means "no deadline"
+        self.inner
+            .deadline_ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                if cur == 0 || ns < cur {
+                    Some(ns)
+                } else {
+                    None
+                }
+            })
+            .ok();
+    }
+
+    /// Arm (or tighten) the memory budget in bytes. If a budget is already
+    /// set, the smaller one wins.
+    pub fn set_budget_bytes(&self, bytes: u64) {
+        let bytes = bytes.max(1); // 0 means "no budget"
+        self.inner
+            .budget_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                if cur == 0 || bytes < cur {
+                    Some(bytes)
+                } else {
+                    None
+                }
+            })
+            .ok();
+    }
+
+    /// The armed deadline, if any, relative to token creation.
+    pub fn deadline(&self) -> Option<Duration> {
+        match self.inner.deadline_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// The armed memory budget in bytes, if any.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        match self.inner.budget_bytes.load(Ordering::Relaxed) {
+            0 => None,
+            b => Some(b),
+        }
+    }
+
+    /// Request cancellation. Idempotent; does not override an earlier
+    /// timeout/exhaustion trip (first trip wins).
+    pub fn cancel(&self) {
+        let _ = self.inner.state.compare_exchange(
+            LIVE,
+            CANCELLED,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether the token has tripped (for any reason).
+    pub fn is_tripped(&self) -> bool {
+        self.inner.state.load(Ordering::Relaxed) != LIVE
+    }
+
+    /// Number of cooperative checks observed so far.
+    pub fn checks(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes charged so far (also the peak; releases are not
+    /// tracked).
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.used_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Time elapsed since token creation.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.created.elapsed()
+    }
+
+    fn trip_error(&self, state: u8) -> Error {
+        match state {
+            CANCELLED => Error::Cancelled(format!("{} cancelled by caller", self.label())),
+            TIMED_OUT => {
+                let dl = self.deadline().unwrap_or_default();
+                Error::Timeout(format!(
+                    "{} exceeded deadline of {:.1}ms (elapsed {:.1}ms)",
+                    self.label(),
+                    dl.as_secs_f64() * 1e3,
+                    self.elapsed().as_secs_f64() * 1e3,
+                ))
+            }
+            _ => {
+                let budget = self.budget_bytes().unwrap_or_default();
+                Error::ResourceExhausted(format!(
+                    "{} exceeded memory budget of {} bytes ({} charged)",
+                    self.label(),
+                    budget,
+                    self.used_bytes(),
+                ))
+            }
+        }
+    }
+
+    /// Cooperative poll: returns `Err` once the token has tripped, arming
+    /// the deadline trip if the clock has run out. Called by the executor at
+    /// every morsel claim, join-build partition and aggregation-merge step.
+    pub fn check(&self) -> Result<()> {
+        self.inner.checks.fetch_add(1, Ordering::Relaxed);
+        let state = self.inner.state.load(Ordering::Relaxed);
+        if state != LIVE {
+            return Err(self.trip_error(state));
+        }
+        let deadline = self.inner.deadline_ns.load(Ordering::Relaxed);
+        if deadline != 0 {
+            let elapsed = self
+                .inner
+                .created
+                .elapsed()
+                .as_nanos()
+                .min(u64::MAX as u128) as u64;
+            if elapsed > deadline {
+                // First trip wins; if someone else tripped concurrently,
+                // report their reason.
+                let _ = self.inner.state.compare_exchange(
+                    LIVE,
+                    TIMED_OUT,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+                let state = self.inner.state.load(Ordering::Relaxed);
+                return Err(self.trip_error(state));
+            }
+        }
+        Ok(())
+    }
+
+    /// Charge a coarse allocation (join build table, aggregation state,
+    /// materialized intermediate) against the budget. Trips the token with
+    /// [`Error::ResourceExhausted`] when the cumulative total exceeds the
+    /// budget. A no-op (besides accounting) when no budget is armed.
+    pub fn charge(&self, bytes: u64) -> Result<()> {
+        let used = self.inner.used_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let budget = self.inner.budget_bytes.load(Ordering::Relaxed);
+        if budget != 0 && used > budget {
+            let _ = self.inner.state.compare_exchange(
+                LIVE,
+                EXHAUSTED,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            let state = self.inner.state.load(Ordering::Relaxed);
+            return Err(self.trip_error(state));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_passes_checks() {
+        let t = CancelToken::new();
+        assert!(t.check().is_ok());
+        assert!(t.check().is_ok());
+        assert_eq!(t.checks(), 2);
+        assert!(!t.is_tripped());
+    }
+
+    #[test]
+    fn explicit_cancel_is_sticky_and_shared() {
+        let t = CancelToken::new();
+        t.set_label("q@v7");
+        let clone = t.clone();
+        clone.cancel();
+        let err = t.check().unwrap_err();
+        assert!(matches!(err, Error::Cancelled(_)), "{err}");
+        assert!(err.is_transient());
+        assert!(err.message().contains("q@v7"));
+        // Sticky: subsequent checks keep failing the same way.
+        assert!(matches!(t.check().unwrap_err(), Error::Cancelled(_)));
+    }
+
+    #[test]
+    fn deadline_trips_after_expiry() {
+        let t = CancelToken::new();
+        t.set_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        let err = t.check().unwrap_err();
+        assert!(matches!(err, Error::Timeout(_)), "{err}");
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn tighter_deadline_wins() {
+        let t = CancelToken::new();
+        t.set_deadline(Duration::from_secs(10));
+        t.set_deadline(Duration::from_secs(1));
+        t.set_deadline(Duration::from_secs(30)); // looser: ignored
+        assert_eq!(t.deadline(), Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn budget_trips_on_cumulative_overflow() {
+        let t = CancelToken::new();
+        t.set_budget_bytes(100);
+        assert!(t.charge(60).is_ok());
+        let err = t.charge(60).unwrap_err();
+        assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+        assert_eq!(t.used_bytes(), 120);
+        // Sticky through check() as well.
+        assert!(matches!(
+            t.check().unwrap_err(),
+            Error::ResourceExhausted(_)
+        ));
+    }
+
+    #[test]
+    fn charge_without_budget_only_meters() {
+        let t = CancelToken::new();
+        assert!(t.charge(u64::MAX / 2).is_ok());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn first_trip_wins() {
+        let t = CancelToken::new();
+        t.set_budget_bytes(10);
+        assert!(t.charge(100).is_err());
+        t.cancel(); // too late: exhaustion already tripped
+        assert!(matches!(
+            t.check().unwrap_err(),
+            Error::ResourceExhausted(_)
+        ));
+    }
+
+    #[test]
+    fn disarmed_token_meters_but_never_trips_on_clock() {
+        let t = CancelToken::disarmed();
+        assert!(!t.is_armed());
+        assert!(t.check().is_ok());
+        assert_eq!(t.checks(), 1);
+    }
+}

@@ -113,6 +113,27 @@ impl Column {
         self.len() == 0
     }
 
+    /// Estimated heap footprint in bytes: element storage plus string
+    /// payloads plus the validity vector. A coarse estimate (capacity slack
+    /// and allocator overhead are ignored) used by the per-query memory
+    /// budget to charge materialized intermediates; see `docs/RESILIENCE.md`.
+    pub fn heap_bytes(&self) -> u64 {
+        let elems = match self {
+            Column::Int(d, _) => std::mem::size_of_val(d.as_slice()) as u64,
+            Column::Float(d, _) => std::mem::size_of_val(d.as_slice()) as u64,
+            Column::Bool(d, _) => std::mem::size_of_val(d.as_slice()) as u64,
+            Column::Str(d, _) => d
+                .iter()
+                .map(|s| (std::mem::size_of::<String>() + s.len()) as u64)
+                .sum(),
+            Column::Date(d, _) => std::mem::size_of_val(d.as_slice()) as u64,
+        };
+        let valid = per_variant!(self, _data, valid => {
+            valid.as_ref().map_or(0, |v| v.len() as u64)
+        });
+        elems + valid
+    }
+
     /// The column's static type.
     pub fn dtype(&self) -> DType {
         match self {

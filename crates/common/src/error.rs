@@ -34,6 +34,19 @@ pub enum Error {
     /// A feature deliberately unsupported by the selected backend profile
     /// (e.g. window functions on the LingoDB-like profile).
     Unsupported(String),
+    /// The query was explicitly cancelled by the caller (transient).
+    Cancelled(String),
+    /// The query exceeded its deadline (transient).
+    Timeout(String),
+    /// The admission gate rejected the query because the queue-wait bound was
+    /// exceeded (transient backpressure; callers may retry with backoff).
+    Overloaded(String),
+    /// The query exceeded its memory budget (transient).
+    ResourceExhausted(String),
+    /// A contained fault: a worker panicked or an injected fault fired while
+    /// executing this query. The engine state (snapshots, plan cache, pool)
+    /// is unaffected, so the error is transient.
+    Internal(String),
 }
 
 impl Error {
@@ -51,7 +64,30 @@ impl Error {
             Error::Catalog(_) => "catalog",
             Error::Data(_) => "data",
             Error::Unsupported(_) => "unsupported",
+            Error::Cancelled(_) => "cancelled",
+            Error::Timeout(_) => "timeout",
+            Error::Overloaded(_) => "overloaded",
+            Error::ResourceExhausted(_) => "resource",
+            Error::Internal(_) => "internal",
         }
+    }
+
+    /// Whether the failure is transient: the same query may succeed if simply
+    /// retried (possibly after backoff), because the error reflects load or a
+    /// per-query lifecycle event rather than a property of the query itself.
+    ///
+    /// Transient errors never leave partial state behind — snapshots, the
+    /// plan cache and the worker pool are unaffected. See
+    /// `docs/RESILIENCE.md` for the full taxonomy.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Error::Cancelled(_)
+                | Error::Timeout(_)
+                | Error::Overloaded(_)
+                | Error::ResourceExhausted(_)
+                | Error::Internal(_)
+        )
     }
 
     /// The human-readable message without the stage prefix.
@@ -67,7 +103,12 @@ impl Error {
             | Error::Exec(m)
             | Error::Catalog(m)
             | Error::Data(m)
-            | Error::Unsupported(m) => m,
+            | Error::Unsupported(m)
+            | Error::Cancelled(m)
+            | Error::Timeout(m)
+            | Error::Overloaded(m)
+            | Error::ResourceExhausted(m)
+            | Error::Internal(m) => m,
         }
     }
 }
@@ -106,10 +147,28 @@ mod tests {
             Error::Catalog(String::new()),
             Error::Data(String::new()),
             Error::Unsupported(String::new()),
+            Error::Cancelled(String::new()),
+            Error::Timeout(String::new()),
+            Error::Overloaded(String::new()),
+            Error::ResourceExhausted(String::new()),
+            Error::Internal(String::new()),
         ];
         let mut stages: Vec<&str> = variants.iter().map(|v| v.stage()).collect();
         stages.sort_unstable();
         stages.dedup();
         assert_eq!(stages.len(), variants.len());
+    }
+
+    #[test]
+    fn transient_classification_matches_taxonomy() {
+        assert!(Error::Cancelled(String::new()).is_transient());
+        assert!(Error::Timeout(String::new()).is_transient());
+        assert!(Error::Overloaded(String::new()).is_transient());
+        assert!(Error::ResourceExhausted(String::new()).is_transient());
+        assert!(Error::Internal(String::new()).is_transient());
+        assert!(!Error::Parse(String::new()).is_transient());
+        assert!(!Error::Exec(String::new()).is_transient());
+        assert!(!Error::Catalog(String::new()).is_transient());
+        assert!(!Error::Unsupported(String::new()).is_transient());
     }
 }

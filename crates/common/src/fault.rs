@@ -1,0 +1,220 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! The harness is compiled in only when the `fault` cargo feature of
+//! `pytond-common` is enabled (the workspace enables it for test builds via
+//! the root package's dev-dependencies; release library builds never carry
+//! it). With the feature off, [`injected`] is a `const false` and the
+//! injection sites vanish.
+//!
+//! With the feature on, activation is still a *runtime* decision so one test
+//! process can sweep several seeds: call [`set`]`(seed, rate)` /
+//! [`clear`]`()`, or set `PYTOND_FAULT=<seed>:<rate>` in the environment
+//! (read once, on first use, as the default configuration).
+//!
+//! Decisions are deterministic: each [`FaultSite`] keeps a monotonically
+//! increasing counter, and the n-th visit to a site fires iff
+//! `mix(seed, site, n) < rate · 2⁶⁴`. Re-running with the same seed, rate
+//! and visit order reproduces the same faults.
+//!
+//! Injection sites (all fail *before* any externally visible effect):
+//!
+//! | site | location | effect when fired |
+//! |------|----------|-------------------|
+//! | [`FaultSite::PoolDispatch`] | worker picks up a pool job | injected panic, contained by the pool's per-helper `catch_unwind` |
+//! | [`FaultSite::AppendPublish`] | `Database::append` before publication | transient `Error::Internal`; nothing is published |
+//! | [`FaultSite::Morsel`] | executor morsel body | transient `Error::Internal`; the query aborts cleanly |
+
+/// Whether the harness is compiled into this build.
+pub const COMPILED: bool = cfg!(feature = "fault");
+
+/// A named injection point. See the module docs for the effect of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Pool worker job dispatch (fires as a panic inside the worker).
+    PoolDispatch,
+    /// Snapshot append publication (fires as a transient error before
+    /// anything becomes visible).
+    AppendPublish,
+    /// Executor morsel body (fires as a transient error).
+    Morsel,
+}
+
+impl FaultSite {
+    /// Stable site index used in the deterministic decision hash.
+    #[cfg_attr(not(feature = "fault"), allow(dead_code))]
+    fn index(self) -> usize {
+        match self {
+            FaultSite::PoolDispatch => 0,
+            FaultSite::AppendPublish => 1,
+            FaultSite::Morsel => 2,
+        }
+    }
+
+    /// Human-readable site name used in injected error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::PoolDispatch => "pool-dispatch",
+            FaultSite::AppendPublish => "append-publish",
+            FaultSite::Morsel => "morsel",
+        }
+    }
+}
+
+#[cfg(feature = "fault")]
+mod active {
+    use super::FaultSite;
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+    use std::sync::OnceLock;
+
+    /// 0 = config not yet decided (fall back to env), 1 = off, 2 = on.
+    static MODE: AtomicU8 = AtomicU8::new(0);
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    static RATE_BITS: AtomicU64 = AtomicU64::new(0);
+    static VISITS: [AtomicU64; 3] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+    static FIRED: AtomicU64 = AtomicU64::new(0);
+
+    fn env_default() -> Option<(u64, f64)> {
+        static ENV: OnceLock<Option<(u64, f64)>> = OnceLock::new();
+        *ENV.get_or_init(|| {
+            let raw = std::env::var("PYTOND_FAULT").ok()?;
+            let (seed, rate) = raw.split_once(':')?;
+            let seed = seed.trim().parse::<u64>().ok()?;
+            let rate = rate.trim().parse::<f64>().ok()?;
+            (rate > 0.0).then_some((seed, rate.min(1.0)))
+        })
+    }
+
+    pub(super) fn set(seed: u64, rate: f64) {
+        SEED.store(seed, Ordering::Relaxed);
+        RATE_BITS.store(rate.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+        MODE.store(if rate > 0.0 { 2 } else { 1 }, Ordering::Relaxed);
+    }
+
+    pub(super) fn clear() {
+        MODE.store(1, Ordering::Relaxed);
+    }
+
+    pub(super) fn active() -> Option<(u64, f64)> {
+        match MODE.load(Ordering::Relaxed) {
+            0 => env_default(),
+            1 => None,
+            _ => Some((
+                SEED.load(Ordering::Relaxed),
+                f64::from_bits(RATE_BITS.load(Ordering::Relaxed)),
+            )),
+        }
+    }
+
+    pub(super) fn fired() -> u64 {
+        FIRED.load(Ordering::Relaxed)
+    }
+
+    /// splitmix64-style mix of (seed, site, visit number).
+    fn mix(seed: u64, site: u64, n: u64) -> u64 {
+        let mut z = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(site.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(n.wrapping_mul(0x94d0_49bb_1331_11eb));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub(super) fn injected(site: FaultSite) -> bool {
+        let Some((seed, rate)) = active() else {
+            return false;
+        };
+        let n = VISITS[site.index()].fetch_add(1, Ordering::Relaxed);
+        let fire = if rate >= 1.0 {
+            true
+        } else {
+            // Saturating float-to-int cast; rate < 1.0 keeps this below 2^64.
+            mix(seed, site.index() as u64 + 1, n) < (rate * TWO64) as u64
+        };
+        if fire {
+            FIRED.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    const TWO64: f64 = 18_446_744_073_709_551_616.0; // 2^64
+}
+
+/// Activate the harness at runtime with an explicit `(seed, rate)`.
+/// Overrides any `PYTOND_FAULT` environment default. No-op unless the
+/// `fault` feature is compiled in.
+pub fn set(seed: u64, rate: f64) {
+    #[cfg(feature = "fault")]
+    active::set(seed, rate);
+    #[cfg(not(feature = "fault"))]
+    let _ = (seed, rate);
+}
+
+/// Deactivate the harness (also suppresses the `PYTOND_FAULT` default).
+pub fn clear() {
+    #[cfg(feature = "fault")]
+    active::clear();
+}
+
+/// The currently active `(seed, rate)`, if any.
+pub fn active() -> Option<(u64, f64)> {
+    #[cfg(feature = "fault")]
+    {
+        active::active()
+    }
+    #[cfg(not(feature = "fault"))]
+    None
+}
+
+/// Total number of faults fired so far in this process (all sites).
+pub fn fired() -> u64 {
+    #[cfg(feature = "fault")]
+    {
+        active::fired()
+    }
+    #[cfg(not(feature = "fault"))]
+    0
+}
+
+/// Deterministic per-visit decision: should this visit to `site` fail?
+/// Always `false` when the harness is inactive or not compiled in.
+#[inline]
+pub fn injected(site: FaultSite) -> bool {
+    #[cfg(feature = "fault")]
+    {
+        active::injected(site)
+    }
+    #[cfg(not(feature = "fault"))]
+    {
+        let _ = site;
+        false
+    }
+}
+
+#[cfg(all(test, feature = "fault"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires_and_full_rate_always_fires() {
+        set(42, 0.0);
+        assert!(active().is_none());
+        assert!(!injected(FaultSite::Morsel));
+        set(42, 1.0);
+        assert!(injected(FaultSite::Morsel));
+        assert!(injected(FaultSite::AppendPublish));
+        clear();
+        assert!(!injected(FaultSite::Morsel));
+    }
+
+    #[test]
+    fn moderate_rate_fires_sometimes() {
+        set(7, 0.25);
+        let fires: usize = (0..400)
+            .filter(|_| injected(FaultSite::PoolDispatch))
+            .count();
+        clear();
+        // Deterministic, but statistically ~100; accept a broad band.
+        assert!(fires > 20 && fires < 200, "fires={fires}");
+    }
+}

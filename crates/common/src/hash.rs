@@ -597,8 +597,12 @@ impl<K: std::hash::Hash + Eq + Copy + Send + Sync> PartitionedIndex<K> {
         let bits = p.trailing_zeros();
         // Phase 1: bucket row ids per (morsel, partition) — morsel-parallel,
         // each row hashed once.
-        let buckets: Vec<Vec<Vec<u32>>> =
-            crate::pool::par_morsels(threads, keys.len(), PARTITION_MORSEL, |_, r| {
+        let buckets: Vec<Vec<Vec<u32>>> = crate::pool::par_morsels(
+            threads,
+            keys.len(),
+            PARTITION_MORSEL,
+            "index-partition",
+            |_, r| {
                 let mut local: Vec<Vec<u32>> = vec![Vec::new(); p];
                 for i in r {
                     if let Some(k) = &keys[i] {
@@ -606,12 +610,13 @@ impl<K: std::hash::Hash + Eq + Copy + Send + Sync> PartitionedIndex<K> {
                     }
                 }
                 Ok(local)
-            })
-            .expect("partition pass is infallible")
-            .results;
+            },
+        )
+        .expect("partition pass is infallible")
+        .results;
         // Phase 2: one worker per partition inserts its buckets in morsel
         // order (ascending row ids) — O(n) total across all workers.
-        let parts = crate::pool::par_indexed(threads, p, |pi| {
+        let parts = crate::pool::par_indexed(threads, p, "index-build", |pi| {
             let mut m: FxHashMap<K, Vec<u32>> = FxHashMap::default();
             for morsel in &buckets {
                 for &i in &morsel[pi] {

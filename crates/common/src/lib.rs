@@ -6,21 +6,28 @@
 //! defined here: scalar [`Value`]s, typed columnar [`Column`]s, named-column
 //! [`Relation`]s, calendar [`date`] arithmetic, a fast non-cryptographic
 //! [`hash`] used for join/group keys, the morsel-driven worker [`pool`]
-//! shared by the SQL executor and the DataFrame baseline, and the
+//! shared by the SQL executor and the DataFrame baseline, the
 //! epoch-style snapshot-publication cell ([`version`]) under the serving
-//! layer's copy-on-append table versioning.
+//! layer's copy-on-append table versioning, and the query-lifecycle
+//! resilience primitives: cooperative cancellation tokens ([`cancel`]),
+//! jittered retry for transient errors ([`retry`]) and the deterministic
+//! fault-injection harness ([`fault`]).
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod column;
 pub mod date;
 pub mod error;
+pub mod fault;
 pub mod hash;
 pub mod pool;
 pub mod relation;
+pub mod retry;
 pub mod value;
 pub mod version;
 
+pub use cancel::CancelToken;
 pub use column::{Column, DType};
 pub use error::{Error, Result};
 pub use relation::Relation;

@@ -28,12 +28,14 @@
 //! and measuring the time each one queued (`PYTOND_ADMIT` sets the
 //! capacity; the wait surfaces in `QueryTrace`).
 
+use crate::error::Error;
+use crate::fault::{self, FaultSite};
 use crate::Result;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The machine's hardware parallelism (1 if it cannot be determined).
 /// Cached: the underlying `available_parallelism` probes cgroup files on
@@ -84,6 +86,10 @@ const POISON: &str = "pytond pool state poisoned";
 /// frame dies.
 struct Job {
     work: &'static (dyn Fn() + Sync),
+    /// Diagnostic label identifying the submitting operator and its query
+    /// context (e.g. `scan q@v3`); carried into the submitter's re-raise so
+    /// a panic names the work that died.
+    label: String,
     /// Helper slots still open: workers decrement one to join the job.
     /// All mutations happen under the pool's state mutex; the atomics exist
     /// for `Sync`, not for lock-free access.
@@ -92,6 +98,21 @@ struct Job {
     active: AtomicUsize,
     /// Set when a helper panicked inside `work`; re-raised by the submitter.
     panicked: AtomicBool,
+    /// The first panicking helper's payload (when it was a string), carried
+    /// into the submitter's re-raise.
+    panic_msg: Mutex<Option<String>>,
+}
+
+/// Best-effort extraction of a panic payload's message (covers the `&str`
+/// and `String` payloads produced by `panic!`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 #[derive(Default)]
@@ -158,8 +179,9 @@ impl Drop for JoinGuard<'_> {
 impl SharedPool {
     /// Runs `work` on the submitting thread plus up to `helpers` pool
     /// workers, returning when every participant is done. Panics raised by
-    /// a helper are re-raised here.
-    fn run_job(&'static self, helpers: usize, work: &(dyn Fn() + Sync)) {
+    /// a helper are re-raised here with `label` (the submitting operator +
+    /// query context) and the helper's own panic message in the payload.
+    fn run_job(&'static self, helpers: usize, label: &str, work: &(dyn Fn() + Sync)) {
         if helpers == 0 {
             work();
             return;
@@ -170,9 +192,11 @@ impl SharedPool {
             unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(work) };
         let job = Arc::new(Job {
             work: work_static,
+            label: label.to_string(),
             slots: AtomicUsize::new(helpers),
             active: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
         });
         {
             let mut st = self.state.lock().expect(POISON);
@@ -196,7 +220,13 @@ impl SharedPool {
         work();
         drop(guard);
         if job.panicked.load(Ordering::Relaxed) {
-            panic!("morsel worker panicked");
+            let msg = job
+                .panic_msg
+                .lock()
+                .expect(POISON)
+                .take()
+                .unwrap_or_else(|| "<unknown>".to_string());
+            panic!("morsel worker panicked in job '{}': {}", job.label, msg);
         }
     }
 
@@ -213,11 +243,16 @@ impl SharedPool {
                     job.slots.fetch_sub(1, Ordering::Relaxed);
                     job.active.fetch_add(1, Ordering::Relaxed);
                     drop(st);
-                    let ok =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.work)()))
-                            .is_ok();
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        if fault::injected(FaultSite::PoolDispatch) {
+                            panic!("injected fault: pool-dispatch");
+                        }
+                        (job.work)()
+                    }));
                     st = self.state.lock().expect(POISON);
-                    if !ok {
+                    if let Err(payload) = outcome {
+                        let msg = panic_message(payload.as_ref());
+                        job.panic_msg.lock().expect(POISON).get_or_insert(msg);
                         job.panicked.store(true, Ordering::Relaxed);
                     }
                     job.active.fetch_sub(1, Ordering::Relaxed);
@@ -270,22 +305,50 @@ impl Admission {
     /// ticket records how long this call queued and releases its slot on
     /// drop.
     pub fn admit(&self) -> AdmitTicket<'_> {
+        self.admit_within(None)
+            .expect("unbounded admit cannot be rejected")
+    }
+
+    /// Acquires a ticket, waiting at most `timeout` for the gate to open.
+    ///
+    /// `None` waits unboundedly (identical to [`admit`](Self::admit)); a
+    /// zero timeout rejects immediately when the gate is full. On rejection
+    /// the call returns the transient [`Error::Overloaded`] — backpressure
+    /// the caller may retry with backoff (see [`crate::retry`]).
+    pub fn admit_within(&self, timeout: Option<Duration>) -> Result<AdmitTicket<'_>> {
         if self.capacity == 0 {
-            return AdmitTicket {
+            return Ok(AdmitTicket {
                 gate: None,
                 queue_wait_ns: 0,
-            };
+            });
         }
         let start = Instant::now();
         let mut running = self.running.lock().expect(POISON);
         while *running >= self.capacity {
-            running = self.freed.wait(running).expect(POISON);
+            match timeout {
+                None => running = self.freed.wait(running).expect(POISON),
+                Some(limit) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= limit {
+                        return Err(Error::Overloaded(format!(
+                            "admission queue wait exceeded {:.1}ms (capacity {})",
+                            limit.as_secs_f64() * 1e3,
+                            self.capacity,
+                        )));
+                    }
+                    let (guard, _timed_out) = self
+                        .freed
+                        .wait_timeout(running, limit - elapsed)
+                        .expect(POISON);
+                    running = guard;
+                }
+            }
         }
         *running += 1;
-        AdmitTicket {
+        Ok(AdmitTicket {
             gate: Some(self),
             queue_wait_ns: start.elapsed().as_nanos() as u64,
-        }
+        })
     }
 }
 
@@ -325,6 +388,21 @@ pub fn admission() -> &'static Admission {
     })
 }
 
+/// The process-wide default admission queue-wait bound:
+/// `PYTOND_ADMIT_TIMEOUT_MS` when set to a non-negative integer (`0` =
+/// reject immediately when the gate is full), else `None` (wait
+/// unboundedly, the pre-resilience behavior). Read once per process, like
+/// [`default_threads`].
+pub fn default_admit_timeout() -> Option<Duration> {
+    static CACHED: OnceLock<Option<Duration>> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("PYTOND_ADMIT_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_millis)
+    })
+}
+
 /// The result of one [`par_morsels`] run: per-morsel outputs in morsel order
 /// plus how many morsels each worker claimed (`[total]` on the serial path).
 #[derive(Debug)]
@@ -340,7 +418,9 @@ pub struct MorselOutcome<T> {
 /// Runs `f` over the fixed morsel grid of `[0, n)` with `morsel` rows per
 /// morsel, on up to `threads` participants (the calling thread + up to
 /// `threads − 1` shared-pool helpers) claiming morsels from a shared atomic
-/// cursor. `f` receives `(morsel index, row range)`.
+/// cursor. `f` receives `(morsel index, row range)`. `label` names the
+/// operator and its query context for panic diagnostics (it appears in the
+/// re-raised payload if a helper panics).
 ///
 /// Outputs come back in morsel order, so any order-sensitive merge the
 /// caller performs (concatenation, partial-aggregate folding) sees the same
@@ -353,7 +433,13 @@ pub struct MorselOutcome<T> {
 ///
 /// The first error any participant returns is propagated; remaining morsels
 /// may or may not have run (their outputs are discarded).
-pub fn par_morsels<T, F>(threads: usize, n: usize, morsel: usize, f: F) -> Result<MorselOutcome<T>>
+pub fn par_morsels<T, F>(
+    threads: usize,
+    n: usize,
+    morsel: usize,
+    label: &str,
+    f: F,
+) -> Result<MorselOutcome<T>>
 where
     T: Send,
     F: Fn(usize, Range<usize>) -> Result<T> + Sync,
@@ -403,7 +489,7 @@ where
         }
         collected.lock().expect(POISON).push(local);
     };
-    shared().run_job(workers - 1, &work);
+    shared().run_job(workers - 1, label, &work);
     if let Some(e) = first_err.into_inner().expect(POISON) {
         return Err(e);
     }
@@ -427,7 +513,8 @@ where
 /// returning the outputs in task order. Used for fixed task lists —
 /// building the P partitions of a hash join, sorting the chunks of a
 /// parallel sort. Inline (no pool job) when `threads <= 1` or `count <= 1`.
-pub fn par_indexed<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
+/// `label` names the operator for panic diagnostics, as in [`par_morsels`].
+pub fn par_indexed<T, F>(threads: usize, count: usize, label: &str, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -449,7 +536,7 @@ where
         }
         collected.lock().expect(POISON).push(local);
     };
-    shared().run_job(workers - 1, &work);
+    shared().run_job(workers - 1, label, &work);
     let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
     for local in collected.into_inner().expect(POISON) {
         for (i, t) in local {
@@ -472,9 +559,9 @@ mod tests {
         // The per-morsel outputs (and hence any ordered merge over them)
         // must be identical for every worker count.
         let n = 10_007;
-        let serial = par_morsels(1, n, 64, |i, r| Ok((i, r.start, r.end))).unwrap();
+        let serial = par_morsels(1, n, 64, "test", |i, r| Ok((i, r.start, r.end))).unwrap();
         for threads in [2, 3, 7, 16] {
-            let par = par_morsels(threads, n, 64, |i, r| Ok((i, r.start, r.end))).unwrap();
+            let par = par_morsels(threads, n, 64, "test", |i, r| Ok((i, r.start, r.end))).unwrap();
             assert_eq!(serial.results, par.results, "threads = {threads}");
             assert_eq!(
                 par.claimed_per_worker.iter().sum::<u64>(),
@@ -485,23 +572,23 @@ mod tests {
 
     #[test]
     fn serial_path_spawns_no_workers() {
-        let out = par_morsels(1, 100, 10, |_, r| Ok(r.len())).unwrap();
+        let out = par_morsels(1, 100, 10, "test", |_, r| Ok(r.len())).unwrap();
         assert_eq!(out.claimed_per_worker, vec![10]);
         assert_eq!(out.results.iter().sum::<usize>(), 100);
         // Single-morsel grids stay inline even with many threads.
-        let out = par_morsels(8, 100, 1000, |_, r| Ok(r.len())).unwrap();
+        let out = par_morsels(8, 100, 1000, "test", |_, r| Ok(r.len())).unwrap();
         assert_eq!(out.claimed_per_worker, vec![1]);
     }
 
     #[test]
     fn empty_input_yields_no_morsels() {
-        let out = par_morsels(4, 0, 16, |_, _| Ok(1)).unwrap();
+        let out = par_morsels(4, 0, 16, "test", |_, _| Ok(1)).unwrap();
         assert!(out.results.is_empty());
     }
 
     #[test]
     fn errors_propagate_from_workers() {
-        let err = par_morsels(4, 1000, 10, |i, _| {
+        let err = par_morsels(4, 1000, 10, "test", |i, _| {
             if i == 57 {
                 Err(Error::Exec("boom".into()))
             } else {
@@ -514,8 +601,8 @@ mod tests {
 
     #[test]
     fn indexed_tasks_return_in_task_order() {
-        let serial = par_indexed(1, 9, |i| i * i);
-        let par = par_indexed(4, 9, |i| i * i);
+        let serial = par_indexed(1, 9, "test", |i| i * i);
+        let par = par_indexed(4, 9, "test", |i| i * i);
         assert_eq!(serial, par);
         assert_eq!(par[3], 9);
     }
@@ -525,5 +612,63 @@ mod tests {
         assert_eq!(resolve_threads(3), 3);
         assert!(resolve_threads(0) >= 1);
         assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn admit_within_rejects_when_full() {
+        let gate = Admission::with_capacity(1);
+        let held = gate.admit();
+        let err = gate
+            .admit_within(Some(Duration::from_millis(5)))
+            .unwrap_err();
+        assert!(matches!(err, Error::Overloaded(_)), "{err}");
+        assert!(err.is_transient());
+        drop(held);
+        // Once the slot frees, a bounded admit succeeds.
+        assert!(gate.admit_within(Some(Duration::from_millis(5))).is_ok());
+    }
+
+    #[test]
+    fn admit_within_zero_timeout_rejects_immediately() {
+        let gate = Admission::with_capacity(1);
+        let held = gate.admit();
+        let start = Instant::now();
+        assert!(gate.admit_within(Some(Duration::ZERO)).is_err());
+        assert!(start.elapsed() < Duration::from_millis(100));
+        drop(held);
+    }
+
+    #[test]
+    fn unlimited_gate_never_rejects() {
+        let gate = Admission::with_capacity(0);
+        let a = gate.admit_within(Some(Duration::ZERO)).unwrap();
+        let b = gate.admit_within(Some(Duration::ZERO)).unwrap();
+        assert_eq!(a.queue_wait_ns, 0);
+        drop((a, b));
+    }
+
+    #[test]
+    fn helper_panic_reraise_carries_label_and_message() {
+        // Force a pool job where only *helpers* (threads named
+        // "pytond-pool") panic; the submitter keeps claiming morsels and
+        // must re-raise with the job label and the helper's own message.
+        let caught = std::panic::catch_unwind(|| {
+            let _ = par_morsels(4, 1000, 1, "probe q@v9", |i, _| {
+                if std::thread::current().name() == Some("pytond-pool") {
+                    panic!("helper died on morsel {i}");
+                }
+                // Pace the submitter so helpers have time to join the job.
+                std::thread::sleep(Duration::from_micros(100));
+                Ok(i)
+            });
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("probe q@v9"), "payload: {msg}");
+        assert!(msg.contains("helper died on morsel"), "payload: {msg}");
     }
 }

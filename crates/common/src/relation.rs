@@ -52,6 +52,13 @@ impl Relation {
         self.cols.len()
     }
 
+    /// Estimated heap footprint in bytes (sum of [`Column::heap_bytes`]
+    /// over all columns). Used by the per-query memory budget to charge
+    /// materialized intermediates.
+    pub fn heap_bytes(&self) -> u64 {
+        self.cols.iter().map(|(_, c)| c.heap_bytes()).sum()
+    }
+
     /// Column names in schema order.
     pub fn names(&self) -> Vec<&str> {
         self.cols.iter().map(|(n, _)| n.as_str()).collect()

@@ -1,0 +1,161 @@
+//! Retry with jittered exponential backoff for transient errors.
+//!
+//! The serving layer's lifecycle errors ([`Error::is_transient`]) represent
+//! load or per-query events — an overloaded admission gate, a deadline that
+//! fired, a contained worker fault — not properties of the query. Callers
+//! that can tolerate latency should retry them with backoff; this module
+//! provides the small, deterministic helper the resilience tests and
+//! benchmarks use.
+//!
+//! Backoff for attempt *k* (0-based) is `base · 2^k`, capped at `max_delay`,
+//! then scaled by a jitter factor in `[0.5, 1.0)` drawn from a splitmix64
+//! stream seeded by [`RetryPolicy::seed`] — fully deterministic for a given
+//! policy, so tests can assert exact schedules.
+
+use std::time::Duration;
+
+use crate::error::{Error, Result};
+
+/// Backoff schedule for [`retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (including the first). 0 is treated as 1.
+    pub attempts: u32,
+    /// Base delay before the second attempt.
+    pub base_delay: Duration,
+    /// Upper bound on any single delay (pre-jitter).
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+            seed: 0,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The jittered delay inserted before attempt `attempt + 1` (0-based
+    /// failed attempt). Exposed so tests can assert the schedule without
+    /// sleeping.
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        let mut state = self.seed.wrapping_add(u64::from(attempt) << 32);
+        let jitter = 0.5 + (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        exp.mul_f64(jitter)
+    }
+}
+
+/// Run `f` until it succeeds, fails permanently, or the attempt budget is
+/// spent. Only errors with [`Error::is_transient`] are retried; permanent
+/// errors return immediately. The closure receives the 0-based attempt
+/// number. On budget exhaustion the last transient error is returned.
+pub fn retry<T>(policy: RetryPolicy, mut f: impl FnMut(u32) -> Result<T>) -> Result<T> {
+    let attempts = policy.attempts.max(1);
+    let mut last: Option<Error> = None;
+    for attempt in 0..attempts {
+        match f(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                std::thread::sleep(policy.delay_for(attempt));
+                last = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("attempts >= 1 guarantees at least one closure result"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_without_retry() {
+        let mut calls = 0;
+        let r = retry(RetryPolicy::default(), |_| {
+            calls += 1;
+            Ok::<_, _>(7)
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let r = retry(policy, |attempt| {
+            if attempt < 2 {
+                Err(Error::Overloaded("queue full".into()))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(r.unwrap(), 2);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let mut calls = 0;
+        let r: Result<()> = retry(RetryPolicy::default(), |_| {
+            calls += 1;
+            Err(Error::Sql("syntax".into()))
+        });
+        assert!(matches!(r.unwrap_err(), Error::Sql(_)));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn exhausts_budget_and_returns_last_transient() {
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let r: Result<()> = retry(policy, |_| {
+            calls += 1;
+            Err(Error::Timeout("slow".into()))
+        });
+        assert!(matches!(r.unwrap_err(), Error::Timeout(_)));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            seed: 99,
+            ..RetryPolicy::default()
+        };
+        for attempt in 0..4 {
+            let a = policy.delay_for(attempt);
+            let b = policy.delay_for(attempt);
+            assert_eq!(a, b);
+            let exp = policy
+                .base_delay
+                .saturating_mul(1 << attempt)
+                .min(policy.max_delay);
+            assert!(a >= exp / 2 && a <= exp, "attempt {attempt}: {a:?}");
+        }
+    }
+}

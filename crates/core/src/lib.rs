@@ -66,7 +66,7 @@
 #![warn(missing_docs)]
 
 pub use pytond_optimizer::OptLevel;
-pub use pytond_sqldb::{Database, EngineConfig, PreparedQuery, Profile};
+pub use pytond_sqldb::{CancelToken, Database, EngineConfig, PreparedQuery, Profile};
 pub use pytond_sqlgen::Dialect;
 
 use pytond_common::hash::{FxHashMap, FxHasher};
@@ -88,6 +88,16 @@ pub struct Backend {
     /// environment variable, else the machine's hardware parallelism) when
     /// the query executes; `1` = the serial path. See `docs/EXECUTION.md`.
     pub threads: usize,
+    /// Per-query deadline in milliseconds for every query run through this
+    /// backend. `None` (the default) defers to `PYTOND_QUERY_TIMEOUT_MS`;
+    /// `Some(0)` explicitly disables the deadline. On expiry the query
+    /// returns the transient [`pytond_common::Error::Timeout`] within one
+    /// morsel claim. See `docs/RESILIENCE.md`.
+    pub timeout_ms: Option<u64>,
+    /// Per-query memory budget in MiB. `None` defers to
+    /// `PYTOND_QUERY_MEM_MB`; `Some(0)` disables the budget. Exceeding it
+    /// returns the transient [`pytond_common::Error::ResourceExhausted`].
+    pub mem_budget_mb: Option<u64>,
 }
 
 impl Backend {
@@ -97,6 +107,8 @@ impl Backend {
         Backend {
             profile,
             threads: 0,
+            timeout_ms: None,
+            mem_budget_mb: None,
         }
     }
 
@@ -105,6 +117,8 @@ impl Backend {
         Backend {
             profile: Profile::Vectorized,
             threads,
+            timeout_ms: None,
+            mem_budget_mb: None,
         }
     }
 
@@ -113,6 +127,8 @@ impl Backend {
         Backend {
             profile: Profile::Fused,
             threads,
+            timeout_ms: None,
+            mem_budget_mb: None,
         }
     }
 
@@ -121,6 +137,8 @@ impl Backend {
         Backend {
             profile: Profile::Lingo,
             threads,
+            timeout_ms: None,
+            mem_budget_mb: None,
         }
     }
 
@@ -143,9 +161,26 @@ impl Backend {
         }
     }
 
+    /// A copy of this backend with a per-query deadline (overrides the
+    /// `PYTOND_QUERY_TIMEOUT_MS` default for queries run through it;
+    /// `0` disables the deadline entirely).
+    pub fn with_timeout_ms(mut self, ms: u64) -> Backend {
+        self.timeout_ms = Some(ms);
+        self
+    }
+
+    /// A copy of this backend with a per-query memory budget in MiB
+    /// (overrides the `PYTOND_QUERY_MEM_MB` default; `0` disables it).
+    pub fn with_mem_budget_mb(mut self, mb: u64) -> Backend {
+        self.mem_budget_mb = Some(mb);
+        self
+    }
+
     /// Engine configuration.
     pub fn config(&self) -> EngineConfig {
         EngineConfig::new(self.profile, self.threads)
+            .with_timeout(self.timeout_ms)
+            .with_mem_budget(self.mem_budget_mb)
     }
 
     /// Display name (e.g. `duckdb-sim/4t`, `hyper-sim/auto`).

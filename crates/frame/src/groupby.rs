@@ -130,14 +130,19 @@ impl<'a> GroupBy<'a> {
             } else {
                 1
             };
-            let chunks =
-                pool::par_morsels(threads, self.groups.len(), AGG_GROUP_MORSEL, |_, r| {
+            let chunks = pool::par_morsels(
+                threads,
+                self.groups.len(),
+                AGG_GROUP_MORSEL,
+                "frame-agg",
+                |_, r| {
                     Ok(r.map(|g| {
                         let sub = Series::new("", src.col.gather(&self.groups[g].1));
                         op.apply_series(&sub)
                     })
                     .collect::<Vec<Value>>())
-                })?;
+                },
+            )?;
             let vals: Vec<Value> = chunks.results.concat();
             out.insert(Series::new(*output, Column::from_values(&vals)?))?;
         }
@@ -211,7 +216,7 @@ fn group_rows_with<K: Hash + Eq + Copy + Send + Sync>(
         }
         return groups;
     }
-    let partials = pool::par_morsels(threads, keys.len(), GROUP_MORSEL, |_, r| {
+    let partials = pool::par_morsels(threads, keys.len(), GROUP_MORSEL, "frame-group", |_, r| {
         let mut map: FxHashMap<K, usize> = FxHashMap::default();
         // (key, first row, rows) in local first-appearance order.
         let mut local: Vec<(K, usize, Vec<usize>)> = Vec::new();

@@ -166,29 +166,35 @@ fn probe_indices_with<K: Hash + Eq + Copy + Send + Sync>(
         append_unmatched_right(&mut left_idx, &mut right_idx, &right_matched, how);
         return (left_idx, right_idx);
     }
-    let chunks = pool::par_morsels(threads, lkeys.len(), PROBE_MORSEL, |_, range| {
-        let mut li: Vec<Option<usize>> = Vec::new();
-        let mut ri: Vec<Option<usize>> = Vec::new();
-        let mut matched: Vec<u32> = Vec::new();
-        for i in range {
-            match lkeys[i].as_ref().and_then(|k| table.get(k)) {
-                Some(rows) => {
-                    for &r in rows {
-                        li.push(Some(i));
-                        ri.push(Some(r as usize));
-                        matched.push(r);
+    let chunks = pool::par_morsels(
+        threads,
+        lkeys.len(),
+        PROBE_MORSEL,
+        "frame-join-probe",
+        |_, range| {
+            let mut li: Vec<Option<usize>> = Vec::new();
+            let mut ri: Vec<Option<usize>> = Vec::new();
+            let mut matched: Vec<u32> = Vec::new();
+            for i in range {
+                match lkeys[i].as_ref().and_then(|k| table.get(k)) {
+                    Some(rows) => {
+                        for &r in rows {
+                            li.push(Some(i));
+                            ri.push(Some(r as usize));
+                            matched.push(r);
+                        }
                     }
-                }
-                None => {
-                    if keep_unmatched_left {
-                        li.push(Some(i));
-                        ri.push(None);
+                    None => {
+                        if keep_unmatched_left {
+                            li.push(Some(i));
+                            ri.push(None);
+                        }
                     }
                 }
             }
-        }
-        Ok((li, ri, matched))
-    })
+            Ok((li, ri, matched))
+        },
+    )
     .expect("probe is infallible");
     let mut left_idx: Vec<Option<usize>> = Vec::new();
     let mut right_idx: Vec<Option<usize>> = Vec::new();

@@ -31,10 +31,13 @@ use crate::optimize::{estimate, optimize_with, StatsCatalog};
 use crate::parser::parse_sql;
 use crate::plan::BoundQuery;
 use crate::table::StoredTable;
+use pytond_common::cancel::CancelToken;
+use pytond_common::fault::{self, FaultSite};
 use pytond_common::hash::FxHashMap;
 use pytond_common::version::Versioned;
 use pytond_common::{pool, Error, Relation, Result};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Execution profile emulating the paper's three backends (see crate docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -77,6 +80,20 @@ pub struct EngineConfig {
     /// Zone-map scan pruning (default on; benchmarks disable it to measure
     /// the pruned-vs-unpruned delta).
     pub zone_prune: bool,
+    /// Per-query deadline in milliseconds. `None` (the default) falls back
+    /// to the `PYTOND_QUERY_TIMEOUT_MS` environment variable; `Some(0)`
+    /// explicitly disables the deadline for this config regardless of the
+    /// environment. The deadline covers the whole lifecycle from submission
+    /// (admission queueing included) and trips as the transient
+    /// [`Error::Timeout`] within one morsel claim. See `docs/RESILIENCE.md`.
+    pub timeout_ms: Option<u64>,
+    /// Per-query memory budget in MiB, accounted at coarse allocation sites
+    /// (join build tables, aggregation state, materialized intermediates).
+    /// `None` falls back to `PYTOND_QUERY_MEM_MB`; `Some(0)` explicitly
+    /// disables the budget. Exceeding it trips the transient
+    /// [`Error::ResourceExhausted`], leaving snapshots and plan caches
+    /// untouched.
+    pub mem_budget_mb: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -86,8 +103,34 @@ impl Default for EngineConfig {
             threads: 0,
             morsel: 16 * 1024,
             zone_prune: true,
+            timeout_ms: None,
+            mem_budget_mb: None,
         }
     }
+}
+
+/// Process-wide default per-query deadline: `PYTOND_QUERY_TIMEOUT_MS` when
+/// set to a positive integer (read once, like `PYTOND_THREADS`).
+fn default_timeout_ms() -> Option<u64> {
+    static CACHED: OnceLock<Option<u64>> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("PYTOND_QUERY_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+    })
+}
+
+/// Process-wide default per-query memory budget: `PYTOND_QUERY_MEM_MB` when
+/// set to a positive integer (read once).
+fn default_mem_budget_mb() -> Option<u64> {
+    static CACHED: OnceLock<Option<u64>> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("PYTOND_QUERY_MEM_MB")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&mb| mb > 0)
+    })
 }
 
 impl EngineConfig {
@@ -98,6 +141,18 @@ impl EngineConfig {
             threads,
             ..EngineConfig::default()
         }
+    }
+
+    /// A copy with [`EngineConfig::timeout_ms`] set (builder style).
+    pub fn with_timeout(mut self, timeout_ms: Option<u64>) -> EngineConfig {
+        self.timeout_ms = timeout_ms;
+        self
+    }
+
+    /// A copy with [`EngineConfig::mem_budget_mb`] set (builder style).
+    pub fn with_mem_budget(mut self, mem_budget_mb: Option<u64>) -> EngineConfig {
+        self.mem_budget_mb = mem_budget_mb;
+        self
     }
 }
 
@@ -160,22 +215,49 @@ impl Snapshot {
         prepared: &PreparedQuery,
         config: &EngineConfig,
     ) -> Result<Relation> {
-        let (rel, _) = self.run_bound(&prepared.bound, config)?;
+        let (rel, _) = self.run_bound(&prepared.bound, config, None)?;
+        Ok(rel)
+    }
+
+    /// Like [`Snapshot::execute_prepared`] but the caller supplies the
+    /// [`CancelToken`]: hold a clone and call [`CancelToken::cancel`] from
+    /// any thread to abort the query mid-flight (it returns the transient
+    /// [`Error::Cancelled`] within one morsel claim). Deadline and memory
+    /// budget from `config`/environment are still applied to the token
+    /// (tightest wins).
+    pub fn execute_prepared_with(
+        &self,
+        prepared: &PreparedQuery,
+        config: &EngineConfig,
+        cancel: CancelToken,
+    ) -> Result<Relation> {
+        let (rel, _) = self.run_bound(&prepared.bound, config, Some(cancel))?;
         Ok(rel)
     }
 
     /// Like [`Snapshot::execute_prepared`] but also returns a
     /// [`QueryTrace`] (EXPLAIN rendering + executor counters, headed by the
-    /// snapshot version and the admission queue wait).
+    /// snapshot version, the admission queue wait, and the lifecycle
+    /// limits in force).
     pub fn execute_prepared_traced(
         &self,
         prepared: &PreparedQuery,
         config: &EngineConfig,
     ) -> Result<(Relation, QueryTrace)> {
-        let (rel, metrics) = self.run_bound(&prepared.bound, config)?;
+        let (rel, metrics) = self.run_bound(&prepared.bound, config, None)?;
+        let deadline = if metrics.deadline_ms == 0 {
+            "none".to_string()
+        } else {
+            format!("{}ms", metrics.deadline_ms)
+        };
+        let budget = if metrics.mem_budget_bytes == 0 {
+            "none".to_string()
+        } else {
+            format!("{} bytes", metrics.mem_budget_bytes)
+        };
         let trace = QueryTrace {
             plan: format!(
-                "parallelism: {} worker thread(s)\nsnapshot: v{} (queue wait {} ns)\n{}",
+                "parallelism: {} worker thread(s)\nsnapshot: v{} (queue wait {} ns)\nlimits: deadline {deadline}, mem budget {budget}\n{}",
                 metrics.threads,
                 metrics.snapshot_version,
                 metrics.queue_wait_ns,
@@ -189,26 +271,88 @@ impl Snapshot {
     }
 
     /// Pure execution of a bound query against this snapshot (shared by the
-    /// prepared entry points). Passes the query through the process-wide
-    /// [`pool::admission`] gate first; the measured queue wait lands in
-    /// [`ExecMetrics::queue_wait_ns`].
+    /// prepared entry points). The full lifecycle runs here:
+    ///
+    /// 1. A [`CancelToken`] is armed with the deadline/memory budget from
+    ///    `config` (environment defaults `PYTOND_QUERY_TIMEOUT_MS` /
+    ///    `PYTOND_QUERY_MEM_MB` when unset). The deadline clock starts
+    ///    *before* admission, so queue wait counts against it.
+    /// 2. The query passes the process-wide [`pool::admission`] gate,
+    ///    bounded by `PYTOND_ADMIT_TIMEOUT_MS` — an overloaded gate rejects
+    ///    with the transient [`Error::Overloaded`] before any work is done.
+    /// 3. Execution polls the token at every morsel claim, join build and
+    ///    aggregation merge; worker panics (including injected dispatch
+    ///    faults) are contained to this query and surface as the transient
+    ///    [`Error::Internal`]. The snapshot and plan cache are never
+    ///    poisoned by a failed query.
     fn run_bound(
         &self,
         bound: &BoundQuery,
         config: &EngineConfig,
+        cancel: Option<CancelToken>,
     ) -> Result<(Relation, ExecMetrics)> {
-        let ticket = pool::admission().admit();
+        let timeout_ms = config
+            .timeout_ms
+            .or_else(default_timeout_ms)
+            .filter(|&ms| ms > 0);
+        let budget_mb = config
+            .mem_budget_mb
+            .or_else(default_mem_budget_mb)
+            .filter(|&mb| mb > 0);
+        let cancel = match cancel {
+            Some(t) => t,
+            None if timeout_ms.is_some() || budget_mb.is_some() => CancelToken::new(),
+            None => CancelToken::disarmed(),
+        };
+        cancel.set_label(format!("q@v{}", self.version));
+        if let Some(ms) = timeout_ms {
+            cancel.set_deadline(Duration::from_millis(ms));
+        }
+        if let Some(mb) = budget_mb {
+            cancel.set_budget_bytes(mb.saturating_mul(1024 * 1024));
+        }
+        let ticket = pool::admission().admit_within(pool::default_admit_timeout())?;
         let opts = ExecOptions {
             threads: pool::resolve_threads(config.threads),
             fused: matches!(config.profile, Profile::Fused | Profile::Lingo),
             morsel: config.morsel,
             zone_prune: config.zone_prune,
+            cancel: cancel.clone(),
         };
-        let (batch, schema, mut metrics) = execute_traced(self, bound, opts)?;
+        // Contain worker panics (the pool re-raises them on the submitting
+        // thread with the job label attached): the helpers have already
+        // drained, the snapshot is immutable, so the query slot stays
+        // serviceable — map the payload to a transient error instead of
+        // unwinding through the caller.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_traced(self, bound, opts)
+        }));
+        let (batch, schema, mut metrics) = match run {
+            Ok(r) => r?,
+            Err(payload) => {
+                return Err(Error::Internal(format!(
+                    "query '{}' aborted by worker panic: {}",
+                    cancel.label(),
+                    panic_payload_message(payload.as_ref())
+                )))
+            }
+        };
         metrics.snapshot_version = self.version;
         metrics.queue_wait_ns = ticket.queue_wait_ns;
         drop(ticket);
         Ok((batch.to_relation(&schema), metrics))
+    }
+}
+
+/// Best-effort rendering of a caught panic payload (mirrors the pool's
+/// re-raise formatting: `&str` and `String` payloads pass through).
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -291,6 +435,15 @@ impl Database {
         // mutation copies them), leave every other table Arc-shared.
         let mut grown = (**stored).clone();
         grown.append_relation(rel)?;
+        // Fault-injection site: fail *after* the copy is built but *before*
+        // publication — the resilience suite proves a failed append leaves
+        // the current version untouched (nothing is published).
+        if fault::injected(FaultSite::AppendPublish) {
+            return Err(Error::Internal(format!(
+                "injected fault: append-publish ('{name}' at v{})",
+                cur.version
+            )));
+        }
         let mut tables = cur.tables.clone();
         tables.insert(key, Arc::new(grown));
         self.shared.current.publish(Arc::new(Snapshot {
@@ -379,6 +532,20 @@ impl Database {
         config: &EngineConfig,
     ) -> Result<Relation> {
         self.snapshot().execute_prepared(prepared, config)
+    }
+
+    /// Like [`Database::execute_prepared`] but the caller supplies the
+    /// [`CancelToken`] (see [`Snapshot::execute_prepared_with`]): hold a
+    /// clone and call [`CancelToken::cancel`] from any thread to abort the
+    /// query mid-flight.
+    pub fn execute_prepared_with(
+        &self,
+        prepared: &PreparedQuery,
+        config: &EngineConfig,
+        cancel: CancelToken,
+    ) -> Result<Relation> {
+        self.snapshot()
+            .execute_prepared_with(prepared, config, cancel)
     }
 
     /// Like [`Database::execute_prepared`] but also returns a [`QueryTrace`]
@@ -512,15 +679,31 @@ impl QueryTrace {
     /// join counters — the numbers the `docs/EXECUTION.md`,
     /// `docs/SERVING.md` and ARCHITECTURE.md walk-throughs quote.
     pub fn summary(&self) -> String {
+        let deadline = if self.metrics.deadline_ms == 0 {
+            "none".to_string()
+        } else {
+            format!("{}ms", self.metrics.deadline_ms)
+        };
+        let budget = if self.metrics.mem_budget_bytes == 0 {
+            "none".to_string()
+        } else {
+            format!("{} bytes", self.metrics.mem_budget_bytes)
+        };
         format!(
             "parallelism: {} worker thread(s)\n\
              snapshot: v{} (queue wait {} ns)\n\
+             limits: deadline {}, mem budget {}\n\
+             cancel checks: {}, mem charged: {} bytes\n\
              morsels claimed per worker: {:?}\n\
              scan zones: {} evaluated, {} pruned\n\
              joins flipped: {}, build partitions: {}",
             self.threads,
             self.metrics.snapshot_version,
             self.metrics.queue_wait_ns,
+            deadline,
+            budget,
+            self.metrics.cancel_checks,
+            self.metrics.mem_peak_bytes,
             self.metrics.morsels_claimed_per_worker,
             self.metrics.morsels_scanned,
             self.metrics.morsels_pruned,

@@ -29,6 +29,8 @@ use crate::expr::BExpr;
 use crate::plan::{BAgg, BoundQuery, JKind, LogicalPlan};
 use crate::stats::ZONE_ROWS;
 use crate::table::{Batch, Schema, StoredTable};
+use pytond_common::cancel::CancelToken;
+use pytond_common::fault::{self, FaultSite};
 use pytond_common::hash::{
     distinct_keep, encode_value, normalize_key, opt_keys, sql_key_encodings, FixedKeySpec,
     FxHashMap, FxHashSet, KeyArena, KeyWidth, PartitionedIndex,
@@ -39,7 +41,7 @@ use std::hash::Hash;
 use std::sync::Arc;
 
 /// Runtime options (derived from [`crate::db::EngineConfig`]).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads for morsel-parallel operators. This is the *resolved*
     /// degree of parallelism: [`crate::db::Database`] maps a configured `0`
@@ -52,6 +54,11 @@ pub struct ExecOptions {
     pub morsel: usize,
     /// Consult zone maps to skip morsels on pushed-down scan predicates.
     pub zone_prune: bool,
+    /// Per-query lifecycle token: deadline, explicit cancel and memory
+    /// budget. Polled at every morsel claim, join-build step and
+    /// aggregation-merge step (see `docs/RESILIENCE.md`). The default is a
+    /// disarmed token that only meters check counts.
+    pub cancel: CancelToken,
 }
 
 impl Default for ExecOptions {
@@ -61,8 +68,24 @@ impl Default for ExecOptions {
             fused: false,
             morsel: 16 * 1024,
             zone_prune: true,
+            cancel: CancelToken::disarmed(),
         }
     }
+}
+
+/// Morsel-body guard: the fault-injection point plus the cooperative
+/// cancellation poll. Every morsel claimed by a parallel operator (and
+/// every grid step of an armed serial run) passes through here. A free
+/// function (not a method) so worker closures capture only the `Sync`
+/// token, never the executor's `RefCell` metrics.
+fn morsel_guard(cancel: &CancelToken) -> Result<()> {
+    if fault::injected(FaultSite::Morsel) {
+        return Err(Error::Internal(format!(
+            "injected fault: morsel ({})",
+            cancel.label()
+        )));
+    }
+    cancel.check()
 }
 
 /// Minimum number of morsels' worth of input before an operator spawns
@@ -105,6 +128,19 @@ pub struct ExecMetrics {
     /// Nanoseconds the query waited in the admission gate before executing
     /// (see [`pytond_common::pool::admission`]); 0 when a slot was free.
     pub queue_wait_ns: u64,
+    /// Cooperative cancellation polls observed by this query's
+    /// [`CancelToken`] (morsel claims, join builds, aggregation merges,
+    /// per-operator checks).
+    pub cancel_checks: u64,
+    /// The query's memory budget in bytes (0 = unlimited).
+    pub mem_budget_bytes: u64,
+    /// The query's deadline in milliseconds (0 = none).
+    pub deadline_ms: u64,
+    /// Bytes charged against the budget: a coarse cumulative estimate of the
+    /// query's materialized allocations (join build tables, aggregation
+    /// states, fresh output columns). Releases are not tracked, so this is
+    /// the peak of the accounted total.
+    pub mem_peak_bytes: u64,
 }
 
 /// Executes a bound query, materializing CTEs in order.
@@ -119,12 +155,13 @@ pub fn execute_traced(
     q: &BoundQuery,
     opts: ExecOptions,
 ) -> Result<(Batch, Schema, ExecMetrics)> {
+    let threads = opts.threads.max(1);
     let mut exec = Executor {
         db,
         temps: FxHashMap::default(),
         opts,
         metrics: std::cell::RefCell::new(ExecMetrics {
-            threads: opts.threads.max(1),
+            threads,
             ..ExecMetrics::default()
         }),
     };
@@ -149,7 +186,16 @@ pub fn execute_traced(
         );
     }
     let batch = exec.exec(&q.root)?;
-    Ok((batch, q.root.schema().clone(), exec.metrics.into_inner()))
+    let mut metrics = exec.metrics.into_inner();
+    metrics.cancel_checks = exec.opts.cancel.checks();
+    metrics.mem_budget_bytes = exec.opts.cancel.budget_bytes().unwrap_or(0);
+    metrics.deadline_ms = exec
+        .opts
+        .cancel
+        .deadline()
+        .map_or(0, |d| d.as_millis().max(1) as u64);
+    metrics.mem_peak_bytes = exec.opts.cancel.used_bytes();
+    Ok((batch, q.root.schema().clone(), metrics))
 }
 
 struct Executor<'a> {
@@ -162,7 +208,39 @@ struct Executor<'a> {
 }
 
 impl<'a> Executor<'a> {
+    /// Composes a pool-job label from the operator name and the query
+    /// context, so helper panics name the work that died.
+    fn job_label(&self, op: &str) -> String {
+        format!("{op} {}", self.opts.cancel.label())
+    }
+
     fn exec(&self, plan: &LogicalPlan) -> Result<Batch> {
+        // Per-operator poll: even a plan whose operators all stay serial and
+        // sub-morsel observes deadlines between operators.
+        self.opts.cancel.check()?;
+        let out = self.exec_op(plan)?;
+        self.charge_batch(&out)?;
+        Ok(out)
+    }
+
+    /// Charges freshly materialized output columns against the memory
+    /// budget. Only sole-owner columns count: shared `Arc`s (zero-copy
+    /// scans, bare-column projections) are views of existing storage, not
+    /// new allocations. No-op without an armed budget.
+    fn charge_batch(&self, batch: &Batch) -> Result<()> {
+        if self.opts.cancel.budget_bytes().is_none() {
+            return Ok(());
+        }
+        let fresh: u64 = batch
+            .cols
+            .iter()
+            .filter(|c| Arc::strong_count(c) == 1)
+            .map(|c| c.heap_bytes())
+            .sum();
+        self.opts.cancel.charge(fresh)
+    }
+
+    fn exec_op(&self, plan: &LogicalPlan) -> Result<Batch> {
         match plan {
             LogicalPlan::Scan {
                 table,
@@ -348,18 +426,26 @@ impl<'a> Executor<'a> {
             // dropped without touching their rows. Surviving selections
             // stitch in zone order, so the selection is byte-for-byte the
             // serial scan's.
-            let outcome = pool::par_morsels(scan_threads, n, ZONE_ROWS, |z, r| {
-                if zone_ok.as_ref().is_some_and(|ok| !ok[z]) {
-                    return Ok(Vec::new());
-                }
-                let local: Vec<usize> = r.collect();
-                let mask = pred.eval_mask(&full, Some(&local))?;
-                Ok(local
-                    .into_iter()
-                    .zip(mask)
-                    .filter_map(|(i, keep)| keep.then_some(i))
-                    .collect::<Vec<usize>>())
-            })?;
+            let cancel = &self.opts.cancel;
+            let outcome = pool::par_morsels(
+                scan_threads,
+                n,
+                ZONE_ROWS,
+                &self.job_label("scan"),
+                |z, r| {
+                    morsel_guard(cancel)?;
+                    if zone_ok.as_ref().is_some_and(|ok| !ok[z]) {
+                        return Ok(Vec::new());
+                    }
+                    let local: Vec<usize> = r.collect();
+                    let mask = pred.eval_mask(&full, Some(&local))?;
+                    Ok(local
+                        .into_iter()
+                        .zip(mask)
+                        .filter_map(|(i, keep)| keep.then_some(i))
+                        .collect::<Vec<usize>>())
+                },
+            )?;
             self.note_claims(&outcome.claimed_per_worker);
             outcome.results.concat()
         } else {
@@ -409,18 +495,39 @@ impl<'a> Executor<'a> {
     /// Runs `f` over `(start, end)` ranges of `[0, n)` for **elementwise**
     /// work, whose per-row outputs are independent of the chunk grid. Serial
     /// (`threads = 1`) evaluates one range spanning the whole input — the
-    /// exact pre-pool code path; parallel runs claim morsel-grid ranges from
-    /// the shared dispenser and return results in morsel order.
+    /// exact pre-pool code path — unless the query's token is armed, in
+    /// which case the serial run iterates the fixed morsel grid so a
+    /// deadline or cancel trips within one morsel (elementwise outputs are
+    /// chunk-independent, so the concatenated result is identical). Parallel
+    /// runs claim morsel-grid ranges from the shared dispenser and return
+    /// results in morsel order. `op` names the operator for pool-job panic
+    /// diagnostics.
     fn par_elementwise<T: Send>(
         &self,
+        op: &str,
         n: usize,
         f: impl Fn(usize, usize) -> Result<T> + Sync,
     ) -> Result<Vec<T>> {
         let threads = self.op_threads(n);
         if threads <= 1 {
-            return Ok(vec![f(0, n)?]);
+            if !self.opts.cancel.is_armed() && fault::active().is_none() {
+                return Ok(vec![f(0, n)?]);
+            }
+            let morsel = self.opts.morsel.max(1);
+            let count = n.div_ceil(morsel);
+            let mut out = Vec::with_capacity(count);
+            for i in 0..count {
+                morsel_guard(&self.opts.cancel)?;
+                out.push(f(i * morsel, ((i + 1) * morsel).min(n))?);
+            }
+            return Ok(out);
         }
-        let outcome = pool::par_morsels(threads, n, self.opts.morsel, |_, r| f(r.start, r.end))?;
+        let cancel = &self.opts.cancel;
+        let outcome =
+            pool::par_morsels(threads, n, self.opts.morsel, &self.job_label(op), |_, r| {
+                morsel_guard(cancel)?;
+                f(r.start, r.end)
+            })?;
         self.note_claims(&outcome.claimed_per_worker);
         Ok(outcome.results)
     }
@@ -428,14 +535,21 @@ impl<'a> Executor<'a> {
     /// Runs `f` over the **fixed** morsel grid of `[0, n)` at every thread
     /// count — the grid for order-sensitive partials (float aggregation),
     /// where the merge tree must not depend on the worker count. See
-    /// `docs/EXECUTION.md` § determinism.
+    /// `docs/EXECUTION.md` § determinism. Every grid step passes through the
+    /// morsel guard (cancellation poll + fault point).
     fn par_fixed<T: Send>(
         &self,
+        op: &str,
         n: usize,
         f: impl Fn(usize, usize) -> Result<T> + Sync,
     ) -> Result<Vec<T>> {
         let threads = self.op_threads(n);
-        let outcome = pool::par_morsels(threads, n, self.opts.morsel, |_, r| f(r.start, r.end))?;
+        let cancel = &self.opts.cancel;
+        let outcome =
+            pool::par_morsels(threads, n, self.opts.morsel, &self.job_label(op), |_, r| {
+                morsel_guard(cancel)?;
+                f(r.start, r.end)
+            })?;
         if threads > 1 {
             self.note_claims(&outcome.claimed_per_worker);
         }
@@ -443,16 +557,23 @@ impl<'a> Executor<'a> {
     }
 
     /// Builds a hash-join build side, partitioned and built concurrently
-    /// when the input is large enough and workers are available.
+    /// when the input is large enough and workers are available. Polls the
+    /// token and charges the build table against the memory budget (one key
+    /// plus row id plus bucket overhead per row — a coarse estimate) before
+    /// allocating.
     fn build_index<K: Hash + Eq + Copy + Send + Sync>(
         &self,
         keys: &[Option<K>],
-    ) -> PartitionedIndex<K> {
+    ) -> Result<PartitionedIndex<K>> {
+        self.opts.cancel.check()?;
+        self.opts
+            .cancel
+            .charge((keys.len() * (std::mem::size_of::<K>() + 24)) as u64)?;
         let idx = PartitionedIndex::build(keys, self.opts.threads);
         if idx.partitioned() {
             self.metrics.borrow_mut().partitions_built += idx.num_partitions() as u64;
         }
-        idx
+        Ok(idx)
     }
 
     /// First-occurrence distinct over per-row keys. Serial: one hash-set
@@ -464,16 +585,24 @@ impl<'a> Executor<'a> {
         if threads <= 1 {
             return Ok(distinct_keep(keys));
         }
-        let outcome = pool::par_morsels(threads, keys.len(), self.opts.morsel, |_, r| {
-            let mut seen: FxHashSet<K> = FxHashSet::default();
-            let mut keep = Vec::new();
-            for i in r {
-                if seen.insert(keys[i]) {
-                    keep.push(i);
+        let cancel = &self.opts.cancel;
+        let outcome = pool::par_morsels(
+            threads,
+            keys.len(),
+            self.opts.morsel,
+            &self.job_label("distinct"),
+            |_, r| {
+                morsel_guard(cancel)?;
+                let mut seen: FxHashSet<K> = FxHashSet::default();
+                let mut keep = Vec::new();
+                for i in r {
+                    if seen.insert(keys[i]) {
+                        keep.push(i);
+                    }
                 }
-            }
-            Ok(keep)
-        })?;
+                Ok(keep)
+            },
+        )?;
         self.note_claims(&outcome.claimed_per_worker);
         let mut global: FxHashSet<K> = FxHashSet::default();
         let mut keep = Vec::new();
@@ -494,7 +623,7 @@ impl<'a> Executor<'a> {
         pred: &BExpr,
         candidates: &[usize],
     ) -> Result<Vec<usize>> {
-        let chunks = self.par_elementwise(candidates.len(), |start, end| {
+        let chunks = self.par_elementwise("filter", candidates.len(), |start, end| {
             let local = &candidates[start..end];
             let mask = pred.eval_mask(batch, Some(local))?;
             Ok(local
@@ -509,7 +638,7 @@ impl<'a> Executor<'a> {
     /// Evaluates a predicate, returning the surviving row indices.
     fn filter_sel(&self, batch: &Batch, pred: &BExpr) -> Result<Vec<usize>> {
         let n = batch.num_rows();
-        let chunks = self.par_elementwise(n, |start, end| {
+        let chunks = self.par_elementwise("filter", n, |start, end| {
             let sel: Vec<usize> = (start..end).collect();
             let mask = pred.eval_mask(batch, Some(&sel))?;
             Ok(sel
@@ -534,7 +663,7 @@ impl<'a> Executor<'a> {
                     continue;
                 }
             }
-            let chunks = self.par_elementwise(n, |start, end| {
+            let chunks = self.par_elementwise("project", n, |start, end| {
                 let local_sel: Vec<usize> = match sel {
                     Some(s) => s[start..end].to_vec(),
                     None => (start..end).collect(),
@@ -639,10 +768,10 @@ impl<'a> Executor<'a> {
     ) -> Result<Batch> {
         let ln = left.num_rows();
         // Build: hash the left side (partitioned + concurrent when large).
-        let table = self.build_index(lkeys);
+        let table = self.build_index(lkeys)?;
         // Probe: right side in parallel morsels, recording matches per left
         // row.
-        let probe_chunks = self.par_elementwise(right.num_rows(), |start, end| {
+        let probe_chunks = self.par_elementwise("join-probe", right.num_rows(), |start, end| {
             let mut pairs: Vec<(u32, u32)> = Vec::new(); // (left row, right row)
             let mut matched_left: Vec<u32> = Vec::new();
             for (j, rk) in rkeys.iter().enumerate().take(end).skip(start) {
@@ -715,10 +844,10 @@ impl<'a> Executor<'a> {
         residual: Option<&BExpr>,
     ) -> Result<Batch> {
         // Build: hash the right side (partitioned + concurrent when large).
-        let table = self.build_index(rkeys);
+        let table = self.build_index(rkeys)?;
         // Probe: left side, in parallel morsels.
         let keep_unmatched_left = matches!(kind, JKind::Left | JKind::Full);
-        let probe_chunks = self.par_elementwise(left.num_rows(), |start, end| {
+        let probe_chunks = self.par_elementwise("join-probe", left.num_rows(), |start, end| {
             let mut li: Vec<Option<usize>> = Vec::new();
             let mut ri: Vec<Option<usize>> = Vec::new();
             let mut matched_right: Vec<u32> = Vec::new();
@@ -779,7 +908,13 @@ impl<'a> Executor<'a> {
         }
         let mut out = match kind {
             JKind::Semi | JKind::Anti => {
-                let li: Vec<usize> = left_idx.iter().map(|x| x.unwrap()).collect();
+                // Invariant (not reachable from user input): the probe arms
+                // for semi/anti only ever push `Some(left row)`, and the
+                // right-outer backfill above is unreachable for these kinds.
+                let li: Vec<usize> = left_idx
+                    .iter()
+                    .map(|x| x.expect("semi/anti probes emit only left rows"))
+                    .collect();
                 left.gather(&li)
             }
             _ => {
@@ -925,7 +1060,7 @@ impl<'a> Executor<'a> {
         arg_cols: &[Option<Column>],
         arg_dtypes: &[Option<DType>],
     ) -> Result<Vec<GroupState>> {
-        let partials = self.par_fixed(n, |start, end| {
+        let partials = self.par_fixed("agg-partial", n, |start, end| {
             // Pass 1: assign a morsel-local group id per row, recording keys
             // in local first-occurrence order.
             let mut map: FxHashMap<K, usize> = FxHashMap::default();
@@ -951,10 +1086,14 @@ impl<'a> Executor<'a> {
             Ok((order, states))
         })?;
         // Merge partials in ascending morsel order — the explicit merge
-        // order every thread count shares.
+        // order every thread count shares. Each merge step polls the token
+        // and charges newly retained group states against the budget.
+        let state_bytes = std::mem::size_of::<GroupState>() + 32 * aggs.len().max(1);
         let mut global: FxHashMap<K, usize> = FxHashMap::default();
         let mut states: Vec<GroupState> = Vec::new();
         for (order, part_states) in partials {
+            self.opts.cancel.check()?;
+            let before = states.len();
             for (key, part) in order.into_iter().zip(part_states) {
                 match global.get(&key) {
                     Some(&g) => states[g].merge(&part, aggs),
@@ -964,6 +1103,9 @@ impl<'a> Executor<'a> {
                     }
                 }
             }
+            self.opts
+                .cancel
+                .charge(((states.len() - before) * state_bytes) as u64)?;
         }
         Ok(states)
     }
@@ -975,7 +1117,7 @@ impl<'a> Executor<'a> {
         sel: Option<&[usize]>,
         n: usize,
     ) -> Result<Column> {
-        let chunks = self.par_elementwise(n, |start, end| {
+        let chunks = self.par_elementwise("eval", n, |start, end| {
             let local: Vec<usize> = match sel {
                 Some(s) => s[start..end].to_vec(),
                 None => (start..end).collect(),
@@ -1020,12 +1162,16 @@ impl<'a> Executor<'a> {
             // merged output is the serial sort's, independent of chunking.
             let chunk = n.div_ceil(self.opts.threads);
             let bounds: Vec<&[usize]> = idx.chunks(chunk).collect();
-            let chunks: Vec<Vec<usize>> =
-                pool::par_indexed(self.opts.threads, bounds.len(), |ci| {
+            let chunks: Vec<Vec<usize>> = pool::par_indexed(
+                self.opts.threads,
+                bounds.len(),
+                &self.job_label("sort"),
+                |ci| {
                     let mut c = bounds[ci].to_vec();
                     c.sort_by(cmp);
                     c
-                });
+                },
+            );
             // k-way merge
             let mut heads = vec![0usize; chunks.len()];
             let mut out = Vec::with_capacity(n);

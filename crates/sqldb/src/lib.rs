@@ -67,3 +67,4 @@ pub mod table;
 
 pub use db::{Database, EngineConfig, PreparedQuery, Profile, QueryTrace, Snapshot};
 pub use plan::LogicalPlan;
+pub use pytond_common::cancel::CancelToken;

@@ -29,6 +29,7 @@ fn config(profile: Profile, threads: usize) -> EngineConfig {
         threads,
         morsel: TEST_MORSEL,
         zone_prune: true,
+        ..EngineConfig::default()
     }
 }
 
@@ -66,6 +67,8 @@ fn check_source(name: &str, py: &Pytond, source: &str, profile: Profile) {
     let backend = Backend {
         profile,
         threads: 1,
+        timeout_ms: None,
+        mem_budget_mb: None,
     };
     let prepared = py
         .prepare(source, &backend, OptLevel::O4)
