@@ -1,0 +1,159 @@
+//! `fusion` microbench: single-pass fused pipelines vs the materializing
+//! operator-at-a-time path, single-threaded, on the two shapes pipeline
+//! fusion targets most directly:
+//!
+//! - **Q6-style** — predicated scan feeding a scalar aggregate. The
+//!   materializing path evaluates the predicate, gathers ~50% survivors
+//!   into an intermediate batch, then aggregates it; the fused pipeline
+//!   streams each zone-aligned morsel scan→aggregate-input while hot in
+//!   cache and never materializes the survivors.
+//! - **Q1-style** — a highly selective (~95% survivors) predicated scan
+//!   feeding a small-cardinality grouped aggregation with several
+//!   aggregates, where the avoided survivor gather spans every column.
+//!
+//! Each query prepares once; only prepared execution is timed. When
+//! `PYTOND_FUSION_ASSERT=1`, the bench asserts fused beats materializing
+//! by ≥ 1.5× on both shapes (min-of-5 wall clock, one clean re-measure
+//! before failing — same protocol as the `scaling` bench gate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pytond_common::{Column, Relation};
+use pytond_sqldb::{Database, EngineConfig, Profile};
+use std::time::{Duration, Instant};
+
+/// Rows of the synthetic events table: ~122 zone-map zones, so the fused
+/// drive claims a realistic number of morsels.
+const ROWS: i64 = 500_000;
+
+fn smoke() -> bool {
+    std::env::var("PYTOND_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn fusion_db() -> Database {
+    let db = Database::new();
+    db.register(
+        "events",
+        Relation::new(vec![
+            ("id".into(), Column::from_i64((0..ROWS).collect())),
+            (
+                "flag".into(),
+                Column::from_i64((0..ROWS).map(|i| i % 4).collect()),
+            ),
+            (
+                "grp".into(),
+                Column::from_i64((0..ROWS).map(|i| i % 512).collect()),
+            ),
+            (
+                "v".into(),
+                Column::from_f64((0..ROWS).map(|i| (i % 9973) as f64 * 0.25).collect()),
+            ),
+        ])
+        .unwrap(),
+    );
+    db
+}
+
+/// ~50%-selective predicate (unclustered, so zone maps cannot prune) into
+/// a scalar aggregate.
+const Q6_STYLE: &str = "SELECT SUM(v) AS s, COUNT(*) AS n FROM events WHERE grp < 256 AND v > 1.0";
+
+/// ~90%-selective unclustered predicate into a 4-group aggregation with
+/// four aggregates — the Q1 shape: almost everything survives, so the
+/// materializing path's survivor gather is almost a full copy, while the
+/// fused sink evaluates the shared `v` argument once per morsel
+/// (`SUM`/`AVG`/`MIN` deduplicate to a single narrow column).
+const Q1_STYLE: &str = "SELECT flag, SUM(v) AS s, AVG(v) AS a, MIN(v) AS lo, COUNT(*) AS n \
+     FROM events WHERE grp < 461 GROUP BY flag";
+
+const SHAPES: [(&str, &str); 2] = [("q6_style", Q6_STYLE), ("q1_style", Q1_STYLE)];
+
+fn cfg(profile: Profile) -> EngineConfig {
+    EngineConfig {
+        profile,
+        threads: 1,
+        ..EngineConfig::default()
+    }
+}
+
+/// Min-of-5 wall clock after a warm-up (robust to scheduler noise).
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn fusion(c: &mut Criterion) {
+    let db = fusion_db();
+    let rounds = if smoke() { 2 } else { 5 };
+
+    let mut group = c.benchmark_group("fusion");
+    group.sample_size(rounds);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+
+    // (shape, materializing ns, fused ns) for the table and the gate.
+    let mut ratios: Vec<(&str, f64, f64)> = Vec::new();
+    for (name, sql) in SHAPES {
+        let prepared = db.prepare(sql, Profile::Fused).expect(name);
+        let mut pair = [0.0f64; 2];
+        for (i, profile) in [Profile::Vectorized, Profile::Fused]
+            .into_iter()
+            .enumerate()
+        {
+            let label = if i == 0 { "materializing" } else { "fused" };
+            let config = cfg(profile);
+            group.bench_function(BenchmarkId::new(name, label), |b| {
+                b.iter(|| db.execute_prepared(&prepared, &config).unwrap())
+            });
+            pair[i] = time_ns(|| {
+                db.execute_prepared(&prepared, &config).unwrap();
+            });
+        }
+        ratios.push((name, pair[0], pair[1]));
+    }
+    group.finish();
+
+    println!("\nfusion: materializing → fused (single-threaded)");
+    for (name, mat, fused) in &ratios {
+        println!(
+            "  {name:<10} {:>8.2} ms → {:>8.2} ms   {:.2}x",
+            mat / 1e6,
+            fused / 1e6,
+            mat / fused
+        );
+    }
+
+    // CI gate: fused must beat materializing ≥ 1.5× on both shapes. Purely
+    // single-threaded, so no hardware-parallelism self-skip applies; a
+    // failing first measurement is re-taken once from scratch before the
+    // gate fires.
+    if std::env::var("PYTOND_FUSION_ASSERT").is_ok_and(|v| v == "1") {
+        for (name, mat, fused) in &ratios {
+            let mut speedup = mat / fused;
+            if speedup < 1.5 {
+                let sql = SHAPES.iter().find(|(n, _)| n == name).unwrap().1;
+                let prepared = db.prepare(sql, Profile::Fused).unwrap();
+                let re = |profile: Profile| {
+                    let config = cfg(profile);
+                    time_ns(|| {
+                        db.execute_prepared(&prepared, &config).unwrap();
+                    })
+                };
+                speedup = re(Profile::Vectorized) / re(Profile::Fused);
+            }
+            assert!(
+                speedup >= 1.5,
+                "{name}: fused speedup {speedup:.2}x < 1.5x required (after one re-measure)"
+            );
+            println!("fusion assertion passed: {name} {speedup:.2}x ≥ 1.5x");
+        }
+    }
+}
+
+criterion_group!(benches, fusion);
+criterion_main!(benches);

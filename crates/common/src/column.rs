@@ -89,6 +89,18 @@ impl Column {
         }
     }
 
+    /// Reserves capacity for at least `additional` more rows, so bulk
+    /// concatenations (e.g. pipeline-sink merges that know the total row
+    /// count up front) avoid doubling reallocations.
+    pub fn reserve(&mut self, additional: usize) {
+        per_variant!(self, data, valid => {
+            data.reserve(additional);
+            if let Some(v) = valid {
+                v.reserve(additional);
+            }
+        })
+    }
+
     /// Builds a column from scalar values; the dtype is taken from the first
     /// non-null value (default `Float` when all values are null).
     pub fn from_values(values: &[Value]) -> Result<Column> {
@@ -279,8 +291,41 @@ impl Column {
 
     /// Returns rows `[start, end)` as a new column.
     pub fn slice(&self, start: usize, end: usize) -> Column {
-        let indices: Vec<usize> = (start..end.min(self.len())).collect();
-        self.gather(&indices)
+        let end = end.min(self.len());
+        let start = start.min(end);
+        fn s<T: Clone>(
+            data: &[T],
+            valid: &Option<Vec<bool>>,
+            start: usize,
+            end: usize,
+        ) -> (Vec<T>, Option<Vec<bool>>) {
+            (
+                data[start..end].to_vec(),
+                valid.as_ref().map(|v| v[start..end].to_vec()),
+            )
+        }
+        match self {
+            Column::Int(d, v) => {
+                let (d, v) = s(d, v, start, end);
+                Column::Int(d, v)
+            }
+            Column::Float(d, v) => {
+                let (d, v) = s(d, v, start, end);
+                Column::Float(d, v)
+            }
+            Column::Bool(d, v) => {
+                let (d, v) = s(d, v, start, end);
+                Column::Bool(d, v)
+            }
+            Column::Str(d, v) => {
+                let (d, v) = s(d, v, start, end);
+                Column::Str(d, v)
+            }
+            Column::Date(d, v) => {
+                let (d, v) = s(d, v, start, end);
+                Column::Date(d, v)
+            }
+        }
     }
 
     /// Appends all rows of `other`; types must match.
@@ -292,8 +337,43 @@ impl Column {
                 self.dtype()
             )));
         }
-        for i in 0..other.len() {
-            self.push(other.get(i))?;
+        // Typed bulk extend (the push-per-row path boxes every cell as a
+        // `Value`; appends on the morsel-merge path are hot). Semantics
+        // match push exactly: data at null slots normalizes to the type's
+        // default, and a validity mask appears only when `other` actually
+        // contains a null.
+        fn app<T: Clone + Default>(
+            d: &mut Vec<T>,
+            v: &mut Option<Vec<bool>>,
+            od: &[T],
+            ov: Option<&[bool]>,
+        ) {
+            let all_valid = ov.map_or(true, |o| o.iter().all(|&b| b));
+            if all_valid {
+                if let Some(v) = v {
+                    v.resize(v.len() + od.len(), true);
+                }
+                d.extend(od.iter().cloned());
+            } else {
+                let o = ov.expect("invalid rows imply a mask");
+                if v.is_none() {
+                    *v = Some(vec![true; d.len()]);
+                }
+                v.as_mut().expect("just filled").extend_from_slice(o);
+                d.extend(
+                    od.iter()
+                        .zip(o)
+                        .map(|(x, &ok)| if ok { x.clone() } else { T::default() }),
+                );
+            }
+        }
+        match (self, other) {
+            (Column::Int(d, v), Column::Int(od, ov)) => app(d, v, od, ov.as_deref()),
+            (Column::Float(d, v), Column::Float(od, ov)) => app(d, v, od, ov.as_deref()),
+            (Column::Bool(d, v), Column::Bool(od, ov)) => app(d, v, od, ov.as_deref()),
+            (Column::Str(d, v), Column::Str(od, ov)) => app(d, v, od, ov.as_deref()),
+            (Column::Date(d, v), Column::Date(od, ov)) => app(d, v, od, ov.as_deref()),
+            _ => unreachable!("dtype equality checked above"),
         }
         Ok(())
     }

@@ -133,6 +133,19 @@ fn default_mem_budget_mb() -> Option<u64> {
     })
 }
 
+/// `PYTOND_NO_FUSE=1` forces the materializing (operator-at-a-time) path
+/// even under the fused profiles — the differential oracle the pipeline
+/// fuzzing suites run the whole test corpus against (read once).
+fn no_fuse() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("PYTOND_NO_FUSE").is_ok_and(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        })
+    })
+}
+
 impl EngineConfig {
     /// Convenience constructor.
     pub fn new(profile: Profile, threads: usize) -> EngineConfig {
@@ -255,13 +268,23 @@ impl Snapshot {
         } else {
             format!("{} bytes", metrics.mem_budget_bytes)
         };
+        // Under the fused profiles the trace also shows the pipeline
+        // decomposition the driver will execute (`PYTOND_NO_FUSE=1` reverts
+        // to pure operator-at-a-time, so no pipelines are shown).
+        let fused = matches!(prepared.profile, Profile::Fused | Profile::Lingo) && !no_fuse();
+        let pipelines = if fused {
+            crate::pipeline::describe(&prepared.bound)
+        } else {
+            String::new()
+        };
         let trace = QueryTrace {
             plan: format!(
-                "parallelism: {} worker thread(s)\nsnapshot: v{} (queue wait {} ns)\nlimits: deadline {deadline}, mem budget {budget}\n{}",
+                "parallelism: {} worker thread(s)\nsnapshot: v{} (queue wait {} ns)\nlimits: deadline {deadline}, mem budget {budget}\n{}{}",
                 metrics.threads,
                 metrics.snapshot_version,
                 metrics.queue_wait_ns,
-                render_plans(&prepared.bound)
+                render_plans(&prepared.bound),
+                pipelines
             ),
             threads: metrics.threads,
             snapshot_version: metrics.snapshot_version,
@@ -314,7 +337,7 @@ impl Snapshot {
         let ticket = pool::admission().admit_within(pool::default_admit_timeout())?;
         let opts = ExecOptions {
             threads: pool::resolve_threads(config.threads),
-            fused: matches!(config.profile, Profile::Fused | Profile::Lingo),
+            fused: matches!(config.profile, Profile::Fused | Profile::Lingo) && !no_fuse(),
             morsel: config.morsel,
             zone_prune: config.zone_prune,
             cancel: cancel.clone(),
@@ -696,7 +719,8 @@ impl QueryTrace {
              cancel checks: {}, mem charged: {} bytes\n\
              morsels claimed per worker: {:?}\n\
              scan zones: {} evaluated, {} pruned\n\
-             joins flipped: {}, build partitions: {}",
+             joins flipped: {}, build partitions: {}\n\
+             pipelines: {}, fused ops per pipeline: {:?}, intermediates avoided: {}",
             self.threads,
             self.metrics.snapshot_version,
             self.metrics.queue_wait_ns,
@@ -709,6 +733,9 @@ impl QueryTrace {
             self.metrics.morsels_pruned,
             self.metrics.joins_flipped,
             self.metrics.partitions_built,
+            self.metrics.pipelines,
+            self.metrics.pipeline_ops,
+            self.metrics.intermediates_avoided,
         )
     }
 }

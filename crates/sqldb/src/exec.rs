@@ -18,14 +18,19 @@
 //!
 //! * **vectorized** — every operator materializes its full output before the
 //!   next starts (DuckDB-style operator-at-a-time with intermediate vectors);
-//! * **fused** — `Project`/`Aggregate` directly consume the selection vector
-//!   of a child `Filter` (late materialization), skipping the intermediate
-//!   copy of every column — the observable effect of Hyper-style pipeline
-//!   compilation at this engine's abstraction level.
+//! * **fused** — the plan is decomposed into single-pass pipelines
+//!   ([`crate::pipeline`]): a claimed morsel flows
+//!   scan → filter → project → join-probe → aggregate-partial while hot in
+//!   cache, with no intermediate relation between the fused operators — the
+//!   observable effect of Hyper-style pipeline compilation at this engine's
+//!   abstraction level. `PYTOND_NO_FUSE=1` forces the materializing path for
+//!   every profile; differential suites (`tests/fusion_property.rs`,
+//!   `tests/plan_fuzz.rs`) prove the two paths bit-identical.
 
 use crate::ast::AggName;
 use crate::db::Snapshot;
 use crate::expr::BExpr;
+use crate::pipeline::{self, Pipeline, Sink, Stage};
 use crate::plan::{BAgg, BoundQuery, JKind, LogicalPlan};
 use crate::stats::ZONE_ROWS;
 use crate::table::{Batch, Schema, StoredTable};
@@ -106,10 +111,25 @@ const SPAWN_MIN_MORSELS: usize = 4;
 pub struct ExecMetrics {
     /// Resolved degree of parallelism the query ran with.
     pub threads: usize,
-    /// Zones whose rows a predicated scan actually evaluated.
+    /// Zones whose rows a predicated scan actually evaluated, as
+    /// **per-pipeline totals**: each pipeline (fused, or the single-operator
+    /// pipeline a materializing scan amounts to) counts every zone it
+    /// evaluates exactly once, no matter how many downstream operators
+    /// consume the scan's rows. Pinned by a trace assertion in
+    /// `tests/fusion_property.rs`.
     pub morsels_scanned: u64,
     /// Zones skipped because zone-map bounds proved the predicate false.
     pub morsels_pruned: u64,
+    /// Fused single-pass pipelines driven by this query (0 on the
+    /// materializing path).
+    pub pipelines: u64,
+    /// Operators fused into each pipeline (source + streaming stages + an
+    /// aggregation sink), in pipeline completion order.
+    pub pipeline_ops: Vec<u64>,
+    /// Full intermediate materializations the fused pipelines avoided
+    /// compared to operator-at-a-time execution (see
+    /// [`crate::pipeline::Pipeline::intermediates_avoided`]).
+    pub intermediates_avoided: u64,
     /// Hash joins that built on the left input because it was the smaller
     /// side (the planner's layout defaults to building on the right).
     pub joins_flipped: u64,
@@ -241,6 +261,15 @@ impl<'a> Executor<'a> {
     }
 
     fn exec_op(&self, plan: &LogicalPlan) -> Result<Batch> {
+        // Fused profiles: drive the pipeline rooted here single-pass. Plans
+        // (or subplans) that extract no pipeline fall through to the
+        // materializing operators below — which are also the whole story
+        // when fusion is off (`PYTOND_NO_FUSE=1` or the vectorized profile).
+        if self.opts.fused {
+            if let Some(pl) = pipeline::extract(plan) {
+                return self.run_pipeline(plan, &pl);
+            }
+        }
         match plan {
             LogicalPlan::Scan {
                 table,
@@ -273,8 +302,8 @@ impl<'a> Executor<'a> {
                 Ok(batch.gather(&sel))
             }
             LogicalPlan::Project { exprs, input, .. } => {
-                let (batch, sel) = self.exec_with_sel(input)?;
-                self.project(&batch, exprs, sel.as_deref())
+                let batch = self.exec(input)?;
+                self.project(&batch, exprs, None)
             }
             LogicalPlan::Join {
                 left,
@@ -292,8 +321,8 @@ impl<'a> Executor<'a> {
             LogicalPlan::Aggregate {
                 input, group, aggs, ..
             } => {
-                let (batch, sel) = self.exec_with_sel(input)?;
-                self.aggregate(&batch, sel.as_deref(), group, aggs)
+                let batch = self.exec(input)?;
+                self.aggregate(&batch, None, group, aggs)
             }
             LogicalPlan::Sort { input, keys } => {
                 let batch = self.exec(input)?;
@@ -326,58 +355,25 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Fused-profile hook: when the child is a Filter (or a scan with a
-    /// pushed-down predicate), return the *unfiltered* child batch plus the
-    /// selection vector so the parent evaluates lazily.
-    fn exec_with_sel(&self, input: &LogicalPlan) -> Result<(Batch, Option<Vec<usize>>)> {
-        if self.opts.fused {
-            if let LogicalPlan::Filter { input: inner, pred } = input {
-                let batch = self.exec(inner)?;
-                let sel = self.filter_sel(&batch, pred)?;
-                return Ok((batch, Some(sel)));
-            }
-            if let LogicalPlan::Scan {
-                table,
-                projection,
-                pred: Some(pred),
-                ..
-            } = input
-            {
-                return self.scan(table, projection.as_deref(), Some(pred));
-            }
-        }
-        Ok((self.exec(input)?, None))
-    }
-
-    /// Scans a stored table: resolves the projection and, when a predicate
-    /// was pushed down, evaluates it zone-at-a-time — consulting the zone
-    /// maps first so morsels whose min/max bounds refute the predicate are
-    /// skipped without touching their rows. Returns the (unfiltered)
-    /// projected batch plus the selection of surviving rows.
-    fn scan(
-        &self,
-        table: &str,
-        projection: Option<&[usize]>,
-        pred: Option<&BExpr>,
-    ) -> Result<(Batch, Option<Vec<usize>>)> {
-        let stored = self
-            .temps
+    /// Resolves a scan's stored table (CTE temporaries shadow base tables).
+    fn stored(&self, table: &str) -> Result<&StoredTable> {
+        self.temps
             .get(&table.to_lowercase())
             .or_else(|| self.db.table(table))
-            .ok_or_else(|| Error::Exec(format!("unknown table '{table}'")))?;
-        let batch = match projection {
-            None => stored.batch.clone(),
-            Some(cols) => Batch {
-                cols: cols.iter().map(|&i| stored.batch.cols[i].clone()).collect(),
-            },
-        };
-        let Some(pred) = pred else {
-            return Ok((batch, None));
-        };
+            .ok_or_else(|| Error::Exec(format!("unknown table '{table}'")))
+    }
+
+    /// Zone-map pruning decision for a predicated scan: `(total zones,
+    /// per-zone keep flags)`. `None` flags = nothing prunable (pruning off,
+    /// or a stats-less CTE temp), every zone survives.
+    fn zone_survivors(
+        &self,
+        stored: &StoredTable,
+        pred: &BExpr,
+    ) -> (usize, Option<Vec<bool>>, usize) {
         let n = stored.batch.num_rows();
         let total_zones = n.div_ceil(ZONE_ROWS).max(1);
-        // Zone pruning: a zone survives only if every prunable conjunct may
-        // match it. Tables without stats (CTE temps) keep every zone.
+        // A zone survives only if every prunable conjunct may match it.
         let zone_ok: Option<Vec<bool>> = if self.opts.zone_prune {
             stored.stats.as_ref().map(|stats| {
                 let tests = crate::stats::prunable_tests(pred);
@@ -405,6 +401,32 @@ impl<'a> Executor<'a> {
         let survived = zone_ok
             .as_ref()
             .map_or(total_zones, |ok| ok.iter().filter(|&&k| k).count());
+        (total_zones, zone_ok, survived)
+    }
+
+    /// Scans a stored table: resolves the projection and, when a predicate
+    /// was pushed down, evaluates it zone-at-a-time — consulting the zone
+    /// maps first so morsels whose min/max bounds refute the predicate are
+    /// skipped without touching their rows. Returns the (unfiltered)
+    /// projected batch plus the selection of surviving rows.
+    fn scan(
+        &self,
+        table: &str,
+        projection: Option<&[usize]>,
+        pred: Option<&BExpr>,
+    ) -> Result<(Batch, Option<Vec<usize>>)> {
+        let stored = self.stored(table)?;
+        let batch = match projection {
+            None => stored.batch.clone(),
+            Some(cols) => Batch {
+                cols: cols.iter().map(|&i| stored.batch.cols[i].clone()).collect(),
+            },
+        };
+        let Some(pred) = pred else {
+            return Ok((batch, None));
+        };
+        let n = stored.batch.num_rows();
+        let (total_zones, zone_ok, survived) = self.zone_survivors(stored, pred);
         {
             let mut m = self.metrics.borrow_mut();
             m.morsels_scanned += survived as u64;
@@ -993,30 +1015,45 @@ impl<'a> Executor<'a> {
                     .transpose()
             })
             .collect::<Result<_>>()?;
+        let arg_refs: Vec<Option<&Column>> = arg_cols.iter().map(Option::as_ref).collect();
+        self.aggregate_from_cols(n, key_cols, &arg_refs, group, aggs)
+    }
 
-        let arg_dtypes: Vec<Option<DType>> = arg_cols
-            .iter()
-            .map(|c| c.as_ref().map(|c| c.dtype()))
-            .collect();
+    /// The aggregation tail shared by the materializing operator and the
+    /// fused pipeline sink: group-key and argument columns in, final batch
+    /// out. The fixed morsel grid over `n` rows (and the ascending merge of
+    /// its partials) depends only on `(n, opts.morsel)`, so any producer
+    /// that delivers the same column *values* in the same row order gets a
+    /// bit-identical result — the keystone of the fused/unfused equivalence.
+    fn aggregate_from_cols(
+        &self,
+        n: usize,
+        key_cols: Vec<Column>,
+        arg_cols: &[Option<&Column>],
+        group: &[BExpr],
+        aggs: &[BAgg],
+    ) -> Result<Batch> {
+        let arg_dtypes: Vec<Option<DType>> =
+            arg_cols.iter().map(|c| c.map(Column::dtype)).collect();
         // Group keys take the packed fast path when every key column is
         // fixed-width (group semantics: NULL is a key value, so the layout
         // folds a validity bit in); strings/floats fall back to arena-encoded
         // byte keys. Scalar aggregation is a single constant key.
         let krefs: Vec<&Column> = key_cols.iter().collect();
         let mut states = if group.is_empty() {
-            self.agg_states(n, &vec![0u64; n], aggs, &arg_cols, &arg_dtypes)?
+            self.agg_states(n, &vec![0u64; n], aggs, arg_cols, &arg_dtypes)?
         } else {
             match FixedKeySpec::plan(&[&krefs], true) {
                 Some(spec) if spec.width() == KeyWidth::U64 => {
-                    self.agg_states(n, &spec.pack_u64(&krefs).0, aggs, &arg_cols, &arg_dtypes)?
+                    self.agg_states(n, &spec.pack_u64(&krefs).0, aggs, arg_cols, &arg_dtypes)?
                 }
                 Some(spec) => {
-                    self.agg_states(n, &spec.pack_u128(&krefs).0, aggs, &arg_cols, &arg_dtypes)?
+                    self.agg_states(n, &spec.pack_u128(&krefs).0, aggs, arg_cols, &arg_dtypes)?
                 }
                 None => {
                     let enc = sql_key_encodings(&[&krefs]);
                     let arena = KeyArena::encode(&krefs, &enc, false);
-                    self.agg_states(n, &arena.dense_keys(), aggs, &arg_cols, &arg_dtypes)?
+                    self.agg_states(n, &arena.dense_keys(), aggs, arg_cols, &arg_dtypes)?
                 }
             }
         };
@@ -1057,7 +1094,7 @@ impl<'a> Executor<'a> {
         n: usize,
         keys: &[K],
         aggs: &[BAgg],
-        arg_cols: &[Option<Column>],
+        arg_cols: &[Option<&Column>],
         arg_dtypes: &[Option<DType>],
     ) -> Result<Vec<GroupState>> {
         let partials = self.par_fixed("agg-partial", n, |start, end| {
@@ -1081,7 +1118,7 @@ impl<'a> Executor<'a> {
             }
             // Pass 2: accumulate column-major — one typed loop per aggregate.
             for (ai, agg) in aggs.iter().enumerate() {
-                accumulate(&mut states, ai, agg, &gids, start, arg_cols[ai].as_ref())?;
+                accumulate(&mut states, ai, agg, &gids, start, arg_cols[ai])?;
             }
             Ok((order, states))
         })?;
@@ -1226,6 +1263,659 @@ impl<'a> Executor<'a> {
         let mut cols = batch.cols.clone();
         cols.push(Arc::new(Column::from_i64(ranks)));
         Ok(Batch { cols })
+    }
+
+    // ---------------- fused pipeline driver ----------------
+
+    /// Drives one extracted pipeline single-pass: every claimed morsel flows
+    /// source → stages → sink entirely while hot in cache.
+    ///
+    /// Determinism: the morsel grid is zone-aligned for fused scans (the
+    /// same grid the materializing scan uses) and `opts.morsel`-aligned for
+    /// materialized sources; chunks merge in ascending morsel order. A
+    /// materialize sink therefore stitches exactly the rows the
+    /// operator-at-a-time path would emit, in the same order; an aggregate
+    /// sink reconstructs the *narrow* key/argument columns in that same
+    /// order and hands them to [`Executor::aggregate_from_cols`], whose
+    /// fixed grid over the concatenated rows is byte-identical to the
+    /// unfused one. Fused ≡ unfused, bit for bit, by construction.
+    fn run_pipeline(&self, plan: &LogicalPlan, pl: &Pipeline<'_>) -> Result<Batch> {
+        // Source: a predicated scan fuses (zone-aligned grid, claim-time
+        // zone-map skip); any breaker materializes once, then chunks.
+        let (source, n, step, threads) = match pl.source {
+            LogicalPlan::Scan {
+                table,
+                projection,
+                pred: Some(pred),
+                ..
+            } => {
+                let stored = self.stored(table)?;
+                let n = stored.batch.num_rows();
+                let (total_zones, zone_ok, survived) = self.zone_survivors(stored, pred);
+                {
+                    let mut m = self.metrics.borrow_mut();
+                    m.morsels_scanned += survived as u64;
+                    m.morsels_pruned += (total_zones - survived) as u64;
+                }
+                let full = Batch {
+                    cols: stored.batch.cols.clone(),
+                };
+                let proj = match projection {
+                    None => stored.batch.clone(),
+                    Some(cols) => Batch {
+                        cols: cols.iter().map(|&i| stored.batch.cols[i].clone()).collect(),
+                    },
+                };
+                let threads = if n <= ZONE_ROWS * (SPAWN_MIN_MORSELS - 1) {
+                    1
+                } else {
+                    self.opts.threads
+                };
+                (
+                    PSource::Scan {
+                        full,
+                        proj,
+                        pred,
+                        zone_ok,
+                    },
+                    n,
+                    ZONE_ROWS,
+                    threads,
+                )
+            }
+            src => {
+                let batch = self.exec(src)?;
+                let n = batch.num_rows();
+                (
+                    PSource::Mat(batch),
+                    n,
+                    self.opts.morsel.max(1),
+                    self.op_threads(n),
+                )
+            }
+        };
+        // Stage preparation: join build sides execute here (recursively —
+        // possibly as pipelines of their own), before morsels start flowing.
+        let stages: Vec<PStage<'_>> = pl
+            .stages
+            .iter()
+            .map(|s| self.prepare_stage(s))
+            .collect::<Result<_>>()?;
+        {
+            let mut m = self.metrics.borrow_mut();
+            m.pipelines += 1;
+            m.pipeline_ops.push(pl.ops() as u64);
+            m.intermediates_avoided += pl.intermediates_avoided() as u64;
+        }
+        // Drive. Each claim passes the morsel guard (fault point + cancel
+        // poll); each stage boundary polls again, so deadlines, budgets and
+        // explicit cancels trip within one morsel even mid-pipeline.
+        let cancel = &self.opts.cancel;
+        let outcome = pool::par_morsels(threads, n, step, &self.job_label("pipeline"), |z, r| {
+            morsel_guard(cancel)?;
+            let Some(mut chunk) = source_chunk(&source, z, r)? else {
+                return Ok(None);
+            };
+            for st in &stages {
+                chunk = apply_stage(st, chunk, cancel)?;
+            }
+            finish_chunk(&pl.sink, chunk).map(Some)
+        })?;
+        if threads > 1 {
+            self.note_claims(&outcome.claimed_per_worker);
+        }
+        // Merge surviving chunks in morsel order. The total surviving row
+        // count is known before the merge starts, so the accumulating
+        // columns reserve once instead of repeatedly doubling.
+        let chunks: Vec<ChunkOut> = outcome.results.into_iter().flatten().collect();
+        let total: usize = chunks
+            .iter()
+            .map(|c| match c {
+                ChunkOut::Batch(b) => b.num_rows(),
+                ChunkOut::Agg { rows, .. } => *rows,
+            })
+            .sum();
+        match &pl.sink {
+            Sink::Materialize => {
+                let mut cols: Option<Vec<Column>> = None;
+                for out in chunks {
+                    let ChunkOut::Batch(b) = out else {
+                        unreachable!("materialize sink emits batches");
+                    };
+                    match &mut cols {
+                        None => {
+                            let mut first: Vec<Column> = b
+                                .cols
+                                .into_iter()
+                                .map(|c| Arc::try_unwrap(c).unwrap_or_else(|a| (*a).clone()))
+                                .collect();
+                            let extra = total - first.first().map_or(total, Column::len);
+                            for c in &mut first {
+                                c.reserve(extra);
+                            }
+                            cols = Some(first);
+                        }
+                        Some(acc) => {
+                            self.opts.cancel.check()?;
+                            for (a, c) in acc.iter_mut().zip(&b.cols) {
+                                a.append(c)?;
+                            }
+                        }
+                    }
+                }
+                Ok(match cols {
+                    Some(cols) => Batch::from_columns(cols),
+                    None => empty_batch(plan.schema()),
+                })
+            }
+            Sink::Aggregate { group, aggs } => {
+                let (arg_map, uniq_exprs) = arg_dedup(aggs);
+                let mut merged: Option<(Vec<Column>, Vec<Column>)> = None;
+                let mut rows = 0usize;
+                for out in chunks {
+                    let ChunkOut::Agg {
+                        rows: r,
+                        keys,
+                        args,
+                    } = out
+                    else {
+                        unreachable!("aggregate sink emits key/arg columns");
+                    };
+                    rows += r;
+                    match &mut merged {
+                        None => {
+                            let (mut keys, mut args) = (keys, args);
+                            for c in keys.iter_mut().chain(args.iter_mut()) {
+                                c.reserve(total - r);
+                            }
+                            merged = Some((keys, args));
+                        }
+                        Some((kc, ac)) => {
+                            self.opts.cancel.check()?;
+                            for (a, b) in kc.iter_mut().zip(&keys) {
+                                a.append(b)?;
+                            }
+                            for (a, b) in ac.iter_mut().zip(&args) {
+                                a.append(b)?;
+                            }
+                        }
+                    }
+                }
+                let (key_cols, uniq_cols) = match merged {
+                    Some(m) => m,
+                    // Every zone pruned / all rows filtered: typed empties
+                    // from the stage chain's static output dtypes.
+                    None => {
+                        let LogicalPlan::Aggregate { input, .. } = plan else {
+                            unreachable!("aggregate sink under a non-aggregate root");
+                        };
+                        let dts: Vec<DType> =
+                            input.schema().fields.iter().map(|f| f.dtype).collect();
+                        (
+                            group.iter().map(|e| Column::new(e.dtype(&dts))).collect(),
+                            uniq_exprs
+                                .iter()
+                                .map(|e| Column::new(e.dtype(&dts)))
+                                .collect(),
+                        )
+                    }
+                };
+                // Expand the deduplicated columns back to one slot per
+                // aggregate — shared slots borrow the same merged column.
+                let arg_refs: Vec<Option<&Column>> =
+                    arg_map.iter().map(|m| m.map(|u| &uniq_cols[u])).collect();
+                self.aggregate_from_cols(rows, key_cols, &arg_refs, group, aggs)
+            }
+        }
+    }
+
+    /// Turns an extracted stage into its runtime form; probe stages execute
+    /// their build side and construct the hash index here.
+    fn prepare_stage<'q>(&self, st: &'q Stage<'_>) -> Result<PStage<'q>> {
+        Ok(match st {
+            Stage::Filter(p) => PStage::Filter(p),
+            Stage::Project(e) => PStage::Project(e),
+            Stage::Probe(pr) => {
+                let right = self.exec(pr.build)?;
+                let rkey_cols: Vec<Column> = pr
+                    .right_keys
+                    .iter()
+                    .map(|e| e.eval(&right, None))
+                    .collect::<Result<_>>()?;
+                let rrefs: Vec<&Column> = rkey_cols.iter().collect();
+                let index = match pr.spec.width() {
+                    KeyWidth::U64 => {
+                        ProbeIndex::U64(self.build_index(&opt_keys(pr.spec.pack_u64(&rrefs)))?)
+                    }
+                    KeyWidth::U128 => {
+                        ProbeIndex::U128(self.build_index(&opt_keys(pr.spec.pack_u128(&rrefs)))?)
+                    }
+                };
+                PStage::Probe(PProbe {
+                    kind: pr.kind,
+                    left_keys: pr.left_keys,
+                    residual: pr.residual,
+                    spec: &pr.spec,
+                    right,
+                    index,
+                })
+            }
+        })
+    }
+}
+
+// ---------------- pipeline chunk machinery ----------------
+//
+// Everything below runs inside worker closures, so it is free functions
+// over `Sync` state only (columns, prepared stages, the cancel token) —
+// never the executor's `RefCell` metrics.
+
+/// Live rows of a chunk: a contiguous source range (evaluated through the
+/// sliced kernel entry points, no index vector) or explicit survivors.
+enum Rows {
+    Range(std::ops::Range<usize>),
+    Sel(Vec<usize>),
+}
+
+impl Rows {
+    fn len(&self) -> usize {
+        match self {
+            Rows::Range(r) => r.len(),
+            Rows::Sel(s) => s.len(),
+        }
+    }
+}
+
+/// One morsel's worth of data flowing through a pipeline: a batch of
+/// columns (`Arc`-shared source columns, or a morsel-sized materialization
+/// a stage produced — `owned`), plus the selection of live rows.
+struct Chunk {
+    batch: Batch,
+    rows: Rows,
+    owned: bool,
+}
+
+/// A pipeline's prepared source.
+enum PSource<'a> {
+    /// Fused predicated scan: the full stored batch (scan predicates
+    /// address stored column indices), the projected view chunks flow from,
+    /// the predicate, and the zone-map verdicts.
+    Scan {
+        full: Batch,
+        proj: Batch,
+        pred: &'a BExpr,
+        zone_ok: Option<Vec<bool>>,
+    },
+    /// Materialized breaker output, chunked on the `opts.morsel` grid.
+    Mat(Batch),
+}
+
+/// A prepared stage: filters and projections run as-is; probes carry their
+/// built hash index and build-side batch.
+enum PStage<'a> {
+    Filter(&'a BExpr),
+    Project(&'a [BExpr]),
+    Probe(PProbe<'a>),
+}
+
+/// A prepared fused join probe.
+struct PProbe<'a> {
+    kind: JKind,
+    left_keys: &'a [BExpr],
+    residual: Option<&'a BExpr>,
+    spec: &'a FixedKeySpec,
+    right: Batch,
+    index: ProbeIndex,
+}
+
+/// The build-side hash index at its planned key width.
+enum ProbeIndex {
+    U64(PartitionedIndex<u64>),
+    U128(PartitionedIndex<u128>),
+}
+
+/// A chunk's contribution to the pipeline result.
+enum ChunkOut {
+    /// Materialize sink: the surviving rows, fully gathered.
+    Batch(Batch),
+    /// Aggregate sink: narrow group-key and **deduplicated** argument
+    /// columns over the surviving rows (`rows` of them), ready to
+    /// concatenate in morsel order. Argument columns follow the
+    /// [`arg_dedup`] order, so `SUM(v)` + `AVG(v)` + `MIN(v)` evaluate and
+    /// merge `v` once.
+    Agg {
+        rows: usize,
+        keys: Vec<Column>,
+        args: Vec<Column>,
+    },
+}
+
+/// Maps each aggregate's argument expression to an index into the
+/// deduplicated argument list (`None` for argument-less aggregates like
+/// `COUNT(*)`). Syntactically identical arguments share one slot, so the
+/// fused sink evaluates and concatenates each distinct expression exactly
+/// once per morsel. The mapping is a pure function of `aggs`, so every
+/// chunk and the merging driver derive the same layout independently.
+fn arg_dedup(aggs: &[BAgg]) -> (Vec<Option<usize>>, Vec<&BExpr>) {
+    let mut uniq: Vec<&BExpr> = Vec::new();
+    let map = aggs
+        .iter()
+        .map(|a| {
+            a.arg.as_ref().map(|e| {
+                uniq.iter().position(|u| *u == e).unwrap_or_else(|| {
+                    uniq.push(e);
+                    uniq.len() - 1
+                })
+            })
+        })
+        .collect();
+    (map, uniq)
+}
+
+/// Produces the chunk for one claimed morsel, or `None` when the zone is
+/// pruned or no row survives the scan predicate.
+fn source_chunk(src: &PSource<'_>, z: usize, r: std::ops::Range<usize>) -> Result<Option<Chunk>> {
+    match src {
+        PSource::Mat(b) => Ok(Some(Chunk {
+            batch: b.clone(),
+            rows: Rows::Range(r),
+            owned: false,
+        })),
+        PSource::Scan {
+            full,
+            proj,
+            pred,
+            zone_ok,
+        } => {
+            if zone_ok.as_ref().is_some_and(|ok| !ok[z]) {
+                return Ok(None);
+            }
+            let mask = pred.eval_mask_range(full, r.start, r.end)?;
+            if mask.iter().all(|&k| k) {
+                return Ok(Some(Chunk {
+                    batch: proj.clone(),
+                    rows: Rows::Range(r),
+                    owned: false,
+                }));
+            }
+            let rows: Vec<usize> = r
+                .zip(mask)
+                .filter_map(|(i, keep)| keep.then_some(i))
+                .collect();
+            if rows.is_empty() {
+                return Ok(None);
+            }
+            Ok(Some(Chunk {
+                batch: proj.clone(),
+                rows: Rows::Sel(rows),
+                owned: false,
+            }))
+        }
+    }
+}
+
+/// Evaluates an expression over a chunk's live rows: ranges go through the
+/// sliced kernel entry points, survivor selections through the classic
+/// gather path.
+fn eval_rows(e: &BExpr, batch: &Batch, rows: &Rows) -> Result<Column> {
+    match rows {
+        Rows::Range(r) => e.eval_range(batch, r.start, r.end),
+        Rows::Sel(s) => e.eval(batch, Some(s)),
+    }
+}
+
+/// [`eval_rows`] for predicates.
+fn mask_rows(pred: &BExpr, batch: &Batch, rows: &Rows) -> Result<Vec<bool>> {
+    match rows {
+        Rows::Range(r) => pred.eval_mask_range(batch, r.start, r.end),
+        Rows::Sel(s) => pred.eval_mask(batch, Some(s)),
+    }
+}
+
+/// Narrows a selection by a per-live-row mask.
+fn shrink(rows: Rows, mask: &[bool]) -> Rows {
+    match rows {
+        Rows::Range(r) => Rows::Sel(
+            r.zip(mask)
+                .filter_map(|(i, &keep)| keep.then_some(i))
+                .collect(),
+        ),
+        Rows::Sel(s) => Rows::Sel(
+            s.into_iter()
+                .zip(mask)
+                .filter_map(|(i, &keep)| keep.then_some(i))
+                .collect(),
+        ),
+    }
+}
+
+/// Maps local live-row positions back to batch row indices.
+fn map_local(rows: &Rows, local: &[usize]) -> Vec<usize> {
+    match rows {
+        Rows::Range(r) => local.iter().map(|&i| r.start + i).collect(),
+        Rows::Sel(s) => local.iter().map(|&i| s[i]).collect(),
+    }
+}
+
+/// Keeps the live rows at the given local positions (semi/anti probes).
+fn select_local(rows: Rows, keep: &[usize]) -> Rows {
+    match rows {
+        Rows::Range(r) => Rows::Sel(keep.iter().map(|&i| r.start + i).collect()),
+        Rows::Sel(s) => Rows::Sel(keep.iter().map(|&i| s[i]).collect()),
+    }
+}
+
+/// Materializes a chunk's live rows.
+fn chunk_gather(batch: &Batch, rows: &Rows) -> Batch {
+    match rows {
+        Rows::Range(r) => Batch {
+            cols: batch
+                .cols
+                .iter()
+                .map(|c| Arc::new(c.slice(r.start, r.end)))
+                .collect(),
+        },
+        Rows::Sel(s) => batch.gather(s),
+    }
+}
+
+/// Charges a stage's freshly materialized chunk columns against the memory
+/// budget (no-op without an armed budget, matching
+/// [`Executor::charge_batch`]'s accounting policy).
+fn charge_cols(cancel: &CancelToken, cols: &[Arc<Column>]) -> Result<()> {
+    if cancel.budget_bytes().is_some() {
+        cancel.charge(cols.iter().map(|c| c.heap_bytes()).sum())?;
+    }
+    Ok(())
+}
+
+/// Applies one stage to a chunk. Every stage boundary polls the token, so
+/// lifecycle limits trip within one morsel even mid-pipeline.
+fn apply_stage(st: &PStage<'_>, chunk: Chunk, cancel: &CancelToken) -> Result<Chunk> {
+    cancel.check()?;
+    match st {
+        PStage::Filter(pred) => {
+            let mask = mask_rows(pred, &chunk.batch, &chunk.rows)?;
+            let Chunk { batch, rows, owned } = chunk;
+            Ok(Chunk {
+                batch,
+                rows: shrink(rows, &mask),
+                owned,
+            })
+        }
+        PStage::Project(exprs) => {
+            let n = chunk.rows.len();
+            let cols: Vec<Arc<Column>> = exprs
+                .iter()
+                .map(|e| eval_rows(e, &chunk.batch, &chunk.rows).map(Arc::new))
+                .collect::<Result<_>>()?;
+            charge_cols(cancel, &cols)?;
+            Ok(Chunk {
+                batch: Batch { cols },
+                rows: Rows::Range(0..n),
+                owned: true,
+            })
+        }
+        PStage::Probe(p) => apply_probe(p, chunk, cancel),
+    }
+}
+
+/// Probes one chunk through a fused join. Semi/anti joins only narrow the
+/// selection (no columns move); inner/left joins materialize the joined
+/// morsel (left columns gathered, right columns gathered-with-nulls), in
+/// exactly the left-major, right-ascending order the materializing join
+/// emits.
+fn apply_probe(p: &PProbe<'_>, chunk: Chunk, cancel: &CancelToken) -> Result<Chunk> {
+    let kcols: Vec<Column> = p
+        .left_keys
+        .iter()
+        .map(|e| eval_rows(e, &chunk.batch, &chunk.rows))
+        .collect::<Result<_>>()?;
+    let krefs: Vec<&Column> = kcols.iter().collect();
+    let hits = match &p.index {
+        ProbeIndex::U64(idx) => probe_rows(&opt_keys(p.spec.pack_u64(&krefs)), idx, p.kind),
+        ProbeIndex::U128(idx) => probe_rows(&opt_keys(p.spec.pack_u128(&krefs)), idx, p.kind),
+    };
+    let joined = match hits {
+        ProbeHits::Keep(keep) => {
+            let Chunk { batch, rows, owned } = chunk;
+            Chunk {
+                batch,
+                rows: select_local(rows, &keep),
+                owned,
+            }
+        }
+        ProbeHits::Pairs { li, ri } => {
+            let bi = map_local(&chunk.rows, &li);
+            let mut cols = chunk.batch.gather(&bi).cols;
+            cols.extend(p.right.gather_opt(&ri).cols);
+            charge_cols(cancel, &cols)?;
+            let n = cols.first().map_or(0, |c| c.len());
+            Chunk {
+                batch: Batch { cols },
+                rows: Rows::Range(0..n),
+                owned: true,
+            }
+        }
+    };
+    match p.residual {
+        None => Ok(joined),
+        Some(res) => {
+            let mask = mask_rows(res, &joined.batch, &joined.rows)?;
+            let Chunk { batch, rows, owned } = joined;
+            Ok(Chunk {
+                batch,
+                rows: shrink(rows, &mask),
+                owned,
+            })
+        }
+    }
+}
+
+/// Per-row probe outcomes, in local live-row positions.
+enum ProbeHits {
+    /// Semi/anti: live rows to keep.
+    Keep(Vec<usize>),
+    /// Inner/left: match pairs — local left position, optional build row
+    /// (`None` = unmatched left row of a left join).
+    Pairs {
+        li: Vec<usize>,
+        ri: Vec<Option<usize>>,
+    },
+}
+
+/// The probe loop, generic over the packed key width. Match semantics are
+/// byte-compatible with [`Executor::join_with_keys`]: NULL keys never
+/// match, semi keeps rows with a non-empty match list, anti keeps NULL-key
+/// and matchless rows.
+fn probe_rows<K: Hash + Eq + Copy + Send + Sync>(
+    keys: &[Option<K>],
+    index: &PartitionedIndex<K>,
+    kind: JKind,
+) -> ProbeHits {
+    match kind {
+        JKind::Semi | JKind::Anti => {
+            let want = matches!(kind, JKind::Semi);
+            ProbeHits::Keep(
+                keys.iter()
+                    .enumerate()
+                    .filter_map(|(i, k)| {
+                        let hit = k
+                            .as_ref()
+                            .and_then(|k| index.get(k))
+                            .is_some_and(|rows| !rows.is_empty());
+                        (hit == want).then_some(i)
+                    })
+                    .collect(),
+            )
+        }
+        _ => {
+            let keep_unmatched = matches!(kind, JKind::Left);
+            let mut li: Vec<usize> = Vec::new();
+            let mut ri: Vec<Option<usize>> = Vec::new();
+            for (i, k) in keys.iter().enumerate() {
+                match k.as_ref().and_then(|k| index.get(k)) {
+                    Some(rows) => {
+                        for &r in rows {
+                            li.push(i);
+                            ri.push(Some(r as usize));
+                        }
+                    }
+                    None => {
+                        if keep_unmatched {
+                            li.push(i);
+                            ri.push(None);
+                        }
+                    }
+                }
+            }
+            ProbeHits::Pairs { li, ri }
+        }
+    }
+}
+
+/// Terminates a chunk at the pipeline's sink.
+fn finish_chunk(sink: &Sink<'_>, chunk: Chunk) -> Result<ChunkOut> {
+    match sink {
+        Sink::Materialize => {
+            // A stage-owned batch whose rows all survive needs no copy.
+            if chunk.owned {
+                if let Rows::Range(r) = &chunk.rows {
+                    if r.start == 0 && r.end == chunk.batch.num_rows() {
+                        return Ok(ChunkOut::Batch(chunk.batch));
+                    }
+                }
+            }
+            Ok(ChunkOut::Batch(chunk_gather(&chunk.batch, &chunk.rows)))
+        }
+        Sink::Aggregate { group, aggs } => {
+            let keys: Vec<Column> = group
+                .iter()
+                .map(|e| eval_rows(e, &chunk.batch, &chunk.rows))
+                .collect::<Result<_>>()?;
+            let (_, uniq) = arg_dedup(aggs);
+            let args: Vec<Column> = uniq
+                .iter()
+                .map(|e| eval_rows(e, &chunk.batch, &chunk.rows))
+                .collect::<Result<_>>()?;
+            Ok(ChunkOut::Agg {
+                rows: chunk.rows.len(),
+                keys,
+                args,
+            })
+        }
+    }
+}
+
+/// An empty batch with the schema's dtypes (a pipeline whose every chunk
+/// was pruned or filtered away still reports typed columns).
+fn empty_batch(schema: &Schema) -> Batch {
+    Batch {
+        cols: schema
+            .fields
+            .iter()
+            .map(|f| Arc::new(Column::new(f.dtype)))
+            .collect(),
     }
 }
 

@@ -403,33 +403,61 @@ impl BExpr {
     /// Evaluates over `batch`, optionally restricted to `sel` row indices.
     /// The output column has `sel.len()` rows when `sel` is given.
     pub fn eval(&self, batch: &crate::table::Batch, sel: Option<&[usize]>) -> Result<Column> {
-        let n = sel.map_or(batch.num_rows(), |s| s.len());
+        match sel {
+            Some(s) => self.eval_rows(batch, RowsRef::Sel(s)),
+            None => self.eval_rows(batch, RowsRef::All),
+        }
+    }
+
+    /// Evaluates over the contiguous row range `[start, end)` of `batch`.
+    ///
+    /// Semantically identical to [`BExpr::eval`] with the selection
+    /// `start..end`, but column leaves slice their subrange (a memcpy)
+    /// instead of gathering through a per-row index vector — the kernel
+    /// entry point the fused pipeline driver uses for zone-aligned scan
+    /// morsels. `end` must not exceed the batch's row count.
+    pub fn eval_range(
+        &self,
+        batch: &crate::table::Batch,
+        start: usize,
+        end: usize,
+    ) -> Result<Column> {
+        self.eval_rows(batch, RowsRef::Range(start, end))
+    }
+
+    fn eval_rows(&self, batch: &crate::table::Batch, rows: RowsRef<'_>) -> Result<Column> {
+        let n = match rows {
+            RowsRef::All => batch.num_rows(),
+            RowsRef::Sel(s) => s.len(),
+            RowsRef::Range(start, end) => end - start,
+        };
         match self {
             BExpr::Col(i) => {
                 let col = batch
                     .cols
                     .get(*i)
                     .ok_or_else(|| Error::Exec(format!("column index {i} out of range")))?;
-                Ok(match sel {
-                    Some(s) => col.gather(s),
-                    None => (**col).clone(),
+                Ok(match rows {
+                    RowsRef::All => (**col).clone(),
+                    RowsRef::Sel(s) => col.gather(s),
+                    RowsRef::Range(start, end) => col.slice(start, end),
                 })
             }
             BExpr::Lit(v) => Ok(lit_column(v, n)),
             BExpr::Bin { op, l, r } => {
-                let lc = l.eval(batch, sel)?;
-                let rc = r.eval(batch, sel)?;
+                let lc = l.eval_rows(batch, rows)?;
+                let rc = r.eval_rows(batch, rows)?;
                 eval_bin(*op, &lc, &rc)
             }
             BExpr::Not(e) => {
-                let c = e.eval(batch, sel)?;
+                let c = e.eval_rows(batch, rows)?;
                 match c {
                     Column::Bool(d, _) => Ok(Column::from_bool(d.iter().map(|b| !b).collect())),
                     _ => Err(Error::Exec("NOT requires a boolean".into())),
                 }
             }
             BExpr::Neg(e) => {
-                let c = e.eval(batch, sel)?;
+                let c = e.eval_rows(batch, rows)?;
                 match c {
                     Column::Int(d, v) => Ok(Column::Int(d.iter().map(|x| -x).collect(), v)),
                     Column::Float(d, v) => Ok(Column::Float(d.iter().map(|x| -x).collect(), v)),
@@ -437,7 +465,7 @@ impl BExpr {
                 }
             }
             BExpr::IsNull { e, negated } => {
-                let c = e.eval(batch, sel)?;
+                let c = e.eval_rows(batch, rows)?;
                 let out: Vec<bool> = (0..c.len()).map(|i| c.is_valid(i) == *negated).collect();
                 Ok(Column::from_bool(out))
             }
@@ -446,7 +474,7 @@ impl BExpr {
                 pattern,
                 negated,
             } => {
-                let c = e.eval(batch, sel)?;
+                let c = e.eval_rows(batch, rows)?;
                 match &c {
                     Column::Str(d, valid) => {
                         let out: Vec<bool> = d
@@ -463,21 +491,21 @@ impl BExpr {
                 }
             }
             BExpr::InList { e, list, negated } => {
-                let c = e.eval(batch, sel)?;
+                let c = e.eval_rows(batch, rows)?;
                 Ok(Column::from_bool(eval_in_list(&c, list, *negated)))
             }
             BExpr::Case { arms, else_value } => {
                 let conds: Vec<Column> = arms
                     .iter()
-                    .map(|(c, _)| c.eval(batch, sel))
+                    .map(|(c, _)| c.eval_rows(batch, rows))
                     .collect::<Result<_>>()?;
                 let vals: Vec<Column> = arms
                     .iter()
-                    .map(|(_, v)| v.eval(batch, sel))
+                    .map(|(_, v)| v.eval_rows(batch, rows))
                     .collect::<Result<_>>()?;
                 let els = else_value
                     .as_ref()
-                    .map(|e| e.eval(batch, sel))
+                    .map(|e| e.eval_rows(batch, rows))
                     .transpose()?;
                 // Output type from the first branch value (ELSE included).
                 let dtype = vals
@@ -504,12 +532,12 @@ impl BExpr {
             BExpr::Func { f, args } => {
                 let cols: Vec<Column> = args
                     .iter()
-                    .map(|a| a.eval(batch, sel))
+                    .map(|a| a.eval_rows(batch, rows))
                     .collect::<Result<_>>()?;
                 eval_func(*f, &cols, n)
             }
             BExpr::Cast { e, to } => {
-                let c = e.eval(batch, sel)?;
+                let c = e.eval_rows(batch, rows)?;
                 c.cast(*to)
             }
         }
@@ -529,6 +557,36 @@ impl BExpr {
             ))),
         }
     }
+
+    /// [`BExpr::eval_mask`] over the contiguous row range `[start, end)`
+    /// — the range-sliced counterpart (see [`BExpr::eval_range`]).
+    pub fn eval_mask_range(
+        &self,
+        batch: &crate::table::Batch,
+        start: usize,
+        end: usize,
+    ) -> Result<Vec<bool>> {
+        match self.eval_range(batch, start, end)? {
+            Column::Bool(d, _) => Ok(d),
+            other => Err(Error::Exec(format!(
+                "predicate evaluated to {} not bool",
+                other.dtype()
+            ))),
+        }
+    }
+}
+
+/// Internal row addressing for the shared kernel walk: the classic optional
+/// selection vector, or a contiguous range whose column leaves slice
+/// instead of gathering.
+#[derive(Clone, Copy)]
+enum RowsRef<'s> {
+    /// Every row of the batch.
+    All,
+    /// Explicit row indices.
+    Sel(&'s [usize]),
+    /// The contiguous range `[start, end)`.
+    Range(usize, usize),
 }
 
 fn coerce(v: Value, to: DType) -> Result<Value> {

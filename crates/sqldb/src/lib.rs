@@ -61,6 +61,7 @@ pub mod lex;
 pub mod lower;
 pub mod optimize;
 pub mod parser;
+pub mod pipeline;
 pub mod plan;
 pub mod stats;
 pub mod table;

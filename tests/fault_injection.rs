@@ -132,6 +132,82 @@ fn injected_faults_yield_transient_errors_or_identical_results() {
     fault::clear();
 }
 
+/// The fused pipeline driver under the same sweeps: morsel faults fire at
+/// the claim inside the single-pass drive (before any stage of that morsel
+/// runs), mid-pipeline rather than between materialized operators. The
+/// invariant is unchanged — and strengthened: every *completed* faulted
+/// run must be bit-identical to the **materializing** reference, so a
+/// fault can never corrupt the fused driver's published chunks or partial
+/// aggregation state.
+#[test]
+fn injected_faults_in_fused_pipelines_yield_transient_or_identical() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    fault::clear();
+    let db = Database::new();
+    db.register("t", rel(0, BASE_ROWS));
+    // The pushed-down predicate makes this a scan→aggregate pipeline under
+    // the fused profile.
+    let sql = "SELECT COUNT(*) AS n, SUM(id) AS ids, SUM(a + b) AS torn FROM t WHERE id >= 0";
+    let prepared = db.prepare(sql, Profile::Fused).unwrap();
+    let fused_cfgs = [
+        EngineConfig {
+            profile: Profile::Fused,
+            threads: 1,
+            morsel: 4096,
+            ..EngineConfig::default()
+        },
+        EngineConfig {
+            profile: Profile::Fused,
+            threads: 4,
+            morsel: 4096,
+            ..EngineConfig::default()
+        },
+    ];
+    let reference = db
+        .execute_prepared(
+            &prepared,
+            &EngineConfig {
+                profile: Profile::Vectorized,
+                threads: 1,
+                morsel: 4096,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+
+    for (seed, rate) in sweep() {
+        fault::set(seed, rate);
+        let mut failures = 0u32;
+        for round in 0..30 {
+            let cfg = &fused_cfgs[round % fused_cfgs.len()];
+            match db.execute_prepared(&prepared, cfg) {
+                Ok(out) => {
+                    assert_eq!(
+                        out, reference,
+                        "seed {seed}: a faulted fused run diverged from the \
+                         materializing reference"
+                    );
+                }
+                Err(e) => {
+                    failures += 1;
+                    assert!(
+                        e.is_transient(),
+                        "seed {seed}: fused-pipeline fault surfaced as a permanent error: {e}"
+                    );
+                }
+            }
+        }
+        assert!(
+            failures > 0,
+            "seed {seed}: no injected fault fired in 30 fused runs"
+        );
+        fault::clear();
+        let after = db.execute_prepared(&prepared, &fused_cfgs[1]).unwrap();
+        assert_eq!(after, reference, "seed {seed}: pool left unserviceable");
+    }
+    fault::clear();
+}
+
 /// Appends under injected publication faults: a failed append changes
 /// neither the version nor the content, and the table afterwards holds
 /// exactly the successful batches.

@@ -1,0 +1,399 @@
+//! Seeded random-plan fuzzer for the fused pipeline driver: random
+//! filter → project → join → aggregate chains over small typed tables
+//! (NULL-heavy, empty, single-row) run **differentially** — the fused
+//! profile at several thread counts against the materializing
+//! operator-at-a-time oracle — and must agree bit for bit
+//! (`Value::total_cmp` per cell). The sliced kernel entry points the fused
+//! scan uses (`eval_range` / `eval_mask_range`) are additionally checked
+//! against selection-vector evaluation and the row-at-a-time
+//! `expr::reference` evaluator.
+//!
+//! The proptest shim (`shims/proptest`) has no shrinking, so failures
+//! shrink by hand: ops are greedily dropped from the chain while the
+//! divergence persists, and the panic reports the **minimal** failing plan
+//! as runnable SQL.
+
+use proptest::prelude::*;
+use pytond::{EngineConfig, Profile};
+use pytond_common::{Column, DType, Relation, Value};
+use pytond_sqldb::ast::BinOp;
+use pytond_sqldb::expr::{reference, BExpr};
+use pytond_sqldb::table::Batch;
+use pytond_sqldb::Database;
+
+/// Tiny morsels so even fuzz-sized tables cross chunk boundaries inside
+/// fused pipelines.
+const FUZZ_MORSEL: usize = 16;
+
+fn config(profile: Profile, threads: usize) -> EngineConfig {
+    EngineConfig {
+        profile,
+        threads,
+        morsel: FUZZ_MORSEL,
+        zone_prune: true,
+        ..EngineConfig::default()
+    }
+}
+
+/// Probe-side table `t(k, f, v)`: `k` is NULL-heavy (≈⅓), keys land in a
+/// tiny domain so joins and group-bys collide constantly.
+fn table_t(rows: &[(u8, i64, f64, i64)]) -> Relation {
+    let mut k = Column::new(DType::Int);
+    for (nk, kv, _, _) in rows {
+        if *nk == 0 {
+            k.push_null();
+        } else {
+            k.push(Value::Int(*kv)).unwrap();
+        }
+    }
+    Relation::new(vec![
+        ("k".into(), k),
+        (
+            "f".into(),
+            Column::from_f64(rows.iter().map(|r| r.2).collect()),
+        ),
+        (
+            "v".into(),
+            Column::from_i64(rows.iter().map(|r| r.3).collect()),
+        ),
+    ])
+    .unwrap()
+}
+
+/// Build-side table `r(k, w)`, NULL keys on ≈¼ of rows.
+fn table_r(rows: &[(u8, i64, i64)]) -> Relation {
+    let mut k = Column::new(DType::Int);
+    for (nk, kv, _) in rows {
+        if *nk == 0 {
+            k.push_null();
+        } else {
+            k.push(Value::Int(*kv)).unwrap();
+        }
+    }
+    Relation::new(vec![
+        ("k".into(), k),
+        (
+            "w".into(),
+            Column::from_i64(rows.iter().map(|r| r.2).collect()),
+        ),
+    ])
+    .unwrap()
+}
+
+/// One random plan operator. The chain keeps a fixed output schema
+/// `(c0 int, c1 float, c2 int)` so every op composes with every other.
+type Op = (u8, i64);
+
+/// Renders an op chain as a CTE pipeline over `t` (joins hit `r`).
+fn chain_sql(ops: &[Op]) -> String {
+    let mut ctes = vec!["s0 AS (SELECT k AS c0, f AS c1, v AS c2 FROM t)".to_string()];
+    for (i, &(kind, p)) in ops.iter().enumerate() {
+        let prev = format!("s{i}");
+        let cur = format!("s{}", i + 1);
+        let body = match kind {
+            // Filters: comparisons, NULL tests, conjunction/disjunction.
+            0 => {
+                let pred = match p % 4 {
+                    0 => format!("c0 > {}", p % 5),
+                    1 => format!("c1 < {}.5", p % 7),
+                    2 => format!("c0 IS NOT NULL AND c2 > {}", p % 9 - 4),
+                    _ => format!("c0 IS NULL OR c2 < {}", p % 11 - 5),
+                };
+                format!("SELECT c0 AS c0, c1 AS c1, c2 AS c2 FROM {prev} WHERE {pred}")
+            }
+            // Projections: arithmetic, mixed-type widening, CASE.
+            1 => match p % 4 {
+                0 => format!("SELECT c0 + 1 AS c0, c1 * 2.0 AS c1, c2 AS c2 FROM {prev}"),
+                1 => format!(
+                    "SELECT c0 AS c0, c1 + c2 AS c1, c2 - {} AS c2 FROM {prev}",
+                    p % 5
+                ),
+                2 => format!("SELECT 0 - c0 AS c0, c1 AS c1, c2 + c2 AS c2 FROM {prev}"),
+                _ => format!(
+                    "SELECT c0 AS c0, CASE WHEN c2 > {} THEN c1 ELSE 0.0 - c1 END AS c1, \
+                     c2 AS c2 FROM {prev}",
+                    p % 6
+                ),
+            },
+            // Joins against r: inner/left fused probes, semi/anti via
+            // IN / NOT IN subqueries.
+            2 => match p % 4 {
+                0 => format!(
+                    "SELECT {prev}.c0 AS c0, {prev}.c1 AS c1, r.w AS c2 \
+                     FROM {prev} JOIN r ON {prev}.c0 = r.k"
+                ),
+                1 => format!(
+                    "SELECT {prev}.c0 AS c0, {prev}.c1 AS c1, r.w AS c2 \
+                     FROM {prev} LEFT JOIN r ON {prev}.c0 = r.k"
+                ),
+                2 => format!(
+                    "SELECT c0 AS c0, c1 AS c1, c2 AS c2 FROM {prev} \
+                     WHERE c0 IN (SELECT k FROM r)"
+                ),
+                _ => format!(
+                    "SELECT c0 AS c0, c1 AS c1, c2 AS c2 FROM {prev} \
+                     WHERE c0 NOT IN (SELECT k FROM r WHERE k IS NOT NULL)"
+                ),
+            },
+            // Aggregations (pipeline breakers mid-chain; sinks at the end):
+            // grouped float SUM (merge-order sensitive) or scalar aggs.
+            _ => match p % 2 {
+                0 => format!(
+                    "SELECT c0 AS c0, SUM(c1) AS c1, COUNT(*) AS c2 FROM {prev} GROUP BY c0"
+                ),
+                _ => format!("SELECT MIN(c0) AS c0, AVG(c1) AS c1, COUNT(c2) AS c2 FROM {prev}"),
+            },
+        };
+        ctes.push(format!("{cur} AS ({body})"));
+    }
+    format!(
+        "WITH {} SELECT c0 AS c0, c1 AS c1, c2 AS c2 FROM s{}",
+        ctes.join(", "),
+        ops.len()
+    )
+}
+
+fn diff_cells(name: &str, a: &Relation, b: &Relation) -> Option<String> {
+    if a.num_cols() != b.num_cols() {
+        return Some(format!(
+            "{name}: column count {} vs {}",
+            a.num_cols(),
+            b.num_cols()
+        ));
+    }
+    if a.num_rows() != b.num_rows() {
+        return Some(format!(
+            "{name}: row count {} vs {}",
+            a.num_rows(),
+            b.num_rows()
+        ));
+    }
+    for ci in 0..a.num_cols() {
+        let (ca, cb) = (a.column_at(ci), b.column_at(ci));
+        for i in 0..ca.len() {
+            let (va, vb) = (ca.get(i), cb.get(i));
+            if va.total_cmp(&vb) != std::cmp::Ordering::Equal {
+                return Some(format!(
+                    "{name}: cell ({i}, {}) differs: {va:?} vs {vb:?}",
+                    a.name_at(ci)
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Runs one chain differentially. `None` = fused and materializing agree at
+/// every thread count; `Some(why)` = divergence (a finding). The
+/// materializing oracle itself must accept the generated SQL — the
+/// generator only emits supported plans.
+fn fails(db: &Database, ops: &[Op]) -> Option<String> {
+    let sql = chain_sql(ops);
+    let reference = match db.execute_sql(&sql, &config(Profile::Vectorized, 1)) {
+        Ok(r) => r,
+        Err(e) => return Some(format!("oracle rejected generated SQL: {e}\n{sql}")),
+    };
+    for threads in [1usize, 2, 7] {
+        match db.execute_sql(&sql, &config(Profile::Fused, threads)) {
+            Ok(fused) => {
+                if let Some(d) = diff_cells(&format!("fused@{threads}t"), &reference, &fused) {
+                    return Some(d);
+                }
+            }
+            Err(e) => return Some(format!("fused@{threads}t errored where oracle ran: {e}")),
+        }
+    }
+    None
+}
+
+/// Hand-rolled shrinking: greedily drop ops while the chain still fails,
+/// then panic with the minimal plan.
+fn shrink_and_report(db: &Database, ops: &[Op], first_failure: String) -> ! {
+    let mut min: Vec<Op> = ops.to_vec();
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < min.len() {
+            let mut cand = min.clone();
+            cand.remove(i);
+            if fails(db, &cand).is_some() {
+                min = cand;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    let why = fails(db, &min).unwrap_or(first_failure);
+    panic!(
+        "fused/materializing divergence; minimal plan ({} of {} ops):\n{}\n{}",
+        min.len(),
+        ops.len(),
+        chain_sql(&min),
+        why
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fuzzer: random chains over random NULL-heavy tables (lengths
+    /// 0..40 include empty and single-row probe sides) must be
+    /// bit-identical fused vs materializing at threads 1/2/7.
+    #[test]
+    fn random_plans_fused_matches_materializing(
+        trows in prop::collection::vec((0u8..3, 0i64..8, -100.0f64..100.0, -20i64..20), 0..40),
+        rrows in prop::collection::vec((0u8..4, 0i64..8, 0i64..50), 0..12),
+        ops in prop::collection::vec((0u8..4, 0i64..40), 0..6),
+    ) {
+        let db = Database::new();
+        db.register("t", table_t(&trows));
+        db.register("r", table_r(&rrows));
+        if let Some(why) = fails(&db, &ops) {
+            shrink_and_report(&db, &ops, why);
+        }
+    }
+}
+
+/// Deterministic edge grid: every single-op chain (and a probe→aggregate
+/// pair) over the empty table and the single-row table.
+#[test]
+fn edge_tables_every_operator() {
+    for trows in [
+        vec![],
+        vec![(1u8, 3i64, 0.5f64, 7i64)],
+        vec![(0, 0, -1.5, -3), (1, 2, 2.5, 4), (1, 2, f64::NAN, 0)],
+    ] {
+        let db = Database::new();
+        db.register("t", table_t(&trows));
+        db.register("r", table_r(&[(0, 1, 10), (1, 2, 20), (1, 3, 30)]));
+        for kind in 0u8..4 {
+            for p in 0i64..4 {
+                if let Some(why) = fails(&db, &[(kind, p)]) {
+                    panic!("single op ({kind},{p}) over {} rows: {why}", trows.len());
+                }
+                if let Some(why) = fails(&db, &[(2, p), (3, 0)]) {
+                    panic!("probe→agg ({p}) over {} rows: {why}", trows.len());
+                }
+            }
+        }
+        // Empty build side: fused probes against a zero-row hash table.
+        let db2 = Database::new();
+        db2.register("t", table_t(&trows));
+        db2.register("r", table_r(&[]));
+        for p in 0i64..4 {
+            if let Some(why) = fails(&db2, &[(2, p)]) {
+                panic!(
+                    "probe vs empty build ({p}) over {} rows: {why}",
+                    trows.len()
+                );
+            }
+        }
+    }
+}
+
+// ---------------- sliced kernels vs selection vectors vs reference -------
+
+/// Bit-identical column comparison on valid rows (placeholder data under
+/// null slots is unspecified) — same policy as `tests/kernels_property.rs`.
+fn cols_bit_identical(a: &Column, b: &Column) -> bool {
+    if a.dtype() != b.dtype() || a.len() != b.len() {
+        return false;
+    }
+    (0..a.len()).all(|i| match (a.is_valid(i), b.is_valid(i)) {
+        (false, false) => true,
+        (true, true) => match (a.get(i), b.get(i)) {
+            (Value::Float(x), Value::Float(y)) => {
+                x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+            }
+            (x, y) => x == y,
+        },
+        _ => false,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `eval_range` (the fused scan's entry point) ≡ selection-vector
+    /// evaluation ≡ full evaluation + slice, and for binary nodes ≡ the
+    /// row-at-a-time reference evaluator over the sliced operands.
+    #[test]
+    fn range_evaluation_matches_selection_and_reference(
+        rows in prop::collection::vec((0u8..4, -50i64..50, 0u8..6, -1e3f64..1e3), 1..80),
+        bounds in prop::collection::vec(0usize..100, 2..10),
+        opsel in 0u8..11,
+    ) {
+        let mut ic = Column::new(DType::Int);
+        let mut fc = Column::new(DType::Float);
+        for &(ni, iv, nf, fv) in &rows {
+            if ni == 0 { ic.push_null(); } else { ic.push(Value::Int(iv)).unwrap(); }
+            match nf {
+                0 => fc.push_null(),
+                1 => fc.push(Value::Float(f64::NAN)).unwrap(),
+                2 => fc.push(Value::Float(-0.0)).unwrap(),
+                _ => fc.push(Value::Float(fv)).unwrap(),
+            }
+        }
+        let batch = Batch::from_columns(vec![ic.clone(), fc.clone()]);
+        let op = [
+            BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod,
+            BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge,
+        ][opsel as usize];
+        let expr = BExpr::Bin {
+            op,
+            l: Box::new(BExpr::Col(0)),
+            r: Box::new(BExpr::Col(1)),
+        };
+        let full = expr.eval(&batch, None).unwrap();
+        for pair in bounds.chunks_exact(2) {
+            let (mut s, mut e) = (pair[0] % rows.len(), pair[1] % (rows.len() + 1));
+            if s > e { std::mem::swap(&mut s, &mut e); }
+            let ranged = expr.eval_range(&batch, s, e).unwrap();
+            let sel: Vec<usize> = (s..e).collect();
+            let selected = expr.eval(&batch, Some(&sel)).unwrap();
+            prop_assert!(
+                cols_bit_identical(&ranged, &selected),
+                "range [{s},{e}) vs selection: {ranged:?} vs {selected:?}"
+            );
+            prop_assert!(
+                cols_bit_identical(&ranged, &full.slice(s, e)),
+                "range [{s},{e}) vs full+slice: {ranged:?} vs {:?}", full.slice(s, e)
+            );
+            let slow = reference::eval_bin(op, &ic.slice(s, e), &fc.slice(s, e)).unwrap();
+            prop_assert!(
+                cols_bit_identical(&ranged, &slow),
+                "range [{s},{e}) vs reference: {ranged:?} vs {slow:?}"
+            );
+        }
+    }
+
+    /// `eval_mask_range` ≡ `eval_mask` restricted to the range.
+    #[test]
+    fn mask_range_matches_selection_mask(
+        rows in prop::collection::vec((0u8..4, -20i64..20), 1..60),
+        cut in -10i64..10,
+        s in 0usize..60,
+        e in 0usize..60,
+    ) {
+        let mut ic = Column::new(DType::Int);
+        for &(ni, iv) in &rows {
+            if ni == 0 { ic.push_null(); } else { ic.push(Value::Int(iv)).unwrap(); }
+        }
+        let batch = Batch::from_columns(vec![ic]);
+        let pred = BExpr::Bin {
+            op: BinOp::Gt,
+            l: Box::new(BExpr::Col(0)),
+            r: Box::new(BExpr::Lit(Value::Int(cut))),
+        };
+        let (mut s, mut e) = (s % rows.len(), e % (rows.len() + 1));
+        if s > e { std::mem::swap(&mut s, &mut e); }
+        let ranged = pred.eval_mask_range(&batch, s, e).unwrap();
+        let sel: Vec<usize> = (s..e).collect();
+        let masked = pred.eval_mask(&batch, Some(&sel)).unwrap();
+        prop_assert!(ranged == masked, "[{s},{e}): {ranged:?} vs {masked:?}");
+    }
+}

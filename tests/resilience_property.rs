@@ -262,6 +262,97 @@ fn traces_report_limits_and_lifecycle_counters() {
     assert_eq!(unlimited.metrics.mem_budget_bytes, 0);
 }
 
+// ---------------- fused pipelines under lifecycle limits ----------------
+
+/// [`serial_cfg`] under the fused profile: the queries below execute as
+/// single-pass pipelines (scan → … → sink) instead of materializing
+/// operators.
+fn fused_cfg() -> EngineConfig {
+    EngineConfig {
+        profile: Profile::Fused,
+        ..serial_cfg()
+    }
+}
+
+/// [`SLOW_SQL`] with a pushed-down scan predicate, so the fused profile
+/// drives it as one scan→aggregate pipeline rather than falling back to
+/// the bare-aggregate operator.
+const SLOW_FUSED_SQL: &str =
+    "SELECT g, SUM(v) AS sv, SUM(w) AS sw, COUNT(*) AS n FROM big WHERE v >= 0 GROUP BY g";
+
+/// Lifecycle limits must trip *inside* a fused pipeline with the same
+/// one-morsel granularity as the materializing path: the driver polls the
+/// token at every claim and at every stage boundary, so a deadline, a
+/// pre-tripped cancel and a tight memory budget all abort mid-pipeline
+/// with their transient errors — and a clean re-run afterwards is
+/// bit-identical to the materializing oracle.
+#[test]
+fn fused_pipeline_trips_limits_within_a_morsel() {
+    let db = big_db();
+    let prepared = db.prepare(SLOW_FUSED_SQL, Profile::Fused).unwrap();
+    let reference = db.execute_prepared(&prepared, &serial_cfg()).unwrap();
+    assert_eq!(reference.num_rows() as i64, GROUPS);
+
+    // Deadline: aborts long before the pipeline would finish.
+    let start = Instant::now();
+    let err = db
+        .execute_prepared(&prepared, &fused_cfg().with_timeout(Some(10)))
+        .unwrap_err();
+    assert!(matches!(err, Error::Timeout(_)), "{err}");
+    assert!(err.is_transient());
+    assert!(
+        start.elapsed() < Duration::from_millis(1500),
+        "fused timeout surfaced only after {:?}",
+        start.elapsed()
+    );
+
+    // Pre-tripped cancel: the first morsel claim inside the pipeline polls
+    // the token and aborts before any chunk flows.
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let err = db
+        .snapshot()
+        .execute_prepared_with(&prepared, &fused_cfg(), cancel.clone())
+        .unwrap_err();
+    assert!(matches!(err, Error::Cancelled(_)), "{err}");
+    assert!(cancel.checks() > 0, "fused drive never polled the token");
+
+    // Memory budget: the aggregation state blows a 1 MiB budget whether or
+    // not the input streamed through a pipeline.
+    let err = db
+        .execute_prepared(&prepared, &fused_cfg().with_mem_budget(Some(1)))
+        .unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+    assert!(err.is_transient());
+
+    // No abort disturbed anything: the clean fused run reproduces the
+    // materializing reference bit for bit.
+    let after = db.execute_prepared(&prepared, &fused_cfg()).unwrap();
+    assert_eq!(reference, after, "fused abort disturbed the snapshot");
+}
+
+/// A materialize-sink pipeline (scan → project, no aggregation) charges its
+/// per-chunk stage outputs against the budget, so a tight budget trips
+/// mid-pipeline — within one morsel of crossing the line, not after the
+/// full output materialized.
+#[test]
+fn fused_projection_pipeline_charges_chunks_against_the_budget() {
+    let db = big_db();
+    let sql = "SELECT v + w AS x FROM big WHERE v >= 0";
+    let prepared = db.prepare(sql, Profile::Fused).unwrap();
+
+    let err = db
+        .execute_prepared(&prepared, &fused_cfg().with_mem_budget(Some(1)))
+        .unwrap_err();
+    assert!(matches!(err, Error::ResourceExhausted(_)), "{err}");
+
+    // Unbudgeted, fused output equals the materializing oracle's.
+    let reference = db.execute_prepared(&prepared, &serial_cfg()).unwrap();
+    let fused = db.execute_prepared(&prepared, &fused_cfg()).unwrap();
+    assert_eq!(reference, fused);
+    assert_eq!(reference.num_rows() as i64, BIG_ROWS);
+}
+
 /// `Some(0)` on the config explicitly disables a limit (distinct from
 /// `None` = "defer to the environment default").
 #[test]
