@@ -13,8 +13,12 @@
 //!
 //! Each query prepares once; only prepared execution is timed. When
 //! `PYTOND_FUSION_ASSERT=1`, the bench asserts fused beats materializing
-//! by ≥ 1.5× on both shapes (min-of-5 wall clock, one clean re-measure
-//! before failing — same protocol as the `scaling` bench gate).
+//! by ≥ 1.5× on Q6-style and ≥ 1.25× on Q1-style (min-of-5 wall clock,
+//! one clean re-measure before failing — same protocol as the `scaling`
+//! bench gate). The Q1 bar is lower because the materializing aggregate
+//! now also deduplicates shared aggregate arguments, so the fused margin
+//! on that shape is the avoided survivor gather alone (~1.4× here),
+//! no longer the redundant argument evaluation on top of it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pytond_common::{Column, Relation};
@@ -128,14 +132,16 @@ fn fusion(c: &mut Criterion) {
         );
     }
 
-    // CI gate: fused must beat materializing ≥ 1.5× on both shapes. Purely
-    // single-threaded, so no hardware-parallelism self-skip applies; a
-    // failing first measurement is re-taken once from scratch before the
-    // gate fires.
+    // CI gate: fused must beat materializing ≥ 1.5× on the Q6 shape and
+    // ≥ 1.25× on the Q1 shape (see the module docs for why the Q1 bar is
+    // lower). Purely single-threaded, so no hardware-parallelism self-skip
+    // applies; a failing first measurement is re-taken once from scratch
+    // before the gate fires.
     if std::env::var("PYTOND_FUSION_ASSERT").is_ok_and(|v| v == "1") {
         for (name, mat, fused) in &ratios {
+            let need = if *name == "q1_style" { 1.25 } else { 1.5 };
             let mut speedup = mat / fused;
-            if speedup < 1.5 {
+            if speedup < need {
                 let sql = SHAPES.iter().find(|(n, _)| n == name).unwrap().1;
                 let prepared = db.prepare(sql, Profile::Fused).unwrap();
                 let re = |profile: Profile| {
@@ -147,10 +153,10 @@ fn fusion(c: &mut Criterion) {
                 speedup = re(Profile::Vectorized) / re(Profile::Fused);
             }
             assert!(
-                speedup >= 1.5,
-                "{name}: fused speedup {speedup:.2}x < 1.5x required (after one re-measure)"
+                speedup >= need,
+                "{name}: fused speedup {speedup:.2}x < {need}x required (after one re-measure)"
             );
-            println!("fusion assertion passed: {name} {speedup:.2}x ≥ 1.5x");
+            println!("fusion assertion passed: {name} {speedup:.2}x ≥ {need}x");
         }
     }
 }

@@ -9,6 +9,7 @@
 use crate::error::{Error, Result};
 use crate::value::Value;
 use std::fmt;
+use std::sync::Arc;
 
 /// Static column type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +46,87 @@ impl DType {
     }
 }
 
+/// A deduplicated, order-preserving string dictionary: code `i` maps to the
+/// `i`-th distinct string in first-occurrence order. Shared across columns
+/// via `Arc` so gathers, slices and snapshots never copy the string payload.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    strs: Vec<String>,
+    index: crate::hash::FxHashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Dictionary {
+        Dictionary::default()
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.strs.len()
+    }
+
+    /// `true` when the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.strs.is_empty()
+    }
+
+    /// The string for `code` (panics when out of range).
+    #[inline]
+    pub fn get(&self, code: u32) -> &str {
+        &self.strs[code as usize]
+    }
+
+    /// The code for `s`, when present.
+    #[inline]
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The code for `s`, interning it if absent. Existing codes never move,
+    /// so extending a dictionary keeps every previously issued code valid.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let c = self.strs.len() as u32;
+        self.strs.push(s.to_string());
+        self.index.insert(s.to_string(), c);
+        c
+    }
+
+    /// All entries in code order.
+    pub fn strs(&self) -> &[String] {
+        &self.strs
+    }
+
+    /// Per-code translation table into `target`'s code space; `None` marks
+    /// entries absent from `target`.
+    pub fn translate_to(&self, target: &Dictionary) -> Vec<Option<u32>> {
+        self.strs.iter().map(|s| target.code_of(s)).collect()
+    }
+
+    /// Estimated heap footprint of the string payload and lookup index.
+    pub fn heap_bytes(&self) -> u64 {
+        let payload: u64 = self
+            .strs
+            .iter()
+            .map(|s| (std::mem::size_of::<String>() + s.capacity()) as u64)
+            .sum();
+        // The index holds one owned key copy plus a u32 per entry.
+        2 * payload + 4 * self.strs.len() as u64
+    }
+}
+
+impl PartialEq for Dictionary {
+    fn eq(&self, other: &Dictionary) -> bool {
+        self.strs == other.strs
+    }
+}
+
+/// Borrowed view of a [`Column::DictStr`]: `(codes, dict, validity)`.
+pub type DictParts<'a> = (&'a [u32], &'a Arc<Dictionary>, Option<&'a [bool]>);
+
 /// A typed column of values with an optional validity mask.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
@@ -56,6 +138,19 @@ pub enum Column {
     Bool(Vec<bool>, Option<Vec<bool>>),
     /// Strings.
     Str(Vec<String>, Option<Vec<bool>>),
+    /// Dictionary-encoded strings: dense `u32` codes into a shared,
+    /// order-preserving [`Dictionary`]. Reports [`DType::Str`] — the encoding
+    /// is a storage/execution representation, not a logical type. Codes at
+    /// invalid rows are placeholders (possibly out of dictionary range);
+    /// every consumer checks validity before decoding.
+    DictStr {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// The shared code→string dictionary.
+        dict: Arc<Dictionary>,
+        /// Validity, `None` = all valid.
+        valid: Option<Vec<bool>>,
+    },
     /// Dates (days since epoch).
     Date(Vec<i32>, Option<Vec<bool>>),
 }
@@ -67,6 +162,11 @@ macro_rules! per_variant {
             Column::Float($data, $valid) => $body,
             Column::Bool($data, $valid) => $body,
             Column::Str($data, $valid) => $body,
+            Column::DictStr {
+                codes: $data,
+                valid: $valid,
+                ..
+            } => $body,
             Column::Date($data, $valid) => $body,
         }
     };
@@ -134,10 +234,25 @@ impl Column {
             Column::Int(d, _) => std::mem::size_of_val(d.as_slice()) as u64,
             Column::Float(d, _) => std::mem::size_of_val(d.as_slice()) as u64,
             Column::Bool(d, _) => std::mem::size_of_val(d.as_slice()) as u64,
-            Column::Str(d, _) => d
-                .iter()
-                .map(|s| (std::mem::size_of::<String>() + s.len()) as u64)
-                .sum(),
+            // Vec slot capacity (not len) plus each string's own buffer: a
+            // `Vec<String>` owns `capacity()` 24-byte slots whether or not
+            // they are filled, and every `String` owns its byte buffer.
+            Column::Str(d, _) => {
+                (std::mem::size_of::<String>() * d.capacity()) as u64
+                    + d.iter().map(|s| s.capacity() as u64).sum::<u64>()
+            }
+            // Codes always count; the shared dictionary payload counts only
+            // while this column holds its sole reference — shared dicts were
+            // charged when first materialized and must not be re-charged by
+            // every view (see `docs/RESILIENCE.md` § memory budget).
+            Column::DictStr { codes, dict, .. } => {
+                let dict_bytes = if Arc::strong_count(dict) == 1 {
+                    dict.heap_bytes()
+                } else {
+                    0
+                };
+                4 * codes.capacity() as u64 + dict_bytes
+            }
             Column::Date(d, _) => std::mem::size_of_val(d.as_slice()) as u64,
         };
         let valid = per_variant!(self, _data, valid => {
@@ -152,7 +267,7 @@ impl Column {
             Column::Int(..) => DType::Int,
             Column::Float(..) => DType::Float,
             Column::Bool(..) => DType::Bool,
-            Column::Str(..) => DType::Str,
+            Column::Str(..) | Column::DictStr { .. } => DType::Str,
             Column::Date(..) => DType::Date,
         }
     }
@@ -180,6 +295,7 @@ impl Column {
             Column::Float(d, _) => Value::Float(d[i]),
             Column::Bool(d, _) => Value::Bool(d[i]),
             Column::Str(d, _) => Value::Str(d[i].clone()),
+            Column::DictStr { codes, dict, .. } => Value::Str(dict.get(codes[i]).to_string()),
             Column::Date(d, _) => Value::Date(d[i]),
         }
     }
@@ -197,6 +313,10 @@ impl Column {
             (Column::Float(d, val), Value::Int(x)) => push_valid(d, val, x as f64),
             (Column::Bool(d, val), Value::Bool(x)) => push_valid(d, val, x),
             (Column::Str(d, val), Value::Str(x)) => push_valid(d, val, x),
+            (Column::DictStr { codes, dict, valid }, Value::Str(x)) => {
+                let c = Arc::make_mut(dict).intern(&x);
+                push_valid(codes, valid, c)
+            }
             (Column::Date(d, val), Value::Date(x)) => push_valid(d, val, x),
             (Column::Date(d, val), Value::Str(x)) => {
                 let parsed = crate::date::parse(&x)
@@ -255,6 +375,14 @@ impl Column {
                 let (d, v) = g(d, v, indices);
                 Column::Str(d, v)
             }
+            Column::DictStr { codes, dict, valid } => {
+                let (codes, valid) = g(codes, valid, indices);
+                Column::DictStr {
+                    codes,
+                    dict: dict.clone(),
+                    valid,
+                }
+            }
             Column::Date(d, v) => {
                 let (d, v) = g(d, v, indices);
                 Column::Date(d, v)
@@ -265,6 +393,34 @@ impl Column {
     /// Like [`Column::gather`], but `None` indices produce null rows — used by
     /// outer joins for non-matching sides.
     pub fn gather_opt(&self, indices: &[Option<usize>]) -> Column {
+        // Dictionary-encoded columns stay encoded (codes move, the shared
+        // dictionary doesn't): outer-join outputs keep riding code space.
+        if let Column::DictStr { codes, dict, valid } = self {
+            let mut out_codes = Vec::with_capacity(indices.len());
+            let mut out_valid = vec![true; indices.len()];
+            let mut any_null = false;
+            for (k, ix) in indices.iter().enumerate() {
+                match ix {
+                    Some(i) => {
+                        out_codes.push(codes[*i]);
+                        if valid.as_ref().is_some_and(|v| !v[*i]) {
+                            out_valid[k] = false;
+                            any_null = true;
+                        }
+                    }
+                    None => {
+                        out_codes.push(0);
+                        out_valid[k] = false;
+                        any_null = true;
+                    }
+                }
+            }
+            return Column::DictStr {
+                codes: out_codes,
+                dict: dict.clone(),
+                valid: any_null.then_some(out_valid),
+            };
+        }
         let mut out = Column::with_capacity(self.dtype(), indices.len());
         for ix in indices {
             match ix {
@@ -321,6 +477,14 @@ impl Column {
                 let (d, v) = s(d, v, start, end);
                 Column::Str(d, v)
             }
+            Column::DictStr { codes, dict, valid } => {
+                let (codes, valid) = s(codes, valid, start, end);
+                Column::DictStr {
+                    codes,
+                    dict: dict.clone(),
+                    valid,
+                }
+            }
             Column::Date(d, v) => {
                 let (d, v) = s(d, v, start, end);
                 Column::Date(d, v)
@@ -367,11 +531,99 @@ impl Column {
                 );
             }
         }
+        // Row-at-a-time extend matching push/push_null semantics, for the
+        // cross-representation string cases (`None` item = null row).
+        fn extend_rows<T: Default>(
+            d: &mut Vec<T>,
+            v: &mut Option<Vec<bool>>,
+            it: impl Iterator<Item = Option<T>>,
+        ) {
+            for x in it {
+                match x {
+                    Some(x) => {
+                        d.push(x);
+                        if let Some(v) = v {
+                            v.push(true);
+                        }
+                    }
+                    None => {
+                        let n = d.len();
+                        d.push(T::default());
+                        match v {
+                            Some(v) => v.push(false),
+                            None => {
+                                let mut m = vec![true; n];
+                                m.push(false);
+                                *v = Some(m);
+                            }
+                        }
+                    }
+                }
+            }
+        }
         match (self, other) {
             (Column::Int(d, v), Column::Int(od, ov)) => app(d, v, od, ov.as_deref()),
             (Column::Float(d, v), Column::Float(od, ov)) => app(d, v, od, ov.as_deref()),
             (Column::Bool(d, v), Column::Bool(od, ov)) => app(d, v, od, ov.as_deref()),
             (Column::Str(d, v), Column::Str(od, ov)) => app(d, v, od, ov.as_deref()),
+            (
+                Column::DictStr { codes, dict, valid },
+                Column::DictStr {
+                    codes: oc,
+                    dict: od,
+                    valid: ov,
+                },
+            ) => {
+                if Arc::ptr_eq(dict, od) {
+                    // Same dictionary: codes are directly comparable.
+                    app(codes, valid, oc, ov.as_deref());
+                } else {
+                    // Remap the incoming codes into this column's dictionary,
+                    // interning unseen entries (existing codes never move, so
+                    // rows already stored keep their meaning).
+                    let d = Arc::make_mut(dict);
+                    let remap: Vec<u32> = od.strs().iter().map(|s| d.intern(s)).collect();
+                    extend_rows(
+                        codes,
+                        valid,
+                        oc.iter().enumerate().map(|(i, &c)| {
+                            ov.as_ref()
+                                .map_or(true, |v| v[i])
+                                .then(|| remap[c as usize])
+                        }),
+                    );
+                }
+            }
+            (Column::DictStr { codes, dict, valid }, Column::Str(od, ov)) => {
+                // Plain strings appended to an encoded column re-encode
+                // against the existing dictionary, extending it in place.
+                let d = Arc::make_mut(dict);
+                extend_rows(
+                    codes,
+                    valid,
+                    od.iter()
+                        .enumerate()
+                        .map(|(i, s)| ov.as_ref().map_or(true, |v| v[i]).then(|| d.intern(s))),
+                );
+            }
+            (
+                Column::Str(d, v),
+                Column::DictStr {
+                    codes: oc,
+                    dict: od,
+                    valid: ov,
+                },
+            ) => {
+                extend_rows(
+                    d,
+                    v,
+                    oc.iter().enumerate().map(|(i, &c)| {
+                        ov.as_ref()
+                            .map_or(true, |v| v[i])
+                            .then(|| od.get(c).to_string())
+                    }),
+                );
+            }
             (Column::Date(d, v), Column::Date(od, ov)) => app(d, v, od, ov.as_deref()),
             _ => unreachable!("dtype equality checked above"),
         }
@@ -535,6 +787,229 @@ impl Column {
     pub fn from_dates(data: Vec<i32>) -> Column {
         Column::Date(data, None)
     }
+
+    /// Dictionary-encoded view: `(codes, dict, validity)` for
+    /// [`Column::DictStr`], `None` for every other representation.
+    #[inline]
+    pub fn dict_parts(&self) -> Option<DictParts<'_>> {
+        match self {
+            Column::DictStr { codes, dict, valid } => Some((codes, dict, valid.as_deref())),
+            _ => None,
+        }
+    }
+
+    /// Dictionary-encodes a plain string column (dedup on build,
+    /// first-occurrence code order). Already-encoded columns and other
+    /// dtypes return an unchanged clone.
+    pub fn encode_str(&self) -> Column {
+        let Column::Str(d, v) = self else {
+            return self.clone();
+        };
+        let mut dict = Dictionary::new();
+        let codes: Vec<u32> = d
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if v.as_ref().map_or(true, |v| v[i]) {
+                    dict.intern(s)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        Column::DictStr {
+            codes,
+            dict: Arc::new(dict),
+            valid: v.clone(),
+        }
+    }
+
+    /// Decodes a dictionary-encoded column back to plain strings (the result
+    /// materialization boundary). Other representations return an unchanged
+    /// clone.
+    pub fn decode_str(&self) -> Column {
+        let Column::DictStr { codes, dict, valid } = self else {
+            return self.clone();
+        };
+        let d: Vec<String> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                if valid.as_ref().map_or(true, |v| v[i]) {
+                    dict.get(c).to_string()
+                } else {
+                    String::new()
+                }
+            })
+            .collect();
+        Column::Str(d, valid.clone())
+    }
+
+    /// Re-encodes a string-typed column into `dict`'s code space **without
+    /// extending it**: rows whose string is absent from `dict` come back
+    /// invalid. That sentinel is exactly join no-match semantics (NULL keys
+    /// never match), which is what fused probes use it for — the build side's
+    /// dictionary defines the code space, and probe rows outside it cannot
+    /// have a partner.
+    pub fn project_into_dict(&self, dict: &Arc<Dictionary>) -> Column {
+        match self {
+            Column::DictStr {
+                codes,
+                dict: own,
+                valid,
+            } => {
+                if Arc::ptr_eq(own, dict) {
+                    return self.clone();
+                }
+                let table = own.translate_to(dict);
+                let mut out_valid = vec![true; codes.len()];
+                let mut any_null = false;
+                let out_codes: Vec<u32> = codes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        let ok = valid.as_ref().map_or(true, |v| v[i]);
+                        match ok.then(|| table[c as usize]).flatten() {
+                            Some(nc) => nc,
+                            None => {
+                                out_valid[i] = false;
+                                any_null = true;
+                                0
+                            }
+                        }
+                    })
+                    .collect();
+                Column::DictStr {
+                    codes: out_codes,
+                    dict: dict.clone(),
+                    valid: any_null.then_some(out_valid),
+                }
+            }
+            Column::Str(d, v) => {
+                let mut out_valid = vec![true; d.len()];
+                let mut any_null = false;
+                let out_codes: Vec<u32> = d
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let ok = v.as_ref().map_or(true, |vv| vv[i]);
+                        match ok.then(|| dict.code_of(s)).flatten() {
+                            Some(c) => c,
+                            None => {
+                                out_valid[i] = false;
+                                any_null = true;
+                                0
+                            }
+                        }
+                    })
+                    .collect();
+                Column::DictStr {
+                    codes: out_codes,
+                    dict: dict.clone(),
+                    valid: any_null.then_some(out_valid),
+                }
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+/// Unifies two string-typed columns onto one shared dictionary, so packed
+/// key layouts can compare their codes directly: the result columns are both
+/// [`Column::DictStr`] holding the *same* `Arc`. The left dictionary is the
+/// base (its codes never move); right-only entries extend it and the right
+/// codes remap. Non-string inputs come back unchanged.
+pub fn unify_dict_pair(l: &Column, r: &Column) -> (Column, Column) {
+    if l.dtype() != DType::Str || r.dtype() != DType::Str {
+        return (l.clone(), r.clone());
+    }
+    let l = l.encode_str();
+    if let (
+        Column::DictStr { dict: ld, .. },
+        Column::DictStr {
+            codes: rc,
+            dict: rd,
+            valid: rv,
+        },
+    ) = (&l, r)
+    {
+        if Arc::ptr_eq(ld, rd) {
+            return (l.clone(), r.clone());
+        }
+        let mut base = (**ld).clone();
+        let remap: Vec<u32> = rd.strs().iter().map(|s| base.intern(s)).collect();
+        let shared = Arc::new(base);
+        let r_codes: Vec<u32> = rc
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                if rv.as_ref().map_or(true, |v| v[i]) {
+                    remap[c as usize]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let new_r = Column::DictStr {
+            codes: r_codes,
+            dict: shared.clone(),
+            valid: rv.clone(),
+        };
+        let new_l = match l {
+            Column::DictStr { codes, valid, .. } => Column::DictStr {
+                codes,
+                dict: shared,
+                valid,
+            },
+            _ => unreachable!("encode_str yields DictStr for string columns"),
+        };
+        return (new_l, new_r);
+    }
+    // Right side is plain: intern its rows against the left dictionary.
+    let Column::DictStr {
+        codes: lc,
+        dict: ld,
+        valid: lv,
+    } = &l
+    else {
+        unreachable!("encode_str yields DictStr for string columns")
+    };
+    let Column::Str(rd, rv) = r else {
+        unreachable!("non-dict string columns are plain")
+    };
+    let mut base = (**ld).clone();
+    let r_codes: Vec<u32> = rd
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if rv.as_ref().map_or(true, |v| v[i]) {
+                base.intern(s)
+            } else {
+                0
+            }
+        })
+        .collect();
+    let shared = Arc::new(base);
+    (
+        Column::DictStr {
+            codes: lc.clone(),
+            dict: shared.clone(),
+            valid: lv.clone(),
+        },
+        Column::DictStr {
+            codes: r_codes,
+            dict: shared,
+            valid: rv.clone(),
+        },
+    )
+}
+
+/// The process-wide empty dictionary: zero-row placeholder columns that must
+/// share one `Arc` (key-layout planning compares dictionary identity) all
+/// point here.
+pub fn empty_dict() -> Arc<Dictionary> {
+    static EMPTY: std::sync::OnceLock<Arc<Dictionary>> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Dictionary::new())).clone()
 }
 
 #[inline]

@@ -161,8 +161,40 @@ fn fixed_bits(c: &Column) -> Option<u32> {
         Column::Int(..) => Some(64),
         Column::Date(..) => Some(32),
         Column::Bool(..) => Some(1),
+        // Dictionary codes are dense u32s — but only comparable when every
+        // participating column shares one dictionary; `plan` checks identity
+        // per position before trusting this width.
+        Column::DictStr { .. } => Some(32),
         Column::Float(..) | Column::Str(..) => None,
     }
+}
+
+/// `true` when position `i`'s columns can compare by dictionary code: either
+/// no side is dictionary-encoded, or *every* side is and they share one
+/// `Arc`'d dictionary (same pointer ⇒ same code space). A mix of encoded and
+/// plain strings, or distinct dictionaries, must fall back to byte keys.
+fn dict_codes_comparable(col_sets: &[&[&Column]], i: usize) -> bool {
+    let mut shared: Option<&std::sync::Arc<crate::column::Dictionary>> = None;
+    for set in col_sets {
+        match set[i].dict_parts() {
+            Some((_, dict, _)) => match shared {
+                None => shared = Some(dict),
+                Some(d) => {
+                    if !std::sync::Arc::ptr_eq(d, dict) {
+                        return false;
+                    }
+                }
+            },
+            None => {
+                if shared.is_some() || set[i].dtype() == crate::column::DType::Str {
+                    // A plain string column can never pack; if any side is
+                    // encoded while another isn't, codes are meaningless.
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 impl FixedKeySpec {
@@ -187,6 +219,9 @@ impl FixedKeySpec {
             for set in col_sets {
                 bits = bits.max(fixed_bits(set[i])?);
                 nullable |= set[i].validity().is_some();
+            }
+            if !dict_codes_comparable(col_sets, i) {
+                return None;
             }
             let null_bit = nulls_matter && nullable;
             slots.push(KeySlot {
@@ -247,6 +282,14 @@ impl FixedKeySpec {
                 Column::Bool(d, v) => {
                     pack_col(&mut keys, &mut skip, d, v.as_deref(), slot, u64::from)
                 }
+                Column::DictStr { codes, valid, .. } => pack_col(
+                    &mut keys,
+                    &mut skip,
+                    codes,
+                    valid.as_deref(),
+                    slot,
+                    u64::from,
+                ),
                 _ => unreachable!("plan admits only fixed-width dtypes"),
             }
         }
@@ -386,7 +429,7 @@ pub fn sql_key_encodings(col_sets: &[&[&Column]]) -> Vec<KeyEncoding> {
                 match set[i] {
                     Column::Float(..) => any_float = true,
                     Column::Int(..) | Column::Date(..) | Column::Bool(..) => {}
-                    Column::Str(..) => all_numeric = false,
+                    Column::Str(..) | Column::DictStr { .. } => all_numeric = false,
                 }
             }
             if !all_numeric {
@@ -443,6 +486,14 @@ impl KeyArena {
                         buf.push(4);
                         buf.extend_from_slice(&(d[i].len() as u32).to_le_bytes());
                         buf.extend_from_slice(d[i].as_bytes());
+                    }
+                    // Byte-identical to the plain-string encoding, so mixed
+                    // encoded/plain key sides still compare equal on content.
+                    (Column::DictStr { codes, dict, .. }, _) => {
+                        let s = dict.get(codes[i]);
+                        buf.push(4);
+                        buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                        buf.extend_from_slice(s.as_bytes());
                     }
                     (Column::Date(d, _), KeyEncoding::Raw) => {
                         buf.push(5);

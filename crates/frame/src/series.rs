@@ -511,6 +511,9 @@ impl Series {
             Column::Bool(d, v) => count_distinct(d, v.as_deref(), |&x| x),
             Column::Float(d, v) => count_distinct(d, v.as_deref(), |&x| canonical_f64_bits(x)),
             Column::Str(d, v) => count_distinct(d, v.as_deref(), |x: &String| x.as_str()),
+            // Dictionary codes are deduplicated, so distinct codes ≡ distinct
+            // strings — no decode needed.
+            Column::DictStr { codes, valid, .. } => count_distinct(codes, valid.as_deref(), |&x| x),
         };
         n as i64
     }
@@ -525,6 +528,7 @@ impl Series {
             Column::Bool(d, v) => unique_keep(d, v.as_deref(), |&x| x),
             Column::Float(d, v) => unique_keep(d, v.as_deref(), |&x| canonical_f64_bits(x)),
             Column::Str(d, v) => unique_keep(d, v.as_deref(), |x: &String| x.as_str()),
+            Column::DictStr { codes, valid, .. } => unique_keep(codes, valid.as_deref(), |&x| x),
         };
         Series::new(self.name.clone(), self.col.gather(&keep))
     }

@@ -146,6 +146,20 @@ fn no_fuse() -> bool {
     })
 }
 
+/// `PYTOND_NO_DICT=1` disables dictionary encoding of string columns at
+/// `register`/`append` — tables store plain `Vec<String>` and every string
+/// kernel takes the byte path. This is the in-process differential oracle
+/// the dictionary property suite runs the whole corpus against (read once).
+pub(crate) fn no_dict() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("PYTOND_NO_DICT").is_ok_and(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        })
+    })
+}
+
 impl EngineConfig {
     /// Convenience constructor.
     pub fn new(profile: Profile, threads: usize) -> EngineConfig {
@@ -362,6 +376,7 @@ impl Snapshot {
         };
         metrics.snapshot_version = self.version;
         metrics.queue_wait_ns = ticket.queue_wait_ns;
+        metrics.dict_decoded_cols = batch.dict_cols() as u64;
         drop(ticket);
         Ok((batch.to_relation(&schema), metrics))
     }
@@ -421,13 +436,29 @@ impl Database {
     /// snapshot version — invalidating cached prepared plans. In-flight
     /// queries keep the version they pinned; they never observe the new
     /// table.
+    ///
+    /// String columns are dictionary-encoded on the way in (dedup on build,
+    /// first-occurrence code order) unless `PYTOND_NO_DICT=1`; results decode
+    /// back to plain strings at materialization, so callers never observe
+    /// codes.
     pub fn register(&self, name: &str, rel: Relation) {
+        self.register_table(name, rel, !no_dict());
+    }
+
+    /// Like [`Database::register`] but never dictionary-encodes, regardless
+    /// of environment — the explicit plain-string path benchmarks and the
+    /// differential dictionary suite compare against.
+    pub fn register_plain(&self, name: &str, rel: Relation) {
+        self.register_table(name, rel, false);
+    }
+
+    fn register_table(&self, name: &str, rel: Relation, encode: bool) {
         let _writer = self.shared.write.lock().expect("database writer poisoned");
         let cur = self.shared.current.load();
         let mut tables = cur.tables.clone();
         tables.insert(
             name.to_lowercase(),
-            Arc::new(StoredTable::from_relation(&rel)),
+            Arc::new(StoredTable::from_relation_encoded(&rel, encode)),
         );
         self.shared.current.publish(Arc::new(Snapshot {
             tables,
@@ -720,7 +751,8 @@ impl QueryTrace {
              morsels claimed per worker: {:?}\n\
              scan zones: {} evaluated, {} pruned\n\
              joins flipped: {}, build partitions: {}\n\
-             pipelines: {}, fused ops per pipeline: {:?}, intermediates avoided: {}",
+             pipelines: {}, fused ops per pipeline: {:?}, intermediates avoided: {}\n\
+             dict: {} encoded col(s) scanned, {} dict-probe pipeline(s), {} col(s) decoded",
             self.threads,
             self.metrics.snapshot_version,
             self.metrics.queue_wait_ns,
@@ -736,6 +768,9 @@ impl QueryTrace {
             self.metrics.pipelines,
             self.metrics.pipeline_ops,
             self.metrics.intermediates_avoided,
+            self.metrics.dict_encoded_cols,
+            self.metrics.dict_probe_pipelines,
+            self.metrics.dict_decoded_cols,
         )
     }
 }

@@ -161,6 +161,16 @@ pub struct ExecMetrics {
     /// states, fresh output columns). Releases are not tracked, so this is
     /// the peak of the accounted total.
     pub mem_peak_bytes: u64,
+    /// Dictionary-encoded string columns read by table scans (counted once
+    /// per scan, over the scan's projected columns).
+    pub dict_encoded_cols: u64,
+    /// Fused pipelines whose join probe packed dictionary codes for at least
+    /// one string key position (instead of breaking the pipeline and falling
+    /// back to byte-encoded keys).
+    pub dict_probe_pipelines: u64,
+    /// Dictionary-encoded columns decoded back to plain strings at result
+    /// materialization (the [`crate::table::Batch::to_relation`] boundary).
+    pub dict_decoded_cols: u64,
 }
 
 /// Executes a bound query, materializing CTEs in order.
@@ -384,6 +394,16 @@ impl<'a> Executor<'a> {
                         | crate::stats::ZoneTest::In { col, .. }
                         | crate::stats::ZoneTest::Null { col, .. } => *col,
                     };
+                    // A dictionary-encoded column keeps its zone bounds in
+                    // code space: translate string literals to codes, or drop
+                    // the test (keeping its zones) when that's impossible.
+                    let t = &match stored.batch.cols.get(col).and_then(|c| c.dict_parts()) {
+                        Some((_, dict, _)) => match crate::stats::dict_zone_test(t, dict) {
+                            Some(t) => t,
+                            None => continue,
+                        },
+                        None => t.clone(),
+                    };
                     let Some(zones) = stats.columns.get(col).and_then(|c| c.zones.as_ref()) else {
                         continue;
                     };
@@ -422,6 +442,7 @@ impl<'a> Executor<'a> {
                 cols: cols.iter().map(|&i| stored.batch.cols[i].clone()).collect(),
             },
         };
+        self.metrics.borrow_mut().dict_encoded_cols += batch.dict_cols() as u64;
         let Some(pred) = pred else {
             return Ok((batch, None));
         };
@@ -717,14 +738,27 @@ impl<'a> Executor<'a> {
         if left_keys.is_empty() {
             return self.keyless_join(left, right, kind, residual);
         }
-        let lkey_cols: Vec<Column> = left_keys
+        let mut lkey_cols: Vec<Column> = left_keys
             .iter()
             .map(|e| e.eval(left, None))
             .collect::<Result<_>>()?;
-        let rkey_cols: Vec<Column> = right_keys
+        let mut rkey_cols: Vec<Column> = right_keys
             .iter()
             .map(|e| e.eval(right, None))
             .collect::<Result<_>>()?;
+        // String key pairs: unify both sides into one shared dictionary so
+        // `FixedKeySpec` can pack 32-bit codes instead of byte-encoding every
+        // row. Skipped under the no-dict oracle, which exercises the byte
+        // fallback end to end.
+        if !crate::db::no_dict() {
+            for i in 0..lkey_cols.len() {
+                if lkey_cols[i].dtype() == DType::Str && rkey_cols[i].dtype() == DType::Str {
+                    let (l, r) = pytond_common::unify_dict_pair(&lkey_cols[i], &rkey_cols[i]);
+                    lkey_cols[i] = l;
+                    rkey_cols[i] = r;
+                }
+            }
+        }
         let lrefs: Vec<&Column> = lkey_cols.iter().collect();
         let rrefs: Vec<&Column> = rkey_cols.iter().collect();
         // Build/probe side selection: the hash table defaults to the right
@@ -1006,16 +1040,16 @@ impl<'a> Executor<'a> {
             .iter()
             .map(|e| self.eval_parallel(batch, e, sel, n))
             .collect::<Result<_>>()?;
-        let arg_cols: Vec<Option<Column>> = aggs
+        // Deduplicate argument expressions so `SUM(v) + AVG(v)` style plans
+        // evaluate `v` once and fan the column out to every consumer — the
+        // same dedup the fused aggregation sink applies per chunk.
+        let (arg_map, uniq_exprs) = arg_dedup(aggs);
+        let uniq_cols: Vec<Column> = uniq_exprs
             .iter()
-            .map(|a| {
-                a.arg
-                    .as_ref()
-                    .map(|e| self.eval_parallel(batch, e, sel, n))
-                    .transpose()
-            })
+            .map(|e| self.eval_parallel(batch, e, sel, n))
             .collect::<Result<_>>()?;
-        let arg_refs: Vec<Option<&Column>> = arg_cols.iter().map(Option::as_ref).collect();
+        let arg_refs: Vec<Option<&Column>> =
+            arg_map.iter().map(|m| m.map(|u| &uniq_cols[u])).collect();
         self.aggregate_from_cols(n, key_cols, &arg_refs, group, aggs)
     }
 
@@ -1306,6 +1340,7 @@ impl<'a> Executor<'a> {
                         cols: cols.iter().map(|&i| stored.batch.cols[i].clone()).collect(),
                     },
                 };
+                self.metrics.borrow_mut().dict_encoded_cols += proj.dict_cols() as u64;
                 let threads = if n <= ZONE_ROWS * (SPAWN_MIN_MORSELS - 1) {
                     1
                 } else {
@@ -1346,6 +1381,9 @@ impl<'a> Executor<'a> {
             m.pipelines += 1;
             m.pipeline_ops.push(pl.ops() as u64);
             m.intermediates_avoided += pl.intermediates_avoided() as u64;
+            m.dict_probe_pipelines += u64::from(stages.iter().any(
+                |s| matches!(s, PStage::Probe(p) if p.build_dicts.iter().any(Option::is_some)),
+            ));
         }
         // Drive. Each claim passes the morsel guard (fault point + cancel
         // poll); each stage boundary polls again, so deadlines, budgets and
@@ -1477,10 +1515,27 @@ impl<'a> Executor<'a> {
             Stage::Project(e) => PStage::Project(e),
             Stage::Probe(pr) => {
                 let right = self.exec(pr.build)?;
+                // String-typed build keys define the probe's canonical code
+                // space: dictionary-encoded columns keep their dictionary,
+                // plain string outputs (expression results) get a fresh one.
+                // The spec planned these positions as 32-bit dict slots (see
+                // `pipeline::probe_spec`), so packing needs `DictStr` here.
+                let mut build_dicts: Vec<Option<Arc<pytond_common::Dictionary>>> = Vec::new();
                 let rkey_cols: Vec<Column> = pr
                     .right_keys
                     .iter()
-                    .map(|e| e.eval(&right, None))
+                    .map(|e| {
+                        let c = e.eval(&right, None)?;
+                        Ok(if c.dtype() == DType::Str {
+                            let enc = c.encode_str();
+                            let (_, dict, _) = enc.dict_parts().expect("encode_str yields DictStr");
+                            build_dicts.push(Some(dict.clone()));
+                            enc
+                        } else {
+                            build_dicts.push(None);
+                            c
+                        })
+                    })
                     .collect::<Result<_>>()?;
                 let rrefs: Vec<&Column> = rkey_cols.iter().collect();
                 let index = match pr.spec.width() {
@@ -1498,6 +1553,7 @@ impl<'a> Executor<'a> {
                     spec: &pr.spec,
                     right,
                     index,
+                    build_dicts,
                 })
             }
         })
@@ -1566,6 +1622,12 @@ struct PProbe<'a> {
     spec: &'a FixedKeySpec,
     right: Batch,
     index: ProbeIndex,
+    /// Per key position: the build side's canonical dictionary for
+    /// string-typed keys (`None` for non-string positions). Probe chunks
+    /// re-encode their key columns into this code space before packing; a
+    /// probe string absent from the build dictionary becomes an invalid row,
+    /// which packs to a NULL key — exactly a join miss.
+    build_dicts: Vec<Option<Arc<pytond_common::Dictionary>>>,
 }
 
 /// The build-side hash index at its planned key width.
@@ -1769,7 +1831,17 @@ fn apply_probe(p: &PProbe<'_>, chunk: Chunk, cancel: &CancelToken) -> Result<Chu
     let kcols: Vec<Column> = p
         .left_keys
         .iter()
-        .map(|e| eval_rows(e, &chunk.batch, &chunk.rows))
+        .zip(&p.build_dicts)
+        .map(|(e, bd)| {
+            let c = eval_rows(e, &chunk.batch, &chunk.rows)?;
+            Ok(match bd {
+                // Re-encode into the build side's code space (free when the
+                // chunk already shares the build dictionary `Arc`); strings
+                // the build never saw become invalid rows = NULL keys.
+                Some(dict) => c.project_into_dict(dict),
+                None => c,
+            })
+        })
         .collect::<Result<_>>()?;
     let krefs: Vec<&Column> = kcols.iter().collect();
     let hits = match &p.index {

@@ -445,6 +445,34 @@ impl BExpr {
             }
             BExpr::Lit(v) => Ok(lit_column(v, n)),
             BExpr::Bin { op, l, r } => {
+                // Code-space fast path: comparing a dictionary-encoded string
+                // column against a string literal evaluates the predicate
+                // once per dictionary entry and maps rows through the
+                // resulting table — no per-row byte comparison and no
+                // materialized literal column. (An equality literal missing
+                // from the dictionary yields an all-false table.)
+                if matches!(
+                    op,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                ) {
+                    let lit_side = match (l.as_ref(), r.as_ref()) {
+                        (e, BExpr::Lit(Value::Str(s))) => Some((e, s, false)),
+                        (BExpr::Lit(Value::Str(s)), e) => Some((e, s, true)),
+                        _ => None,
+                    };
+                    if let Some((e, s, flipped)) = lit_side {
+                        let c = e.eval_rows(batch, rows)?;
+                        if let Some((codes, dict, valid)) = c.dict_parts() {
+                            return Ok(dict_cmp_lit(*op, codes, dict, valid, s, flipped));
+                        }
+                        let litc = lit_column(&Value::Str(s.clone()), c.len());
+                        return if flipped {
+                            eval_bin(*op, &litc, &c)
+                        } else {
+                            eval_bin(*op, &c, &litc)
+                        };
+                    }
+                }
                 let lc = l.eval_rows(batch, rows)?;
                 let rc = r.eval_rows(batch, rows)?;
                 eval_bin(*op, &lc, &rc)
@@ -483,6 +511,22 @@ impl BExpr {
                             .map(|(i, s)| {
                                 valid.as_ref().map_or(true, |v| v[i])
                                     && pattern.matches(s) != *negated
+                            })
+                            .collect();
+                        Ok(Column::from_bool(out))
+                    }
+                    Column::DictStr { codes, dict, valid } => {
+                        // Match once per dictionary entry, then map codes.
+                        let table: Vec<bool> = dict
+                            .strs()
+                            .iter()
+                            .map(|s| pattern.matches(s) != *negated)
+                            .collect();
+                        let out: Vec<bool> = codes
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &cd)| {
+                                valid.as_ref().map_or(true, |v| v[i]) && table[cd as usize]
                             })
                             .collect();
                         Ok(Column::from_bool(out))
@@ -615,6 +659,50 @@ fn lit_column(v: &Value, n: usize) -> Column {
     }
 }
 
+/// Compares a dictionary-encoded string column against one string literal
+/// entirely in code space: the ordering predicate runs once per dictionary
+/// entry (not per row), then rows map through the bool table. `flipped`
+/// marks a literal on the left (`lit op col`). NULL rows collapse to `false`
+/// (predicate semantics) and never index the table.
+fn dict_cmp_lit(
+    op: BinOp,
+    codes: &[u32],
+    dict: &pytond_common::Dictionary,
+    valid: Option<&[bool]>,
+    lit: &str,
+    flipped: bool,
+) -> Column {
+    use std::cmp::Ordering;
+    let want = |o: Ordering| -> bool {
+        match op {
+            BinOp::Eq => o == Ordering::Equal,
+            BinOp::Ne => o != Ordering::Equal,
+            BinOp::Lt => o == Ordering::Less,
+            BinOp::Le => o != Ordering::Greater,
+            BinOp::Gt => o == Ordering::Greater,
+            BinOp::Ge => o != Ordering::Less,
+            _ => unreachable!("caller passes comparison operators only"),
+        }
+    };
+    let table: Vec<bool> = dict
+        .strs()
+        .iter()
+        .map(|s| {
+            want(if flipped {
+                lit.cmp(s.as_str())
+            } else {
+                s.as_str().cmp(lit)
+            })
+        })
+        .collect();
+    let out: Vec<bool> = codes
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| valid.map_or(true, |v| v[i]) && table[c as usize])
+        .collect();
+    Column::from_bool(out)
+}
+
 /// Vectorized binary kernels.
 ///
 /// Dispatches **once** per column pair to a monomorphic loop over raw typed
@@ -649,6 +737,11 @@ pub fn eval_bin(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
 /// String concatenation: a typed pass for string-string inputs, a
 /// scratch-buffer `Display` pass (no `format!` allocation churn) otherwise.
 fn eval_concat(l: &Column, r: &Column, n: usize) -> Result<Column> {
+    // Concatenation genuinely needs bytes: decode dict operands up front so
+    // both sides ride the typed string-string pass below.
+    if matches!(l, Column::DictStr { .. }) || matches!(r, Column::DictStr { .. }) {
+        return eval_concat(&l.decode_str(), &r.decode_str(), n);
+    }
     if let (Column::Str(a, av), Column::Str(b, bv)) = (l, r) {
         let valid = merge_validity(av, bv);
         let mut data = Vec::with_capacity(n);
@@ -814,6 +907,21 @@ fn eval_cmp(op: BinOp, l: &Column, r: &Column) -> Result<Column> {
         (Str(a, av), Str(b, bv)) => {
             czip!(a, av, b, bv, |x: &String, y: &String| Some(x.cmp(y)))
         }
+        // Same-dictionary equality compares codes directly — no byte access.
+        (
+            Column::DictStr {
+                codes: a,
+                dict: da,
+                valid: av,
+            },
+            Column::DictStr {
+                codes: b,
+                dict: db,
+                valid: bv,
+            },
+        ) if matches!(op, Eq | Ne) && std::sync::Arc::ptr_eq(da, db) => {
+            czip!(a, av, b, bv, |x: &u32, y: &u32| Some(x.cmp(y)))
+        }
         (Bool(a, av), Bool(b, bv)) => czip!(a, av, b, bv, |x: &bool, y: &bool| Some(x.cmp(y))),
         // Genuinely mixed pairs (date vs string literal, ...) stay row-wise.
         _ => {
@@ -869,6 +977,23 @@ fn eval_in_list(c: &Column, list: &[Value], negated: bool) -> Vec<bool> {
                     })
                     .collect();
             }
+        }
+        Column::DictStr { codes, dict, valid }
+            if list.iter().all(|v| matches!(v, Value::Str(_))) =>
+        {
+            // Translate each candidate against the dictionary once; membership
+            // then runs in code space. Candidates absent from the dictionary
+            // can never match (but still flip under NOT IN).
+            let table: Vec<bool> = dict
+                .strs()
+                .iter()
+                .map(|s| list.iter().any(|v| v.as_str() == Some(s)) != negated)
+                .collect();
+            return codes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| valid.as_ref().map_or(true, |v| v[i]) && table[c as usize])
+                .collect();
         }
         Column::Str(d, valid) if list.iter().all(|v| matches!(v, Value::Str(_))) => {
             return d
@@ -1141,23 +1266,70 @@ fn eval_func(f: SFunc, cols: &[Column], n: usize) -> Result<Column> {
                 d.iter().map(|s| s.chars().count() as i64).collect(),
                 v.clone(),
             )),
+            Column::DictStr { codes, dict, valid } => {
+                // Length runs once per dictionary entry, then maps codes.
+                let table: Vec<i64> = dict
+                    .strs()
+                    .iter()
+                    .map(|s| s.chars().count() as i64)
+                    .collect();
+                Ok(Column::Int(
+                    codes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| {
+                            if valid.as_ref().map_or(true, |v| v[i]) {
+                                table[c as usize]
+                            } else {
+                                0
+                            }
+                        })
+                        .collect(),
+                    valid.clone(),
+                ))
+            }
             _ => Err(Error::Exec("LENGTH requires strings".into())),
         },
-        SFunc::Upper | SFunc::Lower => match arg(0)? {
-            Column::Str(d, v) => Ok(Column::Str(
-                d.iter()
-                    .map(|s| {
-                        if f == SFunc::Upper {
-                            s.to_uppercase()
-                        } else {
-                            s.to_lowercase()
-                        }
+        SFunc::Upper | SFunc::Lower => {
+            let cased = |s: &str| {
+                if f == SFunc::Upper {
+                    s.to_uppercase()
+                } else {
+                    s.to_lowercase()
+                }
+            };
+            match arg(0)? {
+                Column::Str(d, v) => {
+                    Ok(Column::Str(d.iter().map(|s| cased(s)).collect(), v.clone()))
+                }
+                Column::DictStr { codes, dict, valid } => {
+                    // Case-folding stays encoded: fold each dictionary entry
+                    // once into a fresh dictionary, codes carry over verbatim.
+                    let mut folded = pytond_common::Dictionary::default();
+                    let remap: Vec<u32> = dict
+                        .strs()
+                        .iter()
+                        .map(|s| folded.intern(&cased(s)))
+                        .collect();
+                    Ok(Column::DictStr {
+                        codes: codes
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &c)| {
+                                if valid.as_ref().map_or(true, |v| v[i]) {
+                                    remap[c as usize]
+                                } else {
+                                    0
+                                }
+                            })
+                            .collect(),
+                        dict: std::sync::Arc::new(folded),
+                        valid: valid.clone(),
                     })
-                    .collect(),
-                v.clone(),
-            )),
-            _ => Err(Error::Exec("UPPER/LOWER require strings".into())),
-        },
+                }
+                _ => Err(Error::Exec("UPPER/LOWER require strings".into())),
+            }
+        }
         SFunc::StrPos => {
             let s = arg(0)?;
             let sub = arg(1)?;
@@ -1200,7 +1372,7 @@ fn to_f64_vec(c: &Column) -> Result<Vec<f64>> {
         Column::Float(d, _) => d.clone(),
         Column::Date(d, _) => d.iter().map(|&x| f64::from(x)).collect(),
         Column::Bool(d, _) => d.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
-        Column::Str(..) => {
+        Column::Str(..) | Column::DictStr { .. } => {
             return Err(Error::Exec("cannot use strings in arithmetic".into()));
         }
     })

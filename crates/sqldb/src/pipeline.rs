@@ -54,6 +54,9 @@ pub struct ProbeStage<'p> {
     /// evaluated columns: join semantics (`nulls_matter = false`) make the
     /// layout a function of dtypes alone.
     pub spec: FixedKeySpec,
+    /// String key positions packed as 32-bit dictionary codes (0 when
+    /// dictionary encoding is disabled — those joins break the pipeline).
+    pub dict_keys: usize,
 }
 
 /// What terminates a pipeline.
@@ -178,7 +181,7 @@ fn chain(plan: &LogicalPlan) -> (&LogicalPlan, Vec<Stage<'_>>) {
                 residual,
                 ..
             } => match probe_spec(left, right, *kind, left_keys, right_keys) {
-                Some(spec) => {
+                Some((spec, dict_keys)) => {
                     rev.push(Stage::Probe(ProbeStage {
                         kind: *kind,
                         left_keys,
@@ -186,6 +189,7 @@ fn chain(plan: &LogicalPlan) -> (&LogicalPlan, Vec<Stage<'_>>) {
                         residual: residual.as_ref(),
                         build: right,
                         spec,
+                        dict_keys,
                     }));
                     cur = left;
                 }
@@ -198,36 +202,60 @@ fn chain(plan: &LogicalPlan) -> (&LogicalPlan, Vec<Stage<'_>>) {
     (cur, rev)
 }
 
-/// Plans the fixed-width key layout for a candidate fused probe, or `None`
-/// when the join must break the pipeline: non-streaming kinds (right/full
-/// joins need unmatched-build backfill, cross joins have no keys), keyless
-/// joins, or key layouts that only the byte-encoded fallback can represent.
+/// Plans the fixed-width key layout for a candidate fused probe (returning
+/// it with the count of dict-coded string key positions), or `None` when the
+/// join must break the pipeline: non-streaming kinds (right/full joins need
+/// unmatched-build backfill, cross joins have no keys), keyless joins, or
+/// key layouts that only the byte-encoded fallback can represent.
 ///
 /// The layout is planned from zero-row columns of the keys' static dtypes.
 /// For join semantics [`FixedKeySpec::plan`] ignores nullability, so this
 /// yields exactly the spec the materializing join plans from evaluated
 /// columns — the packed keys, and therefore every match, agree bit for bit.
+///
+/// String keys plan as zero-row dictionary-encoded placeholders sharing one
+/// dictionary `Arc`, so they pack as 32-bit code slots — a promise the
+/// runtime keeps by re-encoding every probe chunk into the build side's
+/// dictionary (see `exec`'s probe preparation). Under `PYTOND_NO_DICT=1`
+/// the placeholders stay plain strings, the plan falls back to `None`, and
+/// string-keyed joins break the pipeline exactly as they did before
+/// dictionary encoding existed.
 fn probe_spec(
     left: &LogicalPlan,
     right: &LogicalPlan,
     kind: JKind,
     left_keys: &[BExpr],
     right_keys: &[BExpr],
-) -> Option<FixedKeySpec> {
+) -> Option<(FixedKeySpec, usize)> {
     if !matches!(kind, JKind::Inner | JKind::Left | JKind::Semi | JKind::Anti)
         || left_keys.is_empty()
     {
         return None;
     }
+    let dict = !crate::db::no_dict();
     let typed = |plan: &LogicalPlan, keys: &[BExpr]| -> Vec<Column> {
         let dtypes: Vec<DType> = plan.schema().fields.iter().map(|f| f.dtype).collect();
-        keys.iter().map(|e| Column::new(e.dtype(&dtypes))).collect()
+        keys.iter()
+            .map(|e| match e.dtype(&dtypes) {
+                DType::Str if dict => Column::DictStr {
+                    codes: Vec::new(),
+                    dict: pytond_common::empty_dict(),
+                    valid: None,
+                },
+                dt => Column::new(dt),
+            })
+            .collect()
     };
     let lcols = typed(left, left_keys);
     let rcols = typed(right, right_keys);
     let lrefs: Vec<&Column> = lcols.iter().collect();
     let rrefs: Vec<&Column> = rcols.iter().collect();
-    FixedKeySpec::plan(&[&lrefs, &rrefs], false)
+    let dict_keys = if dict {
+        lcols.iter().filter(|c| c.dtype() == DType::Str).count()
+    } else {
+        0
+    };
+    FixedKeySpec::plan(&[&lrefs, &rrefs], false).map(|spec| (spec, dict_keys))
 }
 
 /// Renders the pipeline decomposition of a bound query, in execution order
@@ -286,6 +314,9 @@ fn render(p: &Pipeline<'_>) -> String {
         parts.push(match st {
             Stage::Filter(_) => "filter".into(),
             Stage::Project(_) => "project".into(),
+            Stage::Probe(pr) if pr.dict_keys > 0 => {
+                format!("probe({:?}, dict-key)", pr.kind).to_lowercase()
+            }
             Stage::Probe(pr) => format!("probe({:?})", pr.kind).to_lowercase(),
         });
     }

@@ -13,7 +13,9 @@
 //!   whole row zones whose bounds prove a pushed-down range/equality/IN
 //!   predicate cannot match ([`crate::exec`] reports pruned/scanned counts).
 //!
-//! Zone maps cover the fixed-width dtypes (`Int`, `Date`, `Float`, `Bool`);
+//! Zone maps cover the fixed-width dtypes (`Int`, `Date`, `Float`, `Bool`)
+//! plus dictionary-encoded strings (zones over the integer codes; scans
+//! translate string equality/IN literals to codes before pruning); plain
 //! string columns keep only global stats. All pruning decisions are
 //! conservative: any comparison that cannot be decided keeps the zone.
 
@@ -200,7 +202,7 @@ fn extend_column(cs: &mut ColumnStats, col: &Column, start: usize) {
             hash_u64(canonical_f64_bits(x))
         }),
         Column::Str(d, v) => {
-            // Strings keep global stats only (no zone map).
+            // Plain strings keep global stats only (no zone map).
             let valid = v.as_deref();
             for (i, s) in d.iter().enumerate().skip(start) {
                 if !valid.map_or(true, |v| v[i]) {
@@ -211,6 +213,25 @@ fn extend_column(cs: &mut ColumnStats, col: &Column, start: usize) {
                 update_minmax(&mut cs.min, &mut cs.max, &val);
                 cs.sketch.insert(hash_bytes(s.as_bytes()));
             }
+        }
+        Column::DictStr { codes, dict, valid } => {
+            // Global bounds decode (the planner compares them against string
+            // literals) and the sketch hashes string bytes, so estimates are
+            // identical to the plain path. Zone maps run over the **codes**
+            // as ints: codes are stable under dictionary-extending appends,
+            // and scans translate string equality/IN literals to codes
+            // before consulting them.
+            let valid = valid.as_deref();
+            for (i, &c) in codes.iter().enumerate().skip(start) {
+                if !valid.map_or(true, |v| v[i]) {
+                    cs.null_count += 1;
+                    continue;
+                }
+                let s = dict.get(c);
+                update_minmax(&mut cs.min, &mut cs.max, &Value::Str(s.to_string()));
+                cs.sketch.insert(hash_bytes(s.as_bytes()));
+            }
+            extend_zones(cs, codes, valid, start, |x| Value::Int(i64::from(x)));
         }
     }
 }
@@ -236,7 +257,17 @@ fn extend_typed<T: Copy>(
         update_minmax(&mut cs.min, &mut cs.max, &val);
         cs.sketch.insert(hash(x));
     }
-    // Zone maps restart at the last complete zone boundary.
+    extend_zones(cs, data, valid, start, to_value);
+}
+
+/// Rebuilds zone maps from the last zone boundary at or below `start`.
+fn extend_zones<T: Copy>(
+    cs: &mut ColumnStats,
+    data: &[T],
+    valid: Option<&[bool]>,
+    start: usize,
+    to_value: impl Fn(T) -> Value,
+) {
     let Some(zones) = cs.zones.as_mut() else {
         return;
     };
@@ -377,6 +408,39 @@ fn mirror_op(op: BinOp) -> BinOp {
         BinOp::Gt => BinOp::Lt,
         BinOp::Ge => BinOp::Le,
         other => other,
+    }
+}
+
+/// Rewrites a zone test over a dictionary-encoded column into **code
+/// space**, where that column's zone min/max live. Equality and IN translate
+/// each string literal through the dictionary; a literal absent from the
+/// dictionary can never match any row, so it simply drops from the candidate
+/// list (an empty list refutes every zone). Range comparisons and non-string
+/// literals return `None` — code order is first-occurrence order, not
+/// lexicographic, so code-space bounds say nothing about them and the zones
+/// must stay unpruned (the scan's row filter still applies the predicate).
+pub(crate) fn dict_zone_test(t: &ZoneTest, dict: &pytond_common::Dictionary) -> Option<ZoneTest> {
+    let code_val = |s: &str| dict.code_of(s).map(|c| Value::Int(i64::from(c)));
+    match t {
+        ZoneTest::Null { .. } => Some(t.clone()),
+        ZoneTest::Cmp {
+            col,
+            op: BinOp::Eq,
+            lit: Value::Str(s),
+        } => Some(ZoneTest::In {
+            col: *col,
+            list: code_val(s).into_iter().collect(),
+        }),
+        ZoneTest::In { col, list } if list.iter().all(|v| v.as_str().is_some()) => {
+            Some(ZoneTest::In {
+                col: *col,
+                list: list
+                    .iter()
+                    .filter_map(|v| v.as_str().and_then(code_val))
+                    .collect(),
+            })
+        }
+        _ => None,
     }
 }
 

@@ -180,7 +180,20 @@ impl Batch {
         Ok(Batch::from_columns(out))
     }
 
+    /// Number of dictionary-encoded columns in the batch (the columns
+    /// [`Batch::to_relation`] will decode).
+    pub fn dict_cols(&self) -> usize {
+        self.cols
+            .iter()
+            .filter(|c| matches!(***c, Column::DictStr { .. }))
+            .count()
+    }
+
     /// Converts to a named relation using `schema` for names.
+    ///
+    /// This is the engine's **decode boundary**: dictionary-encoded string
+    /// columns materialize back to plain `Vec<String>` here, and nowhere
+    /// earlier — everything upstream stays in code space.
     pub fn to_relation(&self, schema: &Schema) -> Relation {
         let mut used: Vec<String> = Vec::new();
         let cols = self
@@ -196,7 +209,7 @@ impl Batch {
                     k += 1;
                 }
                 used.push(name.clone());
-                (name, (**c).clone())
+                (name, c.decode_str())
             })
             .collect();
         Relation::new(cols).expect("engine batches are rectangular")
@@ -218,13 +231,25 @@ pub struct StoredTable {
 impl StoredTable {
     /// Builds from a relation, computing full column statistics.
     pub fn from_relation(rel: &Relation) -> StoredTable {
+        StoredTable::from_relation_encoded(rel, false)
+    }
+
+    /// Like [`StoredTable::from_relation`]; with `encode` set, string
+    /// columns are dictionary-encoded on the way in (the stored dtype stays
+    /// `Str` — encoding is a representation, not a schema change).
+    pub fn from_relation_encoded(rel: &Relation, encode: bool) -> StoredTable {
         let schema = Schema::new(
             rel.columns()
                 .iter()
                 .map(|(n, c)| Field::new(n.clone(), c.dtype()))
                 .collect(),
         );
-        let batch = Batch::from_columns(rel.columns().iter().map(|(_, c)| c.clone()).collect());
+        let batch = Batch::from_columns(
+            rel.columns()
+                .iter()
+                .map(|(_, c)| if encode { c.encode_str() } else { c.clone() })
+                .collect(),
+        );
         let stats = Some(crate::stats::TableStats::compute(&batch.cols));
         StoredTable {
             schema,

@@ -1,0 +1,429 @@
+//! Differential property tests for dictionary-encoded string columns: a
+//! database whose string columns are dictionary-encoded at registration
+//! (the default) must produce **bit-identical** results — `Value::total_cmp`
+//! per cell — to one registered through [`Database::register_plain`], for
+//! every query, profile and thread count. Code-space predicate kernels,
+//! packed dictionary join keys, fused byte-key probes and zone-map pruning
+//! over codes are all implementation detail the result must never betray.
+//!
+//! Running the whole test suite under `PYTOND_NO_DICT=1` (CI does) is the
+//! complementary check: encoding is then disabled process-wide, both sides
+//! of this suite take the plain path, and the comparison is the identity —
+//! proving the kill switch restores pre-dictionary behavior exactly.
+//!
+//! Coverage: all 22 TPC-H queries, every hybrid workload, a generated
+//! corpus crossing string cardinality (2 … 30 000 distinct) × NULL density ×
+//! clustering, at threads 1 / 2 / 7 / hardware, fused and materializing;
+//! plus regressions for dictionary-extending appends and failed appends.
+
+use pytond::{Backend, EngineConfig, OptLevel, Profile, Pytond};
+use pytond_common::{pool, Column, DType, Relation, Value};
+use pytond_sqldb::Database;
+
+fn thread_counts() -> Vec<usize> {
+    vec![1, 2, 7, pool::hardware_threads().max(2)]
+}
+
+/// Small morsels so test-sized inputs span many-morsel grids.
+const TEST_MORSEL: usize = 1024;
+
+fn config(profile: Profile, threads: usize) -> EngineConfig {
+    EngineConfig {
+        profile,
+        threads,
+        morsel: TEST_MORSEL,
+        zone_prune: true,
+        ..EngineConfig::default()
+    }
+}
+
+/// `true` when the process runs with dictionary encoding disabled
+/// (`PYTOND_NO_DICT=1`): differential checks hold trivially, but assertions
+/// about dictionary metrics must be skipped.
+fn dict_disabled() -> bool {
+    std::env::var("PYTOND_NO_DICT").is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0"
+    })
+}
+
+/// Exact equality under `Value::total_cmp` — see
+/// `tests/parallel_property.rs` for the rationale.
+fn assert_bit_identical(name: &str, reference: &Relation, candidate: &Relation) {
+    assert_eq!(
+        reference.num_cols(),
+        candidate.num_cols(),
+        "{name}: column count"
+    );
+    assert_eq!(
+        reference.num_rows(),
+        candidate.num_rows(),
+        "{name}: row count"
+    );
+    for ci in 0..reference.num_cols() {
+        let a = reference.column_at(ci);
+        let b = candidate.column_at(ci);
+        for i in 0..a.len() {
+            let (va, vb) = (a.get(i), b.get(i));
+            assert!(
+                va.total_cmp(&vb) == std::cmp::Ordering::Equal,
+                "{name}: cell ({i}, {}) differs: {va:?} vs {vb:?}",
+                reference.name_at(ci)
+            );
+        }
+    }
+}
+
+/// Runs `sql` against the plain-string database (vectorized, serial — the
+/// oracle) and against the dictionary-encoded database under both profiles
+/// at every thread count, asserting bit-identity throughout.
+fn check_sql(name: &str, plain: &Database, encoded: &Database, sql: &str) {
+    let reference = plain
+        .execute_sql(sql, &config(Profile::Vectorized, 1))
+        .unwrap_or_else(|e| panic!("{name}: plain run failed: {e}"));
+    for threads in thread_counts() {
+        for profile in [Profile::Vectorized, Profile::Fused] {
+            let r = encoded
+                .execute_sql(sql, &config(profile, threads))
+                .unwrap_or_else(|e| panic!("{name}/{profile:?}@{threads}t: run failed: {e}"));
+            assert_bit_identical(&format!("{name}/{profile:?}@{threads}t"), &reference, &r);
+        }
+    }
+}
+
+/// Builds a `Pytond` facade from workload tables; with `plain` set, the
+/// stored data is re-registered through the plain-string path afterwards
+/// (the catalog entry — schema, unique keys, row counts — stays intact, so
+/// both facades plan identically).
+fn facade(tables: &[(&str, Relation, Vec<Vec<&str>>)], plain: bool) -> Pytond {
+    let py = Pytond::new();
+    for (name, rel, unique) in tables {
+        let keys: Vec<&[&str]> = unique.iter().map(|k| k.as_slice()).collect();
+        py.register_table(name, rel.clone(), &keys);
+        if plain {
+            py.database().register_plain(name, rel.clone());
+        }
+    }
+    py
+}
+
+/// Compiles one source on both facades and cross-checks encoded (both
+/// profiles, every thread count) against the plain oracle.
+fn check_source(name: &str, plain: &Pytond, encoded: &Pytond, source: &str) {
+    let backend = Backend {
+        profile: Profile::Fused,
+        threads: 1,
+        timeout_ms: None,
+        mem_budget_mb: None,
+    };
+    let oracle = plain
+        .prepare(source, &backend, OptLevel::O4)
+        .unwrap_or_else(|e| panic!("{name}: plain compile failed: {e}"));
+    let reference = plain
+        .database()
+        .execute_prepared(&oracle, &config(Profile::Vectorized, 1))
+        .unwrap_or_else(|e| panic!("{name}: plain run failed: {e}"));
+    let prepared = encoded
+        .prepare(source, &backend, OptLevel::O4)
+        .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"));
+    for threads in thread_counts() {
+        for profile in [Profile::Vectorized, Profile::Fused] {
+            let r = encoded
+                .database()
+                .execute_prepared(&prepared, &config(profile, threads))
+                .unwrap_or_else(|e| panic!("{name}/{profile:?}@{threads}t: run failed: {e}"));
+            assert_bit_identical(&format!("{name}/{profile:?}@{threads}t"), &reference, &r);
+        }
+    }
+}
+
+#[test]
+fn tpch_dict_matches_plain() {
+    let data = pytond_tpch::generate(0.002);
+    let tables: Vec<(&str, Relation, Vec<Vec<&str>>)> = data
+        .tables()
+        .into_iter()
+        .map(|(name, rel, unique)| (name, rel.clone(), unique))
+        .collect();
+    let encoded = facade(&tables, false);
+    let plain = facade(&tables, true);
+    for q in pytond_tpch::all_queries() {
+        check_source(q.name, &plain, &encoded, q.source);
+    }
+}
+
+#[test]
+fn hybrid_workloads_dict_matches_plain() {
+    for w in pytond_workloads::all_workloads(1) {
+        let tables: Vec<(&str, Relation, Vec<Vec<&str>>)> = w
+            .tables
+            .iter()
+            .map(|(name, rel, unique)| (*name, rel.clone(), unique.clone()))
+            .collect();
+        let encoded = facade(&tables, false);
+        let plain = facade(&tables, true);
+        check_source(w.name, &plain, &encoded, w.source);
+    }
+}
+
+// ---------------- generated string corpus ----------------
+
+/// Deterministic string key: `cardinality` distinct values, scattered or
+/// clustered, with a NULL every `null_every` rows (0 = no NULLs).
+fn str_column(n: usize, cardinality: usize, clustered: bool, null_every: usize) -> Column {
+    let mut col = Column::new(DType::Str);
+    for i in 0..n {
+        if null_every > 0 && i % null_every == 0 {
+            col.push_null();
+            continue;
+        }
+        let k = if clustered {
+            i * cardinality / n.max(1)
+        } else {
+            i.wrapping_mul(2_654_435_761) % cardinality
+        };
+        col.push(Value::Str(format!("key-{k:05}"))).unwrap();
+    }
+    col
+}
+
+fn corpus_pair(
+    n: usize,
+    cardinality: usize,
+    clustered: bool,
+    null_every: usize,
+) -> (Database, Database) {
+    let s = str_column(n, cardinality, clustered, null_every);
+    let t = Relation::new(vec![
+        ("s".into(), s),
+        ("v".into(), Column::from_i64((0..n as i64).collect())),
+        (
+            "f".into(),
+            Column::from_f64((0..n).map(|i| (i as f64) * 0.37 + 0.1).collect()),
+        ),
+    ])
+    .unwrap();
+    // A dimension table covering part of the key domain, so joins have both
+    // hits and misses (and the probe side sees strings the build never did).
+    let dim_keys: Vec<String> = (0..cardinality.max(2) / 2)
+        .map(|k| format!("key-{k:05}"))
+        .collect();
+    let dim = Relation::new(vec![
+        (
+            "s".into(),
+            Column::from_strs(&dim_keys.iter().map(String::as_str).collect::<Vec<_>>()),
+        ),
+        (
+            "w".into(),
+            Column::from_i64((0..dim_keys.len() as i64).collect()),
+        ),
+    ])
+    .unwrap();
+    let plain = Database::new();
+    plain.register_plain("t", t.clone());
+    plain.register_plain("dim", dim.clone());
+    let encoded = Database::new();
+    encoded.register("t", t);
+    encoded.register("dim", dim);
+    (plain, encoded)
+}
+
+#[test]
+fn string_corpus_dict_matches_plain() {
+    // Cardinality spans degenerate (2), hash-friendly (50), and
+    // high-cardinality (30 000 over 30 000 rows ⇒ nearly unique) regimes;
+    // NULL density exercises the invalid-row placeholder-code convention.
+    for &cardinality in &[2usize, 50, 30_000] {
+        for &clustered in &[true, false] {
+            for &null_every in &[0usize, 3] {
+                let (plain, encoded) = corpus_pair(30_000, cardinality, clustered, null_every);
+                let label = format!("card{cardinality}/clustered={clustered}/nulls={null_every}");
+                for (tag, sql) in [
+                    // Code-space equality / inequality / IN, including a
+                    // literal absent from every dictionary.
+                    ("eq", "SELECT v FROM t WHERE s = 'key-00001'"),
+                    ("eq-miss", "SELECT v FROM t WHERE s = 'no-such-key'"),
+                    ("ne", "SELECT COUNT(*) AS n FROM t WHERE s <> 'key-00001'"),
+                    (
+                        "in",
+                        "SELECT v FROM t WHERE s IN ('key-00000', 'key-00002', 'absent')",
+                    ),
+                    // Order comparisons and LIKE decode per dictionary
+                    // entry, never per row — results must not notice.
+                    ("range", "SELECT COUNT(*) AS n FROM t WHERE s < 'key-00025'"),
+                    (
+                        "like",
+                        "SELECT COUNT(*) AS n FROM t WHERE s LIKE 'key-000%'",
+                    ),
+                    // String functions with per-entry tables.
+                    (
+                        "func",
+                        "SELECT UPPER(s) AS u, LENGTH(s) AS l FROM t WHERE v < 100",
+                    ),
+                    ("concat", "SELECT s || '-x' AS sx FROM t WHERE v < 100"),
+                    // Packed-code group keys and DISTINCT.
+                    (
+                        "groupby",
+                        "SELECT s, COUNT(*) AS n, SUM(f) AS sf FROM t GROUP BY s",
+                    ),
+                    ("distinct", "SELECT DISTINCT s FROM t"),
+                    ("nunique", "SELECT COUNT(DISTINCT s) AS d FROM t"),
+                    // String-keyed joins: inner/left/semi/anti, fused and
+                    // materializing, with hit and miss keys.
+                    (
+                        "join",
+                        "SELECT t.v, dim.w FROM t, dim WHERE t.s = dim.s AND t.v < 20000",
+                    ),
+                    (
+                        "left-join",
+                        "SELECT t.v, dim.w FROM t LEFT JOIN dim ON t.s = dim.s",
+                    ),
+                    ("semi", "SELECT v FROM t WHERE s IN (SELECT s FROM dim)"),
+                    (
+                        "anti",
+                        "SELECT v FROM t WHERE s NOT IN (SELECT s FROM dim WHERE s IS NOT NULL)",
+                    ),
+                    (
+                        "join-agg",
+                        "SELECT dim.s, COUNT(*) AS n, SUM(t.f) AS sf \
+                         FROM t, dim WHERE t.s = dim.s GROUP BY dim.s",
+                    ),
+                    // Sort on an encoded column (lexicographic, not code
+                    // order) and NULL handling.
+                    (
+                        "order",
+                        "SELECT s, v FROM t WHERE v < 200 ORDER BY s DESC, v",
+                    ),
+                    ("nulls", "SELECT COUNT(*) AS n FROM t WHERE s IS NULL"),
+                ] {
+                    check_sql(&format!("{label}/{tag}"), &plain, &encoded, sql);
+                }
+            }
+        }
+    }
+}
+
+// ---------------- appends extend the dictionary in place ----------------
+
+#[test]
+fn append_extends_dictionary() {
+    let base = Relation::new(vec![
+        ("s".into(), Column::from_strs(&["a", "b", "a", "c"])),
+        ("v".into(), Column::from_i64(vec![1, 2, 3, 4])),
+    ])
+    .unwrap();
+    let extra = Relation::new(vec![
+        ("s".into(), Column::from_strs(&["b", "d", "a", "e"])),
+        ("v".into(), Column::from_i64(vec![5, 6, 7, 8])),
+    ])
+    .unwrap();
+    let encoded = Database::new();
+    encoded.register("t", base.clone());
+    let plain = Database::new();
+    plain.register_plain("t", base);
+    encoded.append("t", &extra).unwrap();
+    plain.append("t", &extra).unwrap();
+    for sql in [
+        "SELECT s, v FROM t",
+        "SELECT v FROM t WHERE s = 'd'",
+        "SELECT v FROM t WHERE s = 'a'",
+        "SELECT s, COUNT(*) AS n FROM t GROUP BY s",
+    ] {
+        check_sql(sql, &plain, &encoded, sql);
+    }
+    if !dict_disabled() {
+        // The appended rows re-encoded against the existing dictionary,
+        // extending it in place: one dictionary, first-occurrence order,
+        // old codes untouched.
+        let stored = encoded.table("t").expect("registered");
+        let (codes, dict, _) = stored.batch.cols[0]
+            .dict_parts()
+            .expect("string column stays dictionary-encoded across appends");
+        let strs: Vec<&str> = dict.strs().iter().map(String::as_str).collect();
+        assert_eq!(strs, ["a", "b", "c", "d", "e"]);
+        assert_eq!(codes, [0u32, 1, 0, 2, 1, 3, 0, 4]);
+    }
+}
+
+#[test]
+fn failed_append_publishes_nothing() {
+    let base = Relation::new(vec![
+        ("s".into(), Column::from_strs(&["a", "b"])),
+        ("v".into(), Column::from_i64(vec![1, 2])),
+    ])
+    .unwrap();
+    let db = Database::new();
+    db.register("t", base);
+    let version = db.stats_version();
+    // Second column has the wrong dtype: validation must reject the append
+    // before any column (including the already-matching string column)
+    // mutates — a failed append publishes nothing.
+    let bad = Relation::new(vec![
+        ("s".into(), Column::from_strs(&["c"])),
+        ("v".into(), Column::from_strs(&["oops"])),
+    ])
+    .unwrap();
+    assert!(db.append("t", &bad).is_err());
+    assert_eq!(db.stats_version(), version, "failed append published");
+    let stored = db.table("t").expect("registered");
+    assert_eq!(stored.num_rows(), 2);
+    if !dict_disabled() {
+        let (_, dict, _) = stored.batch.cols[0].dict_parts().expect("encoded");
+        let strs: Vec<&str> = dict.strs().iter().map(String::as_str).collect();
+        assert_eq!(strs, ["a", "b"], "rejected rows extended the dictionary");
+    }
+}
+
+// ---------------- metrics and EXPLAIN pin ----------------
+
+/// The acceptance pin: a Q9-style string-keyed join + aggregate runs as one
+/// fused pipeline whose probe packs dictionary codes, and the trace says so.
+#[test]
+fn string_keyed_join_fuses_with_dict_probe() {
+    let (_, encoded) = corpus_pair(30_000, 50, false, 0);
+    let sql = "SELECT dim.s, COUNT(*) AS n, SUM(t.f) AS sf \
+               FROM t, dim WHERE t.s = dim.s AND t.v < 25000 GROUP BY dim.s";
+    let (_, trace) = encoded
+        .execute_sql_traced(sql, &config(Profile::Fused, 2))
+        .unwrap();
+    let no_fuse = std::env::var("PYTOND_NO_FUSE").is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0"
+    });
+    if dict_disabled() || no_fuse {
+        return;
+    }
+    assert!(
+        trace.metrics.dict_probe_pipelines >= 1,
+        "expected a fused dict-code probe, got metrics {:?}",
+        trace.metrics
+    );
+    assert!(
+        trace.plan.contains("dict-key"),
+        "EXPLAIN does not label the dict-code probe:\n{}",
+        trace.plan
+    );
+    assert!(
+        trace.metrics.dict_encoded_cols >= 1,
+        "scan saw no dictionary-encoded columns: {:?}",
+        trace.metrics
+    );
+    assert_eq!(
+        trace.metrics.dict_decoded_cols, 1,
+        "exactly the output string column decodes at materialization"
+    );
+}
+
+/// Dictionary decode happens at result materialization and nowhere earlier:
+/// a query whose output carries no string column decodes nothing.
+#[test]
+fn no_string_output_decodes_nothing() {
+    let (_, encoded) = corpus_pair(10_000, 50, false, 0);
+    let (_, trace) = encoded
+        .execute_sql_traced(
+            "SELECT COUNT(*) AS n, SUM(f) AS sf FROM t WHERE s <> 'key-00001'",
+            &config(Profile::Fused, 2),
+        )
+        .unwrap();
+    assert_eq!(trace.metrics.dict_decoded_cols, 0);
+}
