@@ -23,6 +23,7 @@
 //! | [`FaultSite::PoolDispatch`] | worker picks up a pool job | injected panic, contained by the pool's per-helper `catch_unwind` |
 //! | [`FaultSite::AppendPublish`] | `Database::append` before publication | transient `Error::Internal`; nothing is published |
 //! | [`FaultSite::Morsel`] | executor morsel body | transient `Error::Internal`; the query aborts cleanly |
+//! | [`FaultSite::ViewPublish`] | view refresh before publication | transient `Error::Internal`; the view keeps its prior consistent version |
 
 /// Whether the harness is compiled into this build.
 pub const COMPILED: bool = cfg!(feature = "fault");
@@ -37,6 +38,10 @@ pub enum FaultSite {
     AppendPublish,
     /// Executor morsel body (fires as a transient error).
     Morsel,
+    /// Materialized-view refresh, after the delta/recompute result is ready
+    /// but before the new view state becomes visible (fires as a transient
+    /// error; the view stays at its prior consistent version).
+    ViewPublish,
 }
 
 impl FaultSite {
@@ -47,6 +52,7 @@ impl FaultSite {
             FaultSite::PoolDispatch => 0,
             FaultSite::AppendPublish => 1,
             FaultSite::Morsel => 2,
+            FaultSite::ViewPublish => 3,
         }
     }
 
@@ -56,6 +62,7 @@ impl FaultSite {
             FaultSite::PoolDispatch => "pool-dispatch",
             FaultSite::AppendPublish => "append-publish",
             FaultSite::Morsel => "morsel",
+            FaultSite::ViewPublish => "view-publish",
         }
     }
 }
@@ -70,7 +77,12 @@ mod active {
     static MODE: AtomicU8 = AtomicU8::new(0);
     static SEED: AtomicU64 = AtomicU64::new(0);
     static RATE_BITS: AtomicU64 = AtomicU64::new(0);
-    static VISITS: [AtomicU64; 3] = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+    static VISITS: [AtomicU64; 4] = [
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+        AtomicU64::new(0),
+    ];
     static FIRED: AtomicU64 = AtomicU64::new(0);
 
     fn env_default() -> Option<(u64, f64)> {

@@ -66,7 +66,9 @@
 #![warn(missing_docs)]
 
 pub use pytond_optimizer::OptLevel;
-pub use pytond_sqldb::{CancelToken, Database, EngineConfig, PreparedQuery, Profile};
+pub use pytond_sqldb::{
+    CancelToken, Database, EngineConfig, PreparedQuery, Profile, RefreshMode, ViewState,
+};
 pub use pytond_sqlgen::Dialect;
 
 use pytond_common::hash::{FxHashMap, FxHasher};
@@ -584,6 +586,34 @@ impl Pytond {
     /// EXPLAIN rendering of the (cached) prepared plan for a source.
     pub fn explain(&self, source: &str, backend: &Backend, level: OptLevel) -> Result<String> {
         Ok(self.prepare(source, backend, level)?.explain())
+    }
+
+    /// Registers a `@pytond` program as a standing materialized view: the
+    /// source is compiled once (through the full translate → optimize →
+    /// SQL pipeline), the result is materialized, and every subsequent
+    /// [`Pytond::append`] refreshes it — incrementally where the plan
+    /// shape allows, by traced full recompute otherwise. See
+    /// [`Database::register_view_with`] and the `pytond_sqldb::mv` module
+    /// docs for the delta rules and the consistency contract.
+    pub fn register_view(&self, name: &str, source: &str, backend: &Backend) -> Result<()> {
+        let compiled = self.compile(source, backend.dialect())?;
+        self.db
+            .register_view_with(name, &compiled.sql, &backend.config())
+    }
+
+    /// The current published state of a standing view registered with
+    /// [`Pytond::register_view`]: the materialized result plus the snapshot
+    /// version it is consistent with. Never torn; under `PYTOND_NO_IVM=1`
+    /// it recomputes from scratch on every call (the differential oracle).
+    pub fn view(&self, name: &str) -> Result<Arc<ViewState>> {
+        self.db.view(name)
+    }
+
+    /// The `view:` trace header of a standing view: last refresh mode
+    /// (`delta` vs `recompute`), rows propagated, refresh time, and the
+    /// per-table maintenance matrix.
+    pub fn view_trace(&self, name: &str) -> Result<String> {
+        self.db.view_trace(name)
     }
 
     /// Number of prepared plans currently cached, summed across the lock

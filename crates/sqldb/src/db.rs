@@ -111,7 +111,7 @@ impl Default for EngineConfig {
 
 /// Process-wide default per-query deadline: `PYTOND_QUERY_TIMEOUT_MS` when
 /// set to a positive integer (read once, like `PYTOND_THREADS`).
-fn default_timeout_ms() -> Option<u64> {
+pub(crate) fn default_timeout_ms() -> Option<u64> {
     static CACHED: OnceLock<Option<u64>> = OnceLock::new();
     *CACHED.get_or_init(|| {
         std::env::var("PYTOND_QUERY_TIMEOUT_MS")
@@ -123,7 +123,7 @@ fn default_timeout_ms() -> Option<u64> {
 
 /// Process-wide default per-query memory budget: `PYTOND_QUERY_MEM_MB` when
 /// set to a positive integer (read once).
-fn default_mem_budget_mb() -> Option<u64> {
+pub(crate) fn default_mem_budget_mb() -> Option<u64> {
     static CACHED: OnceLock<Option<u64>> = OnceLock::new();
     *CACHED.get_or_init(|| {
         std::env::var("PYTOND_QUERY_MEM_MB")
@@ -136,7 +136,7 @@ fn default_mem_budget_mb() -> Option<u64> {
 /// `PYTOND_NO_FUSE=1` forces the materializing (operator-at-a-time) path
 /// even under the fused profiles — the differential oracle the pipeline
 /// fuzzing suites run the whole test corpus against (read once).
-fn no_fuse() -> bool {
+pub(crate) fn no_fuse() -> bool {
     static CACHED: OnceLock<bool> = OnceLock::new();
     *CACHED.get_or_init(|| {
         std::env::var("PYTOND_NO_FUSE").is_ok_and(|v| {
@@ -154,6 +154,21 @@ pub(crate) fn no_dict() -> bool {
     static CACHED: OnceLock<bool> = OnceLock::new();
     *CACHED.get_or_init(|| {
         std::env::var("PYTOND_NO_DICT").is_ok_and(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        })
+    })
+}
+
+/// `PYTOND_NO_IVM=1` disables incremental maintenance of registered views —
+/// [`Database::view`] recomputes the standing query from scratch on every
+/// read instead of serving the maintained result. This is the in-process
+/// differential oracle the view maintenance suite runs the whole corpus
+/// against (read once).
+pub(crate) fn no_ivm() -> bool {
+    static CACHED: OnceLock<bool> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("PYTOND_NO_IVM").is_ok_and(|v| {
             let v = v.trim();
             !v.is_empty() && v != "0"
         })
@@ -384,7 +399,7 @@ impl Snapshot {
 
 /// Best-effort rendering of a caught panic payload (mirrors the pool's
 /// re-raise formatting: `&str` and `String` payloads pass through).
-fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -397,12 +412,15 @@ fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Everything the `Database` handles share: the current snapshot plus the
 /// writer lock that serializes version publication.
 #[derive(Debug, Default)]
-struct DbShared {
-    current: Versioned<Snapshot>,
+pub(crate) struct DbShared {
+    pub(crate) current: Versioned<Snapshot>,
     /// Serializes writers: `register`/`append` read the current version,
     /// build the next one off it, and publish — two concurrent writers must
     /// not both base their copy on the same parent version.
-    write: Mutex<()>,
+    pub(crate) write: Mutex<()>,
+    /// Registered standing queries, refreshed by the writer that publishes
+    /// each new snapshot version (see [`crate::mv`]).
+    pub(crate) views: Mutex<FxHashMap<String, Arc<crate::mv::ViewEntry>>>,
 }
 
 /// An in-memory database: named tables + SQL execution, shared by any
@@ -415,7 +433,7 @@ struct DbShared {
 /// `docs/SERVING.md` for the visibility rules.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    shared: Arc<DbShared>,
+    pub(crate) shared: Arc<DbShared>,
 }
 
 impl Database {
@@ -455,15 +473,20 @@ impl Database {
     fn register_table(&self, name: &str, rel: Relation, encode: bool) {
         let _writer = self.shared.write.lock().expect("database writer poisoned");
         let cur = self.shared.current.load();
+        let key = name.to_lowercase();
         let mut tables = cur.tables.clone();
         tables.insert(
-            name.to_lowercase(),
+            key.clone(),
             Arc::new(StoredTable::from_relation_encoded(&rel, encode)),
         );
-        self.shared.current.publish(Arc::new(Snapshot {
+        let next = Arc::new(Snapshot {
             tables,
             version: cur.version + 1,
-        }));
+        });
+        self.shared.current.publish(next.clone());
+        // Still under the writer lock: views referencing the replaced table
+        // re-prepare and recompute against the version just published.
+        crate::mv::on_register(self, &next, &key);
     }
 
     /// Appends a batch of rows to an existing table (columns must match the
@@ -499,11 +522,18 @@ impl Database {
             )));
         }
         let mut tables = cur.tables.clone();
-        tables.insert(key, Arc::new(grown));
-        self.shared.current.publish(Arc::new(Snapshot {
+        tables.insert(key.clone(), Arc::new(grown));
+        let next = Arc::new(Snapshot {
             tables,
             version: cur.version + 1,
-        }));
+        });
+        self.shared.current.publish(next.clone());
+        // Still under the writer lock: registered views absorb the appended
+        // rows (delta propagation where eligible, full recompute otherwise)
+        // before the next writer can publish another version. A failed view
+        // refresh never fails the append — the view just stays at its prior
+        // consistent version (see `crate::mv`).
+        crate::mv::on_append(self, &next, &key);
         Ok(())
     }
 

@@ -185,10 +185,26 @@ pub fn execute_traced(
     q: &BoundQuery,
     opts: ExecOptions,
 ) -> Result<(Batch, Schema, ExecMetrics)> {
+    execute_with_temps(db, q, FxHashMap::default(), opts)
+}
+
+/// Like [`execute_traced`], but execution starts with `temps` pre-seeded.
+///
+/// Temporaries shadow same-named base tables (the executor resolves temps
+/// first), which is the delta-execution seam for incremental view
+/// maintenance: overlaying a base table with a [`StoredTable`] holding only
+/// its appended suffix makes every scan of that table see the delta rows
+/// while all other inputs still read the pinned snapshot.
+pub(crate) fn execute_with_temps(
+    db: &Snapshot,
+    q: &BoundQuery,
+    temps: FxHashMap<String, StoredTable>,
+    opts: ExecOptions,
+) -> Result<(Batch, Schema, ExecMetrics)> {
     let threads = opts.threads.max(1);
     let mut exec = Executor {
         db,
-        temps: FxHashMap::default(),
+        temps,
         opts,
         metrics: std::cell::RefCell::new(ExecMetrics {
             threads,

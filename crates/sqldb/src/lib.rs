@@ -59,6 +59,7 @@ pub mod exec;
 pub mod expr;
 pub mod lex;
 pub mod lower;
+pub mod mv;
 pub mod optimize;
 pub mod parser;
 pub mod pipeline;
@@ -67,5 +68,6 @@ pub mod stats;
 pub mod table;
 
 pub use db::{Database, EngineConfig, PreparedQuery, Profile, QueryTrace, Snapshot};
+pub use mv::{RefreshMode, ViewState};
 pub use plan::LogicalPlan;
 pub use pytond_common::cancel::CancelToken;

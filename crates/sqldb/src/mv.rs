@@ -1,0 +1,1316 @@
+//! Incremental view maintenance (IVM) for standing queries.
+//!
+//! [`Database::register_view`] compiles a SQL statement once, materializes
+//! its initial result, and keeps the result up to date on every subsequent
+//! [`Database::append`] — propagating only the appended rows (a **delta**)
+//! where the plan shape allows it, and falling back to a full, explicitly
+//! traced recompute where it does not. Readers call [`Database::view`] and
+//! get a lock-free, never-torn [`ViewState`]: an immutable result plus the
+//! snapshot version it is consistent with.
+//!
+//! # Delta rules
+//!
+//! Refresh happens inside the writer critical section, right after the new
+//! snapshot version is published, so each refresh sees exactly one table
+//! grown by exactly the appended suffix. Per referenced table the plan is
+//! classified once, at prepare time:
+//!
+//! * **delta-chain** — the path from the table's scan up to the root is all
+//!   `Filter`/`Project`/`Join` nodes, with the scan feeding the **left**
+//!   (probe) side of every join on the path and every such join
+//!   insert-monotone (`Inner`/`Left`/`Semi`/`Anti`/`Cross`). These
+//!   operators are elementwise or left-major, so the new result is exactly
+//!   the old result plus a suffix: re-running the plan with the table's
+//!   scan overlaid by just the appended rows (a delta-join against the
+//!   pinned base snapshot) yields precisely that suffix, bit-identically.
+//! * **delta-agg** — the chain reaches a single `Aggregate` barrier; the
+//!   subtree feeding the aggregate is maintained as a materialized input
+//!   batch, the delta chain appends to it, and publication re-runs the
+//!   aggregation (and everything above it) over the maintained input via an
+//!   internal `Scan` substitution. Re-aggregating the maintained input —
+//!   rather than merging old and new aggregate outputs — is what keeps
+//!   float `SUM`/`AVG` **bit-identical** to a from-scratch recompute: the
+//!   engine folds floats over the fixed morsel grid of the aggregate's
+//!   input, so only an identical input row stream reproduces identical
+//!   bits. The delta still skips the expensive part (the scan / filter /
+//!   join chain below the aggregate runs over the appended rows only).
+//! * **recompute** — everything else: plans with CTEs, tables scanned more
+//!   than once, deltas feeding a join build side or a non-monotone
+//!   (`Right`/`Full`) join, and order-sensitive operators (`Sort`,
+//!   `Distinct`, `Window`, `Limit`) between the scan and the root (above
+//!   the aggregate barrier they are fine — they re-run from the small
+//!   aggregate output every refresh).
+//!
+//! # Consistency and staleness
+//!
+//! A published [`ViewState`] stamped with snapshot version *v* is
+//! bit-identical to executing the view's own prepared plan from scratch
+//! against the pinned snapshot *v* (`Value::total_cmp`-identical cells, same
+//! row order). Refresh runs under the same lifecycle machinery as queries —
+//! armed [`CancelToken`] (deadline + memory budget from the view's
+//! [`EngineConfig`] or environment), worker-panic containment, and the
+//! [`FaultSite::ViewPublish`] injection point — and publishes atomically via
+//! [`Versioned`]. A failed, cancelled, or fault-injected refresh publishes
+//! nothing: the view stays at its prior consistent version (staleness is
+//! visible as `state.snapshot_version() < db.stats_version()`), and the next
+//! successful append heals it with a full recompute.
+//!
+//! # Differential oracle
+//!
+//! `PYTOND_NO_IVM=1` disables maintenance: [`Database::view`] recomputes the
+//! standing query from scratch on every read, mirroring `PYTOND_NO_FUSE` /
+//! `PYTOND_NO_DICT`. The maintenance property suite runs the whole corpus
+//! both ways and additionally compares every maintained state against
+//! [`Database::view_oracle`] (an in-process from-scratch recompute using the
+//! view's own prepared plan, so cost-based join orders cannot drift between
+//! the two sides). See `docs/VIEWS.md`.
+
+use crate::db::{
+    default_mem_budget_mb, default_timeout_ms, no_fuse, no_ivm, panic_payload_message, Database,
+    EngineConfig, PreparedQuery, Profile, Snapshot,
+};
+use crate::exec::{execute_with_temps, ExecOptions};
+use crate::plan::{BoundQuery, JKind, LogicalPlan};
+use crate::table::{Batch, Schema, StoredTable};
+use pytond_common::cancel::CancelToken;
+use pytond_common::fault::{self, FaultSite};
+use pytond_common::hash::FxHashMap;
+use pytond_common::version::Versioned;
+use pytond_common::{pool, Error, Relation, Result};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Name of the internal scan substituted for the aggregate's input subtree
+/// when a delta-agg view publishes from its maintained input batch.
+const MV_INPUT: &str = "__mv_input__";
+
+/// How the most recent refresh produced the published result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshMode {
+    /// The initial materialization at [`Database::register_view`] time.
+    Initial,
+    /// Incremental propagation of the appended rows (delta-chain or
+    /// delta-agg; a no-op append publishes `Delta` with zero rows).
+    Delta,
+    /// Full re-execution of the prepared plan (ineligible shape, stale
+    /// maintenance state, a replaced base table, or `PYTOND_NO_IVM=1`).
+    Recompute,
+}
+
+impl RefreshMode {
+    /// Lower-case token used in traces (`delta` / `recompute` / `initial`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RefreshMode::Initial => "initial",
+            RefreshMode::Delta => "delta",
+            RefreshMode::Recompute => "recompute",
+        }
+    }
+}
+
+/// One immutable published state of a view: the result, the snapshot
+/// version it is consistent with, and how the refresh produced it.
+///
+/// Obtained from [`Database::view`]; the `Arc` pins this state for as long
+/// as it is held — concurrent refreshes publish new states without ever
+/// mutating one a reader observes.
+#[derive(Debug)]
+pub struct ViewState {
+    name: String,
+    rel: Arc<Relation>,
+    snapshot_version: u64,
+    mode: RefreshMode,
+    rows_propagated: u64,
+    reason: String,
+    refresh_ns: u64,
+}
+
+impl ViewState {
+    /// The materialized result.
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    /// The materialized result, shareable without a deep copy.
+    pub fn shared_relation(&self) -> Arc<Relation> {
+        self.rel.clone()
+    }
+
+    /// The [`Snapshot::version`] this result is consistent with: executing
+    /// the view's prepared plan from scratch against that pinned snapshot
+    /// reproduces [`ViewState::relation`] bit-for-bit. A value behind
+    /// [`Database::stats_version`] means the view is stale (its last
+    /// refresh failed or was cancelled).
+    pub fn snapshot_version(&self) -> u64 {
+        self.snapshot_version
+    }
+
+    /// How the refresh that published this state ran.
+    pub fn mode(&self) -> RefreshMode {
+        self.mode
+    }
+
+    /// Rows the refresh pushed through the plan: the delta rows propagated
+    /// (chain output or aggregate-input rows) in `delta` mode, the full
+    /// result rows in `initial`/`recompute` mode.
+    pub fn rows_propagated(&self) -> u64 {
+        self.rows_propagated
+    }
+
+    /// Why the refresh chose its mode (empty for an ordinary delta).
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+
+    /// Wall-clock nanoseconds the refresh took (compute + publication).
+    pub fn refresh_ns(&self) -> u64 {
+        self.refresh_ns
+    }
+
+    /// One-line `view:` trace header, e.g.
+    /// `view: top_suppliers v12 mode=delta rows=512 refresh=180µs`.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "view: {} v{} mode={} rows={} refresh={:.0}µs",
+            self.name,
+            self.snapshot_version,
+            self.mode.name(),
+            self.rows_propagated,
+            self.refresh_ns as f64 / 1e3,
+        );
+        if !self.reason.is_empty() {
+            out.push_str(&format!(" ({})", self.reason));
+        }
+        out
+    }
+}
+
+/// Per-referenced-table maintenance decision, fixed at prepare time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TableClass {
+    /// Appends propagate as a suffix through the chain to the root.
+    Chain,
+    /// Appends propagate into the maintained aggregate input at this
+    /// child-index path (root → aggregate node).
+    Agg(Vec<usize>),
+    /// Appends force a full recompute, for the recorded reason.
+    Recompute(&'static str),
+}
+
+impl TableClass {
+    fn render(&self) -> String {
+        match self {
+            TableClass::Chain => "delta (chain)".to_string(),
+            TableClass::Agg(_) => "delta (agg)".to_string(),
+            TableClass::Recompute(r) => format!("recompute ({r})"),
+        }
+    }
+}
+
+/// Pre-built artifacts for delta-agg maintenance.
+#[derive(Debug)]
+struct AggMaint {
+    /// The aggregate's input subtree as a standalone query (run with the
+    /// appended table overlaid to produce the delta input rows).
+    input_query: BoundQuery,
+    /// The full plan with the aggregate's input replaced by a scan of the
+    /// maintained input batch (run to publish).
+    rewritten_query: BoundQuery,
+    /// Schema of the maintained input batch.
+    input_schema: Schema,
+}
+
+/// The compiled maintenance plan of a view: prepared query + per-table
+/// classification (+ the agg-rewrite artifacts when any table is
+/// agg-eligible).
+#[derive(Debug)]
+struct ViewPlan {
+    prepared: PreparedQuery,
+    /// Lower-cased referenced table name → decision. Tables absent from
+    /// this map are unreferenced: appends to them only bump the stamp.
+    classes: FxHashMap<String, TableClass>,
+    agg: Option<AggMaint>,
+}
+
+/// Mutable maintenance state, guarded by the entry mutex (all mutations run
+/// inside the database writer critical section).
+#[derive(Debug)]
+struct ViewInner {
+    plan: ViewPlan,
+    /// Snapshot version of the last successful refresh; a refresh may apply
+    /// a delta only when it extends exactly this version.
+    parent_version: u64,
+    /// Row counts of the referenced tables at `parent_version` (delta = the
+    /// rows past the recorded count).
+    base_rows: FxHashMap<String, usize>,
+    /// The published result in engine (pre-decode) column space; appended
+    /// in place by chain deltas. `None` = state lost to a failed refresh;
+    /// the next refresh recomputes.
+    content: Option<Batch>,
+    /// The maintained aggregate input batch (delta-agg views only).
+    agg_input: Option<Batch>,
+    /// Most recent refresh failure, for diagnostics.
+    last_error: Option<String>,
+}
+
+/// One registered view: immutable identity + config, the atomically
+/// published state, and the lock-guarded maintenance internals.
+pub(crate) struct ViewEntry {
+    name: String,
+    sql: String,
+    config: EngineConfig,
+    published: Versioned<ViewState>,
+    inner: Mutex<ViewInner>,
+}
+
+impl std::fmt::Debug for ViewEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViewEntry")
+            .field("name", &self.name)
+            .field("sql", &self.sql)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan classification
+// ---------------------------------------------------------------------------
+
+fn collect_scan_tables(plan: &LogicalPlan, out: &mut BTreeSet<String>) {
+    if let LogicalPlan::Scan { table, .. } = plan {
+        out.insert(table.to_lowercase());
+    }
+    for child in plan.children() {
+        collect_scan_tables(child, out);
+    }
+}
+
+fn scan_count(plan: &LogicalPlan, table: &str) -> usize {
+    let here = matches!(plan, LogicalPlan::Scan { table: t, .. } if t.eq_ignore_ascii_case(table))
+        as usize;
+    here + plan
+        .children()
+        .iter()
+        .map(|c| scan_count(c, table))
+        .sum::<usize>()
+}
+
+/// Rolled-up eligibility of the (unique) path from `table`'s scan to the
+/// current node.
+enum Roll {
+    /// `table` is not scanned in this subtree.
+    NotHere,
+    /// So far the path is pure chain: the delta surfaces as a suffix here.
+    Chain,
+    /// The path hit an `Aggregate` barrier at this root-relative path;
+    /// everything above re-runs from the maintained input.
+    Agg(Vec<usize>),
+    /// The path hit an operator that breaks suffix order.
+    Stop(&'static str),
+}
+
+fn roll(plan: &LogicalPlan, table: &str, path: &mut Vec<usize>) -> Roll {
+    if let LogicalPlan::Scan { table: t, .. } = plan {
+        return if t.eq_ignore_ascii_case(table) {
+            Roll::Chain
+        } else {
+            Roll::NotHere
+        };
+    }
+    for (i, child) in plan.children().iter().enumerate() {
+        path.push(i);
+        let r = roll(child, table, path);
+        path.pop();
+        match r {
+            Roll::NotHere => continue,
+            Roll::Stop(_) | Roll::Agg(_) => return r,
+            Roll::Chain => {
+                return match plan {
+                    LogicalPlan::Filter { .. } | LogicalPlan::Project { .. } => Roll::Chain,
+                    LogicalPlan::Join { kind, .. } => {
+                        if i == 0
+                            && matches!(
+                                kind,
+                                JKind::Inner
+                                    | JKind::Left
+                                    | JKind::Semi
+                                    | JKind::Anti
+                                    | JKind::Cross
+                            )
+                        {
+                            // Joins enumerate output left-major, so delta
+                            // rows on the probe (left) side stay a suffix;
+                            // these kinds are also insert-monotone on that
+                            // side (existing output rows never change).
+                            Roll::Chain
+                        } else if i == 1 {
+                            Roll::Stop("delta feeds a join build side")
+                        } else {
+                            Roll::Stop("non-monotone outer join")
+                        }
+                    }
+                    LogicalPlan::Aggregate { .. } => Roll::Agg(path.clone()),
+                    LogicalPlan::Sort { .. } => Roll::Stop("sort"),
+                    LogicalPlan::Limit { .. } => Roll::Stop("limit"),
+                    LogicalPlan::Distinct { .. } => Roll::Stop("distinct"),
+                    LogicalPlan::Window { .. } => Roll::Stop("window"),
+                    LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => {
+                        unreachable!("leaves have no children")
+                    }
+                };
+            }
+        }
+    }
+    Roll::NotHere
+}
+
+fn node_at<'p>(mut plan: &'p LogicalPlan, path: &[usize]) -> &'p LogicalPlan {
+    for &i in path {
+        plan = plan.children()[i];
+    }
+    plan
+}
+
+fn child_mut(plan: &mut LogicalPlan, i: usize) -> &mut LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Window { input, .. }
+        | LogicalPlan::Distinct { input } => input,
+        LogicalPlan::Join { left, right, .. } => {
+            if i == 0 {
+                left
+            } else {
+                right
+            }
+        }
+        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => {
+            unreachable!("leaf on a maintenance path")
+        }
+    }
+}
+
+/// Clones `root` with the input of the aggregate at `path` replaced by a
+/// scan of [`MV_INPUT`]; returns the rewritten plan and the input schema.
+fn rewrite_agg_input(root: &LogicalPlan, path: &[usize]) -> (LogicalPlan, Schema) {
+    let mut rewritten = root.clone();
+    let mut node = &mut rewritten;
+    for &i in path {
+        node = child_mut(node, i);
+    }
+    let LogicalPlan::Aggregate { input, .. } = node else {
+        unreachable!("classification recorded a non-aggregate barrier");
+    };
+    let schema = input.schema().clone();
+    **input = LogicalPlan::Scan {
+        table: MV_INPUT.to_string(),
+        schema: schema.clone(),
+        projection: None,
+        pred: None,
+    };
+    (rewritten, schema)
+}
+
+fn build_plan(prepared: PreparedQuery) -> ViewPlan {
+    let bound = prepared.plan();
+    let mut tables = BTreeSet::new();
+    for (_, p) in &bound.ctes {
+        collect_scan_tables(p, &mut tables);
+    }
+    collect_scan_tables(&bound.root, &mut tables);
+    let has_ctes = !bound.ctes.is_empty();
+    let mut classes = FxHashMap::default();
+    let mut agg_path: Option<Vec<usize>> = None;
+    for t in tables {
+        let class = if has_ctes {
+            // CTE temporaries shadow base tables inside the executor, so a
+            // delta overlay could be masked; recompute keeps it simple and
+            // correct.
+            TableClass::Recompute("plan has CTEs")
+        } else if scan_count(&bound.root, &t) > 1 {
+            TableClass::Recompute("table scanned more than once")
+        } else {
+            let mut path = Vec::new();
+            match roll(&bound.root, &t, &mut path) {
+                Roll::Chain => TableClass::Chain,
+                Roll::Agg(p) => match &agg_path {
+                    None => {
+                        agg_path = Some(p.clone());
+                        TableClass::Agg(p)
+                    }
+                    Some(q) if *q == p => TableClass::Agg(p),
+                    Some(_) => TableClass::Recompute("second aggregate barrier"),
+                },
+                Roll::Stop(reason) => TableClass::Recompute(reason),
+                Roll::NotHere => unreachable!("table was collected from a scan"),
+            }
+        };
+        classes.insert(t, class);
+    }
+    let agg = agg_path.map(|p| {
+        let (rewritten_root, input_schema) = rewrite_agg_input(&bound.root, &p);
+        let input_root = node_at(&bound.root, &p).children()[0].clone();
+        AggMaint {
+            input_query: BoundQuery {
+                ctes: Vec::new(),
+                root: input_root,
+            },
+            rewritten_query: BoundQuery {
+                ctes: Vec::new(),
+                root: rewritten_root,
+            },
+            input_schema,
+        }
+    });
+    ViewPlan {
+        prepared,
+        classes,
+        agg,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution helpers
+// ---------------------------------------------------------------------------
+
+/// Runs a (sub)plan against a pinned snapshot with pre-seeded temporaries,
+/// under the full query lifecycle: armed [`CancelToken`] (deadline + memory
+/// budget from `config`/environment, label naming the view and version) and
+/// worker-panic containment. The admission gate is deliberately skipped —
+/// refresh runs inside the writer critical section and must not queue
+/// behind the read load it exists to serve.
+fn run_plan(
+    snap: &Snapshot,
+    q: &BoundQuery,
+    temps: FxHashMap<String, StoredTable>,
+    config: &EngineConfig,
+    label: &str,
+) -> Result<(Batch, Schema)> {
+    let timeout_ms = config
+        .timeout_ms
+        .or_else(default_timeout_ms)
+        .filter(|&ms| ms > 0);
+    let budget_mb = config
+        .mem_budget_mb
+        .or_else(default_mem_budget_mb)
+        .filter(|&mb| mb > 0);
+    let cancel = if timeout_ms.is_some() || budget_mb.is_some() {
+        CancelToken::new()
+    } else {
+        CancelToken::disarmed()
+    };
+    cancel.set_label(label.to_string());
+    if let Some(ms) = timeout_ms {
+        cancel.set_deadline(Duration::from_millis(ms));
+    }
+    if let Some(mb) = budget_mb {
+        cancel.set_budget_bytes(mb.saturating_mul(1024 * 1024));
+    }
+    let opts = ExecOptions {
+        threads: pool::resolve_threads(config.threads),
+        fused: matches!(config.profile, Profile::Fused | Profile::Lingo) && !no_fuse(),
+        morsel: config.morsel,
+        zone_prune: config.zone_prune,
+        cancel: cancel.clone(),
+    };
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_with_temps(snap, q, temps, opts)
+    }));
+    match run {
+        Ok(r) => r.map(|(batch, schema, _)| (batch, schema)),
+        Err(payload) => Err(Error::Internal(format!(
+            "view refresh '{label}' aborted by worker panic: {}",
+            panic_payload_message(payload.as_ref())
+        ))),
+    }
+}
+
+/// A [`StoredTable`] overlay holding only rows `[from, len)` of `stored` —
+/// the appended suffix a delta execution scans instead of the full table.
+/// Statistics are dropped (no zone pruning over the delta), dictionary
+/// columns keep sharing their `Arc`ed dictionaries.
+fn suffix_overlay(stored: &StoredTable, from: usize) -> StoredTable {
+    let idx: Vec<usize> = (from..stored.batch.num_rows()).collect();
+    StoredTable {
+        schema: stored.schema.clone(),
+        batch: stored.batch.gather(&idx),
+        stats: None,
+    }
+}
+
+/// Appends `delta`'s rows onto `dst` column by column (copy-on-write: a
+/// column still shared with a published state is cloned before mutation).
+fn append_batch(dst: &mut Batch, delta: &Batch) -> Result<()> {
+    debug_assert_eq!(dst.cols.len(), delta.cols.len());
+    for (d, s) in dst.cols.iter_mut().zip(&delta.cols) {
+        Arc::make_mut(d).append(s)?;
+    }
+    Ok(())
+}
+
+fn mv_input_temp(aggm: &AggMaint, input: Batch) -> FxHashMap<String, StoredTable> {
+    let mut temps = FxHashMap::default();
+    temps.insert(
+        MV_INPUT.to_string(),
+        StoredTable {
+            schema: Schema::new(
+                aggm.input_schema
+                    .fields
+                    .iter()
+                    .map(|f| crate::table::Field::new(f.name.clone(), f.dtype))
+                    .collect(),
+            ),
+            batch: input,
+            stats: None,
+        },
+    );
+    temps
+}
+
+// ---------------------------------------------------------------------------
+// Refresh
+// ---------------------------------------------------------------------------
+
+/// What the writer just published.
+#[derive(Clone, Copy)]
+enum Event<'a> {
+    /// `Database::append` grew this table by a suffix.
+    Append(&'a str),
+    /// `Database::register` created or replaced this table.
+    Register(&'a str),
+}
+
+/// Writer hook: refresh every registered view against the snapshot the
+/// append just published. Runs inside the writer critical section; view
+/// failures are contained per view and never fail the append.
+pub(crate) fn on_append(db: &Database, snap: &Arc<Snapshot>, table: &str) {
+    refresh_all(db, snap, Event::Append(table));
+}
+
+/// Writer hook for `register`: views referencing the (re)registered table
+/// re-prepare and recompute; others just advance their stamp.
+pub(crate) fn on_register(db: &Database, snap: &Arc<Snapshot>, table: &str) {
+    refresh_all(db, snap, Event::Register(table));
+}
+
+fn refresh_all(db: &Database, snap: &Arc<Snapshot>, event: Event<'_>) {
+    let mut entries: Vec<Arc<ViewEntry>> = {
+        let views = db.shared.views.lock().expect("view registry poisoned");
+        if views.is_empty() {
+            return;
+        }
+        views.values().cloned().collect()
+    };
+    // Deterministic refresh order: fault-site visit counters (and therefore
+    // seeded fault schedules) must not depend on hash-map iteration order.
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    for entry in entries {
+        entry.refresh(db, snap, event);
+    }
+}
+
+impl ViewEntry {
+    /// Current row counts of the referenced tables (the baseline future
+    /// deltas measure against).
+    fn base_rows(plan: &ViewPlan, snap: &Snapshot) -> FxHashMap<String, usize> {
+        plan.classes
+            .keys()
+            .filter_map(|t| snap.table(t).map(|s| (t.clone(), s.num_rows())))
+            .collect()
+    }
+
+    /// Full recompute of content (and the maintained aggregate input, when
+    /// the plan is agg-eligible). Returns `(content, agg_input, schema)`
+    /// without touching `inner` — the caller commits on success.
+    fn recompute(
+        &self,
+        plan: &ViewPlan,
+        snap: &Snapshot,
+        label: &str,
+    ) -> Result<(Batch, Option<Batch>, Schema)> {
+        if let Some(aggm) = &plan.agg {
+            let (input, _) = run_plan(
+                snap,
+                &aggm.input_query,
+                FxHashMap::default(),
+                &self.config,
+                label,
+            )?;
+            let temps = mv_input_temp(aggm, input.clone());
+            let (content, schema) =
+                run_plan(snap, &aggm.rewritten_query, temps, &self.config, label)?;
+            Ok((content, Some(input), schema))
+        } else {
+            let (content, schema) = run_plan(
+                snap,
+                plan.prepared.plan(),
+                FxHashMap::default(),
+                &self.config,
+                label,
+            )?;
+            Ok((content, None, schema))
+        }
+    }
+
+    fn publish(
+        &self,
+        snap: &Snapshot,
+        rel: Arc<Relation>,
+        mode: RefreshMode,
+        rows: u64,
+        reason: String,
+        started: Instant,
+    ) {
+        self.published.publish(Arc::new(ViewState {
+            name: self.name.clone(),
+            rel,
+            snapshot_version: snap.version(),
+            mode,
+            rows_propagated: rows,
+            reason,
+            refresh_ns: started.elapsed().as_nanos() as u64,
+        }));
+    }
+
+    /// One refresh attempt against the just-published snapshot. Any error
+    /// (injected fault, cancellation, budget, panic) leaves the published
+    /// state untouched at its prior consistent version and drops the
+    /// maintenance state so the next refresh recomputes.
+    fn refresh(&self, db: &Database, snap: &Arc<Snapshot>, event: Event<'_>) {
+        let started = Instant::now();
+        let mut inner = self.inner.lock().expect("view entry poisoned");
+        let inner = &mut *inner;
+        let result = match event {
+            Event::Register(t) => {
+                if !inner.plan.classes.contains_key(&t.to_lowercase()) {
+                    // Unreferenced table: the view's result is unchanged at
+                    // the new version — bump the stamp only.
+                    if !no_ivm() {
+                        let rel = self.published.load().rel.clone();
+                        self.publish(
+                            snap,
+                            rel,
+                            RefreshMode::Delta,
+                            0,
+                            format!("'{t}' not referenced"),
+                            started,
+                        );
+                    }
+                    inner.parent_version = snap.version();
+                    return;
+                }
+                // Referenced table replaced: the stored plan may bind dead
+                // column indices — re-prepare from source, re-classify, and
+                // recompute.
+                match db.prepare(&self.sql, self.config.profile) {
+                    Ok(prepared) => {
+                        inner.plan = build_plan(prepared);
+                        inner.content = None;
+                        inner.agg_input = None;
+                        if no_ivm() {
+                            inner.parent_version = snap.version();
+                            return;
+                        }
+                        self.refresh_full(inner, snap, "table replaced", started)
+                    }
+                    Err(e) => Err(Error::Plan(format!(
+                        "view '{}' no longer prepares after replacing '{t}': {e}",
+                        self.name
+                    ))),
+                }
+            }
+            Event::Append(t) => {
+                if no_ivm() {
+                    return;
+                }
+                self.refresh_append(inner, snap, t, started)
+            }
+        };
+        if let Err(e) = result {
+            // Keep the prior consistent version; heal by recompute next time.
+            inner.content = None;
+            inner.agg_input = None;
+            inner.last_error = Some(e.to_string());
+        }
+    }
+
+    /// Full recompute + publish (the fallback and initial path).
+    fn refresh_full(
+        &self,
+        inner: &mut ViewInner,
+        snap: &Snapshot,
+        reason: &str,
+        started: Instant,
+    ) -> Result<()> {
+        let label = format!("mv:{}@v{}", self.name, snap.version());
+        let (content, agg_input, schema) = self.recompute(&inner.plan, snap, &label)?;
+        self.fault_gate(snap)?;
+        let rel = Arc::new(content.to_relation(&schema));
+        let rows = content.num_rows() as u64;
+        inner.content = Some(content);
+        inner.agg_input = agg_input;
+        inner.parent_version = snap.version();
+        inner.base_rows = Self::base_rows(&inner.plan, snap);
+        inner.last_error = None;
+        self.publish(
+            snap,
+            rel,
+            RefreshMode::Recompute,
+            rows,
+            reason.to_string(),
+            started,
+        );
+        Ok(())
+    }
+
+    /// The [`FaultSite::ViewPublish`] injection point: fires after the new
+    /// result is computed but before anything becomes visible.
+    fn fault_gate(&self, snap: &Snapshot) -> Result<()> {
+        if fault::injected(FaultSite::ViewPublish) {
+            return Err(Error::Internal(format!(
+                "injected fault: view-publish ('{}' at v{})",
+                self.name,
+                snap.version()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Delta (or fallback) refresh after `append(t)` published `snap`.
+    fn refresh_append(
+        &self,
+        inner: &mut ViewInner,
+        snap: &Snapshot,
+        t: &str,
+        started: Instant,
+    ) -> Result<()> {
+        let key = t.to_lowercase();
+        let Some(class) = inner.plan.classes.get(&key).cloned() else {
+            // Unreferenced table: result unchanged, stamp advances.
+            let rel = self.published.load().rel.clone();
+            inner.parent_version = snap.version();
+            self.publish(
+                snap,
+                rel,
+                RefreshMode::Delta,
+                0,
+                format!("'{t}' not referenced"),
+                started,
+            );
+            return Ok(());
+        };
+        let reason = match class {
+            TableClass::Recompute(r) => r,
+            _ if inner.content.is_none() => "maintenance state lost",
+            _ if inner.parent_version + 1 != snap.version() => "stale maintenance state",
+            _ if !inner.base_rows.contains_key(&key) => "untracked base rows",
+            TableClass::Chain => return self.delta_chain(inner, snap, &key, started),
+            TableClass::Agg(_) => return self.delta_agg(inner, snap, &key, started),
+        };
+        self.refresh_full(inner, snap, reason, started)
+    }
+
+    /// Chain delta: run the whole plan with the appended table overlaid by
+    /// its new suffix; the output is exactly the rows to append to the
+    /// maintained content.
+    fn delta_chain(
+        &self,
+        inner: &mut ViewInner,
+        snap: &Snapshot,
+        key: &str,
+        started: Instant,
+    ) -> Result<()> {
+        let label = format!("mv:{}@v{}", self.name, snap.version());
+        let old_n = inner.base_rows[key];
+        let stored = snap
+            .table(key)
+            .ok_or_else(|| Error::Exec(format!("view base table '{key}' disappeared")))?;
+        let mut temps = FxHashMap::default();
+        temps.insert(key.to_string(), suffix_overlay(stored, old_n));
+        let (delta, schema) = run_plan(
+            snap,
+            inner.plan.prepared.plan(),
+            temps,
+            &self.config,
+            &label,
+        )?;
+        self.fault_gate(snap)?;
+        let rows = delta.num_rows() as u64;
+        let content = inner.content.as_mut().expect("checked by caller");
+        append_batch(content, &delta)?;
+        let rel = Arc::new(content.to_relation(&schema));
+        inner.parent_version = snap.version();
+        inner.base_rows.insert(key.to_string(), stored.num_rows());
+        inner.last_error = None;
+        self.publish(snap, rel, RefreshMode::Delta, rows, String::new(), started);
+        Ok(())
+    }
+
+    /// Aggregate delta: run only the aggregate's input subtree over the
+    /// appended suffix, extend the maintained input, then publish by
+    /// re-running the aggregation (and the tail above it) over the
+    /// maintained input.
+    fn delta_agg(
+        &self,
+        inner: &mut ViewInner,
+        snap: &Snapshot,
+        key: &str,
+        started: Instant,
+    ) -> Result<()> {
+        let label = format!("mv:{}@v{}", self.name, snap.version());
+        let aggm = inner
+            .plan
+            .agg
+            .as_ref()
+            .expect("agg class implies artifacts");
+        let old_n = inner.base_rows[key];
+        let stored = snap
+            .table(key)
+            .ok_or_else(|| Error::Exec(format!("view base table '{key}' disappeared")))?;
+        let mut temps = FxHashMap::default();
+        temps.insert(key.to_string(), suffix_overlay(stored, old_n));
+        let (delta_in, _) = run_plan(snap, &aggm.input_query, temps, &self.config, &label)?;
+        let rows = delta_in.num_rows() as u64;
+        let input = inner
+            .agg_input
+            .as_mut()
+            .ok_or_else(|| Error::Internal("agg maintenance state lost".into()))?;
+        append_batch(input, &delta_in)?;
+        let temps = mv_input_temp(aggm, input.clone());
+        let (content, schema) = run_plan(snap, &aggm.rewritten_query, temps, &self.config, &label)?;
+        self.fault_gate(snap)?;
+        let rel = Arc::new(content.to_relation(&schema));
+        inner.content = Some(content);
+        inner.parent_version = snap.version();
+        inner.base_rows.insert(key.to_string(), stored.num_rows());
+        inner.last_error = None;
+        self.publish(snap, rel, RefreshMode::Delta, rows, String::new(), started);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Database API
+// ---------------------------------------------------------------------------
+
+impl Database {
+    /// Registers a standing query as a materialized view: compiles `sql`
+    /// once against the current snapshot, materializes the initial result,
+    /// and keeps it maintained on every subsequent [`Database::append`] —
+    /// incrementally where the plan shape allows (see the [`crate::mv`]
+    /// module docs for the delta rules), by traced full recompute otherwise.
+    /// Re-registering a name replaces the view. Uses the default
+    /// [`EngineConfig`]; see [`Database::register_view_with`].
+    pub fn register_view(&self, name: &str, sql: &str) -> Result<()> {
+        self.register_view_with(name, sql, &EngineConfig::default())
+    }
+
+    /// Like [`Database::register_view`] with an explicit [`EngineConfig`]
+    /// (profile, threads, morsel size, deadline and memory budget) applied
+    /// to the initial materialization and to every refresh.
+    pub fn register_view_with(&self, name: &str, sql: &str, config: &EngineConfig) -> Result<()> {
+        let _writer = self.shared.write.lock().expect("database writer poisoned");
+        let snap = self.shared.current.load();
+        let started = Instant::now();
+        let prepared = self.prepare(sql, config.profile)?;
+        let plan = build_plan(prepared);
+        let key = name.to_lowercase();
+        let label = format!("mv:{key}@v{}", snap.version());
+        let entry = ViewEntry {
+            name: key.clone(),
+            sql: sql.to_string(),
+            config: *config,
+            // Placeholder published state, replaced below before the entry
+            // becomes visible in the registry.
+            published: Versioned::new(ViewState {
+                name: key.clone(),
+                rel: Arc::new(Relation::empty()),
+                snapshot_version: snap.version(),
+                mode: RefreshMode::Initial,
+                rows_propagated: 0,
+                reason: String::new(),
+                refresh_ns: 0,
+            }),
+            inner: Mutex::new(ViewInner {
+                plan,
+                parent_version: snap.version(),
+                base_rows: FxHashMap::default(),
+                content: None,
+                agg_input: None,
+                last_error: None,
+            }),
+        };
+        {
+            let mut inner = entry.inner.lock().expect("fresh entry");
+            let inner = &mut *inner;
+            let (content, agg_input, schema) = entry.recompute(&inner.plan, &snap, &label)?;
+            let rel = Arc::new(content.to_relation(&schema));
+            let rows = content.num_rows() as u64;
+            inner.content = Some(content);
+            inner.agg_input = agg_input;
+            inner.base_rows = ViewEntry::base_rows(&inner.plan, &snap);
+            entry.publish(
+                &snap,
+                rel,
+                RefreshMode::Initial,
+                rows,
+                String::new(),
+                started,
+            );
+        }
+        self.shared
+            .views
+            .lock()
+            .expect("view registry poisoned")
+            .insert(key, Arc::new(entry));
+        Ok(())
+    }
+
+    fn view_entry(&self, name: &str) -> Result<Arc<ViewEntry>> {
+        self.shared
+            .views
+            .lock()
+            .expect("view registry poisoned")
+            .get(&name.to_lowercase())
+            .cloned()
+            .ok_or_else(|| Error::Data(format!("unknown view '{name}'")))
+    }
+
+    /// The current published state of a view: the materialized result plus
+    /// the snapshot version it is consistent with. Lock-free against
+    /// concurrent refreshes — the returned state is immutable and never
+    /// torn. Under `PYTOND_NO_IVM=1` the standing query is instead
+    /// recomputed from scratch against the current snapshot on every call
+    /// (the differential oracle mode).
+    pub fn view(&self, name: &str) -> Result<Arc<ViewState>> {
+        let entry = self.view_entry(name)?;
+        if !no_ivm() {
+            return Ok(entry.published.load());
+        }
+        let started = Instant::now();
+        let snap = self.shared.current.load();
+        let prepared = {
+            let inner = entry.inner.lock().expect("view entry poisoned");
+            inner.plan.prepared.clone()
+        };
+        let label = format!("mv:{}@v{} (no-ivm)", entry.name, snap.version());
+        let (batch, schema) = run_plan(
+            &snap,
+            prepared.plan(),
+            FxHashMap::default(),
+            &entry.config,
+            &label,
+        )?;
+        let rows = batch.num_rows() as u64;
+        Ok(Arc::new(ViewState {
+            name: entry.name.clone(),
+            rel: Arc::new(batch.to_relation(&schema)),
+            snapshot_version: snap.version(),
+            mode: RefreshMode::Recompute,
+            rows_propagated: rows,
+            reason: "PYTOND_NO_IVM recompute-on-read".to_string(),
+            refresh_ns: started.elapsed().as_nanos() as u64,
+        }))
+    }
+
+    /// From-scratch recompute of a view against the **current** snapshot,
+    /// using the view's own prepared plan (so cost-based join orders cannot
+    /// drift from the maintained side): the in-process differential oracle.
+    pub fn view_oracle(&self, name: &str) -> Result<Relation> {
+        let snap = self.shared.current.load();
+        self.view_oracle_at(name, &snap)
+    }
+
+    /// Like [`Database::view_oracle`] but against an explicitly pinned
+    /// snapshot — the primitive the maintenance suite uses to prove that a
+    /// state stamped with version *v* is bit-identical to a from-scratch
+    /// recompute on snapshot *v*.
+    pub fn view_oracle_at(&self, name: &str, snap: &Snapshot) -> Result<Relation> {
+        let entry = self.view_entry(name)?;
+        let prepared = {
+            let inner = entry.inner.lock().expect("view entry poisoned");
+            inner.plan.prepared.clone()
+        };
+        let label = format!("mv:{}@v{} (oracle)", entry.name, snap.version());
+        let (batch, schema) = run_plan(
+            snap,
+            prepared.plan(),
+            FxHashMap::default(),
+            &entry.config,
+            &label,
+        )?;
+        Ok(batch.to_relation(&schema))
+    }
+
+    /// The `view:` trace of a view: the last refresh's one-line summary
+    /// (mode, rows propagated, refresh time — see [`ViewState::summary`])
+    /// followed by the per-table maintenance matrix fixed at prepare time
+    /// and the last refresh error, if any.
+    pub fn view_trace(&self, name: &str) -> Result<String> {
+        let entry = self.view_entry(name)?;
+        let state = self.view(name)?;
+        let mut out = state.summary();
+        let inner = entry.inner.lock().expect("view entry poisoned");
+        let mut tables: Vec<(&String, &TableClass)> = inner.plan.classes.iter().collect();
+        tables.sort_by_key(|(t, _)| t.as_str());
+        for (t, class) in tables {
+            out.push_str(&format!("\n  {t}: {}", class.render()));
+        }
+        if let Some(e) = &inner.last_error {
+            out.push_str(&format!("\n  last-error: {e}"));
+        }
+        Ok(out)
+    }
+
+    /// Names of the registered views, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shared
+            .views
+            .lock()
+            .expect("view registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Removes a view; returns whether it existed. In-flight readers
+    /// holding its [`ViewState`] keep it alive.
+    pub fn drop_view(&self, name: &str) -> bool {
+        self.shared
+            .views
+            .lock()
+            .expect("view registry poisoned")
+            .remove(&name.to_lowercase())
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pytond_common::Column;
+
+    fn db() -> Database {
+        let db = Database::new();
+        db.register(
+            "t",
+            Relation::new(vec![
+                ("a".into(), Column::from_i64(vec![1, 2, 3, 4])),
+                ("b".into(), Column::from_f64(vec![10.0, 20.0, 30.0, 40.0])),
+                ("s".into(), Column::from_strs(&["x", "y", "x", "z"])),
+            ])
+            .unwrap(),
+        );
+        db.register(
+            "u",
+            Relation::new(vec![
+                ("a".into(), Column::from_i64(vec![2, 3, 5])),
+                ("w".into(), Column::from_i64(vec![200, 300, 500])),
+            ])
+            .unwrap(),
+        );
+        db
+    }
+
+    fn delta_rows() -> Relation {
+        Relation::new(vec![
+            ("a".into(), Column::from_i64(vec![2, 5])),
+            ("b".into(), Column::from_f64(vec![25.0, 55.0])),
+            ("s".into(), Column::from_strs(&["y", "x"])),
+        ])
+        .unwrap()
+    }
+
+    fn assert_bits(name: &str, a: &Relation, b: &Relation) {
+        assert_eq!(a.num_cols(), b.num_cols(), "{name}: column count");
+        assert_eq!(a.num_rows(), b.num_rows(), "{name}: row count");
+        for ci in 0..a.num_cols() {
+            let (ca, cb) = (a.column_at(ci), b.column_at(ci));
+            for i in 0..ca.len() {
+                let (va, vb) = (ca.get(i), cb.get(i));
+                assert!(
+                    va.total_cmp(&vb) == std::cmp::Ordering::Equal,
+                    "{name}: cell ({i}, {}) differs: {va:?} vs {vb:?}",
+                    a.name_at(ci)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filter_view_refreshes_via_delta() {
+        let db = db();
+        db.register_view("v", "SELECT a, b FROM t WHERE a >= 2")
+            .unwrap();
+        let s0 = db.view("v").unwrap();
+        assert_eq!(s0.relation().num_rows(), 3);
+        db.append("t", &delta_rows()).unwrap();
+        let s1 = db.view("v").unwrap();
+        assert_eq!(s1.snapshot_version(), db.stats_version());
+        assert_bits("filter", &db.view_oracle("v").unwrap(), s1.relation());
+        if no_ivm() {
+            assert_eq!(s1.mode(), RefreshMode::Recompute);
+            assert!(s1.reason().contains("PYTOND_NO_IVM"), "{}", s1.reason());
+        } else {
+            assert_eq!(s0.mode(), RefreshMode::Initial);
+            assert_eq!(s1.mode(), RefreshMode::Delta);
+            assert_eq!(s1.rows_propagated(), 2);
+            assert!(db.view_trace("v").unwrap().contains("mode=delta"));
+        }
+    }
+
+    #[test]
+    fn agg_view_refreshes_via_delta_bit_identically() {
+        let db = db();
+        db.register_view(
+            "v",
+            "SELECT s, SUM(b) AS sb, COUNT(*) AS n, AVG(b) AS ab FROM t GROUP BY s",
+        )
+        .unwrap();
+        db.append("t", &delta_rows()).unwrap();
+        let s = db.view("v").unwrap();
+        assert_bits("agg", &db.view_oracle("v").unwrap(), s.relation());
+        let trace = db.view_trace("v").unwrap();
+        assert!(trace.contains("t: delta (agg)"), "{trace}");
+        if !no_ivm() {
+            assert_eq!(s.mode(), RefreshMode::Delta);
+            assert!(trace.contains("mode=delta"), "{trace}");
+        }
+    }
+
+    #[test]
+    fn sort_falls_back_to_recompute() {
+        let db = db();
+        db.register_view("v", "SELECT a, b FROM t WHERE a >= 2 ORDER BY b DESC")
+            .unwrap();
+        db.append("t", &delta_rows()).unwrap();
+        let s = db.view("v").unwrap();
+        assert_eq!(s.mode(), RefreshMode::Recompute);
+        assert_bits("sort", &db.view_oracle("v").unwrap(), s.relation());
+        assert_eq!(s.snapshot_version(), db.stats_version());
+        let trace = db.view_trace("v").unwrap();
+        assert!(trace.contains("recompute (sort)"), "{trace}");
+    }
+
+    #[test]
+    fn agg_above_sortless_join_stays_consistent() {
+        let db = db();
+        db.register_view(
+            "v",
+            "SELECT u.w, SUM(t.b) AS sb FROM t, u WHERE t.a = u.a GROUP BY u.w",
+        )
+        .unwrap();
+        db.append("t", &delta_rows()).unwrap();
+        let s = db.view("v").unwrap();
+        assert_bits("join-agg t", &db.view_oracle("v").unwrap(), s.relation());
+        db.append(
+            "u",
+            &Relation::new(vec![
+                ("a".into(), Column::from_i64(vec![4])),
+                ("w".into(), Column::from_i64(vec![400])),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let s = db.view("v").unwrap();
+        assert_bits("join-agg u", &db.view_oracle("v").unwrap(), s.relation());
+        assert_eq!(s.snapshot_version(), db.stats_version());
+    }
+
+    #[test]
+    fn unreferenced_append_bumps_stamp_only() {
+        let db = db();
+        db.register_view("v", "SELECT a FROM u WHERE a > 1")
+            .unwrap();
+        let before = db.view("v").unwrap();
+        db.append("t", &delta_rows()).unwrap();
+        let after = db.view("v").unwrap();
+        assert_eq!(after.snapshot_version(), db.stats_version());
+        assert_bits("unref", before.relation(), after.relation());
+        if !no_ivm() {
+            assert_eq!(after.rows_propagated(), 0);
+            assert!(
+                after.reason().contains("not referenced"),
+                "{}",
+                after.reason()
+            );
+            // The relation is literally shared, not copied.
+            assert!(Arc::ptr_eq(
+                &before.shared_relation(),
+                &after.shared_relation()
+            ));
+        }
+    }
+
+    #[test]
+    fn replacing_a_referenced_table_recomputes() {
+        let db = db();
+        db.register_view("v", "SELECT a, b FROM t WHERE a >= 2")
+            .unwrap();
+        db.register(
+            "t",
+            Relation::new(vec![
+                ("a".into(), Column::from_i64(vec![7, 8])),
+                ("b".into(), Column::from_f64(vec![70.0, 80.0])),
+                ("s".into(), Column::from_strs(&["q", "r"])),
+            ])
+            .unwrap(),
+        );
+        let s = db.view("v").unwrap();
+        assert_eq!(s.mode(), RefreshMode::Recompute);
+        assert_eq!(s.relation().num_rows(), 2);
+        assert_bits("replace", &db.view_oracle("v").unwrap(), s.relation());
+        // And deltas work again on the replacement table.
+        db.append("t", &delta_rows()).unwrap();
+        let s = db.view("v").unwrap();
+        if !no_ivm() {
+            assert_eq!(s.mode(), RefreshMode::Delta);
+        }
+        assert_bits("replace+delta", &db.view_oracle("v").unwrap(), s.relation());
+    }
+
+    #[test]
+    fn registry_management() {
+        let db = db();
+        db.register_view("alpha", "SELECT a FROM t").unwrap();
+        db.register_view("beta", "SELECT w FROM u").unwrap();
+        assert_eq!(
+            db.view_names(),
+            vec!["alpha".to_string(), "beta".to_string()]
+        );
+        assert!(db.drop_view("Alpha"));
+        assert!(!db.drop_view("alpha"));
+        assert_eq!(db.view_names(), vec!["beta".to_string()]);
+        assert!(db.view("alpha").is_err());
+    }
+
+    #[test]
+    fn view_errors_are_contained_and_heal() {
+        let db = db();
+        db.register_view("v", "SELECT s, SUM(b) AS sb FROM t GROUP BY s")
+            .unwrap();
+        // Replace a referenced table with one the view no longer prepares
+        // against: the view goes stale (prior version kept), appends still
+        // succeed, and the trace reports the error.
+        db.register(
+            "t",
+            Relation::new(vec![("z".into(), Column::from_i64(vec![1]))]).unwrap(),
+        );
+        if no_ivm() {
+            // Recompute-on-read surfaces the broken plan as an error.
+            assert!(db.view("v").is_err());
+            return;
+        }
+        let stale = db.view("v").unwrap();
+        assert!(stale.snapshot_version() < db.stats_version());
+        let trace = db.view_trace("v").unwrap();
+        assert!(trace.contains("last-error"), "{trace}");
+    }
+}
