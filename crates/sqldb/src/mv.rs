@@ -53,7 +53,11 @@
 //! [`Versioned`]. A failed, cancelled, or fault-injected refresh publishes
 //! nothing: the view stays at its prior consistent version (staleness is
 //! visible as `state.snapshot_version() < db.stats_version()`), and the next
-//! successful append heals it with a full recompute.
+//! successful refresh heals it with a full recompute. Events on tables the
+//! view does not reference re-stamp the carried result only when the view
+//! is currently consistent — a stale view is never re-stamped without
+//! recomputing, so the staleness check above cannot be defeated by writes
+//! to unrelated tables.
 //!
 //! # Differential oracle
 //!
@@ -228,7 +232,8 @@ struct AggMaint {
 struct ViewPlan {
     prepared: PreparedQuery,
     /// Lower-cased referenced table name → decision. Tables absent from
-    /// this map are unreferenced: appends to them only bump the stamp.
+    /// this map are unreferenced: events on them only bump the stamp (and
+    /// only while the view is currently consistent).
     classes: FxHashMap<String, TableClass>,
     agg: Option<AggMaint>,
 }
@@ -238,6 +243,12 @@ struct ViewPlan {
 #[derive(Debug)]
 struct ViewInner {
     plan: ViewPlan,
+    /// Set when a referenced-table replacement invalidated `plan` and the
+    /// re-prepare at replacement time failed. The stored plan binds column
+    /// positions of the *replaced* schema, so nothing may ever execute it
+    /// again — every later refresh or read retries `prepare` from source
+    /// first and stays stale if the view still does not compile.
+    plan_stale: bool,
     /// Snapshot version of the last successful refresh; a refresh may apply
     /// a delta only when it extends exactly this version.
     parent_version: u64,
@@ -481,8 +492,9 @@ fn build_plan(prepared: PreparedQuery) -> ViewPlan {
 /// under the full query lifecycle: armed [`CancelToken`] (deadline + memory
 /// budget from `config`/environment, label naming the view and version) and
 /// worker-panic containment. The admission gate is deliberately skipped —
-/// refresh runs inside the writer critical section and must not queue
-/// behind the read load it exists to serve.
+/// maintenance refresh runs inside the writer critical section and must not
+/// queue behind the read load it exists to serve (the initial
+/// materialization runs outside the lock, but shares this path).
 fn run_plan(
     snap: &Snapshot,
     q: &BoundQuery,
@@ -684,24 +696,46 @@ impl ViewEntry {
         let started = Instant::now();
         let mut inner = self.inner.lock().expect("view entry poisoned");
         let inner = &mut *inner;
-        let result = match event {
+        if let Err(e) = self.refresh_event(db, inner, snap, event, started) {
+            // Keep the prior consistent version; heal by recompute next time.
+            inner.content = None;
+            inner.agg_input = None;
+            inner.last_error = Some(e.to_string());
+        }
+    }
+
+    fn refresh_event(
+        &self,
+        db: &Database,
+        inner: &mut ViewInner,
+        snap: &Arc<Snapshot>,
+        event: Event<'_>,
+        started: Instant,
+    ) -> Result<()> {
+        if matches!(event, Event::Append(_)) && no_ivm() {
+            return Ok(());
+        }
+        if inner.plan_stale {
+            // The stored plan binds the schema of a since-replaced table and
+            // must never execute (a positionally-compatible replacement
+            // would silently produce wrong rows stamped as fresh). Retry
+            // prepare from source; the view stays stale until it compiles.
+            let prepared = db.prepare(&self.sql, self.config.profile).map_err(|e| {
+                Error::Plan(format!("view '{}' still does not prepare: {e}", self.name))
+            })?;
+            inner.plan = build_plan(prepared);
+            inner.plan_stale = false;
+            inner.content = None;
+            inner.agg_input = None;
+            if no_ivm() {
+                return Ok(());
+            }
+            return self.refresh_full(inner, snap, "plan re-prepared", started);
+        }
+        match event {
             Event::Register(t) => {
                 if !inner.plan.classes.contains_key(&t.to_lowercase()) {
-                    // Unreferenced table: the view's result is unchanged at
-                    // the new version — bump the stamp only.
-                    if !no_ivm() {
-                        let rel = self.published.load().rel.clone();
-                        self.publish(
-                            snap,
-                            rel,
-                            RefreshMode::Delta,
-                            0,
-                            format!("'{t}' not referenced"),
-                            started,
-                        );
-                    }
-                    inner.parent_version = snap.version();
-                    return;
+                    return self.refresh_unreferenced(inner, snap, t, started);
                 }
                 // Referenced table replaced: the stored plan may bind dead
                 // column indices — re-prepare from source, re-classify, and
@@ -713,29 +747,60 @@ impl ViewEntry {
                         inner.agg_input = None;
                         if no_ivm() {
                             inner.parent_version = snap.version();
-                            return;
+                            return Ok(());
                         }
                         self.refresh_full(inner, snap, "table replaced", started)
                     }
-                    Err(e) => Err(Error::Plan(format!(
-                        "view '{}' no longer prepares after replacing '{t}': {e}",
-                        self.name
-                    ))),
+                    Err(e) => {
+                        inner.plan_stale = true;
+                        Err(Error::Plan(format!(
+                            "view '{}' no longer prepares after replacing '{t}': {e}",
+                            self.name
+                        )))
+                    }
                 }
             }
-            Event::Append(t) => {
-                if no_ivm() {
-                    return;
-                }
-                self.refresh_append(inner, snap, t, started)
-            }
-        };
-        if let Err(e) = result {
-            // Keep the prior consistent version; heal by recompute next time.
-            inner.content = None;
-            inner.agg_input = None;
-            inner.last_error = Some(e.to_string());
+            Event::Append(t) => self.refresh_append(inner, snap, t, started),
         }
+    }
+
+    /// An event on a table the plan does not reference: the result cannot
+    /// have changed, so a view that is consistent with the immediately
+    /// preceding version just advances its stamp (the published relation is
+    /// carried by pointer, no copy). A view that is NOT consistent — its
+    /// last refresh failed or was cancelled — must never be re-stamped
+    /// (that would falsely mark stale content as fresh and defeat the
+    /// `snapshot_version() < stats_version()` staleness check); it heals by
+    /// full recompute instead, keeping its prior stale stamp if the
+    /// recompute fails too.
+    fn refresh_unreferenced(
+        &self,
+        inner: &mut ViewInner,
+        snap: &Snapshot,
+        t: &str,
+        started: Instant,
+    ) -> Result<()> {
+        let consistent = inner.content.is_some() && inner.parent_version + 1 == snap.version();
+        if no_ivm() {
+            if consistent {
+                inner.parent_version = snap.version();
+            }
+            return Ok(());
+        }
+        if !consistent {
+            return self.refresh_full(inner, snap, "healing stale view", started);
+        }
+        let rel = self.published.load().rel.clone();
+        inner.parent_version = snap.version();
+        self.publish(
+            snap,
+            rel,
+            RefreshMode::Delta,
+            0,
+            format!("'{t}' not referenced"),
+            started,
+        );
+        Ok(())
     }
 
     /// Full recompute + publish (the fallback and initial path).
@@ -790,18 +855,7 @@ impl ViewEntry {
     ) -> Result<()> {
         let key = t.to_lowercase();
         let Some(class) = inner.plan.classes.get(&key).cloned() else {
-            // Unreferenced table: result unchanged, stamp advances.
-            let rel = self.published.load().rel.clone();
-            inner.parent_version = snap.version();
-            self.publish(
-                snap,
-                rel,
-                RefreshMode::Delta,
-                0,
-                format!("'{t}' not referenced"),
-                started,
-            );
-            return Ok(());
+            return self.refresh_unreferenced(inner, snap, t, started);
         };
         let reason = match class {
             TableClass::Recompute(r) => r,
@@ -891,6 +945,27 @@ impl ViewEntry {
         self.publish(snap, rel, RefreshMode::Delta, rows, String::new(), started);
         Ok(())
     }
+
+    /// The prepared plan reads execute (the oracle and `PYTOND_NO_IVM`
+    /// recompute-on-read paths). When a referenced-table replacement
+    /// invalidated the stored plan, re-prepares from source first — a stale
+    /// plan must never run, it could silently bind a
+    /// positionally-compatible replacement schema — and errors (leaving the
+    /// view stale) if the view still does not compile.
+    fn read_prepared(&self, db: &Database) -> Result<PreparedQuery> {
+        let mut inner = self.inner.lock().expect("view entry poisoned");
+        if inner.plan_stale {
+            let prepared = db.prepare(&self.sql, self.config.profile).map_err(|e| {
+                Error::Plan(format!(
+                    "view '{}' does not prepare against the current schema: {e}",
+                    self.name
+                ))
+            })?;
+            inner.plan = build_plan(prepared);
+            inner.plan_stale = false;
+        }
+        Ok(inner.plan.prepared.clone())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -912,22 +987,76 @@ impl Database {
     /// Like [`Database::register_view`] with an explicit [`EngineConfig`]
     /// (profile, threads, morsel size, deadline and memory budget) applied
     /// to the initial materialization and to every refresh.
+    ///
+    /// The initial materialization runs the full standing query, which can
+    /// be arbitrarily expensive, so it does **not** hold the database
+    /// writer lock: it materializes against a pinned snapshot, then takes
+    /// the lock only to validate that no writer intervened and insert the
+    /// entry. If a writer did intervene, registration retries against the
+    /// new snapshot; after two contended rounds it falls back to
+    /// materializing under the lock (guaranteed progress under a hot write
+    /// stream, at the cost of stalling writers for that one attempt).
     pub fn register_view_with(&self, name: &str, sql: &str, config: &EngineConfig) -> Result<()> {
+        let key = name.to_lowercase();
+        for _ in 0..2 {
+            let snap = self.shared.current.load();
+            let Some(entry) = self.materialize_view(&key, sql, config, &snap)? else {
+                // A register landed between the snapshot pin and prepare.
+                continue;
+            };
+            let writer = self.shared.write.lock().expect("database writer poisoned");
+            if self.shared.current.load().version() == snap.version() {
+                self.shared
+                    .views
+                    .lock()
+                    .expect("view registry poisoned")
+                    .insert(key, Arc::new(entry));
+                return Ok(());
+            }
+            // A writer intervened mid-materialization: the result is
+            // already stale and must not be published. Retry.
+            drop(writer);
+        }
         let _writer = self.shared.write.lock().expect("database writer poisoned");
         let snap = self.shared.current.load();
+        let entry = self
+            .materialize_view(&key, sql, config, &snap)?
+            .expect("no writer can intervene while the writer lock is held");
+        self.shared
+            .views
+            .lock()
+            .expect("view registry poisoned")
+            .insert(key, Arc::new(entry));
+        Ok(())
+    }
+
+    /// Builds a fully-materialized [`ViewEntry`] for `sql` against the
+    /// pinned `snap` (the caller inserts it into the registry). Returns
+    /// `Ok(None)` when a concurrent register moved the current snapshot
+    /// between the caller's pin and the prepare — the plan would be bound
+    /// against a different version than the materialization target.
+    fn materialize_view(
+        &self,
+        key: &str,
+        sql: &str,
+        config: &EngineConfig,
+        snap: &Arc<Snapshot>,
+    ) -> Result<Option<ViewEntry>> {
         let started = Instant::now();
         let prepared = self.prepare(sql, config.profile)?;
+        if prepared.stats_version() != snap.version() {
+            return Ok(None);
+        }
         let plan = build_plan(prepared);
-        let key = name.to_lowercase();
         let label = format!("mv:{key}@v{}", snap.version());
         let entry = ViewEntry {
-            name: key.clone(),
+            name: key.to_string(),
             sql: sql.to_string(),
             config: *config,
             // Placeholder published state, replaced below before the entry
             // becomes visible in the registry.
             published: Versioned::new(ViewState {
-                name: key.clone(),
+                name: key.to_string(),
                 rel: Arc::new(Relation::empty()),
                 snapshot_version: snap.version(),
                 mode: RefreshMode::Initial,
@@ -937,6 +1066,7 @@ impl Database {
             }),
             inner: Mutex::new(ViewInner {
                 plan,
+                plan_stale: false,
                 parent_version: snap.version(),
                 base_rows: FxHashMap::default(),
                 content: None,
@@ -947,14 +1077,14 @@ impl Database {
         {
             let mut inner = entry.inner.lock().expect("fresh entry");
             let inner = &mut *inner;
-            let (content, agg_input, schema) = entry.recompute(&inner.plan, &snap, &label)?;
+            let (content, agg_input, schema) = entry.recompute(&inner.plan, snap, &label)?;
             let rel = Arc::new(content.to_relation(&schema));
             let rows = content.num_rows() as u64;
             inner.content = Some(content);
             inner.agg_input = agg_input;
-            inner.base_rows = ViewEntry::base_rows(&inner.plan, &snap);
+            inner.base_rows = ViewEntry::base_rows(&inner.plan, snap);
             entry.publish(
-                &snap,
+                snap,
                 rel,
                 RefreshMode::Initial,
                 rows,
@@ -962,12 +1092,7 @@ impl Database {
                 started,
             );
         }
-        self.shared
-            .views
-            .lock()
-            .expect("view registry poisoned")
-            .insert(key, Arc::new(entry));
-        Ok(())
+        Ok(Some(entry))
     }
 
     fn view_entry(&self, name: &str) -> Result<Arc<ViewEntry>> {
@@ -993,10 +1118,7 @@ impl Database {
         }
         let started = Instant::now();
         let snap = self.shared.current.load();
-        let prepared = {
-            let inner = entry.inner.lock().expect("view entry poisoned");
-            inner.plan.prepared.clone()
-        };
+        let prepared = entry.read_prepared(self)?;
         let label = format!("mv:{}@v{} (no-ivm)", entry.name, snap.version());
         let (batch, schema) = run_plan(
             &snap,
@@ -1031,10 +1153,7 @@ impl Database {
     /// recompute on snapshot *v*.
     pub fn view_oracle_at(&self, name: &str, snap: &Snapshot) -> Result<Relation> {
         let entry = self.view_entry(name)?;
-        let prepared = {
-            let inner = entry.inner.lock().expect("view entry poisoned");
-            inner.plan.prepared.clone()
-        };
+        let prepared = entry.read_prepared(self)?;
         let label = format!("mv:{}@v{} (oracle)", entry.name, snap.version());
         let (batch, schema) = run_plan(
             snap,
@@ -1059,6 +1178,9 @@ impl Database {
         tables.sort_by_key(|(t, _)| t.as_str());
         for (t, class) in tables {
             out.push_str(&format!("\n  {t}: {}", class.render()));
+        }
+        if inner.plan_stale {
+            out.push_str("\n  plan: stale (re-prepare pending)");
         }
         if let Some(e) = &inner.last_error {
             out.push_str(&format!("\n  last-error: {e}"));
@@ -1289,6 +1411,179 @@ mod tests {
         assert!(!db.drop_view("alpha"));
         assert_eq!(db.view_names(), vec!["beta".to_string()]);
         assert!(db.view("alpha").is_err());
+    }
+
+    #[test]
+    fn stale_plan_never_executes_after_failed_replacement() {
+        let db = db();
+        db.register_view("v", "SELECT a, b FROM t WHERE a >= 2")
+            .unwrap();
+        let fresh_version = db.stats_version();
+        // Positionally- and dtype-compatible rename: the view no longer
+        // prepares, but the stored plan would happily bind the new columns
+        // by position and publish plausible-but-wrong rows as fresh.
+        let renamed = |lo: i64| {
+            Relation::new(vec![
+                ("x".into(), Column::from_i64(vec![lo, lo + 1])),
+                (
+                    "y".into(),
+                    Column::from_f64(vec![lo as f64, lo as f64 + 1.0]),
+                ),
+                ("z".into(), Column::from_strs(&["p", "q"])),
+            ])
+            .unwrap()
+        };
+        db.register("t", renamed(7));
+        db.append("t", &renamed(9)).unwrap();
+        if no_ivm() {
+            // Recompute-on-read must not run the stale plan either.
+            assert!(db.view("v").is_err());
+        } else {
+            let s = db.view("v").unwrap();
+            assert_eq!(
+                s.snapshot_version(),
+                fresh_version,
+                "an append after a failed re-prepare ran the stale plan"
+            );
+            assert!(s.snapshot_version() < db.stats_version());
+            let trace = db.view_trace("v").unwrap();
+            assert!(trace.contains("plan: stale"), "{trace}");
+            assert!(trace.contains("last-error"), "{trace}");
+        }
+        assert!(db.view_oracle("v").is_err());
+        // Restoring a compatible schema heals: the next event re-prepares
+        // from source and recomputes.
+        db.register(
+            "t",
+            Relation::new(vec![
+                ("a".into(), Column::from_i64(vec![5, 6])),
+                ("b".into(), Column::from_f64(vec![50.0, 60.0])),
+                ("s".into(), Column::from_strs(&["m", "n"])),
+            ])
+            .unwrap(),
+        );
+        let s = db.view("v").unwrap();
+        assert_eq!(s.snapshot_version(), db.stats_version());
+        assert_bits("healed", &db.view_oracle("v").unwrap(), s.relation());
+    }
+
+    #[test]
+    fn unreferenced_events_never_freshen_a_stale_view() {
+        if no_ivm() {
+            // No refresh path exists to go stale.
+            return;
+        }
+        let db = Database::new();
+        db.register(
+            "t",
+            Relation::new(vec![("k".into(), Column::from_i64((0..10).collect()))]).unwrap(),
+        );
+        db.register(
+            "u",
+            Relation::new(vec![("w".into(), Column::from_i64(vec![1]))]).unwrap(),
+        );
+        let tight = EngineConfig {
+            timeout_ms: Some(50),
+            morsel: 256,
+            ..EngineConfig::default()
+        };
+        db.register_view_with(
+            "explosive",
+            "SELECT SUM(a.k + b.k) AS s FROM t AS a, t AS b WHERE a.k + b.k >= 0",
+            &tight,
+        )
+        .unwrap();
+        // Blow the deadline: the refresh for this append fails, the view
+        // goes stale at its prior stamp.
+        db.append(
+            "t",
+            &Relation::new(vec![("k".into(), Column::from_i64((10..3_000).collect()))]).unwrap(),
+        )
+        .unwrap();
+        let stale = db.view("explosive").unwrap();
+        assert!(stale.snapshot_version() < db.stats_version());
+        // An append to an unreferenced table must not re-stamp the stale
+        // content as fresh: the heal attempt recomputes (and here blows the
+        // deadline again), so the stamp stays put.
+        db.append(
+            "u",
+            &Relation::new(vec![("w".into(), Column::from_i64(vec![2]))]).unwrap(),
+        )
+        .unwrap();
+        let after = db.view("explosive").unwrap();
+        assert_eq!(
+            after.snapshot_version(),
+            stale.snapshot_version(),
+            "unreferenced append falsely freshened a stale view"
+        );
+        assert!(after.snapshot_version() < db.stats_version());
+        assert_bits("carried", stale.relation(), after.relation());
+        // Registering an unrelated table must not freshen it either.
+        db.register(
+            "unrelated",
+            Relation::new(vec![("w".into(), Column::from_i64(vec![3]))]).unwrap(),
+        );
+        let after = db.view("explosive").unwrap();
+        assert!(
+            after.snapshot_version() < db.stats_version(),
+            "unreferenced register falsely freshened a stale view"
+        );
+        // A consistent view still gets the free re-stamp on the same event.
+        db.register_view("cheap", "SELECT COUNT(*) AS n FROM t")
+            .unwrap();
+        db.append(
+            "u",
+            &Relation::new(vec![("w".into(), Column::from_i64(vec![4]))]).unwrap(),
+        )
+        .unwrap();
+        let cheap = db.view("cheap").unwrap();
+        assert_eq!(cheap.snapshot_version(), db.stats_version());
+        assert_eq!(cheap.rows_propagated(), 0);
+        assert!(
+            cheap.reason().contains("not referenced"),
+            "{}",
+            cheap.reason()
+        );
+    }
+
+    #[test]
+    fn register_view_races_concurrent_appends_consistently() {
+        let db = db();
+        let writer = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for i in 0..40i64 {
+                    db.append("t", &delta_rows()).unwrap();
+                    if i % 8 == 0 {
+                        db.register(
+                            "side",
+                            Relation::new(vec![("x".into(), Column::from_i64(vec![i]))]).unwrap(),
+                        );
+                    }
+                }
+            })
+        };
+        for round in 0..10 {
+            let name = format!("v{round}");
+            db.register_view(
+                &name,
+                "SELECT s, SUM(b) AS sb, COUNT(*) AS n FROM t GROUP BY s",
+            )
+            .unwrap();
+            // Registration raced a live writer: the published state may
+            // already be one version behind, but never ahead, and never torn.
+            let state = db.view(&name).unwrap();
+            assert!(state.snapshot_version() <= db.stats_version(), "{name}");
+        }
+        writer.join().unwrap();
+        // Quiesced: one more append brings every view to the live version,
+        // bit-identical to its oracle.
+        db.append("t", &delta_rows()).unwrap();
+        for name in db.view_names() {
+            let state = db.view(&name).unwrap();
+            assert_eq!(state.snapshot_version(), db.stats_version(), "{name}");
+            assert_bits(&name, &db.view_oracle(&name).unwrap(), state.relation());
+        }
     }
 
     #[test]

@@ -352,6 +352,86 @@ fn faulted_view_refreshes_keep_a_consistent_prior_version_and_heal() {
     fault::clear();
 }
 
+/// Appends to a table the view does not reference, racing injected refresh
+/// faults: a stale view (a prior refresh died at the `view-publish` site)
+/// must never be re-stamped as fresh by an unreferenced-table append — it
+/// either heals (full recompute, content exact for the new stamp) or keeps
+/// its prior stamp. With the harness cleared, a single unreferenced append
+/// alone heals the view back to the live version.
+#[test]
+fn unreferenced_appends_heal_or_keep_stale_views() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    fault::clear();
+    let db = Database::new();
+    db.register("t", rel(0, BASE_ROWS));
+    db.register("side", rel(0, 16));
+    db.register_view("standing", AGG_SQL).unwrap();
+    let expected = |rows: i64| (rows, rows * (rows - 1) / 2, 0);
+    // version → rows of `t` at that version (unreferenced appends publish a
+    // new version with the same `t` contents).
+    let mut rows_at = std::collections::BTreeMap::new();
+    rows_at.insert(db.stats_version(), BASE_ROWS);
+    let mut side_rows = 16i64;
+
+    for (seed, rate) in sweep() {
+        fault::set(seed, rate.max(0.15));
+        for round in 0..30 {
+            let before_rows = *rows_at.values().last().unwrap();
+            if round % 2 == 0 {
+                // Referenced append: an injected refresh fault leaves the
+                // view stale for the unreferenced append that follows.
+                match db.append("t", &rel(before_rows, BATCH_ROWS)) {
+                    Ok(()) => {
+                        rows_at.insert(db.stats_version(), before_rows + BATCH_ROWS);
+                    }
+                    Err(e) => assert!(e.is_transient(), "seed {seed}: {e}"),
+                }
+            } else {
+                match db.append("side", &rel(side_rows, BATCH_ROWS)) {
+                    Ok(()) => {
+                        side_rows += BATCH_ROWS;
+                        rows_at.insert(db.stats_version(), before_rows);
+                    }
+                    Err(e) => assert!(e.is_transient(), "seed {seed}: {e}"),
+                }
+            }
+            let state = match db.view("standing") {
+                Ok(s) => s,
+                Err(e) => {
+                    assert!(e.is_transient(), "seed {seed}: {e}");
+                    continue;
+                }
+            };
+            let stamp = state.snapshot_version();
+            let rows = *rows_at
+                .get(&stamp)
+                .unwrap_or_else(|| panic!("seed {seed}: stamp v{stamp} was never published"));
+            assert_eq!(
+                agg_of(state.relation()),
+                expected(rows),
+                "seed {seed}: view content diverged from its stamp v{stamp} \
+                 (an unreferenced append must not re-stamp stale content)"
+            );
+        }
+        fault::clear();
+        // Healing via an unreferenced append alone: whether or not the view
+        // ended the sweep stale, one fault-free append to `side` must leave
+        // it exact at the live version.
+        let live_rows = *rows_at.values().last().unwrap();
+        db.append("side", &rel(side_rows, BATCH_ROWS)).unwrap();
+        side_rows += BATCH_ROWS;
+        rows_at.insert(db.stats_version(), live_rows);
+        let state = db.view("standing").unwrap();
+        assert_eq!(
+            state.snapshot_version(),
+            db.stats_version(),
+            "seed {seed}: unreferenced append did not heal the stale view"
+        );
+        assert_eq!(agg_of(state.relation()), expected(live_rows), "seed {seed}");
+    }
+    fault::clear();
+}
+
 /// Deadline cancellation mid-refresh: a view whose refresh blows its
 /// per-view deadline keeps its prior consistent version (stamp visibly
 /// behind the live snapshot), the append that triggered it still succeeds,
